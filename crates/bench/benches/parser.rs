@@ -1,0 +1,89 @@
+//! Microbenchmarks of the XML substrate: parsing throughput, serializer,
+//! the packed Dewey codec, and the two ablation points DESIGN.md calls
+//! out (packed versus raw Dewey list representations).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use xk_index::{encode_dewey, decode_dewey, LevelTable};
+use xk_workload::{generate, DblpSpec};
+use xk_xmltree::{parse, to_xml_string, Dewey, NodeId};
+
+fn bench_parser(c: &mut Criterion) {
+    let tree = generate(&DblpSpec { papers: 2_000, ..DblpSpec::default() });
+    let xml = to_xml_string(&tree, NodeId::ROOT);
+
+    let mut group = c.benchmark_group("xml");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    group.bench_function("parse_dblp_2k_papers", |b| {
+        b.iter(|| black_box(parse(&xml).unwrap()))
+    });
+    group.bench_function("serialize_dblp_2k_papers", |b| {
+        b.iter(|| black_box(to_xml_string(&tree, NodeId::ROOT)))
+    });
+    group.finish();
+
+    // Codec: pack/unpack every node of the document.
+    let table = LevelTable::build(&tree);
+    let deweys: Vec<Dewey> = tree.preorder().map(|n| tree.dewey(n)).collect();
+    let packed: Vec<Vec<u8>> =
+        deweys.iter().map(|d| encode_dewey(d, &table).unwrap()).collect();
+
+    let mut group = c.benchmark_group("dewey_codec");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(deweys.len() as u64));
+    group.bench_function("encode_all_nodes", |b| {
+        b.iter(|| {
+            for d in &deweys {
+                black_box(encode_dewey(d, &table).unwrap());
+            }
+        })
+    });
+    group.bench_function("decode_all_nodes", |b| {
+        b.iter(|| {
+            for p in &packed {
+                black_box(decode_dewey(p, &table).unwrap());
+            }
+        })
+    });
+    // Ablation: packed keys are compared directly; raw Deweys need the
+    // component-wise comparison. This measures the comparison costs the
+    // B+tree pays per probe.
+    group.bench_function("compare_packed_memcmp", |b| {
+        b.iter(|| {
+            let mut ord = 0usize;
+            for w in packed.windows(2) {
+                if w[0] < w[1] {
+                    ord += 1;
+                }
+            }
+            black_box(ord)
+        })
+    });
+    group.bench_function("compare_raw_components", |b| {
+        b.iter(|| {
+            let mut ord = 0usize;
+            for w in deweys.windows(2) {
+                if w[0] < w[1] {
+                    ord += 1;
+                }
+            }
+            black_box(ord)
+        })
+    });
+    group.finish();
+
+    // Ablation: storage footprint of packed vs raw lists (reported as a
+    // one-off measurement, not a timing).
+    let raw_bytes: usize = deweys.iter().map(|d| 4 * d.depth() + 8).sum();
+    let packed_bytes: usize = packed.iter().map(|p| p.len()).sum();
+    eprintln!(
+        "[ablation] dewey storage: raw {} KiB vs packed {} KiB ({:.1}x smaller)",
+        raw_bytes / 1024,
+        packed_bytes / 1024,
+        raw_bytes as f64 / packed_bytes as f64
+    );
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

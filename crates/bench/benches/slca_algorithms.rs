@@ -1,0 +1,67 @@
+//! Microbenchmarks of the four SLCA algorithms over in-memory keyword
+//! lists — the algorithm-only costs, without storage effects.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xk_slca::{
+    brute_force_slca, indexed_lookup_eager_collect, scan_eager_collect, stack_merge_collect,
+    MemList, RankedList,
+};
+use xk_xmltree::Dewey;
+
+/// A list of `n` nodes spread over `groups` subtrees (depth 3), like
+/// planted keywords over DBLP papers.
+fn synthetic_list(n: usize, groups: u32, salt: u32) -> Vec<Dewey> {
+    let mut v: Vec<Dewey> = (0..n as u32)
+        .map(|i| Dewey::from_components(vec![i % groups, (salt + i / groups) % 7, i % 3]))
+        .collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slca");
+    group.sample_size(20);
+    for (small, large) in [(16usize, 16_384usize), (1_024, 16_384), (16_384, 16_384)] {
+        let s1 = synthetic_list(small, 600, 1);
+        let s2 = synthetic_list(large, 600, 2);
+        group.throughput(Throughput::Elements(small as u64));
+
+        group.bench_function(
+            BenchmarkId::new("indexed_lookup_eager", format!("{small}x{large}")),
+            |b| {
+                let mut a = MemList::from_sorted(s1.clone());
+                let mut bl = MemList::from_sorted(s2.clone());
+                b.iter(|| {
+                    let mut refs: Vec<&mut dyn RankedList> = vec![&mut bl];
+                    black_box(indexed_lookup_eager_collect(&mut a, &mut refs))
+                })
+            },
+        );
+        group.bench_function(BenchmarkId::new("scan_eager", format!("{small}x{large}")), |b| {
+            let mut a = MemList::from_sorted(s1.clone());
+            let mut bl = MemList::from_sorted(s2.clone());
+            b.iter(|| black_box(scan_eager_collect(&mut a, vec![&mut bl])))
+        });
+        group.bench_function(BenchmarkId::new("stack", format!("{small}x{large}")), |b| {
+            let mut a = MemList::from_sorted(s1.clone());
+            let mut bl = MemList::from_sorted(s2.clone());
+            b.iter(|| black_box(stack_merge_collect(vec![&mut a, &mut bl])))
+        });
+    }
+    group.finish();
+
+    // The brute-force oracle only at toy sizes (it is O(|S1|·|S2|)).
+    let mut group = c.benchmark_group("slca_brute");
+    group.sample_size(10);
+    let s1 = synthetic_list(64, 40, 1);
+    let s2 = synthetic_list(64, 40, 2);
+    group.bench_function("brute_force_64x64", |b| {
+        b.iter(|| black_box(brute_force_slca(&[s1.clone(), s2.clone()])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Regenerates the paper's evaluation artifacts.
+//!
+//! ```text
+//! figures [--quick] [--results DIR] [table1|fig8|...|fig13|ablation|all]...
+//! ```
+//!
+//! * `fig8`–`fig10` are the hot-cache experiments, `fig11`–`fig13` their
+//!   cold-cache twins (buffer pool dropped before every query).
+//! * `--quick` runs a one-tenth-scale corpus (largest list 10 000, ten
+//!   queries per point) for smoke testing; the default is the full
+//!   paper-scale ladder up to 100 000.
+//!
+//! CSV series land in the results directory (default `results/`); the
+//! corpus index is cached in `results/cache/` across runs.
+
+use std::path::PathBuf;
+use xk_bench::{corpus, figures, Cache, Scale, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut results_dir = PathBuf::from("results");
+    let mut selected: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--results" => {
+                i += 1;
+                results_dir = PathBuf::from(args.get(i).expect("--results needs a value"));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: figures [--quick] [--results DIR] \
+                     [table1|fig8|...|fig13|ablation|all]..."
+                );
+                return;
+            }
+            other => selected.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if selected.is_empty() || selected.iter().any(|s| s == "all") {
+        selected = ["table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "ablation"]
+            .map(String::from)
+            .to_vec();
+    }
+
+    let cache_dir = results_dir.join("cache");
+    let corpus = corpus(scale, &cache_dir);
+    let started = std::time::Instant::now();
+
+    for experiment in &selected {
+        let tables: Vec<Table> = match experiment.as_str() {
+            "table1" => {
+                let text = figures::table1(&corpus);
+                print!("{text}");
+                std::fs::create_dir_all(&results_dir).expect("results dir");
+                std::fs::write(results_dir.join("table1.txt"), &text).expect("write table1");
+                continue;
+            }
+            "fig8" => figures::fig8(&corpus, Cache::Hot),
+            "fig9" => figures::fig9(&corpus, Cache::Hot),
+            "fig10" => figures::fig10(&corpus, Cache::Hot),
+            "fig11" => figures::fig8(&corpus, Cache::Cold),
+            "fig12" => figures::fig9(&corpus, Cache::Cold),
+            "fig13" => figures::fig10(&corpus, Cache::Cold),
+            "ablation" => {
+                let text = figures::ablation_beta(&corpus);
+                print!("{text}");
+                std::fs::create_dir_all(&results_dir).expect("results dir");
+                std::fs::write(results_dir.join("ablation_beta.txt"), &text)
+                    .expect("write ablation_beta");
+                vec![figures::ablation_pool(&corpus)]
+            }
+            other => {
+                eprintln!("unknown experiment {other:?}, skipping");
+                continue;
+            }
+        };
+        for t in &tables {
+            print!("{}", t.to_text());
+            t.write_csv(&results_dir).expect("write csv");
+        }
+    }
+    eprintln!("\n[figures] done in {:.1?}", started.elapsed());
+}

@@ -1,0 +1,15 @@
+//! # xk-bench
+//!
+//! The benchmark harness that regenerates the paper's evaluation: the
+//! `figures` binary reproduces Table 1 and Figures 8–13 (hot and cold
+//! cache), and the Criterion benches under `benches/` microbenchmark the
+//! algorithms, match operations, storage, and parser.
+
+pub mod corpus;
+pub mod figures;
+pub mod measure;
+pub mod report;
+
+pub use corpus::{corpus, Corpus, Scale};
+pub use measure::{algorithms, run_point, Cache, Measurement};
+pub use report::{Row, Table};

@@ -1,0 +1,107 @@
+//! Measurement harness: runs a query set at one data point and aggregates
+//! time, operation counts, and disk accesses, hot or cold, exactly the
+//! way the paper's experiments report response time per query batch.
+
+use std::time::Duration;
+use xk_slca::AlgoStats;
+use xk_storage::IoStats;
+use xksearch::{Algorithm, Engine};
+
+/// Buffer-pool temperature of a measurement (Figures 8–10 are hot,
+/// 11–13 are cold).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cache {
+    /// The query stream runs once unmeasured to warm the pool, then the
+    /// measured pass is served from memory.
+    Hot,
+    /// The pool is dropped before every query; each page access is a real
+    /// read.
+    Cold,
+}
+
+impl Cache {
+    pub fn tag(self) -> &'static str {
+        match self {
+            Cache::Hot => "hot",
+            Cache::Cold => "cold",
+        }
+    }
+}
+
+/// Aggregated measurement of one (algorithm, data point).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Number of queries measured.
+    pub queries: usize,
+    /// Mean wall-clock time per query.
+    pub mean: Duration,
+    /// Total results across the batch.
+    pub results: u64,
+    /// Summed operation counters.
+    pub stats: AlgoStats,
+    /// Summed I/O (disk_reads is the paper's disk-access count).
+    pub io: IoStats,
+}
+
+impl Measurement {
+    /// Mean time in milliseconds (the paper's y-axis).
+    pub fn mean_ms(&self) -> f64 {
+        self.mean.as_secs_f64() * 1e3
+    }
+
+    /// Mean disk accesses per query.
+    pub fn mean_disk_reads(&self) -> f64 {
+        self.io.disk_reads as f64 / self.queries.max(1) as f64
+    }
+}
+
+/// Runs `queries` with `algorithm` under the given cache regime.
+pub fn run_point(
+    engine: &Engine,
+    queries: &[Vec<String>],
+    algorithm: Algorithm,
+    cache: Cache,
+) -> Measurement {
+    assert!(!queries.is_empty(), "a data point needs at least one query");
+    if cache == Cache::Hot {
+        // Warm-up pass (unmeasured).
+        for q in queries {
+            let kw: Vec<&str> = q.iter().map(|s| s.as_str()).collect();
+            engine.query(&kw, algorithm).expect("warm-up query");
+        }
+    }
+    let mut total = Duration::ZERO;
+    let mut stats = AlgoStats::default();
+    let mut io = IoStats::default();
+    let mut results = 0u64;
+    for q in queries {
+        if cache == Cache::Cold {
+            engine.clear_cache().expect("cache clear");
+        }
+        let kw: Vec<&str> = q.iter().map(|s| s.as_str()).collect();
+        let out = engine.query(&kw, algorithm).expect("measured query");
+        total += out.elapsed;
+        stats.accumulate(&out.stats);
+        results += out.slcas.len() as u64;
+        io.logical_reads += out.io.logical_reads;
+        io.disk_reads += out.io.disk_reads;
+        io.disk_writes += out.io.disk_writes;
+        io.evictions += out.io.evictions;
+    }
+    Measurement {
+        queries: queries.len(),
+        mean: total / queries.len() as u32,
+        results,
+        stats,
+        io,
+    }
+}
+
+/// The three algorithms every figure compares, with the paper's labels.
+pub fn algorithms() -> [(&'static str, Algorithm); 3] {
+    [
+        ("IL", Algorithm::IndexedLookupEager),
+        ("Scan", Algorithm::ScanEager),
+        ("Stack", Algorithm::Stack),
+    ]
+}

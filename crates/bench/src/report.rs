@@ -1,0 +1,83 @@
+//! Result reporting: aligned text tables on stdout plus CSV files under
+//! `results/`, one per subfigure, so the series can be re-plotted.
+
+use crate::measure::Measurement;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One row of a figure: an x-axis label and one measurement per series.
+pub struct Row {
+    pub x: String,
+    pub series: Vec<(String, Measurement)>,
+}
+
+/// A rendered experiment: id (e.g. "fig8a_hot"), a human title, and rows.
+pub struct Table {
+    pub id: String,
+    pub title: String,
+    pub x_label: String,
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Renders the aligned text table the harness prints.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} — {} ==", self.id, self.title);
+        if self.rows.is_empty() {
+            let _ = writeln!(out, "(no data)");
+            return out;
+        }
+        let _ = write!(out, "{:<14}", self.x_label);
+        for (name, _) in &self.rows[0].series {
+            let _ = write!(out, " {:>10} {:>9} {:>9}", format!("{name} ms"), "dskRd", "ops");
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "{:<14}", row.x);
+            for (_, m) in &row.series {
+                let ops = m.stats.match_lookups + m.stats.nodes_scanned;
+                let _ = write!(
+                    out,
+                    " {:>10.3} {:>9.1} {:>9}",
+                    m.mean_ms(),
+                    m.mean_disk_reads(),
+                    ops / m.queries as u64
+                );
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Writes `results/<id>.csv` with one line per (x, series).
+    pub fn write_csv(&self, results_dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(results_dir)?;
+        let path = results_dir.join(format!("{}.csv", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(
+            f,
+            "x,series,mean_ms,mean_disk_reads,queries,results,match_lookups,nodes_scanned,lca_computations"
+        )?;
+        for row in &self.rows {
+            for (name, m) in &row.series {
+                writeln!(
+                    f,
+                    "{},{},{:.6},{:.3},{},{},{},{},{}",
+                    row.x,
+                    name,
+                    m.mean_ms(),
+                    m.mean_disk_reads(),
+                    m.queries,
+                    m.results,
+                    m.stats.match_lookups,
+                    m.stats.nodes_scanned,
+                    m.stats.lca_computations,
+                )?;
+            }
+        }
+        eprintln!("[report] wrote {}", path.display());
+        Ok(())
+    }
+}

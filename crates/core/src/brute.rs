@@ -1,0 +1,124 @@
+//! The brute-force baseline (Section 3 of the paper) — `O(d·Π|S_i|)`.
+//!
+//! Computes the LCA of every node combination and removes ancestor nodes.
+//! Besides being slow it is *blocking*: nothing can be reported until all
+//! combinations are examined. It serves as the correctness oracle for the
+//! other algorithms in tests and as a baseline in micro-benchmarks.
+
+use std::collections::BTreeSet;
+use xk_xmltree::Dewey;
+
+/// All distinct LCAs `lca(n_1, …, n_k)` over the cartesian product of the
+/// lists. This is the paper's `lca(S_1, …, S_k)` set (Section 5).
+/// Returns an empty set if any list is empty.
+pub fn brute_force_all_lcas(lists: &[Vec<Dewey>]) -> BTreeSet<Dewey> {
+    let mut out = BTreeSet::new();
+    if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
+        return out;
+    }
+    // Odometer over the cartesian product of list indices.
+    let mut idx = vec![0usize; lists.len()];
+    loop {
+        let mut lca = lists[0][idx[0]].clone();
+        for (list, &i) in lists[1..].iter().zip(&idx[1..]) {
+            lca = lca.lca(&list[i]);
+        }
+        out.insert(lca);
+        // Advance the odometer; stop after the last combination.
+        let mut pos = lists.len();
+        loop {
+            if pos == 0 {
+                return out;
+            }
+            pos -= 1;
+            idx[pos] += 1;
+            if idx[pos] < lists[pos].len() {
+                break;
+            }
+            idx[pos] = 0;
+        }
+    }
+}
+
+/// The brute-force SLCA: all LCAs, minus ancestor nodes
+/// (`slca(S_1, …, S_k) = removeAncestor(lca(S_1, …, S_k))`).
+pub fn brute_force_slca(lists: &[Vec<Dewey>]) -> Vec<Dewey> {
+    let all = brute_force_all_lcas(lists);
+    remove_ancestors(all)
+}
+
+/// Removes every node that is an ancestor of another node in the set. In
+/// a preorder-sorted set, a node's descendants are contiguous right after
+/// it, so checking each node against its successor suffices.
+pub fn remove_ancestors(sorted: BTreeSet<Dewey>) -> Vec<Dewey> {
+    let nodes: Vec<Dewey> = sorted.into_iter().collect();
+    let mut out = Vec::with_capacity(nodes.len());
+    for i in 0..nodes.len() {
+        let is_ancestor =
+            i + 1 < nodes.len() && nodes[i].is_ancestor_of(&nodes[i + 1]);
+        if !is_ancestor {
+            out.push(nodes[i].clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Dewey {
+        s.parse().unwrap()
+    }
+
+    fn lists(spec: &[&[&str]]) -> Vec<Vec<Dewey>> {
+        spec.iter().map(|l| l.iter().map(|s| d(s)).collect()).collect()
+    }
+
+    #[test]
+    fn single_list_slca_is_remove_ancestors() {
+        let ls = lists(&[&["0", "0.1", "0.1.2", "3"]]);
+        assert_eq!(brute_force_slca(&ls), vec![d("0.1.2"), d("3")]);
+    }
+
+    #[test]
+    fn school_figure_example() {
+        // John at 0.?.., Ben at …: modeled as in Figure 1's answer
+        // [0, 1, 2] for the query {John, Ben}.
+        let john = &["0.1.0.0", "1.1.0.0", "2.1.0", "3.1.0.0"][..];
+        let ben = &["0.2.0.0", "1.2.0.0.0", "2.2.0"][..];
+        let ls = lists(&[john, ben]);
+        assert_eq!(brute_force_slca(&ls), vec![d("0"), d("1"), d("2")]);
+    }
+
+    #[test]
+    fn empty_list_gives_no_answers() {
+        let ls = lists(&[&["0"], &[]]);
+        assert!(brute_force_slca(&ls).is_empty());
+        assert!(brute_force_all_lcas(&ls).is_empty());
+    }
+
+    #[test]
+    fn all_lcas_include_ancestor_lcas() {
+        // S1 = {0.0.0, 0.1}, S2 = {0.0.1}:
+        //   lca(0.0.0, 0.0.1) = 0.0 ; lca(0.1, 0.0.1) = 0.
+        let ls = lists(&[&["0.0.0", "0.1"], &["0.0.1"]]);
+        let all: Vec<_> = brute_force_all_lcas(&ls).into_iter().collect();
+        assert_eq!(all, vec![d("0"), d("0.0")]);
+        assert_eq!(brute_force_slca(&ls), vec![d("0.0")]);
+    }
+
+    #[test]
+    fn shared_node_in_both_lists() {
+        // A node carrying both keywords is its own SLCA.
+        let ls = lists(&[&["0.5"], &["0.5"]]);
+        assert_eq!(brute_force_slca(&ls), vec![d("0.5")]);
+    }
+
+    #[test]
+    fn remove_ancestors_chain() {
+        let set: BTreeSet<Dewey> =
+            ["/", "0", "0.0", "0.0.0", "1"].iter().map(|s| d(s)).collect();
+        assert_eq!(remove_ancestors(set), vec![d("0.0.0"), d("1")]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Keyword-list abstractions.
+//!
+//! The paper's algorithms access keyword lists in two ways:
+//!
+//! * **indexed** — the left/right match operations `lm(v, S)` / `rm(v, S)`
+//!   (Indexed Lookup Eager, all-LCA): [`RankedList`];
+//! * **sequential** — front-to-back streaming (Scan Eager, Stack, and the
+//!   `S_1` iteration of every eager algorithm): [`StreamList`].
+//!
+//! [`MemList`] implements both over an in-memory sorted `Vec<Dewey>`.
+//! Disk-backed implementations live in the `xksearch` crate, adapting the
+//! B+tree (`seek_ge`/`seek_le`) and the sequential list store.
+
+use xk_xmltree::Dewey;
+
+/// Indexed access to a keyword list sorted by Dewey id.
+pub trait RankedList {
+    /// Number of nodes in the list (the paper's `|S|`).
+    fn len(&self) -> u64;
+
+    /// True iff the list has no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The paper's **right match** `rm(v, S)`: the node of `S` with the
+    /// smallest id greater than or equal to `v`, or `None`.
+    fn rm(&mut self, v: &Dewey) -> Option<Dewey>;
+
+    /// The paper's **left match** `lm(v, S)`: the node of `S` with the
+    /// biggest id less than or equal to `v`, or `None`.
+    fn lm(&mut self, v: &Dewey) -> Option<Dewey>;
+}
+
+/// Sequential front-to-back access to a keyword list sorted by Dewey id.
+pub trait StreamList {
+    /// Number of nodes in the list.
+    fn len(&self) -> u64;
+
+    /// True iff the list has no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resets the stream to the beginning.
+    fn rewind(&mut self);
+
+    /// The next node in id order, or `None` at the end.
+    fn next_node(&mut self) -> Option<Dewey>;
+}
+
+impl<L: RankedList + ?Sized> RankedList for &mut L {
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+
+    fn rm(&mut self, v: &Dewey) -> Option<Dewey> {
+        (**self).rm(v)
+    }
+
+    fn lm(&mut self, v: &Dewey) -> Option<Dewey> {
+        (**self).lm(v)
+    }
+}
+
+impl<L: StreamList + ?Sized> StreamList for &mut L {
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+
+    fn rewind(&mut self) {
+        (**self).rewind()
+    }
+
+    fn next_node(&mut self) -> Option<Dewey> {
+        (**self).next_node()
+    }
+}
+
+/// An in-memory keyword list: a sorted, duplicate-free `Vec<Dewey>`.
+#[derive(Debug, Clone, Default)]
+pub struct MemList {
+    nodes: Vec<Dewey>,
+    pos: usize,
+}
+
+impl MemList {
+    /// Builds a list from nodes in any order; sorts and deduplicates.
+    pub fn new(mut nodes: Vec<Dewey>) -> MemList {
+        nodes.sort();
+        nodes.dedup();
+        MemList { nodes, pos: 0 }
+    }
+
+    /// Builds a list from nodes already sorted and duplicate-free.
+    pub fn from_sorted(nodes: Vec<Dewey>) -> MemList {
+        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes must be strictly sorted");
+        MemList { nodes, pos: 0 }
+    }
+
+    /// The underlying sorted nodes.
+    pub fn nodes(&self) -> &[Dewey] {
+        &self.nodes
+    }
+}
+
+impl RankedList for MemList {
+    fn len(&self) -> u64 {
+        self.nodes.len() as u64
+    }
+
+    fn rm(&mut self, v: &Dewey) -> Option<Dewey> {
+        let idx = self.nodes.partition_point(|n| n < v);
+        self.nodes.get(idx).cloned()
+    }
+
+    fn lm(&mut self, v: &Dewey) -> Option<Dewey> {
+        let idx = self.nodes.partition_point(|n| n <= v);
+        idx.checked_sub(1).and_then(|i| self.nodes.get(i)).cloned()
+    }
+}
+
+impl StreamList for MemList {
+    fn len(&self) -> u64 {
+        self.nodes.len() as u64
+    }
+
+    fn rewind(&mut self) {
+        self.pos = 0;
+    }
+
+    fn next_node(&mut self) -> Option<Dewey> {
+        let n = self.nodes.get(self.pos).cloned();
+        if n.is_some() {
+            self.pos += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Dewey {
+        s.parse().unwrap()
+    }
+
+    fn list(items: &[&str]) -> MemList {
+        MemList::new(items.iter().map(|s| d(s)).collect())
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let l = list(&["0.2", "0.1", "0.2", "0"]);
+        let ids: Vec<String> = l.nodes().iter().map(|n| n.to_string()).collect();
+        assert_eq!(ids, ["0", "0.1", "0.2"]);
+    }
+
+    #[test]
+    fn rm_and_lm() {
+        let mut l = list(&["0.1", "0.3", "0.5"]);
+        assert_eq!(l.rm(&d("0.3")), Some(d("0.3"))); // exact
+        assert_eq!(l.lm(&d("0.3")), Some(d("0.3")));
+        assert_eq!(l.rm(&d("0.2")), Some(d("0.3"))); // between
+        assert_eq!(l.lm(&d("0.2")), Some(d("0.1")));
+        assert_eq!(l.rm(&d("0.6")), None); // past the end
+        assert_eq!(l.lm(&d("0.6")), Some(d("0.5")));
+        assert_eq!(l.rm(&d("0.0")), Some(d("0.1"))); // before the start
+        assert_eq!(l.lm(&d("0.0")), None);
+    }
+
+    #[test]
+    fn lm_rm_with_ancestor_ids() {
+        // 0.1 < 0.1.0 in preorder; matches respect that.
+        let mut l = list(&["0.1", "0.1.0.2", "0.2"]);
+        assert_eq!(l.rm(&d("0.1.0")), Some(d("0.1.0.2")));
+        assert_eq!(l.lm(&d("0.1.0")), Some(d("0.1")));
+    }
+
+    #[test]
+    fn stream_iterates_in_order_and_rewinds() {
+        let mut l = list(&["0.2", "0.1"]);
+        assert_eq!(l.next_node(), Some(d("0.1")));
+        assert_eq!(l.next_node(), Some(d("0.2")));
+        assert_eq!(l.next_node(), None);
+        l.rewind();
+        assert_eq!(l.next_node(), Some(d("0.1")));
+    }
+
+    #[test]
+    fn empty_list() {
+        let mut l = MemList::new(vec![]);
+        assert!(RankedList::is_empty(&l));
+        assert_eq!(l.rm(&d("0")), None);
+        assert_eq!(l.lm(&d("0")), None);
+        assert_eq!(l.next_node(), None);
+    }
+}

@@ -1,0 +1,53 @@
+//! Algorithm-level operation counters.
+//!
+//! Table 1 of the paper characterizes the algorithms by their number of
+//! match operations and Dewey comparisons, in addition to disk accesses
+//! (counted by `xk-storage`). Every algorithm in this crate fills an
+//! [`AlgoStats`] so experiments can report measured operation counts next
+//! to the analytic formulas.
+
+/// Operation counters shared by all SLCA/LCA algorithms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlgoStats {
+    /// Indexed match operations (`lm`/`rm` calls). The paper's IL bound is
+    /// `2(k-1)|S_1|` of these per query.
+    pub match_lookups: u64,
+    /// Nodes pulled off sequential streams (Scan Eager cursor advances,
+    /// Stack merge consumption, and `S_1` iteration).
+    pub nodes_scanned: u64,
+    /// LCA (longest-common-prefix) computations.
+    pub lca_computations: u64,
+    /// SLCA candidates generated before ancestor filtering.
+    pub candidates: u64,
+    /// Stack entries pushed (Stack algorithm only).
+    pub stack_pushes: u64,
+    /// Results emitted.
+    pub results: u64,
+}
+
+impl AlgoStats {
+    /// Component-wise sum, for aggregating over a query workload.
+    pub fn accumulate(&mut self, other: &AlgoStats) {
+        self.match_lookups += other.match_lookups;
+        self.nodes_scanned += other.nodes_scanned;
+        self.lca_computations += other.lca_computations;
+        self.candidates += other.candidates;
+        self.stack_pushes += other.stack_pushes;
+        self.results += other.results;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = AlgoStats { match_lookups: 1, nodes_scanned: 2, ..Default::default() };
+        let b = AlgoStats { match_lookups: 10, results: 3, ..Default::default() };
+        a.accumulate(&b);
+        assert_eq!(a.match_lookups, 11);
+        assert_eq!(a.nodes_scanned, 2);
+        assert_eq!(a.results, 3);
+    }
+}

@@ -1,0 +1,751 @@
+//! The on-disk inverted index — the XKSearch storage architecture of
+//! Section 4.
+//!
+//! One storage file holds everything:
+//!
+//! * the **level table** and an optional serialized copy of the document,
+//!   in the meta page's user blob;
+//! * the **vocabulary B+tree** (root slot 0): keyword → `(keyword id,
+//!   frequency, list handle)`. Loaded into an in-memory hash map at open
+//!   time — the paper's *frequency table*, used to pick the smallest list
+//!   as `S_1` and to locate lists;
+//! * the **IL B+tree** (root slot 1): composite key `(keyword id, packed
+//!   Dewey)` with empty values — "all keyword lists in a single B+tree
+//!   where keywords are the primary key and Dewey numbers are the
+//!   secondary key" (Figure 5). `lm`/`rm` are `seek_le`/`seek_ge` within
+//!   the keyword's key range;
+//! * the **sequential list chains**: one per keyword, packed Dewey records
+//!   front to back — the layout the Scan Eager and Stack algorithms read
+//!   (Figure 4).
+
+use crate::codec::{decode_dewey, encode_dewey, encode_probe, CodecError, Probe};
+use crate::leveltable::LevelTable;
+use crate::memindex::MemIndex;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use xk_slca::{RankedList, StreamList};
+use xk_storage::{BTree, ListHandle, ListReader, ListWriter, StorageEnv, StorageError};
+use xk_xmltree::{Dewey, XmlTree};
+
+/// Root slot of the vocabulary B+tree.
+pub const SLOT_VOCAB: usize = 0;
+/// Root slot of the composite-key (IL) B+tree.
+pub const SLOT_IL: usize = 1;
+
+/// Errors from building or reading a disk index.
+#[derive(Debug)]
+pub enum IndexError {
+    Storage(StorageError),
+    Codec(CodecError),
+    Corrupt(String),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Storage(e) => write!(f, "storage error: {e}"),
+            IndexError::Codec(e) => write!(f, "codec error: {e}"),
+            IndexError::Corrupt(m) => write!(f, "corrupt index: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+impl From<StorageError> for IndexError {
+    fn from(e: StorageError) -> Self {
+        IndexError::Storage(e)
+    }
+}
+
+impl From<CodecError> for IndexError {
+    fn from(e: CodecError) -> Self {
+        IndexError::Codec(e)
+    }
+}
+
+/// Convenience alias for index results.
+pub type Result<T> = std::result::Result<T, IndexError>;
+
+/// Vocabulary entry: everything the engine needs to open a keyword list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeywordMeta {
+    /// Dense keyword id (assigned in sorted keyword order at build time).
+    pub kwid: u32,
+    /// Number of nodes containing the keyword — the paper's `|S|`.
+    pub count: u64,
+    /// The keyword's sequential list chain.
+    pub handle: ListHandle,
+}
+
+const META_BYTES: usize = 12 + xk_storage::liststore::LIST_HANDLE_BYTES;
+
+impl KeywordMeta {
+    fn encode(&self) -> [u8; META_BYTES] {
+        let mut out = [0u8; META_BYTES];
+        out[..4].copy_from_slice(&self.kwid.to_le_bytes());
+        out[4..12].copy_from_slice(&self.count.to_le_bytes());
+        out[12..].copy_from_slice(&self.handle.encode());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<KeywordMeta> {
+        if bytes.len() != META_BYTES {
+            return Err(IndexError::Corrupt(format!(
+                "vocabulary entry must be {META_BYTES} bytes, got {}",
+                bytes.len()
+            )));
+        }
+        Ok(KeywordMeta {
+            kwid: u32::from_le_bytes(bytes[..4].try_into().unwrap()),
+            count: u64::from_le_bytes(bytes[4..12].try_into().unwrap()),
+            handle: ListHandle::decode(&bytes[12..])?,
+        })
+    }
+}
+
+/// Composite key of the IL B+tree: big-endian keyword id, then the packed
+/// Dewey — `memcmp` order is (keyword, document order).
+fn il_key(kwid: u32, packed: &[u8]) -> Vec<u8> {
+    let mut k = Vec::with_capacity(4 + packed.len());
+    k.extend_from_slice(&kwid.to_be_bytes());
+    k.extend_from_slice(packed);
+    k
+}
+
+/// Splits an IL key back into keyword id and packed Dewey.
+fn split_il_key(key: &[u8]) -> Result<(u32, &[u8])> {
+    if key.len() < 4 {
+        return Err(IndexError::Corrupt("IL key shorter than a keyword id".into()));
+    }
+    Ok((u32::from_be_bytes(key[..4].try_into().unwrap()), &key[4..]))
+}
+
+// ---- meta blob: level table + optional document handle ----
+
+fn encode_blob(table: &LevelTable, doc: Option<ListHandle>) -> Vec<u8> {
+    let lt = table.encode();
+    let mut out = Vec::with_capacity(2 + lt.len() + 21);
+    out.extend_from_slice(&(lt.len() as u16).to_le_bytes());
+    out.extend_from_slice(&lt);
+    match doc {
+        Some(h) => {
+            out.push(1);
+            out.extend_from_slice(&h.encode());
+        }
+        None => out.push(0),
+    }
+    out
+}
+
+fn decode_blob(blob: &[u8]) -> Result<(LevelTable, Option<ListHandle>)> {
+    if blob.len() < 3 {
+        return Err(IndexError::Corrupt("meta blob too short".into()));
+    }
+    let lt_len = u16::from_le_bytes(blob[..2].try_into().unwrap()) as usize;
+    let lt_end = 2 + lt_len;
+    if blob.len() < lt_end + 1 {
+        return Err(IndexError::Corrupt("meta blob truncated".into()));
+    }
+    let table = LevelTable::decode(&blob[2..lt_end])
+        .ok_or_else(|| IndexError::Corrupt("bad level table".into()))?;
+    let doc = match blob[lt_end] {
+        0 => None,
+        1 => Some(ListHandle::decode(
+            &blob[lt_end + 1..lt_end + 1 + xk_storage::liststore::LIST_HANDLE_BYTES],
+        )?),
+        b => return Err(IndexError::Corrupt(format!("bad document flag {b}"))),
+    };
+    Ok((table, doc))
+}
+
+/// Options for [`build_disk_index_with`].
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Embed the serialized document so answer subtrees can be rendered
+    /// from the index file alone.
+    pub store_document: bool,
+    /// Extra bits of width per Dewey level beyond the initial document's
+    /// exact fanouts. Incremental ingestion ([`DiskIndex::append_nodes`])
+    /// assigns ordinals past the build-time fanouts, which only pack if
+    /// the level table has headroom. 0 = exact fit (smallest keys, no
+    /// appends possible at full levels).
+    pub level_headroom_bits: u8,
+    /// Additional 8-bit levels beyond the initial document's depth, so
+    /// appended fragments may be deeper than anything seen at build time.
+    pub extra_levels: usize,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions { store_document: true, level_headroom_bits: 2, extra_levels: 2 }
+    }
+}
+
+/// Builds the complete disk index for `tree` inside `env`, optionally
+/// storing the serialized document so the index file is self-contained.
+/// Returns the number of distinct keywords indexed. Uses an exact-fit
+/// level table; use [`build_disk_index_with`] to leave headroom for
+/// incremental appends.
+pub fn build_disk_index(
+    env: &mut StorageEnv,
+    tree: &XmlTree,
+    store_document: bool,
+) -> Result<usize> {
+    build_disk_index_with(
+        env,
+        tree,
+        &BuildOptions { store_document, level_headroom_bits: 0, extra_levels: 0 },
+    )
+}
+
+/// Builds the disk index with explicit [`BuildOptions`].
+pub fn build_disk_index_with(
+    env: &mut StorageEnv,
+    tree: &XmlTree,
+    options: &BuildOptions,
+) -> Result<usize> {
+    let store_document = options.store_document;
+    let table = LevelTable::build(tree)
+        .with_headroom(options.level_headroom_bits, options.extra_levels);
+    let lists = MemIndex::build(tree).into_sorted_lists();
+
+    // Phase 1: sequential list chains, collecting the vocabulary entries.
+    let mut vocab_entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(lists.len());
+    for (kwid, (keyword, nodes)) in lists.iter().enumerate() {
+        let mut writer = ListWriter::new(env);
+        for node in nodes {
+            writer.append(env, &encode_dewey(node, &table)?)?;
+        }
+        let handle = writer.finish(env)?;
+        let meta = KeywordMeta { kwid: kwid as u32, count: nodes.len() as u64, handle };
+        vocab_entries.push((keyword.as_bytes().to_vec(), meta.encode().to_vec()));
+    }
+
+    // Phase 2: bulk-load both B+trees. Keywords are sorted, and within a
+    // keyword the packed Deweys are in document order, so the composite
+    // IL keys arrive in strictly ascending order.
+    BTree::bulk_load(env, SLOT_VOCAB, vocab_entries)?;
+    let mut il_keys: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    for (kwid, (_, nodes)) in lists.iter().enumerate() {
+        for node in nodes {
+            il_keys.push((il_key(kwid as u32, &encode_dewey(node, &table)?), Vec::new()));
+        }
+    }
+    BTree::bulk_load(env, SLOT_IL, il_keys)?;
+
+    let doc_handle = if store_document {
+        let xml = xk_xmltree::to_xml_string(tree, xk_xmltree::NodeId::ROOT);
+        let mut writer = ListWriter::new(env);
+        // Chunk the document into page-sized records.
+        let chunk = env.page_size() / 2;
+        for part in xml.as_bytes().chunks(chunk) {
+            writer.append(env, part)?;
+        }
+        Some(writer.finish(env)?)
+    } else {
+        None
+    };
+
+    env.set_user_blob(&encode_blob(&table, doc_handle))?;
+    env.flush()?;
+    Ok(lists.len())
+}
+
+/// A read handle over a built disk index.
+pub struct DiskIndex {
+    il: BTree,
+    level_table: Rc<LevelTable>,
+    /// The paper's in-memory frequency hash table, loaded at open time.
+    freq: HashMap<String, KeywordMeta>,
+    doc_handle: Option<ListHandle>,
+    max_kwid: u32,
+}
+
+impl DiskIndex {
+    /// Opens the index stored in `env`, loading the frequency table.
+    pub fn open(env: &mut StorageEnv) -> Result<DiskIndex> {
+        let blob = env.user_blob()?;
+        let (level_table, doc_handle) = decode_blob(&blob)?;
+        let vocab = BTree::open(env, SLOT_VOCAB)?;
+        let il = BTree::open(env, SLOT_IL)?;
+        let mut freq = HashMap::new();
+        let mut max_kwid = 0;
+        let mut c = vocab.cursor_first(env)?;
+        while let Some((k, v)) = c.read(env)? {
+            let meta = KeywordMeta::decode(&v)?;
+            max_kwid = max_kwid.max(meta.kwid);
+            let word = String::from_utf8(k)
+                .map_err(|_| IndexError::Corrupt("non-UTF-8 keyword".into()))?;
+            freq.insert(word, meta);
+            c.advance(env)?;
+        }
+        Ok(DiskIndex { il, level_table: Rc::new(level_table), freq, doc_handle, max_kwid })
+    }
+
+    /// Frequency-table lookup (already-normalized keyword).
+    pub fn lookup(&self, keyword: &str) -> Option<&KeywordMeta> {
+        self.freq.get(keyword)
+    }
+
+    /// The frequency of `keyword` (0 when absent).
+    pub fn frequency(&self, keyword: &str) -> u64 {
+        self.freq.get(keyword).map_or(0, |m| m.count)
+    }
+
+    /// Number of distinct keywords.
+    pub fn keyword_count(&self) -> usize {
+        self.freq.len()
+    }
+
+    /// Iterates the vocabulary with frequencies.
+    pub fn keywords(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.freq.iter().map(|(k, m)| (k.as_str(), m.count))
+    }
+
+    /// The document's level table.
+    pub fn level_table(&self) -> &LevelTable {
+        &self.level_table
+    }
+
+    /// Loads the serialized document stored at build time (if any).
+    pub fn load_document(&self, env: &mut StorageEnv) -> Result<Option<XmlTree>> {
+        let Some(handle) = self.doc_handle else { return Ok(None) };
+        let mut reader = ListReader::new(&handle);
+        let mut xml = Vec::new();
+        while let Some(chunk) = reader.next_record(env)? {
+            xml.extend_from_slice(&chunk);
+        }
+        let text = String::from_utf8(xml)
+            .map_err(|_| IndexError::Corrupt("stored document is not UTF-8".into()))?;
+        xk_xmltree::parse(&text)
+            .map(Some)
+            .map_err(|e| IndexError::Corrupt(format!("stored document does not parse: {e}")))
+    }
+
+    /// Indexed (`lm`/`rm`) access to a keyword's list, for the Indexed
+    /// Lookup Eager and all-LCA algorithms. `None` if the keyword does not
+    /// occur.
+    pub fn ranked_list(&self, env: SharedEnv, keyword: &str) -> Option<DiskRankedList> {
+        let meta = self.freq.get(keyword)?;
+        Some(DiskRankedList {
+            env,
+            il: self.il,
+            kwid: meta.kwid,
+            count: meta.count,
+            table: Rc::clone(&self.level_table),
+        })
+    }
+
+    /// Sequential access to a keyword's list, for Scan Eager / Stack and
+    /// the `S_1` iteration. `None` if the keyword does not occur.
+    pub fn stream_list(&self, env: SharedEnv, keyword: &str) -> Option<DiskStreamList> {
+        let meta = self.freq.get(keyword)?;
+        Some(DiskStreamList {
+            env,
+            handle: meta.handle,
+            table: Rc::clone(&self.level_table),
+            reader: ListReader::new(&meta.handle),
+        })
+    }
+
+    /// Largest keyword id in the vocabulary (build-time assigned).
+    pub fn max_kwid(&self) -> u32 {
+        self.max_kwid
+    }
+
+    /// Incrementally indexes nodes appended **at the document tail**.
+    ///
+    /// `added` lists the new nodes in document order with their keyword
+    /// tokens (see [`crate::memindex::node_tokens`]); every Dewey id must
+    /// be greater than every id already indexed — i.e. the new subtree
+    /// was appended along the document's rightmost path, the way a
+    /// bibliography grows. That invariant is what lets every keyword's
+    /// sequential chain be extended in place ([`xk_storage::ListAppender`])
+    /// while the composite-key B+tree absorbs ordinary inserts.
+    ///
+    /// Fails with a codec error if an ordinal or depth exceeds the level
+    /// table; build with headroom ([`BuildOptions`]) to ingest appends.
+    pub fn append_nodes(
+        &mut self,
+        env: &mut StorageEnv,
+        added: &[(Dewey, Vec<String>)],
+    ) -> Result<()> {
+        // Encode everything first: a codec failure must not leave the
+        // index half-updated.
+        let mut packed_nodes = Vec::with_capacity(added.len());
+        for (dewey, tokens) in added {
+            packed_nodes.push((encode_dewey(dewey, &self.level_table)?, tokens));
+        }
+        let vocab = BTree::open(env, SLOT_VOCAB)?;
+        let mut dirty: Vec<String> = Vec::new();
+        for (packed, tokens) in packed_nodes {
+            for token in tokens {
+                match self.freq.get_mut(token) {
+                    Some(meta) => {
+                        let mut appender = xk_storage::ListAppender::open(env, meta.handle)?;
+                        appender.append(env, &packed)?;
+                        meta.handle = appender.finish();
+                        meta.count += 1;
+                        self.il.insert(env, &il_key(meta.kwid, &packed), &[])?;
+                    }
+                    None => {
+                        self.max_kwid += 1;
+                        let mut writer = ListWriter::new(env);
+                        writer.append(env, &packed)?;
+                        let handle = writer.finish(env)?;
+                        let meta = KeywordMeta { kwid: self.max_kwid, count: 1, handle };
+                        self.il.insert(env, &il_key(meta.kwid, &packed), &[])?;
+                        self.freq.insert(token.clone(), meta);
+                    }
+                }
+                if !dirty.contains(token) {
+                    dirty.push(token.clone());
+                }
+            }
+        }
+        // Persist the updated vocabulary entries once per keyword.
+        for token in dirty {
+            let meta = self.freq[&token];
+            vocab.insert(env, token.as_bytes(), &meta.encode())?;
+        }
+        Ok(())
+    }
+
+    /// Replaces the embedded document (incremental ingestion re-serializes
+    /// the grown tree so rendering stays consistent with the index).
+    pub fn store_document(&mut self, env: &mut StorageEnv, tree: &XmlTree) -> Result<()> {
+        if let Some(old) = self.doc_handle.take() {
+            xk_storage::free_list(env, &old)?;
+        }
+        let xml = xk_xmltree::to_xml_string(tree, xk_xmltree::NodeId::ROOT);
+        let mut writer = ListWriter::new(env);
+        let chunk = env.page_size() / 2;
+        for part in xml.as_bytes().chunks(chunk) {
+            writer.append(env, part)?;
+        }
+        let handle = writer.finish(env)?;
+        self.doc_handle = Some(handle);
+        env.set_user_blob(&encode_blob(&self.level_table, self.doc_handle))?;
+        Ok(())
+    }
+}
+
+/// A shared, single-threaded handle to the storage environment, so several
+/// list cursors can interleave page access during one query.
+#[derive(Clone)]
+pub struct SharedEnv(Rc<RefCell<StorageEnv>>);
+
+impl SharedEnv {
+    /// Wraps an environment for shared cursor access.
+    pub fn new(env: StorageEnv) -> SharedEnv {
+        SharedEnv(Rc::new(RefCell::new(env)))
+    }
+
+    /// Runs `f` with exclusive access to the environment.
+    pub fn with<R>(&self, f: impl FnOnce(&mut StorageEnv) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+
+    /// Unwraps the environment if this is the only handle.
+    pub fn try_unwrap(self) -> std::result::Result<StorageEnv, SharedEnv> {
+        Rc::try_unwrap(self.0).map(RefCell::into_inner).map_err(SharedEnv)
+    }
+}
+
+/// Disk-backed [`RankedList`]: `lm`/`rm` as B+tree seeks on the composite
+/// `(keyword id, packed Dewey)` key.
+///
+/// I/O or codec failures abort the query with a panic — the [`RankedList`]
+/// trait is infallible by design (the algorithms are storage-agnostic), so
+/// storage corruption is treated as unrecoverable here.
+pub struct DiskRankedList {
+    env: SharedEnv,
+    il: BTree,
+    kwid: u32,
+    count: u64,
+    table: Rc<LevelTable>,
+}
+
+impl DiskRankedList {
+    fn decode_hit(&self, key: &[u8]) -> Option<Dewey> {
+        let (kwid, packed) = split_il_key(key).expect("malformed IL key");
+        if kwid != self.kwid {
+            return None; // crossed into another keyword's range
+        }
+        Some(decode_dewey(packed, &self.table).expect("malformed packed Dewey in IL tree"))
+    }
+}
+
+impl RankedList for DiskRankedList {
+    fn len(&self) -> u64 {
+        self.count
+    }
+
+    fn rm(&mut self, v: &Dewey) -> Option<Dewey> {
+        let probe = encode_probe(v, &self.table).expect("probe outside document shape");
+        let key = match &probe {
+            Probe::Exact(p) | Probe::After(p) => il_key(self.kwid, p),
+        };
+        self.env.with(|env| {
+            let cur = self.il.seek_ge(env, &key).expect("B+tree seek failed");
+            let entry = cur.read(env).expect("B+tree read failed");
+            entry.and_then(|(k, _)| self.decode_hit(&k))
+        })
+    }
+
+    fn lm(&mut self, v: &Dewey) -> Option<Dewey> {
+        let probe = encode_probe(v, &self.table).expect("probe outside document shape");
+        let key = match &probe {
+            Probe::Exact(p) | Probe::After(p) => il_key(self.kwid, p),
+        };
+        self.env.with(|env| {
+            let cur = self.il.seek_le(env, &key).expect("B+tree seek failed");
+            let entry = cur.read(env).expect("B+tree read failed");
+            entry.and_then(|(k, _)| self.decode_hit(&k))
+        })
+    }
+}
+
+/// Disk-backed [`StreamList`]: sequential page-chain reads.
+///
+/// As with [`DiskRankedList`], storage failures panic.
+pub struct DiskStreamList {
+    env: SharedEnv,
+    handle: ListHandle,
+    table: Rc<LevelTable>,
+    reader: ListReader,
+}
+
+impl StreamList for DiskStreamList {
+    fn len(&self) -> u64 {
+        self.handle.entry_count
+    }
+
+    fn rewind(&mut self) {
+        self.reader = ListReader::new(&self.handle);
+    }
+
+    fn next_node(&mut self) -> Option<Dewey> {
+        let rec = self
+            .env
+            .with(|env| self.reader.next_record(env))
+            .expect("list chain read failed");
+        rec.map(|bytes| {
+            decode_dewey(&bytes, &self.table).expect("malformed packed Dewey in list chain")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xk_storage::EnvOptions;
+    use xk_xmltree::school_example;
+
+    fn build_school() -> (SharedEnv, DiskIndex) {
+        let mut env = StorageEnv::in_memory(EnvOptions { page_size: 512, pool_pages: 256 });
+        let tree = school_example();
+        let n = build_disk_index(&mut env, &tree, true).unwrap();
+        assert!(n > 10);
+        let index = DiskIndex::open(&mut env).unwrap();
+        (SharedEnv::new(env), index)
+    }
+
+    #[test]
+    fn frequency_table_matches_mem_index() {
+        let (_, index) = build_school();
+        let mem = MemIndex::build(&school_example());
+        assert_eq!(index.keyword_count(), mem.keyword_count());
+        for (kw, f) in mem.keywords() {
+            assert_eq!(index.frequency(kw), f, "frequency of {kw}");
+        }
+        assert_eq!(index.frequency("absent"), 0);
+        assert!(index.lookup("john").is_some());
+    }
+
+    #[test]
+    fn stream_lists_match_mem_lists() {
+        let (env, index) = build_school();
+        let mem = MemIndex::build(&school_example());
+        for (kw, _) in mem.keywords() {
+            let expected = mem.keyword_list(kw).unwrap();
+            let mut stream = index.stream_list(env.clone(), kw).unwrap();
+            let mut got = Vec::new();
+            while let Some(d) = stream.next_node() {
+                got.push(d);
+            }
+            assert_eq!(got, expected, "list for {kw}");
+            assert_eq!(stream.len(), expected.len() as u64);
+            // Rewind replays from the start.
+            stream.rewind();
+            assert_eq!(stream.next_node().as_ref(), expected.first());
+        }
+    }
+
+    #[test]
+    fn ranked_lists_match_mem_lists() {
+        let (env, index) = build_school();
+        let mem = MemIndex::build(&school_example());
+        let tree = school_example();
+        // Probe with every document node against every keyword list and
+        // compare against the in-memory implementation.
+        let probes: Vec<Dewey> = tree.preorder().map(|n| tree.dewey(n)).collect();
+        for (kw, _) in mem.keywords() {
+            let mut disk = index.ranked_list(env.clone(), kw).unwrap();
+            let mut memlist =
+                xk_slca::MemList::from_sorted(mem.keyword_list(kw).unwrap().to_vec());
+            for p in &probes {
+                assert_eq!(disk.rm(p), memlist.rm(p), "rm({p}) on {kw}");
+                assert_eq!(disk.lm(p), memlist.lm(p), "lm({p}) on {kw}");
+            }
+            assert_eq!(disk.len(), RankedList::len(&memlist));
+        }
+    }
+
+    #[test]
+    fn ranked_list_uncle_probe_past_level_width() {
+        let (env, index) = build_school();
+        // The school tree has 4 top-level children (ordinals 0..3, width 2
+        // bits): the uncle position "4" is unencodable and must behave as
+        // "after subtree(3)".
+        let mut john = index.ranked_list(env, "john").unwrap();
+        let probe = Dewey::from_components(vec![4]);
+        assert_eq!(john.rm(&probe), None, "no node follows subtree 3");
+        let lm = john.lm(&probe).unwrap();
+        assert_eq!(lm.components()[0], 3, "last john is inside subtree 3");
+    }
+
+    #[test]
+    fn missing_keyword_has_no_lists() {
+        let (env, index) = build_school();
+        assert!(index.ranked_list(env.clone(), "absent").is_none());
+        assert!(index.stream_list(env, "absent").is_none());
+    }
+
+    #[test]
+    fn stored_document_roundtrips() {
+        let (env, index) = build_school();
+        let doc = env.with(|e| index.load_document(e)).unwrap().unwrap();
+        let orig = school_example();
+        assert_eq!(doc.len(), orig.len());
+        for (a, b) in doc.preorder().zip(orig.preorder()) {
+            assert_eq!(doc.label(a), orig.label(b));
+        }
+    }
+
+    #[test]
+    fn build_without_document() {
+        let mut env = StorageEnv::in_memory(EnvOptions { page_size: 512, pool_pages: 64 });
+        build_disk_index(&mut env, &school_example(), false).unwrap();
+        let index = DiskIndex::open(&mut env).unwrap();
+        assert!(index.load_document(&mut env).unwrap().is_none());
+    }
+
+    #[test]
+    fn append_nodes_extends_lists_and_vocab() {
+        use crate::diskindex::{build_disk_index_with, BuildOptions};
+        let mut env = StorageEnv::in_memory(EnvOptions { page_size: 512, pool_pages: 256 });
+        let tree = school_example();
+        build_disk_index_with(&mut env, &tree, &BuildOptions::default()).unwrap();
+        let mut index = DiskIndex::open(&mut env).unwrap();
+        let john_before = index.frequency("john");
+
+        // Append one node past everything: a new root child (ordinal 4).
+        let new_class = Dewey::from_components(vec![4]);
+        let new_name = Dewey::from_components(vec![4, 0]);
+        index
+            .append_nodes(
+                &mut env,
+                &[
+                    (new_class.clone(), vec!["class".into()]),
+                    (new_name.clone(), vec!["john".into(), "freshword".into()]),
+                ],
+            )
+            .unwrap();
+
+        assert_eq!(index.frequency("john"), john_before + 1);
+        assert_eq!(index.frequency("freshword"), 1);
+
+        let shared = SharedEnv::new(env);
+        // Sequential list ends with the new node and stays sorted.
+        let mut stream = index.stream_list(shared.clone(), "john").unwrap();
+        let mut nodes = Vec::new();
+        while let Some(d) = stream.next_node() {
+            nodes.push(d);
+        }
+        assert_eq!(nodes.last(), Some(&new_name));
+        assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+        // Indexed matches see it too.
+        let mut ranked = index.ranked_list(shared.clone(), "john").unwrap();
+        assert_eq!(ranked.rm(&new_class), Some(new_name.clone()));
+        let mut fresh = index.ranked_list(shared, "freshword").unwrap();
+        assert_eq!(fresh.rm(&Dewey::root()), Some(new_name));
+    }
+
+    #[test]
+    fn append_survives_reopen() {
+        use crate::diskindex::{build_disk_index_with, BuildOptions};
+        let dir = std::env::temp_dir().join(format!("xk-append-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idx.db");
+        let opts = EnvOptions { page_size: 512, pool_pages: 64 };
+        {
+            let mut env = StorageEnv::create(&path, opts.clone()).unwrap();
+            build_disk_index_with(&mut env, &school_example(), &BuildOptions::default())
+                .unwrap();
+            let mut index = DiskIndex::open(&mut env).unwrap();
+            index
+                .append_nodes(&mut env, &[(Dewey::from_components(vec![4]), vec!["late".into()])])
+                .unwrap();
+            env.flush().unwrap();
+        }
+        {
+            let mut env = StorageEnv::open(&path, opts).unwrap();
+            let index = DiskIndex::open(&mut env).unwrap();
+            assert_eq!(index.frequency("late"), 1);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_without_headroom_fails_cleanly() {
+        let mut env = StorageEnv::in_memory(EnvOptions { page_size: 512, pool_pages: 64 });
+        // Exact-fit table: the school root has 4 children (2 bits), so
+        // ordinal 4 does not pack.
+        build_disk_index(&mut env, &school_example(), false).unwrap();
+        let mut index = DiskIndex::open(&mut env).unwrap();
+        let john_before = index.frequency("john");
+        let err = index.append_nodes(
+            &mut env,
+            &[(Dewey::from_components(vec![4]), vec!["john".into()])],
+        );
+        assert!(matches!(err, Err(IndexError::Codec(_))), "{err:?}");
+        // And nothing was half-applied.
+        assert_eq!(index.frequency("john"), john_before);
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("xk-index-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idx.db");
+        let opts = EnvOptions { page_size: 512, pool_pages: 64 };
+        {
+            let mut env = StorageEnv::create(&path, opts.clone()).unwrap();
+            build_disk_index(&mut env, &school_example(), true).unwrap();
+        }
+        {
+            let mut env = StorageEnv::open(&path, opts).unwrap();
+            let index = DiskIndex::open(&mut env).unwrap();
+            assert_eq!(index.frequency("john"), 4);
+            let shared = SharedEnv::new(env);
+            let mut l = index.stream_list(shared, "ben").unwrap();
+            assert_eq!(l.len(), 3);
+            assert!(l.next_node().is_some());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,30 @@
+//! # xk-index
+//!
+//! Inverted keyword indexes over XML trees for the XKSearch reproduction
+//! (Xu & Papakonstantinou, SIGMOD 2005, Section 4):
+//!
+//! * [`LevelTable`] — per-level Dewey bit widths derived from the
+//!   document's fanouts;
+//! * [`codec`] — the packed Dewey codec: level-table compression with
+//!   `memcmp` order preservation (continuation-bit scheme) plus probe
+//!   encoding for positions beyond the document shape (the Section 5
+//!   "uncle node");
+//! * [`MemIndex`] — in-memory keyword → sorted Dewey lists;
+//! * [`DiskIndex`] / [`build_disk_index`] — the on-disk layout: a
+//!   vocabulary B+tree (the frequency table), the composite-key B+tree
+//!   for Indexed Lookup matches, and sequential list chains for scanning,
+//!   with [`DiskRankedList`] / [`DiskStreamList`] adapters implementing
+//!   the `xk-slca` list traits.
+
+pub mod codec;
+pub mod diskindex;
+pub mod leveltable;
+pub mod memindex;
+
+pub use codec::{decode_dewey, encode_dewey, encode_probe, encode_upper_bound, CodecError, Probe};
+pub use diskindex::{
+    build_disk_index, build_disk_index_with, BuildOptions, DiskIndex, DiskRankedList,
+    DiskStreamList, IndexError, KeywordMeta, Result, SharedEnv, SLOT_IL, SLOT_VOCAB,
+};
+pub use leveltable::LevelTable;
+pub use memindex::{node_tokens, MemIndex};

@@ -1,0 +1,181 @@
+//! The in-memory inverted index: keyword → sorted Dewey list.
+//!
+//! Used directly for small documents and as the staging structure the
+//! disk index builder writes out. A node's keywords are the tokens of its
+//! label (tag name or text value) plus, for elements, the tokens of its
+//! attribute values — "the list of nodes whose label directly contains
+//! the keyword, sorted by id" (Section 2).
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use xk_xmltree::{tokenize, Dewey, NodeContent, XmlTree};
+
+/// An inverted keyword index held in memory.
+#[derive(Debug, Clone, Default)]
+pub struct MemIndex {
+    lists: HashMap<String, Vec<Dewey>>,
+    max_depth: usize,
+    node_count: usize,
+}
+
+/// The distinct keyword tokens of one node: tokens of the tag name (for
+/// elements) plus attribute values, or of the text value — the paper's
+/// "label directly contains the keyword" relation. Shared by the
+/// in-memory builder, the disk builder, and incremental index updates.
+pub fn node_tokens(tree: &XmlTree, id: xk_xmltree::NodeId) -> Vec<String> {
+    let mut seen: Vec<String> = Vec::new();
+    let mut add = |token: String| {
+        if !seen.contains(&token) {
+            seen.push(token);
+        }
+    };
+    match tree.content(id) {
+        NodeContent::Element { tag, attributes } => {
+            for t in tokenize(tag) {
+                add(t);
+            }
+            for a in attributes {
+                for t in tokenize(&a.value) {
+                    add(t);
+                }
+            }
+        }
+        NodeContent::Text(text) => {
+            for t in tokenize(text) {
+                add(t);
+            }
+        }
+    }
+    seen
+}
+
+impl MemIndex {
+    /// Indexes every node of the tree.
+    pub fn build(tree: &XmlTree) -> MemIndex {
+        let mut lists: HashMap<String, Vec<Dewey>> = HashMap::new();
+        let mut node_count = 0;
+        for id in tree.preorder() {
+            node_count += 1;
+            let dewey = tree.dewey(id);
+            for token in node_tokens(tree, id) {
+                match lists.entry(token) {
+                    Entry::Occupied(mut e) => e.get_mut().push(dewey.clone()),
+                    Entry::Vacant(e) => {
+                        e.insert(vec![dewey.clone()]);
+                    }
+                }
+            }
+        }
+        // Preorder iteration yields Dewey numbers in increasing order, so
+        // every list is already sorted and duplicate-free.
+        debug_assert!(lists
+            .values()
+            .all(|l| l.windows(2).all(|w| w[0] < w[1])));
+        MemIndex { lists, max_depth: tree.max_depth(), node_count }
+    }
+
+    /// The keyword list for `keyword` (already normalized/lowercased), or
+    /// `None` if it occurs nowhere.
+    pub fn keyword_list(&self, keyword: &str) -> Option<&[Dewey]> {
+        self.lists.get(keyword).map(|v| v.as_slice())
+    }
+
+    /// The paper's frequency table: number of nodes containing `keyword`.
+    pub fn frequency(&self, keyword: &str) -> u64 {
+        self.lists.get(keyword).map_or(0, |v| v.len() as u64)
+    }
+
+    /// Iterator over all indexed keywords and their frequencies.
+    pub fn keywords(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.lists.iter().map(|(k, v)| (k.as_str(), v.len() as u64))
+    }
+
+    /// Number of distinct keywords.
+    pub fn keyword_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Number of nodes indexed.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Maximum depth of the indexed document (the paper's `d`).
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Consumes the index, yielding keywords with their sorted lists (for
+    /// the disk index builder), in deterministic (sorted) keyword order.
+    pub fn into_sorted_lists(self) -> Vec<(String, Vec<Dewey>)> {
+        let mut v: Vec<_> = self.lists.into_iter().collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xk_xmltree::{parse, school_example};
+
+    #[test]
+    fn school_keywords() {
+        let t = school_example();
+        let idx = MemIndex::build(&t);
+        assert_eq!(idx.frequency("john"), 4);
+        assert_eq!(idx.frequency("ben"), 3);
+        assert_eq!(idx.frequency("class"), 3);
+        assert_eq!(idx.frequency("nosuchword"), 0);
+        assert!(idx.keyword_list("nosuchword").is_none());
+        // Lists are sorted in document order.
+        let john = idx.keyword_list("john").unwrap();
+        assert!(john.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn tags_and_attributes_are_indexed() {
+        let t = parse(r#"<root><item kind="rare-book">A Tale</item></root>"#).unwrap();
+        let idx = MemIndex::build(&t);
+        assert_eq!(idx.frequency("item"), 1);
+        assert_eq!(idx.frequency("rare"), 1);
+        assert_eq!(idx.frequency("book"), 1);
+        assert_eq!(idx.frequency("tale"), 1);
+        assert_eq!(idx.frequency("root"), 1);
+    }
+
+    #[test]
+    fn repeated_token_in_one_label_counts_once() {
+        let t = parse("<a>spam spam spam</a>").unwrap();
+        let idx = MemIndex::build(&t);
+        assert_eq!(idx.frequency("spam"), 1);
+    }
+
+    #[test]
+    fn same_token_in_many_nodes_counts_each() {
+        let t = parse("<a><b>x</b><c>x</c><d>x y</d></a>").unwrap();
+        let idx = MemIndex::build(&t);
+        assert_eq!(idx.frequency("x"), 3);
+        assert_eq!(idx.frequency("y"), 1);
+    }
+
+    #[test]
+    fn stats() {
+        let t = school_example();
+        let idx = MemIndex::build(&t);
+        assert_eq!(idx.node_count(), t.len());
+        assert_eq!(idx.max_depth(), t.max_depth());
+        assert!(idx.keyword_count() > 10);
+        let total: u64 = idx.keywords().map(|(_, f)| f).sum();
+        assert!(total as usize >= idx.keyword_count());
+    }
+
+    #[test]
+    fn into_sorted_lists_is_deterministic() {
+        let t = school_example();
+        let a = MemIndex::build(&t).into_sorted_lists();
+        let b = MemIndex::build(&t).into_sorted_lists();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

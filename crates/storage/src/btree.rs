@@ -1,0 +1,1269 @@
+//! A disk-based B+tree over the buffer pool.
+//!
+//! This is the reproduction's stand-in for the Berkeley DB B-trees used by
+//! the paper's XKSearch implementation (Section 4). Keys and values are
+//! variable-length byte strings; keys are compared with `memcmp` order, so
+//! callers must use order-preserving encodings (see the packed Dewey codec
+//! in `xk-index`). Leaves are doubly linked, which makes the paper's two
+//! match primitives direct tree operations:
+//!
+//! * `rm(v, S)` — right match, the smallest key `>= v` — is [`BTree::seek_ge`];
+//! * `lm(v, S)` — left match, the largest key `<= v` — is [`BTree::seek_le`].
+//!
+//! The tree supports insert, point get, delete with rebalancing
+//! (merge-or-redistribute), ordered cursors in both directions, and
+//! persists its root in a named root slot of the [`StorageEnv`] meta page.
+
+use crate::env::StorageEnv;
+use crate::error::{Result, StorageError};
+use crate::pager::PageId;
+
+const TYPE_LEAF: u8 = 1;
+const TYPE_INTERNAL: u8 = 2;
+const LEAF_HDR: usize = 11; // type(1) count(2) prev(4) next(4)
+const INT_HDR: usize = 7; // type(1) count(2) child0(4)
+
+/// Raw in-page accessors: the hot read path (point gets, match seeks,
+/// cursor steps) binary-searches the slotted page directly, without
+/// materializing a [`Node`]. Pages store an offset directory after the
+/// header, so entry `i` is addressable in O(1):
+///
+/// ```text
+/// leaf:     [hdr 11][offsets: count*u16][{klen u16, vlen u16, key, val}...]
+/// internal: [hdr  7][offsets: count*u16][{klen u16, key, child u32}...]
+/// ```
+mod raw {
+    use super::{INT_HDR, LEAF_HDR, TYPE_INTERNAL, TYPE_LEAF};
+    use crate::pager::PageId;
+
+    pub fn is_leaf(page: &[u8]) -> bool {
+        page[0] == TYPE_LEAF
+    }
+
+    pub fn is_internal(page: &[u8]) -> bool {
+        page[0] == TYPE_INTERNAL
+    }
+
+    pub fn count(page: &[u8]) -> usize {
+        u16::from_le_bytes(page[1..3].try_into().unwrap()) as usize
+    }
+
+    pub fn leaf_prev(page: &[u8]) -> Option<PageId> {
+        PageId::decode_opt(u32::from_le_bytes(page[3..7].try_into().unwrap()))
+    }
+
+    pub fn leaf_next(page: &[u8]) -> Option<PageId> {
+        PageId::decode_opt(u32::from_le_bytes(page[7..11].try_into().unwrap()))
+    }
+
+    fn offset(page: &[u8], hdr: usize, i: usize) -> usize {
+        let pos = hdr + 2 * i;
+        u16::from_le_bytes(page[pos..pos + 2].try_into().unwrap()) as usize
+    }
+
+    /// Key + value of leaf entry `i`.
+    pub fn leaf_entry(page: &[u8], i: usize) -> (&[u8], &[u8]) {
+        let off = offset(page, LEAF_HDR, i);
+        let klen = u16::from_le_bytes(page[off..off + 2].try_into().unwrap()) as usize;
+        let vlen = u16::from_le_bytes(page[off + 2..off + 4].try_into().unwrap()) as usize;
+        let kstart = off + 4;
+        (&page[kstart..kstart + klen], &page[kstart + klen..kstart + klen + vlen])
+    }
+
+    /// Key of leaf entry `i`.
+    pub fn leaf_key(page: &[u8], i: usize) -> &[u8] {
+        leaf_entry(page, i).0
+    }
+
+    /// First leaf index with key `>= probe` (== count when none).
+    pub fn leaf_lower_bound(page: &[u8], probe: &[u8]) -> usize {
+        let n = count(page);
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if leaf_key(page, mid) < probe {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// First leaf index with key `> probe` (== count when none).
+    pub fn leaf_upper_bound(page: &[u8], probe: &[u8]) -> usize {
+        let n = count(page);
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if leaf_key(page, mid) <= probe {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    fn internal_sep(page: &[u8], i: usize) -> &[u8] {
+        let off = offset(page, INT_HDR, i);
+        let klen = u16::from_le_bytes(page[off..off + 2].try_into().unwrap()) as usize;
+        &page[off + 2..off + 2 + klen]
+    }
+
+    fn internal_child_at(page: &[u8], i: usize) -> PageId {
+        if i == 0 {
+            return PageId(u32::from_le_bytes(page[3..7].try_into().unwrap()));
+        }
+        let off = offset(page, INT_HDR, i - 1);
+        let klen = u16::from_le_bytes(page[off..off + 2].try_into().unwrap()) as usize;
+        let cpos = off + 2 + klen;
+        PageId(u32::from_le_bytes(page[cpos..cpos + 4].try_into().unwrap()))
+    }
+
+    /// The child to descend into for `probe` (boundary keys go right).
+    pub fn internal_route(page: &[u8], probe: &[u8]) -> PageId {
+        let n = count(page);
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if internal_sep(page, mid) <= probe {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        internal_child_at(page, lo)
+    }
+}
+
+/// An in-memory image of one B+tree node page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Node {
+    Leaf {
+        prev: Option<PageId>,
+        next: Option<PageId>,
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+    Internal {
+        /// `children.len() == keys.len() + 1`; `children[i]` holds keys `k`
+        /// with `keys[i-1] <= k < keys[i]` (boundary keys go right).
+        keys: Vec<Vec<u8>>,
+        children: Vec<PageId>,
+    },
+}
+
+impl Node {
+    fn serialized_size(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => {
+                LEAF_HDR
+                    + entries.iter().map(|(k, v)| 6 + k.len() + v.len()).sum::<usize>()
+            }
+            Node::Internal { keys, .. } => {
+                INT_HDR + keys.iter().map(|k| 8 + k.len()).sum::<usize>()
+            }
+        }
+    }
+
+    fn write(&self, page: &mut [u8]) {
+        match self {
+            Node::Leaf { prev, next, entries } => {
+                page[0] = TYPE_LEAF;
+                page[1..3].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+                page[3..7].copy_from_slice(&PageId::encode_opt(*prev).to_le_bytes());
+                page[7..11].copy_from_slice(&PageId::encode_opt(*next).to_le_bytes());
+                let mut off = LEAF_HDR + 2 * entries.len();
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    let dir = LEAF_HDR + 2 * i;
+                    page[dir..dir + 2].copy_from_slice(&(off as u16).to_le_bytes());
+                    page[off..off + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+                    page[off + 2..off + 4].copy_from_slice(&(v.len() as u16).to_le_bytes());
+                    off += 4;
+                    page[off..off + k.len()].copy_from_slice(k);
+                    off += k.len();
+                    page[off..off + v.len()].copy_from_slice(v);
+                    off += v.len();
+                }
+            }
+            Node::Internal { keys, children } => {
+                page[0] = TYPE_INTERNAL;
+                page[1..3].copy_from_slice(&(keys.len() as u16).to_le_bytes());
+                page[3..7].copy_from_slice(&children[0].0.to_le_bytes());
+                let mut off = INT_HDR + 2 * keys.len();
+                for (i, k) in keys.iter().enumerate() {
+                    let dir = INT_HDR + 2 * i;
+                    page[dir..dir + 2].copy_from_slice(&(off as u16).to_le_bytes());
+                    page[off..off + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+                    off += 2;
+                    page[off..off + k.len()].copy_from_slice(k);
+                    off += k.len();
+                    page[off..off + 4].copy_from_slice(&children[i + 1].0.to_le_bytes());
+                    off += 4;
+                }
+            }
+        }
+    }
+
+    fn read(page: &[u8]) -> Result<Node> {
+        match page[0] {
+            TYPE_LEAF => {
+                let count = raw::count(page);
+                let prev = raw::leaf_prev(page);
+                let next = raw::leaf_next(page);
+                let mut entries = Vec::with_capacity(count);
+                for i in 0..count {
+                    let (k, v) = raw::leaf_entry(page, i);
+                    entries.push((k.to_vec(), v.to_vec()));
+                }
+                Ok(Node::Leaf { prev, next, entries })
+            }
+            TYPE_INTERNAL => {
+                let count = raw::count(page);
+                let mut children =
+                    vec![PageId(u32::from_le_bytes(page[3..7].try_into().unwrap()))];
+                let mut keys = Vec::with_capacity(count);
+                for i in 0..count {
+                    let off = {
+                        let pos = INT_HDR + 2 * i;
+                        u16::from_le_bytes(page[pos..pos + 2].try_into().unwrap()) as usize
+                    };
+                    let klen =
+                        u16::from_le_bytes(page[off..off + 2].try_into().unwrap()) as usize;
+                    keys.push(page[off + 2..off + 2 + klen].to_vec());
+                    let cpos = off + 2 + klen;
+                    children.push(PageId(u32::from_le_bytes(
+                        page[cpos..cpos + 4].try_into().unwrap(),
+                    )));
+                }
+                Ok(Node::Internal { keys, children })
+            }
+            t => Err(StorageError::Corrupt(format!("unknown B+tree node type {t}"))),
+        }
+    }
+}
+
+/// A B+tree handle. The root page id lives in a named root slot of the
+/// environment's meta page, so handles are cheap and freely copyable.
+#[derive(Debug, Clone, Copy)]
+pub struct BTree {
+    slot: usize,
+}
+
+/// Outcome of inserting into a subtree: the replaced value (if the key
+/// existed) and a split (separator, new right sibling) to propagate.
+struct InsertOutcome {
+    old_value: Option<Vec<u8>>,
+    split: Option<(Vec<u8>, PageId)>,
+}
+
+impl BTree {
+    /// Creates an empty tree whose root is stored in meta slot `slot`.
+    pub fn create(env: &mut StorageEnv, slot: usize) -> Result<BTree> {
+        let root = env.allocate_page()?;
+        let node = Node::Leaf { prev: None, next: None, entries: Vec::new() };
+        write_node(env, root, &node)?;
+        env.set_root_slot(slot, Some(root))?;
+        Ok(BTree { slot })
+    }
+
+    /// Opens the tree stored in meta slot `slot`.
+    pub fn open(env: &mut StorageEnv, slot: usize) -> Result<BTree> {
+        match env.root_slot(slot)? {
+            Some(_) => Ok(BTree { slot }),
+            None => Err(StorageError::Corrupt(format!("no B+tree in root slot {slot}"))),
+        }
+    }
+
+    fn root(&self, env: &mut StorageEnv) -> Result<PageId> {
+        env.root_slot(self.slot)?.ok_or_else(|| {
+            StorageError::Corrupt(format!("B+tree root slot {} vanished", self.slot))
+        })
+    }
+
+    /// Largest key+value size this tree accepts, for the env's page size.
+    pub fn max_entry_size(env: &StorageEnv) -> usize {
+        (env.page_size() - LEAF_HDR) / 4 - 4
+    }
+
+    /// Inserts `key -> value`, returning the previous value if the key was
+    /// already present.
+    pub fn insert(&self, env: &mut StorageEnv, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
+        let max = Self::max_entry_size(env);
+        if key.len() + value.len() > max {
+            return Err(StorageError::EntryTooLarge {
+                entry_bytes: key.len() + value.len(),
+                max_bytes: max,
+            });
+        }
+        let root = self.root(env)?;
+        let outcome = self.insert_rec(env, root, key, value)?;
+        if let Some((sep, right)) = outcome.split {
+            let new_root_page = env.allocate_page()?;
+            let new_root = Node::Internal { keys: vec![sep], children: vec![root, right] };
+            write_node(env, new_root_page, &new_root)?;
+            env.set_root_slot(self.slot, Some(new_root_page))?;
+        }
+        Ok(outcome.old_value)
+    }
+
+    fn insert_rec(
+        &self,
+        env: &mut StorageEnv,
+        page: PageId,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<InsertOutcome> {
+        let node = read_node(env, page)?;
+        match node {
+            Node::Leaf { prev, next, mut entries } => {
+                let old_value = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => Some(std::mem::replace(&mut entries[i].1, value.to_vec())),
+                    Err(i) => {
+                        entries.insert(i, (key.to_vec(), value.to_vec()));
+                        None
+                    }
+                };
+                let candidate = Node::Leaf { prev, next, entries };
+                if candidate.serialized_size() <= env.page_size() {
+                    write_node(env, page, &candidate)?;
+                    return Ok(InsertOutcome { old_value, split: None });
+                }
+                // Split the leaf at the byte midpoint.
+                let (prev, old_next, entries) = match candidate {
+                    Node::Leaf { prev, next, entries } => (prev, next, entries),
+                    _ => unreachable!(),
+                };
+                let mid = split_point_leaf(&entries);
+                let right_entries = entries[mid..].to_vec();
+                let left_entries = entries[..mid].to_vec();
+                let sep = right_entries[0].0.clone();
+                let right_page = env.allocate_page()?;
+                // Relink siblings: left <-> right <-> old-next.
+                let left_node = Node::Leaf {
+                    prev,
+                    next: Some(right_page),
+                    entries: left_entries,
+                };
+                let right_node = Node::Leaf {
+                    prev: Some(page),
+                    next: old_next,
+                    entries: right_entries,
+                };
+                write_node(env, page, &left_node)?;
+                write_node(env, right_page, &right_node)?;
+                if let Some(n) = old_next {
+                    update_leaf_prev(env, n, Some(right_page))?;
+                }
+                Ok(InsertOutcome { old_value, split: Some((sep, right_page)) })
+            }
+            Node::Internal { mut keys, mut children } => {
+                let idx = upper_bound(&keys, key);
+                let child = children[idx];
+                let outcome = self.insert_rec(env, child, key, value)?;
+                let Some((sep, right)) = outcome.split else {
+                    return Ok(outcome);
+                };
+                keys.insert(idx, sep);
+                children.insert(idx + 1, right);
+                let candidate = Node::Internal { keys, children };
+                if candidate.serialized_size() <= env.page_size() {
+                    write_node(env, page, &candidate)?;
+                    return Ok(InsertOutcome { old_value: outcome.old_value, split: None });
+                }
+                // Split the internal node; the middle key moves up.
+                let (keys, children) = match candidate {
+                    Node::Internal { keys, children } => (keys, children),
+                    _ => unreachable!(),
+                };
+                let mid = keys.len() / 2;
+                let promoted = keys[mid].clone();
+                let left_node = Node::Internal {
+                    keys: keys[..mid].to_vec(),
+                    children: children[..=mid].to_vec(),
+                };
+                let right_node = Node::Internal {
+                    keys: keys[mid + 1..].to_vec(),
+                    children: children[mid + 1..].to_vec(),
+                };
+                let right_page = env.allocate_page()?;
+                write_node(env, page, &left_node)?;
+                write_node(env, right_page, &right_node)?;
+                Ok(InsertOutcome {
+                    old_value: outcome.old_value,
+                    split: Some((promoted, right_page)),
+                })
+            }
+        }
+    }
+
+    /// Bulk-loads a tree from **strictly ascending** `(key, value)` pairs,
+    /// replacing whatever the slot held. Leaves are packed left to right
+    /// to a ~90% fill target and internal levels are stacked bottom-up —
+    /// far cheaper than repeated [`BTree::insert`] descents, and exactly
+    /// the pattern the index builder needs (its composite keys are
+    /// generated in sorted order).
+    pub fn bulk_load(
+        env: &mut StorageEnv,
+        slot: usize,
+        entries: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    ) -> Result<BTree> {
+        let fill = env.page_size() * 9 / 10;
+        let max = Self::max_entry_size(env);
+
+        // ---- leaf level ----
+        let mut leaves: Vec<(Vec<u8>, PageId)> = Vec::new(); // (first key, page)
+        let mut current: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut size = LEAF_HDR;
+        let mut prev_leaf: Option<PageId> = None;
+        let mut last_key: Option<Vec<u8>> = None;
+
+        let flush_leaf = |env: &mut StorageEnv,
+                              current: &mut Vec<(Vec<u8>, Vec<u8>)>,
+                              size: &mut usize,
+                              prev_leaf: &mut Option<PageId>,
+                              leaves: &mut Vec<(Vec<u8>, PageId)>|
+         -> Result<()> {
+            let page = env.allocate_page()?;
+            let entries = std::mem::take(current);
+            *size = LEAF_HDR;
+            let first_key = entries.first().map(|(k, _)| k.clone()).unwrap_or_default();
+            let node = Node::Leaf { prev: *prev_leaf, next: None, entries };
+            write_node(env, page, &node)?;
+            if let Some(p) = *prev_leaf {
+                update_leaf_next(env, p, Some(page))?;
+            }
+            *prev_leaf = Some(page);
+            leaves.push((first_key, page));
+            Ok(())
+        };
+
+        for (k, v) in entries {
+            if k.len() + v.len() > max {
+                return Err(StorageError::EntryTooLarge {
+                    entry_bytes: k.len() + v.len(),
+                    max_bytes: max,
+                });
+            }
+            if let Some(last) = &last_key {
+                if last.as_slice() >= k.as_slice() {
+                    return Err(StorageError::Corrupt(
+                        "bulk_load requires strictly ascending keys".into(),
+                    ));
+                }
+            }
+            last_key = Some(k.clone());
+            let esz = 6 + k.len() + v.len();
+            if size + esz > fill && !current.is_empty() {
+                flush_leaf(env, &mut current, &mut size, &mut prev_leaf, &mut leaves)?;
+            }
+            size += esz;
+            current.push((k, v));
+        }
+        if !current.is_empty() || leaves.is_empty() {
+            flush_leaf(env, &mut current, &mut size, &mut prev_leaf, &mut leaves)?;
+        }
+
+        // ---- internal levels ----
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut next_level: Vec<(Vec<u8>, PageId)> = Vec::new();
+            let mut iter = level.into_iter().peekable();
+            while iter.peek().is_some() {
+                let (node_first, first_child) = iter.next().expect("peeked");
+                let mut keys: Vec<Vec<u8>> = Vec::new();
+                let mut children = vec![first_child];
+                let mut size = INT_HDR;
+                while let Some((sep, _)) = iter.peek() {
+                    let esz = 8 + sep.len();
+                    if size + esz > fill && !keys.is_empty() {
+                        break;
+                    }
+                    // An internal node needs at least two children even if
+                    // the fill target disagrees.
+                    let (sep, child) = iter.next().expect("peeked");
+                    keys.push(sep);
+                    children.push(child);
+                    size += esz;
+                }
+                if keys.is_empty() {
+                    if let Some((sep, child)) = iter.next() {
+                        keys.push(sep);
+                        children.push(child);
+                    } else {
+                        // A trailing single child: rather than an invalid
+                        // one-child internal node, promote it directly.
+                        next_level.push((node_first, first_child));
+                        continue;
+                    }
+                }
+                let page = env.allocate_page()?;
+                write_node(env, page, &Node::Internal { keys, children })?;
+                next_level.push((node_first, page));
+            }
+            level = next_level;
+        }
+
+        env.set_root_slot(slot, Some(level[0].1))?;
+        Ok(BTree { slot })
+    }
+
+    /// Point lookup. Binary-searches pages in place (no node
+    /// materialization) — this is the hot path of the match operations.
+    pub fn get(&self, env: &mut StorageEnv, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut page = self.root(env)?;
+        loop {
+            let step = env.with_page(page, |p| {
+                if raw::is_internal(p) {
+                    Ok(Step::Descend(raw::internal_route(p, key)))
+                } else if raw::is_leaf(p) {
+                    let idx = raw::leaf_lower_bound(p, key);
+                    if idx < raw::count(p) && raw::leaf_key(p, idx) == key {
+                        Ok(Step::Value(Some(raw::leaf_entry(p, idx).1.to_vec())))
+                    } else {
+                        Ok(Step::Value(None))
+                    }
+                } else {
+                    Err(StorageError::Corrupt("unknown B+tree node type".into()))
+                }
+            })??;
+            match step {
+                Step::Descend(c) => page = c,
+                Step::Value(v) => return Ok(v),
+                Step::At(_) | Step::Chain(_) => unreachable!("get never positions a cursor"),
+            }
+        }
+    }
+
+    /// True iff `key` is present.
+    pub fn contains(&self, env: &mut StorageEnv, key: &[u8]) -> Result<bool> {
+        Ok(self.get(env, key)?.is_some())
+    }
+
+    /// The paper's **right match** `rm(key, S)`: the smallest entry with
+    /// key `>=` the probe. Returns a positioned cursor (or an exhausted one
+    /// if every key is smaller).
+    pub fn seek_ge(&self, env: &mut StorageEnv, key: &[u8]) -> Result<Cursor> {
+        let mut page = self.root(env)?;
+        loop {
+            let step = env.with_page(page, |p| {
+                if raw::is_internal(p) {
+                    Ok(Step::Descend(raw::internal_route(p, key)))
+                } else if raw::is_leaf(p) {
+                    let idx = raw::leaf_lower_bound(p, key);
+                    if idx < raw::count(p) {
+                        Ok(Step::At(idx))
+                    } else {
+                        // Everything here is smaller; the answer (if any)
+                        // is the first entry of the next non-empty leaf.
+                        Ok(Step::Chain(raw::leaf_next(p)))
+                    }
+                } else {
+                    Err(StorageError::Corrupt("unknown B+tree node type".into()))
+                }
+            })??;
+            match step {
+                Step::Descend(c) => page = c,
+                Step::At(idx) => return Ok(Cursor { page: Some(page), idx }),
+                Step::Chain(next) => return chain_forward(env, next),
+                Step::Value(_) => unreachable!("seek never yields a value"),
+            }
+        }
+    }
+
+    /// The paper's **left match** `lm(key, S)`: the largest entry with key
+    /// `<=` the probe.
+    pub fn seek_le(&self, env: &mut StorageEnv, key: &[u8]) -> Result<Cursor> {
+        let mut page = self.root(env)?;
+        loop {
+            let step = env.with_page(page, |p| {
+                if raw::is_internal(p) {
+                    Ok(Step::Descend(raw::internal_route(p, key)))
+                } else if raw::is_leaf(p) {
+                    let idx = raw::leaf_upper_bound(p, key);
+                    if idx > 0 {
+                        Ok(Step::At(idx - 1))
+                    } else {
+                        Ok(Step::Chain(raw::leaf_prev(p)))
+                    }
+                } else {
+                    Err(StorageError::Corrupt("unknown B+tree node type".into()))
+                }
+            })??;
+            match step {
+                Step::Descend(c) => page = c,
+                Step::At(idx) => return Ok(Cursor { page: Some(page), idx }),
+                Step::Chain(prev) => return chain_backward(env, prev),
+                Step::Value(_) => unreachable!("seek never yields a value"),
+            }
+        }
+    }
+
+    /// Cursor positioned at the smallest entry.
+    pub fn cursor_first(&self, env: &mut StorageEnv) -> Result<Cursor> {
+        self.seek_ge(env, &[])
+    }
+
+    /// Number of entries (full scan; intended for tests and tools).
+    pub fn len(&self, env: &mut StorageEnv) -> Result<u64> {
+        let mut n = 0;
+        let mut c = self.cursor_first(env)?;
+        while c.read(env)?.is_some() {
+            n += 1;
+            c.advance(env)?;
+        }
+        Ok(n)
+    }
+
+    /// True iff the tree has no entries.
+    pub fn is_empty(&self, env: &mut StorageEnv) -> Result<bool> {
+        let c = self.cursor_first(env)?;
+        Ok(!c.is_valid())
+    }
+
+    /// Deletes `key`, returning its value if it was present. Underfull
+    /// nodes are rebalanced by merging with or redistributing entries from
+    /// a sibling; emptied pages return to the free list.
+    pub fn remove(&self, env: &mut StorageEnv, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let root = self.root(env)?;
+        let old = self.remove_rec(env, root, key)?;
+        // Collapse a root that became a single-child internal node.
+        if let Node::Internal { keys, children } = read_node(env, root)? {
+            if keys.is_empty() {
+                env.set_root_slot(self.slot, Some(children[0]))?;
+                env.free_page(root)?;
+            }
+        }
+        Ok(old)
+    }
+
+    fn remove_rec(
+        &self,
+        env: &mut StorageEnv,
+        page: PageId,
+        key: &[u8],
+    ) -> Result<Option<Vec<u8>>> {
+        let mut node = read_node(env, page)?;
+        match &mut node {
+            Node::Leaf { entries, .. } => {
+                match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        let (_, v) = entries.remove(i);
+                        write_node(env, page, &node)?;
+                        Ok(Some(v))
+                    }
+                    Err(_) => Ok(None),
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = upper_bound(keys, key);
+                let child = children[idx];
+                let old = self.remove_rec(env, child, key)?;
+                if old.is_some() {
+                    let child_size = read_node(env, child)?.serialized_size();
+                    if is_underfull(env, child_size) {
+                        self.rebalance_child(env, page, idx)?;
+                    }
+                }
+                Ok(old)
+            }
+        }
+    }
+
+    /// Rebalances `children[idx]` of the internal node at `page` by merging
+    /// with or borrowing from an adjacent sibling.
+    fn rebalance_child(&self, env: &mut StorageEnv, page: PageId, idx: usize) -> Result<()> {
+        let node = read_node(env, page)?;
+        let (keys, children) = match node {
+            Node::Internal { keys, children } => (keys, children),
+            _ => unreachable!("rebalance_child is only called on internal nodes"),
+        };
+        // Pair the child with its right sibling when one exists, otherwise
+        // its left sibling (idx >= 1 then, since internal nodes have >= 2
+        // children).
+        let (li, ri) = if idx + 1 < children.len() { (idx, idx + 1) } else { (idx - 1, idx) };
+        let left_page = children[li];
+        let right_page = children[ri];
+        let sep = keys[li].clone();
+        let left = read_node(env, left_page)?;
+        let right = read_node(env, right_page)?;
+
+        match (left, right) {
+            (
+                Node::Leaf { prev: lp, entries: mut le, .. },
+                Node::Leaf { next: rn, entries: re, .. },
+            ) => {
+                le.extend(re);
+                let combined = Node::Leaf { prev: lp, next: rn, entries: le };
+                if combined.serialized_size() <= env.page_size() {
+                    // Merge into the left page; free the right page.
+                    write_node(env, left_page, &combined)?;
+                    if let Some(n) = rn {
+                        update_leaf_prev(env, n, Some(left_page))?;
+                    }
+                    env.free_page(right_page)?;
+                    self.remove_separator(env, page, li, left_page)?;
+                } else {
+                    // Redistribute at the byte midpoint.
+                    let entries = match combined {
+                        Node::Leaf { entries, .. } => entries,
+                        _ => unreachable!(),
+                    };
+                    let mid = split_point_leaf(&entries);
+                    let new_sep = entries[mid].0.clone();
+                    let lnode = Node::Leaf {
+                        prev: lp,
+                        next: Some(right_page),
+                        entries: entries[..mid].to_vec(),
+                    };
+                    let rnode = Node::Leaf {
+                        prev: Some(left_page),
+                        next: rn,
+                        entries: entries[mid..].to_vec(),
+                    };
+                    write_node(env, left_page, &lnode)?;
+                    write_node(env, right_page, &rnode)?;
+                    self.replace_separator(env, page, li, new_sep)?;
+                }
+            }
+            (
+                Node::Internal { keys: lk, children: lc },
+                Node::Internal { keys: rk, children: rc },
+            ) => {
+                let mut all_keys = lk;
+                all_keys.push(sep);
+                all_keys.extend(rk);
+                let mut all_children = lc;
+                all_children.extend(rc);
+                let combined =
+                    Node::Internal { keys: all_keys.clone(), children: all_children.clone() };
+                if combined.serialized_size() <= env.page_size() {
+                    write_node(env, left_page, &combined)?;
+                    env.free_page(right_page)?;
+                    self.remove_separator(env, page, li, left_page)?;
+                } else {
+                    let mid = all_keys.len() / 2;
+                    let new_sep = all_keys[mid].clone();
+                    let lnode = Node::Internal {
+                        keys: all_keys[..mid].to_vec(),
+                        children: all_children[..=mid].to_vec(),
+                    };
+                    let rnode = Node::Internal {
+                        keys: all_keys[mid + 1..].to_vec(),
+                        children: all_children[mid + 1..].to_vec(),
+                    };
+                    write_node(env, left_page, &lnode)?;
+                    write_node(env, right_page, &rnode)?;
+                    self.replace_separator(env, page, li, new_sep)?;
+                }
+            }
+            _ => {
+                return Err(StorageError::Corrupt(
+                    "sibling nodes of different kinds".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// After a merge: drop separator `li` and the right child pointer.
+    fn remove_separator(
+        &self,
+        env: &mut StorageEnv,
+        page: PageId,
+        li: usize,
+        _merged_into: PageId,
+    ) -> Result<()> {
+        let mut node = read_node(env, page)?;
+        if let Node::Internal { keys, children } = &mut node {
+            keys.remove(li);
+            children.remove(li + 1);
+        }
+        write_node(env, page, &node)
+    }
+
+    fn replace_separator(
+        &self,
+        env: &mut StorageEnv,
+        page: PageId,
+        li: usize,
+        sep: Vec<u8>,
+    ) -> Result<()> {
+        let mut node = read_node(env, page)?;
+        if let Node::Internal { keys, .. } = &mut node {
+            keys[li] = sep;
+        }
+        write_node(env, page, &node)
+    }
+
+    /// Walks the tree and checks structural invariants (key order within
+    /// and across nodes, separator correctness, child kinds). For tests.
+    pub fn check_invariants(&self, env: &mut StorageEnv) -> Result<()> {
+        let root = self.root(env)?;
+        self.check_rec(env, root, None, None)?;
+        // Leaf chain must be globally sorted.
+        let mut c = self.cursor_first(env)?;
+        let mut prev: Option<Vec<u8>> = None;
+        while let Some((k, _)) = c.read(env)? {
+            if let Some(p) = &prev {
+                if p.as_slice() >= k.as_slice() {
+                    return Err(StorageError::Corrupt("leaf chain out of order".into()));
+                }
+            }
+            prev = Some(k);
+            c.advance(env)?;
+        }
+        Ok(())
+    }
+
+    fn check_rec(
+        &self,
+        env: &mut StorageEnv,
+        page: PageId,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+    ) -> Result<()> {
+        let node = read_node(env, page)?;
+        if node.serialized_size() > env.page_size() {
+            return Err(StorageError::Corrupt("node overflows its page".into()));
+        }
+        match node {
+            Node::Leaf { entries, .. } => {
+                for w in entries.windows(2) {
+                    if w[0].0 >= w[1].0 {
+                        return Err(StorageError::Corrupt("leaf keys out of order".into()));
+                    }
+                }
+                for (k, _) in &entries {
+                    if let Some(lo) = lo {
+                        if k.as_slice() < lo {
+                            return Err(StorageError::Corrupt("leaf key below bound".into()));
+                        }
+                    }
+                    if let Some(hi) = hi {
+                        if k.as_slice() >= hi {
+                            return Err(StorageError::Corrupt("leaf key above bound".into()));
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Node::Internal { keys, children } => {
+                if children.len() != keys.len() + 1 || keys.is_empty() {
+                    return Err(StorageError::Corrupt("malformed internal node".into()));
+                }
+                for w in keys.windows(2) {
+                    if w[0] >= w[1] {
+                        return Err(StorageError::Corrupt("separators out of order".into()));
+                    }
+                }
+                for i in 0..children.len() {
+                    let child_lo = if i == 0 { lo } else { Some(keys[i - 1].as_slice()) };
+                    let child_hi = if i == keys.len() { hi } else { Some(keys[i].as_slice()) };
+                    self.check_rec(env, children[i], child_lo, child_hi)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A position within the leaf chain of a [`BTree`]. Invalid cursors
+/// (`page == None`) read as `None`.
+#[derive(Debug, Clone, Copy)]
+pub struct Cursor {
+    page: Option<PageId>,
+    idx: usize,
+}
+
+impl Cursor {
+    /// True iff the cursor points at an entry.
+    pub fn is_valid(&self) -> bool {
+        self.page.is_some()
+    }
+
+    /// Reads the entry under the cursor.
+    pub fn read(&self, env: &mut StorageEnv) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        let Some(page) = self.page else { return Ok(None) };
+        env.with_page(page, |p| {
+            if !raw::is_leaf(p) {
+                return Err(StorageError::Corrupt("cursor points at an internal node".into()));
+            }
+            if self.idx < raw::count(p) {
+                let (k, v) = raw::leaf_entry(p, self.idx);
+                Ok(Some((k.to_vec(), v.to_vec())))
+            } else {
+                Ok(None)
+            }
+        })?
+    }
+
+    /// Moves to the next entry in key order.
+    pub fn advance(&mut self, env: &mut StorageEnv) -> Result<()> {
+        let Some(page) = self.page else { return Ok(()) };
+        let (count, next) = leaf_shape(env, page)?;
+        if self.idx + 1 < count {
+            self.idx += 1;
+            return Ok(());
+        }
+        *self = chain_forward(env, next)?;
+        Ok(())
+    }
+
+    /// Moves to the previous entry in key order.
+    pub fn retreat(&mut self, env: &mut StorageEnv) -> Result<()> {
+        let Some(page) = self.page else { return Ok(()) };
+        if self.idx > 0 {
+            self.idx -= 1;
+            return Ok(());
+        }
+        let prev = env.with_page(page, |p| {
+            if raw::is_leaf(p) {
+                Ok(raw::leaf_prev(p))
+            } else {
+                Err(StorageError::Corrupt("cursor points at an internal node".into()))
+            }
+        })??;
+        *self = chain_backward(env, prev)?;
+        Ok(())
+    }
+}
+
+/// One descent step, computed inside a page closure.
+enum Step {
+    Descend(PageId),
+    At(usize),
+    Chain(Option<PageId>),
+    Value(Option<Vec<u8>>),
+}
+
+/// `(count, next)` of a leaf page.
+fn leaf_shape(env: &mut StorageEnv, page: PageId) -> Result<(usize, Option<PageId>)> {
+    env.with_page(page, |p| {
+        if raw::is_leaf(p) {
+            Ok((raw::count(p), raw::leaf_next(p)))
+        } else {
+            Err(StorageError::Corrupt("expected a leaf page".into()))
+        }
+    })?
+}
+
+/// First position of the first non-empty leaf reachable via `next` links.
+fn chain_forward(env: &mut StorageEnv, mut cur: Option<PageId>) -> Result<Cursor> {
+    while let Some(p) = cur {
+        let (count, next) = leaf_shape(env, p)?;
+        if count > 0 {
+            return Ok(Cursor { page: Some(p), idx: 0 });
+        }
+        cur = next;
+    }
+    Ok(Cursor { page: None, idx: 0 })
+}
+
+/// Last position of the first non-empty leaf reachable via `prev` links.
+fn chain_backward(env: &mut StorageEnv, mut cur: Option<PageId>) -> Result<Cursor> {
+    while let Some(p) = cur {
+        let (count, prev) = env.with_page(p, |pp| {
+            if raw::is_leaf(pp) {
+                Ok((raw::count(pp), raw::leaf_prev(pp)))
+            } else {
+                Err(StorageError::Corrupt("expected a leaf page".into()))
+            }
+        })??;
+        if count > 0 {
+            return Ok(Cursor { page: Some(p), idx: count - 1 });
+        }
+        cur = prev;
+    }
+    Ok(Cursor { page: None, idx: 0 })
+}
+
+fn read_node(env: &mut StorageEnv, page: PageId) -> Result<Node> {
+    env.with_page(page, Node::read)?
+}
+
+fn write_node(env: &mut StorageEnv, page: PageId, node: &Node) -> Result<()> {
+    debug_assert!(node.serialized_size() <= env.page_size());
+    env.with_page_mut(page, |p| node.write(p))
+}
+
+fn update_leaf_prev(env: &mut StorageEnv, page: PageId, prev: Option<PageId>) -> Result<()> {
+    env.with_page_mut(page, |p| {
+        p[3..7].copy_from_slice(&PageId::encode_opt(prev).to_le_bytes());
+    })
+}
+
+fn update_leaf_next(env: &mut StorageEnv, page: PageId, next: Option<PageId>) -> Result<()> {
+    env.with_page_mut(page, |p| {
+        p[7..11].copy_from_slice(&PageId::encode_opt(next).to_le_bytes());
+    })
+}
+
+/// First index `i` with `keys[i] > key` (boundary keys descend right).
+fn upper_bound(keys: &[Vec<u8>], key: &[u8]) -> usize {
+    keys.partition_point(|k| k.as_slice() <= key)
+}
+
+/// Split index for an over-full leaf: balances serialized bytes, while
+/// guaranteeing both sides are non-empty.
+fn split_point_leaf(entries: &[(Vec<u8>, Vec<u8>)]) -> usize {
+    let total: usize = entries.iter().map(|(k, v)| 6 + k.len() + v.len()).sum();
+    let mut acc = 0;
+    for (i, (k, v)) in entries.iter().enumerate() {
+        acc += 6 + k.len() + v.len();
+        if acc >= total / 2 {
+            return (i + 1).min(entries.len() - 1).max(1);
+        }
+    }
+    entries.len() / 2
+}
+
+fn is_underfull(env: &StorageEnv, serialized_size: usize) -> bool {
+    serialized_size < env.page_size() / 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::EnvOptions;
+
+    fn mem_env() -> StorageEnv {
+        StorageEnv::in_memory(EnvOptions { page_size: 256, pool_pages: 64 })
+    }
+
+    fn key(i: u32) -> Vec<u8> {
+        i.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut env = mem_env();
+        let t = BTree::create(&mut env, 0).unwrap();
+        assert_eq!(t.get(&mut env, b"a").unwrap(), None);
+        assert_eq!(t.insert(&mut env, b"a", b"1").unwrap(), None);
+        assert_eq!(t.insert(&mut env, b"b", b"2").unwrap(), None);
+        assert_eq!(t.get(&mut env, b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(t.insert(&mut env, b"a", b"9").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(t.get(&mut env, b"a").unwrap(), Some(b"9".to_vec()));
+        t.check_invariants(&mut env).unwrap();
+    }
+
+    #[test]
+    fn insert_many_splits() {
+        let mut env = mem_env();
+        let t = BTree::create(&mut env, 0).unwrap();
+        let n = 2000u32;
+        for i in 0..n {
+            // Insert in a scrambled order to exercise splits everywhere.
+            let k = (i * 7919) % n;
+            t.insert(&mut env, &key(k), &key(k * 2)).unwrap();
+        }
+        t.check_invariants(&mut env).unwrap();
+        assert_eq!(t.len(&mut env).unwrap(), n as u64);
+        for i in 0..n {
+            assert_eq!(t.get(&mut env, &key(i)).unwrap(), Some(key(i * 2)));
+        }
+    }
+
+    #[test]
+    fn seek_ge_and_le() {
+        let mut env = mem_env();
+        let t = BTree::create(&mut env, 0).unwrap();
+        for i in (0..500u32).map(|i| i * 10) {
+            t.insert(&mut env, &key(i), b"").unwrap();
+        }
+        // Exact hit.
+        let c = t.seek_ge(&mut env, &key(100)).unwrap();
+        assert_eq!(c.read(&mut env).unwrap().unwrap().0, key(100));
+        let c = t.seek_le(&mut env, &key(100)).unwrap();
+        assert_eq!(c.read(&mut env).unwrap().unwrap().0, key(100));
+        // Between keys.
+        let c = t.seek_ge(&mut env, &key(101)).unwrap();
+        assert_eq!(c.read(&mut env).unwrap().unwrap().0, key(110));
+        let c = t.seek_le(&mut env, &key(101)).unwrap();
+        assert_eq!(c.read(&mut env).unwrap().unwrap().0, key(100));
+        // Beyond the ends.
+        let c = t.seek_ge(&mut env, &key(5000)).unwrap();
+        assert!(c.read(&mut env).unwrap().is_none());
+        let mut below_all = key(0);
+        below_all.pop(); // 3-byte key sorts before every 4-byte key
+        let c = t.seek_le(&mut env, &below_all).unwrap();
+        assert!(c.read(&mut env).unwrap().is_none());
+    }
+
+    #[test]
+    fn cursor_walks_in_both_directions() {
+        let mut env = mem_env();
+        let t = BTree::create(&mut env, 0).unwrap();
+        for i in 0..300u32 {
+            t.insert(&mut env, &key(i), b"v").unwrap();
+        }
+        let mut c = t.cursor_first(&mut env).unwrap();
+        for i in 0..300u32 {
+            assert_eq!(c.read(&mut env).unwrap().unwrap().0, key(i));
+            c.advance(&mut env).unwrap();
+        }
+        assert!(c.read(&mut env).unwrap().is_none());
+        let mut c = t.seek_le(&mut env, &key(u32::MAX)).unwrap();
+        for i in (0..300u32).rev() {
+            assert_eq!(c.read(&mut env).unwrap().unwrap().0, key(i));
+            c.retreat(&mut env).unwrap();
+        }
+        assert!(c.read(&mut env).unwrap().is_none());
+    }
+
+    #[test]
+    fn remove_everything() {
+        let mut env = mem_env();
+        let t = BTree::create(&mut env, 0).unwrap();
+        let n = 1000u32;
+        for i in 0..n {
+            t.insert(&mut env, &key(i), &key(i)).unwrap();
+        }
+        for i in 0..n {
+            let k = (i * 6151) % n; // scrambled deletion order
+            assert_eq!(t.remove(&mut env, &key(k)).unwrap(), Some(key(k)));
+            if k.is_multiple_of(100) {
+                t.check_invariants(&mut env).unwrap();
+            }
+        }
+        assert!(t.is_empty(&mut env).unwrap());
+        t.check_invariants(&mut env).unwrap();
+        assert_eq!(t.remove(&mut env, &key(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn variable_length_keys() {
+        let mut env = mem_env();
+        let t = BTree::create(&mut env, 0).unwrap();
+        let keys: Vec<Vec<u8>> = (0..300)
+            .map(|i| {
+                let mut k = vec![b'k'; i % 23 + 1];
+                k.extend_from_slice(&(i as u32).to_be_bytes());
+                k
+            })
+            .collect();
+        for k in &keys {
+            t.insert(&mut env, k, b"x").unwrap();
+        }
+        t.check_invariants(&mut env).unwrap();
+        for k in &keys {
+            assert!(t.contains(&mut env, k).unwrap());
+        }
+        assert_eq!(t.len(&mut env).unwrap(), keys.len() as u64);
+    }
+
+    #[test]
+    fn entry_too_large_is_rejected() {
+        let mut env = mem_env();
+        let t = BTree::create(&mut env, 0).unwrap();
+        let huge = vec![0u8; 300];
+        assert!(matches!(
+            t.insert(&mut env, &huge, b""),
+            Err(StorageError::EntryTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn two_trees_in_one_env() {
+        let mut env = mem_env();
+        let a = BTree::create(&mut env, 0).unwrap();
+        let b = BTree::create(&mut env, 1).unwrap();
+        for i in 0..200u32 {
+            a.insert(&mut env, &key(i), b"a").unwrap();
+            b.insert(&mut env, &key(i), b"b").unwrap();
+        }
+        assert_eq!(a.get(&mut env, &key(5)).unwrap(), Some(b"a".to_vec()));
+        assert_eq!(b.get(&mut env, &key(5)).unwrap(), Some(b"b".to_vec()));
+        a.check_invariants(&mut env).unwrap();
+        b.check_invariants(&mut env).unwrap();
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("xk-btree-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.db");
+        let opts = EnvOptions { page_size: 512, pool_pages: 32 };
+        {
+            let mut env = StorageEnv::create(&path, opts.clone()).unwrap();
+            let t = BTree::create(&mut env, 0).unwrap();
+            for i in 0..500u32 {
+                t.insert(&mut env, &key(i), &key(i + 1)).unwrap();
+            }
+            env.flush().unwrap();
+        }
+        {
+            let mut env = StorageEnv::open(&path, opts).unwrap();
+            let t = BTree::open(&mut env, 0).unwrap();
+            for i in 0..500u32 {
+                assert_eq!(t.get(&mut env, &key(i)).unwrap(), Some(key(i + 1)));
+            }
+            t.check_invariants(&mut env).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_inserts() {
+        let mut env = mem_env();
+        let n = 3000u32;
+        let entries: Vec<(Vec<u8>, Vec<u8>)> =
+            (0..n).map(|i| (key(i), key(i * 2))).collect();
+        let bulk = BTree::bulk_load(&mut env, 0, entries.clone()).unwrap();
+        bulk.check_invariants(&mut env).unwrap();
+        assert_eq!(bulk.len(&mut env).unwrap(), n as u64);
+        for i in 0..n {
+            assert_eq!(bulk.get(&mut env, &key(i)).unwrap(), Some(key(i * 2)));
+        }
+        // Seeks behave identically to an insert-built tree.
+        let c = bulk.seek_ge(&mut env, &key(1500)).unwrap();
+        assert_eq!(c.read(&mut env).unwrap().unwrap().0, key(1500));
+        let c = bulk.seek_le(&mut env, &key(u32::MAX)).unwrap();
+        assert_eq!(c.read(&mut env).unwrap().unwrap().0, key(n - 1));
+        // And the tree stays mutable afterwards.
+        bulk.insert(&mut env, &key(n + 5), b"later").unwrap();
+        bulk.remove(&mut env, &key(7)).unwrap();
+        bulk.check_invariants(&mut env).unwrap();
+    }
+
+    #[test]
+    fn bulk_load_empty_and_single() {
+        let mut env = mem_env();
+        let t = BTree::bulk_load(&mut env, 0, Vec::new()).unwrap();
+        assert!(t.is_empty(&mut env).unwrap());
+        t.check_invariants(&mut env).unwrap();
+        let t = BTree::bulk_load(&mut env, 1, vec![(b"k".to_vec(), b"v".to_vec())]).unwrap();
+        assert_eq!(t.get(&mut env, b"k").unwrap(), Some(b"v".to_vec()));
+        t.check_invariants(&mut env).unwrap();
+    }
+
+    #[test]
+    fn bulk_load_rejects_unsorted() {
+        let mut env = mem_env();
+        let entries = vec![
+            (b"b".to_vec(), vec![]),
+            (b"a".to_vec(), vec![]),
+        ];
+        assert!(BTree::bulk_load(&mut env, 0, entries).is_err());
+        let dup = vec![(b"a".to_vec(), vec![]), (b"a".to_vec(), vec![])];
+        assert!(BTree::bulk_load(&mut env, 0, dup).is_err());
+    }
+
+    #[test]
+    fn cold_cache_seeks_touch_one_path() {
+        let mut env = StorageEnv::in_memory(EnvOptions { page_size: 256, pool_pages: 512 });
+        let t = BTree::create(&mut env, 0).unwrap();
+        for i in 0..5000u32 {
+            t.insert(&mut env, &key(i), b"").unwrap();
+        }
+        env.clear_cache().unwrap();
+        env.reset_stats();
+        let c = t.seek_ge(&mut env, &key(2500)).unwrap();
+        assert!(c.is_valid());
+        let s = env.stats();
+        // A single root-to-leaf descent: disk reads == tree height (+1 for
+        // the meta page holding the root pointer).
+        assert!(s.disk_reads <= 8, "seek should read one path, read {}", s.disk_reads);
+    }
+}

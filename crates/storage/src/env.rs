@@ -1,0 +1,536 @@
+//! The storage environment: a pager fronted by an LRU buffer pool.
+//!
+//! [`StorageEnv`] is the single entry point the index structures use. It
+//! provides page access through closures (`with_page` / `with_page_mut`),
+//! page allocation with a free list, named root slots in the meta page, a
+//! small user-metadata blob, and cache control for the hot/cold-cache
+//! experiments (`clear_cache` drops every cached page so the next access of
+//! each page is a real disk read).
+
+use crate::error::{Result, StorageError};
+use crate::pager::{FilePager, MemPager, PageId, Pager};
+use crate::stats::IoStats;
+use std::collections::HashMap;
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"XKSTORE1";
+const META_FREELIST: usize = 12;
+const META_ROOTS: usize = 16;
+/// Number of named B+tree root slots in the meta page.
+pub const ROOT_SLOTS: usize = 8;
+const META_BLOB_LEN: usize = META_ROOTS + 4 * ROOT_SLOTS;
+const META_BLOB: usize = META_BLOB_LEN + 4;
+
+/// Configuration for creating or opening a [`StorageEnv`].
+#[derive(Debug, Clone)]
+pub struct EnvOptions {
+    /// Page size in bytes (power of two, >= 128). Default 4096.
+    pub page_size: usize,
+    /// Buffer pool capacity in pages. Default 1024 (4 MiB at 4 KiB pages).
+    pub pool_pages: usize,
+}
+
+impl Default for EnvOptions {
+    fn default() -> Self {
+        EnvOptions { page_size: 4096, pool_pages: 1024 }
+    }
+}
+
+struct Frame {
+    data: Box<[u8]>,
+    dirty: bool,
+    /// Intrusive LRU links: indices into `StorageEnv::frames`.
+    prev: usize,
+    next: usize,
+    page: PageId,
+}
+
+const NIL: usize = usize::MAX;
+
+/// A pager fronted by an LRU buffer pool with I/O accounting.
+pub struct StorageEnv {
+    pager: Box<dyn Pager>,
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    free_frames: Vec<usize>,
+    lru_head: usize, // most recently used
+    lru_tail: usize, // least recently used
+    capacity: usize,
+    stats: IoStats,
+}
+
+impl StorageEnv {
+    /// Creates a new storage file at `path`.
+    pub fn create(path: impl AsRef<Path>, options: EnvOptions) -> Result<StorageEnv> {
+        let pager = FilePager::create(path.as_ref(), options.page_size)?;
+        let mut env = Self::with_pager(Box::new(pager), options.pool_pages);
+        env.init_meta()?;
+        Ok(env)
+    }
+
+    /// Opens an existing storage file at `path`.
+    pub fn open(path: impl AsRef<Path>, options: EnvOptions) -> Result<StorageEnv> {
+        let pager = FilePager::open(path.as_ref(), options.page_size)?;
+        let mut env = Self::with_pager(Box::new(pager), options.pool_pages);
+        env.check_meta()?;
+        Ok(env)
+    }
+
+    /// Creates an ephemeral in-memory environment (tests, transient work).
+    pub fn in_memory(options: EnvOptions) -> StorageEnv {
+        let pager = MemPager::new(options.page_size);
+        let mut env = Self::with_pager(Box::new(pager), options.pool_pages);
+        env.init_meta().expect("in-memory init cannot fail");
+        env
+    }
+
+    fn with_pager(pager: Box<dyn Pager>, pool_pages: usize) -> StorageEnv {
+        StorageEnv {
+            pager,
+            frames: Vec::new(),
+            map: HashMap::new(),
+            free_frames: Vec::new(),
+            lru_head: NIL,
+            lru_tail: NIL,
+            capacity: pool_pages.max(8),
+            stats: IoStats::default(),
+        }
+    }
+
+    fn init_meta(&mut self) -> Result<()> {
+        let ps = self.pager.page_size();
+        self.with_page_mut(PageId::META, |page| {
+            page[..8].copy_from_slice(MAGIC);
+            page[8..12].copy_from_slice(&(ps as u32).to_le_bytes());
+            page[META_FREELIST..META_FREELIST + 4]
+                .copy_from_slice(&PageId::NONE_RAW.to_le_bytes());
+            for slot in 0..ROOT_SLOTS {
+                let off = META_ROOTS + slot * 4;
+                page[off..off + 4].copy_from_slice(&PageId::NONE_RAW.to_le_bytes());
+            }
+            page[META_BLOB_LEN..META_BLOB_LEN + 4].copy_from_slice(&0u32.to_le_bytes());
+        })
+    }
+
+    fn check_meta(&mut self) -> Result<()> {
+        let expected = self.pager.page_size() as u32;
+        self.with_page(PageId::META, |page| {
+            if &page[..8] != MAGIC {
+                return Err(StorageError::Corrupt("bad magic".into()));
+            }
+            let ps = u32::from_le_bytes(page[8..12].try_into().unwrap());
+            if ps != expected {
+                return Err(StorageError::Corrupt(format!(
+                    "file page size {ps} does not match configured {expected}"
+                )));
+            }
+            Ok(())
+        })?
+    }
+
+    /// The page size of the backing store.
+    pub fn page_size(&self) -> usize {
+        self.pager.page_size()
+    }
+
+    /// Number of pages in the backing store (including meta and free pages).
+    pub fn page_count(&self) -> u32 {
+        self.pager.page_count()
+    }
+
+    /// Current I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Zeroes the I/O counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    // ---- buffer pool ----
+
+    fn lru_unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.frames[idx].prev, self.frames[idx].next);
+        if prev != NIL {
+            self.frames[prev].next = next;
+        } else {
+            self.lru_head = next;
+        }
+        if next != NIL {
+            self.frames[next].prev = prev;
+        } else {
+            self.lru_tail = prev;
+        }
+        self.frames[idx].prev = NIL;
+        self.frames[idx].next = NIL;
+    }
+
+    fn lru_push_front(&mut self, idx: usize) {
+        self.frames[idx].prev = NIL;
+        self.frames[idx].next = self.lru_head;
+        if self.lru_head != NIL {
+            self.frames[self.lru_head].prev = idx;
+        }
+        self.lru_head = idx;
+        if self.lru_tail == NIL {
+            self.lru_tail = idx;
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.lru_head != idx {
+            self.lru_unlink(idx);
+            self.lru_push_front(idx);
+        }
+    }
+
+    /// Loads `id` into the pool (if absent) and returns its frame index.
+    fn fetch(&mut self, id: PageId) -> Result<usize> {
+        self.stats.logical_reads += 1;
+        if let Some(&idx) = self.map.get(&id) {
+            self.touch(idx);
+            return Ok(idx);
+        }
+        self.stats.disk_reads += 1;
+        let idx = self.acquire_frame()?;
+        let ps = self.pager.page_size();
+        if self.frames[idx].data.len() != ps {
+            self.frames[idx].data = vec![0u8; ps].into_boxed_slice();
+        }
+        self.pager.read_page(id, &mut self.frames[idx].data)?;
+        self.frames[idx].dirty = false;
+        self.frames[idx].page = id;
+        self.map.insert(id, idx);
+        self.lru_push_front(idx);
+        Ok(idx)
+    }
+
+    /// Finds a free frame, evicting the LRU page if the pool is full.
+    fn acquire_frame(&mut self) -> Result<usize> {
+        if let Some(idx) = self.free_frames.pop() {
+            return Ok(idx);
+        }
+        if self.frames.len() < self.capacity {
+            let ps = self.pager.page_size();
+            self.frames.push(Frame {
+                data: vec![0u8; ps].into_boxed_slice(),
+                dirty: false,
+                prev: NIL,
+                next: NIL,
+                page: PageId(u32::MAX),
+            });
+            return Ok(self.frames.len() - 1);
+        }
+        // Evict the least recently used page.
+        let victim = self.lru_tail;
+        debug_assert_ne!(victim, NIL, "pool capacity is at least 8");
+        self.lru_unlink(victim);
+        let page = self.frames[victim].page;
+        if self.frames[victim].dirty {
+            self.stats.disk_writes += 1;
+            // Borrow dance: take the buffer out while writing.
+            let data = std::mem::take(&mut self.frames[victim].data);
+            let res = self.pager.write_page(page, &data);
+            self.frames[victim].data = data;
+            res?;
+        }
+        self.stats.evictions += 1;
+        self.map.remove(&page);
+        Ok(victim)
+    }
+
+    /// Runs `f` with read access to page `id`.
+    pub fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let idx = self.fetch(id)?;
+        Ok(f(&self.frames[idx].data))
+    }
+
+    /// Runs `f` with write access to page `id`; the page is marked dirty.
+    pub fn with_page_mut<R>(&mut self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let idx = self.fetch(id)?;
+        self.frames[idx].dirty = true;
+        Ok(f(&mut self.frames[idx].data))
+    }
+
+    /// Copies page `id` out of the pool.
+    pub fn read_page_copy(&mut self, id: PageId) -> Result<Vec<u8>> {
+        self.with_page(id, |p| p.to_vec())
+    }
+
+    /// Writes back every dirty page (the pool keeps its contents).
+    pub fn flush(&mut self) -> Result<()> {
+        for idx in 0..self.frames.len() {
+            if self.frames[idx].dirty && self.frames[idx].page.0 != u32::MAX {
+                self.stats.disk_writes += 1;
+                let data = std::mem::take(&mut self.frames[idx].data);
+                let res = self.pager.write_page(self.frames[idx].page, &data);
+                self.frames[idx].data = data;
+                res?;
+                self.frames[idx].dirty = false;
+            }
+        }
+        self.pager.sync()?;
+        Ok(())
+    }
+
+    /// Flushes and then drops every cached page — the *cold cache* state of
+    /// the paper's experiments: the next access to any page is a disk read.
+    pub fn clear_cache(&mut self) -> Result<()> {
+        self.flush()?;
+        self.map.clear();
+        self.frames.clear();
+        self.free_frames.clear();
+        self.lru_head = NIL;
+        self.lru_tail = NIL;
+        Ok(())
+    }
+
+    /// Number of pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.map.len()
+    }
+
+    // ---- allocation ----
+
+    /// Allocates a page: pops the free list or grows the file.
+    pub fn allocate_page(&mut self) -> Result<PageId> {
+        let head = self.freelist_head()?;
+        if let Some(free) = head {
+            let next = self.with_page(free, |p| {
+                u32::from_le_bytes(p[..4].try_into().unwrap())
+            })?;
+            self.set_freelist_head(PageId::decode_opt(next))?;
+            // Zero the page for the new user.
+            self.with_page_mut(free, |p| p.fill(0))?;
+            return Ok(free);
+        }
+        let id = self.pager.grow()?;
+        // Materialize a zeroed frame for the new page so the first access
+        // does not count as a disk read (the page has never been written).
+        let idx = self.acquire_frame()?;
+        self.frames[idx].data.fill(0);
+        self.frames[idx].dirty = true;
+        self.frames[idx].page = id;
+        self.map.insert(id, idx);
+        self.lru_push_front(idx);
+        Ok(id)
+    }
+
+    /// Returns a page to the free list.
+    pub fn free_page(&mut self, id: PageId) -> Result<()> {
+        assert_ne!(id, PageId::META, "cannot free the meta page");
+        let head = self.freelist_head()?;
+        self.with_page_mut(id, |p| {
+            p[..4].copy_from_slice(&PageId::encode_opt(head).to_le_bytes());
+        })?;
+        self.set_freelist_head(Some(id))
+    }
+
+    fn freelist_head(&mut self) -> Result<Option<PageId>> {
+        self.with_page(PageId::META, |p| {
+            PageId::decode_opt(u32::from_le_bytes(
+                p[META_FREELIST..META_FREELIST + 4].try_into().unwrap(),
+            ))
+        })
+    }
+
+    fn set_freelist_head(&mut self, head: Option<PageId>) -> Result<()> {
+        self.with_page_mut(PageId::META, |p| {
+            p[META_FREELIST..META_FREELIST + 4]
+                .copy_from_slice(&PageId::encode_opt(head).to_le_bytes());
+        })
+    }
+
+    // ---- named roots & user blob ----
+
+    /// Reads named root slot `slot` (for B+tree roots and list directories).
+    pub fn root_slot(&mut self, slot: usize) -> Result<Option<PageId>> {
+        assert!(slot < ROOT_SLOTS);
+        self.with_page(PageId::META, |p| {
+            let off = META_ROOTS + slot * 4;
+            PageId::decode_opt(u32::from_le_bytes(p[off..off + 4].try_into().unwrap()))
+        })
+    }
+
+    /// Writes named root slot `slot`.
+    pub fn set_root_slot(&mut self, slot: usize, page: Option<PageId>) -> Result<()> {
+        assert!(slot < ROOT_SLOTS);
+        self.with_page_mut(PageId::META, |p| {
+            let off = META_ROOTS + slot * 4;
+            p[off..off + 4].copy_from_slice(&PageId::encode_opt(page).to_le_bytes());
+        })
+    }
+
+    /// Maximum size of the user metadata blob for this page size.
+    pub fn user_blob_capacity(&self) -> usize {
+        self.page_size() - META_BLOB
+    }
+
+    /// Stores an application metadata blob in the meta page (e.g. the
+    /// serialized level table). Must fit in [`Self::user_blob_capacity`].
+    pub fn set_user_blob(&mut self, blob: &[u8]) -> Result<()> {
+        if blob.len() > self.user_blob_capacity() {
+            return Err(StorageError::EntryTooLarge {
+                entry_bytes: blob.len(),
+                max_bytes: self.user_blob_capacity(),
+            });
+        }
+        self.with_page_mut(PageId::META, |p| {
+            p[META_BLOB_LEN..META_BLOB_LEN + 4]
+                .copy_from_slice(&(blob.len() as u32).to_le_bytes());
+            p[META_BLOB..META_BLOB + blob.len()].copy_from_slice(blob);
+        })
+    }
+
+    /// Reads the application metadata blob.
+    pub fn user_blob(&mut self) -> Result<Vec<u8>> {
+        self.with_page(PageId::META, |p| {
+            let len = u32::from_le_bytes(
+                p[META_BLOB_LEN..META_BLOB_LEN + 4].try_into().unwrap(),
+            ) as usize;
+            p[META_BLOB..META_BLOB + len].to_vec()
+        })
+    }
+}
+
+impl Drop for StorageEnv {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(pool_pages: usize) -> StorageEnv {
+        StorageEnv::in_memory(EnvOptions { page_size: 256, pool_pages })
+    }
+
+    #[test]
+    fn allocate_write_read() {
+        let mut env = mem(16);
+        let a = env.allocate_page().unwrap();
+        let b = env.allocate_page().unwrap();
+        assert_ne!(a, b);
+        env.with_page_mut(a, |p| p[10] = 42).unwrap();
+        env.with_page_mut(b, |p| p[10] = 43).unwrap();
+        assert_eq!(env.with_page(a, |p| p[10]).unwrap(), 42);
+        assert_eq!(env.with_page(b, |p| p[10]).unwrap(), 43);
+    }
+
+    #[test]
+    fn free_list_reuses_pages() {
+        let mut env = mem(16);
+        let a = env.allocate_page().unwrap();
+        let before = env.page_count();
+        env.free_page(a).unwrap();
+        let b = env.allocate_page().unwrap();
+        assert_eq!(a, b, "freed page must be reused");
+        assert_eq!(env.page_count(), before);
+        // Reused page is zeroed.
+        assert_eq!(env.with_page(b, |p| p[0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn eviction_and_stats() {
+        let mut env = mem(8); // tiny pool
+        let pages: Vec<_> = (0..20).map(|_| env.allocate_page().unwrap()).collect();
+        for (i, &p) in pages.iter().enumerate() {
+            env.with_page_mut(p, |d| d[0] = i as u8).unwrap();
+        }
+        // All data survives eviction.
+        for (i, &p) in pages.iter().enumerate() {
+            assert_eq!(env.with_page(p, |d| d[0]).unwrap(), i as u8);
+        }
+        let s = env.stats();
+        assert!(s.evictions > 0, "pool of 8 with 20 pages must evict");
+        assert!(s.disk_reads > 0);
+    }
+
+    #[test]
+    fn clear_cache_forces_disk_reads() {
+        let mut env = mem(64);
+        let p = env.allocate_page().unwrap();
+        env.with_page_mut(p, |d| d[0] = 7).unwrap();
+        env.clear_cache().unwrap();
+        env.reset_stats();
+        assert_eq!(env.with_page(p, |d| d[0]).unwrap(), 7);
+        assert_eq!(env.stats().disk_reads, 1, "cold cache: first access reads disk");
+        env.reset_stats();
+        env.with_page(p, |d| d[0]).unwrap();
+        assert_eq!(env.stats().disk_reads, 0, "hot cache: second access hits pool");
+    }
+
+    #[test]
+    fn root_slots_persist() {
+        let mut env = mem(16);
+        assert_eq!(env.root_slot(3).unwrap(), None);
+        env.set_root_slot(3, Some(PageId(9))).unwrap();
+        assert_eq!(env.root_slot(3).unwrap(), Some(PageId(9)));
+        env.set_root_slot(3, None).unwrap();
+        assert_eq!(env.root_slot(3).unwrap(), None);
+    }
+
+    #[test]
+    fn user_blob_roundtrip() {
+        let mut env = mem(16);
+        assert_eq!(env.user_blob().unwrap(), Vec::<u8>::new());
+        env.set_user_blob(b"level-table-v1").unwrap();
+        assert_eq!(env.user_blob().unwrap(), b"level-table-v1");
+        let too_big = vec![0u8; env.user_blob_capacity() + 1];
+        assert!(env.set_user_blob(&too_big).is_err());
+    }
+
+    #[test]
+    fn file_env_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("xk-env-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("env.db");
+        let opts = EnvOptions { page_size: 512, pool_pages: 16 };
+        let page;
+        {
+            let mut env = StorageEnv::create(&path, opts.clone()).unwrap();
+            page = env.allocate_page().unwrap();
+            env.with_page_mut(page, |p| p[5] = 99).unwrap();
+            env.set_root_slot(0, Some(page)).unwrap();
+            env.set_user_blob(b"hello").unwrap();
+            env.flush().unwrap();
+        }
+        {
+            let mut env = StorageEnv::open(&path, opts).unwrap();
+            assert_eq!(env.root_slot(0).unwrap(), Some(page));
+            assert_eq!(env.user_blob().unwrap(), b"hello");
+            assert_eq!(env.with_page(page, |p| p[5]).unwrap(), 99);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_wrong_page_size() {
+        let dir = std::env::temp_dir().join(format!("xk-env2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("env.db");
+        StorageEnv::create(&path, EnvOptions { page_size: 512, pool_pages: 16 }).unwrap();
+        let err = StorageEnv::open(&path, EnvOptions { page_size: 1024, pool_pages: 16 });
+        assert!(err.is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lru_keeps_hot_pages() {
+        let mut env = mem(8);
+        let hot = env.allocate_page().unwrap();
+        env.with_page_mut(hot, |p| p[0] = 1).unwrap();
+        // Touch `hot` between every new allocation; it must never be evicted.
+        for _ in 0..30 {
+            let p = env.allocate_page().unwrap();
+            env.with_page(p, |_| ()).unwrap();
+            env.with_page(hot, |_| ()).unwrap();
+        }
+        let before = env.stats().disk_reads;
+        env.with_page(hot, |_| ()).unwrap();
+        assert_eq!(env.stats().disk_reads, before, "hot page stays cached");
+    }
+}

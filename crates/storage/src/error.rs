@@ -1,0 +1,49 @@
+//! Storage error type.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a storage file or has an incompatible format.
+    Corrupt(String),
+    /// A key/value pair is too large to ever fit in a node page.
+    EntryTooLarge { entry_bytes: usize, max_bytes: usize },
+    /// A page id is out of range for the file.
+    InvalidPage(u32),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt storage file: {m}"),
+            StorageError::EntryTooLarge { entry_bytes, max_bytes } => write!(
+                f,
+                "entry of {entry_bytes} bytes exceeds the {max_bytes}-byte page budget"
+            ),
+            StorageError::InvalidPage(p) => write!(f, "invalid page id {p}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience alias used across the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,38 @@
+//! # xk-storage
+//!
+//! The disk substrate for the XKSearch reproduction — the stand-in for the
+//! Berkeley DB B-trees used by the paper (Xu & Papakonstantinou, SIGMOD
+//! 2005, Section 4):
+//!
+//! * [`pager`] — fixed-size page files ([`FilePager`]) and an in-memory
+//!   twin ([`MemPager`]);
+//! * [`env`] — [`StorageEnv`]: an LRU buffer pool with disk-access
+//!   accounting ([`IoStats`]), page allocation, named root slots, and
+//!   cache control for the hot/cold-cache experiments;
+//! * [`btree`] — a disk B+tree with doubly-linked leaves whose
+//!   [`BTree::seek_ge`]/[`BTree::seek_le`] realize the paper's right/left
+//!   match primitives;
+//! * [`liststore`] — sequential page chains for the Scan/Stack keyword-
+//!   list layout.
+//!
+//! ```
+//! use xk_storage::{StorageEnv, EnvOptions, BTree};
+//! let mut env = StorageEnv::in_memory(EnvOptions::default());
+//! let tree = BTree::create(&mut env, 0).unwrap();
+//! tree.insert(&mut env, b"key", b"value").unwrap();
+//! assert_eq!(tree.get(&mut env, b"key").unwrap(), Some(b"value".to_vec()));
+//! ```
+
+pub mod btree;
+pub mod env;
+pub mod error;
+pub mod liststore;
+pub mod pager;
+pub mod stats;
+
+pub use btree::{BTree, Cursor};
+pub use env::{EnvOptions, StorageEnv, ROOT_SLOTS};
+pub use error::{Result, StorageError};
+pub use liststore::{free_list, ListAppender, ListHandle, ListReader, ListWriter, LIST_HANDLE_BYTES};
+pub use pager::{FilePager, MemPager, PageId, Pager};
+pub use stats::IoStats;

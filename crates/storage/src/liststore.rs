@@ -1,0 +1,449 @@
+//! Sequential list storage: page chains for keyword lists.
+//!
+//! Section 4 of the paper describes a second B-tree layout for the Scan
+//! Eager and Stack algorithms, where each keyword's node list is read
+//! front-to-back. Here that layout is a chain of pages per list: each page
+//! holds `[next page (4) | payload length (2) | payload]`. Reading a list
+//! of `|S|` compressed entries costs `ceil(|S| / B)` disk accesses, which
+//! is exactly the term the paper's disk-access analysis charges the
+//! scanning algorithms per list.
+
+use crate::env::StorageEnv;
+use crate::error::{Result, StorageError};
+use crate::pager::PageId;
+
+const LIST_HDR: usize = 6; // next(4) + len(2)
+
+/// Location and size of a stored list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListHandle {
+    /// First page of the chain.
+    pub head: PageId,
+    /// Last page of the chain (where [`ListAppender`] continues).
+    pub tail: PageId,
+    /// Total payload bytes across the chain.
+    pub total_bytes: u64,
+    /// Number of logical entries (maintained by the caller; the store
+    /// itself is byte-oriented).
+    pub entry_count: u64,
+}
+
+/// Size of [`ListHandle::encode`]'s output.
+pub const LIST_HANDLE_BYTES: usize = 24;
+
+impl ListHandle {
+    /// Serializes the handle for storage as a B+tree value.
+    pub fn encode(&self) -> [u8; LIST_HANDLE_BYTES] {
+        let mut out = [0u8; LIST_HANDLE_BYTES];
+        out[..4].copy_from_slice(&self.head.0.to_le_bytes());
+        out[4..8].copy_from_slice(&self.tail.0.to_le_bytes());
+        out[8..16].copy_from_slice(&self.total_bytes.to_le_bytes());
+        out[16..24].copy_from_slice(&self.entry_count.to_le_bytes());
+        out
+    }
+
+    /// Deserializes a handle written by [`ListHandle::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<ListHandle> {
+        if bytes.len() != LIST_HANDLE_BYTES {
+            return Err(StorageError::Corrupt(format!(
+                "list handle must be {LIST_HANDLE_BYTES} bytes, got {}",
+                bytes.len()
+            )));
+        }
+        Ok(ListHandle {
+            head: PageId(u32::from_le_bytes(bytes[..4].try_into().unwrap())),
+            tail: PageId(u32::from_le_bytes(bytes[4..8].try_into().unwrap())),
+            total_bytes: u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            entry_count: u64::from_le_bytes(bytes[16..24].try_into().unwrap()),
+        })
+    }
+}
+
+/// Streaming writer that builds a page chain.
+pub struct ListWriter {
+    head: Option<PageId>,
+    current: Option<PageId>,
+    /// Bytes buffered for the current page.
+    buffer: Vec<u8>,
+    payload_capacity: usize,
+    total_bytes: u64,
+    entry_count: u64,
+}
+
+impl ListWriter {
+    /// Starts a new list in `env`.
+    pub fn new(env: &StorageEnv) -> ListWriter {
+        ListWriter {
+            head: None,
+            current: None,
+            buffer: Vec::new(),
+            payload_capacity: env.page_size() - LIST_HDR,
+            total_bytes: 0,
+            entry_count: 0,
+        }
+    }
+
+    /// Appends one logical entry (a length-prefixed byte record).
+    pub fn append(&mut self, env: &mut StorageEnv, record: &[u8]) -> Result<()> {
+        assert!(
+            record.len() + 2 <= self.payload_capacity,
+            "record larger than a page payload"
+        );
+        let framed_len = 2 + record.len();
+        if self.buffer.len() + framed_len > self.payload_capacity {
+            self.flush_page(env, false)?;
+        }
+        self.buffer.extend_from_slice(&(record.len() as u16).to_le_bytes());
+        self.buffer.extend_from_slice(record);
+        self.total_bytes += framed_len as u64;
+        self.entry_count += 1;
+        Ok(())
+    }
+
+    fn flush_page(&mut self, env: &mut StorageEnv, last: bool) -> Result<()> {
+        let page = env.allocate_page()?;
+        if self.head.is_none() {
+            self.head = Some(page);
+        }
+        if let Some(prev) = self.current {
+            // Patch the previous page's next pointer.
+            env.with_page_mut(prev, |p| {
+                p[..4].copy_from_slice(&page.0.to_le_bytes());
+            })?;
+        }
+        let buffer = std::mem::take(&mut self.buffer);
+        env.with_page_mut(page, |p| {
+            p[..4].copy_from_slice(&PageId::NONE_RAW.to_le_bytes());
+            p[4..6].copy_from_slice(&(buffer.len() as u16).to_le_bytes());
+            p[LIST_HDR..LIST_HDR + buffer.len()].copy_from_slice(&buffer);
+        })?;
+        self.current = Some(page);
+        let _ = last;
+        Ok(())
+    }
+
+    /// Finishes the list and returns its handle. An empty list still
+    /// occupies one (empty) page so the handle is always valid.
+    pub fn finish(mut self, env: &mut StorageEnv) -> Result<ListHandle> {
+        self.flush_page(env, true)?;
+        Ok(ListHandle {
+            head: self.head.expect("flush_page sets head"),
+            tail: self.current.expect("flush_page sets current"),
+            total_bytes: self.total_bytes,
+            entry_count: self.entry_count,
+        })
+    }
+}
+
+/// Appends records to an existing chain, continuing in the tail page's
+/// free space and growing the chain as needed. Used by incremental index
+/// maintenance (new documents appended to an indexed corpus).
+pub struct ListAppender {
+    handle: ListHandle,
+    payload_capacity: usize,
+    /// Bytes already used in the tail page.
+    tail_used: usize,
+}
+
+impl ListAppender {
+    /// Positions an appender at the end of `handle`'s chain.
+    pub fn open(env: &mut StorageEnv, handle: ListHandle) -> Result<ListAppender> {
+        let tail_used = env.with_page(handle.tail, |p| {
+            u16::from_le_bytes(p[4..6].try_into().unwrap()) as usize
+        })?;
+        Ok(ListAppender {
+            handle,
+            payload_capacity: env.page_size() - LIST_HDR,
+            tail_used,
+        })
+    }
+
+    /// Appends one record to the chain.
+    pub fn append(&mut self, env: &mut StorageEnv, record: &[u8]) -> Result<()> {
+        assert!(
+            record.len() + 2 <= self.payload_capacity,
+            "record larger than a page payload"
+        );
+        let framed_len = 2 + record.len();
+        if self.tail_used + framed_len > self.payload_capacity {
+            // Seal the tail and chain a fresh page.
+            let page = env.allocate_page()?;
+            env.with_page_mut(self.handle.tail, |p| {
+                p[..4].copy_from_slice(&page.0.to_le_bytes());
+            })?;
+            env.with_page_mut(page, |p| {
+                p[..4].copy_from_slice(&PageId::NONE_RAW.to_le_bytes());
+                p[4..6].copy_from_slice(&0u16.to_le_bytes());
+            })?;
+            self.handle.tail = page;
+            self.tail_used = 0;
+        }
+        let offset = LIST_HDR + self.tail_used;
+        env.with_page_mut(self.handle.tail, |p| {
+            p[offset..offset + 2].copy_from_slice(&(record.len() as u16).to_le_bytes());
+            p[offset + 2..offset + framed_len].copy_from_slice(record);
+            p[4..6].copy_from_slice(&((self.tail_used + framed_len) as u16).to_le_bytes());
+        })?;
+        self.tail_used += framed_len;
+        self.handle.total_bytes += framed_len as u64;
+        self.handle.entry_count += 1;
+        Ok(())
+    }
+
+    /// Returns the updated handle (the caller persists it).
+    pub fn finish(self) -> ListHandle {
+        self.handle
+    }
+}
+
+/// Streaming reader over a page chain. Each page is fetched through the
+/// buffer pool exactly once per pass, so sequential consumption of a list
+/// of `N` pages costs `N` logical reads (and `N` disk reads when cold).
+pub struct ListReader {
+    next_page: Option<PageId>,
+    page_buf: Vec<u8>,
+    page_len: usize,
+    offset: usize,
+    remaining_entries: u64,
+}
+
+impl ListReader {
+    /// Opens a reader at the head of `handle`'s chain.
+    pub fn new(handle: &ListHandle) -> ListReader {
+        ListReader {
+            next_page: Some(handle.head),
+            page_buf: Vec::new(),
+            page_len: 0,
+            offset: 0,
+            remaining_entries: handle.entry_count,
+        }
+    }
+
+    /// Number of entries not yet returned.
+    pub fn remaining(&self) -> u64 {
+        self.remaining_entries
+    }
+
+    /// Reads the next record, or `None` at the end of the list.
+    pub fn next_record(&mut self, env: &mut StorageEnv) -> Result<Option<Vec<u8>>> {
+        if self.remaining_entries == 0 {
+            return Ok(None);
+        }
+        loop {
+            if self.offset < self.page_len {
+                let len = u16::from_le_bytes(
+                    self.page_buf[self.offset..self.offset + 2].try_into().unwrap(),
+                ) as usize;
+                let start = self.offset + 2;
+                let rec = self.page_buf[start..start + len].to_vec();
+                self.offset = start + len;
+                self.remaining_entries -= 1;
+                return Ok(Some(rec));
+            }
+            let Some(page) = self.next_page else {
+                return Ok(None);
+            };
+            let (next, len, data) = env.with_page(page, |p| {
+                let next = PageId::decode_opt(u32::from_le_bytes(p[..4].try_into().unwrap()));
+                let len = u16::from_le_bytes(p[4..6].try_into().unwrap()) as usize;
+                (next, len, p[LIST_HDR..LIST_HDR + len].to_vec())
+            })?;
+            self.next_page = next;
+            self.page_len = len;
+            self.page_buf = data;
+            self.offset = 0;
+        }
+    }
+}
+
+/// Frees every page of a list chain.
+pub fn free_list(env: &mut StorageEnv, handle: &ListHandle) -> Result<()> {
+    let mut cur = Some(handle.head);
+    while let Some(page) = cur {
+        let next = env.with_page(page, |p| {
+            PageId::decode_opt(u32::from_le_bytes(p[..4].try_into().unwrap()))
+        })?;
+        env.free_page(page)?;
+        cur = next;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::EnvOptions;
+
+    fn mem_env() -> StorageEnv {
+        StorageEnv::in_memory(EnvOptions { page_size: 256, pool_pages: 64 })
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let mut env = mem_env();
+        let mut w = ListWriter::new(&env);
+        for i in 0..10u32 {
+            w.append(&mut env, &i.to_le_bytes()).unwrap();
+        }
+        let h = w.finish(&mut env).unwrap();
+        assert_eq!(h.entry_count, 10);
+        let mut r = ListReader::new(&h);
+        for i in 0..10u32 {
+            assert_eq!(r.next_record(&mut env).unwrap().unwrap(), i.to_le_bytes());
+        }
+        assert_eq!(r.next_record(&mut env).unwrap(), None);
+    }
+
+    #[test]
+    fn roundtrip_multi_page_variable_records() {
+        let mut env = mem_env();
+        let mut w = ListWriter::new(&env);
+        let records: Vec<Vec<u8>> =
+            (0..500).map(|i| vec![(i % 251) as u8; i % 37 + 1]).collect();
+        for r in &records {
+            w.append(&mut env, r).unwrap();
+        }
+        let h = w.finish(&mut env).unwrap();
+        assert_eq!(h.entry_count, 500);
+        let mut r = ListReader::new(&h);
+        for expect in &records {
+            assert_eq!(&r.next_record(&mut env).unwrap().unwrap(), expect);
+        }
+        assert_eq!(r.next_record(&mut env).unwrap(), None);
+    }
+
+    #[test]
+    fn empty_list() {
+        let mut env = mem_env();
+        let w = ListWriter::new(&env);
+        let h = w.finish(&mut env).unwrap();
+        assert_eq!(h.entry_count, 0);
+        let mut r = ListReader::new(&h);
+        assert_eq!(r.next_record(&mut env).unwrap(), None);
+    }
+
+    #[test]
+    fn handle_encode_decode() {
+        let h = ListHandle {
+            head: PageId(7),
+            tail: PageId(99),
+            total_bytes: 123456,
+            entry_count: 42,
+        };
+        assert_eq!(ListHandle::decode(&h.encode()).unwrap(), h);
+        assert!(ListHandle::decode(b"short").is_err());
+    }
+
+    #[test]
+    fn appender_continues_a_finished_chain() {
+        let mut env = mem_env();
+        let mut w = ListWriter::new(&env);
+        for i in 0..7u32 {
+            w.append(&mut env, &i.to_le_bytes()).unwrap();
+        }
+        let h = w.finish(&mut env).unwrap();
+        let mut a = ListAppender::open(&mut env, h).unwrap();
+        for i in 7..200u32 {
+            a.append(&mut env, &i.to_le_bytes()).unwrap();
+        }
+        let h2 = a.finish();
+        assert_eq!(h2.entry_count, 200);
+        assert_eq!(h2.head, h.head, "head is stable across appends");
+        let mut r = ListReader::new(&h2);
+        for i in 0..200u32 {
+            assert_eq!(r.next_record(&mut env).unwrap().unwrap(), i.to_le_bytes());
+        }
+        assert_eq!(r.next_record(&mut env).unwrap(), None);
+    }
+
+    #[test]
+    fn appender_on_empty_chain() {
+        let mut env = mem_env();
+        let h = ListWriter::new(&env).finish(&mut env).unwrap();
+        let mut a = ListAppender::open(&mut env, h).unwrap();
+        a.append(&mut env, b"first").unwrap();
+        let h = a.finish();
+        assert_eq!(h.entry_count, 1);
+        let mut r = ListReader::new(&h);
+        assert_eq!(r.next_record(&mut env).unwrap().unwrap(), b"first");
+    }
+
+    #[test]
+    fn interleaved_appends_with_variable_sizes() {
+        let mut env = mem_env();
+        let mut records: Vec<Vec<u8>> = Vec::new();
+        let mut w = ListWriter::new(&env);
+        for i in 0..50usize {
+            let r = vec![i as u8; i % 60 + 1];
+            w.append(&mut env, &r).unwrap();
+            records.push(r);
+        }
+        let mut h = w.finish(&mut env).unwrap();
+        // Several separate append sessions, as separate documents arrive.
+        for session in 0..4 {
+            let mut a = ListAppender::open(&mut env, h).unwrap();
+            for i in 0..30usize {
+                let r = vec![(session * 40 + i) as u8; (i * 3) % 80 + 1];
+                a.append(&mut env, &r).unwrap();
+                records.push(r);
+            }
+            h = a.finish();
+        }
+        let mut r = ListReader::new(&h);
+        for expect in &records {
+            assert_eq!(&r.next_record(&mut env).unwrap().unwrap(), expect);
+        }
+        assert_eq!(r.next_record(&mut env).unwrap(), None);
+    }
+
+    #[test]
+    fn sequential_read_costs_one_access_per_page_when_cold() {
+        let mut env = mem_env();
+        let mut w = ListWriter::new(&env);
+        let record = [0u8; 20];
+        for _ in 0..200 {
+            w.append(&mut env, &record).unwrap();
+        }
+        let h = w.finish(&mut env).unwrap();
+        // 22 bytes framed per record, 250 payload bytes per page.
+        let expected_pages = (200 * 22 + 249) / 250;
+        env.clear_cache().unwrap();
+        env.reset_stats();
+        let mut r = ListReader::new(&h);
+        while r.next_record(&mut env).unwrap().is_some() {}
+        let reads = env.stats().disk_reads;
+        assert!(
+            (reads as i64 - expected_pages as i64).abs() <= 1,
+            "expected about {expected_pages} cold reads, got {reads}"
+        );
+    }
+
+    #[test]
+    fn free_list_returns_pages() {
+        let mut env = mem_env();
+        let mut w = ListWriter::new(&env);
+        for _ in 0..300 {
+            w.append(&mut env, &[1u8; 30]).unwrap();
+        }
+        let h = w.finish(&mut env).unwrap();
+        let before = env.page_count();
+        free_list(&mut env, &h).unwrap();
+        // Freed pages are reused by subsequent allocations.
+        let mut w2 = ListWriter::new(&env);
+        for _ in 0..300 {
+            w2.append(&mut env, &[2u8; 30]).unwrap();
+        }
+        let h2 = w2.finish(&mut env).unwrap();
+        assert_eq!(env.page_count(), before, "second list reuses freed pages");
+        let mut r = ListReader::new(&h2);
+        assert_eq!(r.next_record(&mut env).unwrap().unwrap(), [2u8; 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "record larger than a page payload")]
+    fn oversized_record_panics() {
+        let mut env = mem_env();
+        let mut w = ListWriter::new(&env);
+        w.append(&mut env, &[0u8; 512]).unwrap();
+    }
+}

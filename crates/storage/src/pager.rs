@@ -1,0 +1,288 @@
+//! Pagers: fixed-size-page backing stores.
+//!
+//! A [`Pager`] reads and writes whole pages by page id. Two implementations
+//! are provided: [`FilePager`] over a real file (positioned reads/writes, no
+//! in-process caching — caching is the buffer pool's job) and [`MemPager`]
+//! for tests and purely in-memory indexes.
+
+use crate::error::{Result, StorageError};
+use std::fs::{File, OpenOptions};
+use std::path::Path;
+
+#[cfg(unix)]
+use std::os::unix::fs::FileExt;
+
+/// Identifier of a page within a storage file. Page 0 is the meta page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// The meta page of every storage file.
+    pub const META: PageId = PageId(0);
+
+    /// Sentinel encoding for "no page" in on-disk links.
+    pub const NONE_RAW: u32 = u32::MAX;
+
+    /// Encodes an optional page id for on-disk storage.
+    pub fn encode_opt(p: Option<PageId>) -> u32 {
+        p.map_or(Self::NONE_RAW, |p| p.0)
+    }
+
+    /// Decodes an optional page id from on-disk storage.
+    pub fn decode_opt(raw: u32) -> Option<PageId> {
+        if raw == Self::NONE_RAW {
+            None
+        } else {
+            Some(PageId(raw))
+        }
+    }
+}
+
+/// A fixed-size-page backing store.
+pub trait Pager {
+    /// The page size in bytes. Constant for the lifetime of the pager.
+    fn page_size(&self) -> usize;
+
+    /// Number of pages currently in the store.
+    fn page_count(&self) -> u32;
+
+    /// Reads page `id` into `buf` (`buf.len() == page_size`).
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes `buf` to page `id` (`buf.len() == page_size`).
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<()>;
+
+    /// Appends a zeroed page and returns its id.
+    fn grow(&mut self) -> Result<PageId>;
+
+    /// Ensures all written pages are durable.
+    fn sync(&mut self) -> Result<()>;
+}
+
+/// A pager over an ordinary file. Every `read_page` is a positioned read
+/// against the file — the buffer pool above decides what stays in memory.
+pub struct FilePager {
+    file: File,
+    page_size: usize,
+    page_count: u32,
+}
+
+impl FilePager {
+    /// Creates a new storage file (truncating any existing one) with one
+    /// zeroed meta page.
+    pub fn create(path: &Path, page_size: usize) -> Result<FilePager> {
+        assert!(page_size >= 128 && page_size.is_power_of_two(), "unreasonable page size");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut pager = FilePager { file, page_size, page_count: 0 };
+        pager.grow()?; // page 0 = meta
+        Ok(pager)
+    }
+
+    /// Opens an existing storage file. The caller is responsible for
+    /// validating the meta page (see [`crate::env::StorageEnv::open`]).
+    pub fn open(path: &Path, page_size: usize) -> Result<FilePager> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % page_size as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "file length {len} is not a multiple of the page size {page_size}"
+            )));
+        }
+        let page_count = (len / page_size as u64) as u32;
+        if page_count == 0 {
+            return Err(StorageError::Corrupt("file has no meta page".into()));
+        }
+        Ok(FilePager { file, page_size, page_count })
+    }
+
+    fn offset(&self, id: PageId) -> Result<u64> {
+        if id.0 >= self.page_count {
+            return Err(StorageError::InvalidPage(id.0));
+        }
+        Ok(id.0 as u64 * self.page_size as u64)
+    }
+}
+
+impl Pager for FilePager {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn page_count(&self) -> u32 {
+        self.page_count
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), self.page_size);
+        let off = self.offset(id)?;
+        #[cfg(unix)]
+        {
+            self.file.read_exact_at(buf, off)?;
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut f = &self.file;
+            f.seek(SeekFrom::Start(off))?;
+            f.read_exact(buf)?;
+        }
+        Ok(())
+    }
+
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), self.page_size);
+        let off = self.offset(id)?;
+        #[cfg(unix)]
+        {
+            self.file.write_all_at(buf, off)?;
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = &self.file;
+            f.seek(SeekFrom::Start(off))?;
+            f.write_all(buf)?;
+        }
+        Ok(())
+    }
+
+    fn grow(&mut self) -> Result<PageId> {
+        let id = PageId(self.page_count);
+        let new_len = (self.page_count as u64 + 1) * self.page_size as u64;
+        self.file.set_len(new_len)?;
+        self.page_count += 1;
+        Ok(id)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// An in-memory pager for tests and ephemeral indexes.
+pub struct MemPager {
+    pages: Vec<Box<[u8]>>,
+    page_size: usize,
+}
+
+impl MemPager {
+    /// Creates an in-memory store with one zeroed meta page.
+    pub fn new(page_size: usize) -> MemPager {
+        assert!(page_size >= 128 && page_size.is_power_of_two(), "unreasonable page size");
+        let mut p = MemPager { pages: Vec::new(), page_size };
+        p.grow().expect("in-memory grow cannot fail");
+        p
+    }
+}
+
+impl Pager for MemPager {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        let page = self
+            .pages
+            .get(id.0 as usize)
+            .ok_or(StorageError::InvalidPage(id.0))?;
+        buf.copy_from_slice(page);
+        Ok(())
+    }
+
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
+        let page = self
+            .pages
+            .get_mut(id.0 as usize)
+            .ok_or(StorageError::InvalidPage(id.0))?;
+        page.copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn grow(&mut self) -> Result<PageId> {
+        let id = PageId(self.pages.len() as u32);
+        self.pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        Ok(id)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(pager: &mut dyn Pager) {
+        let ps = pager.page_size();
+        let a = pager.grow().unwrap();
+        let b = pager.grow().unwrap();
+        assert_ne!(a, b);
+        let mut pa = vec![0xAAu8; ps];
+        pa[0] = 1;
+        let mut pb = vec![0xBBu8; ps];
+        pb[0] = 2;
+        pager.write_page(a, &pa).unwrap();
+        pager.write_page(b, &pb).unwrap();
+        let mut buf = vec![0u8; ps];
+        pager.read_page(a, &mut buf).unwrap();
+        assert_eq!(buf, pa);
+        pager.read_page(b, &mut buf).unwrap();
+        assert_eq!(buf, pb);
+    }
+
+    #[test]
+    fn mem_pager_roundtrip() {
+        let mut p = MemPager::new(256);
+        roundtrip(&mut p);
+        assert_eq!(p.page_count(), 3);
+    }
+
+    #[test]
+    fn file_pager_roundtrip_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("xk-pager-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.db");
+        {
+            let mut p = FilePager::create(&path, 512).unwrap();
+            roundtrip(&mut p);
+            p.sync().unwrap();
+        }
+        {
+            let p = FilePager::open(&path, 512).unwrap();
+            assert_eq!(p.page_count(), 3);
+            let mut buf = vec![0u8; 512];
+            p.read_page(PageId(1), &mut buf).unwrap();
+            assert_eq!(buf[1], 0xAA);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_page_is_an_error() {
+        let p = MemPager::new(256);
+        let mut buf = vec![0u8; 256];
+        assert!(matches!(
+            p.read_page(PageId(99), &mut buf),
+            Err(StorageError::InvalidPage(99))
+        ));
+    }
+
+    #[test]
+    fn page_id_optional_encoding() {
+        assert_eq!(PageId::encode_opt(None), u32::MAX);
+        assert_eq!(PageId::encode_opt(Some(PageId(7))), 7);
+        assert_eq!(PageId::decode_opt(u32::MAX), None);
+        assert_eq!(PageId::decode_opt(7), Some(PageId(7)));
+    }
+}

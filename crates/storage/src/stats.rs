@@ -1,0 +1,67 @@
+//! I/O statistics.
+//!
+//! The paper's Section 4 analyzes the algorithms by *number of disk
+//! accesses* under the assumption that non-leaf B-tree nodes are cached in
+//! main memory. [`IoStats::disk_reads`] is exactly that quantity here: a
+//! page read that misses the buffer pool. Experiments reset the counters
+//! per query and report them alongside wall-clock time.
+
+/// Counters maintained by the buffer pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Page accesses served, hit or miss (the paper's "operations" are a
+    /// separate, algorithm-level counter in `xk-slca`).
+    pub logical_reads: u64,
+    /// Page reads that had to go to the backing store — the paper's
+    /// "number of disk accesses".
+    pub disk_reads: u64,
+    /// Dirty pages written back to the backing store.
+    pub disk_writes: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+}
+
+impl IoStats {
+    /// Buffer-pool hit ratio in `[0, 1]`; 1.0 when there were no reads.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.logical_reads == 0 {
+            1.0
+        } else {
+            1.0 - self.disk_reads as f64 / self.logical_reads as f64
+        }
+    }
+
+    /// Component-wise difference, for before/after measurement windows.
+    pub fn delta_since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads - earlier.logical_reads,
+            disk_reads: self.disk_reads - earlier.disk_reads,
+            disk_writes: self.disk_writes - earlier.disk_writes,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_edges() {
+        let s = IoStats::default();
+        assert_eq!(s.hit_ratio(), 1.0);
+        let s = IoStats { logical_reads: 10, disk_reads: 5, ..Default::default() };
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta() {
+        let a = IoStats { logical_reads: 10, disk_reads: 4, disk_writes: 2, evictions: 1 };
+        let b = IoStats { logical_reads: 25, disk_reads: 9, disk_writes: 2, evictions: 3 };
+        let d = b.delta_since(&a);
+        assert_eq!(d.logical_reads, 15);
+        assert_eq!(d.disk_reads, 5);
+        assert_eq!(d.disk_writes, 0);
+        assert_eq!(d.evictions, 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! `xkgen` — emit a synthetic DBLP-like XML corpus to a file, for use
+//! with `xksearch build` and external tools.
+//!
+//! ```text
+//! xkgen <output.xml> [--papers N] [--seed N] [--plant keyword=frequency]...
+//! ```
+//!
+//! Example: a 50 000-paper corpus with two planted query keywords:
+//!
+//! ```text
+//! xkgen corpus.xml --papers 50000 --plant xquery=25 --plant database=20000
+//! ```
+
+use std::process::ExitCode;
+use xk_workload::{generate, DblpSpec, Planted};
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: xkgen <output.xml> [--papers N] [--seed N] \
+                 [--venues N] [--plant keyword=frequency]..."
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut spec = DblpSpec::default();
+    let mut output: Option<&String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--papers" => {
+                i += 1;
+                spec.papers = next(args, i)?.parse()?;
+            }
+            "--seed" => {
+                i += 1;
+                spec.seed = next(args, i)?.parse()?;
+            }
+            "--venues" => {
+                i += 1;
+                spec.venues = next(args, i)?.parse()?;
+            }
+            "--plant" => {
+                i += 1;
+                let spec_str = next(args, i)?;
+                let (kw, freq) = spec_str
+                    .split_once('=')
+                    .ok_or_else(|| format!("--plant needs keyword=frequency, got {spec_str:?}"))?;
+                spec.planted.push(Planted {
+                    keyword: kw.to_string(),
+                    frequency: freq.parse()?,
+                });
+            }
+            a if a.starts_with("--") => return Err(format!("unknown flag {a:?}").into()),
+            _ => {
+                if output.is_some() {
+                    return Err("exactly one output path expected".into());
+                }
+                output = Some(&args[i]);
+            }
+        }
+        i += 1;
+    }
+    let output = output.ok_or("missing output path")?;
+    for p in &spec.planted {
+        if p.frequency > spec.papers {
+            return Err(format!(
+                "planted frequency {} for {:?} exceeds --papers {}",
+                p.frequency, p.keyword, spec.papers
+            )
+            .into());
+        }
+    }
+
+    let started = std::time::Instant::now();
+    let tree = generate(&spec);
+    let xml = xk_xmltree::to_xml_string(&tree, xk_xmltree::NodeId::ROOT);
+    std::fs::write(output, &xml)?;
+    eprintln!(
+        "wrote {} ({} nodes, {:.1} MiB, {} planted keywords) in {:.1?}",
+        output,
+        tree.len(),
+        xml.len() as f64 / (1024.0 * 1024.0),
+        spec.planted.len(),
+        started.elapsed()
+    );
+    Ok(())
+}
+
+fn next(args: &[String], i: usize) -> Result<&String, Box<dyn std::error::Error>> {
+    args.get(i).ok_or_else(|| "missing flag value".into())
+}

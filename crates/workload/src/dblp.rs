@@ -1,0 +1,278 @@
+//! The synthetic DBLP-like document generator.
+//!
+//! The paper evaluates XKSearch on 83 MB of DBLP data "grouped first by
+//! journal/conference names, then by years". The proprietary snapshot the
+//! authors used is not reproducible, but the evaluation's controlling
+//! variable is the *keyword-list size* (10 … 100 000), not the prose — so
+//! this generator produces the same grouped shape:
+//!
+//! ```text
+//! dblp / venue / year-group / paper / {title, author*, pages, year}
+//! ```
+//!
+//! with Zipfian background text, and **plants** query keywords with exact
+//! frequencies at uniformly random papers: a keyword planted with
+//! frequency `f` appears in the title text node of exactly `f` distinct
+//! papers, so `|S_keyword| = f` precisely.
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xk_xmltree::{NodeId, XmlTree};
+
+/// A keyword to plant with an exact list size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Planted {
+    /// The keyword (must be a single lowercase alphanumeric token).
+    pub keyword: String,
+    /// Exact number of nodes whose label will contain it.
+    pub frequency: usize,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct DblpSpec {
+    /// Total number of paper elements.
+    pub papers: usize,
+    /// Top-level venue groups.
+    pub venues: usize,
+    /// Year groups per venue.
+    pub years_per_venue: usize,
+    /// Background vocabulary size.
+    pub vocabulary: usize,
+    /// Words per title.
+    pub title_words: usize,
+    /// Authors per paper.
+    pub authors_per_paper: usize,
+    /// Keywords to plant with exact frequencies.
+    pub planted: Vec<Planted>,
+    /// RNG seed: generation is fully deterministic given the spec.
+    pub seed: u64,
+}
+
+impl Default for DblpSpec {
+    fn default() -> Self {
+        DblpSpec {
+            papers: 10_000,
+            venues: 20,
+            years_per_venue: 10,
+            vocabulary: 5_000,
+            title_words: 5,
+            authors_per_paper: 2,
+            planted: Vec::new(),
+            seed: 0xD81F,
+        }
+    }
+}
+
+impl DblpSpec {
+    /// A small configuration for tests and examples.
+    pub fn small() -> DblpSpec {
+        DblpSpec { papers: 500, venues: 5, years_per_venue: 4, ..DblpSpec::default() }
+    }
+}
+
+/// Generates the document. Panics if a planted frequency exceeds the
+/// number of papers (each occurrence needs a distinct paper).
+pub fn generate(spec: &DblpSpec) -> XmlTree {
+    for p in &spec.planted {
+        assert!(
+            p.frequency <= spec.papers,
+            "planted frequency {} exceeds paper count {}",
+            p.frequency,
+            spec.papers
+        );
+        assert!(
+            p.keyword.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
+            "planted keyword {:?} must be a lowercase alphanumeric token",
+            p.keyword
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let zipf = Zipf::new(spec.vocabulary.max(1), 1.0);
+
+    // Choose, for every planted keyword, the distinct papers that carry it.
+    let mut extra_words: Vec<Vec<&str>> = vec![Vec::new(); spec.papers];
+    for p in &spec.planted {
+        for paper in sample_distinct(&mut rng, spec.papers, p.frequency) {
+            extra_words[paper].push(&p.keyword);
+        }
+    }
+
+    let mut tree = XmlTree::new("dblp");
+    let venues = spec.venues.max(1);
+    let years = spec.years_per_venue.max(1);
+
+    // Venue and year-group skeleton.
+    let mut year_groups: Vec<NodeId> = Vec::with_capacity(venues * years);
+    for v in 0..venues {
+        let kind = if v % 2 == 0 { "conference" } else { "journal" };
+        let venue = tree.append_element(NodeId::ROOT, kind);
+        let name = tree.append_element(venue, "name");
+        tree.append_text(name, format!("venue{v}"));
+        for y in 0..years {
+            let group = tree.append_element(venue, "yeargroup");
+            let label = tree.append_element(group, "label");
+            tree.append_text(label, format!("{}", 1970 + y));
+            year_groups.push(group);
+        }
+    }
+
+    // Papers round-robin across the year groups, matching the paper's
+    // "grouped" DBLP shape (bounded fanout at the top, wide at the paper
+    // level).
+    for (i, extras) in extra_words.iter().enumerate() {
+        let group = year_groups[i % year_groups.len()];
+        let kind = if i % 3 == 0 { "article" } else { "inproceedings" };
+        let paper = tree.append_element(group, kind);
+
+        let title = tree.append_element(paper, "title");
+        let mut text = String::new();
+        for w in 0..spec.title_words {
+            if w > 0 {
+                text.push(' ');
+            }
+            text.push_str(&word(zipf.sample(&mut rng)));
+        }
+        for extra in extras {
+            text.push(' ');
+            text.push_str(extra);
+        }
+        tree.append_text(title, text);
+
+        for _ in 0..spec.authors_per_paper {
+            let author = tree.append_element(paper, "author");
+            let id: usize = rng.random_range(0..spec.vocabulary.max(1) * 4);
+            tree.append_text(author, format!("author{id}"));
+        }
+
+        let pages = tree.append_element(paper, "pages");
+        let first: u32 = rng.random_range(1..400);
+        tree.append_text(pages, format!("{}-{}", first, first + rng.random_range(1..30)));
+
+        let year = tree.append_element(paper, "year");
+        tree.append_text(year, format!("{}", 1970 + (i % year_groups.len()) % years));
+    }
+    tree
+}
+
+/// Background vocabulary word for a Zipf rank.
+fn word(rank: usize) -> String {
+    format!("w{rank:04}")
+}
+
+/// `amount` distinct values from `0..n`, uniformly, by partial
+/// Fisher–Yates over an index table (O(n) memory, O(amount) swaps).
+fn sample_distinct(rng: &mut StdRng, n: usize, amount: usize) -> Vec<usize> {
+    debug_assert!(amount <= n);
+    // For small draws relative to n, rejection sampling is cheaper than
+    // materializing the index table.
+    if amount * 8 < n {
+        let mut chosen = std::collections::HashSet::with_capacity(amount * 2);
+        let mut out = Vec::with_capacity(amount);
+        while out.len() < amount {
+            let v = rng.random_range(0..n);
+            if chosen.insert(v) {
+                out.push(v);
+            }
+        }
+        return out;
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..amount {
+        let j = rng.random_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(amount);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xk_index::MemIndex;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DblpSpec::small();
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.preorder().zip(b.preorder()) {
+            assert_eq!(a.label(x), b.label(y));
+        }
+    }
+
+    #[test]
+    fn planted_frequencies_are_exact() {
+        let spec = DblpSpec {
+            planted: vec![
+                Planted { keyword: "needle7".into(), frequency: 13 },
+                Planted { keyword: "hay".into(), frequency: 250 },
+                Planted { keyword: "solo".into(), frequency: 1 },
+            ],
+            ..DblpSpec::small()
+        };
+        let tree = generate(&spec);
+        let idx = MemIndex::build(&tree);
+        assert_eq!(idx.frequency("needle7"), 13);
+        assert_eq!(idx.frequency("hay"), 250);
+        assert_eq!(idx.frequency("solo"), 1);
+    }
+
+    #[test]
+    fn shape_is_grouped_like_dblp() {
+        let spec = DblpSpec::small();
+        let tree = generate(&spec);
+        // dblp -> venue -> yeargroup -> paper -> title -> text: depth 5.
+        assert_eq!(tree.max_depth(), 5);
+        assert_eq!(tree.children(NodeId::ROOT).len(), spec.venues);
+        // All papers present.
+        let papers = tree
+            .preorder()
+            .filter(|&n| matches!(tree.label(n), "article" | "inproceedings"))
+            .count();
+        assert_eq!(papers, spec.papers);
+    }
+
+    #[test]
+    fn zipf_background_is_skewed() {
+        let tree = generate(&DblpSpec::small());
+        let idx = MemIndex::build(&tree);
+        // The rank-0 word must dominate a deep-rank word.
+        assert!(idx.frequency("w0000") > idx.frequency("w0400"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds paper count")]
+    fn overfull_planting_panics() {
+        let spec = DblpSpec {
+            papers: 10,
+            planted: vec![Planted { keyword: "x".into(), frequency: 11 }],
+            ..DblpSpec::small()
+        };
+        generate(&spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "lowercase alphanumeric")]
+    fn invalid_keyword_panics() {
+        let spec = DblpSpec {
+            planted: vec![Planted { keyword: "Bad Word".into(), frequency: 1 }],
+            ..DblpSpec::small()
+        };
+        generate(&spec);
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for (n, k) in [(100, 100), (100, 5), (1000, 999), (1, 1), (50_000, 10)] {
+            let s = sample_distinct(&mut rng, n, k);
+            assert_eq!(s.len(), k);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), k, "duplicates for n={n} k={k}");
+            assert!(s.iter().all(|&v| v < n));
+        }
+    }
+}

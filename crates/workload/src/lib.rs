@@ -1,0 +1,15 @@
+//! # xk-workload
+//!
+//! Synthetic workloads for the XKSearch reproduction: a DBLP-like XML
+//! generator with **exact keyword-frequency planting** (the paper's
+//! experiments are parameterized by keyword-list sizes from 10 to
+//! 100 000), Zipfian background vocabulary, and a random-query sampler
+//! reproducing the "forty randomly chosen queries" methodology.
+
+pub mod dblp;
+pub mod queries;
+pub mod zipf;
+
+pub use dblp::{generate, DblpSpec, Planted};
+pub use queries::{class_keyword, planted_for_classes, FrequencyClass, QuerySampler};
+pub use zipf::Zipf;

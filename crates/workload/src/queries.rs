@@ -1,0 +1,149 @@
+//! Query workloads over planted keywords.
+//!
+//! The paper's experiments run "forty queries randomly chosen by a
+//! program" per data point, where a data point fixes the keyword-list
+//! sizes (e.g. "small frequency 10, large frequency 100 000"). Here each
+//! frequency that an experiment needs becomes a *frequency class*: a set
+//! of distinct planted keywords all sharing that exact list size. A random
+//! query for a point draws distinct keywords from the required classes.
+
+use crate::dblp::Planted;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A set of planted keywords sharing one exact frequency.
+#[derive(Debug, Clone)]
+pub struct FrequencyClass {
+    /// The exact list size of every keyword in the class.
+    pub frequency: usize,
+    /// The keyword tokens.
+    pub keywords: Vec<String>,
+}
+
+impl FrequencyClass {
+    /// Builds a class of `count` keywords named deterministically.
+    pub fn new(frequency: usize, count: usize) -> FrequencyClass {
+        let keywords = (0..count).map(|i| class_keyword(frequency, i)).collect();
+        FrequencyClass { frequency, keywords }
+    }
+
+    /// The [`Planted`] entries for this class.
+    pub fn planted(&self) -> Vec<Planted> {
+        self.keywords
+            .iter()
+            .map(|k| Planted { keyword: k.clone(), frequency: self.frequency })
+            .collect()
+    }
+}
+
+/// The deterministic name of the `i`-th keyword with frequency `f`.
+pub fn class_keyword(frequency: usize, i: usize) -> String {
+    format!("kf{frequency}x{i}")
+}
+
+/// Flattens several classes into one planted list for [`crate::DblpSpec`].
+pub fn planted_for_classes(classes: &[FrequencyClass]) -> Vec<Planted> {
+    classes.iter().flat_map(|c| c.planted()).collect()
+}
+
+/// Draws random keyword queries from frequency classes.
+pub struct QuerySampler {
+    rng: StdRng,
+}
+
+impl QuerySampler {
+    /// A deterministic sampler.
+    pub fn new(seed: u64) -> QuerySampler {
+        QuerySampler { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Samples one query: for each `(class, count)` requirement, `count`
+    /// distinct keywords from that class. The total keyword list of the
+    /// query preserves requirement order (class by class).
+    ///
+    /// Panics if a class has fewer keywords than requested.
+    pub fn sample(&mut self, requirements: &[(&FrequencyClass, usize)]) -> Vec<String> {
+        let mut query = Vec::new();
+        for (class, count) in requirements {
+            assert!(
+                *count <= class.keywords.len(),
+                "class of frequency {} has {} keywords, need {}",
+                class.frequency,
+                class.keywords.len(),
+                count
+            );
+            // Partial Fisher–Yates over the class indices.
+            let mut idx: Vec<usize> = (0..class.keywords.len()).collect();
+            for i in 0..*count {
+                let j = self.rng.random_range(i..idx.len());
+                idx.swap(i, j);
+            }
+            for &i in idx.iter().take(*count) {
+                query.push(class.keywords[i].clone());
+            }
+        }
+        query
+    }
+
+    /// Samples `n` queries for the same requirements.
+    pub fn sample_many(
+        &mut self,
+        requirements: &[(&FrequencyClass, usize)],
+        n: usize,
+    ) -> Vec<Vec<String>> {
+        (0..n).map(|_| self.sample(requirements)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_names_are_valid_tokens() {
+        let c = FrequencyClass::new(1000, 5);
+        assert_eq!(c.keywords.len(), 5);
+        for k in &c.keywords {
+            assert!(k.chars().all(|ch| ch.is_ascii_lowercase() || ch.is_ascii_digit()));
+        }
+        assert_eq!(c.keywords[2], "kf1000x2");
+    }
+
+    #[test]
+    fn planted_flattening() {
+        let classes = vec![FrequencyClass::new(10, 2), FrequencyClass::new(100, 3)];
+        let planted = planted_for_classes(&classes);
+        assert_eq!(planted.len(), 5);
+        assert_eq!(planted[0].frequency, 10);
+        assert_eq!(planted[4].frequency, 100);
+    }
+
+    #[test]
+    fn sampled_queries_have_distinct_keywords_per_class() {
+        let small = FrequencyClass::new(10, 4);
+        let large = FrequencyClass::new(1000, 6);
+        let mut s = QuerySampler::new(99);
+        for _ in 0..50 {
+            let q = s.sample(&[(&small, 1), (&large, 3)]);
+            assert_eq!(q.len(), 4);
+            assert!(q[0].starts_with("kf10x"));
+            let large_kws: std::collections::HashSet<_> = q[1..].iter().collect();
+            assert_eq!(large_kws.len(), 3, "distinct large keywords");
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let c = FrequencyClass::new(10, 8);
+        let a = QuerySampler::new(7).sample_many(&[(&c, 2)], 5);
+        let b = QuerySampler::new(7).sample_many(&[(&c, 2)], 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "need")]
+    fn oversampling_a_class_panics() {
+        let c = FrequencyClass::new(10, 2);
+        QuerySampler::new(0).sample(&[(&c, 3)]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests for the workload generator: planted frequencies are
+//! exact for arbitrary specs, generation is deterministic, and the query
+//! sampler always produces well-formed queries.
+
+use proptest::prelude::*;
+use xk_index::MemIndex;
+use xk_workload::{generate, DblpSpec, FrequencyClass, Planted, QuerySampler};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn planted_frequencies_are_exact(
+        papers in 50usize..400,
+        freqs in proptest::collection::vec(1usize..50, 1..4),
+        seed in any::<u64>(),
+    ) {
+        let planted: Vec<Planted> = freqs
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| Planted { keyword: format!("plant{i}"), frequency: f.min(papers) })
+            .collect();
+        let spec = DblpSpec { papers, planted: planted.clone(), seed, ..DblpSpec::small() };
+        let tree = generate(&spec);
+        let idx = MemIndex::build(&tree);
+        for p in &planted {
+            prop_assert_eq!(
+                idx.frequency(&p.keyword),
+                p.frequency as u64,
+                "keyword {} with {} papers", p.keyword, papers
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_under_any_seed(seed in any::<u64>()) {
+        let spec = DblpSpec { papers: 120, seed, ..DblpSpec::small() };
+        let a = generate(&spec);
+        let b = generate(&spec);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.preorder().zip(b.preorder()) {
+            prop_assert_eq!(a.label(x), b.label(y));
+        }
+    }
+
+    #[test]
+    fn sampler_queries_are_well_formed(
+        seed in any::<u64>(),
+        class_size in 2usize..8,
+        take in 1usize..6,
+    ) {
+        let take = take.min(class_size);
+        let class = FrequencyClass::new(42, class_size);
+        let mut sampler = QuerySampler::new(seed);
+        for q in sampler.sample_many(&[(&class, take)], 10) {
+            prop_assert_eq!(q.len(), take);
+            let set: std::collections::HashSet<_> = q.iter().collect();
+            prop_assert_eq!(set.len(), take, "distinct keywords");
+            for k in &q {
+                prop_assert!(class.keywords.contains(k));
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Integration test for the `xkgen` corpus-generator binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xkgen"))
+}
+
+#[test]
+fn generates_a_parseable_corpus_with_exact_planting() {
+    let dir = std::env::temp_dir().join(format!("xkgen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("corpus.xml");
+    let status = bin()
+        .args([
+            out.to_str().unwrap(),
+            "--papers",
+            "300",
+            "--seed",
+            "7",
+            "--plant",
+            "needle=12",
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    let xml = std::fs::read_to_string(&out).unwrap();
+    let tree = xk_xmltree::parse(&xml).unwrap();
+    let idx = xk_index::MemIndex::build(&tree);
+    assert_eq!(idx.frequency("needle"), 12);
+    let papers = tree
+        .preorder()
+        .filter(|&n| matches!(tree.label(n), "article" | "inproceedings"))
+        .count();
+    assert_eq!(papers, 300);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn rejects_bad_flags() {
+    assert!(!bin().status().unwrap().success()); // no output path
+    assert!(!bin().args(["/tmp/x.xml", "--plant", "nofreq"]).status().unwrap().success());
+    assert!(!bin()
+        .args(["/tmp/x.xml", "--papers", "5", "--plant", "w=10"])
+        .status()
+        .unwrap()
+        .success()); // frequency > papers
+    assert!(!bin().args(["/tmp/x.xml", "--bogus"]).status().unwrap().success());
+}

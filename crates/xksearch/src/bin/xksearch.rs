@@ -1,0 +1,275 @@
+//! The XKSearch command-line interface — the reproduction's counterpart
+//! of the paper's DBLP web demo.
+//!
+//! ```text
+//! xksearch build <input.xml> <index.db> [--no-doc] [--page-size N] [--pool-pages N]
+//! xksearch query <index.db> <keyword>... [--algo auto|il|scan|stack] [--lca]
+//!                [--show N] [--cold]
+//! xksearch stats <index.db>
+//! xksearch demo  <keyword>...        # School.xml from Figure 1, in memory
+//! ```
+
+use std::process::ExitCode;
+use xk_storage::EnvOptions;
+use xksearch::{Algorithm, Engine};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(|s| s.as_str()) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("append") => cmd_append(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        _ => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+XKSearch: keyword search for smallest LCAs in XML documents
+
+USAGE:
+  xksearch build <input.xml> <index.db> [--no-doc] [--page-size N] [--pool-pages N]
+  xksearch query <index.db> <keyword>... [--algo auto|il|scan|stack] [--lca] [--show N] [--cold]
+  xksearch stats <index.db>
+  xksearch append <index.db> <parent-dewey|/> <fragment.xml>
+  xksearch demo  [<keyword>...]     (defaults to: John Ben)
+";
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn parse_env_options(args: &[String]) -> Result<EnvOptions, AnyError> {
+    let mut options = EnvOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--page-size" => {
+                options.page_size = next_value(args, &mut i)?.parse()?;
+            }
+            "--pool-pages" => {
+                options.pool_pages = next_value(args, &mut i)?.parse()?;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Ok(options)
+}
+
+fn next_value<'a>(args: &'a [String], i: &mut usize) -> Result<&'a str, AnyError> {
+    *i += 1;
+    args.get(*i).map(|s| s.as_str()).ok_or_else(|| "missing flag value".into())
+}
+
+fn cmd_build(args: &[String]) -> Result<(), AnyError> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--page-size" | "--pool-pages" => i += 1, // skip the value too
+            "--no-doc" => {}
+            a if a.starts_with("--") => return Err(format!("unknown flag {a:?}").into()),
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [input, output] = positional.as_slice() else {
+        return Err("build needs <input.xml> and <index.db>".into());
+    };
+    let store_document = !args.iter().any(|a| a == "--no-doc");
+    let options = parse_env_options(args)?;
+
+    let xml = std::fs::read_to_string(input)?;
+    let started = std::time::Instant::now();
+    let tree = xk_xmltree::parse(&xml)?;
+    eprintln!(
+        "parsed {} ({} nodes, depth {}) in {:.2?}",
+        input,
+        tree.len(),
+        tree.max_depth(),
+        started.elapsed()
+    );
+    let started = std::time::Instant::now();
+    let engine = Engine::build(&tree, output, options, store_document)?;
+    engine.with_env(|env| env.flush())?;
+    eprintln!(
+        "indexed {} keywords into {} in {:.2?}",
+        engine.index().keyword_count(),
+        output,
+        started.elapsed()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), AnyError> {
+    let options = parse_env_options(args)?;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--page-size" | "--pool-pages" => i += 1,
+            a if a.starts_with("--") => return Err(format!("unknown flag {a:?}").into()),
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [db] = positional.as_slice() else {
+        return Err("stats needs <index.db>".into());
+    };
+    let engine = Engine::open(db, options)?;
+    let index = engine.index();
+    println!("index file      : {db}");
+    println!("distinct words  : {}", index.keyword_count());
+    println!("document depth  : {}", index.level_table().depth());
+    let mut freqs: Vec<(String, u64)> =
+        index.keywords().map(|(k, f)| (k.to_string(), f)).collect();
+    freqs.sort_by_key(|&(_, f)| std::cmp::Reverse(f));
+    println!("most frequent   :");
+    for (k, f) in freqs.iter().take(10) {
+        println!("  {f:>10}  {k}");
+    }
+    Ok(())
+}
+
+fn cmd_append(args: &[String]) -> Result<(), AnyError> {
+    let options = parse_env_options(args)?;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--page-size" | "--pool-pages" => i += 1,
+            a if a.starts_with("--") => return Err(format!("unknown flag {a:?}").into()),
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [db, parent, fragment_path] = positional.as_slice() else {
+        return Err("append needs <index.db> <parent-dewey> <fragment.xml>".into());
+    };
+    let parent: xk_xmltree::Dewey = parent.parse()?;
+    let fragment = std::fs::read_to_string(fragment_path)?;
+    let mut engine = Engine::open(db, options)?;
+    let added = engine.append_subtree(&parent, &fragment)?;
+    engine.with_env(|env| env.flush())?;
+    println!("appended fragment at Dewey {added}");
+    Ok(())
+}
+
+struct QueryFlags {
+    algorithm: Algorithm,
+    lca: bool,
+    show: usize,
+    cold: bool,
+}
+
+fn parse_query_flags(args: &[String]) -> Result<(Vec<String>, QueryFlags), AnyError> {
+    let mut flags = QueryFlags { algorithm: Algorithm::Auto, lca: false, show: 3, cold: false };
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--algo" => {
+                flags.algorithm = match next_value(args, &mut i)? {
+                    "auto" => Algorithm::Auto,
+                    "il" => Algorithm::IndexedLookupEager,
+                    "scan" => Algorithm::ScanEager,
+                    "stack" => Algorithm::Stack,
+                    other => return Err(format!("unknown algorithm {other:?}").into()),
+                };
+            }
+            "--show" => flags.show = next_value(args, &mut i)?.parse()?,
+            "--lca" => flags.lca = true,
+            "--cold" => flags.cold = true,
+            "--page-size" | "--pool-pages" => {
+                i += 1; // value consumed by parse_env_options
+            }
+            a if a.starts_with("--") => return Err(format!("unknown flag {a:?}").into()),
+            a => positional.push(a.to_string()),
+        }
+        i += 1;
+    }
+    Ok((positional, flags))
+}
+
+fn cmd_query(args: &[String]) -> Result<(), AnyError> {
+    let options = parse_env_options(args)?;
+    let (positional, flags) = parse_query_flags(args)?;
+    let [db, keywords @ ..] = positional.as_slice() else {
+        return Err("query needs <index.db> and at least one keyword".into());
+    };
+    if keywords.is_empty() {
+        return Err("query needs at least one keyword".into());
+    }
+    let mut engine = Engine::open(db, options)?;
+    if flags.cold {
+        engine.clear_cache()?;
+    }
+    let kw: Vec<&str> = keywords.iter().map(|s| s.as_str()).collect();
+    run_query(&mut engine, &kw, &flags)
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), AnyError> {
+    let (positional, flags) = parse_query_flags(args)?;
+    let mut engine =
+        Engine::build_in_memory(&xk_xmltree::school_example(), EnvOptions::default())?;
+    let kw: Vec<&str> = if positional.is_empty() {
+        vec!["John", "Ben"]
+    } else {
+        positional.iter().map(|s| s.as_str()).collect()
+    };
+    println!("School.xml (Figure 1) — query: {kw:?}");
+    run_query(&mut engine, &kw, &flags)
+}
+
+fn run_query(engine: &mut Engine, keywords: &[&str], flags: &QueryFlags) -> Result<(), AnyError> {
+    if flags.lca {
+        let out = engine.query_all_lcas(keywords)?;
+        println!(
+            "{} LCAs in {:.2?}  (lookups={}, disk reads={})",
+            out.lcas.len(),
+            out.elapsed,
+            out.stats.match_lookups,
+            out.io.disk_reads
+        );
+        for (node, kind) in &out.lcas {
+            println!("  {node}  [{kind:?}]");
+        }
+        return Ok(());
+    }
+    let out = engine.query(keywords, flags.algorithm)?;
+    println!(
+        "{} SLCAs in {:.2?} via {}  (S1={} |S1|={}, lookups={}, scanned={}, disk reads={})",
+        out.slcas.len(),
+        out.elapsed,
+        out.algorithm,
+        out.keywords.first().map(|s| s.as_str()).unwrap_or("-"),
+        out.frequencies.first().copied().unwrap_or(0),
+        out.stats.match_lookups,
+        out.stats.nodes_scanned,
+        out.io.disk_reads
+    );
+    for (i, slca) in out.slcas.iter().enumerate() {
+        if i >= flags.show {
+            break;
+        }
+        println!("— answer {} at {slca}:", i + 1);
+        match engine.render_subtree(slca) {
+            Ok(xml) => println!("{xml}"),
+            Err(_) => println!("  (no embedded document; Dewey id only)"),
+        }
+    }
+    if out.slcas.len() > flags.show {
+        println!("… ({} more; raise --show to render them)", out.slcas.len() - flags.show);
+    }
+    Ok(())
+}

@@ -1,0 +1,693 @@
+//! The XKSearch query engine (the paper's Figure 6 architecture).
+//!
+//! The engine owns a disk index and serves keyword queries end to end:
+//! it normalizes the keywords, consults the in-memory frequency table to
+//! pick the smallest list as `S_1`, dispatches to one of the three SLCA
+//! algorithms (or picks one automatically the way the paper's analysis
+//! recommends), and reports the SLCAs together with operation counts,
+//! buffer-pool I/O deltas, and wall-clock time — the measurements the
+//! experiments in Section 6 chart.
+
+use crate::error::{EngineError, Result};
+use std::path::Path;
+use std::time::{Duration, Instant};
+use xk_index::{build_disk_index_with, DiskIndex, SharedEnv};
+use xk_slca::{
+    all_lcas, indexed_lookup_eager, scan_eager, stack_merge, AlgoStats, LcaKind, RankedList,
+};
+use xk_storage::{EnvOptions, IoStats, StorageEnv};
+use xk_xmltree::{normalize_keyword, Dewey, XmlTree};
+
+/// Which SLCA algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Pick automatically: Indexed Lookup Eager when the frequency ratio
+    /// between the largest and smallest list is at least
+    /// [`AUTO_RATIO_THRESHOLD`], Scan Eager otherwise — following the
+    /// paper's guidance that IL wins by orders of magnitude on skewed
+    /// frequencies while Scan Eager is the best variant for similar ones.
+    Auto,
+    /// The paper's core algorithm (Section 3.1).
+    IndexedLookupEager,
+    /// The cursor-scanning variant (Section 3.2).
+    ScanEager,
+    /// The XRANK-style sort-merge baseline (Section 3.3).
+    Stack,
+}
+
+/// Frequency ratio at which [`Algorithm::Auto`] switches to Indexed
+/// Lookup Eager.
+pub const AUTO_RATIO_THRESHOLD: u64 = 16;
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Algorithm::Auto => "auto",
+            Algorithm::IndexedLookupEager => "indexed-lookup-eager",
+            Algorithm::ScanEager => "scan-eager",
+            Algorithm::Stack => "stack",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// The result of one keyword query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The SLCAs in document order.
+    pub slcas: Vec<Dewey>,
+    /// The algorithm that actually ran (never `Auto`).
+    pub algorithm: Algorithm,
+    /// The normalized keywords in the order they were executed
+    /// (`keywords[0]` is the smallest list, the paper's `S_1`).
+    pub keywords: Vec<String>,
+    /// The executed keyword-list sizes, aligned with `keywords`.
+    pub frequencies: Vec<u64>,
+    /// Algorithm-level operation counts.
+    pub stats: AlgoStats,
+    /// Buffer-pool I/O during the query (disk_reads = the paper's "number
+    /// of disk accesses").
+    pub io: IoStats,
+    /// Wall-clock query time.
+    pub elapsed: Duration,
+}
+
+/// The result of an all-LCA query (Section 5).
+#[derive(Debug, Clone)]
+pub struct LcaOutcome {
+    /// All LCAs in document order, each tagged smallest/ancestor.
+    pub lcas: Vec<(Dewey, LcaKind)>,
+    pub keywords: Vec<String>,
+    pub stats: AlgoStats,
+    pub io: IoStats,
+    pub elapsed: Duration,
+}
+
+/// A disk-backed XKSearch engine.
+pub struct Engine {
+    env: SharedEnv,
+    index: DiskIndex,
+    document: Option<XmlTree>,
+}
+
+impl Engine {
+    /// Builds an index for `tree` in a new storage file and opens it.
+    pub fn build(
+        tree: &XmlTree,
+        db_path: impl AsRef<Path>,
+        options: EnvOptions,
+        store_document: bool,
+    ) -> Result<Engine> {
+        let mut env = StorageEnv::create(db_path, options)?;
+        // Default build options leave level-table headroom so the index
+        // accepts incremental appends (see [`Engine::append_subtree`]).
+        build_disk_index_with(
+            &mut env,
+            tree,
+            &xk_index::BuildOptions { store_document, ..Default::default() },
+        )?;
+        Self::from_env(env)
+    }
+
+    /// Builds an index for `tree` fully in memory (tests, small data).
+    pub fn build_in_memory(tree: &XmlTree, options: EnvOptions) -> Result<Engine> {
+        let mut env = StorageEnv::in_memory(options);
+        build_disk_index_with(&mut env, tree, &xk_index::BuildOptions::default())?;
+        Self::from_env(env)
+    }
+
+    /// Opens an existing index file.
+    pub fn open(db_path: impl AsRef<Path>, options: EnvOptions) -> Result<Engine> {
+        let env = StorageEnv::open(db_path, options)?;
+        Self::from_env(env)
+    }
+
+    fn from_env(mut env: StorageEnv) -> Result<Engine> {
+        let index = DiskIndex::open(&mut env)?;
+        Ok(Engine { env: SharedEnv::new(env), index, document: None })
+    }
+
+    /// The underlying index (frequency table, vocabulary).
+    pub fn index(&self) -> &DiskIndex {
+        &self.index
+    }
+
+    /// Runs `f` against the storage environment (for cache control and
+    /// I/O statistics in experiments).
+    pub fn with_env<R>(&self, f: impl FnOnce(&mut StorageEnv) -> R) -> R {
+        self.env.with(f)
+    }
+
+    /// Drops the buffer pool — the *cold cache* state of the experiments.
+    pub fn clear_cache(&self) -> Result<()> {
+        self.env.with(|e| e.clear_cache())?;
+        Ok(())
+    }
+
+    /// Sequential access to a keyword's list (tools, benches). `None` if
+    /// the keyword does not occur.
+    pub fn stream_list(&self, keyword: &str) -> Option<xk_index::DiskStreamList> {
+        self.index.stream_list(self.env.clone(), keyword)
+    }
+
+    /// Indexed (`lm`/`rm`) access to a keyword's list (tools, benches).
+    /// `None` if the keyword does not occur.
+    pub fn ranked_list(&self, keyword: &str) -> Option<xk_index::DiskRankedList> {
+        self.index.ranked_list(self.env.clone(), keyword)
+    }
+
+    /// Normalizes, validates, and frequency-orders the query keywords.
+    /// Returns `None` if any keyword does not occur (empty result).
+    fn prepare(&self, keywords: &[&str]) -> Result<Option<(Vec<String>, Vec<u64>)>> {
+        let mut normalized = Vec::with_capacity(keywords.len());
+        for raw in keywords {
+            let k = normalize_keyword(raw)
+                .ok_or_else(|| EngineError::BadQuery(format!("empty keyword {raw:?}")))?;
+            if !normalized.contains(&k) {
+                normalized.push(k);
+            }
+        }
+        if normalized.is_empty() {
+            return Err(EngineError::BadQuery("no keywords given".into()));
+        }
+        let mut with_freq = Vec::with_capacity(normalized.len());
+        for k in normalized {
+            match self.index.lookup(&k) {
+                Some(meta) => with_freq.push((k, meta.count)),
+                None => return Ok(None), // a keyword with no occurrences
+            }
+        }
+        // Smallest list first — the paper's S_1 choice.
+        with_freq.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        Ok(Some(with_freq.into_iter().unzip()))
+    }
+
+    fn resolve(&self, algorithm: Algorithm, frequencies: &[u64]) -> Algorithm {
+        match algorithm {
+            Algorithm::Auto => {
+                let min = *frequencies.first().unwrap_or(&1);
+                let max = *frequencies.last().unwrap_or(&1);
+                if frequencies.len() >= 2 && max / min.max(1) >= AUTO_RATIO_THRESHOLD {
+                    Algorithm::IndexedLookupEager
+                } else {
+                    Algorithm::ScanEager
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Answers a keyword query with the chosen algorithm.
+    pub fn query(&self, keywords: &[&str], algorithm: Algorithm) -> Result<QueryOutcome> {
+        let start = Instant::now();
+        let io_before = self.env.with(|e| e.stats());
+        let Some((ordered, frequencies)) = self.prepare(keywords)? else {
+            return Ok(QueryOutcome {
+                slcas: Vec::new(),
+                algorithm: self.resolve(algorithm, &[]),
+                keywords: keywords.iter().map(|s| s.to_string()).collect(),
+                frequencies: Vec::new(),
+                stats: AlgoStats::default(),
+                io: IoStats::default(),
+                elapsed: start.elapsed(),
+            });
+        };
+        let algorithm = self.resolve(algorithm, &frequencies);
+
+        let mut slcas = Vec::new();
+        let stats = match algorithm {
+            Algorithm::IndexedLookupEager => {
+                let mut s1 = self
+                    .index
+                    .stream_list(self.env.clone(), &ordered[0])
+                    .expect("keyword verified present");
+                let mut others: Vec<_> = ordered[1..]
+                    .iter()
+                    .map(|k| {
+                        self.index
+                            .ranked_list(self.env.clone(), k)
+                            .expect("keyword verified present")
+                    })
+                    .collect();
+                let mut refs: Vec<&mut dyn RankedList> =
+                    others.iter_mut().map(|l| l as &mut dyn RankedList).collect();
+                indexed_lookup_eager(&mut s1, &mut refs, |d| slcas.push(d))
+            }
+            Algorithm::ScanEager => {
+                let mut s1 = self
+                    .index
+                    .stream_list(self.env.clone(), &ordered[0])
+                    .expect("keyword verified present");
+                let others: Vec<_> = ordered[1..]
+                    .iter()
+                    .map(|k| {
+                        self.index
+                            .stream_list(self.env.clone(), k)
+                            .expect("keyword verified present")
+                    })
+                    .collect();
+                scan_eager(&mut s1, others, |d| slcas.push(d))
+            }
+            Algorithm::Stack => {
+                let lists: Vec<_> = ordered
+                    .iter()
+                    .map(|k| {
+                        self.index
+                            .stream_list(self.env.clone(), k)
+                            .expect("keyword verified present")
+                    })
+                    .collect();
+                stack_merge(lists, |d| slcas.push(d))
+            }
+            Algorithm::Auto => unreachable!("resolved above"),
+        };
+
+        let io = self.env.with(|e| e.stats()).delta_since(&io_before);
+        Ok(QueryOutcome {
+            slcas,
+            algorithm,
+            keywords: ordered,
+            frequencies,
+            stats,
+            io,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Answers an all-LCA query (Section 5, Algorithm 3).
+    pub fn query_all_lcas(&self, keywords: &[&str]) -> Result<LcaOutcome> {
+        let start = Instant::now();
+        let io_before = self.env.with(|e| e.stats());
+        let Some((ordered, _)) = self.prepare(keywords)? else {
+            return Ok(LcaOutcome {
+                lcas: Vec::new(),
+                keywords: keywords.iter().map(|s| s.to_string()).collect(),
+                stats: AlgoStats::default(),
+                io: IoStats::default(),
+                elapsed: start.elapsed(),
+            });
+        };
+        let mut s1 = self
+            .index
+            .stream_list(self.env.clone(), &ordered[0])
+            .expect("keyword verified present");
+        let mut owned: Vec<_> = ordered
+            .iter()
+            .map(|k| {
+                self.index
+                    .ranked_list(self.env.clone(), k)
+                    .expect("keyword verified present")
+            })
+            .collect();
+        let mut refs: Vec<&mut dyn RankedList> =
+            owned.iter_mut().map(|l| l as &mut dyn RankedList).collect();
+        let mut lcas = Vec::new();
+        let stats = all_lcas(&mut s1, &mut refs, |d, k| lcas.push((d, k)));
+        lcas.sort_by(|a, b| a.0.cmp(&b.0));
+        let io = self.env.with(|e| e.stats()).delta_since(&io_before);
+        Ok(LcaOutcome { lcas, keywords: ordered, stats, io, elapsed: start.elapsed() })
+    }
+
+    /// The indexed document, loaded lazily from the index file. Errors if
+    /// the index was built with `store_document = false`.
+    pub fn document(&mut self) -> Result<&XmlTree> {
+        if self.document.is_none() {
+            let doc = self
+                .env
+                .with(|e| self.index.load_document(e))?
+                .ok_or(EngineError::NoDocument)?;
+            self.document = Some(doc);
+        }
+        Ok(self.document.as_ref().expect("just loaded"))
+    }
+
+    /// Appends an XML fragment as the new last child of `parent` and
+    /// indexes it incrementally — the log-structured growth model of a
+    /// bibliography (new papers arrive at the end).
+    ///
+    /// Constraints:
+    ///
+    /// * `parent` must be an element on the document's **rightmost
+    ///   root-to-leaf path**, so every new node follows every indexed
+    ///   node in document order (keyword lists stay sorted and can be
+    ///   extended in place);
+    /// * the index must embed its document (`store_document = true`);
+    /// * the index must have been built with level-table headroom
+    ///   ([`xk_index::BuildOptions`]) wide enough for the new ordinals —
+    ///   otherwise a codec error is returned and nothing changes.
+    ///
+    /// Returns the Dewey id of the appended fragment's root.
+    pub fn append_subtree(&mut self, parent: &Dewey, fragment_xml: &str) -> Result<Dewey> {
+        // Take the document out so index and document can be updated
+        // without overlapping borrows; it is restored on every path.
+        self.document()?;
+        let mut doc = self.document.take().expect("document loaded above");
+        let result = self.append_into(&mut doc, parent, fragment_xml);
+        self.document = Some(doc);
+        result
+    }
+
+    fn append_into(
+        &mut self,
+        doc: &mut XmlTree,
+        parent: &Dewey,
+        fragment_xml: &str,
+    ) -> Result<Dewey> {
+        use xk_xmltree::NodeId;
+
+        let parent_id = doc
+            .node_at(parent)
+            .ok_or_else(|| EngineError::BadQuery(format!("no node at {parent}")))?;
+        if !doc.content(parent_id).is_element() {
+            return Err(EngineError::BadQuery(format!(
+                "cannot append under the text node at {parent}"
+            )));
+        }
+        // The parent must lie on the rightmost root-to-leaf path.
+        let mut cursor = NodeId::ROOT;
+        let mut on_rightmost = cursor == parent_id;
+        while !on_rightmost {
+            match doc.children(cursor).last() {
+                Some(&c) => {
+                    cursor = c;
+                    on_rightmost = cursor == parent_id;
+                }
+                None => break,
+            }
+        }
+        if !on_rightmost {
+            return Err(EngineError::BadQuery(format!(
+                "{parent} is not on the document's rightmost path; \
+                 incremental ingestion only supports appends at the tail"
+            )));
+        }
+
+        let fragment = xk_xmltree::parse(fragment_xml)?;
+        let new_root = graft(doc, parent_id, &fragment, NodeId::ROOT);
+
+        // Index the new nodes; on codec failure, undo nothing on disk
+        // (append_nodes validates first) but drop the in-memory graft by
+        // reloading the stored document.
+        let added: Vec<(Dewey, Vec<String>)> = doc
+            .preorder_from(new_root)
+            .map(|n| (doc.dewey(n), xk_index::node_tokens(doc, n)))
+            .collect();
+        let index = &mut self.index;
+        let appended = self.env.with(|env| index.append_nodes(env, &added));
+        if let Err(e) = appended {
+            if let Some(fresh) = self.env.with(|env| index.load_document(env))? {
+                *doc = fresh;
+            }
+            return Err(e.into());
+        }
+        // Keep the embedded document in sync for rendering and reopening.
+        self.env.with(|env| index.store_document(env, doc))?;
+        Ok(doc.dewey(new_root))
+    }
+
+    /// Renders the answer subtree rooted at an SLCA as pretty-printed XML
+    /// — what the paper's demo shows the user.
+    pub fn render_subtree(&mut self, slca: &Dewey) -> Result<String> {
+        let doc = self.document()?;
+        let node = doc
+            .node_at(slca)
+            .ok_or_else(|| EngineError::BadQuery(format!("no node at {slca}")))?;
+        Ok(xk_xmltree::to_pretty_xml_string(doc, node))
+    }
+}
+
+/// Deep-copies the subtree of `src` rooted at `src_node` as a new last
+/// child of `dst_parent`, returning the copy's root id.
+fn graft(
+    dst: &mut XmlTree,
+    dst_parent: xk_xmltree::NodeId,
+    src: &XmlTree,
+    src_node: xk_xmltree::NodeId,
+) -> xk_xmltree::NodeId {
+    use xk_xmltree::NodeContent;
+    let new_id = match src.content(src_node) {
+        NodeContent::Element { tag, attributes } => {
+            dst.append_element_with_attrs(dst_parent, tag.clone(), attributes.clone())
+        }
+        NodeContent::Text(t) => dst.append_text(dst_parent, t.clone()),
+    };
+    for &c in src.children(src_node) {
+        graft(dst, new_id, src, c);
+    }
+    new_id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xk_xmltree::school_example;
+
+    fn engine() -> Engine {
+        Engine::build_in_memory(
+            &school_example(),
+            EnvOptions { page_size: 512, pool_pages: 256 },
+        )
+        .unwrap()
+    }
+
+    fn d(s: &str) -> Dewey {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn school_query_all_algorithms() {
+        let e = engine();
+        for algo in [
+            Algorithm::Auto,
+            Algorithm::IndexedLookupEager,
+            Algorithm::ScanEager,
+            Algorithm::Stack,
+        ] {
+            let out = e.query(&["John", "Ben"], algo).unwrap();
+            assert_eq!(out.slcas, vec![d("0"), d("1"), d("2")], "{algo}");
+            // Ben (3) is rarer than John (4): Ben must be S1.
+            assert_eq!(out.keywords, vec!["ben", "john"]);
+            assert_eq!(out.frequencies, vec![3, 4]);
+        }
+    }
+
+    #[test]
+    fn unknown_keyword_gives_empty_result() {
+        let e = engine();
+        let out = e.query(&["John", "zzzz"], Algorithm::Auto).unwrap();
+        assert!(out.slcas.is_empty());
+    }
+
+    #[test]
+    fn bad_query_is_an_error() {
+        let e = engine();
+        assert!(e.query(&[], Algorithm::Auto).is_err());
+        assert!(e.query(&["?!"], Algorithm::Auto).is_err());
+    }
+
+    #[test]
+    fn duplicate_keywords_collapse() {
+        let e = engine();
+        let out = e.query(&["John", "john", "JOHN"], Algorithm::Auto).unwrap();
+        assert_eq!(out.keywords, vec!["john"]);
+        // Single-keyword SLCA: the John nodes minus ancestors.
+        assert_eq!(out.slcas.len(), 4);
+    }
+
+    #[test]
+    fn auto_resolution_uses_frequency_ratio() {
+        let e = engine();
+        // john=4, ben=3: similar -> Scan Eager.
+        let out = e.query(&["john", "ben"], Algorithm::Auto).unwrap();
+        assert_eq!(out.algorithm, Algorithm::ScanEager);
+    }
+
+    #[test]
+    fn auto_threshold_boundary() {
+        // Build a doc where one word is exactly AUTO_RATIO_THRESHOLD times
+        // more frequent than another, and one just below.
+        let mut t = xk_xmltree::XmlTree::new("r");
+        for i in 0..(AUTO_RATIO_THRESHOLD as usize) {
+            let e = t.append_element(xk_xmltree::NodeId::ROOT, "e");
+            let text = if i == 0 { "rare common nearly" } else { "common nearly" };
+            t.append_text(e, text);
+        }
+        // "nearly" appears 16x, "common" 16x, "rare" 1x; add one element
+        // without "nearly" to make its ratio 15 < threshold.
+        // (Rebuild with 17 commons and 16 nearlies.)
+        let e = t.append_element(xk_xmltree::NodeId::ROOT, "e");
+        t.append_text(e, "common");
+        let engine = Engine::build_in_memory(&t, EnvOptions::default()).unwrap();
+        assert_eq!(engine.index().frequency("rare"), 1);
+        assert_eq!(engine.index().frequency("common"), 17);
+        assert_eq!(engine.index().frequency("nearly"), 16);
+        // ratio 17 >= 16: IL.
+        let out = engine.query(&["rare", "common"], Algorithm::Auto).unwrap();
+        assert_eq!(out.algorithm, Algorithm::IndexedLookupEager);
+        // ratio 16 >= 16: IL (boundary inclusive).
+        let out = engine.query(&["rare", "nearly"], Algorithm::Auto).unwrap();
+        assert_eq!(out.algorithm, Algorithm::IndexedLookupEager);
+        // ratio 17/16 = 1 (integer division): Scan.
+        let out = engine.query(&["nearly", "common"], Algorithm::Auto).unwrap();
+        assert_eq!(out.algorithm, Algorithm::ScanEager);
+        // Single keyword: Scan.
+        let out = engine.query(&["common"], Algorithm::Auto).unwrap();
+        assert_eq!(out.algorithm, Algorithm::ScanEager);
+    }
+
+    #[test]
+    fn all_lca_query() {
+        let e = engine();
+        let out = e.query_all_lcas(&["John", "Ben"]).unwrap();
+        let nodes: Vec<String> = out.lcas.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(nodes, vec!["/", "0", "1", "2"]);
+        assert_eq!(out.lcas[0].1, LcaKind::Ancestor);
+        assert_eq!(out.lcas[1].1, LcaKind::Smallest);
+    }
+
+    #[test]
+    fn render_subtrees() {
+        let mut e = engine();
+        let out = e.query(&["John", "Ben"], Algorithm::Auto).unwrap();
+        let xml = e.render_subtree(&out.slcas[0]).unwrap();
+        assert!(xml.contains("John") && xml.contains("Ben"), "{xml}");
+        assert!(xml.starts_with("<class>"));
+    }
+
+    #[test]
+    fn io_stats_are_reported() {
+        let e = engine();
+        e.clear_cache().unwrap();
+        let cold = e.query(&["john", "ben"], Algorithm::ScanEager).unwrap();
+        assert!(cold.io.disk_reads > 0, "cold run reads disk");
+        let hot = e.query(&["john", "ben"], Algorithm::ScanEager).unwrap();
+        assert_eq!(hot.io.disk_reads, 0, "hot run is served from the pool");
+        assert_eq!(cold.slcas, hot.slcas);
+    }
+
+    #[test]
+    fn append_subtree_is_searchable_with_every_algorithm() {
+        let mut e = engine();
+        // A new class at the document tail where John and Ben meet again.
+        let new_root = e
+            .append_subtree(
+                &Dewey::root(),
+                "<class><title>CS4A</title><lecturer><name>Ben</name></lecturer>\
+                 <TA><name>John</name></TA></class>",
+            )
+            .unwrap();
+        assert_eq!(new_root, d("4"));
+        for algo in [Algorithm::IndexedLookupEager, Algorithm::ScanEager, Algorithm::Stack] {
+            let out = e.query(&["John", "Ben"], algo).unwrap();
+            assert_eq!(
+                out.slcas,
+                vec![d("0"), d("1"), d("2"), d("4")],
+                "algorithm {algo}"
+            );
+        }
+        // Rendering sees the refreshed document.
+        let xml = e.render_subtree(&d("4")).unwrap();
+        assert!(xml.contains("CS4A"), "{xml}");
+        // Frequencies moved.
+        assert_eq!(e.index().frequency("john"), 5);
+        assert_eq!(e.index().frequency("cs4a"), 1);
+    }
+
+    #[test]
+    fn append_deeper_on_rightmost_path() {
+        let mut e = engine();
+        // The rightmost path runs through the last class (Dewey 3); its
+        // lecturer element is NOT on it, but class 3 itself is.
+        let added = e
+            .append_subtree(&d("3"), "<students><student><name>Ben</name></student></students>")
+            .unwrap();
+        assert_eq!(added, d("3.2"));
+        let out = e.query(&["John", "Ben"], Algorithm::Stack).unwrap();
+        assert!(out.slcas.contains(&d("3")), "{:?}", out.slcas);
+    }
+
+    #[test]
+    fn append_rejects_non_tail_positions() {
+        let mut e = engine();
+        // Class 0 is not on the rightmost path.
+        let err = e.append_subtree(&d("0"), "<x>y</x>").unwrap_err();
+        assert!(err.to_string().contains("rightmost"), "{err}");
+        // Text nodes cannot take children.
+        let err = e.append_subtree(&d("3.0.0"), "<x>y</x>").unwrap_err();
+        assert!(err.to_string().contains("text node"), "{err}");
+        // Unknown positions are rejected.
+        assert!(e.append_subtree(&d("9.9"), "<x/>").is_err());
+        // Malformed fragments are rejected.
+        assert!(e.append_subtree(&Dewey::root(), "<broken>").is_err());
+        // And none of those attempts disturbed the index.
+        let out = e.query(&["John", "Ben"], Algorithm::Auto).unwrap();
+        assert_eq!(out.slcas.len(), 3);
+    }
+
+    #[test]
+    fn repeated_appends_accumulate_until_headroom_runs_out() {
+        let mut e = engine();
+        // The school root has 4 children (2 bits); the default 2 bits of
+        // headroom allow ordinals up to 15, i.e. 12 appended children.
+        for i in 0..12 {
+            e.append_subtree(
+                &Dewey::root(),
+                &format!("<project><title>p{i}</title><member>John</member><member>Ben</member></project>"),
+            )
+            .unwrap();
+        }
+        let out = e.query(&["John", "Ben"], Algorithm::IndexedLookupEager).unwrap();
+        assert_eq!(out.slcas.len(), 3 + 12);
+        // Results are still in document order.
+        let mut sorted = out.slcas.clone();
+        sorted.sort();
+        assert_eq!(out.slcas, sorted);
+
+        // The 13th append exceeds the level width and fails cleanly.
+        let err = e.append_subtree(&Dewey::root(), "<overflow/>").unwrap_err();
+        assert!(err.to_string().contains("does not fit"), "{err}");
+        let again = e.query(&["John", "Ben"], Algorithm::Stack).unwrap();
+        assert_eq!(again.slcas.len(), 3 + 12, "failed append must not corrupt");
+    }
+
+    #[test]
+    fn appends_persist_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("xk-engine-app-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grow.db");
+        let opts = EnvOptions { page_size: 512, pool_pages: 64 };
+        {
+            let mut e = Engine::build(&school_example(), &path, opts.clone(), true).unwrap();
+            e.append_subtree(&Dewey::root(), "<memo>John Ben reunion</memo>").unwrap();
+            e.with_env(|env| env.flush()).unwrap();
+        }
+        {
+            let mut e = Engine::open(&path, opts).unwrap();
+            let out = e.query(&["reunion"], Algorithm::Auto).unwrap();
+            assert_eq!(out.slcas.len(), 1);
+            assert!(e.render_subtree(&out.slcas[0]).unwrap().contains("reunion"));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persistent_engine_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("xk-engine-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("school.db");
+        let opts = EnvOptions { page_size: 512, pool_pages: 64 };
+        {
+            let e = Engine::build(&school_example(), &path, opts.clone(), true).unwrap();
+            let out = e.query(&["john", "ben"], Algorithm::Auto).unwrap();
+            assert_eq!(out.slcas.len(), 3);
+            e.with_env(|env| env.flush()).unwrap();
+        }
+        {
+            let mut e = Engine::open(&path, opts).unwrap();
+            let out = e.query(&["john", "ben"], Algorithm::Stack).unwrap();
+            assert_eq!(out.slcas.len(), 3);
+            assert!(e.render_subtree(&out.slcas[2]).unwrap().contains("project"));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,65 @@
+//! Engine error type.
+
+use std::fmt;
+use xk_index::IndexError;
+use xk_storage::StorageError;
+use xk_xmltree::ParseError;
+
+/// Errors surfaced by the XKSearch engine.
+#[derive(Debug)]
+pub enum EngineError {
+    Storage(StorageError),
+    Index(IndexError),
+    Parse(ParseError),
+    /// Query-shape problems: no keywords, keyword with no token characters.
+    BadQuery(String),
+    /// The index was built without an embedded document, so answer
+    /// subtrees cannot be rendered.
+    NoDocument,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Index(e) => write!(f, "index error: {e}"),
+            EngineError::Parse(e) => write!(f, "parse error: {e}"),
+            EngineError::BadQuery(m) => write!(f, "bad query: {m}"),
+            EngineError::NoDocument => {
+                write!(f, "the index was built without an embedded document")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            EngineError::Index(e) => Some(e),
+            EngineError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<IndexError> for EngineError {
+    fn from(e: IndexError) -> Self {
+        EngineError::Index(e)
+    }
+}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+/// Convenience alias for engine results.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,25 @@
+//! # xksearch
+//!
+//! The XKSearch system of *Efficient Keyword Search for Smallest LCAs in
+//! XML Databases* (Xu & Papakonstantinou, SIGMOD 2005): a disk-backed XML
+//! keyword-search engine returning Smallest Lowest Common Ancestors.
+//!
+//! Build an index once, query it with any of the paper's algorithms:
+//!
+//! ```
+//! use xksearch::{Engine, Algorithm};
+//! use xk_storage::EnvOptions;
+//! use xk_xmltree::school_example;
+//!
+//! let mut engine =
+//!     Engine::build_in_memory(&school_example(), EnvOptions::default()).unwrap();
+//! let out = engine.query(&["John", "Ben"], Algorithm::Auto).unwrap();
+//! assert_eq!(out.slcas.len(), 3); // the two classes and the project
+//! println!("{}", engine.render_subtree(&out.slcas[0]).unwrap());
+//! ```
+
+pub mod engine;
+pub mod error;
+
+pub use engine::{Algorithm, Engine, LcaOutcome, QueryOutcome, AUTO_RATIO_THRESHOLD};
+pub use error::{EngineError, Result};

@@ -1,0 +1,126 @@
+//! Integration tests for the `xksearch` command-line interface: build an
+//! index file from XML, query it, inspect stats — driving the compiled
+//! binary exactly as a user would.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xksearch"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xk-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn demo_runs_the_figure_1_query() {
+    let out = bin().arg("demo").output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("3 SLCAs"), "{stdout}");
+    assert!(stdout.contains("CS2A") && stdout.contains("project"), "{stdout}");
+}
+
+#[test]
+fn build_query_stats_lifecycle() {
+    let dir = temp_dir("lifecycle");
+    let xml = dir.join("doc.xml");
+    let db = dir.join("doc.db");
+    std::fs::write(
+        &xml,
+        "<library><book><title>Rust in Action</title><author>Tim</author></book>\
+         <book><title>XML Search</title><author>Yu</author></book></library>",
+    )
+    .unwrap();
+
+    let out = bin().args(["build", xml.to_str().unwrap(), db.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "build: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(db.exists());
+
+    for algo in ["auto", "il", "scan", "stack"] {
+        let out = bin()
+            .args(["query", db.to_str().unwrap(), "xml", "yu", "--algo", algo])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "query --algo {algo}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("1 SLCAs"), "algo {algo}: {stdout}");
+        assert!(stdout.contains("XML Search"), "algo {algo}: {stdout}");
+    }
+
+    // Cold flag still answers correctly.
+    let out = bin()
+        .args(["query", db.to_str().unwrap(), "rust", "tim", "--cold"])
+        .output()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Rust in Action"));
+
+    // All-LCA mode.
+    let out = bin().args(["query", db.to_str().unwrap(), "title", "--lca"]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("LCAs"), "{stdout}");
+
+    let out = bin().args(["stats", db.to_str().unwrap()]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("distinct words"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn append_command_grows_the_index() {
+    let dir = temp_dir("append");
+    let xml = dir.join("doc.xml");
+    let db = dir.join("doc.db");
+    let fragment = dir.join("frag.xml");
+    std::fs::write(&xml, "<log><entry>alpha start</entry></log>").unwrap();
+    std::fs::write(&fragment, "<entry>omega finish</entry>").unwrap();
+
+    assert!(bin()
+        .args(["build", xml.to_str().unwrap(), db.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .args(["append", db.to_str().unwrap(), "/", fragment.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("appended fragment at Dewey 1"));
+
+    let out = bin().args(["query", db.to_str().unwrap(), "omega"]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 SLCAs") && stdout.contains("finish"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    let out = bin().args(["query", "/nonexistent.db", "word"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+
+    let out = bin().args(["build", "/nonexistent.xml", "/tmp/x.db"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn build_rejects_malformed_xml() {
+    let dir = temp_dir("badxml");
+    let xml = dir.join("bad.xml");
+    std::fs::write(&xml, "<a><b></a>").unwrap();
+    let out = bin()
+        .args(["build", xml.to_str().unwrap(), dir.join("bad.db").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mismatched"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,320 @@
+//! Dewey numbers: hierarchical node identifiers for ordered trees.
+//!
+//! A Dewey number is the sequence of child ordinals on the path from the
+//! root to a node. The root has the empty sequence; the `i`-th child of a
+//! node with Dewey `p` has Dewey `p.i`. Dewey numbers have two properties
+//! the paper's algorithms rely on (Section 2):
+//!
+//! * lexicographic order on Dewey numbers equals preorder document order,
+//!   so keyword lists sorted by Dewey id are sorted in document order;
+//! * the lowest common ancestor (LCA) of two nodes is the longest common
+//!   prefix of their Dewey numbers, computable in `O(d)` where `d` is the
+//!   tree depth.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// A Dewey number: the child-ordinal path from the root to a node.
+///
+/// The root is represented by the empty path. Ordinals are 0-based.
+///
+/// ```
+/// use xk_xmltree::Dewey;
+/// let a: Dewey = "0.1.2".parse().unwrap();
+/// let b: Dewey = "0.2".parse().unwrap();
+/// assert!(a < b); // preorder: 0.1.2 precedes 0.2
+/// assert_eq!(a.lca(&b).to_string(), "0");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Dewey(Vec<u32>);
+
+impl Dewey {
+    /// The root node's Dewey number (empty path).
+    pub fn root() -> Self {
+        Dewey(Vec::new())
+    }
+
+    /// Builds a Dewey number from explicit components.
+    pub fn from_components(components: Vec<u32>) -> Self {
+        Dewey(components)
+    }
+
+    /// The path components (child ordinals, root-to-node).
+    pub fn components(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Depth of the node: 0 for the root, 1 for its children, and so on.
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff this is the root (empty path).
+    pub fn is_root(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Dewey number of the `ordinal`-th child of this node.
+    pub fn child(&self, ordinal: u32) -> Dewey {
+        let mut c = self.0.clone();
+        c.push(ordinal);
+        Dewey(c)
+    }
+
+    /// Dewey number of the parent, or `None` for the root.
+    pub fn parent(&self) -> Option<Dewey> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(Dewey(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// The node's ordinal among its siblings, or `None` for the root.
+    pub fn ordinal(&self) -> Option<u32> {
+        self.0.last().copied()
+    }
+
+    /// The *uncle* trick from Section 5 of the paper: the Dewey number of
+    /// the immediate right sibling position of this node (which may or may
+    /// not exist in the document). Every descendant of the parent that
+    /// follows this node's subtree in preorder has an id `>=` the uncle's.
+    ///
+    /// Returns `None` for the root (it has no siblings).
+    pub fn uncle(&self) -> Option<Dewey> {
+        let mut c = self.0.clone();
+        let last = c.pop()?;
+        c.push(last + 1);
+        Some(Dewey(c))
+    }
+
+    /// True iff `self` is an ancestor of `other` (proper: `a.is_ancestor_of(a)`
+    /// is false). Ancestorship is prefix containment of Dewey paths.
+    pub fn is_ancestor_of(&self, other: &Dewey) -> bool {
+        self.0.len() < other.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// True iff `self` is an ancestor of `other` or equal to it (the
+    /// paper's `≼` relation).
+    pub fn is_ancestor_or_self_of(&self, other: &Dewey) -> bool {
+        self.0.len() <= other.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// Lowest common ancestor: the longest common prefix of the two paths.
+    /// Cost is `O(d)` Dewey-component comparisons.
+    pub fn lca(&self, other: &Dewey) -> Dewey {
+        let common = self
+            .0
+            .iter()
+            .zip(other.0.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        Dewey(self.0[..common].to_vec())
+    }
+
+    /// Length of the longest common prefix of the two paths.
+    pub fn lca_depth(&self, other: &Dewey) -> usize {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// The prefix of this Dewey number of the given length (an ancestor-or-
+    /// self). Panics if `len > self.depth()`.
+    pub fn prefix(&self, len: usize) -> Dewey {
+        Dewey(self.0[..len].to_vec())
+    }
+
+    /// The child of `self` on the path towards the descendant `target`,
+    /// i.e. the prefix of `target` one component longer than `self`.
+    /// Returns `None` if `self` is not a proper ancestor of `target`.
+    pub fn child_towards(&self, target: &Dewey) -> Option<Dewey> {
+        if self.is_ancestor_of(target) {
+            Some(target.prefix(self.0.len() + 1))
+        } else {
+            None
+        }
+    }
+
+    /// Iterator over the proper ancestors of this node from the parent up
+    /// to (and including) the root.
+    pub fn ancestors(&self) -> impl Iterator<Item = Dewey> + '_ {
+        (0..self.0.len()).rev().map(move |len| self.prefix(len))
+    }
+}
+
+impl Ord for Dewey {
+    /// Lexicographic component order — identical to preorder document
+    /// order. An ancestor precedes all of its descendants.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl PartialOrd for Dewey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Dewey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            // The paper labels the root "0"; we print the root as "/" to
+            // avoid ambiguity with a first child printed "0".
+            return write!(f, "/");
+        }
+        let mut first = true;
+        for c in &self.0 {
+            if !first {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Dewey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dewey({self})")
+    }
+}
+
+/// Error returned when parsing a Dewey number from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDeweyError(pub String);
+
+impl fmt::Display for ParseDeweyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid Dewey number: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseDeweyError {}
+
+impl FromStr for Dewey {
+    type Err = ParseDeweyError;
+
+    /// Parses `"/"` (or the empty string) as the root, otherwise dot-
+    /// separated decimal ordinals like `"0.1.2"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() || s == "/" {
+            return Ok(Dewey::root());
+        }
+        let mut components = Vec::new();
+        for part in s.split('.') {
+            let n: u32 = part
+                .parse()
+                .map_err(|_| ParseDeweyError(s.to_string()))?;
+            components.push(n);
+        }
+        Ok(Dewey(components))
+    }
+}
+
+impl From<Vec<u32>> for Dewey {
+    fn from(v: Vec<u32>) -> Self {
+        Dewey(v)
+    }
+}
+
+impl From<&[u32]> for Dewey {
+    fn from(v: &[u32]) -> Self {
+        Dewey(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Dewey {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn root_properties() {
+        let r = Dewey::root();
+        assert!(r.is_root());
+        assert_eq!(r.depth(), 0);
+        assert_eq!(r.parent(), None);
+        assert_eq!(r.ordinal(), None);
+        assert_eq!(r.uncle(), None);
+        assert_eq!(r.to_string(), "/");
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["0", "0.1.2", "3.4.5.6", "10.0.200"] {
+            assert_eq!(d(s).to_string(), s);
+        }
+        assert_eq!(d("/"), Dewey::root());
+        assert_eq!(d(""), Dewey::root());
+        assert!("0.x".parse::<Dewey>().is_err());
+        assert!("-1".parse::<Dewey>().is_err());
+    }
+
+    #[test]
+    fn order_is_preorder() {
+        // From Figure 1 of the paper: 0.1.2 < 0.2 in document order.
+        assert!(d("0.1.2") < d("0.2"));
+        // An ancestor precedes its descendants.
+        assert!(d("0.1") < d("0.1.0"));
+        // Siblings in ordinal order.
+        assert!(d("0.1") < d("0.2"));
+        // Root first.
+        assert!(Dewey::root() < d("0"));
+    }
+
+    #[test]
+    fn lca_is_longest_common_prefix() {
+        // The paper's example: lca of nodes in subtree 0.1.
+        assert_eq!(d("0.1.0.0").lca(&d("0.1.2")), d("0.1"));
+        assert_eq!(d("0.1").lca(&d("0.1")), d("0.1"));
+        assert_eq!(d("0.1").lca(&d("0.1.5.2")), d("0.1"));
+        assert_eq!(d("0").lca(&d("1")), Dewey::root());
+        assert_eq!(d("2.3").lca(&Dewey::root()), Dewey::root());
+    }
+
+    #[test]
+    fn ancestor_relations() {
+        assert!(d("0.1").is_ancestor_of(&d("0.1.2")));
+        assert!(!d("0.1").is_ancestor_of(&d("0.1")));
+        assert!(d("0.1").is_ancestor_or_self_of(&d("0.1")));
+        assert!(!d("0.1").is_ancestor_of(&d("0.2")));
+        assert!(Dewey::root().is_ancestor_of(&d("5")));
+        // 0.10 is not an ancestor of 0.1 (component, not string, compare).
+        assert!(!d("0.10").is_ancestor_of(&d("0.1.0")));
+    }
+
+    #[test]
+    fn child_parent_uncle() {
+        assert_eq!(d("0.1").child(2), d("0.1.2"));
+        assert_eq!(d("0.1.2").parent(), Some(d("0.1")));
+        assert_eq!(d("0.1.2").uncle(), Some(d("0.1.3")));
+        assert_eq!(d("0.1.2").ordinal(), Some(2));
+        assert_eq!(d("0.1").child_towards(&d("0.1.2.3")), Some(d("0.1.2")));
+        assert_eq!(d("0.1").child_towards(&d("0.2")), None);
+        assert_eq!(d("0.1").child_towards(&d("0.1")), None);
+    }
+
+    #[test]
+    fn ancestors_iterator_descends_to_root() {
+        let a: Vec<Dewey> = d("0.1.2").ancestors().collect();
+        assert_eq!(a, vec![d("0.1"), d("0"), Dewey::root()]);
+        assert_eq!(Dewey::root().ancestors().count(), 0);
+    }
+
+    #[test]
+    fn lca_depth_matches_lca() {
+        let x = d("0.1.2.3");
+        let y = d("0.1.9");
+        assert_eq!(x.lca_depth(&y), x.lca(&y).depth());
+        assert_eq!(x.lca_depth(&x), 4);
+    }
+}

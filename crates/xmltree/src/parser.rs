@@ -1,0 +1,581 @@
+//! A from-scratch, non-validating XML parser.
+//!
+//! This replaces the paper's use of the Apache Xerces parser. It covers the
+//! subset needed for real document collections such as DBLP and well beyond:
+//! elements, attributes, self-closing tags, text, the five predefined
+//! entities plus numeric character references, CDATA sections, comments,
+//! processing instructions, and the XML declaration / DOCTYPE (both are
+//! skipped). It is deliberately non-validating: no DTD processing, no
+//! namespace resolution (prefixes are kept verbatim in tag names).
+
+use crate::tree::{Attribute, NodeId, XmlTree};
+use std::fmt;
+
+/// Position (1-based line and column) of a parse error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    pub line: u32,
+    pub column: u32,
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+/// An XML parse error with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub position: Position,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parser configuration.
+#[derive(Debug, Clone)]
+pub struct ParseOptions {
+    /// Drop text nodes that consist solely of whitespace (defaults to true;
+    /// data-centric documents like DBLP use indentation whitespace that
+    /// should not become keyword-bearing nodes).
+    pub skip_whitespace_text: bool,
+    /// Trim leading/trailing whitespace of retained text nodes.
+    pub trim_text: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions { skip_whitespace_text: true, trim_text: true }
+    }
+}
+
+/// Parses an XML document into an [`XmlTree`] with default options.
+pub fn parse(input: &str) -> Result<XmlTree, ParseError> {
+    parse_with(input, &ParseOptions::default())
+}
+
+/// Parses an XML document into an [`XmlTree`].
+pub fn parse_with(input: &str, options: &ParseOptions) -> Result<XmlTree, ParseError> {
+    Parser::new(input, options.clone()).parse_document()
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+    options: ParseOptions,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str, options: ParseOptions) -> Self {
+        Parser { bytes: input.as_bytes(), pos: 0, line: 1, line_start: 0, options }
+    }
+
+    fn position(&self) -> Position {
+        Position { line: self.line, column: (self.pos - self.line_start) as u32 + 1 }
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), position: self.position() })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        Some(b)
+    }
+
+    fn advance(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    /// Consumes characters until the delimiter string, returning the slice
+    /// before it. The delimiter itself is consumed too.
+    fn take_until(&mut self, delim: &str) -> Result<&'a [u8], ParseError> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            if self.starts_with(delim) {
+                let s = &self.bytes[start..self.pos];
+                self.advance(delim.len());
+                return Ok(s);
+            }
+            self.bump();
+        }
+        self.error(format!("unexpected end of input, expected `{delim}`"))
+    }
+
+    fn parse_document(&mut self) -> Result<XmlTree, ParseError> {
+        // Prolog: XML declaration, comments, PIs, DOCTYPE — in any order.
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.advance(2);
+                self.take_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.advance(4);
+                self.take_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+                self.skip_doctype()?;
+            } else {
+                break;
+            }
+        }
+        if self.peek() != Some(b'<') {
+            return self.error("expected root element");
+        }
+        let tree = self.parse_root()?;
+        // Trailing misc.
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.advance(4);
+                self.take_until("-->")?;
+            } else if self.starts_with("<?") {
+                self.advance(2);
+                self.take_until("?>")?;
+            } else {
+                break;
+            }
+        }
+        if self.pos != self.bytes.len() {
+            return self.error("unexpected content after the root element");
+        }
+        Ok(tree)
+    }
+
+    /// Skips a DOCTYPE declaration, including a bracketed internal subset.
+    fn skip_doctype(&mut self) -> Result<(), ParseError> {
+        // Consume "<!DOCTYPE".
+        self.advance(9);
+        let mut bracket_depth = 0usize;
+        loop {
+            match self.bump() {
+                None => return self.error("unterminated DOCTYPE"),
+                Some(b'[') => bracket_depth += 1,
+                Some(b']') => bracket_depth = bracket_depth.saturating_sub(1),
+                Some(b'>') if bracket_depth == 0 => return Ok(()),
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn parse_root(&mut self) -> Result<XmlTree, ParseError> {
+        // self.peek() == Some(b'<') guaranteed by caller.
+        self.bump();
+        let (tag, attributes, self_closing) = self.parse_start_tag()?;
+        let mut tree = XmlTree::new(tag.clone());
+        tree.set_root(tag.clone(), attributes);
+        if self_closing {
+            return Ok(tree);
+        }
+        self.parse_content(&mut tree, NodeId::ROOT, &tag)?;
+        Ok(tree)
+    }
+
+    /// Parses element content until the matching end tag of `open_tag`.
+    fn parse_content(
+        &mut self,
+        tree: &mut XmlTree,
+        parent: NodeId,
+        open_tag: &str,
+    ) -> Result<(), ParseError> {
+        let mut text = String::new();
+        loop {
+            if self.pos >= self.bytes.len() {
+                return self.error(format!("unexpected end of input inside <{open_tag}>"));
+            }
+            if self.starts_with("<![CDATA[") {
+                self.advance(9);
+                let raw = self.take_until("]]>")?;
+                text.push_str(std::str::from_utf8(raw).map_err(|_| ParseError {
+                    message: "invalid UTF-8 in CDATA".into(),
+                    position: self.position(),
+                })?);
+            } else if self.starts_with("<!--") {
+                self.advance(4);
+                self.take_until("-->")?;
+            } else if self.starts_with("<?") {
+                self.advance(2);
+                self.take_until("?>")?;
+            } else if self.starts_with("</") {
+                self.flush_text(tree, parent, &mut text);
+                self.advance(2);
+                let name = self.parse_name()?;
+                self.skip_ws();
+                if self.bump() != Some(b'>') {
+                    return self.error("expected `>` in end tag");
+                }
+                if name != open_tag {
+                    return self.error(format!(
+                        "mismatched end tag: expected </{open_tag}>, found </{name}>"
+                    ));
+                }
+                return Ok(());
+            } else if self.peek() == Some(b'<') {
+                self.flush_text(tree, parent, &mut text);
+                self.bump();
+                let (tag, attributes, self_closing) = self.parse_start_tag()?;
+                let child = tree.append_element_with_attrs(parent, tag.clone(), attributes);
+                if !self_closing {
+                    self.parse_content(tree, child, &tag)?;
+                }
+            } else {
+                // Character data.
+                let b = self.bump().unwrap();
+                if b == b'&' {
+                    text.push(self.parse_entity()?);
+                } else {
+                    // Collect raw bytes (documents are UTF-8; multi-byte
+                    // sequences pass through unchanged byte by byte).
+                    text.push(b as char);
+                    if b >= 0x80 {
+                        // Re-decode: back up and take the full UTF-8 char.
+                        text.pop();
+                        let start = self.pos - 1;
+                        let width = utf8_width(b);
+                        let end = (start + width).min(self.bytes.len());
+                        match std::str::from_utf8(&self.bytes[start..end]) {
+                            Ok(s) => {
+                                text.push_str(s);
+                                self.advance(end - self.pos);
+                            }
+                            Err(_) => return self.error("invalid UTF-8 in text"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn flush_text(&self, tree: &mut XmlTree, parent: NodeId, text: &mut String) {
+        if text.is_empty() {
+            return;
+        }
+        let keep = if self.options.skip_whitespace_text {
+            !text.trim().is_empty()
+        } else {
+            true
+        };
+        if keep {
+            let value = if self.options.trim_text { text.trim().to_string() } else { text.clone() };
+            tree.append_text(parent, value);
+        }
+        text.clear();
+    }
+
+    /// Parses a start tag after the `<`. Returns (name, attributes,
+    /// self_closing) with the closing `>` or `/>` consumed.
+    fn parse_start_tag(&mut self) -> Result<(String, Vec<Attribute>, bool), ParseError> {
+        let name = self.parse_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.bump();
+                    return Ok((name, attributes, false));
+                }
+                Some(b'/') => {
+                    self.bump();
+                    if self.bump() != Some(b'>') {
+                        return self.error("expected `>` after `/`");
+                    }
+                    return Ok((name, attributes, true));
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_ws();
+                    if self.bump() != Some(b'=') {
+                        return self.error(format!("expected `=` after attribute `{attr_name}`"));
+                    }
+                    self.skip_ws();
+                    let quote = match self.bump() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return self.error("expected quoted attribute value"),
+                    };
+                    let mut value = String::new();
+                    loop {
+                        match self.peek() {
+                            None => return self.error("unterminated attribute value"),
+                            Some(q) if q == quote => {
+                                self.bump();
+                                break;
+                            }
+                            Some(b'&') => {
+                                self.bump();
+                                value.push(self.parse_entity()?);
+                            }
+                            Some(b) if b < 0x80 => {
+                                self.bump();
+                                value.push(b as char);
+                            }
+                            Some(b) => {
+                                let start = self.pos;
+                                let width = utf8_width(b);
+                                let end = (start + width).min(self.bytes.len());
+                                match std::str::from_utf8(&self.bytes[start..end]) {
+                                    Ok(s) => {
+                                        value.push_str(s);
+                                        self.advance(width);
+                                    }
+                                    Err(_) => {
+                                        return self.error("invalid UTF-8 in attribute value")
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    attributes.push(Attribute { name: attr_name, value });
+                }
+                None => return self.error("unexpected end of input in start tag"),
+            }
+        }
+    }
+
+    /// Parses an XML name (tag or attribute name).
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric()
+                || matches!(b, b'_' | b'-' | b'.' | b':')
+                || b >= 0x80;
+            if !ok {
+                break;
+            }
+            self.bump();
+        }
+        if self.pos == start {
+            return self.error("expected a name");
+        }
+        match std::str::from_utf8(&self.bytes[start..self.pos]) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => self.error("invalid UTF-8 in name"),
+        }
+    }
+
+    /// Parses an entity reference after the `&`.
+    fn parse_entity(&mut self) -> Result<char, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b';' {
+                let body = &self.bytes[start..self.pos];
+                self.bump();
+                let body = std::str::from_utf8(body).map_err(|_| ParseError {
+                    message: "invalid UTF-8 in entity".into(),
+                    position: self.position(),
+                })?;
+                return match body {
+                    "lt" => Ok('<'),
+                    "gt" => Ok('>'),
+                    "amp" => Ok('&'),
+                    "quot" => Ok('"'),
+                    "apos" => Ok('\''),
+                    _ if body.starts_with("#x") || body.starts_with("#X") => {
+                        u32::from_str_radix(&body[2..], 16)
+                            .ok()
+                            .and_then(char::from_u32)
+                            .ok_or(())
+                            .or_else(|_| self.error(format!("bad character reference &{body};")))
+                    }
+                    _ if body.starts_with('#') => body[1..]
+                        .parse::<u32>()
+                        .ok()
+                        .and_then(char::from_u32)
+                        .ok_or(())
+                        .or_else(|_| self.error(format!("bad character reference &{body};"))),
+                    _ => self.error(format!("unknown entity &{body};")),
+                };
+            }
+            if !b.is_ascii_alphanumeric() && b != b'#' {
+                break;
+            }
+            self.bump();
+        }
+        self.error("unterminated entity reference")
+    }
+}
+
+fn utf8_width(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NodeContent;
+
+    #[test]
+    fn parse_minimal() {
+        let t = parse("<a/>").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.label(NodeId::ROOT), "a");
+    }
+
+    #[test]
+    fn parse_nested_with_text() {
+        let t = parse("<a><b>hello</b><c>world</c></a>").unwrap();
+        assert_eq!(t.len(), 5);
+        let b = t.children(NodeId::ROOT)[0];
+        assert_eq!(t.label(b), "b");
+        let txt = t.children(b)[0];
+        assert_eq!(t.label(txt), "hello");
+    }
+
+    #[test]
+    fn parse_attributes() {
+        let t = parse(r#"<a x="1" y='two &amp; three'><b z="&#65;"/></a>"#).unwrap();
+        match t.content(NodeId::ROOT) {
+            NodeContent::Element { attributes, .. } => {
+                assert_eq!(attributes.len(), 2);
+                assert_eq!(attributes[0].name, "x");
+                assert_eq!(attributes[0].value, "1");
+                assert_eq!(attributes[1].value, "two & three");
+            }
+            _ => panic!("root must be an element"),
+        }
+        let b = t.children(NodeId::ROOT)[0];
+        match t.content(b) {
+            NodeContent::Element { attributes, .. } => assert_eq!(attributes[0].value, "A"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_prolog_comments_pis_doctype() {
+        let input = r#"<?xml version="1.0" encoding="UTF-8"?>
+<!-- a comment -->
+<!DOCTYPE dblp SYSTEM "dblp.dtd" [ <!ENTITY foo "bar"> ]>
+<dblp><?pi data?><!-- inner --><article>x</article></dblp>
+<!-- trailing -->"#;
+        let t = parse(input).unwrap();
+        assert_eq!(t.label(NodeId::ROOT), "dblp");
+        assert_eq!(t.children(NodeId::ROOT).len(), 1);
+    }
+
+    #[test]
+    fn parse_cdata() {
+        let t = parse("<a><![CDATA[x < y && z]]></a>").unwrap();
+        let txt = t.children(NodeId::ROOT)[0];
+        assert_eq!(t.label(txt), "x < y && z");
+    }
+
+    #[test]
+    fn entities_in_text() {
+        let t = parse("<a>&lt;tag&gt; &amp; &quot;q&quot; &apos;a&apos; &#x263A;</a>").unwrap();
+        let txt = t.children(NodeId::ROOT)[0];
+        assert_eq!(t.label(txt), "<tag> & \"q\" 'a' \u{263A}");
+    }
+
+    #[test]
+    fn whitespace_handling() {
+        let pretty = "<a>\n  <b>x</b>\n  <c>y</c>\n</a>";
+        let t = parse(pretty).unwrap();
+        assert_eq!(t.len(), 5); // no whitespace-only text nodes
+        let opts = ParseOptions { skip_whitespace_text: false, trim_text: false };
+        let t2 = parse_with(pretty, &opts).unwrap();
+        assert!(t2.len() > 5);
+    }
+
+    #[test]
+    fn utf8_text() {
+        let t = parse("<a>héllo wörld — ünïcode 你好</a>").unwrap();
+        let txt = t.children(NodeId::ROOT)[0];
+        assert_eq!(t.label(txt), "héllo wörld — ünïcode 你好");
+    }
+
+    #[test]
+    fn error_mismatched_tags() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn error_unclosed() {
+        assert!(parse("<a><b>").is_err());
+        assert!(parse("<a").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("just text").is_err());
+    }
+
+    #[test]
+    fn error_trailing_garbage() {
+        assert!(parse("<a/><b/>").is_err());
+        assert!(parse("<a/>oops").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_tracked() {
+        let err = parse("<a>\n<b>\n</c>\n</a>").unwrap_err();
+        assert_eq!(err.position.line, 3);
+    }
+
+    #[test]
+    fn roundtrip_with_serializer() {
+        let input = "<school><class><title>CS2A</title><lecturer rank=\"full\">John</lecturer></class></school>";
+        let t = parse(input).unwrap();
+        let out = crate::serialize::to_xml_string(&t, NodeId::ROOT);
+        let t2 = parse(&out).unwrap();
+        assert_eq!(t.len(), t2.len());
+        for (a, b) in t.preorder().zip(t2.preorder()) {
+            assert_eq!(t.label(a), t2.label(b));
+        }
+    }
+
+    #[test]
+    fn self_closing_root() {
+        let t = parse("<r attr='v'/>").unwrap();
+        assert_eq!(t.len(), 1);
+        match t.content(NodeId::ROOT) {
+            NodeContent::Element { attributes, .. } => assert_eq!(attributes[0].value, "v"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn deeply_nested_is_parsed_recursively() {
+        let depth = 200;
+        let mut s = String::new();
+        for _ in 0..depth {
+            s.push_str("<n>");
+        }
+        s.push('x');
+        for _ in 0..depth {
+            s.push_str("</n>");
+        }
+        let t = parse(&s).unwrap();
+        assert_eq!(t.max_depth(), depth);
+    }
+}

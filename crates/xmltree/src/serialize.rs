@@ -1,0 +1,154 @@
+//! XML serialization: turning (sub)trees back into markup.
+//!
+//! The query engine uses this to render answer subtrees — the paper's demo
+//! "returns the subtrees rooted at" the SLCA nodes.
+
+use crate::tree::{NodeContent, NodeId, XmlTree};
+use std::fmt::Write;
+
+/// Serializes the subtree rooted at `root` to a compact XML string.
+pub fn to_xml_string(tree: &XmlTree, root: NodeId) -> String {
+    let mut out = String::new();
+    write_node(tree, root, &mut out, None, 0);
+    out
+}
+
+/// Serializes the subtree rooted at `root` with 2-space indentation.
+pub fn to_pretty_xml_string(tree: &XmlTree, root: NodeId) -> String {
+    let mut out = String::new();
+    write_node(tree, root, &mut out, Some(2), 0);
+    if out.ends_with('\n') {
+        out.pop();
+    }
+    out
+}
+
+fn write_node(
+    tree: &XmlTree,
+    id: NodeId,
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+) {
+    let pad = |out: &mut String, depth: usize| {
+        if let Some(width) = indent {
+            for _ in 0..depth * width {
+                out.push(' ');
+            }
+        }
+    };
+    match tree.content(id) {
+        NodeContent::Text(t) => {
+            pad(out, depth);
+            escape_text(t, out);
+            if indent.is_some() {
+                out.push('\n');
+            }
+        }
+        NodeContent::Element { tag, attributes } => {
+            pad(out, depth);
+            out.push('<');
+            out.push_str(tag);
+            for a in attributes {
+                let _ = write!(out, " {}=\"", a.name);
+                escape_attr(&a.value, out);
+                out.push('"');
+            }
+            let children = tree.children(id);
+            if children.is_empty() {
+                out.push_str("/>");
+                if indent.is_some() {
+                    out.push('\n');
+                }
+                return;
+            }
+            // A single text child prints inline even in pretty mode.
+            let inline_text = children.len() == 1
+                && matches!(tree.content(children[0]), NodeContent::Text(_));
+            out.push('>');
+            if inline_text {
+                if let NodeContent::Text(t) = tree.content(children[0]) {
+                    escape_text(t, out);
+                }
+            } else {
+                if indent.is_some() {
+                    out.push('\n');
+                }
+                for &c in children {
+                    write_node(tree, c, out, indent, depth + 1);
+                }
+                pad(out, depth);
+            }
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+            if indent.is_some() {
+                out.push('\n');
+            }
+        }
+    }
+}
+
+fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::tree::XmlTree;
+
+    #[test]
+    fn compact_roundtrip() {
+        let src = "<a x=\"1\"><b>hi</b><c/><d>x &amp; y</d></a>";
+        let t = parse(src).unwrap();
+        assert_eq!(to_xml_string(&t, NodeId::ROOT), src);
+    }
+
+    #[test]
+    fn escaping() {
+        let mut t = XmlTree::new("r");
+        t.append_text(NodeId::ROOT, "a<b>&c");
+        let s = to_xml_string(&t, NodeId::ROOT);
+        assert_eq!(s, "<r>a&lt;b&gt;&amp;c</r>");
+        assert_eq!(parse(&s).unwrap().text_content(NodeId::ROOT), "a<b>&c");
+    }
+
+    #[test]
+    fn pretty_printing_indents_and_inlines_text() {
+        let t = parse("<a><b>hi</b><c><d>deep</d></c></a>").unwrap();
+        let s = to_pretty_xml_string(&t, NodeId::ROOT);
+        assert!(s.contains("\n  <b>hi</b>"), "{s}");
+        assert!(s.contains("\n    <d>deep</d>"), "{s}");
+        // Pretty output reparses to the same tree.
+        let t2 = parse(&s).unwrap();
+        assert_eq!(t.len(), t2.len());
+    }
+
+    #[test]
+    fn serialize_subtree_only() {
+        let t = parse("<a><b><x>1</x></b><c>2</c></a>").unwrap();
+        let b = t.children(NodeId::ROOT)[0];
+        assert_eq!(to_xml_string(&t, b), "<b><x>1</x></b>");
+    }
+}

@@ -1,0 +1,76 @@
+//! Keyword tokenization.
+//!
+//! The paper builds, for each keyword `w`, the list of nodes whose *label
+//! directly contains* `w`. This module defines what "contains" means for
+//! labels: a label is split into lowercase word tokens; a node's keyword
+//! set is the set of tokens of its label (tag name for elements, text value
+//! for text nodes) plus, for elements, the tokens of attribute values.
+
+/// Splits a label into lowercase keyword tokens.
+///
+/// A token is a maximal run of alphanumeric characters; everything else is
+/// a separator. Tokens are lowercased so search is case-insensitive, like
+/// the paper's DBLP demo.
+///
+/// ```
+/// use xk_xmltree::tokenize;
+/// let v: Vec<String> = tokenize("Keyword-Search, in XML!").collect();
+/// assert_eq!(v, ["keyword", "search", "in", "xml"]);
+/// ```
+pub fn tokenize(label: &str) -> impl Iterator<Item = String> + '_ {
+    label
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+}
+
+/// Normalizes a query keyword the same way labels are tokenized. Returns
+/// `None` if the keyword contains no token characters at all.
+pub fn normalize_keyword(keyword: &str) -> Option<String> {
+    let t: String = keyword
+        .chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(|c| c.to_lowercase())
+        .collect();
+    if t.is_empty() {
+        None
+    } else {
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        let v: Vec<_> = tokenize("Efficient Keyword Search").collect();
+        assert_eq!(v, ["efficient", "keyword", "search"]);
+    }
+
+    #[test]
+    fn punctuation_and_numbers() {
+        let v: Vec<_> = tokenize("SIGMOD'05: pages 527-538 (2005)").collect();
+        assert_eq!(v, ["sigmod", "05", "pages", "527", "538", "2005"]);
+    }
+
+    #[test]
+    fn unicode_tokens() {
+        let v: Vec<_> = tokenize("Müller—Schmidt").collect();
+        assert_eq!(v, ["müller", "schmidt"]);
+    }
+
+    #[test]
+    fn empty_and_separator_only() {
+        assert_eq!(tokenize("").count(), 0);
+        assert_eq!(tokenize("--- ... !!!").count(), 0);
+    }
+
+    #[test]
+    fn normalize() {
+        assert_eq!(normalize_keyword("John"), Some("john".to_string()));
+        assert_eq!(normalize_keyword("  Ben! "), Some("ben".to_string()));
+        assert_eq!(normalize_keyword("?!"), None);
+    }
+}

@@ -1,0 +1,427 @@
+//! The labeled ordered tree model for XML documents.
+//!
+//! Nodes live in an arena in preorder; each node is either an element
+//! (tag + attributes) or a text leaf. Every node has an implicit Dewey
+//! number determined by its position; [`XmlTree::dewey`] materializes it
+//! and [`XmlTree::node_at`] resolves a Dewey number back to a node.
+
+use crate::dewey::Dewey;
+use std::fmt;
+
+/// Index of a node in an [`XmlTree`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The root node of any tree.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One XML attribute (`name="value"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    pub name: String,
+    pub value: String,
+}
+
+/// The payload of a tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeContent {
+    /// An element node with its tag name and attributes.
+    Element { tag: String, attributes: Vec<Attribute> },
+    /// A text leaf.
+    Text(String),
+}
+
+impl NodeContent {
+    /// The node's *label* in the sense of the paper: the tag name for an
+    /// element, the text value for a text node. Keyword lists are built
+    /// from labels (see `xk-index`).
+    pub fn label(&self) -> &str {
+        match self {
+            NodeContent::Element { tag, .. } => tag,
+            NodeContent::Text(t) => t,
+        }
+    }
+
+    /// True for element nodes.
+    pub fn is_element(&self) -> bool {
+        matches!(self, NodeContent::Element { .. })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    /// Ordinal among siblings (the last Dewey component). 0 for the root.
+    ordinal: u32,
+    depth: u16,
+    content: NodeContent,
+}
+
+/// An XML document modeled as a labeled ordered tree.
+///
+/// ```
+/// use xk_xmltree::{XmlTree, Dewey};
+/// let mut t = XmlTree::new("school");
+/// let class = t.append_element(xk_xmltree::NodeId::ROOT, "class");
+/// let teacher = t.append_element(class, "teacher");
+/// t.append_text(teacher, "John");
+/// assert_eq!(t.dewey(teacher).to_string(), "0.0");
+/// assert_eq!(t.node_at(&"0.0".parse::<Dewey>().unwrap()), Some(teacher));
+/// ```
+#[derive(Debug, Clone)]
+pub struct XmlTree {
+    nodes: Vec<NodeData>,
+}
+
+impl XmlTree {
+    /// Creates a tree consisting of a single root element.
+    pub fn new(root_tag: impl Into<String>) -> Self {
+        XmlTree {
+            nodes: vec![NodeData {
+                parent: None,
+                children: Vec::new(),
+                ordinal: 0,
+                depth: 0,
+                content: NodeContent::Element {
+                    tag: root_tag.into(),
+                    attributes: Vec::new(),
+                },
+            }],
+        }
+    }
+
+    /// Number of nodes in the tree (elements + text leaves).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false: a tree has at least its root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Replaces the root element's tag and attributes in place (used by the
+    /// parser, which discovers the root's attributes after tree creation).
+    pub fn set_root(&mut self, tag: impl Into<String>, attributes: Vec<Attribute>) {
+        self.nodes[0].content = NodeContent::Element { tag: tag.into(), attributes };
+    }
+
+    /// Appends a new element as the last child of `parent`.
+    pub fn append_element(&mut self, parent: NodeId, tag: impl Into<String>) -> NodeId {
+        self.append(
+            parent,
+            NodeContent::Element { tag: tag.into(), attributes: Vec::new() },
+        )
+    }
+
+    /// Appends a new element with attributes as the last child of `parent`.
+    pub fn append_element_with_attrs(
+        &mut self,
+        parent: NodeId,
+        tag: impl Into<String>,
+        attributes: Vec<Attribute>,
+    ) -> NodeId {
+        self.append(parent, NodeContent::Element { tag: tag.into(), attributes })
+    }
+
+    /// Appends a new text leaf as the last child of `parent`.
+    pub fn append_text(&mut self, parent: NodeId, text: impl Into<String>) -> NodeId {
+        self.append(parent, NodeContent::Text(text.into()))
+    }
+
+    fn append(&mut self, parent: NodeId, content: NodeContent) -> NodeId {
+        assert!(
+            self.nodes[parent.index()].content.is_element(),
+            "text nodes cannot have children"
+        );
+        let id = NodeId(self.nodes.len() as u32);
+        let (ordinal, depth) = {
+            let p = &self.nodes[parent.index()];
+            (p.children.len() as u32, p.depth + 1)
+        };
+        self.nodes.push(NodeData {
+            parent: Some(parent),
+            children: Vec::new(),
+            ordinal,
+            depth,
+            content,
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// The node's payload.
+    pub fn content(&self, id: NodeId) -> &NodeContent {
+        &self.nodes[id.index()].content
+    }
+
+    /// The node's label (tag name or text value).
+    pub fn label(&self, id: NodeId) -> &str {
+        self.nodes[id.index()].content.label()
+    }
+
+    /// The node's parent, or `None` for the root.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// The node's children in document order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// The node's depth (root = 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.nodes[id.index()].depth as usize
+    }
+
+    /// The node's ordinal among its siblings.
+    pub fn ordinal(&self, id: NodeId) -> u32 {
+        self.nodes[id.index()].ordinal
+    }
+
+    /// Materializes the node's Dewey number by walking to the root. `O(d)`.
+    pub fn dewey(&self, id: NodeId) -> Dewey {
+        let mut components = Vec::with_capacity(self.depth(id));
+        let mut cur = id;
+        while let Some(p) = self.nodes[cur.index()].parent {
+            components.push(self.nodes[cur.index()].ordinal);
+            cur = p;
+        }
+        components.reverse();
+        Dewey::from_components(components)
+    }
+
+    /// Resolves a Dewey number to a node by walking down from the root.
+    /// Returns `None` if any component is out of range.
+    pub fn node_at(&self, dewey: &Dewey) -> Option<NodeId> {
+        let mut cur = NodeId::ROOT;
+        for &ordinal in dewey.components() {
+            cur = *self.nodes[cur.index()].children.get(ordinal as usize)?;
+        }
+        Some(cur)
+    }
+
+    /// Preorder (document-order) traversal of the whole tree.
+    pub fn preorder(&self) -> Preorder<'_> {
+        Preorder { tree: self, stack: vec![NodeId::ROOT] }
+    }
+
+    /// Preorder traversal of the subtree rooted at `root` (inclusive).
+    pub fn preorder_from(&self, root: NodeId) -> Preorder<'_> {
+        Preorder { tree: self, stack: vec![root] }
+    }
+
+    /// The maximum depth of any node (the paper's `d`).
+    pub fn max_depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.depth as usize).max().unwrap_or(0)
+    }
+
+    /// For each level `j >= 1`, the maximum number of children of any node
+    /// at level `j - 1` — the quantity the paper's *level table* stores the
+    /// bit width of. Index 0 of the returned vector corresponds to level 1
+    /// (children of the root).
+    pub fn max_fanout_per_level(&self) -> Vec<u32> {
+        let mut fanout = vec![0u32; self.max_depth()];
+        for n in &self.nodes {
+            if !n.children.is_empty() {
+                let level = n.depth as usize; // children live at depth+1
+                fanout[level] = fanout[level].max(n.children.len() as u32);
+            }
+        }
+        fanout
+    }
+
+    /// Concatenated text content of the subtree rooted at `id`.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for n in self.preorder_from(id) {
+            if let NodeContent::Text(t) = self.content(n) {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// All node ids in document order (arena order is insertion order, not
+    /// necessarily preorder, so this walks the tree).
+    pub fn document_order(&self) -> Vec<NodeId> {
+        self.preorder().collect()
+    }
+}
+
+/// Iterator for [`XmlTree::preorder`].
+pub struct Preorder<'a> {
+    tree: &'a XmlTree,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> Iterator for Preorder<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        // Push children in reverse so the leftmost is visited first.
+        for &c in self.tree.children(id).iter().rev() {
+            self.stack.push(c);
+        }
+        Some(id)
+    }
+}
+
+impl fmt::Display for XmlTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::serialize::to_xml_string(self, NodeId::ROOT))
+    }
+}
+
+/// Builds the paper's running example (Figure 1, `School.xml`) — used by
+/// tests, examples, and documentation throughout the workspace.
+///
+/// The shape follows the paper: a school with classes, each class having
+/// instructors/TAs/students identified by name values such as "John" and
+/// "Ben", arranged so the query `{John, Ben}` has exactly three SLCAs.
+pub fn school_example() -> XmlTree {
+    let mut t = XmlTree::new("school");
+
+    // class CS2A: John is the lecturer, Ben the TA  -> SLCA at the class.
+    let cs2a = t.append_element(NodeId::ROOT, "class");
+    let title = t.append_element(cs2a, "title");
+    t.append_text(title, "CS2A");
+    let lecturer = t.append_element(cs2a, "lecturer");
+    let name = t.append_element(lecturer, "name");
+    t.append_text(name, "John");
+    let ta = t.append_element(cs2a, "TA");
+    let name = t.append_element(ta, "name");
+    t.append_text(name, "Ben");
+
+    // class CS3A: John teaches, Ben is enrolled  -> SLCA at the class.
+    let cs3a = t.append_element(NodeId::ROOT, "class");
+    let title = t.append_element(cs3a, "title");
+    t.append_text(title, "CS3A");
+    let lecturer = t.append_element(cs3a, "lecturer");
+    let name = t.append_element(lecturer, "name");
+    t.append_text(name, "John");
+    let students = t.append_element(cs3a, "students");
+    let student = t.append_element(students, "student");
+    let name = t.append_element(student, "name");
+    t.append_text(name, "Ben");
+    let student = t.append_element(students, "student");
+    let name = t.append_element(student, "name");
+    t.append_text(name, "Sue");
+
+    // project: John and Ben are both members  -> SLCA at the project.
+    let project = t.append_element(NodeId::ROOT, "project");
+    let title = t.append_element(project, "title");
+    t.append_text(title, "Search");
+    let member = t.append_element(project, "member");
+    t.append_text(member, "John");
+    let member = t.append_element(project, "member");
+    t.append_text(member, "Ben");
+
+    // A class mentioning only John: contributes no SLCA for {John, Ben}.
+    let cs1 = t.append_element(NodeId::ROOT, "class");
+    let title = t.append_element(cs1, "title");
+    t.append_text(title, "CS1");
+    let lecturer = t.append_element(cs1, "lecturer");
+    let name = t.append_element(lecturer, "name");
+    t.append_text(name, "John");
+
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_navigate() {
+        let mut t = XmlTree::new("r");
+        let a = t.append_element(NodeId::ROOT, "a");
+        let b = t.append_element(NodeId::ROOT, "b");
+        let a0 = t.append_text(a, "hello");
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.parent(a), Some(NodeId::ROOT));
+        assert_eq!(t.children(NodeId::ROOT), &[a, b]);
+        assert_eq!(t.depth(a0), 2);
+        assert_eq!(t.ordinal(b), 1);
+        assert_eq!(t.label(a0), "hello");
+        assert_eq!(t.label(NodeId::ROOT), "r");
+    }
+
+    #[test]
+    fn dewey_roundtrip() {
+        let t = school_example();
+        for id in t.preorder() {
+            let d = t.dewey(id);
+            assert_eq!(t.node_at(&d), Some(id), "roundtrip failed for {d}");
+        }
+    }
+
+    #[test]
+    fn dewey_order_is_document_order() {
+        let t = school_example();
+        let order = t.document_order();
+        let deweys: Vec<_> = order.iter().map(|&n| t.dewey(n)).collect();
+        let mut sorted = deweys.clone();
+        sorted.sort();
+        assert_eq!(deweys, sorted);
+    }
+
+    #[test]
+    fn node_at_out_of_range() {
+        let t = XmlTree::new("r");
+        assert_eq!(t.node_at(&"0".parse().unwrap()), None);
+        assert_eq!(t.node_at(&Dewey::root()), Some(NodeId::ROOT));
+    }
+
+    #[test]
+    fn max_depth_and_fanout() {
+        let t = school_example();
+        assert_eq!(t.max_depth(), 5); // school/class/students/student/name/#text
+        let fanout = t.max_fanout_per_level();
+        assert_eq!(fanout.len(), 5);
+        assert_eq!(fanout[0], 4); // 4 top-level groups
+        assert!(fanout.iter().all(|&f| f >= 1));
+    }
+
+    #[test]
+    fn text_content_concatenates_subtree() {
+        let t = school_example();
+        let class0 = t.children(NodeId::ROOT)[0];
+        assert_eq!(t.text_content(class0), "CS2A John Ben");
+    }
+
+    #[test]
+    #[should_panic(expected = "text nodes cannot have children")]
+    fn cannot_append_under_text() {
+        let mut t = XmlTree::new("r");
+        let txt = t.append_text(NodeId::ROOT, "x");
+        t.append_element(txt, "bad");
+    }
+
+    #[test]
+    fn preorder_from_subtree() {
+        let t = school_example();
+        let class0 = t.children(NodeId::ROOT)[0];
+        let sub: Vec<_> = t.preorder_from(class0).collect();
+        assert!(sub.contains(&class0));
+        // Everything in the subtree has class0's Dewey as a prefix.
+        let root_d = t.dewey(class0);
+        for n in &sub {
+            assert!(root_d.is_ancestor_or_self_of(&t.dewey(*n)));
+        }
+        assert_eq!(sub.len(), 9);
+    }
+}

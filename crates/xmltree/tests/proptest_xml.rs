@@ -1,0 +1,107 @@
+//! Property tests for the XML substrate.
+//!
+//! * the parser never panics on arbitrary input (it returns errors);
+//! * serialize → parse round-trips arbitrary generated trees;
+//! * Dewey order equals document order on arbitrary trees and the Dewey
+//!   algebra (lca, ancestors, uncle) is self-consistent.
+
+use proptest::prelude::*;
+use xk_xmltree::{parse, to_pretty_xml_string, to_xml_string, Dewey, NodeId, XmlTree};
+
+fn arbitrary_tree() -> impl Strategy<Value = XmlTree> {
+    let tags = ["a", "b", "item", "x1", "long-tag.name"];
+    let texts = ["hello", "a & b < c", "  spaced  ", "ünïcode ✓", "123"];
+    proptest::collection::vec(
+        (any::<prop::sample::Index>(), any::<bool>(), 0usize..5),
+        0..50,
+    )
+    .prop_map(move |instrs| {
+        let mut tree = XmlTree::new("root");
+        let mut elements = vec![NodeId::ROOT];
+        for (parent, is_text, label) in instrs {
+            let p = *parent.get(&elements);
+            if is_text {
+                // Adjacent text siblings merge when serialized (XML has no
+                // boundary between them), so never create them — a parse
+                // can't produce them either.
+                let last_is_text = tree
+                    .children(p)
+                    .last()
+                    .is_some_and(|&c| !matches!(tree.content(c), xk_xmltree::NodeContent::Element { .. }));
+                if !last_is_text {
+                    tree.append_text(p, texts[label]);
+                }
+            } else {
+                elements.push(tree.append_element(p, tags[label]));
+            }
+        }
+        tree
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse(&input); // any Result is fine; panics are not
+    }
+
+    #[test]
+    fn parser_never_panics_on_tag_soup(
+        parts in proptest::collection::vec(
+            prop::sample::select(&["<a>", "</a>", "<b x='1'>", "text", "<!--c-->",
+                                   "<![CDATA[d]]>", "&amp;", "&bogus;", "</b>", "<c/>"][..]),
+            0..20)
+    ) {
+        let input: String = parts.concat();
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip(tree in arbitrary_tree()) {
+        for serialized in [
+            to_xml_string(&tree, NodeId::ROOT),
+            to_pretty_xml_string(&tree, NodeId::ROOT),
+        ] {
+            let reparsed = parse(&serialized).unwrap();
+            prop_assert_eq!(reparsed.len(), tree.len(), "{}", serialized);
+            for (a, b) in tree.preorder().zip(reparsed.preorder()) {
+                // Pretty-printing may trim text edges; compare trimmed.
+                prop_assert_eq!(tree.label(a).trim(), reparsed.label(b).trim());
+            }
+        }
+    }
+
+    #[test]
+    fn dewey_order_is_document_order(tree in arbitrary_tree()) {
+        let order: Vec<Dewey> = tree.preorder().map(|n| tree.dewey(n)).collect();
+        for w in order.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        // And node_at inverts dewey().
+        for n in tree.preorder() {
+            prop_assert_eq!(tree.node_at(&tree.dewey(n)), Some(n));
+        }
+    }
+
+    #[test]
+    fn dewey_algebra_is_consistent(tree in arbitrary_tree()) {
+        let all: Vec<Dewey> = tree.preorder().map(|n| tree.dewey(n)).collect();
+        for a in all.iter().take(12) {
+            for b in all.iter().take(12) {
+                let l = a.lca(b);
+                prop_assert!(l.is_ancestor_or_self_of(a));
+                prop_assert!(l.is_ancestor_or_self_of(b));
+                // No deeper common ancestor exists: the child of l towards
+                // a (if any) must not be an ancestor-or-self of b unless
+                // a == b subtree-wise.
+                if let (Some(ca), Some(cb)) = (l.child_towards(a), l.child_towards(b)) {
+                    prop_assert_ne!(ca, cb, "lca too shallow for {} / {}", a, b);
+                }
+                prop_assert_eq!(a.lca(b), b.lca(a));
+                prop_assert_eq!(a.lca(a), a.clone());
+            }
+        }
+    }
+}

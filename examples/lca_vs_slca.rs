@@ -1,0 +1,75 @@
+//! SLCA versus all-LCA semantics (Section 5 of the paper).
+//!
+//! The SLCA result keeps only the *smallest* trees containing every
+//! keyword; the all-LCA result additionally reports every ancestor that
+//! is itself the LCA of some witness combination — useful when broader
+//! contexts are also meaningful answers. This example shows both on a
+//! department directory where the broader result is informative.
+//!
+//! Run with: `cargo run --example lca_vs_slca`
+
+use xk_storage::EnvOptions;
+use xk_slca::LcaKind;
+use xksearch::{Algorithm, Engine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let xml = r#"
+      <department>
+        <group>
+          <name>Databases</name>
+          <team>
+            <lead>Alice</lead>
+            <member>Bob</member>
+          </team>
+          <seminar>
+            <speaker>Bob</speaker>
+            <host>Alice</host>
+          </seminar>
+        </group>
+        <group>
+          <name>Systems</name>
+          <team>
+            <lead>Alice</lead>
+            <member>Carol</member>
+          </team>
+        </group>
+      </department>"#;
+
+    let tree = xk_xmltree::parse(xml)?;
+    let mut engine = Engine::build_in_memory(&tree, EnvOptions::default())?;
+
+    // --- SLCA: the minimal contexts ---
+    let slca = engine.query(&["Alice", "Bob"], Algorithm::IndexedLookupEager)?;
+    println!("SLCA answers for {{Alice, Bob}}:");
+    for node in &slca.slcas {
+        println!("\n  at {node}:");
+        for line in engine.render_subtree(node)?.lines() {
+            println!("    {line}");
+        }
+    }
+    // The team and the seminar — but not the group or department, which
+    // also contain both names yet are not *smallest*.
+    assert_eq!(slca.slcas.len(), 2);
+
+    // --- all LCAs: minimal contexts plus meaningful broader ones ---
+    let all = engine.query_all_lcas(&["Alice", "Bob"])?;
+    println!("\nAll LCAs for {{Alice, Bob}}:");
+    for (node, kind) in &all.lcas {
+        let label = match kind {
+            LcaKind::Smallest => "smallest",
+            LcaKind::Ancestor => "broader context",
+        };
+        println!("  {node:<8} [{label}]");
+    }
+    // The Databases group is an LCA too: Alice from its team with Bob
+    // from its seminar meet exactly at the group. The department is an
+    // LCA as well (Alice from Systems + Bob from Databases).
+    assert!(all.lcas.len() > slca.slcas.len());
+    println!(
+        "\n{} smallest answers, {} LCAs in total — the extra {} are broader contexts",
+        slca.slcas.len(),
+        all.lcas.len(),
+        all.lcas.len() - slca.slcas.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Quickstart: index an XML document and run a keyword search.
+//!
+//! This walks the paper's running example (Figure 1, `School.xml`): the
+//! query `{John, Ben}` returns the three *smallest* subtrees containing
+//! both names — two classes and a project — and nothing redundant.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use xk_storage::EnvOptions;
+use xksearch::{Algorithm, Engine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Any XML string works; this is a condensed School.xml.
+    let xml = r#"
+      <school>
+        <class>
+          <title>CS2A</title>
+          <lecturer><name>John</name></lecturer>
+          <TA><name>Ben</name></TA>
+        </class>
+        <class>
+          <title>CS3A</title>
+          <lecturer><name>John</name></lecturer>
+          <students>
+            <student><name>Ben</name></student>
+            <student><name>Sue</name></student>
+          </students>
+        </class>
+        <project>
+          <title>Search</title>
+          <member>John</member>
+          <member>Ben</member>
+        </project>
+        <class>
+          <title>CS1</title>
+          <lecturer><name>John</name></lecturer>
+        </class>
+      </school>"#;
+
+    // 1. Parse into a labeled ordered tree with Dewey-number ids.
+    let tree = xk_xmltree::parse(xml)?;
+    println!("parsed {} nodes, max depth {}", tree.len(), tree.max_depth());
+
+    // 2. Build the full XKSearch index (vocabulary B+tree, composite-key
+    //    B+tree, sequential list chains) — in memory here; use
+    //    `Engine::build` with a path for a persistent index file.
+    let mut engine = Engine::build_in_memory(&tree, EnvOptions::default())?;
+
+    // 3. Query. `Auto` picks Indexed Lookup Eager or Scan Eager from the
+    //    keyword frequencies, like the paper's system.
+    let out = engine.query(&["John", "Ben"], Algorithm::Auto)?;
+    println!(
+        "\n{} answers in {:.2?} using {} (S1 = {:?})",
+        out.slcas.len(),
+        out.elapsed,
+        out.algorithm,
+        out.keywords[0]
+    );
+
+    // 4. Render the answer subtrees.
+    for slca in &out.slcas {
+        println!("\n=== smallest answer subtree at Dewey {slca} ===");
+        println!("{}", engine.render_subtree(slca)?);
+    }
+
+    assert_eq!(out.slcas.len(), 3, "Figure 1's query has exactly 3 SLCAs");
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! # xksearch-repro
+//!
+//! Workspace root of the XKSearch reproduction (Xu & Papakonstantinou,
+//! *Efficient Keyword Search for Smallest LCAs in XML Databases*, SIGMOD
+//! 2005). Re-exports the workspace crates under one import path for the
+//! examples and the cross-crate integration tests:
+//!
+//! * [`xmltree`] — Dewey numbers, the tree model, XML parser/serializer;
+//! * [`storage`] — pager, buffer pool, B+tree, list chains;
+//! * [`index`] — level table, packed Dewey codec, inverted indexes;
+//! * [`slca`] — the SLCA/LCA algorithms and the brute-force oracle;
+//! * [`workload`] — the DBLP-like generator and query sampler;
+//! * [`system`] — the XKSearch engine and its result types.
+//!
+//! See README.md for a guided tour, DESIGN.md for the system inventory,
+//! and EXPERIMENTS.md for the paper-versus-measured evaluation.
+
+pub use xk_index as index;
+pub use xk_slca as slca;
+pub use xk_storage as storage;
+pub use xk_workload as workload;
+pub use xk_xmltree as xmltree;
+pub use xksearch as system;

@@ -1,0 +1,94 @@
+//! Property test across the whole stack: random XML documents, random
+//! queries — the disk-backed engine must agree with the brute-force
+//! oracle for every algorithm, hot or cold.
+
+use proptest::prelude::*;
+use xk_index::MemIndex;
+use xk_slca::brute_force_slca;
+use xk_storage::EnvOptions;
+use xksearch::{Algorithm, Engine};
+use xk_xmltree::{NodeId, XmlTree};
+
+/// Strategy: a random small XML tree over a tiny tag/word alphabet, so
+/// keywords repeat across structural and text nodes.
+fn random_tree() -> impl Strategy<Value = XmlTree> {
+    // A sequence of build instructions: (parent choice, element/text, label).
+    proptest::collection::vec(
+        (any::<prop::sample::Index>(), any::<bool>(), 0usize..6),
+        0..60,
+    )
+    .prop_map(|instrs| {
+        let words = ["apple", "pear", "fig", "kiwi", "plum", "date"];
+        let mut tree = XmlTree::new("root");
+        let mut elements = vec![NodeId::ROOT];
+        for (parent_idx, is_text, label) in instrs {
+            let parent = *parent_idx.get(&elements);
+            if is_text {
+                tree.append_text(parent, words[label]);
+            } else {
+                let id = tree.append_element(parent, words[label]);
+                elements.push(id);
+            }
+        }
+        tree
+    })
+}
+
+static QUERY_WORDS: [&str; 7] = ["apple", "pear", "fig", "kiwi", "plum", "date", "root"];
+
+fn query_strategy() -> impl Strategy<Value = Vec<&'static str>> {
+    proptest::collection::vec(prop::sample::select(&QUERY_WORDS[..]), 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_matches_oracle_on_random_documents(
+        tree in random_tree(),
+        queries in proptest::collection::vec(query_strategy(), 1..5),
+    ) {
+        let engine = Engine::build_in_memory(
+            &tree,
+            EnvOptions { page_size: 256, pool_pages: 64 },
+        ).unwrap();
+        let idx = MemIndex::build(&tree);
+
+        for q in &queries {
+            let mut lists = Vec::new();
+            let mut missing = false;
+            let mut dedup: Vec<&str> = Vec::new();
+            for k in q {
+                if !dedup.contains(k) {
+                    dedup.push(k);
+                }
+            }
+            for k in &dedup {
+                match idx.keyword_list(k) {
+                    Some(l) => lists.push(l.to_vec()),
+                    None => { missing = true; break; }
+                }
+            }
+            let expected = if missing { Vec::new() } else { brute_force_slca(&lists) };
+
+            for algo in [Algorithm::IndexedLookupEager, Algorithm::ScanEager, Algorithm::Stack] {
+                let out = engine.query(q, algo).unwrap();
+                prop_assert_eq!(&out.slcas, &expected, "query {:?} algo {}", q, algo);
+            }
+            // Cold cache must not change answers.
+            engine.clear_cache().unwrap();
+            let cold = engine.query(q, Algorithm::IndexedLookupEager).unwrap();
+            prop_assert_eq!(&cold.slcas, &expected);
+
+            // The all-LCA extension agrees with its oracle too.
+            let expected_lcas: Vec<_> = if missing {
+                Vec::new()
+            } else {
+                xk_slca::brute_force_all_lcas(&lists).into_iter().collect()
+            };
+            let out = engine.query_all_lcas(q).unwrap();
+            let got: Vec<_> = out.lcas.iter().map(|(n, _)| n.clone()).collect();
+            prop_assert_eq!(got, expected_lcas, "all-LCA for {:?}", q);
+        }
+    }
+}
