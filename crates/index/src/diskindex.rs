@@ -83,7 +83,7 @@ pub struct KeywordMeta {
 const META_BYTES: usize = 12 + xk_storage::liststore::LIST_HANDLE_BYTES;
 
 impl KeywordMeta {
-    fn encode(&self) -> [u8; META_BYTES] {
+    pub(crate) fn encode(&self) -> [u8; META_BYTES] {
         let mut out = [0u8; META_BYTES];
         out[..4].copy_from_slice(&self.kwid.to_le_bytes());
         out[4..12].copy_from_slice(&self.count.to_le_bytes());
@@ -91,7 +91,7 @@ impl KeywordMeta {
         out
     }
 
-    fn decode(bytes: &[u8]) -> Result<KeywordMeta> {
+    pub(crate) fn decode(bytes: &[u8]) -> Result<KeywordMeta> {
         if bytes.len() != META_BYTES {
             return Err(IndexError::Corrupt(format!(
                 "vocabulary entry must be {META_BYTES} bytes, got {}",
@@ -116,7 +116,7 @@ fn il_key(kwid: u32, packed: &[u8]) -> Vec<u8> {
 }
 
 /// Splits an IL key back into keyword id and packed Dewey.
-fn split_il_key(key: &[u8]) -> Result<(u32, &[u8])> {
+pub(crate) fn split_il_key(key: &[u8]) -> Result<(u32, &[u8])> {
     if key.len() < 4 {
         return Err(IndexError::Corrupt("IL key shorter than a keyword id".into()));
     }
@@ -140,7 +140,7 @@ fn encode_blob(table: &LevelTable, doc: Option<ListHandle>) -> Vec<u8> {
     out
 }
 
-fn decode_blob(blob: &[u8]) -> Result<(LevelTable, Option<ListHandle>)> {
+pub(crate) fn decode_blob(blob: &[u8]) -> Result<(LevelTable, Option<ListHandle>)> {
     if blob.len() < 3 {
         return Err(IndexError::Corrupt("meta blob too short".into()));
     }
@@ -435,32 +435,68 @@ impl DiskIndex {
 
 /// A shared, single-threaded handle to the storage environment, so several
 /// list cursors can interleave page access during one query.
+///
+/// The handle also carries the query's **poison slot**: the `xk-slca` list
+/// traits are infallible by design (the algorithms are storage-agnostic),
+/// so when a disk adapter hits an I/O or codec error mid-query it records
+/// the error here, returns `None` (which terminates any algorithm), and
+/// the caller checks [`SharedEnv::take_error`] afterwards to distinguish
+/// "no match" from "the storage layer failed".
 #[derive(Clone)]
-pub struct SharedEnv(Rc<RefCell<StorageEnv>>);
+pub struct SharedEnv {
+    env: Rc<RefCell<StorageEnv>>,
+    poison: Rc<RefCell<Option<IndexError>>>,
+}
 
 impl SharedEnv {
     /// Wraps an environment for shared cursor access.
     pub fn new(env: StorageEnv) -> SharedEnv {
-        SharedEnv(Rc::new(RefCell::new(env)))
+        SharedEnv { env: Rc::new(RefCell::new(env)), poison: Rc::new(RefCell::new(None)) }
     }
 
     /// Runs `f` with exclusive access to the environment.
     pub fn with<R>(&self, f: impl FnOnce(&mut StorageEnv) -> R) -> R {
-        f(&mut self.0.borrow_mut())
+        f(&mut self.env.borrow_mut())
+    }
+
+    /// Records an error from an infallible-trait adapter. The first error
+    /// wins — it is the root cause; anything after it is fallout.
+    pub fn poison(&self, err: IndexError) {
+        let mut slot = self.poison.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+    }
+
+    /// Takes the recorded error, if any, clearing the slot. Call after
+    /// running an algorithm over disk-backed lists; `Some` means the
+    /// result is untrustworthy and must be discarded.
+    pub fn take_error(&self) -> Option<IndexError> {
+        self.poison.borrow_mut().take()
+    }
+
+    /// True if an adapter has recorded an error since the last
+    /// [`SharedEnv::take_error`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poison.borrow().is_some()
     }
 
     /// Unwraps the environment if this is the only handle.
     pub fn try_unwrap(self) -> std::result::Result<StorageEnv, SharedEnv> {
-        Rc::try_unwrap(self.0).map(RefCell::into_inner).map_err(SharedEnv)
+        let SharedEnv { env, poison } = self;
+        match Rc::try_unwrap(env) {
+            Ok(cell) => Ok(cell.into_inner()),
+            Err(env) => Err(SharedEnv { env, poison }),
+        }
     }
 }
 
 /// Disk-backed [`RankedList`]: `lm`/`rm` as B+tree seeks on the composite
 /// `(keyword id, packed Dewey)` key.
 ///
-/// I/O or codec failures abort the query with a panic — the [`RankedList`]
-/// trait is infallible by design (the algorithms are storage-agnostic), so
-/// storage corruption is treated as unrecoverable here.
+/// I/O or codec failures poison the [`SharedEnv`] and surface as `None`;
+/// callers must check [`SharedEnv::take_error`] once the algorithm
+/// finishes. The traits stay infallible, the query becomes fallible.
 pub struct DiskRankedList {
     env: SharedEnv,
     il: BTree,
@@ -471,11 +507,52 @@ pub struct DiskRankedList {
 
 impl DiskRankedList {
     fn decode_hit(&self, key: &[u8]) -> Option<Dewey> {
-        let (kwid, packed) = split_il_key(key).expect("malformed IL key");
+        let (kwid, packed) = match split_il_key(key) {
+            Ok(parts) => parts,
+            Err(e) => {
+                self.env.poison(e);
+                return None;
+            }
+        };
         if kwid != self.kwid {
             return None; // crossed into another keyword's range
         }
-        Some(decode_dewey(packed, &self.table).expect("malformed packed Dewey in IL tree"))
+        match decode_dewey(packed, &self.table) {
+            Ok(d) => Some(d),
+            Err(e) => {
+                self.env.poison(e.into());
+                None
+            }
+        }
+    }
+
+    /// Shared body of `rm`/`lm`: encode the probe, seek, decode the hit.
+    fn seek_match(&mut self, v: &Dewey, ge: bool) -> Option<Dewey> {
+        let probe = match encode_probe(v, &self.table) {
+            Ok(p) => p,
+            Err(e) => {
+                self.env.poison(e.into());
+                return None;
+            }
+        };
+        let key = match &probe {
+            Probe::Exact(p) | Probe::After(p) => il_key(self.kwid, p),
+        };
+        let entry = self.env.with(|env| -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+            let cur = if ge {
+                self.il.seek_ge(env, &key)?
+            } else {
+                self.il.seek_le(env, &key)?
+            };
+            Ok(cur.read(env)?)
+        });
+        match entry {
+            Ok(e) => e.and_then(|(k, _)| self.decode_hit(&k)),
+            Err(e) => {
+                self.env.poison(e);
+                None
+            }
+        }
     }
 }
 
@@ -485,33 +562,18 @@ impl RankedList for DiskRankedList {
     }
 
     fn rm(&mut self, v: &Dewey) -> Option<Dewey> {
-        let probe = encode_probe(v, &self.table).expect("probe outside document shape");
-        let key = match &probe {
-            Probe::Exact(p) | Probe::After(p) => il_key(self.kwid, p),
-        };
-        self.env.with(|env| {
-            let cur = self.il.seek_ge(env, &key).expect("B+tree seek failed");
-            let entry = cur.read(env).expect("B+tree read failed");
-            entry.and_then(|(k, _)| self.decode_hit(&k))
-        })
+        self.seek_match(v, true)
     }
 
     fn lm(&mut self, v: &Dewey) -> Option<Dewey> {
-        let probe = encode_probe(v, &self.table).expect("probe outside document shape");
-        let key = match &probe {
-            Probe::Exact(p) | Probe::After(p) => il_key(self.kwid, p),
-        };
-        self.env.with(|env| {
-            let cur = self.il.seek_le(env, &key).expect("B+tree seek failed");
-            let entry = cur.read(env).expect("B+tree read failed");
-            entry.and_then(|(k, _)| self.decode_hit(&k))
-        })
+        self.seek_match(v, false)
     }
 }
 
 /// Disk-backed [`StreamList`]: sequential page-chain reads.
 ///
-/// As with [`DiskRankedList`], storage failures panic.
+/// As with [`DiskRankedList`], storage failures poison the [`SharedEnv`]
+/// and end the stream early.
 pub struct DiskStreamList {
     env: SharedEnv,
     handle: ListHandle,
@@ -529,13 +591,21 @@ impl StreamList for DiskStreamList {
     }
 
     fn next_node(&mut self) -> Option<Dewey> {
-        let rec = self
-            .env
-            .with(|env| self.reader.next_record(env))
-            .expect("list chain read failed");
-        rec.map(|bytes| {
-            decode_dewey(&bytes, &self.table).expect("malformed packed Dewey in list chain")
-        })
+        let rec = match self.env.with(|env| self.reader.next_record(env)) {
+            Ok(r) => r,
+            Err(e) => {
+                self.env.poison(e.into());
+                return None;
+            }
+        };
+        let bytes = rec?;
+        match decode_dewey(&bytes, &self.table) {
+            Ok(d) => Some(d),
+            Err(e) => {
+                self.env.poison(e.into());
+                None
+            }
+        }
     }
 }
 
@@ -725,6 +795,22 @@ mod tests {
         assert!(matches!(err, Err(IndexError::Codec(_))), "{err:?}");
         // And nothing was half-applied.
         assert_eq!(index.frequency("john"), john_before);
+    }
+
+    #[test]
+    fn adapter_errors_poison_instead_of_panicking() {
+        let (env, index) = build_school();
+        // Scribble over the head page of john's chain: the record framing
+        // no longer decodes, which used to be a panic in next_node.
+        let head = index.lookup("john").unwrap().handle.head;
+        env.with(|e| e.with_page_mut(head, |p| p.fill(0xFF))).unwrap();
+
+        let mut stream = index.stream_list(env.clone(), "john").unwrap();
+        assert_eq!(stream.next_node(), None);
+        assert!(env.is_poisoned());
+        let err = env.take_error().expect("poison recorded");
+        assert!(matches!(err, IndexError::Storage(_)), "{err:?}");
+        assert!(env.take_error().is_none(), "slot cleared after take");
     }
 
     #[test]

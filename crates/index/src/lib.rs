@@ -14,12 +14,16 @@
 //!   vocabulary B+tree (the frequency table), the composite-key B+tree
 //!   for Indexed Lookup matches, and sequential list chains for scanning,
 //!   with [`DiskRankedList`] / [`DiskStreamList`] adapters implementing
-//!   the `xk-slca` list traits.
+//!   the `xk-slca` list traits (storage failures poison the [`SharedEnv`]
+//!   instead of panicking);
+//! * [`verify_index`] — offline structural verification of a built index:
+//!   checksums, B+tree invariants, chain accounting, record decode.
 
 pub mod codec;
 pub mod diskindex;
 pub mod leveltable;
 pub mod memindex;
+pub mod verify;
 
 pub use codec::{decode_dewey, encode_dewey, encode_probe, encode_upper_bound, CodecError, Probe};
 pub use diskindex::{
@@ -28,3 +32,4 @@ pub use diskindex::{
 };
 pub use leveltable::LevelTable;
 pub use memindex::{node_tokens, MemIndex};
+pub use verify::{verify_index, VerifyReport};

@@ -111,7 +111,7 @@ mod raw {
         &page[off + 2..off + 2 + klen]
     }
 
-    fn internal_child_at(page: &[u8], i: usize) -> PageId {
+    pub fn internal_child_at(page: &[u8], i: usize) -> PageId {
         if i == 0 {
             return PageId(u32::from_le_bytes(page[3..7].try_into().unwrap()));
         }
@@ -205,40 +205,58 @@ impl Node {
         }
     }
 
+    /// Parses a node image with full bounds checking: every offset and
+    /// length is validated before use, so a structurally mangled page
+    /// (one whose checksum still passes, e.g. a software bug) surfaces as
+    /// [`StorageError::Corrupt`] instead of a panic. The unchecked `raw`
+    /// accessors stay on the hot read path, where checksum verification
+    /// has already vouched for the page.
     fn read(page: &[u8]) -> Result<Node> {
-        match page[0] {
-            TYPE_LEAF => {
-                let count = raw::count(page);
-                let prev = raw::leaf_prev(page);
-                let next = raw::leaf_next(page);
+        fn slice<'p>(page: &'p [u8], start: usize, len: usize, what: &str) -> Result<&'p [u8]> {
+            page.get(start..start + len).ok_or_else(|| {
+                StorageError::Corrupt(format!("truncated B+tree node: {what} out of bounds"))
+            })
+        }
+        fn get_u16(page: &[u8], pos: usize, what: &str) -> Result<usize> {
+            Ok(u16::from_le_bytes(
+                slice(page, pos, 2, what)?.try_into().expect("2-byte slice"),
+            ) as usize)
+        }
+        fn get_u32(page: &[u8], pos: usize, what: &str) -> Result<u32> {
+            Ok(u32::from_le_bytes(
+                slice(page, pos, 4, what)?.try_into().expect("4-byte slice"),
+            ))
+        }
+        match page.first() {
+            Some(&TYPE_LEAF) => {
+                let count = get_u16(page, 1, "leaf count")?;
+                let prev = PageId::decode_opt(get_u32(page, 3, "leaf prev")?);
+                let next = PageId::decode_opt(get_u32(page, 7, "leaf next")?);
                 let mut entries = Vec::with_capacity(count);
                 for i in 0..count {
-                    let (k, v) = raw::leaf_entry(page, i);
-                    entries.push((k.to_vec(), v.to_vec()));
+                    let off = get_u16(page, LEAF_HDR + 2 * i, "leaf offset")?;
+                    let klen = get_u16(page, off, "leaf key length")?;
+                    let vlen = get_u16(page, off + 2, "leaf value length")?;
+                    let k = slice(page, off + 4, klen, "leaf key")?.to_vec();
+                    let v = slice(page, off + 4 + klen, vlen, "leaf value")?.to_vec();
+                    entries.push((k, v));
                 }
                 Ok(Node::Leaf { prev, next, entries })
             }
-            TYPE_INTERNAL => {
-                let count = raw::count(page);
-                let mut children =
-                    vec![PageId(u32::from_le_bytes(page[3..7].try_into().unwrap()))];
+            Some(&TYPE_INTERNAL) => {
+                let count = get_u16(page, 1, "internal count")?;
+                let mut children = vec![PageId(get_u32(page, 3, "first child")?)];
                 let mut keys = Vec::with_capacity(count);
                 for i in 0..count {
-                    let off = {
-                        let pos = INT_HDR + 2 * i;
-                        u16::from_le_bytes(page[pos..pos + 2].try_into().unwrap()) as usize
-                    };
-                    let klen =
-                        u16::from_le_bytes(page[off..off + 2].try_into().unwrap()) as usize;
-                    keys.push(page[off + 2..off + 2 + klen].to_vec());
-                    let cpos = off + 2 + klen;
-                    children.push(PageId(u32::from_le_bytes(
-                        page[cpos..cpos + 4].try_into().unwrap(),
-                    )));
+                    let off = get_u16(page, INT_HDR + 2 * i, "internal offset")?;
+                    let klen = get_u16(page, off, "separator length")?;
+                    keys.push(slice(page, off + 2, klen, "separator key")?.to_vec());
+                    children.push(PageId(get_u32(page, off + 2 + klen, "child pointer")?));
                 }
                 Ok(Node::Internal { keys, children })
             }
-            t => Err(StorageError::Corrupt(format!("unknown B+tree node type {t}"))),
+            Some(&t) => Err(StorageError::Corrupt(format!("unknown B+tree node type {t}"))),
+            None => Err(StorageError::Corrupt("empty B+tree node page".into())),
         }
     }
 }
@@ -816,6 +834,82 @@ impl BTree {
         Ok(())
     }
 
+    /// Verifies the doubly-linked leaf chain: the leftmost leaf has no
+    /// `prev`, every leaf's `prev` names its actual left sibling, and the
+    /// chain terminates within the file's page count (no cycles). Used by
+    /// `xksearch verify`; complements [`BTree::check_invariants`], which
+    /// checks key order but walks only `next` links.
+    pub fn verify_leaf_links(&self, env: &mut StorageEnv) -> Result<()> {
+        let limit = env.page_count() as u64 + 1;
+        // Descend along first children to the leftmost leaf.
+        let mut page = self.root(env)?;
+        let mut depth = 0u64;
+        loop {
+            let child = env.with_page(page, |p| {
+                if raw::is_internal(p) {
+                    Ok(Some(raw::internal_child_at(p, 0)))
+                } else if raw::is_leaf(p) {
+                    Ok(None)
+                } else {
+                    Err(StorageError::Corrupt(format!(
+                        "page {}: unknown B+tree node type",
+                        page.0
+                    )))
+                }
+            })??;
+            match child {
+                Some(c) => {
+                    depth += 1;
+                    if depth > limit {
+                        return Err(StorageError::Corrupt(
+                            "B+tree deeper than the file's page count (cycle?)".into(),
+                        ));
+                    }
+                    page = c;
+                }
+                None => break,
+            }
+        }
+        // Walk the chain left to right checking prev/next symmetry.
+        let mut expected_prev: Option<PageId> = None;
+        let mut steps = 0u64;
+        loop {
+            let (prev, next) = env.with_page(page, |p| {
+                if raw::is_leaf(p) {
+                    Ok((raw::leaf_prev(p), raw::leaf_next(p)))
+                } else {
+                    Err(StorageError::Corrupt(format!(
+                        "page {} in the leaf chain is not a leaf",
+                        page.0
+                    )))
+                }
+            })??;
+            if prev != expected_prev {
+                return Err(StorageError::Corrupt(format!(
+                    "leaf {}: prev link {:?} does not name its left sibling {:?} \
+                     (asymmetric sibling links)",
+                    page.0,
+                    prev.map(|p| p.0),
+                    expected_prev.map(|p| p.0)
+                )));
+            }
+            steps += 1;
+            if steps > limit {
+                return Err(StorageError::Corrupt(
+                    "leaf chain longer than the file's page count (cycle?)".into(),
+                ));
+            }
+            match next {
+                Some(n) => {
+                    expected_prev = Some(page);
+                    page = n;
+                }
+                None => break,
+            }
+        }
+        Ok(())
+    }
+
     fn check_rec(
         &self,
         env: &mut StorageEnv,
@@ -1248,6 +1342,62 @@ mod tests {
         assert!(BTree::bulk_load(&mut env, 0, entries).is_err());
         let dup = vec![(b"a".to_vec(), vec![]), (b"a".to_vec(), vec![])];
         assert!(BTree::bulk_load(&mut env, 0, dup).is_err());
+    }
+
+    #[test]
+    fn verify_leaf_links_accepts_built_trees() {
+        let mut env = mem_env();
+        let t = BTree::create(&mut env, 0).unwrap();
+        for i in 0..2000u32 {
+            t.insert(&mut env, &key((i * 7919) % 2000), b"v").unwrap();
+        }
+        t.verify_leaf_links(&mut env).unwrap();
+        // Bulk-loaded trees too.
+        let entries: Vec<_> = (0..2000u32).map(|i| (key(i), vec![])).collect();
+        let b = BTree::bulk_load(&mut env, 1, entries).unwrap();
+        b.verify_leaf_links(&mut env).unwrap();
+        // And after deletions rebalance the chain.
+        for i in (0..2000u32).step_by(2) {
+            t.remove(&mut env, &key(i)).unwrap();
+        }
+        t.verify_leaf_links(&mut env).unwrap();
+    }
+
+    #[test]
+    fn verify_leaf_links_detects_broken_prev() {
+        let mut env = mem_env();
+        let t = BTree::create(&mut env, 0).unwrap();
+        for i in 0..500u32 {
+            t.insert(&mut env, &key(i), b"v").unwrap();
+        }
+        // Find the second leaf and point its prev somewhere wrong.
+        let first = t.cursor_first(&mut env).unwrap();
+        let mut c = first;
+        let second_leaf = loop {
+            let page_before = c.page;
+            c.advance(&mut env).unwrap();
+            if c.page != page_before {
+                break c.page.unwrap();
+            }
+        };
+        update_leaf_prev(&mut env, second_leaf, None).unwrap();
+        match t.verify_leaf_links(&mut env) {
+            Err(StorageError::Corrupt(msg)) => assert!(msg.contains("asymmetric"), "{msg}"),
+            other => panic!("expected asymmetric-link error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_read_rejects_mangled_pages() {
+        let mut env = mem_env();
+        let t = BTree::create(&mut env, 0).unwrap();
+        for i in 0..50u32 {
+            t.insert(&mut env, &key(i), b"v").unwrap();
+        }
+        let root = t.root(&mut env).unwrap();
+        // Claim far more entries than the page holds: offsets run off the end.
+        env.with_page_mut(root, |p| p[1..3].copy_from_slice(&5000u16.to_le_bytes())).unwrap();
+        assert!(matches!(read_node(&mut env, root), Err(StorageError::Corrupt(_))));
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! CRC-32 (IEEE 802.3 polynomial) for page trailers.
+//!
+//! Every physical page of an `XKSTORE2` file ends in an 8-byte trailer:
+//! a little-endian CRC-32 of the page payload followed by four reserved
+//! zero bytes. The tables are built at compile time and the hot loop uses
+//! slicing-by-8 — eight independent table lookups per 8 input bytes
+//! instead of one serial lookup per byte — because verification sits on
+//! every cold-cache page read. The crate stays dependency-free.
+
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    // tables[n][b] = CRC of byte b followed by n zero bytes, so the eight
+    // lookups of one 8-byte chunk can be combined with plain XOR.
+    let mut n = 1;
+    while n < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[n - 1][i];
+            tables[n][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        n += 1;
+    }
+    tables
+}
+
+static CRC_TABLES: [[u32; 256]; 8] = build_tables();
+
+/// CRC-32 of `data` (IEEE polynomial, reflected, init/xorout `!0`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        crc = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &byte in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check values for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = vec![0xA5u8; 512];
+        let reference = crc32(&base);
+        for byte in [0usize, 17, 255, 511] {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip at byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_loop_matches_bytewise_reference() {
+        let bytewise = |data: &[u8]| {
+            let mut crc = !0u32;
+            for &b in data {
+                crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+            }
+            !crc
+        };
+        let data: Vec<u8> = (0..1029u32).map(|i| (i.wrapping_mul(131) >> 3) as u8).collect();
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 63, 64, 65, 511, 512, 1029] {
+            assert_eq!(crc32(&data[..len]), bytewise(&data[..len]), "length {len}");
+        }
+    }
+
+    #[test]
+    fn zeros_do_not_hash_to_zero() {
+        // The all-zero page exemption in the env relies on this: a real
+        // checksum of a zero payload is nonzero, so `stored == 0` plus an
+        // all-zero payload can only mean "never written".
+        assert_ne!(crc32(&[0u8; 248]), 0);
+        assert_ne!(crc32(&[0u8; 4088]), 0);
+    }
+}

@@ -6,25 +6,61 @@
 //! small user-metadata blob, and cache control for the hot/cold-cache
 //! experiments (`clear_cache` drops every cached page so the next access of
 //! each page is a real disk read).
+//!
+//! # On-disk format v2 (`XKSTORE2`)
+//!
+//! Every physical page ends in an 8-byte trailer: a little-endian CRC-32
+//! of the payload plus four reserved zero bytes. Callers never see the
+//! trailer — [`StorageEnv::page_size`] reports the *usable* payload size
+//! and the page closures receive only the payload slice. Checksums are
+//! stamped on every write-back and verified on every buffer-pool miss, so
+//! a torn or bit-flipped page surfaces as
+//! [`StorageError::ChecksumMismatch`] naming the page instead of being
+//! garbage-decoded. A page whose payload and trailer are entirely zero is
+//! exempt: that is the state of a freshly grown page that was never
+//! written (a real CRC-32 of a zero payload is nonzero, so the exemption
+//! cannot mask a corrupted written page).
+//!
+//! The meta page (page 0) additionally carries a format version and a
+//! dirty flag. The flag is forced to disk *before* the first data-page
+//! mutation can reach the file and cleared as the last step of
+//! [`StorageEnv::flush`]; [`StorageEnv::open`] refuses files whose flag
+//! is still set with [`StorageError::DirtyShutdown`], which is how a
+//! crashed writer is detected on the next open.
 
+use crate::checksum::crc32;
 use crate::error::{Result, StorageError};
 use crate::pager::{FilePager, MemPager, PageId, Pager};
 use crate::stats::IoStats;
 use std::collections::HashMap;
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"XKSTORE1";
-const META_FREELIST: usize = 12;
-const META_ROOTS: usize = 16;
+const MAGIC: &[u8; 8] = b"XKSTORE2";
+const MAGIC_V1: &[u8; 8] = b"XKSTORE1";
+/// On-disk format version stored in the meta page.
+pub const FORMAT_VERSION: u16 = 2;
+/// Bytes reserved at the end of every physical page for the CRC trailer.
+pub const PAGE_TRAILER: usize = 8;
+
+// Meta-page payload layout.
+const META_PAGE_SIZE: usize = 8; // u32: physical page size
+const META_VERSION: usize = 12; // u16: FORMAT_VERSION
+const META_FLAGS: usize = 14; // u8: FLAG_* bits ([15] reserved)
+const META_FREELIST: usize = 16;
+const META_ROOTS: usize = 20;
 /// Number of named B+tree root slots in the meta page.
 pub const ROOT_SLOTS: usize = 8;
 const META_BLOB_LEN: usize = META_ROOTS + 4 * ROOT_SLOTS;
 const META_BLOB: usize = META_BLOB_LEN + 4;
 
+const FLAG_DIRTY: u8 = 1;
+
 /// Configuration for creating or opening a [`StorageEnv`].
 #[derive(Debug, Clone)]
 pub struct EnvOptions {
-    /// Page size in bytes (power of two, >= 128). Default 4096.
+    /// Physical page size in bytes (power of two, >= 128). Default 4096.
+    /// Used when *creating* a file; `open` reads the size from the meta
+    /// header instead.
     pub page_size: usize,
     /// Buffer pool capacity in pages. Default 1024 (4 MiB at 4 KiB pages).
     pub pool_pages: usize,
@@ -57,31 +93,57 @@ pub struct StorageEnv {
     lru_tail: usize, // least recently used
     capacity: usize,
     stats: IoStats,
+    /// Verify page checksums on buffer-pool misses (on by default; the
+    /// bench harness turns it off to measure the overhead).
+    verify_checksums: bool,
+    /// True while the on-disk meta page has a *clear* dirty flag, i.e.
+    /// the file claims to be clean. Any mutation must first push a dirty
+    /// meta page to disk (see `ensure_dirty_marked`).
+    clean_on_disk: bool,
 }
 
 impl StorageEnv {
     /// Creates a new storage file at `path`.
     pub fn create(path: impl AsRef<Path>, options: EnvOptions) -> Result<StorageEnv> {
         let pager = FilePager::create(path.as_ref(), options.page_size)?;
-        let mut env = Self::with_pager(Box::new(pager), options.pool_pages);
-        env.init_meta()?;
-        Ok(env)
+        Self::create_with_pager(Box::new(pager), options.pool_pages)
     }
 
-    /// Opens an existing storage file at `path`.
+    /// Opens an existing storage file at `path`. The page size is read
+    /// from the meta header, not from `options`; a header whose size is
+    /// implausible or inconsistent with the file length is rejected as
+    /// [`StorageError::Corrupt`], and a file whose dirty flag is set is
+    /// rejected as [`StorageError::DirtyShutdown`].
     pub fn open(path: impl AsRef<Path>, options: EnvOptions) -> Result<StorageEnv> {
-        let pager = FilePager::open(path.as_ref(), options.page_size)?;
-        let mut env = Self::with_pager(Box::new(pager), options.pool_pages);
-        env.check_meta()?;
-        Ok(env)
+        let path = path.as_ref();
+        let page_size = Self::detect_page_size(path, options.page_size)?;
+        let pager = FilePager::open(path, page_size)?;
+        Self::open_with_pager(Box::new(pager), options.pool_pages)
     }
 
     /// Creates an ephemeral in-memory environment (tests, transient work).
     pub fn in_memory(options: EnvOptions) -> StorageEnv {
         let pager = MemPager::new(options.page_size);
-        let mut env = Self::with_pager(Box::new(pager), options.pool_pages);
-        env.init_meta().expect("in-memory init cannot fail");
-        env
+        Self::create_with_pager(Box::new(pager), options.pool_pages)
+            .expect("in-memory init cannot fail")
+    }
+
+    /// Initializes a fresh environment over an arbitrary pager (e.g. a
+    /// [`crate::FaultPager`] for crash-simulation tests). The pager must
+    /// be empty or about to be overwritten.
+    pub fn create_with_pager(pager: Box<dyn Pager>, pool_pages: usize) -> Result<StorageEnv> {
+        let mut env = Self::with_pager(pager, pool_pages);
+        env.init_meta()?;
+        Ok(env)
+    }
+
+    /// Opens an environment over an arbitrary pager holding an existing
+    /// `XKSTORE2` image. The pager's page size must match the file's.
+    pub fn open_with_pager(pager: Box<dyn Pager>, pool_pages: usize) -> Result<StorageEnv> {
+        let mut env = Self::with_pager(pager, pool_pages);
+        env.check_meta()?;
+        env.clean_on_disk = true;
+        Ok(env)
     }
 
     fn with_pager(pager: Box<dyn Pager>, pool_pages: usize) -> StorageEnv {
@@ -94,14 +156,59 @@ impl StorageEnv {
             lru_tail: NIL,
             capacity: pool_pages.max(8),
             stats: IoStats::default(),
+            verify_checksums: true,
+            clean_on_disk: false,
         }
+    }
+
+    /// Reads the page size out of the meta header so `open` does not have
+    /// to trust `EnvOptions::page_size`. `configured` is only quoted in
+    /// error messages.
+    fn detect_page_size(path: &Path, configured: usize) -> Result<usize> {
+        use std::io::Read;
+        let mut file = std::fs::File::open(path)?;
+        let mut header = [0u8; 16];
+        file.read_exact(&mut header).map_err(|_| {
+            StorageError::Corrupt("file too short to hold a meta-page header".into())
+        })?;
+        if &header[..8] == MAGIC_V1 {
+            return Err(StorageError::Corrupt(
+                "file uses the retired XKSTORE1 format (no checksums); rebuild the index".into(),
+            ));
+        }
+        if &header[..8] != MAGIC {
+            return Err(StorageError::Corrupt("bad magic".into()));
+        }
+        let ps = u32::from_le_bytes(
+            header[META_PAGE_SIZE..META_PAGE_SIZE + 4]
+                .try_into()
+                .expect("4-byte slice of a 16-byte header"),
+        ) as usize;
+        if !(128..=1 << 24).contains(&ps) || !ps.is_power_of_two() {
+            return Err(StorageError::Corrupt(format!(
+                "implausible page size {ps} in meta header (configured page size: {configured})"
+            )));
+        }
+        let len = file.metadata()?.len();
+        if len % ps as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "file length {len} is not a multiple of the header page size {ps} \
+                 (configured page size: {configured})"
+            )));
+        }
+        Ok(ps)
     }
 
     fn init_meta(&mut self) -> Result<()> {
         let ps = self.pager.page_size();
         self.with_page_mut(PageId::META, |page| {
             page[..8].copy_from_slice(MAGIC);
-            page[8..12].copy_from_slice(&(ps as u32).to_le_bytes());
+            page[META_PAGE_SIZE..META_PAGE_SIZE + 4]
+                .copy_from_slice(&(ps as u32).to_le_bytes());
+            page[META_VERSION..META_VERSION + 2]
+                .copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+            // Born dirty: the file is not consistent until the first flush.
+            page[META_FLAGS] = FLAG_DIRTY;
             page[META_FREELIST..META_FREELIST + 4]
                 .copy_from_slice(&PageId::NONE_RAW.to_le_bytes());
             for slot in 0..ROOT_SLOTS {
@@ -115,21 +222,50 @@ impl StorageEnv {
     fn check_meta(&mut self) -> Result<()> {
         let expected = self.pager.page_size() as u32;
         self.with_page(PageId::META, |page| {
+            if &page[..8] == MAGIC_V1 {
+                return Err(StorageError::Corrupt(
+                    "file uses the retired XKSTORE1 format (no checksums); rebuild the index"
+                        .into(),
+                ));
+            }
             if &page[..8] != MAGIC {
                 return Err(StorageError::Corrupt("bad magic".into()));
             }
-            let ps = u32::from_le_bytes(page[8..12].try_into().unwrap());
+            let ps = u32::from_le_bytes(
+                page[META_PAGE_SIZE..META_PAGE_SIZE + 4]
+                    .try_into()
+                    .expect("4-byte slice of the meta payload"),
+            );
             if ps != expected {
                 return Err(StorageError::Corrupt(format!(
-                    "file page size {ps} does not match configured {expected}"
+                    "file page size {ps} does not match pager page size {expected}"
                 )));
+            }
+            let version = u16::from_le_bytes(
+                page[META_VERSION..META_VERSION + 2]
+                    .try_into()
+                    .expect("2-byte slice of the meta payload"),
+            );
+            if version != FORMAT_VERSION {
+                return Err(StorageError::Corrupt(format!(
+                    "unsupported format version {version} (this build reads {FORMAT_VERSION})"
+                )));
+            }
+            if page[META_FLAGS] & FLAG_DIRTY != 0 {
+                return Err(StorageError::DirtyShutdown);
             }
             Ok(())
         })?
     }
 
-    /// The page size of the backing store.
+    /// The usable payload size of a page — the physical page size minus
+    /// the CRC trailer. All structure capacities derive from this.
     pub fn page_size(&self) -> usize {
+        self.pager.page_size() - PAGE_TRAILER
+    }
+
+    /// The physical page size of the backing store (payload + trailer).
+    pub fn physical_page_size(&self) -> usize {
         self.pager.page_size()
     }
 
@@ -146,6 +282,43 @@ impl StorageEnv {
     /// Zeroes the I/O counters.
     pub fn reset_stats(&mut self) {
         self.stats = IoStats::default();
+    }
+
+    /// Enables or disables CRC verification on buffer-pool misses.
+    /// On by default; the checksum-overhead bench flips it off to measure
+    /// the cost. Writes are stamped either way.
+    pub fn set_verify_checksums(&mut self, on: bool) {
+        self.verify_checksums = on;
+    }
+
+    // ---- checksum trailer ----
+
+    /// Recomputes and stores the CRC trailer of a physical page buffer.
+    fn stamp_page(data: &mut [u8]) {
+        let payload_end = data.len() - PAGE_TRAILER;
+        let crc = crc32(&data[..payload_end]);
+        data[payload_end..payload_end + 4].copy_from_slice(&crc.to_le_bytes());
+        data[payload_end + 4..].fill(0);
+    }
+
+    /// Checks the CRC trailer of a freshly read physical page buffer.
+    fn verify_page(data: &[u8], id: PageId) -> Result<()> {
+        let payload_end = data.len() - PAGE_TRAILER;
+        let stored = u32::from_le_bytes(
+            data[payload_end..payload_end + 4]
+                .try_into()
+                .expect("4-byte slice of the page trailer"),
+        );
+        let computed = crc32(&data[..payload_end]);
+        if stored == computed {
+            return Ok(());
+        }
+        if stored == 0 && data.iter().all(|&b| b == 0) {
+            // A grown-but-never-written page; crc32 of a zero payload is
+            // nonzero, so this cannot shadow a real checksum.
+            return Ok(());
+        }
+        Err(StorageError::ChecksumMismatch { page: id.0, stored, computed })
     }
 
     // ---- buffer pool ----
@@ -186,6 +359,7 @@ impl StorageEnv {
     }
 
     /// Loads `id` into the pool (if absent) and returns its frame index.
+    /// Pool misses verify the page checksum before the page is admitted.
     fn fetch(&mut self, id: PageId) -> Result<usize> {
         self.stats.logical_reads += 1;
         if let Some(&idx) = self.map.get(&id) {
@@ -198,7 +372,17 @@ impl StorageEnv {
         if self.frames[idx].data.len() != ps {
             self.frames[idx].data = vec![0u8; ps].into_boxed_slice();
         }
-        self.pager.read_page(id, &mut self.frames[idx].data)?;
+        if let Err(e) = self.pager.read_page(id, &mut self.frames[idx].data) {
+            // Hand the frame back so a failing pager cannot drain the pool.
+            self.free_frames.push(idx);
+            return Err(e);
+        }
+        if self.verify_checksums {
+            if let Err(e) = Self::verify_page(&self.frames[idx].data, id) {
+                self.free_frames.push(idx);
+                return Err(e);
+            }
+        }
         self.frames[idx].dirty = false;
         self.frames[idx].page = id;
         self.map.insert(id, idx);
@@ -230,7 +414,8 @@ impl StorageEnv {
         if self.frames[victim].dirty {
             self.stats.disk_writes += 1;
             // Borrow dance: take the buffer out while writing.
-            let data = std::mem::take(&mut self.frames[victim].data);
+            let mut data = std::mem::take(&mut self.frames[victim].data);
+            Self::stamp_page(&mut data);
             let res = self.pager.write_page(page, &data);
             self.frames[victim].data = data;
             res?;
@@ -240,37 +425,86 @@ impl StorageEnv {
         Ok(victim)
     }
 
-    /// Runs `f` with read access to page `id`.
-    pub fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
-        let idx = self.fetch(id)?;
-        Ok(f(&self.frames[idx].data))
+    /// Forces the on-disk dirty flag on before the first mutation of this
+    /// "write epoch" — the write-ahead half of the clean-shutdown
+    /// protocol. No data page can reach disk while the file still claims
+    /// to be clean; `flush` clears the flag again as its final act.
+    fn ensure_dirty_marked(&mut self) -> Result<()> {
+        if !self.clean_on_disk {
+            return Ok(());
+        }
+        let idx = self.fetch(PageId::META)?;
+        self.frames[idx].data[META_FLAGS] |= FLAG_DIRTY;
+        self.frames[idx].dirty = true;
+        self.stats.disk_writes += 1;
+        let mut data = std::mem::take(&mut self.frames[idx].data);
+        Self::stamp_page(&mut data);
+        let res = self.pager.write_page(PageId::META, &data);
+        self.frames[idx].data = data;
+        res?;
+        self.pager.sync()?;
+        self.frames[idx].dirty = false;
+        self.clean_on_disk = false;
+        Ok(())
     }
 
-    /// Runs `f` with write access to page `id`; the page is marked dirty.
+    /// Runs `f` with read access to the payload of page `id`.
+    pub fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let usable = self.page_size();
+        let idx = self.fetch(id)?;
+        Ok(f(&self.frames[idx].data[..usable]))
+    }
+
+    /// Runs `f` with write access to the payload of page `id`; the page
+    /// is marked dirty (in the pool and, write-ahead, on disk).
     pub fn with_page_mut<R>(&mut self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        self.ensure_dirty_marked()?;
+        let usable = self.page_size();
         let idx = self.fetch(id)?;
         self.frames[idx].dirty = true;
-        Ok(f(&mut self.frames[idx].data))
+        Ok(f(&mut self.frames[idx].data[..usable]))
     }
 
-    /// Copies page `id` out of the pool.
+    /// Copies the payload of page `id` out of the pool.
     pub fn read_page_copy(&mut self, id: PageId) -> Result<Vec<u8>> {
         self.with_page(id, |p| p.to_vec())
     }
 
-    /// Writes back every dirty page (the pool keeps its contents).
+    /// Writes back every dirty page (the pool keeps its contents), then
+    /// marks the file clean. Two phases, each followed by a sync: data
+    /// pages first, the clean meta page last, so a crash between the two
+    /// still leaves the dirty flag set.
     pub fn flush(&mut self) -> Result<()> {
+        let any_dirty = self.frames.iter().any(|f| f.dirty && f.page.0 != u32::MAX);
+        if !any_dirty && self.clean_on_disk {
+            return Ok(()); // read-only session: nothing to write
+        }
+        // Phase 1: all dirty pages except the meta page.
         for idx in 0..self.frames.len() {
-            if self.frames[idx].dirty && self.frames[idx].page.0 != u32::MAX {
+            let page = self.frames[idx].page;
+            if self.frames[idx].dirty && page.0 != u32::MAX && page != PageId::META {
                 self.stats.disk_writes += 1;
-                let data = std::mem::take(&mut self.frames[idx].data);
-                let res = self.pager.write_page(self.frames[idx].page, &data);
+                let mut data = std::mem::take(&mut self.frames[idx].data);
+                Self::stamp_page(&mut data);
+                let res = self.pager.write_page(page, &data);
                 self.frames[idx].data = data;
                 res?;
                 self.frames[idx].dirty = false;
             }
         }
         self.pager.sync()?;
+        // Phase 2: the meta page, with the dirty flag cleared.
+        let idx = self.fetch(PageId::META)?;
+        self.frames[idx].data[META_FLAGS] &= !FLAG_DIRTY;
+        self.stats.disk_writes += 1;
+        let mut data = std::mem::take(&mut self.frames[idx].data);
+        Self::stamp_page(&mut data);
+        let res = self.pager.write_page(PageId::META, &data);
+        self.frames[idx].data = data;
+        res?;
+        self.frames[idx].dirty = false;
+        self.pager.sync()?;
+        self.clean_on_disk = true;
         Ok(())
     }
 
@@ -295,10 +529,11 @@ impl StorageEnv {
 
     /// Allocates a page: pops the free list or grows the file.
     pub fn allocate_page(&mut self) -> Result<PageId> {
+        self.ensure_dirty_marked()?;
         let head = self.freelist_head()?;
         if let Some(free) = head {
             let next = self.with_page(free, |p| {
-                u32::from_le_bytes(p[..4].try_into().unwrap())
+                u32::from_le_bytes(p[..4].try_into().expect("4-byte freelist link"))
             })?;
             self.set_freelist_head(PageId::decode_opt(next))?;
             // Zero the page for the new user.
@@ -330,7 +565,9 @@ impl StorageEnv {
     fn freelist_head(&mut self) -> Result<Option<PageId>> {
         self.with_page(PageId::META, |p| {
             PageId::decode_opt(u32::from_le_bytes(
-                p[META_FREELIST..META_FREELIST + 4].try_into().unwrap(),
+                p[META_FREELIST..META_FREELIST + 4]
+                    .try_into()
+                    .expect("4-byte freelist head in meta"),
             ))
         })
     }
@@ -349,7 +586,9 @@ impl StorageEnv {
         assert!(slot < ROOT_SLOTS);
         self.with_page(PageId::META, |p| {
             let off = META_ROOTS + slot * 4;
-            PageId::decode_opt(u32::from_le_bytes(p[off..off + 4].try_into().unwrap()))
+            PageId::decode_opt(u32::from_le_bytes(
+                p[off..off + 4].try_into().expect("4-byte root slot in meta"),
+            ))
         })
     }
 
@@ -385,12 +624,20 @@ impl StorageEnv {
 
     /// Reads the application metadata blob.
     pub fn user_blob(&mut self) -> Result<Vec<u8>> {
+        let capacity = self.user_blob_capacity();
         self.with_page(PageId::META, |p| {
             let len = u32::from_le_bytes(
-                p[META_BLOB_LEN..META_BLOB_LEN + 4].try_into().unwrap(),
+                p[META_BLOB_LEN..META_BLOB_LEN + 4]
+                    .try_into()
+                    .expect("4-byte blob length in meta"),
             ) as usize;
-            p[META_BLOB..META_BLOB + len].to_vec()
-        })
+            if len > capacity {
+                return Err(StorageError::Corrupt(format!(
+                    "meta blob length {len} exceeds capacity {capacity}"
+                )));
+            }
+            Ok(p[META_BLOB..META_BLOB + len].to_vec())
+        })?
     }
 }
 
@@ -406,6 +653,13 @@ mod tests {
 
     fn mem(pool_pages: usize) -> StorageEnv {
         StorageEnv::in_memory(EnvOptions { page_size: 256, pool_pages })
+    }
+
+    #[test]
+    fn page_size_excludes_trailer() {
+        let env = mem(16);
+        assert_eq!(env.page_size(), 256 - PAGE_TRAILER);
+        assert_eq!(env.physical_page_size(), 256);
     }
 
     #[test]
@@ -508,14 +762,120 @@ mod tests {
     }
 
     #[test]
-    fn open_rejects_wrong_page_size() {
+    fn open_auto_detects_page_size() {
         let dir = std::env::temp_dir().join(format!("xk-env2-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("env.db");
-        StorageEnv::create(&path, EnvOptions { page_size: 512, pool_pages: 16 }).unwrap();
-        let err = StorageEnv::open(&path, EnvOptions { page_size: 1024, pool_pages: 16 });
-        assert!(err.is_err());
+        {
+            let mut env =
+                StorageEnv::create(&path, EnvOptions { page_size: 512, pool_pages: 16 }).unwrap();
+            let p = env.allocate_page().unwrap();
+            env.with_page_mut(p, |d| d[500] = 1).unwrap(); // needs the real 512-byte payload
+            env.flush().unwrap();
+        }
+        // Misconfigured options: the header wins.
+        let mut env =
+            StorageEnv::open(&path, EnvOptions { page_size: 4096, pool_pages: 16 }).unwrap();
+        assert_eq!(env.physical_page_size(), 512);
+        assert_eq!(env.with_page(PageId(1), |d| d[500]).unwrap(), 1);
+        drop(env);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_implausible_header_page_size() {
+        let dir = std::env::temp_dir().join(format!("xk-env3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("env.db");
+        {
+            let mut env =
+                StorageEnv::create(&path, EnvOptions { page_size: 512, pool_pages: 16 }).unwrap();
+            env.flush().unwrap();
+        }
+        // Corrupt the stored page size to a non-power-of-two.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&777u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match StorageEnv::open(&path, EnvOptions { page_size: 512, pool_pages: 16 }).err() {
+            Some(StorageError::Corrupt(msg)) => {
+                assert!(msg.contains("777"), "mentions stored size: {msg}");
+                assert!(msg.contains("512"), "mentions configured size: {msg}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_dirty_file() {
+        let dir = std::env::temp_dir().join(format!("xk-env4-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("env.db");
+        {
+            let mut env =
+                StorageEnv::create(&path, EnvOptions { page_size: 256, pool_pages: 16 }).unwrap();
+            let p = env.allocate_page().unwrap();
+            env.with_page_mut(p, |d| d[0] = 1).unwrap();
+            env.flush().unwrap();
+            // Simulate a crash mid-write-epoch: the mutation forces the
+            // dirty flag to disk; forgetting the env skips the clean
+            // flush that Drop would run.
+            env.with_page_mut(p, |d| d[1] = 2).unwrap();
+            std::mem::forget(env);
+        }
+        match StorageEnv::open(&path, EnvOptions { page_size: 256, pool_pages: 16 }).err() {
+            Some(StorageError::DirtyShutdown) => {}
+            other => panic!("expected DirtyShutdown, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checksum_catches_on_disk_bit_flip() {
+        let dir = std::env::temp_dir().join(format!("xk-env5-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("env.db");
+        let (page, opts) = {
+            let opts = EnvOptions { page_size: 256, pool_pages: 16 };
+            let mut env = StorageEnv::create(&path, opts.clone()).unwrap();
+            let p = env.allocate_page().unwrap();
+            env.with_page_mut(p, |d| d.fill(0x5A)).unwrap();
+            env.flush().unwrap();
+            (p, opts)
+        };
+        let mut bytes = std::fs::read(&path).unwrap();
+        let offset = page.0 as usize * 256 + 100;
+        bytes[offset] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut env = StorageEnv::open(&path, opts).unwrap(); // meta page intact
+        match env.with_page(page, |_| ()) {
+            Err(StorageError::ChecksumMismatch { page: p, stored, computed }) => {
+                assert_eq!(p, page.0);
+                assert_ne!(stored, computed);
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+        // Verification off: the flip sails through (bench mode).
+        env.set_verify_checksums(false);
+        env.with_page(page, |_| ()).unwrap();
+        drop(env);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_failure_does_not_leak_pool_frames() {
+        use crate::fault::{FaultConfig, FaultPager};
+        let inner = Box::new(MemPager::new(256));
+        // Read op 0 is the meta fetch during create; fail everything after.
+        let fault =
+            FaultPager::new(inner, FaultConfig { fail_read_at: Some(1), ..FaultConfig::none() });
+        let mut env = StorageEnv::create_with_pager(Box::new(fault), 8).unwrap();
+        // Meta is cached from create; force misses on a page that will
+        // always fail to read. Every attempt must recycle its frame.
+        for _ in 0..100 {
+            assert!(env.with_page(PageId(3), |_| ()).is_err());
+        }
+        assert!(env.frames.len() <= 8, "failed reads must not grow the pool");
     }
 
     #[test]

@@ -14,6 +14,13 @@ pub enum StorageError {
     EntryTooLarge { entry_bytes: usize, max_bytes: usize },
     /// A page id is out of range for the file.
     InvalidPage(u32),
+    /// A page's stored CRC-32 does not match its contents: a torn write,
+    /// a bit flip, or external tampering.
+    ChecksumMismatch { page: u32, stored: u32, computed: u32 },
+    /// The file's dirty flag is set: the last writer did not flush and
+    /// shut down cleanly, so on-disk structures may be half-written.
+    /// Recover by rebuilding the index from the source document.
+    DirtyShutdown,
 }
 
 impl fmt::Display for StorageError {
@@ -26,6 +33,14 @@ impl fmt::Display for StorageError {
                 "entry of {entry_bytes} bytes exceeds the {max_bytes}-byte page budget"
             ),
             StorageError::InvalidPage(p) => write!(f, "invalid page id {p}"),
+            StorageError::ChecksumMismatch { page, stored, computed } => write!(
+                f,
+                "checksum mismatch on page {page}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            StorageError::DirtyShutdown => write!(
+                f,
+                "storage file was not shut down cleanly (dirty flag set); rebuild the index"
+            ),
         }
     }
 }

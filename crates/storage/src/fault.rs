@@ -1,0 +1,297 @@
+//! Deterministic fault injection for the storage layer.
+//!
+//! [`FaultPager`] wraps any [`Pager`] and injects failures on a
+//! configurable, seeded schedule: hard read/write/sync errors, a *torn
+//! write* (only a prefix of the page reaches the backing store before the
+//! simulated crash), and silent single-bit flips on the read or write
+//! path. Schedules are keyed by per-kind operation counters, so a test
+//! that replays the same workload with the same [`FaultConfig`] hits the
+//! same fault at the same moment every run.
+//!
+//! The pager underneath sees real operations, which makes the wrapper
+//! usable at every level: raw pager tests, `StorageEnv` buffer-pool
+//! tests (via [`crate::StorageEnv::create_with_pager`]), and full
+//! index-build crash simulations in `xk-index` / `xksearch`.
+
+use crate::error::Result;
+use crate::pager::{PageId, Pager};
+use std::cell::Cell;
+use std::io;
+
+/// When and how a [`FaultPager`] misbehaves. All indices are 0-based
+/// counts of operations *of that kind* (reads, writes, syncs).
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    /// Seed for the deterministic PRNG driving torn-write lengths and
+    /// bit-flip positions.
+    pub seed: u64,
+    /// Every read from this read-op index on fails with an I/O error.
+    pub fail_read_at: Option<u64>,
+    /// Every write from this write-op index on fails with an I/O error.
+    pub fail_write_at: Option<u64>,
+    /// Every sync from this sync-op index on fails with an I/O error.
+    pub fail_sync_at: Option<u64>,
+    /// The write at this write-op index persists only a seeded prefix of
+    /// the page (spliced over the old contents), reports failure, and
+    /// *crashes* the pager: every later write and sync fails. Reads keep
+    /// working so tests can inspect the torn state.
+    pub torn_write_at: Option<u64>,
+    /// The read at this read-op index has one seeded bit silently flipped
+    /// in the returned buffer (the backing store is untouched).
+    pub flip_read_bit_at: Option<u64>,
+    /// The write at this write-op index has one seeded bit silently
+    /// flipped before it reaches the backing store.
+    pub flip_write_bit_at: Option<u64>,
+}
+
+impl FaultConfig {
+    /// A config that injects nothing — useful as a baseline.
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// splitmix64 — tiny, seedable, and good enough to scatter fault
+/// positions; keeps the crate free of a `rand` dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`Pager`] wrapper that injects faults per a [`FaultConfig`].
+///
+/// Counters use `Cell` because `Pager::read_page` takes `&self`.
+pub struct FaultPager {
+    inner: Box<dyn Pager>,
+    config: FaultConfig,
+    rng: Cell<u64>,
+    reads: Cell<u64>,
+    writes: u64,
+    syncs: u64,
+    crashed: bool,
+}
+
+impl FaultPager {
+    pub fn new(inner: Box<dyn Pager>, config: FaultConfig) -> FaultPager {
+        let rng = Cell::new(config.seed ^ 0x51CA_FE15_DEAD_BEEF);
+        FaultPager { inner, config, rng, reads: Cell::new(0), writes: 0, syncs: 0, crashed: false }
+    }
+
+    /// Read operations attempted so far (including failed ones).
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Write operations attempted so far (including failed ones).
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Sync operations attempted so far (including failed ones).
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// True once a torn write has "crashed" the pager.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    fn next_rand(&self) -> u64 {
+        let mut state = self.rng.get();
+        let value = splitmix64(&mut state);
+        self.rng.set(state);
+        value
+    }
+
+    fn injected(kind: &str, op: u64) -> crate::StorageError {
+        io::Error::other(format!("injected {kind} fault at op {op}")).into()
+    }
+}
+
+impl Pager for FaultPager {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn page_count(&self) -> u32 {
+        self.inner.page_count()
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        let op = self.reads.get();
+        self.reads.set(op + 1);
+        if self.config.fail_read_at.is_some_and(|at| op >= at) {
+            return Err(Self::injected("read", op));
+        }
+        self.inner.read_page(id, buf)?;
+        if self.config.flip_read_bit_at == Some(op) {
+            let pos = (self.next_rand() as usize) % (buf.len() * 8);
+            buf[pos / 8] ^= 1 << (pos % 8);
+        }
+        Ok(())
+    }
+
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
+        let op = self.writes;
+        self.writes += 1;
+        if self.crashed {
+            return Err(Self::injected("post-crash write", op));
+        }
+        if self.config.fail_write_at.is_some_and(|at| op >= at) {
+            return Err(Self::injected("write", op));
+        }
+        if self.config.torn_write_at == Some(op) {
+            // Persist a strict prefix of the new page over the old bytes,
+            // then crash: the classic torn-page outcome of a power cut.
+            let keep = 1 + (self.next_rand() as usize) % (buf.len() - 1);
+            let mut torn = vec![0u8; buf.len()];
+            // Old contents first (a fresh page reads as zeros either way).
+            let _ = self.inner.read_page(id, &mut torn);
+            torn[..keep].copy_from_slice(&buf[..keep]);
+            self.inner.write_page(id, &torn)?;
+            self.crashed = true;
+            return Err(Self::injected("torn write", op));
+        }
+        if self.config.flip_write_bit_at == Some(op) {
+            let pos = (self.next_rand() as usize) % (buf.len() * 8);
+            let mut flipped = buf.to_vec();
+            flipped[pos / 8] ^= 1 << (pos % 8);
+            return self.inner.write_page(id, &flipped);
+        }
+        self.inner.write_page(id, buf)
+    }
+
+    fn grow(&mut self) -> Result<PageId> {
+        if self.crashed {
+            return Err(Self::injected("post-crash grow", self.writes));
+        }
+        self.inner.grow()
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        let op = self.syncs;
+        self.syncs += 1;
+        if self.crashed {
+            return Err(Self::injected("post-crash sync", op));
+        }
+        if self.config.fail_sync_at.is_some_and(|at| op >= at) {
+            return Err(Self::injected("sync", op));
+        }
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    fn mem_fault(config: FaultConfig) -> FaultPager {
+        FaultPager::new(Box::new(MemPager::new(256)), config)
+    }
+
+    #[test]
+    fn clean_config_is_transparent() {
+        let mut p = mem_fault(FaultConfig::none());
+        let id = p.grow().unwrap();
+        let page = vec![7u8; 256];
+        p.write_page(id, &page).unwrap();
+        let mut back = vec![0u8; 256];
+        p.read_page(id, &mut back).unwrap();
+        assert_eq!(back, page);
+        p.sync().unwrap();
+    }
+
+    #[test]
+    fn read_failures_start_at_configured_op() {
+        let mut p = mem_fault(FaultConfig { fail_read_at: Some(2), ..FaultConfig::none() });
+        let id = p.grow().unwrap();
+        p.write_page(id, &[1u8; 256]).unwrap();
+        let mut buf = vec![0u8; 256];
+        p.read_page(id, &mut buf).unwrap(); // op 0
+        p.read_page(id, &mut buf).unwrap(); // op 1
+        assert!(p.read_page(id, &mut buf).is_err()); // op 2
+        assert!(p.read_page(id, &mut buf).is_err()); // stays failed
+        assert_eq!(p.reads(), 4);
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_and_crashes() {
+        let mut p =
+            mem_fault(FaultConfig { torn_write_at: Some(1), seed: 9, ..FaultConfig::none() });
+        let id = p.grow().unwrap();
+        p.write_page(id, &[0xAAu8; 256]).unwrap(); // op 0: clean
+        assert!(p.write_page(id, &[0xBBu8; 256]).is_err()); // op 1: torn
+        assert!(p.crashed());
+        let mut buf = vec![0u8; 256];
+        p.read_page(id, &mut buf).unwrap();
+        let torn_len = buf.iter().take_while(|&&b| b == 0xBB).count();
+        assert!(torn_len >= 1 && torn_len < 256, "got prefix of {torn_len}");
+        assert!(buf[torn_len..].iter().all(|&b| b == 0xAA), "old suffix survives");
+        assert!(p.write_page(id, &[1u8; 256]).is_err(), "writes dead after crash");
+        assert!(p.sync().is_err(), "syncs dead after crash");
+    }
+
+    #[test]
+    fn bit_flips_are_deterministic_per_seed() {
+        let positions: Vec<usize> = (0..2)
+            .map(|_| {
+                let mut p = mem_fault(FaultConfig {
+                    flip_read_bit_at: Some(0),
+                    seed: 1234,
+                    ..FaultConfig::none()
+                });
+                let id = p.grow().unwrap();
+                p.write_page(id, &[0u8; 256]).unwrap();
+                let mut buf = vec![0u8; 256];
+                p.read_page(id, &mut buf).unwrap();
+                buf.iter().position(|&b| b != 0).expect("one bit flipped")
+            })
+            .collect();
+        assert_eq!(positions[0], positions[1], "same seed, same flip");
+
+        let mut other = mem_fault(FaultConfig {
+            flip_read_bit_at: Some(0),
+            seed: 4321,
+            ..FaultConfig::none()
+        });
+        let id = other.grow().unwrap();
+        other.write_page(id, &[0u8; 256]).unwrap();
+        let mut buf = vec![0u8; 256];
+        other.read_page(id, &mut buf).unwrap();
+        // Different seeds *may* collide, but not for these two.
+        assert_ne!(buf.iter().position(|&b| b != 0).unwrap(), positions[0]);
+    }
+
+    #[test]
+    fn read_flip_is_transient_write_flip_is_persistent() {
+        let mut p = mem_fault(FaultConfig {
+            flip_read_bit_at: Some(0),
+            seed: 7,
+            ..FaultConfig::none()
+        });
+        let id = p.grow().unwrap();
+        p.write_page(id, &[0u8; 256]).unwrap();
+        let mut first = vec![0u8; 256];
+        let mut second = vec![0u8; 256];
+        p.read_page(id, &mut first).unwrap();
+        p.read_page(id, &mut second).unwrap();
+        assert!(first.iter().any(|&b| b != 0), "first read corrupted");
+        assert!(second.iter().all(|&b| b == 0), "store itself untouched");
+
+        let mut p = mem_fault(FaultConfig {
+            flip_write_bit_at: Some(0),
+            seed: 7,
+            ..FaultConfig::none()
+        });
+        let id = p.grow().unwrap();
+        p.write_page(id, &[0u8; 256]).unwrap();
+        let mut back = vec![0u8; 256];
+        p.read_page(id, &mut back).unwrap();
+        assert!(back.iter().any(|&b| b != 0), "write flip persisted");
+    }
+}

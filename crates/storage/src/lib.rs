@@ -13,7 +13,11 @@
 //!   [`BTree::seek_ge`]/[`BTree::seek_le`] realize the paper's right/left
 //!   match primitives;
 //! * [`liststore`] — sequential page chains for the Scan/Stack keyword-
-//!   list layout.
+//!   list layout;
+//! * [`checksum`] — the CRC-32 stamped into every page's trailer and
+//!   verified on buffer-pool misses (format v2, `XKSTORE2`);
+//! * [`fault`] — [`FaultPager`]: deterministic, seeded fault injection
+//!   (failed I/O, torn writes, bit flips) for crash-simulation tests.
 //!
 //! ```
 //! use xk_storage::{StorageEnv, EnvOptions, BTree};
@@ -24,15 +28,22 @@
 //! ```
 
 pub mod btree;
+pub mod checksum;
 pub mod env;
 pub mod error;
+pub mod fault;
 pub mod liststore;
 pub mod pager;
 pub mod stats;
 
 pub use btree::{BTree, Cursor};
-pub use env::{EnvOptions, StorageEnv, ROOT_SLOTS};
+pub use checksum::crc32;
+pub use env::{EnvOptions, StorageEnv, FORMAT_VERSION, PAGE_TRAILER, ROOT_SLOTS};
 pub use error::{Result, StorageError};
-pub use liststore::{free_list, ListAppender, ListHandle, ListReader, ListWriter, LIST_HANDLE_BYTES};
+pub use fault::{FaultConfig, FaultPager};
+pub use liststore::{
+    free_list, inspect_chain, ChainInfo, ListAppender, ListHandle, ListReader, ListWriter,
+    LIST_HANDLE_BYTES,
+};
 pub use pager::{FilePager, MemPager, PageId, Pager};
 pub use stats::IoStats;

@@ -148,14 +148,17 @@ pub struct ListAppender {
 impl ListAppender {
     /// Positions an appender at the end of `handle`'s chain.
     pub fn open(env: &mut StorageEnv, handle: ListHandle) -> Result<ListAppender> {
+        let payload_capacity = env.page_size() - LIST_HDR;
         let tail_used = env.with_page(handle.tail, |p| {
-            u16::from_le_bytes(p[4..6].try_into().unwrap()) as usize
+            u16::from_le_bytes(p[4..6].try_into().expect("2-byte list length")) as usize
         })?;
-        Ok(ListAppender {
-            handle,
-            payload_capacity: env.page_size() - LIST_HDR,
-            tail_used,
-        })
+        if tail_used > payload_capacity {
+            return Err(StorageError::Corrupt(format!(
+                "list tail page {} claims {tail_used} payload bytes, capacity is {payload_capacity}",
+                handle.tail.0
+            )));
+        }
+        Ok(ListAppender { handle, payload_capacity, tail_used })
     }
 
     /// Appends one record to the chain.
@@ -231,10 +234,24 @@ impl ListReader {
         }
         loop {
             if self.offset < self.page_len {
+                if self.offset + 2 > self.page_len {
+                    return Err(StorageError::Corrupt(format!(
+                        "list record header at offset {} overruns page payload of {} bytes",
+                        self.offset, self.page_len
+                    )));
+                }
                 let len = u16::from_le_bytes(
-                    self.page_buf[self.offset..self.offset + 2].try_into().unwrap(),
+                    self.page_buf[self.offset..self.offset + 2]
+                        .try_into()
+                        .expect("2-byte record length"),
                 ) as usize;
                 let start = self.offset + 2;
+                if start + len > self.page_len {
+                    return Err(StorageError::Corrupt(format!(
+                        "list record of {len} bytes at offset {} overruns page payload of {} bytes",
+                        self.offset, self.page_len
+                    )));
+                }
                 let rec = self.page_buf[start..start + len].to_vec();
                 self.offset = start + len;
                 self.remaining_entries -= 1;
@@ -244,10 +261,20 @@ impl ListReader {
                 return Ok(None);
             };
             let (next, len, data) = env.with_page(page, |p| {
-                let next = PageId::decode_opt(u32::from_le_bytes(p[..4].try_into().unwrap()));
-                let len = u16::from_le_bytes(p[4..6].try_into().unwrap()) as usize;
-                (next, len, p[LIST_HDR..LIST_HDR + len].to_vec())
-            })?;
+                let next = PageId::decode_opt(u32::from_le_bytes(
+                    p[..4].try_into().expect("4-byte next link"),
+                ));
+                let len = u16::from_le_bytes(p[4..6].try_into().expect("2-byte list length"))
+                    as usize;
+                if LIST_HDR + len > p.len() {
+                    return Err(StorageError::Corrupt(format!(
+                        "list page {} claims {len} payload bytes, capacity is {}",
+                        page.0,
+                        p.len() - LIST_HDR
+                    )));
+                }
+                Ok((next, len, p[LIST_HDR..LIST_HDR + len].to_vec()))
+            })??;
             self.next_page = next;
             self.page_len = len;
             self.page_buf = data;
@@ -259,14 +286,112 @@ impl ListReader {
 /// Frees every page of a list chain.
 pub fn free_list(env: &mut StorageEnv, handle: &ListHandle) -> Result<()> {
     let mut cur = Some(handle.head);
+    let mut freed = 0u64;
+    let limit = env.page_count() as u64;
     while let Some(page) = cur {
+        if freed >= limit {
+            return Err(StorageError::Corrupt(format!(
+                "list chain starting at page {} exceeds the file's {limit} pages (cycle?)",
+                handle.head.0
+            )));
+        }
         let next = env.with_page(page, |p| {
-            PageId::decode_opt(u32::from_le_bytes(p[..4].try_into().unwrap()))
+            PageId::decode_opt(u32::from_le_bytes(p[..4].try_into().expect("4-byte next link")))
         })?;
         env.free_page(page)?;
+        freed += 1;
         cur = next;
     }
     Ok(())
+}
+
+/// What [`inspect_chain`] learned about a list chain.
+#[derive(Debug, Default, Clone)]
+pub struct ChainInfo {
+    /// Every page of the chain, head to tail, in link order.
+    pub pages: Vec<PageId>,
+    /// Framed payload bytes actually present (length prefixes included),
+    /// comparable to [`ListHandle::total_bytes`].
+    pub payload_bytes: u64,
+    /// Records actually present, comparable to [`ListHandle::entry_count`].
+    pub records: u64,
+}
+
+/// Walks a chain front to back, validating structure as it goes: link
+/// reachability, per-page payload lengths, record framing, and the
+/// absence of cycles (bounded by the file's page count). Returns what it
+/// found so callers (e.g. `xksearch verify`) can cross-check the handle's
+/// claimed tail, byte total, and entry count.
+pub fn inspect_chain(env: &mut StorageEnv, handle: &ListHandle) -> Result<ChainInfo> {
+    let mut info = ChainInfo::default();
+    let limit = env.page_count() as usize;
+    let mut cur = Some(handle.head);
+    while let Some(page) = cur {
+        if info.pages.len() >= limit {
+            return Err(StorageError::Corrupt(format!(
+                "list chain starting at page {} exceeds the file's {limit} pages (cycle?)",
+                handle.head.0
+            )));
+        }
+        let step = env.with_page(page, |p| {
+            let next =
+                PageId::decode_opt(u32::from_le_bytes(p[..4].try_into().expect("4-byte next link")));
+            let len =
+                u16::from_le_bytes(p[4..6].try_into().expect("2-byte list length")) as usize;
+            if LIST_HDR + len > p.len() {
+                return Err(StorageError::Corrupt(format!(
+                    "list page {} claims {len} payload bytes, capacity is {}",
+                    page.0,
+                    p.len() - LIST_HDR
+                )));
+            }
+            // Re-frame the records to validate their lengths.
+            let mut offset = 0usize;
+            let mut records = 0u64;
+            while offset < len {
+                if offset + 2 > len {
+                    return Err(StorageError::Corrupt(format!(
+                        "list page {}: record header at offset {offset} overruns payload of {len} bytes",
+                        page.0
+                    )));
+                }
+                let rec_len = u16::from_le_bytes(
+                    p[LIST_HDR + offset..LIST_HDR + offset + 2]
+                        .try_into()
+                        .expect("2-byte record length"),
+                ) as usize;
+                offset += 2 + rec_len;
+                if offset > len {
+                    return Err(StorageError::Corrupt(format!(
+                        "list page {}: record of {rec_len} bytes overruns payload of {len} bytes",
+                        page.0
+                    )));
+                }
+                records += 1;
+            }
+            Ok((next, len as u64, records))
+        })??;
+        let (next, page_bytes, page_records) = step;
+        info.pages.push(page);
+        info.payload_bytes += page_bytes;
+        info.records += page_records;
+        cur = next;
+    }
+    if info.pages.last() != Some(&handle.tail) {
+        return Err(StorageError::Corrupt(format!(
+            "list chain starting at page {} ends at page {:?}, but the handle claims tail {}",
+            handle.head.0,
+            info.pages.last().map(|p| p.0),
+            handle.tail.0
+        )));
+    }
+    if info.payload_bytes != handle.total_bytes || info.records != handle.entry_count {
+        return Err(StorageError::Corrupt(format!(
+            "list chain starting at page {} holds {} records / {} bytes, but the handle claims {} / {}",
+            handle.head.0, info.records, info.payload_bytes, handle.entry_count, handle.total_bytes
+        )));
+    }
+    Ok(info)
 }
 
 #[cfg(test)]
@@ -405,8 +530,9 @@ mod tests {
             w.append(&mut env, &record).unwrap();
         }
         let h = w.finish(&mut env).unwrap();
-        // 22 bytes framed per record, 250 payload bytes per page.
-        let expected_pages = (200 * 22 + 249) / 250;
+        // 22 bytes framed per record; page payload = usable size - header.
+        let payload = env.page_size() - LIST_HDR;
+        let expected_pages = (200 * 22 + payload - 1) / payload;
         env.clear_cache().unwrap();
         env.reset_stats();
         let mut r = ListReader::new(&h);
@@ -445,5 +571,60 @@ mod tests {
         let mut env = mem_env();
         let mut w = ListWriter::new(&env);
         w.append(&mut env, &[0u8; 512]).unwrap();
+    }
+
+    #[test]
+    fn inspect_chain_accepts_healthy_lists() {
+        let mut env = mem_env();
+        let mut w = ListWriter::new(&env);
+        for i in 0..300u32 {
+            w.append(&mut env, &i.to_le_bytes()).unwrap();
+        }
+        let h = w.finish(&mut env).unwrap();
+        let info = inspect_chain(&mut env, &h).unwrap();
+        assert_eq!(info.records, 300);
+        assert_eq!(info.payload_bytes, h.total_bytes);
+        assert_eq!(info.pages.first(), Some(&h.head));
+        assert_eq!(info.pages.last(), Some(&h.tail));
+        assert!(info.pages.len() > 1, "300 records span several pages");
+    }
+
+    #[test]
+    fn inspect_chain_flags_bad_counts_and_cycles() {
+        let mut env = mem_env();
+        let mut w = ListWriter::new(&env);
+        for i in 0..300u32 {
+            w.append(&mut env, &i.to_le_bytes()).unwrap();
+        }
+        let h = w.finish(&mut env).unwrap();
+
+        let lying = ListHandle { entry_count: h.entry_count + 5, ..h };
+        assert!(inspect_chain(&mut env, &lying).is_err(), "count mismatch detected");
+
+        let wrong_tail = ListHandle { tail: h.head, ..h };
+        assert!(inspect_chain(&mut env, &wrong_tail).is_err(), "tail mismatch detected");
+
+        // Splice the tail's next pointer back to the head: a cycle.
+        env.with_page_mut(h.tail, |p| p[..4].copy_from_slice(&h.head.0.to_le_bytes()))
+            .unwrap();
+        match inspect_chain(&mut env, &h) {
+            Err(StorageError::Corrupt(msg)) => assert!(msg.contains("cycle"), "{msg}"),
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reader_rejects_overrunning_record_lengths() {
+        let mut env = mem_env();
+        let mut w = ListWriter::new(&env);
+        w.append(&mut env, b"abc").unwrap();
+        let h = w.finish(&mut env).unwrap();
+        // Corrupt the record's length prefix to point past the payload.
+        env.with_page_mut(h.head, |p| {
+            p[LIST_HDR..LIST_HDR + 2].copy_from_slice(&500u16.to_le_bytes());
+        })
+        .unwrap();
+        let mut r = ListReader::new(&h);
+        assert!(matches!(r.next_record(&mut env), Err(StorageError::Corrupt(_))));
     }
 }

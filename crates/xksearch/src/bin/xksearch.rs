@@ -6,6 +6,7 @@
 //! xksearch query <index.db> <keyword>... [--algo auto|il|scan|stack] [--lca]
 //!                [--show N] [--cold]
 //! xksearch stats <index.db>
+//! xksearch verify <index.db>         # offline integrity check
 //! xksearch demo  <keyword>...        # School.xml from Figure 1, in memory
 //! ```
 
@@ -19,6 +20,7 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("append") => cmd_append(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         _ => {
@@ -42,6 +44,7 @@ USAGE:
   xksearch build <input.xml> <index.db> [--no-doc] [--page-size N] [--pool-pages N]
   xksearch query <index.db> <keyword>... [--algo auto|il|scan|stack] [--lca] [--show N] [--cold]
   xksearch stats <index.db>
+  xksearch verify <index.db> [--page-size N] [--pool-pages N]
   xksearch append <index.db> <parent-dewey|/> <fragment.xml>
   xksearch demo  [<keyword>...]     (defaults to: John Ben)
 ";
@@ -139,6 +142,41 @@ fn cmd_stats(args: &[String]) -> Result<(), AnyError> {
         println!("  {f:>10}  {k}");
     }
     Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), AnyError> {
+    let options = parse_env_options(args)?;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--page-size" | "--pool-pages" => i += 1,
+            a if a.starts_with("--") => return Err(format!("unknown flag {a:?}").into()),
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [db] = positional.as_slice() else {
+        return Err("verify needs <index.db>".into());
+    };
+    // Open the raw storage env, not an Engine: DiskIndex::open would give
+    // up at the first decoding failure, while verify reports all of them.
+    let mut env = xk_storage::StorageEnv::open(db, options)?;
+    let report = xk_index::verify_index(&mut env);
+    println!("index file     : {db}");
+    println!("pages checked  : {}", report.pages_checked);
+    println!("keywords       : {}", report.keyword_count);
+    println!("IL entries     : {}", report.il_entries);
+    println!("list pages     : {}", report.list_pages);
+    for issue in &report.issues {
+        println!("ISSUE: {issue}");
+    }
+    if report.is_ok() {
+        println!("OK: no integrity issues found");
+        Ok(())
+    } else {
+        Err(format!("{} integrity issue(s) found", report.issues.len()).into())
+    }
 }
 
 fn cmd_append(args: &[String]) -> Result<(), AnyError> {

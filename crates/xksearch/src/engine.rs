@@ -92,21 +92,43 @@ pub struct Engine {
 
 impl Engine {
     /// Builds an index for `tree` in a new storage file and opens it.
+    ///
+    /// The build is **crash-safe**: it writes to `<db_path>.building` and
+    /// atomically renames over `db_path` only after a successful build and
+    /// flush. A crash mid-build leaves either the old index intact or a
+    /// temp file that [`StorageEnv::open`] rejects (dirty flag set) — the
+    /// final path never holds a half-built index.
     pub fn build(
         tree: &XmlTree,
         db_path: impl AsRef<Path>,
         options: EnvOptions,
         store_document: bool,
     ) -> Result<Engine> {
-        let mut env = StorageEnv::create(db_path, options)?;
-        // Default build options leave level-table headroom so the index
-        // accepts incremental appends (see [`Engine::append_subtree`]).
-        build_disk_index_with(
-            &mut env,
-            tree,
-            &xk_index::BuildOptions { store_document, ..Default::default() },
-        )?;
-        Self::from_env(env)
+        let db_path = db_path.as_ref();
+        let mut tmp = db_path.as_os_str().to_os_string();
+        tmp.push(".building");
+        let tmp = std::path::PathBuf::from(tmp);
+        // A stale temp file from a killed build is dead weight: replace it.
+        let _ = std::fs::remove_file(&tmp);
+        let built = (|| -> Result<()> {
+            let mut env = StorageEnv::create(&tmp, options.clone())?;
+            // Default build options leave level-table headroom so the
+            // index accepts incremental appends ([`Engine::append_subtree`]).
+            build_disk_index_with(
+                &mut env,
+                tree,
+                &xk_index::BuildOptions { store_document, ..Default::default() },
+            )?;
+            Ok(())
+        })();
+        if let Err(e) = built {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        std::fs::rename(&tmp, db_path)
+            .map_err(|e| EngineError::Storage(xk_storage::StorageError::from(e)))?;
+        sync_parent_dir(db_path);
+        Self::open(db_path, options)
     }
 
     /// Builds an index for `tree` fully in memory (tests, small data).
@@ -261,6 +283,12 @@ impl Engine {
             }
             Algorithm::Auto => unreachable!("resolved above"),
         };
+        // The list traits are infallible, so disk adapters report storage
+        // failures by poisoning the shared env; a poisoned run produced a
+        // truncated (wrong) answer and must error out instead.
+        if let Some(e) = self.env.take_error() {
+            return Err(e.into());
+        }
 
         let io = self.env.with(|e| e.stats()).delta_since(&io_before);
         Ok(QueryOutcome {
@@ -303,6 +331,9 @@ impl Engine {
             owned.iter_mut().map(|l| l as &mut dyn RankedList).collect();
         let mut lcas = Vec::new();
         let stats = all_lcas(&mut s1, &mut refs, |d, k| lcas.push((d, k)));
+        if let Some(e) = self.env.take_error() {
+            return Err(e.into());
+        }
         lcas.sort_by(|a, b| a.0.cmp(&b.0));
         let io = self.env.with(|e| e.stats()).delta_since(&io_before);
         Ok(LcaOutcome { lcas, keywords: ordered, stats, io, elapsed: start.elapsed() })
@@ -414,6 +445,23 @@ impl Engine {
             .ok_or_else(|| EngineError::BadQuery(format!("no node at {slca}")))?;
         Ok(xk_xmltree::to_pretty_xml_string(doc, node))
     }
+}
+
+/// Best-effort fsync of `path`'s parent directory so an atomic rename is
+/// durable across power loss (a no-op where directories can't be synced).
+fn sync_parent_dir(path: &Path) {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = path;
 }
 
 /// Deep-copies the subtree of `src` rooted at `src_node` as a new last

@@ -98,6 +98,69 @@ fn append_command_grows_the_index() {
 }
 
 #[test]
+fn verify_command_reports_health_and_damage() {
+    let dir = temp_dir("verify");
+    let xml = dir.join("doc.xml");
+    let db = dir.join("doc.db");
+    std::fs::write(
+        &xml,
+        "<school><class><name>John</name></class><class><name>Ben</name></class></school>",
+    )
+    .unwrap();
+    assert!(bin()
+        .args(["build", xml.to_str().unwrap(), db.to_str().unwrap(), "--page-size", "512"])
+        .status()
+        .unwrap()
+        .success());
+
+    // Healthy index: exit 0, explicit OK line, no issues.
+    let out = bin().args(["verify", db.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("OK: no integrity issues"), "{stdout}");
+    assert!(stdout.contains("pages checked"), "{stdout}");
+    assert!(!stdout.contains("ISSUE"), "{stdout}");
+
+    // Flip one byte past the meta page: verify must fail and name it.
+    let mut bytes = std::fs::read(&db).unwrap();
+    let pos = bytes.len() - 700; // inside a data page, away from trailers' reserved zeros
+    bytes[pos] ^= 0x40;
+    std::fs::write(&db, &bytes).unwrap();
+    let out = bin().args(["verify", db.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success(), "corrupt index must fail verification");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ISSUE"), "{stdout}");
+    assert!(stdout.contains("checksum mismatch"), "{stdout}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("integrity issue"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn verify_rejects_a_dirty_file() {
+    // Truncating a built index to a non-page-multiple length simulates the
+    // bluntest mid-write kill; open must refuse before verify even starts.
+    let dir = temp_dir("verify-dirty");
+    let xml = dir.join("doc.xml");
+    let db = dir.join("doc.db");
+    std::fs::write(&xml, "<a><b>word</b></a>").unwrap();
+    assert!(bin()
+        .args(["build", xml.to_str().unwrap(), db.to_str().unwrap(), "--page-size", "512"])
+        .status()
+        .unwrap()
+        .success());
+    let bytes = std::fs::read(&db).unwrap();
+    std::fs::write(&db, &bytes[..bytes.len() - 100]).unwrap();
+    let out = bin().args(["verify", db.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"), "{out:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let out = bin().output().unwrap();
     assert!(!out.status.success());

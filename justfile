@@ -1,0 +1,24 @@
+# Development targets; CI (.github/workflows/ci.yml) runs `just check`.
+
+# Build, test, and lint — the merge gate.
+check: build test lint
+
+build:
+    cargo build --release --workspace
+
+test:
+    cargo test -q --workspace
+
+lint:
+    cargo clippy --all-targets -- -D warnings
+
+# Regenerate the paper's evaluation artifacts into results/.
+figures:
+    cargo run --release -p xk-bench --bin figures -- all
+
+# Measure what per-page checksum verification costs on cold reads.
+checksum-overhead:
+    cargo run --release -p xk-bench --bin checksum_overhead
+
+bench:
+    cargo bench --workspace
