@@ -24,9 +24,9 @@ fn fixture() -> Fixture {
         ..DblpSpec::default()
     };
     let tree = generate(&spec);
-    let mut env = StorageEnv::in_memory(EnvOptions { page_size: 4096, pool_pages: 8192 });
-    build_disk_index(&mut env, &tree, false).expect("index build");
-    let index = DiskIndex::open(&mut env).expect("index open");
+    let env = StorageEnv::in_memory(EnvOptions { page_size: 4096, pool_pages: 8192 });
+    build_disk_index(&env, &tree, false).expect("index build");
+    let index = DiskIndex::open(&env).expect("index open");
     let mem = xk_index::MemIndex::build(&tree)
         .keyword_list("needle")
         .expect("planted keyword")

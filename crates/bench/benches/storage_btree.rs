@@ -21,17 +21,17 @@ fn bench_btree(c: &mut Criterion) {
     group.throughput(Throughput::Elements(n as u64));
     group.bench_function(BenchmarkId::new("bulk_load", n), |b| {
         b.iter(|| {
-            let mut e = env();
+            let e = env();
             let entries = (0..n).map(|i| (key(i), Vec::new()));
-            black_box(BTree::bulk_load(&mut e, 0, entries).unwrap())
+            black_box(BTree::bulk_load(&e, 0, entries).unwrap())
         })
     });
     group.bench_function(BenchmarkId::new("insert_sorted", n), |b| {
         b.iter(|| {
-            let mut e = env();
-            let t = BTree::create(&mut e, 0).unwrap();
+            let e = env();
+            let t = BTree::create(&e, 0).unwrap();
             for i in 0..n {
-                t.insert(&mut e, &key(i), &[]).unwrap();
+                t.insert(&e, &key(i), &[]).unwrap();
             }
             black_box(t)
         })
@@ -39,8 +39,8 @@ fn bench_btree(c: &mut Criterion) {
     group.finish();
 
     // Read-side benches over a prebuilt tree.
-    let mut e = env();
-    let tree = BTree::bulk_load(&mut e, 0, (0..n).map(|i| (key(i * 2), key(i)))).unwrap();
+    let e = env();
+    let tree = BTree::bulk_load(&e, 0, (0..n).map(|i| (key(i * 2), key(i)))).unwrap();
 
     let mut group = c.benchmark_group("btree_read");
     group.sample_size(30);
@@ -48,7 +48,7 @@ fn bench_btree(c: &mut Criterion) {
         let mut i = 0u32;
         b.iter(|| {
             i = (i.wrapping_mul(2654435761)) % n;
-            black_box(tree.get(&mut e, &key(i * 2)).unwrap())
+            black_box(tree.get(&e, &key(i * 2)).unwrap())
         })
     });
     group.bench_function("seek_ge_miss_hot", |b| {
@@ -56,16 +56,16 @@ fn bench_btree(c: &mut Criterion) {
         b.iter(|| {
             i = (i.wrapping_mul(2654435761)) % n;
             // Odd keys are absent: every seek lands between entries.
-            black_box(tree.seek_ge(&mut e, &key(i * 2 + 1)).unwrap())
+            black_box(tree.seek_ge(&e, &key(i * 2 + 1)).unwrap())
         })
     });
     group.bench_function("full_cursor_scan", |b| {
         b.iter(|| {
-            let mut cur = tree.cursor_first(&mut e).unwrap();
+            let mut cur = tree.cursor_first(&e).unwrap();
             let mut cnt = 0u64;
-            while cur.read(&mut e).unwrap().is_some() {
+            while cur.read(&e).unwrap().is_some() {
                 cnt += 1;
-                cur.advance(&mut e).unwrap();
+                cur.advance(&e).unwrap();
             }
             black_box(cnt)
         })
@@ -78,15 +78,15 @@ fn bench_btree(c: &mut Criterion) {
     let handle = {
         let mut w = ListWriter::new(&e);
         for i in 0..n {
-            w.append(&mut e, &key(i)).unwrap();
+            w.append(&e, &key(i)).unwrap();
         }
-        w.finish(&mut e).unwrap()
+        w.finish(&e).unwrap()
     };
     group.bench_function("sequential_read", |b| {
         b.iter(|| {
             let mut r = ListReader::new(&handle);
             let mut cnt = 0u64;
-            while r.next_record(&mut e).unwrap().is_some() {
+            while r.next_record(&e).unwrap().is_some() {
                 cnt += 1;
             }
             black_box(cnt)

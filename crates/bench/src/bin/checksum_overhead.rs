@@ -28,7 +28,7 @@ fn build_doc(entries: usize) -> XmlTree {
 }
 
 /// One cold sweep: every page fetched exactly once, pool cleared first.
-fn cold_sweep(env: &mut StorageEnv, pages: u32) -> Duration {
+fn cold_sweep(env: &StorageEnv, pages: u32) -> Duration {
     env.clear_cache().unwrap();
     let start = Instant::now();
     for pid in 0..pages {
@@ -37,7 +37,7 @@ fn cold_sweep(env: &mut StorageEnv, pages: u32) -> Duration {
     start.elapsed()
 }
 
-fn best_of(env: &mut StorageEnv, pages: u32, rounds: usize) -> Duration {
+fn best_of(env: &StorageEnv, pages: u32, rounds: usize) -> Duration {
     (0..rounds).map(|_| cold_sweep(env, pages)).min().unwrap()
 }
 
@@ -52,12 +52,12 @@ fn main() {
     let options = EnvOptions { page_size: 4096, pool_pages: 64 };
 
     let tree = build_doc(entries);
-    let mut env = StorageEnv::create(&path, options.clone()).unwrap();
-    let keywords = xk_index::build_disk_index(&mut env, &tree, false).unwrap();
+    let env = StorageEnv::create(&path, options.clone()).unwrap();
+    let keywords = xk_index::build_disk_index(&env, &tree, false).unwrap();
     env.flush().unwrap();
     drop(env);
 
-    let mut env = StorageEnv::open(&path, options).unwrap();
+    let env = StorageEnv::open(&path, options).unwrap();
     let pages = env.page_count();
     let bytes = pages as u64 * 4096;
     println!("corpus          : {entries} entries, {keywords} keywords");
@@ -66,11 +66,11 @@ fn main() {
 
     // Interleave-free: all verified rounds, then all unverified, after one
     // untimed warm-up against OS file-cache effects.
-    cold_sweep(&mut env, pages);
+    cold_sweep(&env, pages);
     env.set_verify_checksums(true);
-    let on = best_of(&mut env, pages, rounds);
+    let on = best_of(&env, pages, rounds);
     env.set_verify_checksums(false);
-    let off = best_of(&mut env, pages, rounds);
+    let off = best_of(&env, pages, rounds);
     env.set_verify_checksums(true);
 
     let per_page = |d: Duration| d.as_nanos() as f64 / pages as f64;

@@ -1,0 +1,95 @@
+//! Concurrency scaling: batch query throughput at 1, 2, 4, and 8 worker
+//! threads, hot and cold cache, over the DBLP corpus.
+//!
+//! Writes `results/concurrency_scaling.csv` with one row per
+//! (cache, threads) point:
+//!
+//! ```text
+//! cache,threads,queries,total_ms,queries_per_sec,speedup_vs_1
+//! ```
+//!
+//! Every batch is also checked for correctness: each query's SLCA set at
+//! N threads must equal its single-threaded answer, so the numbers are
+//! only reported for runs the differential check passed.
+//!
+//! Usage: `concurrency_scaling [--quick] [--queries N]`
+
+use std::time::Instant;
+use xk_bench::{corpus, Scale};
+use xk_workload::QuerySampler;
+use xksearch::Algorithm;
+
+const THREAD_POINTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") { Scale::Quick } else { Scale::Full };
+    let queries_n = args
+        .iter()
+        .position(|a| a == "--queries")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--queries takes a number"))
+        .unwrap_or(scale.queries_per_point());
+
+    let c = corpus(scale, std::path::Path::new("bench_cache"));
+    let engine = &c.engine;
+
+    // The paper's 40-query workload shape: two keywords, a low- and a
+    // mid-frequency class, so Auto exercises both IL and Scan Eager.
+    let mut sampler = QuerySampler::new(0xC0C0);
+    let requirements = [(c.class(10), 1usize), (c.class(1_000), 1usize)];
+    let queries = sampler.sample_many(&requirements, queries_n);
+
+    // Single-threaded reference answers (hot) for the differential check.
+    engine.clear_cache().expect("clear cache");
+    let reference: Vec<_> = engine
+        .query_batch(&queries, Algorithm::Auto, 1)
+        .into_iter()
+        .map(|r| r.expect("reference query").slcas)
+        .collect();
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let mut csv = String::from("cache,threads,queries,total_ms,queries_per_sec,speedup_vs_1\n");
+    for cache in ["hot", "cold"] {
+        let mut base_qps = 0.0f64;
+        for &threads in &THREAD_POINTS {
+            if cache == "cold" {
+                engine.clear_cache().expect("clear cache");
+            } else {
+                // Warm the pool with one unmeasured pass.
+                for r in engine.query_batch(&queries, Algorithm::Auto, threads) {
+                    r.expect("warmup query");
+                }
+            }
+            let started = Instant::now();
+            let results = engine.query_batch(&queries, Algorithm::Auto, threads);
+            let elapsed = started.elapsed();
+            for (i, r) in results.iter().enumerate() {
+                let out = r.as_ref().expect("measured query");
+                assert_eq!(
+                    out.slcas, reference[i],
+                    "query {i} at {threads} threads diverged from single-threaded answer"
+                );
+            }
+            let qps = queries.len() as f64 / elapsed.as_secs_f64();
+            if threads == 1 {
+                base_qps = qps;
+            }
+            let speedup = qps / base_qps.max(f64::MIN_POSITIVE);
+            eprintln!(
+                "[{cache}] {threads} thread(s): {:>8.1} q/s ({:.2}x vs 1 thread)",
+                qps, speedup
+            );
+            csv.push_str(&format!(
+                "{cache},{threads},{},{:.3},{:.1},{:.3}\n",
+                queries.len(),
+                elapsed.as_secs_f64() * 1e3,
+                qps,
+                speedup
+            ));
+        }
+    }
+    std::fs::write("results/concurrency_scaling.csv", &csv)
+        .expect("write results/concurrency_scaling.csv");
+    eprintln!("wrote results/concurrency_scaling.csv");
+}

@@ -77,13 +77,13 @@ fn stack_agrees_with_oracle_on_shared_nodes_across_many_lists() {
 fn blanket_mut_impls_forward() {
     let mut l = mem(&["0", "1"]);
     {
-        let mut r: &mut MemList = &mut l;
+        let r: &mut MemList = &mut l;
         assert_eq!(RankedList::len(&r), 2);
         assert_eq!(r.rm(&d("0.5")), Some(d("1")));
         assert_eq!(r.lm(&d("0.5")), Some(d("0")));
     }
     {
-        let mut s: &mut MemList = &mut l;
+        let s: &mut MemList = &mut l;
         s.rewind();
         assert_eq!(StreamList::len(&s), 2);
         assert!(!StreamList::is_empty(&s));

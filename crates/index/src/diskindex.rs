@@ -21,10 +21,9 @@
 use crate::codec::{decode_dewey, encode_dewey, encode_probe, CodecError, Probe};
 use crate::leveltable::LevelTable;
 use crate::memindex::MemIndex;
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use xk_slca::{RankedList, StreamList};
 use xk_storage::{BTree, ListHandle, ListReader, ListWriter, StorageEnv, StorageError};
 use xk_xmltree::{Dewey, XmlTree};
@@ -190,7 +189,7 @@ impl Default for BuildOptions {
 /// level table; use [`build_disk_index_with`] to leave headroom for
 /// incremental appends.
 pub fn build_disk_index(
-    env: &mut StorageEnv,
+    env: &StorageEnv,
     tree: &XmlTree,
     store_document: bool,
 ) -> Result<usize> {
@@ -203,7 +202,7 @@ pub fn build_disk_index(
 
 /// Builds the disk index with explicit [`BuildOptions`].
 pub fn build_disk_index_with(
-    env: &mut StorageEnv,
+    env: &StorageEnv,
     tree: &XmlTree,
     options: &BuildOptions,
 ) -> Result<usize> {
@@ -257,7 +256,7 @@ pub fn build_disk_index_with(
 /// A read handle over a built disk index.
 pub struct DiskIndex {
     il: BTree,
-    level_table: Rc<LevelTable>,
+    level_table: Arc<LevelTable>,
     /// The paper's in-memory frequency hash table, loaded at open time.
     freq: HashMap<String, KeywordMeta>,
     doc_handle: Option<ListHandle>,
@@ -266,7 +265,7 @@ pub struct DiskIndex {
 
 impl DiskIndex {
     /// Opens the index stored in `env`, loading the frequency table.
-    pub fn open(env: &mut StorageEnv) -> Result<DiskIndex> {
+    pub fn open(env: &StorageEnv) -> Result<DiskIndex> {
         let blob = env.user_blob()?;
         let (level_table, doc_handle) = decode_blob(&blob)?;
         let vocab = BTree::open(env, SLOT_VOCAB)?;
@@ -282,7 +281,7 @@ impl DiskIndex {
             freq.insert(word, meta);
             c.advance(env)?;
         }
-        Ok(DiskIndex { il, level_table: Rc::new(level_table), freq, doc_handle, max_kwid })
+        Ok(DiskIndex { il, level_table: Arc::new(level_table), freq, doc_handle, max_kwid })
     }
 
     /// Frequency-table lookup (already-normalized keyword).
@@ -311,7 +310,7 @@ impl DiskIndex {
     }
 
     /// Loads the serialized document stored at build time (if any).
-    pub fn load_document(&self, env: &mut StorageEnv) -> Result<Option<XmlTree>> {
+    pub fn load_document(&self, env: &StorageEnv) -> Result<Option<XmlTree>> {
         let Some(handle) = self.doc_handle else { return Ok(None) };
         let mut reader = ListReader::new(&handle);
         let mut xml = Vec::new();
@@ -335,7 +334,7 @@ impl DiskIndex {
             il: self.il,
             kwid: meta.kwid,
             count: meta.count,
-            table: Rc::clone(&self.level_table),
+            table: Arc::clone(&self.level_table),
         })
     }
 
@@ -346,7 +345,7 @@ impl DiskIndex {
         Some(DiskStreamList {
             env,
             handle: meta.handle,
-            table: Rc::clone(&self.level_table),
+            table: Arc::clone(&self.level_table),
             reader: ListReader::new(&meta.handle),
         })
     }
@@ -370,7 +369,7 @@ impl DiskIndex {
     /// table; build with headroom ([`BuildOptions`]) to ingest appends.
     pub fn append_nodes(
         &mut self,
-        env: &mut StorageEnv,
+        env: &StorageEnv,
         added: &[(Dewey, Vec<String>)],
     ) -> Result<()> {
         // Encode everything first: a codec failure must not leave the
@@ -416,7 +415,7 @@ impl DiskIndex {
 
     /// Replaces the embedded document (incremental ingestion re-serializes
     /// the grown tree so rendering stays consistent with the index).
-    pub fn store_document(&mut self, env: &mut StorageEnv, tree: &XmlTree) -> Result<()> {
+    pub fn store_document(&mut self, env: &StorageEnv, tree: &XmlTree) -> Result<()> {
         if let Some(old) = self.doc_handle.take() {
             xk_storage::free_list(env, &old)?;
         }
@@ -433,36 +432,58 @@ impl DiskIndex {
     }
 }
 
-/// A shared, single-threaded handle to the storage environment, so several
-/// list cursors can interleave page access during one query.
+/// A shared, thread-safe handle to the storage environment, so several
+/// list cursors — possibly on different threads — can interleave page
+/// access. `Clone` is cheap (two `Arc` bumps); the underlying
+/// [`StorageEnv`] does its own locking.
 ///
-/// The handle also carries the query's **poison slot**: the `xk-slca` list
-/// traits are infallible by design (the algorithms are storage-agnostic),
-/// so when a disk adapter hits an I/O or codec error mid-query it records
+/// The handle also carries a **poison slot**: the `xk-slca` list traits
+/// are infallible by design (the algorithms are storage-agnostic), so
+/// when a disk adapter hits an I/O or codec error mid-query it records
 /// the error here, returns `None` (which terminates any algorithm), and
 /// the caller checks [`SharedEnv::take_error`] afterwards to distinguish
-/// "no match" from "the storage layer failed".
+/// "no match" from "the storage layer failed". The slot is scoped to a
+/// handle, not the environment: [`SharedEnv::fork`] makes a handle with
+/// the same environment but a fresh slot, so concurrent queries poison
+/// independently — one failing query cannot contaminate its siblings.
 #[derive(Clone)]
 pub struct SharedEnv {
-    env: Rc<RefCell<StorageEnv>>,
-    poison: Rc<RefCell<Option<IndexError>>>,
+    env: Arc<StorageEnv>,
+    poison: Arc<Mutex<Option<IndexError>>>,
 }
 
 impl SharedEnv {
     /// Wraps an environment for shared cursor access.
     pub fn new(env: StorageEnv) -> SharedEnv {
-        SharedEnv { env: Rc::new(RefCell::new(env)), poison: Rc::new(RefCell::new(None)) }
+        SharedEnv::from_arc(Arc::new(env))
     }
 
-    /// Runs `f` with exclusive access to the environment.
-    pub fn with<R>(&self, f: impl FnOnce(&mut StorageEnv) -> R) -> R {
-        f(&mut self.env.borrow_mut())
+    /// Wraps an already-shared environment.
+    pub fn from_arc(env: Arc<StorageEnv>) -> SharedEnv {
+        SharedEnv { env, poison: Arc::new(Mutex::new(None)) }
+    }
+
+    /// A handle to the same environment with a **fresh, independent**
+    /// poison slot — one per concurrent query.
+    pub fn fork(&self) -> SharedEnv {
+        SharedEnv { env: Arc::clone(&self.env), poison: Arc::new(Mutex::new(None)) }
+    }
+
+    /// Direct access to the environment.
+    pub fn env(&self) -> &StorageEnv {
+        &self.env
+    }
+
+    /// Runs `f` with access to the environment. (Retained from the
+    /// single-threaded era; [`SharedEnv::env`] is now equivalent.)
+    pub fn with<R>(&self, f: impl FnOnce(&StorageEnv) -> R) -> R {
+        f(&self.env)
     }
 
     /// Records an error from an infallible-trait adapter. The first error
     /// wins — it is the root cause; anything after it is fallout.
     pub fn poison(&self, err: IndexError) {
-        let mut slot = self.poison.borrow_mut();
+        let mut slot = self.poison.lock().unwrap_or_else(|e| e.into_inner());
         if slot.is_none() {
             *slot = Some(err);
         }
@@ -472,20 +493,20 @@ impl SharedEnv {
     /// running an algorithm over disk-backed lists; `Some` means the
     /// result is untrustworthy and must be discarded.
     pub fn take_error(&self) -> Option<IndexError> {
-        self.poison.borrow_mut().take()
+        self.poison.lock().unwrap_or_else(|e| e.into_inner()).take()
     }
 
     /// True if an adapter has recorded an error since the last
     /// [`SharedEnv::take_error`].
     pub fn is_poisoned(&self) -> bool {
-        self.poison.borrow().is_some()
+        self.poison.lock().unwrap_or_else(|e| e.into_inner()).is_some()
     }
 
     /// Unwraps the environment if this is the only handle.
     pub fn try_unwrap(self) -> std::result::Result<StorageEnv, SharedEnv> {
         let SharedEnv { env, poison } = self;
-        match Rc::try_unwrap(env) {
-            Ok(cell) => Ok(cell.into_inner()),
+        match Arc::try_unwrap(env) {
+            Ok(env) => Ok(env),
             Err(env) => Err(SharedEnv { env, poison }),
         }
     }
@@ -502,7 +523,7 @@ pub struct DiskRankedList {
     il: BTree,
     kwid: u32,
     count: u64,
-    table: Rc<LevelTable>,
+    table: Arc<LevelTable>,
 }
 
 impl DiskRankedList {
@@ -577,7 +598,7 @@ impl RankedList for DiskRankedList {
 pub struct DiskStreamList {
     env: SharedEnv,
     handle: ListHandle,
-    table: Rc<LevelTable>,
+    table: Arc<LevelTable>,
     reader: ListReader,
 }
 
@@ -616,11 +637,11 @@ mod tests {
     use xk_xmltree::school_example;
 
     fn build_school() -> (SharedEnv, DiskIndex) {
-        let mut env = StorageEnv::in_memory(EnvOptions { page_size: 512, pool_pages: 256 });
+        let env = StorageEnv::in_memory(EnvOptions { page_size: 512, pool_pages: 256 });
         let tree = school_example();
-        let n = build_disk_index(&mut env, &tree, true).unwrap();
+        let n = build_disk_index(&env, &tree, true).unwrap();
         assert!(n > 10);
-        let index = DiskIndex::open(&mut env).unwrap();
+        let index = DiskIndex::open(&env).unwrap();
         (SharedEnv::new(env), index)
     }
 
@@ -708,19 +729,19 @@ mod tests {
 
     #[test]
     fn build_without_document() {
-        let mut env = StorageEnv::in_memory(EnvOptions { page_size: 512, pool_pages: 64 });
-        build_disk_index(&mut env, &school_example(), false).unwrap();
-        let index = DiskIndex::open(&mut env).unwrap();
-        assert!(index.load_document(&mut env).unwrap().is_none());
+        let env = StorageEnv::in_memory(EnvOptions { page_size: 512, pool_pages: 64 });
+        build_disk_index(&env, &school_example(), false).unwrap();
+        let index = DiskIndex::open(&env).unwrap();
+        assert!(index.load_document(&env).unwrap().is_none());
     }
 
     #[test]
     fn append_nodes_extends_lists_and_vocab() {
         use crate::diskindex::{build_disk_index_with, BuildOptions};
-        let mut env = StorageEnv::in_memory(EnvOptions { page_size: 512, pool_pages: 256 });
+        let env = StorageEnv::in_memory(EnvOptions { page_size: 512, pool_pages: 256 });
         let tree = school_example();
-        build_disk_index_with(&mut env, &tree, &BuildOptions::default()).unwrap();
-        let mut index = DiskIndex::open(&mut env).unwrap();
+        build_disk_index_with(&env, &tree, &BuildOptions::default()).unwrap();
+        let mut index = DiskIndex::open(&env).unwrap();
         let john_before = index.frequency("john");
 
         // Append one node past everything: a new root child (ordinal 4).
@@ -728,7 +749,7 @@ mod tests {
         let new_name = Dewey::from_components(vec![4, 0]);
         index
             .append_nodes(
-                &mut env,
+                &env,
                 &[
                     (new_class.clone(), vec!["class".into()]),
                     (new_name.clone(), vec!["john".into(), "freshword".into()]),
@@ -763,18 +784,18 @@ mod tests {
         let path = dir.join("idx.db");
         let opts = EnvOptions { page_size: 512, pool_pages: 64 };
         {
-            let mut env = StorageEnv::create(&path, opts.clone()).unwrap();
-            build_disk_index_with(&mut env, &school_example(), &BuildOptions::default())
+            let env = StorageEnv::create(&path, opts.clone()).unwrap();
+            build_disk_index_with(&env, &school_example(), &BuildOptions::default())
                 .unwrap();
-            let mut index = DiskIndex::open(&mut env).unwrap();
+            let mut index = DiskIndex::open(&env).unwrap();
             index
-                .append_nodes(&mut env, &[(Dewey::from_components(vec![4]), vec!["late".into()])])
+                .append_nodes(&env, &[(Dewey::from_components(vec![4]), vec!["late".into()])])
                 .unwrap();
             env.flush().unwrap();
         }
         {
-            let mut env = StorageEnv::open(&path, opts).unwrap();
-            let index = DiskIndex::open(&mut env).unwrap();
+            let env = StorageEnv::open(&path, opts).unwrap();
+            let index = DiskIndex::open(&env).unwrap();
             assert_eq!(index.frequency("late"), 1);
         }
         std::fs::remove_dir_all(&dir).unwrap();
@@ -782,14 +803,14 @@ mod tests {
 
     #[test]
     fn append_without_headroom_fails_cleanly() {
-        let mut env = StorageEnv::in_memory(EnvOptions { page_size: 512, pool_pages: 64 });
+        let env = StorageEnv::in_memory(EnvOptions { page_size: 512, pool_pages: 64 });
         // Exact-fit table: the school root has 4 children (2 bits), so
         // ordinal 4 does not pack.
-        build_disk_index(&mut env, &school_example(), false).unwrap();
-        let mut index = DiskIndex::open(&mut env).unwrap();
+        build_disk_index(&env, &school_example(), false).unwrap();
+        let mut index = DiskIndex::open(&env).unwrap();
         let john_before = index.frequency("john");
         let err = index.append_nodes(
-            &mut env,
+            &env,
             &[(Dewey::from_components(vec![4]), vec!["john".into()])],
         );
         assert!(matches!(err, Err(IndexError::Codec(_))), "{err:?}");
@@ -820,12 +841,12 @@ mod tests {
         let path = dir.join("idx.db");
         let opts = EnvOptions { page_size: 512, pool_pages: 64 };
         {
-            let mut env = StorageEnv::create(&path, opts.clone()).unwrap();
-            build_disk_index(&mut env, &school_example(), true).unwrap();
+            let env = StorageEnv::create(&path, opts.clone()).unwrap();
+            build_disk_index(&env, &school_example(), true).unwrap();
         }
         {
-            let mut env = StorageEnv::open(&path, opts).unwrap();
-            let index = DiskIndex::open(&mut env).unwrap();
+            let env = StorageEnv::open(&path, opts).unwrap();
+            let index = DiskIndex::open(&env).unwrap();
             assert_eq!(index.frequency("john"), 4);
             let shared = SharedEnv::new(env);
             let mut l = index.stream_list(shared, "ben").unwrap();

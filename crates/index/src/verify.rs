@@ -61,7 +61,7 @@ impl VerifyReport {
 /// Verifies every structure of the disk index stored in `env` and returns
 /// a full report. Never panics on corrupt input; unreadable structures
 /// are reported and skipped.
-pub fn verify_index(env: &mut StorageEnv) -> VerifyReport {
+pub fn verify_index(env: &StorageEnv) -> VerifyReport {
     let mut report = VerifyReport::default();
 
     // 1. Checksum sweep. `with_page` verifies the CRC trailer whenever the
@@ -136,7 +136,7 @@ pub fn verify_index(env: &mut StorageEnv) -> VerifyReport {
 /// Walks the vocabulary scan: decodes every entry and fully verifies the
 /// keyword's sequential list chain.
 fn scan_vocabulary(
-    env: &mut StorageEnv,
+    env: &StorageEnv,
     vocab: &BTree,
     table: &crate::leveltable::LevelTable,
     claimed: &mut HashMap<PageId, String>,
@@ -190,7 +190,7 @@ fn scan_vocabulary(
 /// Fully verifies one keyword's sequential list chain: structure, page
 /// ownership, record decode, and document order.
 fn verify_keyword_chain(
-    env: &mut StorageEnv,
+    env: &StorageEnv,
     word: &str,
     meta: &KeywordMeta,
     table: &crate::leveltable::LevelTable,
@@ -257,7 +257,7 @@ fn verify_keyword_chain(
 /// Walks the IL tree: splits every composite key, decodes every packed
 /// Dewey, and reconciles per-keyword counts against the vocabulary.
 fn scan_il(
-    env: &mut StorageEnv,
+    env: &StorageEnv,
     il: &BTree,
     table: &crate::leveltable::LevelTable,
     vocab_counts: &HashMap<u32, (String, u64)>,
@@ -311,7 +311,7 @@ fn scan_il(
 /// Verifies the embedded document chain: structure, page ownership, and
 /// that the concatenated bytes parse back into an XML tree.
 fn verify_document(
-    env: &mut StorageEnv,
+    env: &StorageEnv,
     handle: &ListHandle,
     claimed: &mut HashMap<PageId, String>,
     report: &mut VerifyReport,
@@ -362,16 +362,16 @@ mod tests {
     use xk_xmltree::school_example;
 
     fn built_env(store_document: bool) -> StorageEnv {
-        let mut env = StorageEnv::in_memory(EnvOptions { page_size: 512, pool_pages: 256 });
-        build_disk_index(&mut env, &school_example(), store_document).unwrap();
+        let env = StorageEnv::in_memory(EnvOptions { page_size: 512, pool_pages: 256 });
+        build_disk_index(&env, &school_example(), store_document).unwrap();
         env
     }
 
     #[test]
     fn healthy_index_verifies_clean() {
         for store_document in [true, false] {
-            let mut env = built_env(store_document);
-            let report = verify_index(&mut env);
+            let env = built_env(store_document);
+            let report = verify_index(&env);
             assert!(report.is_ok(), "issues: {:?}", report.issues);
             assert_eq!(report.pages_checked, env.page_count());
             assert!(report.keyword_count > 10);
@@ -382,17 +382,17 @@ mod tests {
 
     #[test]
     fn lying_vocabulary_count_is_reported() {
-        let mut env = built_env(false);
+        let env = built_env(false);
         // Rewrite one vocabulary entry with an inflated frequency but the
         // original (honest) list handle.
-        let vocab = BTree::open(&mut env, SLOT_VOCAB).unwrap();
-        let value = vocab.get(&mut env, b"john").unwrap().unwrap();
+        let vocab = BTree::open(&env, SLOT_VOCAB).unwrap();
+        let value = vocab.get(&env, b"john").unwrap().unwrap();
         let mut meta = KeywordMeta::decode(&value).unwrap();
         meta.count += 7;
         let patched = meta.encode();
-        vocab.insert(&mut env, b"john", &patched).unwrap();
+        vocab.insert(&env, b"john", &patched).unwrap();
 
-        let report = verify_index(&mut env);
+        let report = verify_index(&env);
         assert!(!report.is_ok());
         assert!(
             report.issues.iter().any(|i| i.contains("john") && i.contains("disagrees")),
@@ -403,14 +403,14 @@ mod tests {
 
     #[test]
     fn corrupt_list_chain_is_reported() {
-        let mut env = built_env(false);
-        let vocab = BTree::open(&mut env, SLOT_VOCAB).unwrap();
-        let value = vocab.get(&mut env, b"john").unwrap().unwrap();
+        let env = built_env(false);
+        let vocab = BTree::open(&env, SLOT_VOCAB).unwrap();
+        let value = vocab.get(&env, b"john").unwrap().unwrap();
         let meta = KeywordMeta::decode(&value).unwrap();
         // Scribble over the chain's head page: framing and links die.
         env.with_page_mut(meta.handle.head, |p| p.fill(0xFF)).unwrap();
 
-        let report = verify_index(&mut env);
+        let report = verify_index(&env);
         assert!(!report.is_ok());
         assert!(
             report.issues.iter().any(|i| i.contains("john")),

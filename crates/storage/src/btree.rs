@@ -277,7 +277,7 @@ struct InsertOutcome {
 
 impl BTree {
     /// Creates an empty tree whose root is stored in meta slot `slot`.
-    pub fn create(env: &mut StorageEnv, slot: usize) -> Result<BTree> {
+    pub fn create(env: &StorageEnv, slot: usize) -> Result<BTree> {
         let root = env.allocate_page()?;
         let node = Node::Leaf { prev: None, next: None, entries: Vec::new() };
         write_node(env, root, &node)?;
@@ -286,14 +286,14 @@ impl BTree {
     }
 
     /// Opens the tree stored in meta slot `slot`.
-    pub fn open(env: &mut StorageEnv, slot: usize) -> Result<BTree> {
+    pub fn open(env: &StorageEnv, slot: usize) -> Result<BTree> {
         match env.root_slot(slot)? {
             Some(_) => Ok(BTree { slot }),
             None => Err(StorageError::Corrupt(format!("no B+tree in root slot {slot}"))),
         }
     }
 
-    fn root(&self, env: &mut StorageEnv) -> Result<PageId> {
+    fn root(&self, env: &StorageEnv) -> Result<PageId> {
         env.root_slot(self.slot)?.ok_or_else(|| {
             StorageError::Corrupt(format!("B+tree root slot {} vanished", self.slot))
         })
@@ -306,7 +306,7 @@ impl BTree {
 
     /// Inserts `key -> value`, returning the previous value if the key was
     /// already present.
-    pub fn insert(&self, env: &mut StorageEnv, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
+    pub fn insert(&self, env: &StorageEnv, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
         let max = Self::max_entry_size(env);
         if key.len() + value.len() > max {
             return Err(StorageError::EntryTooLarge {
@@ -327,7 +327,7 @@ impl BTree {
 
     fn insert_rec(
         &self,
-        env: &mut StorageEnv,
+        env: &StorageEnv,
         page: PageId,
         key: &[u8],
         value: &[u8],
@@ -422,7 +422,7 @@ impl BTree {
     /// the pattern the index builder needs (its composite keys are
     /// generated in sorted order).
     pub fn bulk_load(
-        env: &mut StorageEnv,
+        env: &StorageEnv,
         slot: usize,
         entries: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
     ) -> Result<BTree> {
@@ -436,7 +436,7 @@ impl BTree {
         let mut prev_leaf: Option<PageId> = None;
         let mut last_key: Option<Vec<u8>> = None;
 
-        let flush_leaf = |env: &mut StorageEnv,
+        let flush_leaf = |env: &StorageEnv,
                               current: &mut Vec<(Vec<u8>, Vec<u8>)>,
                               size: &mut usize,
                               prev_leaf: &mut Option<PageId>,
@@ -528,7 +528,7 @@ impl BTree {
 
     /// Point lookup. Binary-searches pages in place (no node
     /// materialization) — this is the hot path of the match operations.
-    pub fn get(&self, env: &mut StorageEnv, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    pub fn get(&self, env: &StorageEnv, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let mut page = self.root(env)?;
         loop {
             let step = env.with_page(page, |p| {
@@ -554,14 +554,14 @@ impl BTree {
     }
 
     /// True iff `key` is present.
-    pub fn contains(&self, env: &mut StorageEnv, key: &[u8]) -> Result<bool> {
+    pub fn contains(&self, env: &StorageEnv, key: &[u8]) -> Result<bool> {
         Ok(self.get(env, key)?.is_some())
     }
 
     /// The paper's **right match** `rm(key, S)`: the smallest entry with
     /// key `>=` the probe. Returns a positioned cursor (or an exhausted one
     /// if every key is smaller).
-    pub fn seek_ge(&self, env: &mut StorageEnv, key: &[u8]) -> Result<Cursor> {
+    pub fn seek_ge(&self, env: &StorageEnv, key: &[u8]) -> Result<Cursor> {
         let mut page = self.root(env)?;
         loop {
             let step = env.with_page(page, |p| {
@@ -591,7 +591,7 @@ impl BTree {
 
     /// The paper's **left match** `lm(key, S)`: the largest entry with key
     /// `<=` the probe.
-    pub fn seek_le(&self, env: &mut StorageEnv, key: &[u8]) -> Result<Cursor> {
+    pub fn seek_le(&self, env: &StorageEnv, key: &[u8]) -> Result<Cursor> {
         let mut page = self.root(env)?;
         loop {
             let step = env.with_page(page, |p| {
@@ -618,12 +618,12 @@ impl BTree {
     }
 
     /// Cursor positioned at the smallest entry.
-    pub fn cursor_first(&self, env: &mut StorageEnv) -> Result<Cursor> {
+    pub fn cursor_first(&self, env: &StorageEnv) -> Result<Cursor> {
         self.seek_ge(env, &[])
     }
 
     /// Number of entries (full scan; intended for tests and tools).
-    pub fn len(&self, env: &mut StorageEnv) -> Result<u64> {
+    pub fn len(&self, env: &StorageEnv) -> Result<u64> {
         let mut n = 0;
         let mut c = self.cursor_first(env)?;
         while c.read(env)?.is_some() {
@@ -634,7 +634,7 @@ impl BTree {
     }
 
     /// True iff the tree has no entries.
-    pub fn is_empty(&self, env: &mut StorageEnv) -> Result<bool> {
+    pub fn is_empty(&self, env: &StorageEnv) -> Result<bool> {
         let c = self.cursor_first(env)?;
         Ok(!c.is_valid())
     }
@@ -642,7 +642,7 @@ impl BTree {
     /// Deletes `key`, returning its value if it was present. Underfull
     /// nodes are rebalanced by merging with or redistributing entries from
     /// a sibling; emptied pages return to the free list.
-    pub fn remove(&self, env: &mut StorageEnv, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    pub fn remove(&self, env: &StorageEnv, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let root = self.root(env)?;
         let old = self.remove_rec(env, root, key)?;
         // Collapse a root that became a single-child internal node.
@@ -657,7 +657,7 @@ impl BTree {
 
     fn remove_rec(
         &self,
-        env: &mut StorageEnv,
+        env: &StorageEnv,
         page: PageId,
         key: &[u8],
     ) -> Result<Option<Vec<u8>>> {
@@ -690,7 +690,7 @@ impl BTree {
 
     /// Rebalances `children[idx]` of the internal node at `page` by merging
     /// with or borrowing from an adjacent sibling.
-    fn rebalance_child(&self, env: &mut StorageEnv, page: PageId, idx: usize) -> Result<()> {
+    fn rebalance_child(&self, env: &StorageEnv, page: PageId, idx: usize) -> Result<()> {
         let node = read_node(env, page)?;
         let (keys, children) = match node {
             Node::Internal { keys, children } => (keys, children),
@@ -787,7 +787,7 @@ impl BTree {
     /// After a merge: drop separator `li` and the right child pointer.
     fn remove_separator(
         &self,
-        env: &mut StorageEnv,
+        env: &StorageEnv,
         page: PageId,
         li: usize,
         _merged_into: PageId,
@@ -802,7 +802,7 @@ impl BTree {
 
     fn replace_separator(
         &self,
-        env: &mut StorageEnv,
+        env: &StorageEnv,
         page: PageId,
         li: usize,
         sep: Vec<u8>,
@@ -816,7 +816,7 @@ impl BTree {
 
     /// Walks the tree and checks structural invariants (key order within
     /// and across nodes, separator correctness, child kinds). For tests.
-    pub fn check_invariants(&self, env: &mut StorageEnv) -> Result<()> {
+    pub fn check_invariants(&self, env: &StorageEnv) -> Result<()> {
         let root = self.root(env)?;
         self.check_rec(env, root, None, None)?;
         // Leaf chain must be globally sorted.
@@ -839,7 +839,7 @@ impl BTree {
     /// chain terminates within the file's page count (no cycles). Used by
     /// `xksearch verify`; complements [`BTree::check_invariants`], which
     /// checks key order but walks only `next` links.
-    pub fn verify_leaf_links(&self, env: &mut StorageEnv) -> Result<()> {
+    pub fn verify_leaf_links(&self, env: &StorageEnv) -> Result<()> {
         let limit = env.page_count() as u64 + 1;
         // Descend along first children to the leftmost leaf.
         let mut page = self.root(env)?;
@@ -912,7 +912,7 @@ impl BTree {
 
     fn check_rec(
         &self,
-        env: &mut StorageEnv,
+        env: &StorageEnv,
         page: PageId,
         lo: Option<&[u8]>,
         hi: Option<&[u8]>,
@@ -977,7 +977,7 @@ impl Cursor {
     }
 
     /// Reads the entry under the cursor.
-    pub fn read(&self, env: &mut StorageEnv) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+    pub fn read(&self, env: &StorageEnv) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
         let Some(page) = self.page else { return Ok(None) };
         env.with_page(page, |p| {
             if !raw::is_leaf(p) {
@@ -993,7 +993,7 @@ impl Cursor {
     }
 
     /// Moves to the next entry in key order.
-    pub fn advance(&mut self, env: &mut StorageEnv) -> Result<()> {
+    pub fn advance(&mut self, env: &StorageEnv) -> Result<()> {
         let Some(page) = self.page else { return Ok(()) };
         let (count, next) = leaf_shape(env, page)?;
         if self.idx + 1 < count {
@@ -1005,7 +1005,7 @@ impl Cursor {
     }
 
     /// Moves to the previous entry in key order.
-    pub fn retreat(&mut self, env: &mut StorageEnv) -> Result<()> {
+    pub fn retreat(&mut self, env: &StorageEnv) -> Result<()> {
         let Some(page) = self.page else { return Ok(()) };
         if self.idx > 0 {
             self.idx -= 1;
@@ -1032,7 +1032,7 @@ enum Step {
 }
 
 /// `(count, next)` of a leaf page.
-fn leaf_shape(env: &mut StorageEnv, page: PageId) -> Result<(usize, Option<PageId>)> {
+fn leaf_shape(env: &StorageEnv, page: PageId) -> Result<(usize, Option<PageId>)> {
     env.with_page(page, |p| {
         if raw::is_leaf(p) {
             Ok((raw::count(p), raw::leaf_next(p)))
@@ -1043,7 +1043,7 @@ fn leaf_shape(env: &mut StorageEnv, page: PageId) -> Result<(usize, Option<PageI
 }
 
 /// First position of the first non-empty leaf reachable via `next` links.
-fn chain_forward(env: &mut StorageEnv, mut cur: Option<PageId>) -> Result<Cursor> {
+fn chain_forward(env: &StorageEnv, mut cur: Option<PageId>) -> Result<Cursor> {
     while let Some(p) = cur {
         let (count, next) = leaf_shape(env, p)?;
         if count > 0 {
@@ -1055,7 +1055,7 @@ fn chain_forward(env: &mut StorageEnv, mut cur: Option<PageId>) -> Result<Cursor
 }
 
 /// Last position of the first non-empty leaf reachable via `prev` links.
-fn chain_backward(env: &mut StorageEnv, mut cur: Option<PageId>) -> Result<Cursor> {
+fn chain_backward(env: &StorageEnv, mut cur: Option<PageId>) -> Result<Cursor> {
     while let Some(p) = cur {
         let (count, prev) = env.with_page(p, |pp| {
             if raw::is_leaf(pp) {
@@ -1072,22 +1072,22 @@ fn chain_backward(env: &mut StorageEnv, mut cur: Option<PageId>) -> Result<Curso
     Ok(Cursor { page: None, idx: 0 })
 }
 
-fn read_node(env: &mut StorageEnv, page: PageId) -> Result<Node> {
+fn read_node(env: &StorageEnv, page: PageId) -> Result<Node> {
     env.with_page(page, Node::read)?
 }
 
-fn write_node(env: &mut StorageEnv, page: PageId, node: &Node) -> Result<()> {
+fn write_node(env: &StorageEnv, page: PageId, node: &Node) -> Result<()> {
     debug_assert!(node.serialized_size() <= env.page_size());
     env.with_page_mut(page, |p| node.write(p))
 }
 
-fn update_leaf_prev(env: &mut StorageEnv, page: PageId, prev: Option<PageId>) -> Result<()> {
+fn update_leaf_prev(env: &StorageEnv, page: PageId, prev: Option<PageId>) -> Result<()> {
     env.with_page_mut(page, |p| {
         p[3..7].copy_from_slice(&PageId::encode_opt(prev).to_le_bytes());
     })
 }
 
-fn update_leaf_next(env: &mut StorageEnv, page: PageId, next: Option<PageId>) -> Result<()> {
+fn update_leaf_next(env: &StorageEnv, page: PageId, next: Option<PageId>) -> Result<()> {
     env.with_page_mut(page, |p| {
         p[7..11].copy_from_slice(&PageId::encode_opt(next).to_le_bytes());
     })
@@ -1131,105 +1131,105 @@ mod tests {
 
     #[test]
     fn insert_get_small() {
-        let mut env = mem_env();
-        let t = BTree::create(&mut env, 0).unwrap();
-        assert_eq!(t.get(&mut env, b"a").unwrap(), None);
-        assert_eq!(t.insert(&mut env, b"a", b"1").unwrap(), None);
-        assert_eq!(t.insert(&mut env, b"b", b"2").unwrap(), None);
-        assert_eq!(t.get(&mut env, b"a").unwrap(), Some(b"1".to_vec()));
-        assert_eq!(t.insert(&mut env, b"a", b"9").unwrap(), Some(b"1".to_vec()));
-        assert_eq!(t.get(&mut env, b"a").unwrap(), Some(b"9".to_vec()));
-        t.check_invariants(&mut env).unwrap();
+        let env = mem_env();
+        let t = BTree::create(&env, 0).unwrap();
+        assert_eq!(t.get(&env, b"a").unwrap(), None);
+        assert_eq!(t.insert(&env, b"a", b"1").unwrap(), None);
+        assert_eq!(t.insert(&env, b"b", b"2").unwrap(), None);
+        assert_eq!(t.get(&env, b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(t.insert(&env, b"a", b"9").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(t.get(&env, b"a").unwrap(), Some(b"9".to_vec()));
+        t.check_invariants(&env).unwrap();
     }
 
     #[test]
     fn insert_many_splits() {
-        let mut env = mem_env();
-        let t = BTree::create(&mut env, 0).unwrap();
+        let env = mem_env();
+        let t = BTree::create(&env, 0).unwrap();
         let n = 2000u32;
         for i in 0..n {
             // Insert in a scrambled order to exercise splits everywhere.
             let k = (i * 7919) % n;
-            t.insert(&mut env, &key(k), &key(k * 2)).unwrap();
+            t.insert(&env, &key(k), &key(k * 2)).unwrap();
         }
-        t.check_invariants(&mut env).unwrap();
-        assert_eq!(t.len(&mut env).unwrap(), n as u64);
+        t.check_invariants(&env).unwrap();
+        assert_eq!(t.len(&env).unwrap(), n as u64);
         for i in 0..n {
-            assert_eq!(t.get(&mut env, &key(i)).unwrap(), Some(key(i * 2)));
+            assert_eq!(t.get(&env, &key(i)).unwrap(), Some(key(i * 2)));
         }
     }
 
     #[test]
     fn seek_ge_and_le() {
-        let mut env = mem_env();
-        let t = BTree::create(&mut env, 0).unwrap();
+        let env = mem_env();
+        let t = BTree::create(&env, 0).unwrap();
         for i in (0..500u32).map(|i| i * 10) {
-            t.insert(&mut env, &key(i), b"").unwrap();
+            t.insert(&env, &key(i), b"").unwrap();
         }
         // Exact hit.
-        let c = t.seek_ge(&mut env, &key(100)).unwrap();
-        assert_eq!(c.read(&mut env).unwrap().unwrap().0, key(100));
-        let c = t.seek_le(&mut env, &key(100)).unwrap();
-        assert_eq!(c.read(&mut env).unwrap().unwrap().0, key(100));
+        let c = t.seek_ge(&env, &key(100)).unwrap();
+        assert_eq!(c.read(&env).unwrap().unwrap().0, key(100));
+        let c = t.seek_le(&env, &key(100)).unwrap();
+        assert_eq!(c.read(&env).unwrap().unwrap().0, key(100));
         // Between keys.
-        let c = t.seek_ge(&mut env, &key(101)).unwrap();
-        assert_eq!(c.read(&mut env).unwrap().unwrap().0, key(110));
-        let c = t.seek_le(&mut env, &key(101)).unwrap();
-        assert_eq!(c.read(&mut env).unwrap().unwrap().0, key(100));
+        let c = t.seek_ge(&env, &key(101)).unwrap();
+        assert_eq!(c.read(&env).unwrap().unwrap().0, key(110));
+        let c = t.seek_le(&env, &key(101)).unwrap();
+        assert_eq!(c.read(&env).unwrap().unwrap().0, key(100));
         // Beyond the ends.
-        let c = t.seek_ge(&mut env, &key(5000)).unwrap();
-        assert!(c.read(&mut env).unwrap().is_none());
+        let c = t.seek_ge(&env, &key(5000)).unwrap();
+        assert!(c.read(&env).unwrap().is_none());
         let mut below_all = key(0);
         below_all.pop(); // 3-byte key sorts before every 4-byte key
-        let c = t.seek_le(&mut env, &below_all).unwrap();
-        assert!(c.read(&mut env).unwrap().is_none());
+        let c = t.seek_le(&env, &below_all).unwrap();
+        assert!(c.read(&env).unwrap().is_none());
     }
 
     #[test]
     fn cursor_walks_in_both_directions() {
-        let mut env = mem_env();
-        let t = BTree::create(&mut env, 0).unwrap();
+        let env = mem_env();
+        let t = BTree::create(&env, 0).unwrap();
         for i in 0..300u32 {
-            t.insert(&mut env, &key(i), b"v").unwrap();
+            t.insert(&env, &key(i), b"v").unwrap();
         }
-        let mut c = t.cursor_first(&mut env).unwrap();
+        let mut c = t.cursor_first(&env).unwrap();
         for i in 0..300u32 {
-            assert_eq!(c.read(&mut env).unwrap().unwrap().0, key(i));
-            c.advance(&mut env).unwrap();
+            assert_eq!(c.read(&env).unwrap().unwrap().0, key(i));
+            c.advance(&env).unwrap();
         }
-        assert!(c.read(&mut env).unwrap().is_none());
-        let mut c = t.seek_le(&mut env, &key(u32::MAX)).unwrap();
+        assert!(c.read(&env).unwrap().is_none());
+        let mut c = t.seek_le(&env, &key(u32::MAX)).unwrap();
         for i in (0..300u32).rev() {
-            assert_eq!(c.read(&mut env).unwrap().unwrap().0, key(i));
-            c.retreat(&mut env).unwrap();
+            assert_eq!(c.read(&env).unwrap().unwrap().0, key(i));
+            c.retreat(&env).unwrap();
         }
-        assert!(c.read(&mut env).unwrap().is_none());
+        assert!(c.read(&env).unwrap().is_none());
     }
 
     #[test]
     fn remove_everything() {
-        let mut env = mem_env();
-        let t = BTree::create(&mut env, 0).unwrap();
+        let env = mem_env();
+        let t = BTree::create(&env, 0).unwrap();
         let n = 1000u32;
         for i in 0..n {
-            t.insert(&mut env, &key(i), &key(i)).unwrap();
+            t.insert(&env, &key(i), &key(i)).unwrap();
         }
         for i in 0..n {
             let k = (i * 6151) % n; // scrambled deletion order
-            assert_eq!(t.remove(&mut env, &key(k)).unwrap(), Some(key(k)));
+            assert_eq!(t.remove(&env, &key(k)).unwrap(), Some(key(k)));
             if k.is_multiple_of(100) {
-                t.check_invariants(&mut env).unwrap();
+                t.check_invariants(&env).unwrap();
             }
         }
-        assert!(t.is_empty(&mut env).unwrap());
-        t.check_invariants(&mut env).unwrap();
-        assert_eq!(t.remove(&mut env, &key(1)).unwrap(), None);
+        assert!(t.is_empty(&env).unwrap());
+        t.check_invariants(&env).unwrap();
+        assert_eq!(t.remove(&env, &key(1)).unwrap(), None);
     }
 
     #[test]
     fn variable_length_keys() {
-        let mut env = mem_env();
-        let t = BTree::create(&mut env, 0).unwrap();
+        let env = mem_env();
+        let t = BTree::create(&env, 0).unwrap();
         let keys: Vec<Vec<u8>> = (0..300)
             .map(|i| {
                 let mut k = vec![b'k'; i % 23 + 1];
@@ -1238,39 +1238,39 @@ mod tests {
             })
             .collect();
         for k in &keys {
-            t.insert(&mut env, k, b"x").unwrap();
+            t.insert(&env, k, b"x").unwrap();
         }
-        t.check_invariants(&mut env).unwrap();
+        t.check_invariants(&env).unwrap();
         for k in &keys {
-            assert!(t.contains(&mut env, k).unwrap());
+            assert!(t.contains(&env, k).unwrap());
         }
-        assert_eq!(t.len(&mut env).unwrap(), keys.len() as u64);
+        assert_eq!(t.len(&env).unwrap(), keys.len() as u64);
     }
 
     #[test]
     fn entry_too_large_is_rejected() {
-        let mut env = mem_env();
-        let t = BTree::create(&mut env, 0).unwrap();
+        let env = mem_env();
+        let t = BTree::create(&env, 0).unwrap();
         let huge = vec![0u8; 300];
         assert!(matches!(
-            t.insert(&mut env, &huge, b""),
+            t.insert(&env, &huge, b""),
             Err(StorageError::EntryTooLarge { .. })
         ));
     }
 
     #[test]
     fn two_trees_in_one_env() {
-        let mut env = mem_env();
-        let a = BTree::create(&mut env, 0).unwrap();
-        let b = BTree::create(&mut env, 1).unwrap();
+        let env = mem_env();
+        let a = BTree::create(&env, 0).unwrap();
+        let b = BTree::create(&env, 1).unwrap();
         for i in 0..200u32 {
-            a.insert(&mut env, &key(i), b"a").unwrap();
-            b.insert(&mut env, &key(i), b"b").unwrap();
+            a.insert(&env, &key(i), b"a").unwrap();
+            b.insert(&env, &key(i), b"b").unwrap();
         }
-        assert_eq!(a.get(&mut env, &key(5)).unwrap(), Some(b"a".to_vec()));
-        assert_eq!(b.get(&mut env, &key(5)).unwrap(), Some(b"b".to_vec()));
-        a.check_invariants(&mut env).unwrap();
-        b.check_invariants(&mut env).unwrap();
+        assert_eq!(a.get(&env, &key(5)).unwrap(), Some(b"a".to_vec()));
+        assert_eq!(b.get(&env, &key(5)).unwrap(), Some(b"b".to_vec()));
+        a.check_invariants(&env).unwrap();
+        b.check_invariants(&env).unwrap();
     }
 
     #[test]
@@ -1280,108 +1280,108 @@ mod tests {
         let path = dir.join("t.db");
         let opts = EnvOptions { page_size: 512, pool_pages: 32 };
         {
-            let mut env = StorageEnv::create(&path, opts.clone()).unwrap();
-            let t = BTree::create(&mut env, 0).unwrap();
+            let env = StorageEnv::create(&path, opts.clone()).unwrap();
+            let t = BTree::create(&env, 0).unwrap();
             for i in 0..500u32 {
-                t.insert(&mut env, &key(i), &key(i + 1)).unwrap();
+                t.insert(&env, &key(i), &key(i + 1)).unwrap();
             }
             env.flush().unwrap();
         }
         {
-            let mut env = StorageEnv::open(&path, opts).unwrap();
-            let t = BTree::open(&mut env, 0).unwrap();
+            let env = StorageEnv::open(&path, opts).unwrap();
+            let t = BTree::open(&env, 0).unwrap();
             for i in 0..500u32 {
-                assert_eq!(t.get(&mut env, &key(i)).unwrap(), Some(key(i + 1)));
+                assert_eq!(t.get(&env, &key(i)).unwrap(), Some(key(i + 1)));
             }
-            t.check_invariants(&mut env).unwrap();
+            t.check_invariants(&env).unwrap();
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn bulk_load_matches_incremental_inserts() {
-        let mut env = mem_env();
+        let env = mem_env();
         let n = 3000u32;
         let entries: Vec<(Vec<u8>, Vec<u8>)> =
             (0..n).map(|i| (key(i), key(i * 2))).collect();
-        let bulk = BTree::bulk_load(&mut env, 0, entries.clone()).unwrap();
-        bulk.check_invariants(&mut env).unwrap();
-        assert_eq!(bulk.len(&mut env).unwrap(), n as u64);
+        let bulk = BTree::bulk_load(&env, 0, entries.clone()).unwrap();
+        bulk.check_invariants(&env).unwrap();
+        assert_eq!(bulk.len(&env).unwrap(), n as u64);
         for i in 0..n {
-            assert_eq!(bulk.get(&mut env, &key(i)).unwrap(), Some(key(i * 2)));
+            assert_eq!(bulk.get(&env, &key(i)).unwrap(), Some(key(i * 2)));
         }
         // Seeks behave identically to an insert-built tree.
-        let c = bulk.seek_ge(&mut env, &key(1500)).unwrap();
-        assert_eq!(c.read(&mut env).unwrap().unwrap().0, key(1500));
-        let c = bulk.seek_le(&mut env, &key(u32::MAX)).unwrap();
-        assert_eq!(c.read(&mut env).unwrap().unwrap().0, key(n - 1));
+        let c = bulk.seek_ge(&env, &key(1500)).unwrap();
+        assert_eq!(c.read(&env).unwrap().unwrap().0, key(1500));
+        let c = bulk.seek_le(&env, &key(u32::MAX)).unwrap();
+        assert_eq!(c.read(&env).unwrap().unwrap().0, key(n - 1));
         // And the tree stays mutable afterwards.
-        bulk.insert(&mut env, &key(n + 5), b"later").unwrap();
-        bulk.remove(&mut env, &key(7)).unwrap();
-        bulk.check_invariants(&mut env).unwrap();
+        bulk.insert(&env, &key(n + 5), b"later").unwrap();
+        bulk.remove(&env, &key(7)).unwrap();
+        bulk.check_invariants(&env).unwrap();
     }
 
     #[test]
     fn bulk_load_empty_and_single() {
-        let mut env = mem_env();
-        let t = BTree::bulk_load(&mut env, 0, Vec::new()).unwrap();
-        assert!(t.is_empty(&mut env).unwrap());
-        t.check_invariants(&mut env).unwrap();
-        let t = BTree::bulk_load(&mut env, 1, vec![(b"k".to_vec(), b"v".to_vec())]).unwrap();
-        assert_eq!(t.get(&mut env, b"k").unwrap(), Some(b"v".to_vec()));
-        t.check_invariants(&mut env).unwrap();
+        let env = mem_env();
+        let t = BTree::bulk_load(&env, 0, Vec::new()).unwrap();
+        assert!(t.is_empty(&env).unwrap());
+        t.check_invariants(&env).unwrap();
+        let t = BTree::bulk_load(&env, 1, vec![(b"k".to_vec(), b"v".to_vec())]).unwrap();
+        assert_eq!(t.get(&env, b"k").unwrap(), Some(b"v".to_vec()));
+        t.check_invariants(&env).unwrap();
     }
 
     #[test]
     fn bulk_load_rejects_unsorted() {
-        let mut env = mem_env();
+        let env = mem_env();
         let entries = vec![
             (b"b".to_vec(), vec![]),
             (b"a".to_vec(), vec![]),
         ];
-        assert!(BTree::bulk_load(&mut env, 0, entries).is_err());
+        assert!(BTree::bulk_load(&env, 0, entries).is_err());
         let dup = vec![(b"a".to_vec(), vec![]), (b"a".to_vec(), vec![])];
-        assert!(BTree::bulk_load(&mut env, 0, dup).is_err());
+        assert!(BTree::bulk_load(&env, 0, dup).is_err());
     }
 
     #[test]
     fn verify_leaf_links_accepts_built_trees() {
-        let mut env = mem_env();
-        let t = BTree::create(&mut env, 0).unwrap();
+        let env = mem_env();
+        let t = BTree::create(&env, 0).unwrap();
         for i in 0..2000u32 {
-            t.insert(&mut env, &key((i * 7919) % 2000), b"v").unwrap();
+            t.insert(&env, &key((i * 7919) % 2000), b"v").unwrap();
         }
-        t.verify_leaf_links(&mut env).unwrap();
+        t.verify_leaf_links(&env).unwrap();
         // Bulk-loaded trees too.
         let entries: Vec<_> = (0..2000u32).map(|i| (key(i), vec![])).collect();
-        let b = BTree::bulk_load(&mut env, 1, entries).unwrap();
-        b.verify_leaf_links(&mut env).unwrap();
+        let b = BTree::bulk_load(&env, 1, entries).unwrap();
+        b.verify_leaf_links(&env).unwrap();
         // And after deletions rebalance the chain.
         for i in (0..2000u32).step_by(2) {
-            t.remove(&mut env, &key(i)).unwrap();
+            t.remove(&env, &key(i)).unwrap();
         }
-        t.verify_leaf_links(&mut env).unwrap();
+        t.verify_leaf_links(&env).unwrap();
     }
 
     #[test]
     fn verify_leaf_links_detects_broken_prev() {
-        let mut env = mem_env();
-        let t = BTree::create(&mut env, 0).unwrap();
+        let env = mem_env();
+        let t = BTree::create(&env, 0).unwrap();
         for i in 0..500u32 {
-            t.insert(&mut env, &key(i), b"v").unwrap();
+            t.insert(&env, &key(i), b"v").unwrap();
         }
         // Find the second leaf and point its prev somewhere wrong.
-        let first = t.cursor_first(&mut env).unwrap();
+        let first = t.cursor_first(&env).unwrap();
         let mut c = first;
         let second_leaf = loop {
             let page_before = c.page;
-            c.advance(&mut env).unwrap();
+            c.advance(&env).unwrap();
             if c.page != page_before {
                 break c.page.unwrap();
             }
         };
-        update_leaf_prev(&mut env, second_leaf, None).unwrap();
-        match t.verify_leaf_links(&mut env) {
+        update_leaf_prev(&env, second_leaf, None).unwrap();
+        match t.verify_leaf_links(&env) {
             Err(StorageError::Corrupt(msg)) => assert!(msg.contains("asymmetric"), "{msg}"),
             other => panic!("expected asymmetric-link error, got {other:?}"),
         }
@@ -1389,27 +1389,27 @@ mod tests {
 
     #[test]
     fn node_read_rejects_mangled_pages() {
-        let mut env = mem_env();
-        let t = BTree::create(&mut env, 0).unwrap();
+        let env = mem_env();
+        let t = BTree::create(&env, 0).unwrap();
         for i in 0..50u32 {
-            t.insert(&mut env, &key(i), b"v").unwrap();
+            t.insert(&env, &key(i), b"v").unwrap();
         }
-        let root = t.root(&mut env).unwrap();
+        let root = t.root(&env).unwrap();
         // Claim far more entries than the page holds: offsets run off the end.
         env.with_page_mut(root, |p| p[1..3].copy_from_slice(&5000u16.to_le_bytes())).unwrap();
-        assert!(matches!(read_node(&mut env, root), Err(StorageError::Corrupt(_))));
+        assert!(matches!(read_node(&env, root), Err(StorageError::Corrupt(_))));
     }
 
     #[test]
     fn cold_cache_seeks_touch_one_path() {
-        let mut env = StorageEnv::in_memory(EnvOptions { page_size: 256, pool_pages: 512 });
-        let t = BTree::create(&mut env, 0).unwrap();
+        let env = StorageEnv::in_memory(EnvOptions { page_size: 256, pool_pages: 512 });
+        let t = BTree::create(&env, 0).unwrap();
         for i in 0..5000u32 {
-            t.insert(&mut env, &key(i), b"").unwrap();
+            t.insert(&env, &key(i), b"").unwrap();
         }
         env.clear_cache().unwrap();
         env.reset_stats();
-        let c = t.seek_ge(&mut env, &key(2500)).unwrap();
+        let c = t.seek_ge(&env, &key(2500)).unwrap();
         assert!(c.is_valid());
         let s = env.stats();
         // A single root-to-leaf descent: disk reads == tree height (+1 for

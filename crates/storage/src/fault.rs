@@ -12,11 +12,19 @@
 //! usable at every level: raw pager tests, `StorageEnv` buffer-pool
 //! tests (via [`crate::StorageEnv::create_with_pager`]), and full
 //! index-build crash simulations in `xk-index` / `xksearch`.
+//!
+//! All counters are atomics shared with a cloneable [`FaultProbe`]
+//! handle (see [`FaultPager::probe`]): once the pager is boxed inside a
+//! `StorageEnv`, the probe is how concurrency tests observe live
+//! operation counts and arm faults mid-run — most importantly
+//! [`FaultProbe::arm_read_fault`], which makes exactly one future read
+//! fail no matter how many threads are reading.
 
 use crate::error::Result;
 use crate::pager::{PageId, Pager};
-use std::cell::Cell;
 use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// When and how a [`FaultPager`] misbehaves. All indices are 0-based
 /// counts of operations *of that kind* (reads, writes, syncs).
@@ -61,50 +69,115 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A [`Pager`] wrapper that injects faults per a [`FaultConfig`].
-///
-/// Counters use `Cell` because `Pager::read_page` takes `&self`.
-pub struct FaultPager {
-    inner: Box<dyn Pager>,
-    config: FaultConfig,
-    rng: Cell<u64>,
-    reads: Cell<u64>,
-    writes: u64,
-    syncs: u64,
-    crashed: bool,
+/// Shared mutable state between a [`FaultPager`] and its [`FaultProbe`]s.
+#[derive(Debug, Default)]
+struct FaultState {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    syncs: AtomicU64,
+    crashed: AtomicBool,
+    /// Number of one-shot read faults still pending (armed by a probe).
+    /// Decremented by CAS so each armed fault fires on exactly one read.
+    armed_read_faults: AtomicU64,
+    /// PRNG state for torn-write lengths / bit-flip positions. A mutex,
+    /// not an atomic: draws must stay deterministic per-op-index, and
+    /// they only happen on the (rare) faulting operations.
+    rng: Mutex<u64>,
 }
 
-impl FaultPager {
-    pub fn new(inner: Box<dyn Pager>, config: FaultConfig) -> FaultPager {
-        let rng = Cell::new(config.seed ^ 0x51CA_FE15_DEAD_BEEF);
-        FaultPager { inner, config, rng, reads: Cell::new(0), writes: 0, syncs: 0, crashed: false }
-    }
+/// Cloneable observer/controller for a (possibly boxed-away) [`FaultPager`].
+#[derive(Debug, Clone)]
+pub struct FaultProbe {
+    state: Arc<FaultState>,
+}
 
+impl FaultProbe {
     /// Read operations attempted so far (including failed ones).
     pub fn reads(&self) -> u64 {
-        self.reads.get()
+        self.state.reads.load(Ordering::Relaxed)
     }
 
     /// Write operations attempted so far (including failed ones).
     pub fn writes(&self) -> u64 {
-        self.writes
+        self.state.writes.load(Ordering::Relaxed)
     }
 
     /// Sync operations attempted so far (including failed ones).
     pub fn syncs(&self) -> u64 {
-        self.syncs
+        self.state.syncs.load(Ordering::Relaxed)
     }
 
     /// True once a torn write has "crashed" the pager.
     pub fn crashed(&self) -> bool {
-        self.crashed
+        self.state.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Arms a one-shot fault: exactly one future `read_page` call fails
+    /// with an injected I/O error, regardless of which thread issues it.
+    /// Arming twice queues two one-shot failures, and so on.
+    pub fn arm_read_fault(&self) {
+        self.state.armed_read_faults.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Number of armed one-shot read faults that have not fired yet.
+    pub fn pending_read_faults(&self) -> u64 {
+        self.state.armed_read_faults.load(Ordering::Acquire)
+    }
+
+    /// Claims one armed fault if any is pending. Lock-free multi-consumer.
+    fn try_claim_read_fault(&self) -> bool {
+        self.state
+            .armed_read_faults
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+            .is_ok()
+    }
+}
+
+/// A [`Pager`] wrapper that injects faults per a [`FaultConfig`].
+pub struct FaultPager {
+    inner: Box<dyn Pager>,
+    config: FaultConfig,
+    probe: FaultProbe,
+}
+
+impl FaultPager {
+    pub fn new(inner: Box<dyn Pager>, config: FaultConfig) -> FaultPager {
+        let state = FaultState {
+            rng: Mutex::new(config.seed ^ 0x51CA_FE15_DEAD_BEEF),
+            ..FaultState::default()
+        };
+        FaultPager { inner, config, probe: FaultProbe { state: Arc::new(state) } }
+    }
+
+    /// A handle onto the live counters and fault-arming controls; stays
+    /// valid after the pager is boxed into a storage env.
+    pub fn probe(&self) -> FaultProbe {
+        self.probe.clone()
+    }
+
+    /// Read operations attempted so far (including failed ones).
+    pub fn reads(&self) -> u64 {
+        self.probe.reads()
+    }
+
+    /// Write operations attempted so far (including failed ones).
+    pub fn writes(&self) -> u64 {
+        self.probe.writes()
+    }
+
+    /// Sync operations attempted so far (including failed ones).
+    pub fn syncs(&self) -> u64 {
+        self.probe.syncs()
+    }
+
+    /// True once a torn write has "crashed" the pager.
+    pub fn crashed(&self) -> bool {
+        self.probe.crashed()
     }
 
     fn next_rand(&self) -> u64 {
-        let mut state = self.rng.get();
-        let value = splitmix64(&mut state);
-        self.rng.set(state);
-        value
+        let mut state = self.probe.state.rng.lock().unwrap_or_else(|e| e.into_inner());
+        splitmix64(&mut state)
     }
 
     fn injected(kind: &str, op: u64) -> crate::StorageError {
@@ -122,10 +195,12 @@ impl Pager for FaultPager {
     }
 
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
-        let op = self.reads.get();
-        self.reads.set(op + 1);
+        let op = self.probe.state.reads.fetch_add(1, Ordering::Relaxed);
         if self.config.fail_read_at.is_some_and(|at| op >= at) {
             return Err(Self::injected("read", op));
+        }
+        if self.probe.try_claim_read_fault() {
+            return Err(Self::injected("one-shot read", op));
         }
         self.inner.read_page(id, buf)?;
         if self.config.flip_read_bit_at == Some(op) {
@@ -135,10 +210,9 @@ impl Pager for FaultPager {
         Ok(())
     }
 
-    fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
-        let op = self.writes;
-        self.writes += 1;
-        if self.crashed {
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        let op = self.probe.state.writes.fetch_add(1, Ordering::Relaxed);
+        if self.probe.crashed() {
             return Err(Self::injected("post-crash write", op));
         }
         if self.config.fail_write_at.is_some_and(|at| op >= at) {
@@ -153,7 +227,7 @@ impl Pager for FaultPager {
             let _ = self.inner.read_page(id, &mut torn);
             torn[..keep].copy_from_slice(&buf[..keep]);
             self.inner.write_page(id, &torn)?;
-            self.crashed = true;
+            self.probe.state.crashed.store(true, Ordering::Relaxed);
             return Err(Self::injected("torn write", op));
         }
         if self.config.flip_write_bit_at == Some(op) {
@@ -165,17 +239,19 @@ impl Pager for FaultPager {
         self.inner.write_page(id, buf)
     }
 
-    fn grow(&mut self) -> Result<PageId> {
-        if self.crashed {
-            return Err(Self::injected("post-crash grow", self.writes));
+    fn grow(&self) -> Result<PageId> {
+        if self.probe.crashed() {
+            return Err(Self::injected(
+                "post-crash grow",
+                self.probe.state.writes.load(Ordering::Relaxed),
+            ));
         }
         self.inner.grow()
     }
 
-    fn sync(&mut self) -> Result<()> {
-        let op = self.syncs;
-        self.syncs += 1;
-        if self.crashed {
+    fn sync(&self) -> Result<()> {
+        let op = self.probe.state.syncs.fetch_add(1, Ordering::Relaxed);
+        if self.probe.crashed() {
             return Err(Self::injected("post-crash sync", op));
         }
         if self.config.fail_sync_at.is_some_and(|at| op >= at) {
@@ -196,7 +272,7 @@ mod tests {
 
     #[test]
     fn clean_config_is_transparent() {
-        let mut p = mem_fault(FaultConfig::none());
+        let p = mem_fault(FaultConfig::none());
         let id = p.grow().unwrap();
         let page = vec![7u8; 256];
         p.write_page(id, &page).unwrap();
@@ -208,7 +284,7 @@ mod tests {
 
     #[test]
     fn read_failures_start_at_configured_op() {
-        let mut p = mem_fault(FaultConfig { fail_read_at: Some(2), ..FaultConfig::none() });
+        let p = mem_fault(FaultConfig { fail_read_at: Some(2), ..FaultConfig::none() });
         let id = p.grow().unwrap();
         p.write_page(id, &[1u8; 256]).unwrap();
         let mut buf = vec![0u8; 256];
@@ -221,8 +297,7 @@ mod tests {
 
     #[test]
     fn torn_write_persists_prefix_and_crashes() {
-        let mut p =
-            mem_fault(FaultConfig { torn_write_at: Some(1), seed: 9, ..FaultConfig::none() });
+        let p = mem_fault(FaultConfig { torn_write_at: Some(1), seed: 9, ..FaultConfig::none() });
         let id = p.grow().unwrap();
         p.write_page(id, &[0xAAu8; 256]).unwrap(); // op 0: clean
         assert!(p.write_page(id, &[0xBBu8; 256]).is_err()); // op 1: torn
@@ -230,7 +305,7 @@ mod tests {
         let mut buf = vec![0u8; 256];
         p.read_page(id, &mut buf).unwrap();
         let torn_len = buf.iter().take_while(|&&b| b == 0xBB).count();
-        assert!(torn_len >= 1 && torn_len < 256, "got prefix of {torn_len}");
+        assert!((1..256).contains(&torn_len), "got prefix of {torn_len}");
         assert!(buf[torn_len..].iter().all(|&b| b == 0xAA), "old suffix survives");
         assert!(p.write_page(id, &[1u8; 256]).is_err(), "writes dead after crash");
         assert!(p.sync().is_err(), "syncs dead after crash");
@@ -240,7 +315,7 @@ mod tests {
     fn bit_flips_are_deterministic_per_seed() {
         let positions: Vec<usize> = (0..2)
             .map(|_| {
-                let mut p = mem_fault(FaultConfig {
+                let p = mem_fault(FaultConfig {
                     flip_read_bit_at: Some(0),
                     seed: 1234,
                     ..FaultConfig::none()
@@ -254,7 +329,7 @@ mod tests {
             .collect();
         assert_eq!(positions[0], positions[1], "same seed, same flip");
 
-        let mut other = mem_fault(FaultConfig {
+        let other = mem_fault(FaultConfig {
             flip_read_bit_at: Some(0),
             seed: 4321,
             ..FaultConfig::none()
@@ -269,7 +344,7 @@ mod tests {
 
     #[test]
     fn read_flip_is_transient_write_flip_is_persistent() {
-        let mut p = mem_fault(FaultConfig {
+        let p = mem_fault(FaultConfig {
             flip_read_bit_at: Some(0),
             seed: 7,
             ..FaultConfig::none()
@@ -283,7 +358,7 @@ mod tests {
         assert!(first.iter().any(|&b| b != 0), "first read corrupted");
         assert!(second.iter().all(|&b| b == 0), "store itself untouched");
 
-        let mut p = mem_fault(FaultConfig {
+        let p = mem_fault(FaultConfig {
             flip_write_bit_at: Some(0),
             seed: 7,
             ..FaultConfig::none()
@@ -293,5 +368,50 @@ mod tests {
         let mut back = vec![0u8; 256];
         p.read_page(id, &mut back).unwrap();
         assert!(back.iter().any(|&b| b != 0), "write flip persisted");
+    }
+
+    #[test]
+    fn armed_read_fault_fires_exactly_once() {
+        let p = mem_fault(FaultConfig::none());
+        let probe = p.probe();
+        let id = p.grow().unwrap();
+        p.write_page(id, &[3u8; 256]).unwrap();
+        let mut buf = vec![0u8; 256];
+        p.read_page(id, &mut buf).unwrap(); // unarmed: fine
+        probe.arm_read_fault();
+        assert_eq!(probe.pending_read_faults(), 1);
+        assert!(p.read_page(id, &mut buf).is_err(), "armed read fails");
+        assert_eq!(probe.pending_read_faults(), 0);
+        p.read_page(id, &mut buf).unwrap(); // back to normal
+        assert_eq!(probe.reads(), 3);
+    }
+
+    #[test]
+    fn armed_read_fault_fires_exactly_once_across_threads() {
+        let p = mem_fault(FaultConfig::none());
+        let probe = p.probe();
+        let id = p.grow().unwrap();
+        p.write_page(id, &[5u8; 256]).unwrap();
+        probe.arm_read_fault();
+        let failures: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let p = &p;
+                    s.spawn(move || {
+                        let mut fails = 0u64;
+                        let mut buf = vec![0u8; 256];
+                        for _ in 0..50 {
+                            if p.read_page(id, &mut buf).is_err() {
+                                fails += 1;
+                            }
+                        }
+                        fails
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(failures, 1, "one armed fault, one failing read");
+        assert_eq!(probe.reads(), 200, "every read attempt is counted, failed or not");
     }
 }

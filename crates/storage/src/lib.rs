@@ -22,9 +22,9 @@
 //! ```
 //! use xk_storage::{StorageEnv, EnvOptions, BTree};
 //! let mut env = StorageEnv::in_memory(EnvOptions::default());
-//! let tree = BTree::create(&mut env, 0).unwrap();
-//! tree.insert(&mut env, b"key", b"value").unwrap();
-//! assert_eq!(tree.get(&mut env, b"key").unwrap(), Some(b"value".to_vec()));
+//! let tree = BTree::create(&env, 0).unwrap();
+//! tree.insert(&env, b"key", b"value").unwrap();
+//! assert_eq!(tree.get(&env, b"key").unwrap(), Some(b"value".to_vec()));
 //! ```
 
 pub mod btree;
@@ -40,7 +40,7 @@ pub use btree::{BTree, Cursor};
 pub use checksum::crc32;
 pub use env::{EnvOptions, StorageEnv, FORMAT_VERSION, PAGE_TRAILER, ROOT_SLOTS};
 pub use error::{Result, StorageError};
-pub use fault::{FaultConfig, FaultPager};
+pub use fault::{FaultConfig, FaultPager, FaultProbe};
 pub use liststore::{
     free_list, inspect_chain, ChainInfo, ListAppender, ListHandle, ListReader, ListWriter,
     LIST_HANDLE_BYTES,

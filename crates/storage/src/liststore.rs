@@ -84,7 +84,7 @@ impl ListWriter {
     }
 
     /// Appends one logical entry (a length-prefixed byte record).
-    pub fn append(&mut self, env: &mut StorageEnv, record: &[u8]) -> Result<()> {
+    pub fn append(&mut self, env: &StorageEnv, record: &[u8]) -> Result<()> {
         assert!(
             record.len() + 2 <= self.payload_capacity,
             "record larger than a page payload"
@@ -100,7 +100,7 @@ impl ListWriter {
         Ok(())
     }
 
-    fn flush_page(&mut self, env: &mut StorageEnv, last: bool) -> Result<()> {
+    fn flush_page(&mut self, env: &StorageEnv, last: bool) -> Result<()> {
         let page = env.allocate_page()?;
         if self.head.is_none() {
             self.head = Some(page);
@@ -124,7 +124,7 @@ impl ListWriter {
 
     /// Finishes the list and returns its handle. An empty list still
     /// occupies one (empty) page so the handle is always valid.
-    pub fn finish(mut self, env: &mut StorageEnv) -> Result<ListHandle> {
+    pub fn finish(mut self, env: &StorageEnv) -> Result<ListHandle> {
         self.flush_page(env, true)?;
         Ok(ListHandle {
             head: self.head.expect("flush_page sets head"),
@@ -147,7 +147,7 @@ pub struct ListAppender {
 
 impl ListAppender {
     /// Positions an appender at the end of `handle`'s chain.
-    pub fn open(env: &mut StorageEnv, handle: ListHandle) -> Result<ListAppender> {
+    pub fn open(env: &StorageEnv, handle: ListHandle) -> Result<ListAppender> {
         let payload_capacity = env.page_size() - LIST_HDR;
         let tail_used = env.with_page(handle.tail, |p| {
             u16::from_le_bytes(p[4..6].try_into().expect("2-byte list length")) as usize
@@ -162,7 +162,7 @@ impl ListAppender {
     }
 
     /// Appends one record to the chain.
-    pub fn append(&mut self, env: &mut StorageEnv, record: &[u8]) -> Result<()> {
+    pub fn append(&mut self, env: &StorageEnv, record: &[u8]) -> Result<()> {
         assert!(
             record.len() + 2 <= self.payload_capacity,
             "record larger than a page payload"
@@ -228,7 +228,7 @@ impl ListReader {
     }
 
     /// Reads the next record, or `None` at the end of the list.
-    pub fn next_record(&mut self, env: &mut StorageEnv) -> Result<Option<Vec<u8>>> {
+    pub fn next_record(&mut self, env: &StorageEnv) -> Result<Option<Vec<u8>>> {
         if self.remaining_entries == 0 {
             return Ok(None);
         }
@@ -284,7 +284,7 @@ impl ListReader {
 }
 
 /// Frees every page of a list chain.
-pub fn free_list(env: &mut StorageEnv, handle: &ListHandle) -> Result<()> {
+pub fn free_list(env: &StorageEnv, handle: &ListHandle) -> Result<()> {
     let mut cur = Some(handle.head);
     let mut freed = 0u64;
     let limit = env.page_count() as u64;
@@ -322,7 +322,7 @@ pub struct ChainInfo {
 /// absence of cycles (bounded by the file's page count). Returns what it
 /// found so callers (e.g. `xksearch verify`) can cross-check the handle's
 /// claimed tail, byte total, and entry count.
-pub fn inspect_chain(env: &mut StorageEnv, handle: &ListHandle) -> Result<ChainInfo> {
+pub fn inspect_chain(env: &StorageEnv, handle: &ListHandle) -> Result<ChainInfo> {
     let mut info = ChainInfo::default();
     let limit = env.page_count() as usize;
     let mut cur = Some(handle.head);
@@ -405,46 +405,46 @@ mod tests {
 
     #[test]
     fn roundtrip_small() {
-        let mut env = mem_env();
+        let env = mem_env();
         let mut w = ListWriter::new(&env);
         for i in 0..10u32 {
-            w.append(&mut env, &i.to_le_bytes()).unwrap();
+            w.append(&env, &i.to_le_bytes()).unwrap();
         }
-        let h = w.finish(&mut env).unwrap();
+        let h = w.finish(&env).unwrap();
         assert_eq!(h.entry_count, 10);
         let mut r = ListReader::new(&h);
         for i in 0..10u32 {
-            assert_eq!(r.next_record(&mut env).unwrap().unwrap(), i.to_le_bytes());
+            assert_eq!(r.next_record(&env).unwrap().unwrap(), i.to_le_bytes());
         }
-        assert_eq!(r.next_record(&mut env).unwrap(), None);
+        assert_eq!(r.next_record(&env).unwrap(), None);
     }
 
     #[test]
     fn roundtrip_multi_page_variable_records() {
-        let mut env = mem_env();
+        let env = mem_env();
         let mut w = ListWriter::new(&env);
         let records: Vec<Vec<u8>> =
             (0..500).map(|i| vec![(i % 251) as u8; i % 37 + 1]).collect();
         for r in &records {
-            w.append(&mut env, r).unwrap();
+            w.append(&env, r).unwrap();
         }
-        let h = w.finish(&mut env).unwrap();
+        let h = w.finish(&env).unwrap();
         assert_eq!(h.entry_count, 500);
         let mut r = ListReader::new(&h);
         for expect in &records {
-            assert_eq!(&r.next_record(&mut env).unwrap().unwrap(), expect);
+            assert_eq!(&r.next_record(&env).unwrap().unwrap(), expect);
         }
-        assert_eq!(r.next_record(&mut env).unwrap(), None);
+        assert_eq!(r.next_record(&env).unwrap(), None);
     }
 
     #[test]
     fn empty_list() {
-        let mut env = mem_env();
+        let env = mem_env();
         let w = ListWriter::new(&env);
-        let h = w.finish(&mut env).unwrap();
+        let h = w.finish(&env).unwrap();
         assert_eq!(h.entry_count, 0);
         let mut r = ListReader::new(&h);
-        assert_eq!(r.next_record(&mut env).unwrap(), None);
+        assert_eq!(r.next_record(&env).unwrap(), None);
     }
 
     #[test]
@@ -461,82 +461,82 @@ mod tests {
 
     #[test]
     fn appender_continues_a_finished_chain() {
-        let mut env = mem_env();
+        let env = mem_env();
         let mut w = ListWriter::new(&env);
         for i in 0..7u32 {
-            w.append(&mut env, &i.to_le_bytes()).unwrap();
+            w.append(&env, &i.to_le_bytes()).unwrap();
         }
-        let h = w.finish(&mut env).unwrap();
-        let mut a = ListAppender::open(&mut env, h).unwrap();
+        let h = w.finish(&env).unwrap();
+        let mut a = ListAppender::open(&env, h).unwrap();
         for i in 7..200u32 {
-            a.append(&mut env, &i.to_le_bytes()).unwrap();
+            a.append(&env, &i.to_le_bytes()).unwrap();
         }
         let h2 = a.finish();
         assert_eq!(h2.entry_count, 200);
         assert_eq!(h2.head, h.head, "head is stable across appends");
         let mut r = ListReader::new(&h2);
         for i in 0..200u32 {
-            assert_eq!(r.next_record(&mut env).unwrap().unwrap(), i.to_le_bytes());
+            assert_eq!(r.next_record(&env).unwrap().unwrap(), i.to_le_bytes());
         }
-        assert_eq!(r.next_record(&mut env).unwrap(), None);
+        assert_eq!(r.next_record(&env).unwrap(), None);
     }
 
     #[test]
     fn appender_on_empty_chain() {
-        let mut env = mem_env();
-        let h = ListWriter::new(&env).finish(&mut env).unwrap();
-        let mut a = ListAppender::open(&mut env, h).unwrap();
-        a.append(&mut env, b"first").unwrap();
+        let env = mem_env();
+        let h = ListWriter::new(&env).finish(&env).unwrap();
+        let mut a = ListAppender::open(&env, h).unwrap();
+        a.append(&env, b"first").unwrap();
         let h = a.finish();
         assert_eq!(h.entry_count, 1);
         let mut r = ListReader::new(&h);
-        assert_eq!(r.next_record(&mut env).unwrap().unwrap(), b"first");
+        assert_eq!(r.next_record(&env).unwrap().unwrap(), b"first");
     }
 
     #[test]
     fn interleaved_appends_with_variable_sizes() {
-        let mut env = mem_env();
+        let env = mem_env();
         let mut records: Vec<Vec<u8>> = Vec::new();
         let mut w = ListWriter::new(&env);
         for i in 0..50usize {
             let r = vec![i as u8; i % 60 + 1];
-            w.append(&mut env, &r).unwrap();
+            w.append(&env, &r).unwrap();
             records.push(r);
         }
-        let mut h = w.finish(&mut env).unwrap();
+        let mut h = w.finish(&env).unwrap();
         // Several separate append sessions, as separate documents arrive.
         for session in 0..4 {
-            let mut a = ListAppender::open(&mut env, h).unwrap();
+            let mut a = ListAppender::open(&env, h).unwrap();
             for i in 0..30usize {
                 let r = vec![(session * 40 + i) as u8; (i * 3) % 80 + 1];
-                a.append(&mut env, &r).unwrap();
+                a.append(&env, &r).unwrap();
                 records.push(r);
             }
             h = a.finish();
         }
         let mut r = ListReader::new(&h);
         for expect in &records {
-            assert_eq!(&r.next_record(&mut env).unwrap().unwrap(), expect);
+            assert_eq!(&r.next_record(&env).unwrap().unwrap(), expect);
         }
-        assert_eq!(r.next_record(&mut env).unwrap(), None);
+        assert_eq!(r.next_record(&env).unwrap(), None);
     }
 
     #[test]
     fn sequential_read_costs_one_access_per_page_when_cold() {
-        let mut env = mem_env();
+        let env = mem_env();
         let mut w = ListWriter::new(&env);
         let record = [0u8; 20];
         for _ in 0..200 {
-            w.append(&mut env, &record).unwrap();
+            w.append(&env, &record).unwrap();
         }
-        let h = w.finish(&mut env).unwrap();
+        let h = w.finish(&env).unwrap();
         // 22 bytes framed per record; page payload = usable size - header.
         let payload = env.page_size() - LIST_HDR;
-        let expected_pages = (200 * 22 + payload - 1) / payload;
+        let expected_pages = (200usize * 22).div_ceil(payload);
         env.clear_cache().unwrap();
         env.reset_stats();
         let mut r = ListReader::new(&h);
-        while r.next_record(&mut env).unwrap().is_some() {}
+        while r.next_record(&env).unwrap().is_some() {}
         let reads = env.stats().disk_reads;
         assert!(
             (reads as i64 - expected_pages as i64).abs() <= 1,
@@ -546,42 +546,42 @@ mod tests {
 
     #[test]
     fn free_list_returns_pages() {
-        let mut env = mem_env();
+        let env = mem_env();
         let mut w = ListWriter::new(&env);
         for _ in 0..300 {
-            w.append(&mut env, &[1u8; 30]).unwrap();
+            w.append(&env, &[1u8; 30]).unwrap();
         }
-        let h = w.finish(&mut env).unwrap();
+        let h = w.finish(&env).unwrap();
         let before = env.page_count();
-        free_list(&mut env, &h).unwrap();
+        free_list(&env, &h).unwrap();
         // Freed pages are reused by subsequent allocations.
         let mut w2 = ListWriter::new(&env);
         for _ in 0..300 {
-            w2.append(&mut env, &[2u8; 30]).unwrap();
+            w2.append(&env, &[2u8; 30]).unwrap();
         }
-        let h2 = w2.finish(&mut env).unwrap();
+        let h2 = w2.finish(&env).unwrap();
         assert_eq!(env.page_count(), before, "second list reuses freed pages");
         let mut r = ListReader::new(&h2);
-        assert_eq!(r.next_record(&mut env).unwrap().unwrap(), [2u8; 30]);
+        assert_eq!(r.next_record(&env).unwrap().unwrap(), [2u8; 30]);
     }
 
     #[test]
     #[should_panic(expected = "record larger than a page payload")]
     fn oversized_record_panics() {
-        let mut env = mem_env();
+        let env = mem_env();
         let mut w = ListWriter::new(&env);
-        w.append(&mut env, &[0u8; 512]).unwrap();
+        w.append(&env, &[0u8; 512]).unwrap();
     }
 
     #[test]
     fn inspect_chain_accepts_healthy_lists() {
-        let mut env = mem_env();
+        let env = mem_env();
         let mut w = ListWriter::new(&env);
         for i in 0..300u32 {
-            w.append(&mut env, &i.to_le_bytes()).unwrap();
+            w.append(&env, &i.to_le_bytes()).unwrap();
         }
-        let h = w.finish(&mut env).unwrap();
-        let info = inspect_chain(&mut env, &h).unwrap();
+        let h = w.finish(&env).unwrap();
+        let info = inspect_chain(&env, &h).unwrap();
         assert_eq!(info.records, 300);
         assert_eq!(info.payload_bytes, h.total_bytes);
         assert_eq!(info.pages.first(), Some(&h.head));
@@ -591,23 +591,23 @@ mod tests {
 
     #[test]
     fn inspect_chain_flags_bad_counts_and_cycles() {
-        let mut env = mem_env();
+        let env = mem_env();
         let mut w = ListWriter::new(&env);
         for i in 0..300u32 {
-            w.append(&mut env, &i.to_le_bytes()).unwrap();
+            w.append(&env, &i.to_le_bytes()).unwrap();
         }
-        let h = w.finish(&mut env).unwrap();
+        let h = w.finish(&env).unwrap();
 
         let lying = ListHandle { entry_count: h.entry_count + 5, ..h };
-        assert!(inspect_chain(&mut env, &lying).is_err(), "count mismatch detected");
+        assert!(inspect_chain(&env, &lying).is_err(), "count mismatch detected");
 
         let wrong_tail = ListHandle { tail: h.head, ..h };
-        assert!(inspect_chain(&mut env, &wrong_tail).is_err(), "tail mismatch detected");
+        assert!(inspect_chain(&env, &wrong_tail).is_err(), "tail mismatch detected");
 
         // Splice the tail's next pointer back to the head: a cycle.
         env.with_page_mut(h.tail, |p| p[..4].copy_from_slice(&h.head.0.to_le_bytes()))
             .unwrap();
-        match inspect_chain(&mut env, &h) {
+        match inspect_chain(&env, &h) {
             Err(StorageError::Corrupt(msg)) => assert!(msg.contains("cycle"), "{msg}"),
             other => panic!("expected cycle error, got {other:?}"),
         }
@@ -615,16 +615,16 @@ mod tests {
 
     #[test]
     fn reader_rejects_overrunning_record_lengths() {
-        let mut env = mem_env();
+        let env = mem_env();
         let mut w = ListWriter::new(&env);
-        w.append(&mut env, b"abc").unwrap();
-        let h = w.finish(&mut env).unwrap();
+        w.append(&env, b"abc").unwrap();
+        let h = w.finish(&env).unwrap();
         // Corrupt the record's length prefix to point past the payload.
         env.with_page_mut(h.head, |p| {
             p[LIST_HDR..LIST_HDR + 2].copy_from_slice(&500u16.to_le_bytes());
         })
         .unwrap();
         let mut r = ListReader::new(&h);
-        assert!(matches!(r.next_record(&mut env), Err(StorageError::Corrupt(_))));
+        assert!(matches!(r.next_record(&env), Err(StorageError::Corrupt(_))));
     }
 }

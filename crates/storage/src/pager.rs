@@ -4,13 +4,27 @@
 //! are provided: [`FilePager`] over a real file (positioned reads/writes, no
 //! in-process caching — caching is the buffer pool's job) and [`MemPager`]
 //! for tests and purely in-memory indexes.
+//!
+//! Since the storage env went multi-threaded, the trait is `Send + Sync`
+//! and every operation takes `&self`: a pager is a shared backing store
+//! and each implementation carries whatever interior synchronization its
+//! medium needs (none for positioned file I/O on Unix, an `RwLock` for
+//! the in-memory page table). Callers — the sharded buffer pool — may
+//! issue reads and writes for *different* pages concurrently; operations
+//! on the *same* page are serialized above the pager by the page's pool
+//! shard, and `grow` may race with nothing (it is only called under the
+//! env's write lock).
 
 use crate::error::{Result, StorageError};
 use std::fs::{File, OpenOptions};
 use std::path::Path;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::RwLock;
 
 #[cfg(unix)]
 use std::os::unix::fs::FileExt;
+#[cfg(not(unix))]
+use std::sync::Mutex;
 
 /// Identifier of a page within a storage file. Page 0 is the meta page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -38,8 +52,8 @@ impl PageId {
     }
 }
 
-/// A fixed-size-page backing store.
-pub trait Pager {
+/// A fixed-size-page backing store, shareable across threads.
+pub trait Pager: Send + Sync {
     /// The page size in bytes. Constant for the lifetime of the pager.
     fn page_size(&self) -> usize;
 
@@ -50,21 +64,26 @@ pub trait Pager {
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()>;
 
     /// Writes `buf` to page `id` (`buf.len() == page_size`).
-    fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<()>;
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()>;
 
-    /// Appends a zeroed page and returns its id.
-    fn grow(&mut self) -> Result<PageId>;
+    /// Appends a zeroed page and returns its id. Callers must serialize
+    /// `grow` externally (the storage env calls it under its write lock).
+    fn grow(&self) -> Result<PageId>;
 
     /// Ensures all written pages are durable.
-    fn sync(&mut self) -> Result<()>;
+    fn sync(&self) -> Result<()>;
 }
 
 /// A pager over an ordinary file. Every `read_page` is a positioned read
 /// against the file — the buffer pool above decides what stays in memory.
+/// On Unix, positioned reads/writes (`pread`/`pwrite`) need no locking at
+/// all; elsewhere a mutex serializes the seek+access pairs.
 pub struct FilePager {
     file: File,
     page_size: usize,
-    page_count: u32,
+    page_count: AtomicU32,
+    #[cfg(not(unix))]
+    io_lock: Mutex<()>,
 }
 
 impl FilePager {
@@ -78,7 +97,13 @@ impl FilePager {
             .create(true)
             .truncate(true)
             .open(path)?;
-        let mut pager = FilePager { file, page_size, page_count: 0 };
+        let pager = FilePager {
+            file,
+            page_size,
+            page_count: AtomicU32::new(0),
+            #[cfg(not(unix))]
+            io_lock: Mutex::new(()),
+        };
         pager.grow()?; // page 0 = meta
         Ok(pager)
     }
@@ -97,11 +122,17 @@ impl FilePager {
         if page_count == 0 {
             return Err(StorageError::Corrupt("file has no meta page".into()));
         }
-        Ok(FilePager { file, page_size, page_count })
+        Ok(FilePager {
+            file,
+            page_size,
+            page_count: AtomicU32::new(page_count),
+            #[cfg(not(unix))]
+            io_lock: Mutex::new(()),
+        })
     }
 
     fn offset(&self, id: PageId) -> Result<u64> {
-        if id.0 >= self.page_count {
+        if id.0 >= self.page_count.load(Ordering::Acquire) {
             return Err(StorageError::InvalidPage(id.0));
         }
         Ok(id.0 as u64 * self.page_size as u64)
@@ -114,7 +145,7 @@ impl Pager for FilePager {
     }
 
     fn page_count(&self) -> u32 {
-        self.page_count
+        self.page_count.load(Ordering::Acquire)
     }
 
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
@@ -127,6 +158,7 @@ impl Pager for FilePager {
         #[cfg(not(unix))]
         {
             use std::io::{Read, Seek, SeekFrom};
+            let _io = self.io_lock.lock().unwrap_or_else(|e| e.into_inner());
             let mut f = &self.file;
             f.seek(SeekFrom::Start(off))?;
             f.read_exact(buf)?;
@@ -134,7 +166,7 @@ impl Pager for FilePager {
         Ok(())
     }
 
-    fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), self.page_size);
         let off = self.offset(id)?;
         #[cfg(unix)]
@@ -144,6 +176,7 @@ impl Pager for FilePager {
         #[cfg(not(unix))]
         {
             use std::io::{Seek, SeekFrom, Write};
+            let _io = self.io_lock.lock().unwrap_or_else(|e| e.into_inner());
             let mut f = &self.file;
             f.seek(SeekFrom::Start(off))?;
             f.write_all(buf)?;
@@ -151,15 +184,16 @@ impl Pager for FilePager {
         Ok(())
     }
 
-    fn grow(&mut self) -> Result<PageId> {
-        let id = PageId(self.page_count);
-        let new_len = (self.page_count as u64 + 1) * self.page_size as u64;
+    fn grow(&self) -> Result<PageId> {
+        let count = self.page_count.load(Ordering::Acquire);
+        let id = PageId(count);
+        let new_len = (count as u64 + 1) * self.page_size as u64;
         self.file.set_len(new_len)?;
-        self.page_count += 1;
+        self.page_count.store(count + 1, Ordering::Release);
         Ok(id)
     }
 
-    fn sync(&mut self) -> Result<()> {
+    fn sync(&self) -> Result<()> {
         self.file.sync_data()?;
         Ok(())
     }
@@ -167,7 +201,7 @@ impl Pager for FilePager {
 
 /// An in-memory pager for tests and ephemeral indexes.
 pub struct MemPager {
-    pages: Vec<Box<[u8]>>,
+    pages: RwLock<Vec<Box<[u8]>>>,
     page_size: usize,
 }
 
@@ -175,7 +209,7 @@ impl MemPager {
     /// Creates an in-memory store with one zeroed meta page.
     pub fn new(page_size: usize) -> MemPager {
         assert!(page_size >= 128 && page_size.is_power_of_two(), "unreasonable page size");
-        let mut p = MemPager { pages: Vec::new(), page_size };
+        let p = MemPager { pages: RwLock::new(Vec::new()), page_size };
         p.grow().expect("in-memory grow cannot fail");
         p
     }
@@ -187,34 +221,31 @@ impl Pager for MemPager {
     }
 
     fn page_count(&self) -> u32 {
-        self.pages.len() as u32
+        self.pages.read().unwrap_or_else(|e| e.into_inner()).len() as u32
     }
 
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
-        let page = self
-            .pages
-            .get(id.0 as usize)
-            .ok_or(StorageError::InvalidPage(id.0))?;
+        let pages = self.pages.read().unwrap_or_else(|e| e.into_inner());
+        let page = pages.get(id.0 as usize).ok_or(StorageError::InvalidPage(id.0))?;
         buf.copy_from_slice(page);
         Ok(())
     }
 
-    fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
-        let page = self
-            .pages
-            .get_mut(id.0 as usize)
-            .ok_or(StorageError::InvalidPage(id.0))?;
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        let mut pages = self.pages.write().unwrap_or_else(|e| e.into_inner());
+        let page = pages.get_mut(id.0 as usize).ok_or(StorageError::InvalidPage(id.0))?;
         page.copy_from_slice(buf);
         Ok(())
     }
 
-    fn grow(&mut self) -> Result<PageId> {
-        let id = PageId(self.pages.len() as u32);
-        self.pages.push(vec![0u8; self.page_size].into_boxed_slice());
+    fn grow(&self) -> Result<PageId> {
+        let mut pages = self.pages.write().unwrap_or_else(|e| e.into_inner());
+        let id = PageId(pages.len() as u32);
+        pages.push(vec![0u8; self.page_size].into_boxed_slice());
         Ok(id)
     }
 
-    fn sync(&mut self) -> Result<()> {
+    fn sync(&self) -> Result<()> {
         Ok(())
     }
 }
@@ -223,7 +254,7 @@ impl Pager for MemPager {
 mod tests {
     use super::*;
 
-    fn roundtrip(pager: &mut dyn Pager) {
+    fn roundtrip(pager: &dyn Pager) {
         let ps = pager.page_size();
         let a = pager.grow().unwrap();
         let b = pager.grow().unwrap();
@@ -243,8 +274,8 @@ mod tests {
 
     #[test]
     fn mem_pager_roundtrip() {
-        let mut p = MemPager::new(256);
-        roundtrip(&mut p);
+        let p = MemPager::new(256);
+        roundtrip(&p);
         assert_eq!(p.page_count(), 3);
     }
 
@@ -254,8 +285,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("test.db");
         {
-            let mut p = FilePager::create(&path, 512).unwrap();
-            roundtrip(&mut p);
+            let p = FilePager::create(&path, 512).unwrap();
+            roundtrip(&p);
             p.sync().unwrap();
         }
         {
@@ -284,5 +315,33 @@ mod tests {
         assert_eq!(PageId::encode_opt(Some(PageId(7))), 7);
         assert_eq!(PageId::decode_opt(u32::MAX), None);
         assert_eq!(PageId::decode_opt(7), Some(PageId(7)));
+    }
+
+    #[test]
+    fn pagers_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FilePager>();
+        assert_send_sync::<MemPager>();
+        assert_send_sync::<Box<dyn Pager>>();
+    }
+
+    #[test]
+    fn concurrent_distinct_page_access() {
+        let p = MemPager::new(256);
+        let ids: Vec<PageId> = (0..8).map(|_| p.grow().unwrap()).collect();
+        std::thread::scope(|s| {
+            for (i, &id) in ids.iter().enumerate() {
+                let p = &p;
+                s.spawn(move || {
+                    let fill = (i + 1) as u8;
+                    for _ in 0..200 {
+                        p.write_page(id, &vec![fill; 256]).unwrap();
+                        let mut buf = vec![0u8; 256];
+                        p.read_page(id, &mut buf).unwrap();
+                        assert!(buf.iter().all(|&b| b == fill), "page {id:?} torn");
+                    }
+                });
+            }
+        });
     }
 }

@@ -42,6 +42,63 @@ impl IoStats {
     }
 }
 
+/// Lock-free counters maintained by the (now concurrent) buffer pool.
+///
+/// Increments use `Relaxed` ordering: the counters are statistics, not
+/// synchronization — readers only ever see them through [`snapshot`],
+/// which tolerates being a few increments behind in-flight operations on
+/// other threads. Measurement windows built from two snapshots around a
+/// single-threaded section are exact; around a concurrent section they
+/// bound the window's I/O (every operation lands in *some* overlapping
+/// window — see the differential concurrency tests).
+///
+/// [`snapshot`]: AtomicIoStats::snapshot
+#[derive(Debug, Default)]
+pub struct AtomicIoStats {
+    logical_reads: AtomicU64,
+    disk_reads: AtomicU64,
+    disk_writes: AtomicU64,
+    evictions: AtomicU64,
+}
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+impl AtomicIoStats {
+    pub fn record_logical_read(&self) {
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_disk_read(&self) {
+        self.disk_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_disk_write(&self) {
+        self.disk_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-value copy of the counters.
+    pub fn snapshot(&self) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            disk_reads: self.disk_reads.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        self.logical_reads.store(0, Ordering::Relaxed);
+        self.disk_reads.store(0, Ordering::Relaxed);
+        self.disk_writes.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,6 +109,26 @@ mod tests {
         assert_eq!(s.hit_ratio(), 1.0);
         let s = IoStats { logical_reads: 10, disk_reads: 5, ..Default::default() };
         assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atomic_stats_count_across_threads() {
+        let stats = AtomicIoStats::default();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        stats.record_logical_read();
+                        stats.record_disk_read();
+                    }
+                });
+            }
+        });
+        let snap = stats.snapshot();
+        assert_eq!(snap.logical_reads, 4000);
+        assert_eq!(snap.disk_reads, 4000);
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoStats::default());
     }
 
     #[test]

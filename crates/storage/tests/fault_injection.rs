@@ -22,7 +22,7 @@ fn faulty_file_env(path: &std::path::Path, config: FaultConfig) -> StorageEnv {
 
 /// Inserts `n` keys, returning the first error (the workload a crash
 /// interrupts).
-fn insert_workload(env: &mut StorageEnv, n: usize) -> xk_storage::Result<()> {
+fn insert_workload(env: &StorageEnv, n: usize) -> xk_storage::Result<()> {
     let tree = BTree::create(env, 0)?;
     for i in 0..n {
         let key = format!("key-{i:05}");
@@ -37,11 +37,11 @@ fn torn_write_mid_flush_is_rejected_on_reopen() {
     // Several crash points: early (meta-adjacent) through mid-flush.
     for torn_at in [1u64, 2, 4, 7] {
         let path = dir.join(format!("torn-{torn_at}.db"));
-        let mut env = faulty_file_env(
+        let env = faulty_file_env(
             &path,
             FaultConfig { torn_write_at: Some(torn_at), seed: torn_at, ..FaultConfig::none() },
         );
-        let result = insert_workload(&mut env, 300);
+        let result = insert_workload(&env, 300);
         assert!(result.is_err(), "torn write at op {torn_at} must surface");
         drop(env); // drop-flush also fails; must not panic
 
@@ -65,8 +65,8 @@ fn write_and_sync_failures_propagate_without_panicking() {
         ("sync", FaultConfig { fail_sync_at: Some(1), ..FaultConfig::none() }),
     ] {
         let path = dir.join(format!("{kind}.db"));
-        let mut env = faulty_file_env(&path, config);
-        let err = insert_workload(&mut env, 300).unwrap_err();
+        let env = faulty_file_env(&path, config);
+        let err = insert_workload(&env, 300).unwrap_err();
         assert!(err.to_string().contains("injected"), "{kind}: {err}");
     }
     std::fs::remove_dir_all(&dir).unwrap();
@@ -82,20 +82,20 @@ fn read_failures_surface_as_errors_never_panics() {
         // Read op 0 is the meta fetch during create.
         FaultConfig { fail_read_at: Some(1), ..FaultConfig::none() },
     );
-    let mut env = StorageEnv::create_with_pager(Box::new(fault), 4).unwrap();
-    if let Ok(tree) = BTree::create(&mut env, 0) {
+    let env = StorageEnv::create_with_pager(Box::new(fault), 4).unwrap();
+    if let Ok(tree) = BTree::create(&env, 0) {
         let mut saw_error = false;
         for i in 0..300 {
             // Ascending inserts ride the hot rightmost spine, so they may
             // well succeed from the pool alone; either way, no panics.
             let key = format!("key-{i:05}");
-            saw_error |= tree.insert(&mut env, key.as_bytes(), &[7u8; 24]).is_err();
+            saw_error |= tree.insert(&env, key.as_bytes(), &[7u8; 24]).is_err();
         }
         // Probing the *early* keys descends into long-evicted leaves,
         // which need the dead disk — these must error, not panic.
         for i in 0..300 {
             let key = format!("key-{i:05}");
-            saw_error |= tree.get(&mut env, key.as_bytes()).is_err();
+            saw_error |= tree.get(&env, key.as_bytes()).is_err();
         }
         assert!(saw_error, "a dead disk must surface read errors");
     }
@@ -111,8 +111,8 @@ fn identical_seeds_crash_identically() {
             Box::new(pager),
             FaultConfig { torn_write_at: Some(5), seed: 42, ..FaultConfig::none() },
         );
-        let mut env = StorageEnv::create_with_pager(Box::new(fault), 16).unwrap();
-        let err = insert_workload(&mut env, 300).unwrap_err().to_string();
+        let env = StorageEnv::create_with_pager(Box::new(fault), 16).unwrap();
+        let err = insert_workload(&env, 300).unwrap_err().to_string();
         drop(env);
         let len = std::fs::metadata(&path).unwrap().len();
         (err, len)
@@ -129,12 +129,12 @@ fn clean_shutdown_through_fault_pager_reopens_fine() {
     let dir = temp_dir("clean");
     let path = dir.join("clean.db");
     {
-        let mut env = faulty_file_env(&path, FaultConfig::none());
-        insert_workload(&mut env, 300).unwrap();
+        let env = faulty_file_env(&path, FaultConfig::none());
+        insert_workload(&env, 300).unwrap();
     }
-    let mut env = StorageEnv::open(&path, EnvOptions { page_size: 512, pool_pages: 16 })
+    let env = StorageEnv::open(&path, EnvOptions { page_size: 512, pool_pages: 16 })
         .expect("cleanly flushed file reopens");
-    let tree = BTree::open(&mut env, 0).unwrap();
-    assert_eq!(tree.get(&mut env, b"key-00042").unwrap(), Some(vec![42u8; 24]));
+    let tree = BTree::open(&env, 0).unwrap();
+    assert_eq!(tree.get(&env, b"key-00042").unwrap(), Some(vec![42u8; 24]));
     std::fs::remove_dir_all(&dir).unwrap();
 }

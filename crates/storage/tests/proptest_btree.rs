@@ -38,45 +38,45 @@ proptest! {
 
     #[test]
     fn btree_matches_std_btreemap(ops in proptest::collection::vec(op(), 1..300)) {
-        let mut env = StorageEnv::in_memory(EnvOptions { page_size: 256, pool_pages: 32 });
-        let tree = BTree::create(&mut env, 0).unwrap();
+        let env = StorageEnv::in_memory(EnvOptions { page_size: 256, pool_pages: 32 });
+        let tree = BTree::create(&env, 0).unwrap();
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
 
         for op in &ops {
             match op {
                 Op::Insert(k, v) => {
-                    let old = tree.insert(&mut env, k, v).unwrap();
+                    let old = tree.insert(&env, k, v).unwrap();
                     prop_assert_eq!(old, model.insert(k.clone(), v.clone()));
                 }
                 Op::Remove(k) => {
-                    let old = tree.remove(&mut env, k).unwrap();
+                    let old = tree.remove(&env, k).unwrap();
                     prop_assert_eq!(old, model.remove(k));
                 }
                 Op::Get(k) => {
-                    prop_assert_eq!(tree.get(&mut env, k).unwrap(), model.get(k).cloned());
+                    prop_assert_eq!(tree.get(&env, k).unwrap(), model.get(k).cloned());
                 }
                 Op::SeekGe(k) => {
-                    let got = tree.seek_ge(&mut env, k).unwrap().read(&mut env).unwrap();
+                    let got = tree.seek_ge(&env, k).unwrap().read(&env).unwrap();
                     let want = model.range::<Vec<u8>, _>(k.clone()..).next()
                         .map(|(k, v)| (k.clone(), v.clone()));
                     prop_assert_eq!(got, want);
                 }
                 Op::SeekLe(k) => {
-                    let got = tree.seek_le(&mut env, k).unwrap().read(&mut env).unwrap();
+                    let got = tree.seek_le(&env, k).unwrap().read(&env).unwrap();
                     let want = model.range::<Vec<u8>, _>(..=k.clone()).next_back()
                         .map(|(k, v)| (k.clone(), v.clone()));
                     prop_assert_eq!(got, want);
                 }
             }
         }
-        tree.check_invariants(&mut env).unwrap();
+        tree.check_invariants(&env).unwrap();
 
         // Full forward scan equals the model's ordered contents.
-        let mut c = tree.cursor_first(&mut env).unwrap();
+        let mut c = tree.cursor_first(&env).unwrap();
         let mut scanned = Vec::new();
-        while let Some(e) = c.read(&mut env).unwrap() {
+        while let Some(e) = c.read(&env).unwrap() {
             scanned.push(e);
-            c.advance(&mut env).unwrap();
+            c.advance(&env).unwrap();
         }
         let expected: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         prop_assert_eq!(scanned, expected);
@@ -86,17 +86,17 @@ proptest! {
     fn btree_bulk_then_drain(keys in proptest::collection::btree_set(
         proptest::collection::vec(any::<u8>(), 0..10), 1..400))
     {
-        let mut env = StorageEnv::in_memory(EnvOptions { page_size: 256, pool_pages: 16 });
-        let tree = BTree::create(&mut env, 0).unwrap();
+        let env = StorageEnv::in_memory(EnvOptions { page_size: 256, pool_pages: 16 });
+        let tree = BTree::create(&env, 0).unwrap();
         for k in &keys {
-            tree.insert(&mut env, k, b"v").unwrap();
+            tree.insert(&env, k, b"v").unwrap();
         }
-        tree.check_invariants(&mut env).unwrap();
-        prop_assert_eq!(tree.len(&mut env).unwrap(), keys.len() as u64);
+        tree.check_invariants(&env).unwrap();
+        prop_assert_eq!(tree.len(&env).unwrap(), keys.len() as u64);
         for k in &keys {
-            prop_assert_eq!(tree.remove(&mut env, k).unwrap(), Some(b"v".to_vec()));
+            prop_assert_eq!(tree.remove(&env, k).unwrap(), Some(b"v".to_vec()));
         }
-        prop_assert!(tree.is_empty(&mut env).unwrap());
-        tree.check_invariants(&mut env).unwrap();
+        prop_assert!(tree.is_empty(&env).unwrap());
+        tree.check_invariants(&env).unwrap();
     }
 }

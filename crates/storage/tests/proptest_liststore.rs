@@ -17,20 +17,20 @@ proptest! {
         initial in records(),
         sessions in proptest::collection::vec(records(), 0..4),
     ) {
-        let mut env = StorageEnv::in_memory(EnvOptions { page_size: 128, pool_pages: 32 });
+        let env = StorageEnv::in_memory(EnvOptions { page_size: 128, pool_pages: 32 });
         let mut model: Vec<Vec<u8>> = Vec::new();
 
         let mut w = ListWriter::new(&env);
         for r in &initial {
-            w.append(&mut env, r).unwrap();
+            w.append(&env, r).unwrap();
             model.push(r.clone());
         }
-        let mut handle = w.finish(&mut env).unwrap();
+        let mut handle = w.finish(&env).unwrap();
 
         for session in &sessions {
-            let mut a = ListAppender::open(&mut env, handle).unwrap();
+            let mut a = ListAppender::open(&env, handle).unwrap();
             for r in session {
-                a.append(&mut env, r).unwrap();
+                a.append(&env, r).unwrap();
                 model.push(r.clone());
             }
             handle = a.finish();
@@ -39,16 +39,16 @@ proptest! {
         prop_assert_eq!(handle.entry_count, model.len() as u64);
         let mut reader = ListReader::new(&handle);
         for expect in &model {
-            let got = reader.next_record(&mut env).unwrap();
+            let got = reader.next_record(&env).unwrap();
             prop_assert_eq!(got.as_ref(), Some(expect));
         }
-        prop_assert_eq!(reader.next_record(&mut env).unwrap(), None);
+        prop_assert_eq!(reader.next_record(&env).unwrap(), None);
 
         // A second pass after dropping the cache reads the same bytes.
         env.clear_cache().unwrap();
         let mut reader = ListReader::new(&handle);
         let mut n = 0;
-        while let Some(r) = reader.next_record(&mut env).unwrap() {
+        while let Some(r) = reader.next_record(&env).unwrap() {
             prop_assert_eq!(&r, &model[n]);
             n += 1;
         }

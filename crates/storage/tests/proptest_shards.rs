@@ -1,0 +1,137 @@
+//! Property test for the sharded buffer pool: arbitrary interleavings of
+//! page reads and cache drops from several threads — over a fault
+//! injector that can fail reads at any moment — must never panic, must
+//! surface failures only as typed [`StorageError`]s, and must always
+//! return pages byte-identical to a single-shard (unsharded) oracle
+//! environment holding the same data.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use xk_storage::{
+    EnvOptions, FaultConfig, FaultPager, MemPager, PageId, StorageEnv, StorageError,
+};
+
+const PAGE_SIZE: usize = 256;
+
+/// splitmix64: each thread derives its own deterministic op stream from
+/// the proptest-provided seed, while the *interleaving* across threads
+/// stays up to the scheduler — which is exactly what the test probes.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Allocates `npages` pages in `env` with seeded, per-page contents and
+/// flushes them to the backing store. Allocation order is deterministic,
+/// so two envs fed the same arguments hold identical page ids and bytes.
+fn populate(env: &StorageEnv, npages: usize, seed: u64) -> Vec<PageId> {
+    let mut ids = Vec::with_capacity(npages);
+    for p in 0..npages {
+        let id = env.allocate_page().unwrap();
+        let mut rng = seed ^ (p as u64).wrapping_mul(0x9E37_79B9);
+        env.with_page_mut(id, |bytes| {
+            for b in bytes.iter_mut() {
+                *b = splitmix64(&mut rng) as u8;
+            }
+        })
+        .unwrap();
+        ids.push(id);
+    }
+    env.flush().unwrap();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_pool_matches_unsharded_oracle(
+        seed in any::<u64>(),
+        npages in 4usize..32,
+        threads in 2usize..5,
+        ops_per_thread in 20usize..120,
+    ) {
+        // Oracle: pool of 8 pages resolves to a single shard — the
+        // pre-sharding behaviour. Subject: pool of 64 pages → 8 shards,
+        // small enough that reads constantly evict across shards.
+        let oracle = StorageEnv::in_memory(EnvOptions {
+            page_size: PAGE_SIZE,
+            pool_pages: 8,
+        });
+        prop_assert_eq!(oracle.shard_count(), 1);
+
+        let fault = FaultPager::new(Box::new(MemPager::new(PAGE_SIZE)), FaultConfig::none());
+        let probe = fault.probe();
+        let subject = StorageEnv::create_with_pager(Box::new(fault), 64).unwrap();
+        prop_assert_eq!(subject.shard_count(), 8);
+
+        let oracle_ids = populate(&oracle, npages, seed);
+        let subject_ids = populate(&subject, npages, seed);
+        prop_assert_eq!(&oracle_ids, &subject_ids);
+        let expected: Vec<Vec<u8>> = oracle_ids
+            .iter()
+            .map(|id| oracle.read_page_copy(*id).unwrap())
+            .collect();
+
+        // Concurrent phase: every thread interleaves page reads, cache
+        // drops, and the occasional one-shot read fault armed mid-run.
+        let injected = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let subject = &subject;
+                let probe = &probe;
+                let expected = &expected;
+                let ids = &subject_ids;
+                let injected = &injected;
+                s.spawn(move || {
+                    let mut rng = seed ^ (t as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+                    for _ in 0..ops_per_thread {
+                        let r = splitmix64(&mut rng);
+                        if r.is_multiple_of(13) {
+                            // Dropping the cache only writes (dirty pages)
+                            // and we never dirty pages here, so it cannot
+                            // hit an armed *read* fault.
+                            subject.clear_cache().unwrap();
+                            continue;
+                        }
+                        if r.is_multiple_of(17) {
+                            probe.arm_read_fault();
+                            injected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let i = (r % ids.len() as u64) as usize;
+                        match subject.with_page(ids[i], |bytes| bytes.to_vec()) {
+                            Ok(bytes) => assert_eq!(
+                                bytes, expected[i],
+                                "page {:?} bytes diverged from the unsharded oracle",
+                                ids[i]
+                            ),
+                            // An injected fault surfaces as a typed I/O
+                            // error; anything else is a real defect.
+                            Err(StorageError::Io(_)) => {}
+                            Err(other) => panic!("unexpected error kind: {other}"),
+                        }
+                    }
+                });
+            }
+        });
+
+        // Drain faults that were armed but never consumed (every read
+        // after the last arm may have been a cache hit), then a sequential
+        // cold sweep must read every page back byte-identical.
+        let mut budget = injected.load(Ordering::Relaxed) + 1;
+        while probe.pending_read_faults() > 0 && budget > 0 {
+            subject.clear_cache().unwrap();
+            let _ = subject.with_page(subject_ids[0], |_| ());
+            budget -= 1;
+        }
+        prop_assert_eq!(probe.pending_read_faults(), 0);
+        subject.clear_cache().unwrap();
+        for (i, id) in subject_ids.iter().enumerate() {
+            let bytes = subject.read_page_copy(*id).unwrap();
+            prop_assert_eq!(&bytes, &expected[i], "post-run sweep of page {:?}", id);
+        }
+    }
+}

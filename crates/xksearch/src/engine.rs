@@ -111,11 +111,11 @@ impl Engine {
         // A stale temp file from a killed build is dead weight: replace it.
         let _ = std::fs::remove_file(&tmp);
         let built = (|| -> Result<()> {
-            let mut env = StorageEnv::create(&tmp, options.clone())?;
+            let env = StorageEnv::create(&tmp, options.clone())?;
             // Default build options leave level-table headroom so the
             // index accepts incremental appends ([`Engine::append_subtree`]).
             build_disk_index_with(
-                &mut env,
+                &env,
                 tree,
                 &xk_index::BuildOptions { store_document, ..Default::default() },
             )?;
@@ -133,8 +133,8 @@ impl Engine {
 
     /// Builds an index for `tree` fully in memory (tests, small data).
     pub fn build_in_memory(tree: &XmlTree, options: EnvOptions) -> Result<Engine> {
-        let mut env = StorageEnv::in_memory(options);
-        build_disk_index_with(&mut env, tree, &xk_index::BuildOptions::default())?;
+        let env = StorageEnv::in_memory(options);
+        build_disk_index_with(&env, tree, &xk_index::BuildOptions::default())?;
         Self::from_env(env)
     }
 
@@ -144,8 +144,13 @@ impl Engine {
         Self::from_env(env)
     }
 
-    fn from_env(mut env: StorageEnv) -> Result<Engine> {
-        let index = DiskIndex::open(&mut env)?;
+    /// Wraps an already-constructed storage environment (tests and tools
+    /// that build their index over a custom [`Pager`], e.g. a fault
+    /// injector). The environment must already hold a built index.
+    ///
+    /// [`Pager`]: xk_storage::Pager
+    pub fn from_env(env: StorageEnv) -> Result<Engine> {
+        let index = DiskIndex::open(&env)?;
         Ok(Engine { env: SharedEnv::new(env), index, document: None })
     }
 
@@ -156,7 +161,7 @@ impl Engine {
 
     /// Runs `f` against the storage environment (for cache control and
     /// I/O statistics in experiments).
-    pub fn with_env<R>(&self, f: impl FnOnce(&mut StorageEnv) -> R) -> R {
+    pub fn with_env<R>(&self, f: impl FnOnce(&StorageEnv) -> R) -> R {
         self.env.with(f)
     }
 
@@ -220,9 +225,17 @@ impl Engine {
     }
 
     /// Answers a keyword query with the chosen algorithm.
+    ///
+    /// Safe to call from several threads at once (`&self`): each query
+    /// runs on a [`SharedEnv::fork`] with its own poison slot, so a
+    /// storage failure in one query errors out exactly that query. The
+    /// reported [`QueryOutcome::io`] delta is exact when the engine is
+    /// quiescent otherwise; concurrent queries share the global counters,
+    /// so each delta then *bounds* the query's own I/O.
     pub fn query(&self, keywords: &[&str], algorithm: Algorithm) -> Result<QueryOutcome> {
+        let qenv = self.env.fork();
         let start = Instant::now();
-        let io_before = self.env.with(|e| e.stats());
+        let io_before = qenv.with(|e| e.stats());
         let Some((ordered, frequencies)) = self.prepare(keywords)? else {
             return Ok(QueryOutcome {
                 slcas: Vec::new(),
@@ -241,13 +254,13 @@ impl Engine {
             Algorithm::IndexedLookupEager => {
                 let mut s1 = self
                     .index
-                    .stream_list(self.env.clone(), &ordered[0])
+                    .stream_list(qenv.clone(), &ordered[0])
                     .expect("keyword verified present");
                 let mut others: Vec<_> = ordered[1..]
                     .iter()
                     .map(|k| {
                         self.index
-                            .ranked_list(self.env.clone(), k)
+                            .ranked_list(qenv.clone(), k)
                             .expect("keyword verified present")
                     })
                     .collect();
@@ -258,13 +271,13 @@ impl Engine {
             Algorithm::ScanEager => {
                 let mut s1 = self
                     .index
-                    .stream_list(self.env.clone(), &ordered[0])
+                    .stream_list(qenv.clone(), &ordered[0])
                     .expect("keyword verified present");
                 let others: Vec<_> = ordered[1..]
                     .iter()
                     .map(|k| {
                         self.index
-                            .stream_list(self.env.clone(), k)
+                            .stream_list(qenv.clone(), k)
                             .expect("keyword verified present")
                     })
                     .collect();
@@ -275,7 +288,7 @@ impl Engine {
                     .iter()
                     .map(|k| {
                         self.index
-                            .stream_list(self.env.clone(), k)
+                            .stream_list(qenv.clone(), k)
                             .expect("keyword verified present")
                     })
                     .collect();
@@ -286,11 +299,11 @@ impl Engine {
         // The list traits are infallible, so disk adapters report storage
         // failures by poisoning the shared env; a poisoned run produced a
         // truncated (wrong) answer and must error out instead.
-        if let Some(e) = self.env.take_error() {
+        if let Some(e) = qenv.take_error() {
             return Err(e.into());
         }
 
-        let io = self.env.with(|e| e.stats()).delta_since(&io_before);
+        let io = qenv.with(|e| e.stats()).delta_since(&io_before);
         Ok(QueryOutcome {
             slcas,
             algorithm,
@@ -304,8 +317,9 @@ impl Engine {
 
     /// Answers an all-LCA query (Section 5, Algorithm 3).
     pub fn query_all_lcas(&self, keywords: &[&str]) -> Result<LcaOutcome> {
+        let qenv = self.env.fork();
         let start = Instant::now();
-        let io_before = self.env.with(|e| e.stats());
+        let io_before = qenv.with(|e| e.stats());
         let Some((ordered, _)) = self.prepare(keywords)? else {
             return Ok(LcaOutcome {
                 lcas: Vec::new(),
@@ -317,13 +331,13 @@ impl Engine {
         };
         let mut s1 = self
             .index
-            .stream_list(self.env.clone(), &ordered[0])
+            .stream_list(qenv.clone(), &ordered[0])
             .expect("keyword verified present");
         let mut owned: Vec<_> = ordered
             .iter()
             .map(|k| {
                 self.index
-                    .ranked_list(self.env.clone(), k)
+                    .ranked_list(qenv.clone(), k)
                     .expect("keyword verified present")
             })
             .collect();
@@ -331,12 +345,63 @@ impl Engine {
             owned.iter_mut().map(|l| l as &mut dyn RankedList).collect();
         let mut lcas = Vec::new();
         let stats = all_lcas(&mut s1, &mut refs, |d, k| lcas.push((d, k)));
-        if let Some(e) = self.env.take_error() {
+        if let Some(e) = qenv.take_error() {
             return Err(e.into());
         }
         lcas.sort_by(|a, b| a.0.cmp(&b.0));
-        let io = self.env.with(|e| e.stats()).delta_since(&io_before);
+        let io = qenv.with(|e| e.stats()).delta_since(&io_before);
         Ok(LcaOutcome { lcas, keywords: ordered, stats, io, elapsed: start.elapsed() })
+    }
+
+    /// Answers a batch of keyword queries, fanning them out across
+    /// `threads` worker threads (1 = run on the caller's thread).
+    ///
+    /// Results come back in input order, one `Result` per query: a
+    /// storage failure mid-query fails exactly that query (per-query
+    /// poison slots, see [`SharedEnv::fork`]) while the rest of the batch
+    /// completes normally. Workers claim queries from a shared atomic
+    /// counter, so an expensive query does not stall the queue behind it.
+    pub fn query_batch(
+        &self,
+        queries: &[Vec<String>],
+        algorithm: Algorithm,
+        threads: usize,
+    ) -> Vec<Result<QueryOutcome>> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        let workers = threads.clamp(1, queries.len().max(1));
+        if workers == 1 {
+            return queries
+                .iter()
+                .map(|q| {
+                    let refs: Vec<&str> = q.iter().map(|s| s.as_str()).collect();
+                    self.query(&refs, algorithm)
+                })
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<QueryOutcome>>>> =
+            queries.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(q) = queries.get(i) else { break };
+                    let refs: Vec<&str> = q.iter().map(|s| s.as_str()).collect();
+                    let outcome = self.query(&refs, algorithm);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("every query index was claimed by a worker")
+            })
+            .collect()
     }
 
     /// The indexed document, loaded lazily from the index file. Errors if
@@ -600,6 +665,36 @@ mod tests {
         let xml = e.render_subtree(&out.slcas[0]).unwrap();
         assert!(xml.contains("John") && xml.contains("Ben"), "{xml}");
         assert!(xml.starts_with("<class>"));
+    }
+
+    #[test]
+    fn engine_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<xk_index::DiskIndex>();
+        assert_send_sync::<xk_index::SharedEnv>();
+    }
+
+    #[test]
+    fn query_batch_matches_sequential() {
+        let e = engine();
+        let queries: Vec<Vec<String>> = vec![
+            vec!["john".into(), "ben".into()],
+            vec!["john".into()],
+            vec!["ben".into(), "project".into()],
+            vec!["zzzz".into()],
+            vec!["john".into(), "ben".into(), "class".into()],
+        ];
+        let sequential = e.query_batch(&queries, Algorithm::Auto, 1);
+        let parallel = e.query_batch(&queries, Algorithm::Auto, 4);
+        assert_eq!(sequential.len(), parallel.len());
+        for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+            let s = s.as_ref().unwrap();
+            let p = p.as_ref().unwrap();
+            assert_eq!(s.slcas, p.slcas, "query {i}");
+            assert_eq!(s.algorithm, p.algorithm, "query {i}");
+            assert_eq!(s.keywords, p.keywords, "query {i}");
+        }
     }
 
     #[test]

@@ -88,8 +88,8 @@ fn crashed_build_leaves_an_unopenable_file() {
             Box::new(pager),
             FaultConfig { torn_write_at: Some(torn_at), seed: torn_at, ..FaultConfig::none() },
         );
-        let mut env = StorageEnv::create_with_pager(Box::new(fault), 64).unwrap();
-        let result = xk_index::build_disk_index(&mut env, &school_example(), true);
+        let env = StorageEnv::create_with_pager(Box::new(fault), 64).unwrap();
+        let result = xk_index::build_disk_index(&env, &school_example(), true);
         assert!(result.is_err(), "build over a crashing disk must fail (torn at {torn_at})");
         drop(env);
 
@@ -120,8 +120,8 @@ fn engine_build_is_atomic_at_the_final_path() {
     assert!(path.exists());
 
     // The final file is a healthy, verifiable index.
-    let mut env = StorageEnv::open(&path, opts.clone()).unwrap();
-    let report = xk_index::verify_index(&mut env);
+    let env = StorageEnv::open(&path, opts.clone()).unwrap();
+    let report = xk_index::verify_index(&env);
     assert!(report.is_ok(), "issues: {:?}", report.issues);
     drop(env);
 

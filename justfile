@@ -12,6 +12,21 @@ test:
 lint:
     cargo clippy --all-targets -- -D warnings
 
+# The differential & concurrency suite in isolation: parallel-vs-serial
+# equivalence, the sharded-pool property test, fault poisoning, and the
+# storage/engine unit tests that spin up threads.
+test-concurrent:
+    cargo test -q --test concurrent_e2e
+    cargo test -q -p xk-storage --test proptest_shards
+    cargo test -q -p xk-storage --test fault_injection
+    cargo test -q -p xk-storage concurrent
+    cargo test -q -p xksearch query_batch
+
+# Throughput at 1/2/4/8 query threads, hot and cold cache, into
+# results/concurrency_scaling.csv (quick corpus; drop --quick for full).
+bench-concurrent:
+    cargo run --release -p xk-bench --bin concurrency_scaling -- --quick
+
 # Regenerate the paper's evaluation artifacts into results/.
 figures:
     cargo run --release -p xk-bench --bin figures -- all

@@ -1,0 +1,130 @@
+//! Cross-algorithm equivalence corpus: every SLCA algorithm the engine
+//! ships — Indexed Lookup Eager, Scan Eager, Stack, and an SLCA set
+//! derived from the all-LCAs pass — must agree query-for-query across a
+//! table of workload classes (skewed, balanced, disjoint-subtree,
+//! single-keyword, absent-keyword, three-keyword). A second test pins the
+//! `Algorithm::Auto` dispatch exactly at the frequency-ratio threshold:
+//! ratio 15 scans, 16 and 17 use indexed lookup.
+
+use xk_slca::LcaKind;
+use xk_storage::EnvOptions;
+use xk_workload::{generate, planted_for_classes, DblpSpec, FrequencyClass, Planted};
+use xk_xmltree::Dewey;
+use xksearch::{Algorithm, Engine, AUTO_RATIO_THRESHOLD};
+
+fn opts() -> EnvOptions {
+    EnvOptions { page_size: 512, pool_pages: 128 }
+}
+
+/// SLCAs derived from the engine's *all LCAs* pass, independently of its
+/// smallest/ancestor tagging: keep exactly the LCAs with no other LCA in
+/// a strict subtree. Cross-checked against the engine's own tags.
+fn slcas_from_all_lcas(engine: &Engine, query: &[&str]) -> Vec<Dewey> {
+    let out = engine.query_all_lcas(query).unwrap();
+    let nodes: Vec<Dewey> = out.lcas.iter().map(|(n, _)| n.clone()).collect();
+    let derived: Vec<Dewey> = nodes
+        .iter()
+        .filter(|n| !nodes.iter().any(|m| n.is_ancestor_of(m)))
+        .cloned()
+        .collect();
+    let tagged: Vec<Dewey> = out
+        .lcas
+        .iter()
+        .filter(|(_, k)| *k == LcaKind::Smallest)
+        .map(|(n, _)| n.clone())
+        .collect();
+    assert_eq!(derived, tagged, "LCA tagging disagrees with subtree minimality for {query:?}");
+    derived
+}
+
+/// One corpus, many workload classes: frequency classes at 4, 60, and
+/// 900 occurrences give skews from 1:1 up to 225:1, crossing the Auto
+/// threshold in both directions.
+#[test]
+fn all_algorithms_agree_across_workload_classes() {
+    let rare = FrequencyClass::new(4, 2);
+    let mid = FrequencyClass::new(60, 2);
+    let common = FrequencyClass::new(900, 2);
+    let spec = DblpSpec {
+        papers: 2_500,
+        planted: planted_for_classes(&[rare.clone(), mid.clone(), common.clone()]),
+        ..DblpSpec::small()
+    };
+    let tree = generate(&spec);
+    let engine = Engine::build_in_memory(&tree, opts()).unwrap();
+
+    fn k(c: &FrequencyClass, i: usize) -> &str {
+        c.keywords[i].as_str()
+    }
+    // (class label, query) — the label only feeds assertion messages.
+    let table: Vec<(&str, Vec<&str>)> = vec![
+        ("skewed 225:1", vec![k(&rare, 0), k(&common, 0)]),
+        ("skewed 15:1", vec![k(&rare, 1), k(&mid, 0)]),
+        ("balanced same-class", vec![k(&mid, 0), k(&mid, 1)]),
+        ("balanced common", vec![k(&common, 0), k(&common, 1)]),
+        ("three keywords", vec![k(&rare, 0), k(&mid, 1), k(&common, 1)]),
+        ("single keyword", vec![k(&rare, 0)]),
+        ("structural + planted", vec!["inproceedings", k(&rare, 1)]),
+        ("absent keyword", vec![k(&common, 0), "nosuchtoken"]),
+    ];
+
+    for (label, query) in &table {
+        let reference = slcas_from_all_lcas(&engine, query);
+        for algo in [Algorithm::IndexedLookupEager, Algorithm::ScanEager, Algorithm::Stack] {
+            let out = engine.query(query, algo).unwrap();
+            assert_eq!(
+                out.slcas, reference,
+                "workload class {label:?}: {algo} disagrees with the all-LCAs derivation"
+            );
+        }
+        // Auto must agree too, whatever it resolves to.
+        let auto = engine.query(query, Algorithm::Auto).unwrap();
+        assert_eq!(auto.slcas, reference, "workload class {label:?}: Auto result diverged");
+        assert_ne!(auto.algorithm, Algorithm::Auto, "Auto must resolve to a concrete algorithm");
+    }
+}
+
+/// The threshold is `max/min >= AUTO_RATIO_THRESHOLD` with integer
+/// division: plant exact frequencies so the ratio lands on 15, 16, and
+/// 17 and check which side of the boundary each falls on.
+#[test]
+fn auto_dispatch_is_pinned_at_the_ratio_boundary() {
+    assert_eq!(AUTO_RATIO_THRESHOLD, 16, "test table below assumes the paper's threshold");
+    let spec = DblpSpec {
+        papers: 600,
+        planted: vec![
+            Planted { keyword: "solo".into(), frequency: 1 },
+            Planted { keyword: "fifteen".into(), frequency: 15 },
+            Planted { keyword: "sixteen".into(), frequency: 16 },
+            Planted { keyword: "seventeen".into(), frequency: 17 },
+        ],
+        ..DblpSpec::small()
+    };
+    let tree = generate(&spec);
+    let engine = Engine::build_in_memory(&tree, opts()).unwrap();
+    for (word, freq) in [("fifteen", 15), ("sixteen", 16), ("seventeen", 17)] {
+        assert_eq!(engine.index().frequency(word), freq, "planted frequency drifted");
+    }
+
+    let cases = [
+        ("fifteen", 15u64, Algorithm::ScanEager),          // 15 < 16
+        ("sixteen", 16, Algorithm::IndexedLookupEager),    // boundary is inclusive
+        ("seventeen", 17, Algorithm::IndexedLookupEager),  // 17 >= 16
+    ];
+    for (word, ratio, expected) in cases {
+        let out = engine.query(&["solo", word], Algorithm::Auto).unwrap();
+        assert_eq!(
+            out.algorithm, expected,
+            "ratio {ratio}:1 must dispatch to {expected}, got {}",
+            out.algorithm
+        );
+        // And the dispatch choice never changes the answer.
+        for algo in [Algorithm::IndexedLookupEager, Algorithm::ScanEager, Algorithm::Stack] {
+            assert_eq!(
+                engine.query(&["solo", word], algo).unwrap().slcas,
+                out.slcas,
+                "ratio {ratio}:1: {algo} disagrees with the Auto-dispatched answer"
+            );
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Offline stand-in for the subset of the `criterion` crate this
+//! workspace uses. It runs real timed iterations and reports
+//! median / mean wall-clock per iteration, but performs no statistical
+//! analysis, saves no baselines, and renders no HTML — it exists so
+//! `cargo bench` works in a registry-less environment.
+//!
+//! Iteration counts: each benchmark is warmed up briefly, then run for
+//! `sample_size` samples (default 10) of an adaptively chosen batch size
+//! targeting a few milliseconds per sample.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Mirrors `criterion::Throughput` — echoed in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Mirrors `criterion::BenchmarkId::new(name, parameter)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark name in `bench_function`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the routine.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch sizing: aim for samples of ≥ ~2ms so timer
+        // resolution noise stays below a percent.
+        let mut batch = 1u64;
+        let batch_target = Duration::from_millis(2);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= batch_target || batch >= 1 << 20 {
+                break;
+            }
+            batch = if took.is_zero() {
+                batch * 16
+            } else {
+                (batch * 2).max((batch_target.as_nanos() / took.as_nanos().max(1)) as u64 * batch)
+            };
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let mibps = b as f64 / median.as_secs_f64() / (1024.0 * 1024.0);
+            format!("  {mibps:10.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / median.as_secs_f64();
+            format!("  {eps:10.0} elem/s")
+        }
+        None => String::new(),
+    };
+    println!("{name:<50} median {median:>10.2?}  mean {mean:>10.2?}{rate}");
+}
+
+/// A named group of benchmarks sharing sample-size / throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<ID, F>(&mut self, id: ID, mut f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut samples = Vec::new();
+        f(&mut Bencher { samples: &mut samples, sample_size: self.sample_size });
+        report(&full, &mut samples, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        I: ?Sized,
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench -- <filter>` passes harness flags plus an optional
+        // substring filter; accept and ignore the flags criterion accepts.
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "--verbose" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        BenchmarkGroup { criterion: self, name, sample_size: 10, throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if self.matches(name) {
+            let mut samples = Vec::new();
+            f(&mut Bencher { samples: &mut samples, sample_size: 10 });
+            report(name, &mut samples, None);
+        }
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_sum(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function(BenchmarkId::new("sum", 100), |b| {
+            b.iter(|| (0u64..100).sum::<u64>())
+        });
+        group.bench_with_input("sum_input", &50u64, |b, &n| {
+            b.iter(|| (0u64..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion { filter: None };
+        bench_sum(&mut c);
+        c.bench_function("top_level", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,717 @@
+//! Offline stand-in for the subset of the `proptest` crate this
+//! workspace uses.
+//!
+//! Each `proptest!` test derives a deterministic base seed from its own
+//! name (override with `PROPTEST_SEED=<u64>`), then runs
+//! `ProptestConfig::cases` cases (override with `PROPTEST_CASES=<n>`),
+//! case `i` using seed `base + i`. A failing case panics with the case
+//! number and seed so it can be replayed exactly; there is **no input
+//! shrinking** — keep generators small enough that raw failing inputs
+//! are readable.
+//!
+//! Supported strategy surface: integer ranges (`a..b`, `a..=b`, `a..`),
+//! tuples up to 4, `Just`, `any::<u8|u16|u32|u64|usize|bool|sample::Index>()`,
+//! `collection::{vec, btree_set}`, `sample::{select, Index}`,
+//! `prop_map` / `prop_flat_map` / `boxed`, `prop_oneof!`, and the string
+//! "regex" strategy limited to the `.{m,n}` shape (arbitrary text of
+//! bounded length) that this repository uses.
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+pub mod test_runner {
+    //! Deterministic case runner: config, RNG, and error plumbing used by
+    //! the [`proptest!`](crate::proptest) macro expansion.
+
+    /// Mirror of `proptest::test_runner::Config` for the knobs we use.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    /// The alias the prelude exports.
+    pub type ProptestConfig = Config;
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Effective case count: `PROPTEST_CASES` overrides the config.
+    pub fn effective_cases(config: &Config) -> u32 {
+        match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()) {
+            Some(n) => n,
+            None => config.cases,
+        }
+    }
+
+    /// Base seed for a test: `PROPTEST_SEED` if set, else an FNV-1a hash
+    /// of the test name — stable across runs and across machines.
+    pub fn base_seed(test_name: &str) -> u64 {
+        if let Some(seed) = std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse().ok()) {
+            return seed;
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// splitmix64-based deterministic RNG driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed ^ 0x6A09_E667_F3BC_C909 }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    /// A failed `prop_assert*!` — carried as an error so the macro can
+    /// attach the case number and seed before panicking.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: String) -> TestCaseError {
+            TestCaseError { message }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A source of values for one generated test-case input.
+///
+/// Unlike the real proptest there is no value tree / shrinking; a
+/// strategy is just a deterministic function of the case RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: Box::new(self) }
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_flat_map` combinator: the outer value picks the inner strategy.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Object-safe strategy wrapper used by [`Strategy::boxed`] and
+/// [`Union`] (`prop_oneof!`).
+pub struct BoxedStrategy<V> {
+    inner: Box<dyn DynStrategy<V>>,
+}
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.inner.generate_dyn(rng)
+    }
+}
+
+/// `prop_oneof!`: uniform choice among boxed alternatives.
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128) - (lo as u128) + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span as u64) as $t
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (<$t>::MAX as u128) - (self.start as u128) + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                self.start + rng.below(span as u64) as $t
+            }
+        }
+    )*};
+}
+int_range_strategies!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// The only "regex" strategies this workspace uses are of the shape
+/// `.{m,n}` — arbitrary text with a bounded length. Parse exactly that;
+/// reject anything else loudly so a new call site knows to extend this.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (min, max) = parse_dot_repeat(self).unwrap_or_else(|| {
+            panic!(
+                "string strategy {self:?} unsupported by the vendored proptest \
+                 (only the `.{{m,n}}` shape is implemented)"
+            )
+        });
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        // A mix of ASCII, markup-significant characters, and multibyte
+        // code points — the shape that exercises an XML parser.
+        const ALPHABET: &[char] = &[
+            'a', 'b', 'z', 'A', '0', '9', ' ', '\t', '\n', '<', '>', '&', ';', '/', '=', '"',
+            '\'', '!', '-', '[', ']', '?', '.', 'é', 'ü', '✓', '中', '\u{7f}',
+        ];
+        (0..len).map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize]).collect()
+    }
+}
+
+/// Parse `.{m,n}` → `Some((m, n))`.
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (min, max) = rest.split_once(',')?;
+    Some((min.trim().parse().ok()?, max.trim().parse().ok()?))
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for the handful of types the workspace asks for.
+
+    use super::{test_runner::TestRng, Strategy};
+
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any { _marker: std::marker::PhantomData }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for super::sample::Index {
+        fn arbitrary_value(rng: &mut TestRng) -> super::sample::Index {
+            super::sample::Index::from_raw(rng.next_u64())
+        }
+    }
+}
+
+pub mod sample {
+    //! `prop::sample::{Index, select}`.
+
+    use super::{test_runner::TestRng, Strategy};
+
+    /// A deferred index: generated independently of any collection, then
+    /// projected onto one with [`Index::index`] / [`Index::get`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub(crate) fn from_raw(raw: u64) -> Index {
+            Index(raw)
+        }
+
+        /// Project onto `0..len`. Panics if `len == 0`, like the real one.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            ((self.0 as u128 * len as u128) >> 64) as usize
+        }
+
+        /// Project onto a slice.
+        pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+            &slice[self.index(slice.len())]
+        }
+    }
+
+    /// Uniform choice from a fixed set of values.
+    pub struct Select<T: Clone> {
+        values: Vec<T>,
+    }
+
+    pub fn select<T: Clone, V: Into<Vec<T>>>(values: V) -> Select<T> {
+        let values = values.into();
+        assert!(!values.is_empty(), "sample::select on empty collection");
+        Select { values }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.values[rng.below(self.values.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! `proptest::collection::{vec, btree_set}`.
+
+    use super::{test_runner::TestRng, Strategy};
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size bounds for generated collections (inclusive).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max - self.min + 1) as u64) as usize
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            // Duplicates don't extend the set; bound the attempts so a
+            // narrow element domain can't loop forever.
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(10) + 100 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// `proptest::prelude::*` — the import surface the tests use.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy_exports::*;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Re-exports under the `prop::` pseudo-namespace used by the prelude.
+pub mod prop {
+    pub use crate::{collection, sample};
+}
+
+mod strategy_exports {
+    pub use crate::{BoxedStrategy, Just, Strategy, Union};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left), stringify!($right), left, right, format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}\n {}",
+            stringify!($left), stringify!($right), left, format!($($fmt)*)
+        );
+    }};
+}
+
+/// The `proptest! { ... }` block: an optional `#![proptest_config(...)]`
+/// inner attribute followed by `#[test] fn name(pat in strategy, ...) { body }`
+/// items. Each expands to a plain `#[test]` running N deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let cases = $crate::test_runner::effective_cases(&config);
+            let base = $crate::test_runner::base_seed(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cases {
+                let seed = base.wrapping_add(case as u64);
+                let mut __proptest_rng = $crate::test_runner::TestRng::new(seed);
+                $(
+                    let $pat = $crate::Strategy::generate(
+                        &$strategy,
+                        &mut __proptest_rng,
+                    );
+                )+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {case}/{cases} failed (replay with PROPTEST_SEED={base}): {e}",
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Push(u8),
+        Pop,
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![(0u8..10).prop_map(Op::Push), Just(Op::Pop)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in 0usize..=4, z in 1u8..) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!(z >= 1);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in proptest::collection::vec(0u8..4, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()), "len {}", v.len());
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn ops_compose((ops, n) in (proptest::collection::vec(op(), 0..12), 0usize..3)) {
+            let mut depth = 0i32;
+            for o in &ops {
+                match o {
+                    Op::Push(_) => depth += 1,
+                    Op::Pop => depth -= 1,
+                }
+            }
+            prop_assert!(depth.unsigned_abs() as usize <= ops.len() + n);
+        }
+
+        #[test]
+        fn string_strategy_bounded(s in ".{0,20}") {
+            prop_assert!(s.chars().count() <= 20);
+        }
+
+        #[test]
+        fn index_and_select(idx in any::<prop::sample::Index>(),
+                            word in prop::sample::select(&["a", "b", "c"][..])) {
+            let v = [10, 20, 30, 40];
+            let picked = *idx.get(&v);
+            prop_assert!(v.contains(&picked));
+            prop_assert!(["a", "b", "c"].contains(&word));
+        }
+
+        #[test]
+        fn btree_set_dedups(s in proptest::collection::btree_set(0u8..5, 1..5)) {
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut rng1 = crate::test_runner::TestRng::new(9);
+        let mut rng2 = crate::test_runner::TestRng::new(9);
+        let s = proptest::collection::vec(0u64..1000, 5..6);
+        assert_eq!(s.generate(&mut rng1), s.generate(&mut rng2));
+    }
+
+    // Used by `determinism_across_runs` to mimic call-site paths.
+    mod proptest {
+        pub use crate::collection;
+    }
+}

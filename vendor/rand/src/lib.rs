@@ -1,0 +1,235 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace
+//! uses: a seedable deterministic generator (`rngs::StdRng`), the
+//! [`SeedableRng`] seeding entry point, and the [`RngExt`] convenience
+//! methods `random::<f64>()` / `random_range(range)`.
+//!
+//! The generator is xoshiro256++ seeded through splitmix64 — statistically
+//! solid for workload generation and property tests, deterministic for a
+//! given seed, and dependency-free. It does *not* reproduce the byte
+//! stream of the real `StdRng` (which is unspecified between `rand`
+//! versions anyway); nothing in this repository depends on the concrete
+//! stream, only on determinism.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding entry point, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, mirroring the `rand::Rng` extension
+/// methods this workspace calls. Implemented blanket-style for every
+/// [`RngCore`], and usable on unsized `R: RngExt + ?Sized` receivers.
+pub trait RngExt: RngCore {
+    /// Sample a value of a [`StandardSample`] type (`f64` in `[0, 1)`,
+    /// full-range integers, `bool`).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a half-open or inclusive integer range.
+    /// Panics on an empty range, like the real `rand`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: SampleRange<T>,
+    {
+        let (lo, hi_inclusive) = range.bounds_inclusive();
+        T::sample_between(lo, hi_inclusive, self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Types that can be drawn from the "standard" distribution.
+pub trait StandardSample {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer types that support uniform range sampling.
+pub trait UniformInt: Copy + PartialOrd {
+    fn sample_between<R: RngCore + ?Sized>(lo: Self, hi_inclusive: Self, rng: &mut R) -> Self;
+    fn step_down(self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_between<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo <= hi, "cannot sample empty range");
+                // Widening-multiply range reduction (Lemire); the bias for
+                // spans far below 2^64 is immeasurably small, which is all
+                // workload generation needs.
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                if span == 0 || span > u64::MAX as u128 {
+                    return rng.next_u64() as $t; // full span: raw draw is uniform
+                }
+                let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + off) as $t
+            }
+            fn step_down(self) -> $t {
+                self - 1
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges accepted by [`RngExt::random_range`].
+pub trait SampleRange<T: UniformInt> {
+    /// `(lo, hi)` with `hi` inclusive. Panics if the range is empty.
+    fn bounds_inclusive(self) -> (T, T);
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn bounds_inclusive(self) -> (T, T) {
+        assert!(self.start < self.end, "cannot sample empty range");
+        (self.start, self.end.step_down())
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn bounds_inclusive(self) -> (T, T) {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        (lo, hi)
+    }
+}
+
+/// splitmix64: used to expand a single `u64` seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator, the stand-in for
+    /// `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; splitmix64 cannot
+            // produce four zeros from any seed, but belt and braces:
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn determinism_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.random_range(0u64..1000)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.random_range(0u64..1000)).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(43);
+            (0..8).map(|_| r.random_range(0u64..1000)).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.random_range(5u32..=5);
+            assert_eq!(w, 5);
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unsized_receiver_compiles() {
+        fn draw<R: RngExt + ?Sized>(rng: &mut R) -> f64 {
+            rng.random()
+        }
+        let mut r = StdRng::seed_from_u64(1);
+        let _ = draw(&mut r);
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = StdRng::seed_from_u64(99);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[r.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c} out of range");
+        }
+    }
+}
