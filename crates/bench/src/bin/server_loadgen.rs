@@ -1,0 +1,276 @@
+//! HTTP load generator for `xkserve`: drives an in-process server over
+//! loopback with a Zipf-skewed query mix and measures end-to-end
+//! throughput with the result cache on and off.
+//!
+//! A pool of distinct two-keyword queries (one low-frequency, one
+//! mid-frequency keyword, the paper's Figure 8 workload shape) is drawn
+//! with [`QuerySampler`]; each request then picks its query by sampling a
+//! rank from [`Zipf`], so a few queries are hot and most are rare —
+//! exactly the regime where a result cache pays.
+//!
+//! Writes `results/server_throughput.csv` with one row per
+//! (cache, clients) point:
+//!
+//! ```text
+//! cache,clients,requests,ok,shed,errors,total_ms,requests_per_sec,cache_hits,cache_misses,hit_rate
+//! ```
+//!
+//! Usage: `server_loadgen [--smoke] [--full] [--requests N] [--pool N]`
+//!
+//! `--smoke` runs a CI-sized check against a tiny in-memory corpus: every
+//! request must be answered, one answer is differentially checked against
+//! a direct `Engine::query`, and the server must drain cleanly through
+//! the `/shutdown` endpoint. No CSV is written in smoke mode.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xk_bench::{corpus, Scale};
+use xk_server::{Server, ServerConfig};
+use xk_storage::EnvOptions;
+use xk_workload::{generate, planted_for_classes, DblpSpec, FrequencyClass, QuerySampler, Zipf};
+use xksearch::Engine;
+
+const CLIENT_POINTS: [usize; 4] = [1, 2, 4, 8];
+const ZIPF_SKEW: f64 = 1.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
+    let requests = flag_value(&args, "--requests").unwrap_or(match scale {
+        Scale::Full => 2_000,
+        Scale::Quick => 600,
+    });
+    let pool_size = flag_value(&args, "--pool").unwrap_or(32);
+    bench(scale, requests, pool_size);
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("{flag} takes a number")))
+}
+
+/// One blocking HTTP exchange; returns the status code, or an error if
+/// the connection failed or the response was unreadable.
+fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut s = TcpStream::connect(addr)?;
+    s.set_read_timeout(Some(Duration::from_secs(30)))?;
+    write!(s, "GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n")?;
+    let mut raw = String::new();
+    s.read_to_string(&mut raw)?;
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("no status line in {raw:?}")))?;
+    let body = raw.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    Ok((status, body))
+}
+
+/// Extracts `"key":<u64>` from a flat stretch of a JSON document.
+fn metric_u64(json: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat).unwrap_or_else(|| panic!("no {key} in {json}"));
+    json[at + pat.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {key} in {json}"))
+}
+
+/// The query pool: `pool_size` distinct two-keyword queries, each one
+/// low-frequency and one mid-frequency keyword, pre-rendered as
+/// `/query?kw=a+b` paths.
+fn query_pool(
+    classes: &[(usize, &FrequencyClass)],
+    pool_size: usize,
+    seed: u64,
+) -> Vec<String> {
+    let mut sampler = QuerySampler::new(seed);
+    let requirements: Vec<(&FrequencyClass, usize)> =
+        classes.iter().map(|(count, class)| (*class, *count)).collect();
+    (0..pool_size)
+        .map(|_| format!("/query?kw={}", sampler.sample(&requirements).join("+")))
+        .collect()
+}
+
+struct Point {
+    requests: usize,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    elapsed: Duration,
+}
+
+/// Fires `requests` Zipf-distributed requests at `addr` from `clients`
+/// concurrent connections-per-request clients.
+fn run_point(addr: SocketAddr, pool: &[String], clients: usize, requests: usize) -> Point {
+    let zipf = Zipf::new(pool.len(), ZIPF_SKEW);
+    let ok = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for client in 0..clients {
+            let zipf = &zipf;
+            let (ok, shed, errors) = (&ok, &shed, &errors);
+            // Split the request budget evenly, remainder to the low ids.
+            let share = requests / clients + usize::from(client < requests % clients);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xBEEF ^ (client as u64) << 17);
+                for _ in 0..share {
+                    let path = &pool[zipf.sample(&mut rng)];
+                    match http_get(addr, path) {
+                        Ok((200, _)) => ok.fetch_add(1, Ordering::Relaxed),
+                        Ok((503, _)) => shed.fetch_add(1, Ordering::Relaxed),
+                        _ => errors.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+            });
+        }
+    });
+    Point {
+        requests,
+        ok: ok.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+    }
+}
+
+fn bench(scale: Scale, requests: usize, pool_size: usize) {
+    let c = corpus(scale, std::path::Path::new("bench_cache"));
+    let pool = query_pool(&[(1, c.class(10)), (1, c.class(1_000))], pool_size, 0x5E87);
+    let engine = Arc::new(c.engine);
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let mut csv = String::from(
+        "cache,clients,requests,ok,shed,errors,total_ms,requests_per_sec,cache_hits,cache_misses,hit_rate\n",
+    );
+    for (cache_tag, cache_entries) in [("on", 1024usize), ("off", 0usize)] {
+        for &clients in &CLIENT_POINTS {
+            // A fresh server per point: empty result cache, zeroed metrics.
+            let server = Server::start(
+                Arc::clone(&engine),
+                ServerConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    cache_entries,
+                    queue_cap: 1024, // measure throughput, not shedding
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("start server");
+            let addr = server.local_addr();
+
+            // Unmeasured warmup: touch every pool query once so the buffer
+            // pool is equally hot for the cache-on and cache-off points
+            // (the result cache itself starts cold either way — it is
+            // rebuilt with the server).
+            for path in &pool {
+                http_get(addr, path).expect("warmup request");
+            }
+            let warm_metrics = server.metrics_json();
+            let warm_hits = metric_u64(&warm_metrics, "hits");
+            let warm_misses = metric_u64(&warm_metrics, "misses");
+
+            let point = run_point(addr, &pool, clients, requests);
+
+            let metrics = server.metrics_json();
+            let hits = metric_u64(&metrics, "hits") - warm_hits;
+            let misses = metric_u64(&metrics, "misses") - warm_misses;
+            let hit_rate = hits as f64 / ((hits + misses) as f64).max(1.0);
+            server.shutdown();
+            server.join();
+
+            assert_eq!(point.errors, 0, "every request must be answered");
+            let rps = point.ok as f64 / point.elapsed.as_secs_f64();
+            eprintln!(
+                "[cache {cache_tag}] {clients} client(s): {rps:>8.1} req/s \
+                 (hit rate {:.2}, shed {})",
+                hit_rate, point.shed
+            );
+            csv.push_str(&format!(
+                "{cache_tag},{clients},{},{},{},{},{:.3},{:.1},{hits},{misses},{hit_rate:.4}\n",
+                point.requests,
+                point.ok,
+                point.shed,
+                point.errors,
+                point.elapsed.as_secs_f64() * 1e3,
+                rps,
+            ));
+        }
+    }
+    std::fs::write("results/server_throughput.csv", &csv)
+        .expect("write results/server_throughput.csv");
+    eprintln!("wrote results/server_throughput.csv");
+}
+
+/// CI smoke: a tiny in-memory corpus, a short burst of traffic, a
+/// differential spot check, and a clean drain through `/shutdown`.
+fn smoke() {
+    let classes = [FrequencyClass::new(5, 4), FrequencyClass::new(50, 4)];
+    let spec = DblpSpec {
+        papers: 400,
+        venues: 4,
+        years_per_venue: 4,
+        vocabulary: 500,
+        title_words: 4,
+        authors_per_paper: 2,
+        planted: planted_for_classes(&classes),
+        seed: 0x5110,
+    };
+    let tree = generate(&spec);
+    let engine = Arc::new(
+        Engine::build_in_memory(&tree, EnvOptions { page_size: 4096, pool_pages: 1024 })
+            .expect("build smoke index"),
+    );
+
+    let server = Server::start(
+        Arc::clone(&engine),
+        ServerConfig { addr: "127.0.0.1:0".to_string(), workers: 2, ..ServerConfig::default() },
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    // Differential spot check: the served result bytes must equal a
+    // direct engine call's rendering.
+    let kws = [classes[0].keywords[0].as_str(), classes[1].keywords[0].as_str()];
+    let (status, body) =
+        http_get(addr, &format!("/query?kw={}+{}", kws[0], kws[1])).expect("query");
+    assert_eq!(status, 200, "{body}");
+    let direct = xk_server::payload::query_result_json(
+        &engine.query(&kws, xksearch::Algorithm::Auto).expect("direct query"),
+    );
+    let served = xk_server::payload::extract_result(&body)
+        .unwrap_or_else(|| panic!("no result object in {body}"));
+    assert_eq!(served, direct, "served bytes diverge from the engine");
+
+    // A short Zipf burst from 4 clients; every request must be answered.
+    let pool = query_pool(&[(1, &classes[0]), (1, &classes[1])], 8, 0x5E87);
+    let point = run_point(addr, &pool, 4, 120);
+    assert_eq!(point.errors, 0, "smoke: every request must get a response");
+    assert_eq!(point.ok + point.shed, 120, "smoke: all requests accounted for");
+
+    // Clean drain through the endpoint.
+    let (status, body) = http_get(addr, "/shutdown").expect("shutdown");
+    assert_eq!(status, 200, "{body}");
+    let final_metrics = server.join();
+    assert!(final_metrics.contains(r#""draining":true"#), "{final_metrics}");
+    let answered = metric_u64(&final_metrics, "queries_ok");
+    eprintln!(
+        "smoke ok: {answered} queries answered ({} shed), differential check passed, clean drain",
+        point.shed
+    );
+}

@@ -4,11 +4,16 @@
 //! ```text
 //! xksearch build <input.xml> <index.db> [--no-doc] [--page-size N] [--pool-pages N]
 //! xksearch query <index.db> <keyword>... [--algo auto|il|scan|stack] [--lca]
-//!                [--show N] [--cold]
+//!                [--show N] [--cold] [--json]
+//! xksearch serve <index.db> [--addr A] [--workers N] [--cache-entries C]
 //! xksearch stats <index.db>
 //! xksearch verify <index.db>         # offline integrity check
 //! xksearch demo  <keyword>...        # School.xml from Figure 1, in memory
 //! ```
+//!
+//! `query --json` and the server's `GET /query` render their payloads
+//! through the same `xk_server::payload` functions, so the two surfaces
+//! emit identical bytes for the same query.
 
 use std::process::ExitCode;
 use xk_storage::EnvOptions;
@@ -22,6 +27,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("append") => cmd_append(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("bench-concurrent") => cmd_bench_concurrent(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         _ => {
@@ -44,9 +50,12 @@ XKSearch: keyword search for smallest LCAs in XML documents
 USAGE:
   xksearch build <input.xml> <index.db> [--no-doc] [--page-size N] [--pool-pages N]
   xksearch query <index.db> <keyword>... [--algo auto|il|scan|stack] [--lca] [--show N] [--cold]
+                 [--json]
   xksearch stats <index.db>
   xksearch verify <index.db> [--page-size N] [--pool-pages N]
   xksearch append <index.db> <parent-dewey|/> <fragment.xml>
+  xksearch serve <index.db> [--addr HOST:PORT] [--workers N] [--cache-entries C]
+                 [--queue-cap Q] [--page-size N] [--pool-pages N]
   xksearch bench-concurrent <index.db> <keyword>... [--threads N] [--repeat R]
                  [--algo auto|il|scan|stack] [--cold]
   xksearch demo  [<keyword>...]     (defaults to: John Ben)
@@ -206,6 +215,48 @@ fn cmd_append(args: &[String]) -> Result<(), AnyError> {
     Ok(())
 }
 
+/// `serve`: run the networked query service over an index file until a
+/// `GET /shutdown` drains it (DESIGN.md §6).
+fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
+    let options = parse_env_options(args)?;
+    let mut config = xk_server::ServerConfig::default();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => config.addr = next_value(args, &mut i)?.to_string(),
+            "--workers" => config.workers = next_value(args, &mut i)?.parse()?,
+            "--cache-entries" => config.cache_entries = next_value(args, &mut i)?.parse()?,
+            "--queue-cap" => config.queue_cap = next_value(args, &mut i)?.parse()?,
+            "--page-size" | "--pool-pages" => i += 1,
+            a if a.starts_with("--") => return Err(format!("unknown flag {a:?}").into()),
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [db] = positional.as_slice() else {
+        return Err("serve needs <index.db>".into());
+    };
+    if config.workers == 0 {
+        return Err("--workers must be positive".into());
+    }
+    let engine = std::sync::Arc::new(Engine::open(db, options)?);
+    let server = xk_server::Server::start(engine, config.clone())?;
+    // The exact line the loadgen and the CLI tests parse for the port.
+    println!("listening on http://{}", server.local_addr());
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    eprintln!(
+        "serving {db} with {} workers, {} cache entries, queue bound {} \
+         (endpoints: /query /metrics /healthz /shutdown)",
+        config.workers, config.cache_entries, config.queue_cap
+    );
+    let final_metrics = server.join();
+    eprintln!("drained; final metrics:");
+    println!("{final_metrics}");
+    Ok(())
+}
+
 /// `bench-concurrent`: replicate one query `--repeat` times and fan the
 /// batch across `--threads` worker threads, reporting throughput. With
 /// `--cold` the cache is dropped before the batch (one cold batch; the
@@ -223,15 +274,7 @@ fn cmd_bench_concurrent(args: &[String]) -> Result<(), AnyError> {
         match args[i].as_str() {
             "--threads" => threads = next_value(args, &mut i)?.parse()?,
             "--repeat" => repeat = next_value(args, &mut i)?.parse()?,
-            "--algo" => {
-                algorithm = match next_value(args, &mut i)? {
-                    "auto" => Algorithm::Auto,
-                    "il" => Algorithm::IndexedLookupEager,
-                    "scan" => Algorithm::ScanEager,
-                    "stack" => Algorithm::Stack,
-                    other => return Err(format!("unknown algorithm {other:?}").into()),
-                };
-            }
+            "--algo" => algorithm = parse_algo(next_value(args, &mut i)?)?,
             "--cold" => cold = true,
             "--page-size" | "--pool-pages" => i += 1,
             a if a.starts_with("--") => return Err(format!("unknown flag {a:?}").into()),
@@ -289,26 +332,30 @@ struct QueryFlags {
     lca: bool,
     show: usize,
     cold: bool,
+    json: bool,
+}
+
+fn parse_algo(name: &str) -> Result<Algorithm, AnyError> {
+    xk_server::parse_algorithm(name).ok_or_else(|| format!("unknown algorithm {name:?}").into())
 }
 
 fn parse_query_flags(args: &[String]) -> Result<(Vec<String>, QueryFlags), AnyError> {
-    let mut flags = QueryFlags { algorithm: Algorithm::Auto, lca: false, show: 3, cold: false };
+    let mut flags = QueryFlags {
+        algorithm: Algorithm::Auto,
+        lca: false,
+        show: 3,
+        cold: false,
+        json: false,
+    };
     let mut positional = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--algo" => {
-                flags.algorithm = match next_value(args, &mut i)? {
-                    "auto" => Algorithm::Auto,
-                    "il" => Algorithm::IndexedLookupEager,
-                    "scan" => Algorithm::ScanEager,
-                    "stack" => Algorithm::Stack,
-                    other => return Err(format!("unknown algorithm {other:?}").into()),
-                };
-            }
+            "--algo" => flags.algorithm = parse_algo(next_value(args, &mut i)?)?,
             "--show" => flags.show = next_value(args, &mut i)?.parse()?,
             "--lca" => flags.lca = true,
             "--cold" => flags.cold = true,
+            "--json" => flags.json = true,
             "--page-size" | "--pool-pages" => {
                 i += 1; // value consumed by parse_env_options
             }
@@ -351,6 +398,21 @@ fn cmd_demo(args: &[String]) -> Result<(), AnyError> {
 }
 
 fn run_query(engine: &mut Engine, keywords: &[&str], flags: &QueryFlags) -> Result<(), AnyError> {
+    if flags.json {
+        if flags.lca {
+            return Err("--json does not support --lca yet".into());
+        }
+        // Same payload the server emits for GET /query (cached:false —
+        // the one-shot CLI has no result cache).
+        let out = engine.query(keywords, flags.algorithm)?;
+        let result = xk_server::payload::query_result_json(&out);
+        let elapsed_us = out.elapsed.as_micros() as u64;
+        println!(
+            "{}",
+            xk_server::payload::query_response_json(&result, &out.io, elapsed_us, false)
+        );
+        return Ok(());
+    }
     if flags.lca {
         let out = engine.query_all_lcas(keywords)?;
         println!(

@@ -1,0 +1,231 @@
+//! Minimal HTTP/1.1 framing over `std::net` — just enough protocol for
+//! the query service: parse a request line with a query string, ignore
+//! headers, answer with `Connection: close` responses. No keep-alive, no
+//! chunking, no TLS; every connection carries exactly one exchange.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// The largest request head (request line + headers) we accept.
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    /// The path without its query string, percent-decoded (`/query`).
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The first value for `key`, if present.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Every value for `key`, in order (e.g. repeated `kw=` parameters).
+    pub fn params<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> {
+        self.query.iter().filter(move |(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed (or never wrote) before a full head arrived.
+    Disconnected,
+    /// The socket read timed out or failed.
+    Io(std::io::Error),
+    /// The head exceeded [`MAX_REQUEST_BYTES`].
+    TooLarge,
+    /// The request line was not parseable HTTP.
+    Malformed,
+}
+
+/// Reads one request head from the stream and parses its request line.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(head_len) = find_head_end(&buf) {
+            let head = std::str::from_utf8(&buf[..head_len]).map_err(|_| ReadError::Malformed)?;
+            return parse_request_line(head.lines().next().unwrap_or(""))
+                .ok_or(ReadError::Malformed);
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Err(ReadError::TooLarge);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(ReadError::Disconnected),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4).or_else(
+        // Be liberal: bare-LF heads from hand-typed clients.
+        || buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2),
+    )
+}
+
+/// Parses `GET /path?query HTTP/1.1`.
+pub fn parse_request_line(line: &str) -> Option<Request> {
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/") {
+        return None;
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    Some(Request {
+        method,
+        path: percent_decode(raw_path),
+        query: parse_query(raw_query),
+    })
+}
+
+/// Splits a query string into decoded pairs. Keys without `=` get an
+/// empty value; empty segments are dropped.
+pub fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Decodes `%XX` escapes and `+`-as-space, leniently: malformed escapes
+/// pass through verbatim rather than failing the request.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (hex(bytes.get(i + 1)), hex(bytes.get(i + 2))) {
+                (Some(h), Some(l)) => {
+                    out.push(h << 4 | l);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex(b: Option<&u8>) -> Option<u8> {
+    match b? {
+        c @ b'0'..=b'9' => Some(c - b'0'),
+        c @ b'a'..=b'f' => Some(c - b'a' + 10),
+        c @ b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// The reason phrase for the status codes this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a full one-shot response. `extra_headers` lines must be
+/// complete (`"Retry-After: 1"`), without trailing CRLF.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[&str],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len(),
+    );
+    for h in extra_headers {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes a JSON response.
+pub fn write_json(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    extra_headers: &[&str],
+) -> std::io::Result<()> {
+    write_response(stream, status, "application/json", body, extra_headers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_with_query() {
+        let r = parse_request_line("GET /query?kw=john+ben&algo=il HTTP/1.1").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/query");
+        assert_eq!(r.param("kw"), Some("john ben"));
+        assert_eq!(r.param("algo"), Some("il"));
+        assert_eq!(r.param("missing"), None);
+    }
+
+    #[test]
+    fn repeated_params_and_escapes() {
+        let r = parse_request_line("GET /query?kw=a&kw=b%20c&flag HTTP/1.1").unwrap();
+        let kws: Vec<&str> = r.params("kw").collect();
+        assert_eq!(kws, vec!["a", "b c"]);
+        assert_eq!(r.param("flag"), Some(""));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_request_line("").is_none());
+        assert!(parse_request_line("GET /x").is_none());
+        assert!(parse_request_line("GET /x FTP/1").is_none());
+    }
+
+    #[test]
+    fn percent_decoding_is_lenient() {
+        assert_eq!(percent_decode("a%2Bb+c"), "a+b c");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("%41"), "A");
+    }
+}

@@ -1,0 +1,219 @@
+//! A tiny hand-rolled JSON writer.
+//!
+//! The workspace is offline and dependency-free, so the service layer
+//! serializes its payloads with this writer instead of serde: correct
+//! string escaping, integer/float formatting, and comma bookkeeping for
+//! nested arrays and objects. The CLI's `--json` output and the server's
+//! `/query` responses go through the same functions, which is what makes
+//! them byte-identical (the loopback e2e suite asserts exactly that).
+
+/// Appends `s` to `out` as a JSON string literal, quotes included.
+pub fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// An incremental JSON document builder.
+///
+/// The builder tracks container nesting and inserts commas between
+/// siblings; the caller is responsible for pairing `begin_*`/`end_*`
+/// calls and writing a key before each object member (both are asserted
+/// in debug builds by construction of the output, not by a schema).
+#[derive(Debug, Default)]
+pub struct JsonBuf {
+    out: String,
+    /// One flag per open container: does the next element need a comma?
+    needs_comma: Vec<bool>,
+    /// A key was just written; the next value must not be preceded by a
+    /// comma (the key's separator already ran).
+    after_key: bool,
+}
+
+impl JsonBuf {
+    pub fn new() -> JsonBuf {
+        JsonBuf::default()
+    }
+
+    /// The document rendered so far.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    /// Finishes the document.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    fn sep(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        if let Some(comma) = self.needs_comma.last_mut() {
+            if *comma {
+                self.out.push(',');
+            } else {
+                *comma = true;
+            }
+        }
+    }
+
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.sep();
+        self.out.push('{');
+        self.needs_comma.push(false);
+        self
+    }
+
+    pub fn end_object(&mut self) -> &mut Self {
+        self.needs_comma.pop();
+        self.out.push('}');
+        self
+    }
+
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.sep();
+        self.out.push('[');
+        self.needs_comma.push(false);
+        self
+    }
+
+    pub fn end_array(&mut self) -> &mut Self {
+        self.needs_comma.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Writes an object member key (the following call writes its value).
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.sep();
+        escape_into(k, &mut self.out);
+        self.out.push(':');
+        self.after_key = true;
+        self
+    }
+
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.sep();
+        escape_into(v, &mut self.out);
+        self
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.sep();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.sep();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Finite floats print with Rust's shortest roundtrip formatting;
+    /// NaN and infinities have no JSON spelling and become `null`.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.sep();
+        if v.is_finite() {
+            self.out.push_str(&v.to_string());
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.sep();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    pub fn null(&mut self) -> &mut Self {
+        self.sep();
+        self.out.push_str("null");
+        self
+    }
+
+    /// Splices an already-serialized JSON value (e.g. a cached payload).
+    pub fn raw(&mut self, json: &str) -> &mut Self {
+        self.sep();
+        self.out.push_str(json);
+        self
+    }
+
+    // Convenience members for the common `"key":value` cases.
+
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k).string(v)
+    }
+
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k).u64(v)
+    }
+
+    pub fn field_f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k).f64(v)
+    }
+
+    pub fn field_bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k).bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        let mut out = String::new();
+        escape_into("a\"b\\c\nd\te\u{1}", &mut out);
+        assert_eq!(out, r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn nested_document() {
+        let mut j = JsonBuf::new();
+        j.begin_object();
+        j.field_str("name", "xkserve").field_u64("port", 8080);
+        j.key("tags").begin_array().string("a").string("b").end_array();
+        j.key("inner").begin_object().field_bool("ok", true).end_object();
+        j.key("nothing").null();
+        j.end_object();
+        assert_eq!(
+            j.into_string(),
+            r#"{"name":"xkserve","port":8080,"tags":["a","b"],"inner":{"ok":true},"nothing":null}"#
+        );
+    }
+
+    #[test]
+    fn empty_containers_and_floats() {
+        let mut j = JsonBuf::new();
+        j.begin_array();
+        j.begin_object().end_object();
+        j.f64(0.5).f64(f64::NAN).i64(-3);
+        j.end_array();
+        assert_eq!(j.into_string(), r#"[{},0.5,null,-3]"#);
+    }
+
+    #[test]
+    fn raw_splice() {
+        let mut j = JsonBuf::new();
+        j.begin_object().key("cached").raw(r#"{"x":1}"#).end_object();
+        assert_eq!(j.into_string(), r#"{"cached":{"x":1}}"#);
+    }
+}

@@ -1,0 +1,38 @@
+//! # xk-server — `xkserve`, the networked XKSearch query service
+//!
+//! The serving layer over the [`xksearch`] engine: a std-only threaded
+//! TCP server speaking minimal HTTP/1.1, with
+//!
+//! * a **bounded worker pool** over one shared [`Engine`] (the `Send +
+//!   Sync` read path from PR 2 makes `&Engine` queries safe from any
+//!   number of threads),
+//! * an **LRU result cache** keyed by (normalized keyword set, requested
+//!   algorithm) and invalidated by [`Engine::data_version`],
+//! * **admission control**: connections beyond the queue bound are shed
+//!   with `503` instead of piling up latency,
+//! * **graceful shutdown**: `/shutdown` drains the admitted queue before
+//!   the workers exit,
+//! * a **`/metrics`** endpoint exporting cache rates, per-algorithm query
+//!   counts, latency histograms, and the storage layer's [`IoStats`].
+//!
+//! Endpoints: `GET /query?kw=a+b&algo=auto`, `GET /metrics`,
+//! `GET /healthz`, `GET /shutdown`.
+//!
+//! The `xksearch` **binary** lives in this crate (the CLI's `serve`
+//! subcommand needs the server, and the server needs the engine — the
+//! binary sits on top of both).
+//!
+//! [`Engine`]: xksearch::Engine
+//! [`Engine::data_version`]: xksearch::Engine::data_version
+//! [`IoStats`]: xk_storage::IoStats
+
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod payload;
+pub mod server;
+
+pub use cache::{CacheKey, CacheStats, CachedAnswer, Lru, QueryCache};
+pub use metrics::{Histogram, HistogramSnapshot, ServerMetrics};
+pub use server::{parse_algorithm, Server, ServerConfig};

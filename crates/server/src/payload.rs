@@ -1,0 +1,124 @@
+//! The query payloads shared by `xksearch query --json` and the server's
+//! `GET /query`: one function renders the deterministic *result* (same
+//! keywords ⇒ same bytes, which the e2e suite checks against direct
+//! engine calls), another wraps it in the per-request envelope
+//! (cache status, I/O delta, wall-clock) that legitimately varies run
+//! to run.
+
+use crate::json::JsonBuf;
+use xk_storage::IoStats;
+use xksearch::QueryOutcome;
+
+/// Renders the deterministic part of a query answer. Everything in here
+/// is a pure function of the index contents and the query: SLCAs, the
+/// executed keyword order and frequencies, the resolved algorithm, and
+/// the algorithm-level operation counts.
+pub fn query_result_json(out: &QueryOutcome) -> String {
+    let mut j = JsonBuf::new();
+    j.begin_object();
+    j.key("keywords").begin_array();
+    for k in &out.keywords {
+        j.string(k);
+    }
+    j.end_array();
+    j.key("frequencies").begin_array();
+    for f in &out.frequencies {
+        j.u64(*f);
+    }
+    j.end_array();
+    j.field_str("algorithm", &out.algorithm.to_string());
+    j.field_u64("count", out.slcas.len() as u64);
+    j.key("slcas").begin_array();
+    for d in &out.slcas {
+        j.string(&d.to_string());
+    }
+    j.end_array();
+    j.key("stats").begin_object();
+    j.field_u64("match_lookups", out.stats.match_lookups);
+    j.field_u64("nodes_scanned", out.stats.nodes_scanned);
+    j.field_u64("lca_computations", out.stats.lca_computations);
+    j.field_u64("candidates", out.stats.candidates);
+    j.field_u64("stack_pushes", out.stats.stack_pushes);
+    j.field_u64("results", out.stats.results);
+    j.end_object();
+    j.end_object();
+    j.into_string()
+}
+
+/// Appends an [`IoStats`] object under `key`.
+pub fn io_object(j: &mut JsonBuf, key: &str, io: &IoStats) {
+    j.key(key).begin_object();
+    j.field_u64("logical_reads", io.logical_reads);
+    j.field_u64("disk_reads", io.disk_reads);
+    j.field_u64("disk_writes", io.disk_writes);
+    j.field_u64("evictions", io.evictions);
+    j.end_object();
+}
+
+/// Wraps a rendered result in the full response envelope. The `result`
+/// member comes last so its bytes are a contiguous suffix; `io` is the
+/// buffer-pool delta attributable to *this* request (all zeros on a
+/// cache hit — nothing was read).
+pub fn query_response_json(result_json: &str, io: &IoStats, elapsed_us: u64, cached: bool) -> String {
+    let mut j = JsonBuf::new();
+    j.begin_object();
+    j.field_bool("cached", cached);
+    j.field_u64("elapsed_us", elapsed_us);
+    io_object(&mut j, "io", io);
+    j.key("result").raw(result_json);
+    j.end_object();
+    j.into_string()
+}
+
+/// A uniform error body.
+pub fn error_json(message: &str) -> String {
+    let mut j = JsonBuf::new();
+    j.begin_object().field_str("error", message).end_object();
+    j.into_string()
+}
+
+/// Extracts the `result` object (byte range) from an envelope produced
+/// by [`query_response_json`] — the inverse the differential tests use
+/// to compare served bytes with direct engine output.
+pub fn extract_result(envelope: &str) -> Option<&str> {
+    let marker = "\"result\":";
+    let start = envelope.find(marker)? + marker.len();
+    let body = &envelope[start..];
+    // The result object is the envelope's last member: strip the
+    // envelope's own closing brace.
+    let end = body.rfind('}')?;
+    Some(&body[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xk_storage::EnvOptions;
+    use xksearch::{Algorithm, Engine};
+
+    #[test]
+    fn result_json_is_deterministic_and_well_formed() {
+        let e = Engine::build_in_memory(&xk_xmltree::school_example(), EnvOptions::default())
+            .unwrap();
+        let out = e.query(&["John", "Ben"], Algorithm::Auto).unwrap();
+        let a = query_result_json(&out);
+        let again = e.query(&["John", "Ben"], Algorithm::Auto).unwrap();
+        assert_eq!(a, query_result_json(&again), "same query, same bytes");
+        assert!(a.contains(r#""slcas":["0","1","2"]"#), "{a}");
+        assert!(a.contains(r#""keywords":["ben","john"]"#), "{a}");
+        assert!(a.contains(r#""algorithm":"scan-eager""#), "{a}");
+    }
+
+    #[test]
+    fn envelope_roundtrips_result() {
+        let result = r#"{"count":0,"slcas":[]}"#;
+        let env = query_response_json(result, &IoStats::default(), 42, true);
+        assert!(env.starts_with(r#"{"cached":true,"elapsed_us":42,"#), "{env}");
+        assert_eq!(extract_result(&env), Some(result));
+    }
+
+    #[test]
+    fn error_body() {
+        assert_eq!(error_json("no \"kw\""), r#"{"error":"no \"kw\""}"#);
+    }
+}

@@ -1,0 +1,459 @@
+//! `xkserve`: the threaded TCP query service.
+//!
+//! Architecture (DESIGN.md §6): one accept thread performs **admission
+//! control** — a connection is either pushed onto a bounded queue or
+//! immediately refused with `503` (load shedding; the accept thread
+//! never blocks on a slow client beyond one small buffered write). A
+//! fixed pool of worker threads pops connections, reads one HTTP/1.1
+//! request each, and answers `GET /query`, `/metrics`, `/healthz`, or
+//! `/shutdown`. Queries run against a shared [`Engine`] (`&self`, safe
+//! for any number of workers since PR 2) through the LRU result cache.
+//!
+//! **Graceful shutdown**: `/shutdown` (or [`Server::shutdown`]) flips an
+//! atomic flag and self-connects to unblock `accept`. The accept thread
+//! stops admitting, workers drain every connection already queued, then
+//! exit; [`Server::join`] returns once the last worker is gone, so a
+//! joined server has answered everything it ever admitted.
+
+use crate::cache::{CacheKey, CachedAnswer, QueryCache};
+use crate::http::{self, ReadError, Request};
+use crate::json::JsonBuf;
+use crate::metrics::{ServerMetrics, ALGO_NAMES};
+use crate::payload;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use xk_storage::IoStats;
+use xksearch::{Algorithm, Engine, EngineError};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// LRU result-cache capacity in entries; 0 disables the cache.
+    pub cache_entries: usize,
+    /// Admission bound: connections queued beyond the workers. A new
+    /// connection arriving with `queue_cap` connections already waiting
+    /// is shed with 503.
+    pub queue_cap: usize,
+    /// Per-connection socket read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            workers: 4,
+            cache_entries: 1024,
+            queue_cap: 64,
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Refused connections waiting for their 503 beyond this are dropped
+/// outright — the shedder thread itself must not become the backlog.
+const SHED_BACKLOG: usize = 128;
+
+struct Shared {
+    engine: Arc<Engine>,
+    cache: QueryCache,
+    metrics: ServerMetrics,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    /// Refused connections awaiting a 503 from the shedder thread.
+    shed_queue: Mutex<VecDeque<TcpStream>>,
+    shed_available: Condvar,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    config: ServerConfig,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+        self.shed_available.notify_all();
+        // Unblock the accept loop with a throwaway self-connection; if
+        // connecting fails the listener is already gone, which is fine.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the service;
+/// call [`Server::shutdown`] and/or [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts accepting. Returns once the listener is live —
+    /// the bound address (with the real port) is [`Server::local_addr`].
+    pub fn start(engine: Arc<Engine>, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers_n = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            engine,
+            cache: QueryCache::new(config.cache_entries),
+            metrics: ServerMetrics::new(),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shed_queue: Mutex::new(VecDeque::new()),
+            shed_available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            config,
+        });
+        let mut workers = Vec::with_capacity(workers_n + 1);
+        {
+            let s = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("xkserve-shed".to_string())
+                    .spawn(move || shedder_loop(&s))?,
+            );
+        }
+        for i in 0..workers_n {
+            let s = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("xkserve-worker-{i}"))
+                    .spawn(move || worker_loop(&s))?,
+            );
+        }
+        let s = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("xkserve-accept".to_string())
+            .spawn(move || accept_loop(listener, &s))?;
+        Ok(Server { shared, accept_thread: Some(accept_thread), workers })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Requests a graceful shutdown (equivalent to `GET /shutdown`).
+    pub fn shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// True once shutdown has been requested (drain may still be going).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Waits for the accept thread and every worker to finish — i.e. for
+    /// the drain after a shutdown request. Returns the final metrics
+    /// document (the same JSON `/metrics` serves).
+    pub fn join(mut self) -> String {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        metrics_json(&self.shared)
+    }
+
+    /// The current metrics document (the same JSON `/metrics` serves).
+    pub fn metrics_json(&self) -> String {
+        metrics_json(&self.shared)
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if queue.len() >= shared.config.queue_cap {
+            drop(queue);
+            shed(stream, shared);
+            continue;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.available.notify_one();
+    }
+    // Listener closes here; wake every worker so the drain can finish.
+    shared.available.notify_all();
+    shared.shed_available.notify_all();
+}
+
+/// Refuses a connection: hands it to the shedder thread for a prompt 503
+/// so the accept loop never blocks on a slow client. If even the shedder
+/// is saturated the connection is simply closed — still bounded, still
+/// never a hang or a wrong answer.
+fn shed(stream: TcpStream, shared: &Shared) {
+    shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+    let mut q = shared.shed_queue.lock().unwrap_or_else(|e| e.into_inner());
+    if q.len() >= SHED_BACKLOG {
+        return; // drop the connection without a response
+    }
+    q.push_back(stream);
+    drop(q);
+    shared.shed_available.notify_one();
+}
+
+/// Answers every refused connection with `503 Service Unavailable`. The
+/// request head is read (briefly) before responding so well-behaved
+/// clients get the response instead of a connection reset.
+fn shedder_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut q = shared.shed_queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = shared.shed_available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(mut stream) = stream else { return };
+        let grace = shared.config.io_timeout.min(Duration::from_millis(500));
+        let _ = stream.set_read_timeout(Some(grace));
+        let _ = stream.set_write_timeout(Some(grace));
+        let _ = http::read_request(&mut stream);
+        let _ = http::write_json(
+            &mut stream,
+            503,
+            &payload::error_json("overloaded: admission queue full"),
+            &["Retry-After: 1"],
+        );
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(mut stream) = stream else { return };
+        let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
+        let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+        handle_connection(&mut stream, shared);
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
+    let request = match http::read_request(stream) {
+        Ok(r) => r,
+        Err(ReadError::Disconnected) => {
+            shared.metrics.read_failures.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        Err(ReadError::Io(_)) => {
+            shared.metrics.read_failures.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_json(stream, 408, &payload::error_json("request read timed out"), &[]);
+            return;
+        }
+        Err(ReadError::TooLarge) | Err(ReadError::Malformed) => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_json(stream, 400, &payload::error_json("malformed request"), &[]);
+            return;
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/query") => handle_query(stream, &request, shared),
+        ("GET", "/metrics") => {
+            let _ = http::write_json(stream, 200, &metrics_json(shared), &[]);
+        }
+        ("GET", "/healthz") => {
+            let _ = http::write_json(stream, 200, r#"{"status":"ok"}"#, &[]);
+        }
+        ("GET", "/shutdown") | ("POST", "/shutdown") => {
+            let _ = http::write_json(stream, 200, r#"{"status":"draining"}"#, &[]);
+            shared.request_shutdown();
+        }
+        ("GET", _) => {
+            shared.metrics.not_found.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_json(stream, 404, &payload::error_json("no such endpoint"), &[]);
+        }
+        _ => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_json(stream, 405, &payload::error_json("method not allowed"), &[]);
+        }
+    }
+}
+
+/// Parses `algo=` the same way the CLI does.
+pub fn parse_algorithm(name: &str) -> Option<Algorithm> {
+    match name {
+        "auto" => Some(Algorithm::Auto),
+        "il" | "indexed-lookup-eager" => Some(Algorithm::IndexedLookupEager),
+        "scan" | "scan-eager" => Some(Algorithm::ScanEager),
+        "stack" => Some(Algorithm::Stack),
+        _ => None,
+    }
+}
+
+/// Collects keywords from `kw=` parameters: each occurrence may hold
+/// several whitespace-separated keywords (`kw=john+ben` arrives as
+/// `"john ben"` after decoding).
+fn keywords_of(request: &Request) -> Vec<String> {
+    request
+        .params("kw")
+        .flat_map(|v| v.split_whitespace())
+        .map(|s| s.to_string())
+        .collect()
+}
+
+fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
+    let started = Instant::now();
+    let bad = |stream: &mut TcpStream, shared: &Shared, msg: &str| {
+        shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+        let _ = http::write_json(stream, 400, &payload::error_json(msg), &[]);
+    };
+    let keywords = keywords_of(request);
+    if keywords.is_empty() {
+        return bad(stream, shared, "missing kw parameter");
+    }
+    let algo_name = request.param("algo").unwrap_or("auto");
+    let Some(algorithm) = parse_algorithm(algo_name) else {
+        return bad(stream, shared, "unknown algo (use auto|il|scan|stack)");
+    };
+    let kw_refs: Vec<&str> = keywords.iter().map(|s| s.as_str()).collect();
+    let Some(key) = CacheKey::new(&kw_refs, algorithm) else {
+        return bad(stream, shared, "keywords normalize to nothing");
+    };
+    let version = shared.engine.data_version();
+
+    if let Some(hit) = shared.cache.lookup(&key, version) {
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        let body =
+            payload::query_response_json(&hit.result_json, &IoStats::default(), elapsed_us, true);
+        shared.metrics.record_query(hit.algorithm, elapsed_us);
+        let _ = http::write_json(stream, 200, &body, &[]);
+        return;
+    }
+
+    match shared.engine.query(&kw_refs, algorithm) {
+        Ok(out) => {
+            let result_json = payload::query_result_json(&out);
+            let elapsed_us = started.elapsed().as_micros() as u64;
+            shared.cache.insert(
+                key,
+                CachedAnswer {
+                    result_json: Arc::from(result_json.as_str()),
+                    algorithm: out.algorithm,
+                    cost_io: out.io,
+                    cost_elapsed_us: out.elapsed.as_micros() as u64,
+                    version,
+                },
+            );
+            let body = payload::query_response_json(&result_json, &out.io, elapsed_us, false);
+            shared.metrics.record_query(out.algorithm, elapsed_us);
+            let _ = http::write_json(stream, 200, &body, &[]);
+        }
+        Err(EngineError::BadQuery(msg)) => bad(stream, shared, &format!("bad query: {msg}")),
+        Err(e) => {
+            shared.metrics.internal_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_json(
+                stream,
+                500,
+                &payload::error_json(&format!("query failed: {e}")),
+                &[],
+            );
+        }
+    }
+}
+
+/// Renders the `/metrics` document: request counters, per-algorithm
+/// query counts, cache accounting, the latency histogram, and the
+/// storage layer's global atomic [`IoStats`].
+fn metrics_json(shared: &Shared) -> String {
+    let m = &shared.metrics;
+    let cache = shared.cache.stats();
+    let lat = m.query_latency.snapshot();
+    let io = shared.engine.with_env(|e| e.stats());
+
+    let mut j = JsonBuf::new();
+    j.begin_object();
+    j.field_u64("uptime_ms", m.started.elapsed().as_millis() as u64);
+    j.field_bool("draining", shared.shutdown.load(Ordering::SeqCst));
+    j.field_u64("workers", shared.config.workers.max(1) as u64);
+    j.field_u64("queue_cap", shared.config.queue_cap as u64);
+
+    j.key("requests").begin_object();
+    j.field_u64("accepted", m.accepted.load(Ordering::Relaxed));
+    j.field_u64("shed", m.shed.load(Ordering::Relaxed));
+    j.field_u64("queries_ok", m.queries_ok.load(Ordering::Relaxed));
+    j.field_u64("bad_requests", m.bad_requests.load(Ordering::Relaxed));
+    j.field_u64("not_found", m.not_found.load(Ordering::Relaxed));
+    j.field_u64("internal_errors", m.internal_errors.load(Ordering::Relaxed));
+    j.field_u64("read_failures", m.read_failures.load(Ordering::Relaxed));
+    j.end_object();
+
+    j.key("queries_by_algorithm").begin_object();
+    for (name, counter) in ALGO_NAMES.iter().zip(&m.by_algorithm) {
+        j.field_u64(name, counter.load(Ordering::Relaxed));
+    }
+    j.end_object();
+
+    j.key("cache").begin_object();
+    j.field_u64("capacity", cache.capacity as u64);
+    j.field_u64("entries", cache.entries as u64);
+    j.field_u64("hits", cache.hits);
+    j.field_u64("misses", cache.misses);
+    j.field_u64("inserts", cache.inserts);
+    j.field_u64("evictions", cache.evictions);
+    j.field_u64("invalidations", cache.invalidations);
+    j.field_u64("saved_disk_reads", cache.saved_disk_reads);
+    j.field_f64("hit_rate", cache.hit_rate());
+    j.end_object();
+
+    j.key("query_latency_us").begin_object();
+    j.field_u64("count", lat.count);
+    j.field_u64("min", lat.min_us);
+    j.field_u64("max", lat.max_us);
+    j.field_f64("mean", lat.mean_us());
+    j.field_u64("p50", lat.quantile_us(0.50));
+    j.field_u64("p90", lat.quantile_us(0.90));
+    j.field_u64("p99", lat.quantile_us(0.99));
+    j.key("histogram").begin_array();
+    for (i, &count) in lat.buckets.iter().enumerate() {
+        if count == 0 {
+            continue; // sparse: only occupied buckets
+        }
+        j.begin_object();
+        j.field_u64("le_us", crate::metrics::HistogramSnapshot::bucket_le_us(i));
+        j.field_u64("count", count);
+        j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+
+    payload::io_object(&mut j, "io", &io);
+    j.end_object();
+    j.into_string()
+}

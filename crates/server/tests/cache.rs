@@ -1,0 +1,110 @@
+//! Result-cache correctness against a real engine: the hot path pays
+//! zero buffer-pool reads, and appends invalidate so served answers can
+//! never go stale (ISSUE 3, satellite 3).
+
+use std::sync::Arc;
+use xk_server::payload::query_result_json;
+use xk_server::{CacheKey, CachedAnswer, QueryCache};
+use xk_storage::EnvOptions;
+use xk_xmltree::Dewey;
+use xksearch::{Algorithm, Engine};
+
+fn school_engine() -> Engine {
+    Engine::build_in_memory(
+        &xk_xmltree::school_example(),
+        EnvOptions { page_size: 512, pool_pages: 256 },
+    )
+    .unwrap()
+}
+
+/// Runs a query through the cache exactly the way the server does:
+/// lookup at the engine's current data version, else execute and fill.
+fn cached_query(engine: &Engine, cache: &QueryCache, keywords: &[&str]) -> (String, bool) {
+    let key = CacheKey::new(keywords, Algorithm::Auto).expect("valid keywords");
+    let version = engine.data_version();
+    if let Some(hit) = cache.lookup(&key, version) {
+        return (hit.result_json.to_string(), true);
+    }
+    let out = engine.query(keywords, Algorithm::Auto).expect("query");
+    let result = query_result_json(&out);
+    cache.insert(
+        key,
+        CachedAnswer {
+            result_json: Arc::from(result.as_str()),
+            algorithm: out.algorithm,
+            cost_io: out.io,
+            cost_elapsed_us: out.elapsed.as_micros() as u64,
+            version,
+        },
+    );
+    (result, false)
+}
+
+#[test]
+fn hot_repeated_query_reads_zero_pages() {
+    let engine = school_engine();
+    let cache = QueryCache::new(64);
+
+    engine.clear_cache().unwrap(); // cold buffer pool
+    let (first, was_cached) = cached_query(&engine, &cache, &["John", "Ben"]);
+    assert!(!was_cached);
+
+    let before = engine.with_env(|e| e.stats());
+    let (second, was_cached) = cached_query(&engine, &cache, &["Ben", "John"]);
+    let delta = engine.with_env(|e| e.stats()).delta_since(&before);
+
+    assert!(was_cached, "keyword order must not defeat the cache key");
+    assert_eq!(first, second, "cached bytes match the original execution");
+    assert_eq!(delta.disk_reads, 0, "zero buffer-pool read delta on the hot path");
+    assert_eq!(delta.logical_reads, 0, "the hit never touches storage");
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+    assert!(stats.saved_disk_reads > 0, "the cold miss cost reads that the hit saved");
+}
+
+#[test]
+fn append_invalidates_cached_answers() {
+    let mut engine = school_engine();
+    let cache = QueryCache::new(64);
+
+    let (stale, _) = cached_query(&engine, &cache, &["John", "Ben"]);
+    assert!(stale.contains(r#""count":3"#), "{stale}");
+    // Cached and hot:
+    assert!(cached_query(&engine, &cache, &["John", "Ben"]).1);
+
+    // The document grows: a fourth class where John and Ben meet.
+    engine
+        .append_subtree(
+            &Dewey::root(),
+            "<class><lecturer><name>Ben</name></lecturer><TA><name>John</name></TA></class>",
+        )
+        .unwrap();
+
+    let (fresh, was_cached) = cached_query(&engine, &cache, &["John", "Ben"]);
+    assert!(!was_cached, "the version bump must force a re-execution");
+    assert!(fresh.contains(r#""count":4"#), "stale answer served after append: {fresh}");
+    assert!(fresh.contains(r#""4""#), "the new SLCA at Dewey 4 must appear: {fresh}");
+    assert_eq!(cache.stats().invalidations, 1);
+
+    // And the fresh answer is itself cached again.
+    let (again, was_cached) = cached_query(&engine, &cache, &["John", "Ben"]);
+    assert!(was_cached);
+    assert_eq!(again, fresh);
+}
+
+#[test]
+fn capacity_bounds_hold_under_distinct_queries() {
+    let engine = school_engine();
+    let cache = QueryCache::new(2);
+    // Three distinct single-keyword queries through a 2-entry cache.
+    for kw in ["john", "ben", "class"] {
+        cached_query(&engine, &cache, &[kw]);
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.entries, 2);
+    assert_eq!(stats.evictions, 1);
+    // The oldest ("john") was evicted: querying it again misses.
+    assert!(!cached_query(&engine, &cache, &["john"]).1);
+    // The newest ("class") is still hot.
+    assert!(cached_query(&engine, &cache, &["class"]).1);
+}

@@ -187,3 +187,105 @@ fn build_rejects_malformed_xml() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("mismatched"));
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn query_json_emits_the_server_payload() {
+    let dir = temp_dir("json");
+    let xml = dir.join("doc.xml");
+    let db = dir.join("doc.db");
+    std::fs::write(
+        &xml,
+        "<school><class><name>John</name></class><class><name>Ben</name>\
+         <name>John</name></class></school>",
+    )
+    .unwrap();
+    assert!(bin()
+        .args(["build", xml.to_str().unwrap(), db.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    let run = || {
+        let out = bin()
+            .args(["query", db.to_str().unwrap(), "John", "Ben", "--json"])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let payload = run();
+    assert!(payload.starts_with(r#"{"cached":false,"elapsed_us":"#), "{payload}");
+    assert!(payload.contains(r#""keywords":["ben","john"]"#), "{payload}");
+    assert!(payload.contains(r#""slcas":["1"]"#), "{payload}");
+    assert!(payload.contains(r#""io":{"logical_reads":"#), "{payload}");
+
+    // The deterministic result part is identical across runs — the same
+    // bytes the server would serve for GET /query?kw=John+Ben.
+    let result = |p: &str| {
+        let start = p.find(r#""result":"#).expect("result member") + r#""result":"#.len();
+        p[start..].trim_end().trim_end_matches('}').to_string() + "}"
+    };
+    assert_eq!(result(&payload), result(&run()));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn serve_lifecycle_over_loopback() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let dir = temp_dir("serve");
+    let xml = dir.join("doc.xml");
+    let db = dir.join("doc.db");
+    std::fs::write(
+        &xml,
+        "<library><book><title>Serving XML</title><author>Ada</author></book></library>",
+    )
+    .unwrap();
+    assert!(bin()
+        .args(["build", xml.to_str().unwrap(), db.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    let mut child = bin()
+        .args(["serve", db.to_str().unwrap(), "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on http://")
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .to_string();
+
+    let get = |path: &str| -> String {
+        let mut s = std::net::TcpStream::connect(&addr).unwrap();
+        s.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).unwrap();
+        raw
+    };
+
+    let raw = get("/query?kw=serving+ada&algo=auto");
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    assert!(raw.contains(r#""slcas":["0"]"#), "{raw}");
+    let raw = get("/query?kw=serving+ada");
+    assert!(raw.contains(r#""cached":true"#), "second request hits the cache: {raw}");
+    let raw = get("/metrics");
+    assert!(raw.contains(r#""hits":1"#), "{raw}");
+
+    let raw = get("/shutdown");
+    assert!(raw.contains("draining"), "{raw}");
+    let status = child.wait().unwrap();
+    assert!(status.success(), "serve must exit cleanly after drain");
+    // The drained server printed its final metrics document.
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains(r#""queries_ok":2"#), "{rest}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,312 @@
+//! Loopback end-to-end tests for `xkserve`: real TCP connections against
+//! a running server over the Figure 1 School.xml index.
+//!
+//! The acceptance bar (ISSUE 3): with ≥ 8 concurrent clients every served
+//! answer is byte-identical to a direct `Engine::query`, the cache-hit
+//! path shows a zero page-read delta, and overload answers `503` — never
+//! a hang, never a wrong answer.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+use xk_server::payload::{extract_result, query_result_json};
+use xk_server::{Server, ServerConfig};
+use xk_storage::EnvOptions;
+use xksearch::{Algorithm, Engine};
+
+fn school_engine() -> Arc<Engine> {
+    Arc::new(
+        Engine::build_in_memory(
+            &xk_xmltree::school_example(),
+            EnvOptions { page_size: 512, pool_pages: 256 },
+        )
+        .unwrap(),
+    )
+}
+
+fn start(engine: Arc<Engine>, config: ServerConfig) -> Server {
+    Server::start(engine, ServerConfig { addr: "127.0.0.1:0".to_string(), ..config }).unwrap()
+}
+
+/// One full HTTP exchange; returns (status, body).
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .unwrap_or_else(|| panic!("no status line in {raw:?}"))
+        .parse()
+        .expect("numeric status");
+    let body = raw.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (status, body)
+}
+
+#[test]
+fn healthz_metrics_and_unknown_paths() {
+    let server = start(school_engine(), ServerConfig::default());
+    let addr = server.local_addr();
+
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, r#"{"status":"ok"}"#);
+
+    let (status, body) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    for key in ["\"requests\":", "\"cache\":", "\"query_latency_us\":", "\"io\":", "\"queries_by_algorithm\":"] {
+        assert!(body.contains(key), "missing {key} in {body}");
+    }
+
+    let (status, _) = http_get(addr, "/nope");
+    assert_eq!(status, 404);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn bad_requests_are_rejected_cleanly() {
+    let server = start(school_engine(), ServerConfig::default());
+    let addr = server.local_addr();
+
+    assert_eq!(http_get(addr, "/query").0, 400, "missing kw");
+    assert_eq!(http_get(addr, "/query?kw=john&algo=quantum").0, 400, "unknown algo");
+    assert_eq!(http_get(addr, "/query?kw=%3F%21").0, 400, "kw normalizes to nothing");
+
+    // A malformed request line.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"NONSENSE\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+
+    // An unknown keyword is a valid query with an empty answer, not an error.
+    let (status, body) = http_get(addr, "/query?kw=zzzz+john");
+    assert_eq!(status, 200);
+    assert!(body.contains(r#""count":0"#), "{body}");
+    assert!(body.contains(r#""slcas":[]"#), "{body}");
+
+    server.shutdown();
+    server.join();
+}
+
+/// The headline differential: 8 concurrent clients, every served result
+/// byte-identical to a direct engine call with the same query.
+#[test]
+fn eight_concurrent_clients_get_byte_identical_answers() {
+    let engine = school_engine();
+    let server = start(Arc::clone(&engine), ServerConfig::default());
+    let addr = server.local_addr();
+
+    // (query-string fragment, keywords, algorithm) triples covering all
+    // algorithms, multi-keyword sets, and the empty-answer path.
+    let cases: Vec<(String, Vec<&str>, Algorithm)> = vec![
+        ("kw=John+Ben&algo=auto".into(), vec!["John", "Ben"], Algorithm::Auto),
+        ("kw=john&kw=ben&algo=il".into(), vec!["john", "ben"], Algorithm::IndexedLookupEager),
+        ("kw=Ben+project&algo=scan".into(), vec!["Ben", "project"], Algorithm::ScanEager),
+        ("kw=john+ben+class&algo=stack".into(), vec!["john", "ben", "class"], Algorithm::Stack),
+        ("kw=zzzz+john".into(), vec!["zzzz", "john"], Algorithm::Auto),
+        ("kw=CS2A".into(), vec!["CS2A"], Algorithm::Auto),
+    ];
+    let expected: Vec<String> = cases
+        .iter()
+        .map(|(_, kws, algo)| query_result_json(&engine.query(kws, *algo).unwrap()))
+        .collect();
+
+    std::thread::scope(|s| {
+        for client in 0..8 {
+            let cases = &cases;
+            let expected = &expected;
+            s.spawn(move || {
+                for round in 0..6 {
+                    let i = (client + round) % cases.len();
+                    let (status, body) = http_get(addr, &format!("/query?{}", cases[i].0));
+                    assert_eq!(status, 200, "client {client} round {round}: {body}");
+                    let served = extract_result(&body)
+                        .unwrap_or_else(|| panic!("no result in {body}"));
+                    assert_eq!(
+                        served, expected[i],
+                        "client {client} round {round} diverged from direct engine output"
+                    );
+                }
+            });
+        }
+    });
+
+    // 8 clients x 6 rounds, all counted, none shed.
+    let metrics = server.metrics_json();
+    assert!(metrics.contains(r#""queries_ok":48"#), "{metrics}");
+    assert!(metrics.contains(r#""shed":0"#), "{metrics}");
+    server.shutdown();
+    server.join();
+}
+
+/// A repeated query must be served from the result cache with a zero
+/// buffer-pool read delta — the `IoStats` counters do not move at all.
+#[test]
+fn cache_hit_has_zero_page_read_delta() {
+    let engine = school_engine();
+    let server = start(Arc::clone(&engine), ServerConfig::default());
+    let addr = server.local_addr();
+
+    let (status, miss) = http_get(addr, "/query?kw=John+Ben");
+    assert_eq!(status, 200);
+    assert!(miss.contains(r#""cached":false"#), "{miss}");
+
+    let before = engine.with_env(|e| e.stats());
+    let (status, hit) = http_get(addr, "/query?kw=ben+JOHN"); // same canonical key
+    assert_eq!(status, 200);
+    let after = engine.with_env(|e| e.stats());
+
+    assert!(hit.contains(r#""cached":true"#), "{hit}");
+    assert!(hit.contains(r#""disk_reads":0"#), "{hit}");
+    let delta = after.delta_since(&before);
+    assert_eq!(delta.disk_reads, 0, "cache hit must not read any page");
+    assert_eq!(delta.logical_reads, 0, "cache hit must not touch the pool at all");
+    assert_eq!(
+        extract_result(&hit),
+        extract_result(&miss),
+        "hit and miss serve identical result bytes"
+    );
+
+    let metrics = server.metrics_json();
+    assert!(metrics.contains(r#""hits":1"#), "{metrics}");
+    assert!(metrics.contains(r#""misses":1"#), "{metrics}");
+    server.shutdown();
+    server.join();
+}
+
+/// With the cache disabled every request re-executes (sanity check that
+/// the cache is what produces the zero-delta above).
+#[test]
+fn cache_disabled_reexecutes() {
+    let engine = school_engine();
+    let server = start(
+        Arc::clone(&engine),
+        ServerConfig { cache_entries: 0, ..ServerConfig::default() },
+    );
+    let addr = server.local_addr();
+
+    let (_, first) = http_get(addr, "/query?kw=John+Ben");
+    let before = engine.with_env(|e| e.stats());
+    let (_, second) = http_get(addr, "/query?kw=John+Ben");
+    let after = engine.with_env(|e| e.stats());
+
+    assert!(second.contains(r#""cached":false"#), "{second}");
+    assert!(
+        after.delta_since(&before).logical_reads > 0,
+        "cache off: the second query re-reads pages"
+    );
+    assert_eq!(extract_result(&first), extract_result(&second));
+    server.shutdown();
+    server.join();
+}
+
+/// Overload: one worker wedged on a stalled client, the queue at its
+/// bound — the next connection is refused with 503 immediately (the
+/// paper-service contract: shed, don't hang, never answer wrongly), and
+/// the server recovers once the stalls time out.
+#[test]
+fn overload_sheds_with_503_and_recovers() {
+    let engine = school_engine();
+    let server = start(
+        engine,
+        ServerConfig {
+            workers: 1,
+            queue_cap: 1,
+            io_timeout: Duration::from_millis(400),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    // Wedge the only worker: a connection that never sends its request.
+    let stall_worker = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150)); // worker picks it up
+    // Fill the queue bound with a second silent connection.
+    let stall_queue = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The next request must be shed immediately — well before any timeout.
+    let started = std::time::Instant::now();
+    let (status, body) = http_get(addr, "/query?kw=John+Ben");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("overloaded"), "{body}");
+    assert!(
+        started.elapsed() < Duration::from_millis(300),
+        "shedding must be immediate, took {:?}",
+        started.elapsed()
+    );
+
+    // Release the stalls; the worker times them out and drains.
+    drop(stall_worker);
+    drop(stall_queue);
+    let mut served = false;
+    for _ in 0..40 {
+        std::thread::sleep(Duration::from_millis(100));
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            if write!(s, "GET /query?kw=John+Ben HTTP/1.1\r\n\r\n").is_ok() {
+                let mut raw = String::new();
+                if s.read_to_string(&mut raw).is_ok() && raw.starts_with("HTTP/1.1 200") {
+                    served = true;
+                    break;
+                }
+            }
+        }
+    }
+    assert!(served, "server must recover after overload passes");
+
+    let metrics = server.metrics_json();
+    assert!(metrics.contains(r#""shed":1"#), "{metrics}");
+    server.shutdown();
+    server.join();
+}
+
+/// `/shutdown` answers, drains, and the join returns; afterwards the
+/// port no longer accepts connections.
+#[test]
+fn shutdown_endpoint_drains_and_stops_listening() {
+    let server = start(school_engine(), ServerConfig::default());
+    let addr = server.local_addr();
+
+    for _ in 0..3 {
+        assert_eq!(http_get(addr, "/query?kw=John+Ben").0, 200);
+    }
+    let (status, body) = http_get(addr, "/shutdown");
+    assert_eq!(status, 200);
+    assert_eq!(body, r#"{"status":"draining"}"#);
+
+    let final_metrics = server.join(); // must return: drain completes
+    assert!(final_metrics.contains(r#""queries_ok":3"#), "{final_metrics}");
+    assert!(final_metrics.contains(r#""draining":true"#), "{final_metrics}");
+
+    // The listener is gone; new connections are refused (allow the OS a
+    // moment to tear the socket down).
+    let mut refused = false;
+    for _ in 0..20 {
+        match TcpStream::connect(addr) {
+            Err(_) => {
+                refused = true;
+                break;
+            }
+            Ok(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    assert!(refused, "a joined server must not accept connections");
+}
+
+/// The programmatic shutdown used by tools mirrors the endpoint.
+#[test]
+fn programmatic_shutdown() {
+    let server = start(school_engine(), ServerConfig::default());
+    let addr = server.local_addr();
+    assert_eq!(http_get(addr, "/query?kw=john").0, 200);
+    server.shutdown();
+    let metrics = server.join();
+    assert!(metrics.contains(r#""queries_ok":1"#), "{metrics}");
+}

@@ -19,7 +19,7 @@ use xk_storage::{EnvOptions, IoStats, StorageEnv};
 use xk_xmltree::{normalize_keyword, Dewey, XmlTree};
 
 /// Which SLCA algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Pick automatically: Indexed Lookup Eager when the frequency ratio
     /// between the largest and smallest list is at least
@@ -88,6 +88,10 @@ pub struct Engine {
     env: SharedEnv,
     index: DiskIndex,
     document: Option<XmlTree>,
+    /// Bumped on every successful mutation ([`Engine::append_subtree`]);
+    /// result caches key their entries on this so served answers can
+    /// never go stale (see `xk_server::QueryCache`).
+    version: std::sync::atomic::AtomicU64,
 }
 
 impl Engine {
@@ -151,7 +155,19 @@ impl Engine {
     /// [`Pager`]: xk_storage::Pager
     pub fn from_env(env: StorageEnv) -> Result<Engine> {
         let index = DiskIndex::open(&env)?;
-        Ok(Engine { env: SharedEnv::new(env), index, document: None })
+        Ok(Engine {
+            env: SharedEnv::new(env),
+            index,
+            document: None,
+            version: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// A counter that changes whenever the indexed data changes (every
+    /// successful [`Engine::append_subtree`]). Cache entries tagged with
+    /// an older version must be discarded.
+    pub fn data_version(&self) -> u64 {
+        self.version.load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// The underlying index (frequency table, vocabulary).
@@ -440,6 +456,9 @@ impl Engine {
         let mut doc = self.document.take().expect("document loaded above");
         let result = self.append_into(&mut doc, parent, fragment_xml);
         self.document = Some(doc);
+        if result.is_ok() {
+            self.version.fetch_add(1, std::sync::atomic::Ordering::Release);
+        }
         result
     }
 
@@ -791,6 +810,17 @@ mod tests {
         assert!(err.to_string().contains("does not fit"), "{err}");
         let again = e.query(&["John", "Ben"], Algorithm::Stack).unwrap();
         assert_eq!(again.slcas.len(), 3 + 12, "failed append must not corrupt");
+    }
+
+    #[test]
+    fn data_version_tracks_appends() {
+        let mut e = engine();
+        assert_eq!(e.data_version(), 0);
+        e.append_subtree(&Dewey::root(), "<memo>hello</memo>").unwrap();
+        assert_eq!(e.data_version(), 1);
+        // Failed appends leave the version alone.
+        assert!(e.append_subtree(&d("0"), "<x/>").is_err());
+        assert_eq!(e.data_version(), 1);
     }
 
     #[test]

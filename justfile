@@ -27,6 +27,15 @@ test-concurrent:
 bench-concurrent:
     cargo run --release -p xk-bench --bin concurrency_scaling -- --quick
 
+# Serve an index over HTTP (xkserve; see DESIGN.md §6).
+serve db addr="127.0.0.1:8080":
+    cargo run --release -p xk-server --bin xksearch -- serve {{db}} --addr {{addr}}
+
+# End-to-end server throughput over loopback, Zipf query mix, result
+# cache on/off × 1/2/4/8 clients, into results/server_throughput.csv.
+bench-server:
+    cargo run --release -p xk-bench --bin server_loadgen -- --requests 2000
+
 # Regenerate the paper's evaluation artifacts into results/.
 figures:
     cargo run --release -p xk-bench --bin figures -- all
