@@ -1,11 +1,11 @@
 //! Microbenchmarks of the match primitives: in-memory binary search
-//! versus disk B+tree seeks (hot pool) for `lm`/`rm`, and the forward
-//! scan cursor — the per-operation costs behind Table 1.
+//! versus disk B+tree seeks (hot pool) for `lm`/`rm`, fresh descents
+//! versus anchored cursors — the per-operation costs behind Table 1.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use xk_index::{build_disk_index, DiskIndex, SharedEnv};
-use xk_slca::{AlgoStats, MemList, RankedList, ScanCursor, StreamList};
+use xk_slca::{MemList, RankedList, StreamList};
 use xk_storage::{EnvOptions, StorageEnv};
 use xk_workload::{generate, DblpSpec, Planted};
 use xk_xmltree::Dewey;
@@ -66,14 +66,20 @@ fn bench_match_ops(c: &mut Criterion) {
         })
     });
 
-    group.bench_function("scan_cursor_full_pass", |b| {
+    group.bench_function("disk_rm_lm_anchored_sorted", |b| {
+        // The Scan Eager access pattern: sorted probes through one
+        // anchored cursor, so most seeks resolve inside the pinned leaf.
+        let mut sorted_probes = f.probes.clone();
+        sorted_probes.sort();
+        let mut list = f
+            .index
+            .ranked_list(f.env.clone(), "needle")
+            .expect("planted keyword")
+            .anchored();
         b.iter(|| {
-            let mut cursor = ScanCursor::new(MemList::from_sorted(f.mem.clone()));
-            let mut stats = AlgoStats::default();
-            let mut sorted_probes = f.probes.clone();
-            sorted_probes.sort();
             for p in &sorted_probes {
-                black_box(cursor.deepest_dominator(p, &mut stats));
+                black_box(list.rm(p));
+                black_box(list.lm(p));
             }
         })
     });

@@ -1,0 +1,192 @@
+//! Measures what anchoring buys the IL probe loop: page reads per
+//! `lm`/`rm` probe against the big list `S_2`, anchored cursor versus
+//! fresh root-to-leaf descent, on a cold buffer pool.
+//!
+//! One document carries every sweep point: keywords `s1a..s1d` planted at
+//! frequencies 10, 100, 1 000, 10 000 and `s2` at 100 000. For each
+//! `|S_1|` the probe loop replays exactly what Indexed Lookup Eager does —
+//! one `deepest_dominator_ranked` call per `S_1` witness against the
+//! `S_2` ranked list — with the witnesses pre-materialized so the
+//! measured I/O window contains *only* the probes.
+//!
+//! ```text
+//! lookup_locality [--smoke] [--out results/lookup_locality.csv]
+//! ```
+//!
+//! `--smoke` shrinks the corpus for CI (and writes no CSV unless `--out`
+//! is given explicitly); the full run appends one CSV row per
+//! `(|S_1|, mode)` plus a stdout summary with the anchored/fresh ratios.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+use xk_index::{build_disk_index, DiskIndex, SharedEnv};
+use xk_slca::{deepest_dominator_ranked, AlgoStats, StreamList};
+use xk_storage::{EnvOptions, IoStats, StorageEnv};
+use xk_workload::{generate, DblpSpec, Planted};
+use xk_xmltree::Dewey;
+
+struct RunConfig {
+    papers: usize,
+    s1_sizes: Vec<usize>,
+    s2_size: usize,
+}
+
+struct Measured {
+    probes: u64,
+    match_lookups: u64,
+    io: IoStats,
+    elapsed: Duration,
+}
+
+/// Replays the IL probe loop for one `S_1` over the `S_2` ranked list and
+/// returns the I/O charged to the probes alone (cold pool, witnesses in
+/// memory).
+fn probe_run(
+    env: &SharedEnv,
+    index: &DiskIndex,
+    witnesses: &[Dewey],
+    s2_keyword: &str,
+    anchored: bool,
+) -> Measured {
+    let mut list = index
+        .ranked_list(env.clone(), s2_keyword)
+        .expect("planted keyword present");
+    if anchored {
+        list = list.anchored();
+    }
+    env.with(|e| e.clear_cache()).expect("cache clear");
+    let before = env.with(|e| e.stats());
+    let start = Instant::now();
+    let mut stats = AlgoStats::default();
+    let mut sink = 0u64;
+    for w in witnesses {
+        if let Some(d) = deepest_dominator_ranked(&mut list, w, &mut stats) {
+            sink = sink.wrapping_add(d.depth() as u64);
+        }
+    }
+    std::hint::black_box(sink);
+    let elapsed = start.elapsed();
+    let io = env.with(|e| e.stats()).delta_since(&before);
+    if let Some(e) = env.take_error() {
+        panic!("storage error during probe run: {e}");
+    }
+    Measured { probes: witnesses.len() as u64, match_lookups: stats.match_lookups, io, elapsed }
+}
+
+fn collect_witnesses(env: &SharedEnv, index: &DiskIndex, keyword: &str) -> Vec<Dewey> {
+    let mut stream = index
+        .stream_list(env.clone(), keyword)
+        .expect("planted keyword present");
+    let mut out = Vec::new();
+    while let Some(d) = stream.next_node() {
+        out.push(d);
+    }
+    out
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = Some(args.next().expect("--out needs a path")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let cfg = if smoke {
+        RunConfig { papers: 2_500, s1_sizes: vec![10, 100], s2_size: 2_000 }
+    } else {
+        RunConfig { papers: 100_000, s1_sizes: vec![10, 100, 1_000, 10_000], s2_size: 100_000 }
+    };
+    if !smoke && out_path.is_none() {
+        out_path = Some("results/lookup_locality.csv".into());
+    }
+
+    let mut planted: Vec<Planted> = cfg
+        .s1_sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| Planted { keyword: format!("s1{}", (b'a' + i as u8) as char), frequency: f })
+        .collect();
+    planted.push(Planted { keyword: "s2".into(), frequency: cfg.s2_size });
+    let spec = DblpSpec { papers: cfg.papers, planted, ..DblpSpec::default() };
+
+    eprintln!("generating {} papers ...", cfg.papers);
+    let tree = generate(&spec);
+    let dir = std::env::temp_dir().join(format!("xk-locality-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("locality.db");
+    // A pool big enough that the measured window never evicts: the probe
+    // counts then reflect pure access locality, not pool pressure.
+    let options = EnvOptions { page_size: 4096, pool_pages: 16_384 };
+    eprintln!("building disk index ...");
+    let env = StorageEnv::create(&db, options.clone()).unwrap();
+    build_disk_index(&env, &tree, false).unwrap();
+    env.flush().unwrap();
+    drop(env);
+    let env = SharedEnv::new(StorageEnv::open(&db, options).unwrap());
+    let index = DiskIndex::open(env.env()).unwrap();
+
+    let mut csv = String::from(
+        "s1_size,s2_size,mode,probes,match_lookups,logical_reads,disk_reads,\
+         reads_per_lookup,elapsed_us\n",
+    );
+    println!(
+        "{:>8} {:>9} {:>10} {:>14} {:>14} {:>9} {:>9}",
+        "|S1|", "|S2|", "mode", "logical_reads", "disk_reads", "rd/lkup", "ratio"
+    );
+    for (i, &s1) in cfg.s1_sizes.iter().enumerate() {
+        let kw = format!("s1{}", (b'a' + i as u8) as char);
+        let witnesses = collect_witnesses(&env, &index, &kw);
+        assert_eq!(witnesses.len(), s1, "planted |S1| mismatch for {kw}");
+        let mut fresh_reads = 0u64;
+        for (mode, anchored) in [("fresh", false), ("anchored", true)] {
+            let m = probe_run(&env, &index, &witnesses, "s2", anchored);
+            let per_lookup = m.io.logical_reads as f64 / m.match_lookups.max(1) as f64;
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{},{:.2},{}\n",
+                s1,
+                cfg.s2_size,
+                mode,
+                m.probes,
+                m.match_lookups,
+                m.io.logical_reads,
+                m.io.disk_reads,
+                per_lookup,
+                m.elapsed.as_micros()
+            ));
+            let ratio = if anchored && m.io.logical_reads > 0 {
+                format!("{:.2}x", fresh_reads as f64 / m.io.logical_reads as f64)
+            } else {
+                fresh_reads = m.io.logical_reads;
+                "-".into()
+            };
+            println!(
+                "{:>8} {:>9} {:>10} {:>14} {:>14} {:>9.2} {:>9}",
+                s1, cfg.s2_size, mode, m.io.logical_reads, m.io.disk_reads, per_lookup, ratio
+            );
+            if anchored {
+                assert!(
+                    m.io.logical_reads < fresh_reads,
+                    "anchored probes must read fewer pages than fresh descents \
+                     ({} vs {fresh_reads} at |S1|={s1})",
+                    m.io.logical_reads
+                );
+            }
+        }
+    }
+
+    if let Some(path) = out_path {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).unwrap();
+            }
+        }
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(csv.as_bytes()).unwrap();
+        eprintln!("wrote {path}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

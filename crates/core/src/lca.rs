@@ -104,7 +104,10 @@ fn check_lca(
     let c = u
         .child_towards(x)
         .expect("check_lca requires u to be a proper ancestor of x");
-    let uncle = c.uncle().expect("c is a child, so it has an uncle position");
+    // `None` iff c's ordinal is u32::MAX: no position exists to c's
+    // right, so the right region below is empty and only the left region
+    // can certify u.
+    let uncle = c.uncle();
     for list in all.iter_mut() {
         // Left region: [u, c) in preorder — u itself and the subtrees of
         // c's left siblings.
@@ -115,10 +118,12 @@ fn check_lca(
             }
         }
         // Right region: descendants of u at or after the uncle position.
-        stats.match_lookups += 1;
-        if let Some(n) = list.rm(&uncle) {
-            if u.is_ancestor_of(&n) {
-                return true;
+        if let Some(uncle) = &uncle {
+            stats.match_lookups += 1;
+            if let Some(n) = list.rm(uncle) {
+                if u.is_ancestor_of(&n) {
+                    return true;
+                }
             }
         }
     }

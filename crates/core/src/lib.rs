@@ -7,8 +7,10 @@
 //! * [`indexed_lookup_eager`] — the paper's main contribution (Algorithm
 //!   IL): `O(k·d·|S_1|·log|S_max|)`, orders of magnitude faster than the
 //!   alternatives when keyword frequencies differ;
-//! * [`scan_eager`] — the cursor-based variant tuned for similar
-//!   frequencies, `O(d·Σ|S_i|)`;
+//! * [`scan_eager`] — the variant tuned for similar frequencies: the same
+//!   eager loop, but the match lookups are expected to be answered by
+//!   position-remembering cursors (anchored B+tree cursors on disk) so a
+//!   near-sequential probe pattern costs `O(d·Σ|S_i|)`;
 //! * [`stack_merge`] — the prior-work sort-merge Stack algorithm (XRANK's
 //!   DIL adapted to SLCA semantics), `O(k·d·Σ|S_i|)`;
 //! * [`brute_force_slca`] — the `O(d·Π|S_i|)` oracle;
@@ -43,7 +45,7 @@ pub mod stats;
 pub use brute::{brute_force_all_lcas, brute_force_slca, remove_ancestors};
 pub use lca::{all_lcas, all_lcas_collect, LcaKind};
 pub use lists::{MemList, RankedList, StreamList};
-pub use matching::{deeper, deepest_dominator_ranked, EagerFilter, ScanCursor};
+pub use matching::{deeper, deepest_dominator_ranked, EagerFilter};
 pub use slca::{
     indexed_lookup_eager, indexed_lookup_eager_buffered, indexed_lookup_eager_collect,
     scan_eager, scan_eager_collect, stack_merge, stack_merge_collect,

@@ -1,7 +1,7 @@
 //! The match step (Property 1 of the paper) and the eager ancestor filter
 //! (Lemmas 1 and 2).
 
-use crate::lists::{RankedList, StreamList};
+use crate::lists::RankedList;
 use crate::stats::AlgoStats;
 use xk_xmltree::Dewey;
 
@@ -53,97 +53,6 @@ pub fn deeper(a: Option<Dewey>, b: Option<Dewey>) -> Option<Dewey> {
         (None, x) => x,
         (x, None) => x,
         (Some(a), Some(b)) => Some(if a.depth() >= b.depth() { a } else { b }),
-    }
-}
-
-/// A forward-only scanning cursor over a [`StreamList`] that answers the
-/// same "deepest dominator" question as [`deepest_dominator_ranked`], the
-/// way the Scan Eager algorithm does: by advancing a cursor instead of
-/// indexed lookups.
-///
-/// Probes arrive in the order the eager algorithms generate them. The
-/// sequence is *not* strictly monotone: a later probe can be an ancestor
-/// of the previous one (only ever an ancestor — see the module tests). In
-/// that case any element the cursor already passed inside `[q, prev)` is a
-/// descendant of `q`, so the match is `q` itself, and one remembered
-/// element (`last_passed`) suffices for exact answers without rewinding.
-pub struct ScanCursor<L: StreamList> {
-    list: L,
-    /// Next element the stream will yield (lookahead), if any.
-    lookahead: Option<Dewey>,
-    /// The largest element already consumed and strictly below the
-    /// lookahead — the candidate left match.
-    last_passed: Option<Dewey>,
-    /// Largest probe seen, for the ancestor-probe fast path.
-    last_probe: Option<Dewey>,
-    exhausted_len: u64,
-}
-
-impl<L: StreamList> ScanCursor<L> {
-    /// Wraps a rewound stream.
-    pub fn new(mut list: L) -> ScanCursor<L> {
-        list.rewind();
-        let len = list.len();
-        let lookahead = list.next_node();
-        ScanCursor { list, lookahead, last_passed: None, last_probe: None, exhausted_len: len }
-    }
-
-    /// Number of nodes in the underlying list.
-    pub fn len(&self) -> u64 {
-        self.exhausted_len
-    }
-
-    /// True iff the underlying list is empty.
-    pub fn is_empty(&self) -> bool {
-        self.exhausted_len == 0
-    }
-
-    /// The deepest ancestor-or-self of `q` dominating the list, found by
-    /// scanning. Returns `None` iff the list is empty.
-    pub fn deepest_dominator(&mut self, q: &Dewey, stats: &mut AlgoStats) -> Option<Dewey> {
-        if self.exhausted_len == 0 {
-            return None;
-        }
-        if let Some(prev) = &self.last_probe {
-            if q < prev {
-                // Backward probe: q is an ancestor of the previous probe.
-                // Anything already passed in [q, prev) is a descendant of
-                // q, so q itself dominates the list.
-                debug_assert!(q.is_ancestor_of(prev), "backward probes are ancestors");
-                if self.last_passed.as_ref().is_some_and(|p| p >= q) {
-                    return Some(q.clone());
-                }
-                // Otherwise nothing lies between: the cursor position is
-                // still exactly rm(q) and last_passed is exactly lm(q).
-                return self.match_from_position(q, stats);
-            }
-        }
-        self.last_probe = Some(q.clone());
-        // Advance the cursor to the first element >= q.
-        while let Some(n) = &self.lookahead {
-            if n >= q {
-                break;
-            }
-            self.last_passed = self.lookahead.take();
-            self.lookahead = self.list.next_node();
-            stats.nodes_scanned += 1;
-        }
-        self.match_from_position(q, stats)
-    }
-
-    fn match_from_position(&self, q: &Dewey, stats: &mut AlgoStats) -> Option<Dewey> {
-        if self.lookahead.as_ref() == Some(q) {
-            return Some(q.clone());
-        }
-        let right = self.lookahead.as_ref().map(|n| {
-            stats.lca_computations += 1;
-            q.lca(n)
-        });
-        let left = self.last_passed.as_ref().map(|n| {
-            stats.lca_computations += 1;
-            q.lca(n)
-        });
-        deeper(left, right)
     }
 }
 
@@ -241,51 +150,6 @@ mod tests {
         let mut s = AlgoStats::default();
         deepest_dominator_ranked(&mut l, &d("0.5"), &mut s);
         assert_eq!(s.match_lookups, 1); // exact rm hit short-circuits
-    }
-
-    #[test]
-    fn scan_cursor_matches_ranked_on_monotone_probes() {
-        let items = ["0.0.1", "0.1.4", "0.3", "0.5.2.1", "0.9"];
-        let probes = ["0.0.0", "0.1.4", "0.2", "0.5.2", "0.9.1", "1.0"];
-        let mut ranked = mem(&items);
-        let mut cursor = ScanCursor::new(mem(&items));
-        for p in probes {
-            let mut s1 = AlgoStats::default();
-            let mut s2 = AlgoStats::default();
-            assert_eq!(
-                cursor.deepest_dominator(&d(p), &mut s1),
-                deepest_dominator_ranked(&mut ranked, &d(p), &mut s2),
-                "probe {p}"
-            );
-        }
-    }
-
-    #[test]
-    fn scan_cursor_handles_ancestor_backstep() {
-        // Probe 0.4.2.7 first, then its ancestor 0.4: the cursor has
-        // passed 0.4.1 (inside [0.4, 0.4.2.7)), so 0.4 dominates directly.
-        let mut cursor = ScanCursor::new(mem(&["0.4.1", "0.8"]));
-        let mut s = AlgoStats::default();
-        assert_eq!(cursor.deepest_dominator(&d("0.4.2.7"), &mut s), Some(d("0.4")));
-        assert_eq!(cursor.deepest_dominator(&d("0.4"), &mut s), Some(d("0.4")));
-    }
-
-    #[test]
-    fn scan_cursor_backstep_with_nothing_passed() {
-        // Probe 0.4.2.7 (nothing below it in the list), then ancestor 0.4:
-        // no element lies in [0.4, 0.4.2.7), so matches are unchanged.
-        let mut cursor = ScanCursor::new(mem(&["0.8"]));
-        let mut s = AlgoStats::default();
-        assert_eq!(cursor.deepest_dominator(&d("0.4.2.7"), &mut s), Some(d("0")));
-        assert_eq!(cursor.deepest_dominator(&d("0.4"), &mut s), Some(d("0")));
-    }
-
-    #[test]
-    fn scan_counts_scanned_nodes() {
-        let mut cursor = ScanCursor::new(mem(&["0.0", "0.1", "0.2", "0.3"]));
-        let mut s = AlgoStats::default();
-        cursor.deepest_dominator(&d("0.2"), &mut s);
-        assert_eq!(s.nodes_scanned, 2); // passed 0.0 and 0.1
     }
 
     #[test]

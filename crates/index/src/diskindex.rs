@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 use xk_slca::{RankedList, StreamList};
-use xk_storage::{BTree, ListHandle, ListReader, ListWriter, StorageEnv, StorageError};
+use xk_storage::{BTree, BTreeCursor, ListHandle, ListReader, ListWriter, StorageEnv, StorageError};
 use xk_xmltree::{Dewey, XmlTree};
 
 /// Root slot of the vocabulary B+tree.
@@ -335,6 +335,7 @@ impl DiskIndex {
             kwid: meta.kwid,
             count: meta.count,
             table: Arc::clone(&self.level_table),
+            cursor: None,
         })
     }
 
@@ -524,9 +525,28 @@ pub struct DiskRankedList {
     kwid: u32,
     count: u64,
     table: Arc<LevelTable>,
+    /// Per-list anchored B+tree cursor. `None` = stateless seeks (a full
+    /// root-to-leaf descent per probe); `Some` = seeks reuse the pinned
+    /// path, turning near-monotone probe sequences into O(1) leaf hops.
+    /// Results are identical either way — the cursor self-invalidates on
+    /// [`StorageEnv::data_version`] bumps.
+    cursor: Option<BTreeCursor>,
 }
 
 impl DiskRankedList {
+    /// Switches this list to anchored seeks: probes reuse the last
+    /// root-to-leaf path while the env's data version stands still. The
+    /// engine enables this for the per-candidate `lm`/`rm` loops, where
+    /// consecutive probes land near each other in document order.
+    pub fn anchored(mut self) -> DiskRankedList {
+        self.cursor = Some(BTreeCursor::new());
+        self
+    }
+
+    /// True iff this list reuses an anchored cursor across probes.
+    pub fn is_anchored(&self) -> bool {
+        self.cursor.is_some()
+    }
     fn decode_hit(&self, key: &[u8]) -> Option<Dewey> {
         let (kwid, packed) = match split_il_key(key) {
             Ok(parts) => parts,
@@ -559,14 +579,18 @@ impl DiskRankedList {
         let key = match &probe {
             Probe::Exact(p) | Probe::After(p) => il_key(self.kwid, p),
         };
-        let entry = self.env.with(|env| -> Result<Option<(Vec<u8>, Vec<u8>)>> {
-            let cur = if ge {
-                self.il.seek_ge(env, &key)?
-            } else {
-                self.il.seek_le(env, &key)?
-            };
-            Ok(cur.read(env)?)
-        });
+        let entry = {
+            let env = self.env.env();
+            (|| -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+                let cur = match (&mut self.cursor, ge) {
+                    (Some(anchor), true) => self.il.seek_ge_anchored(env, anchor, &key)?,
+                    (Some(anchor), false) => self.il.seek_le_anchored(env, anchor, &key)?,
+                    (None, true) => self.il.seek_ge(env, &key)?,
+                    (None, false) => self.il.seek_le(env, &key)?,
+                };
+                Ok(cur.read(env)?)
+            })()
+        };
         match entry {
             Ok(e) => e.and_then(|(k, _)| self.decode_hit(&k)),
             Err(e) => {
@@ -694,6 +718,27 @@ mod tests {
             }
             assert_eq!(disk.len(), RankedList::len(&memlist));
         }
+    }
+
+    #[test]
+    fn anchored_ranked_lists_match_stateless() {
+        let (env, index) = build_school();
+        let mem = MemIndex::build(&school_example());
+        let tree = school_example();
+        let probes: Vec<Dewey> = tree.preorder().map(|n| tree.dewey(n)).collect();
+        for (kw, _) in mem.keywords() {
+            let mut anchored = index.ranked_list(env.clone(), kw).unwrap().anchored();
+            assert!(anchored.is_anchored());
+            let mut memlist =
+                xk_slca::MemList::from_sorted(mem.keyword_list(kw).unwrap().to_vec());
+            // Document order (ascending), then reversed: the anchored
+            // cursor must agree with the oracle in both regimes.
+            for p in probes.iter().chain(probes.iter().rev()) {
+                assert_eq!(anchored.rm(p), memlist.rm(p), "anchored rm({p}) on {kw}");
+                assert_eq!(anchored.lm(p), memlist.lm(p), "anchored lm({p}) on {kw}");
+            }
+        }
+        assert!(env.take_error().is_none());
     }
 
     #[test]

@@ -87,7 +87,7 @@ pub fn parse_request_line(line: &str) -> Option<Request> {
     };
     Some(Request {
         method,
-        path: percent_decode(raw_path),
+        path: percent_decode_path(raw_path),
         query: parse_query(raw_query),
     })
 }
@@ -105,14 +105,28 @@ pub fn parse_query(raw: &str) -> Vec<(String, String)> {
 }
 
 /// Decodes `%XX` escapes and `+`-as-space, leniently: malformed escapes
-/// pass through verbatim rather than failing the request.
+/// pass through verbatim rather than failing the request. Only correct
+/// for `application/x-www-form-urlencoded` data (query-string pairs);
+/// use [`percent_decode_path`] for request paths, where `+` is a literal
+/// character (RFC 3986 reserves `+` no special meaning in paths).
 pub fn percent_decode(s: &str) -> String {
+    decode_inner(s, true)
+}
+
+/// Decodes `%XX` escapes in a request *path*. Unlike [`percent_decode`],
+/// `+` stays `+`: the form-encoding space convention applies to query
+/// strings only, so `GET /a+b` must route to the literal path `/a+b`.
+pub fn percent_decode_path(s: &str) -> String {
+    decode_inner(s, false)
+}
+
+fn decode_inner(s: &str, plus_is_space: bool) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
         match bytes[i] {
-            b'+' => {
+            b'+' if plus_is_space => {
                 out.push(b' ');
                 i += 1;
             }
@@ -227,5 +241,19 @@ mod tests {
         assert_eq!(percent_decode("100%"), "100%");
         assert_eq!(percent_decode("%zz"), "%zz");
         assert_eq!(percent_decode("%41"), "A");
+    }
+
+    #[test]
+    fn path_keeps_literal_plus() {
+        // `+` means space only in form-encoded query pairs, never in the
+        // path itself: /a+b is a distinct resource from "/a b".
+        let r = parse_request_line("GET /a+b HTTP/1.1").unwrap();
+        assert_eq!(r.path, "/a+b");
+        // %XX escapes still decode in paths, and `+` in the query string
+        // still decodes to a space.
+        let r = parse_request_line("GET /a%20b+c?kw=x+y HTTP/1.1").unwrap();
+        assert_eq!(r.path, "/a b+c");
+        assert_eq!(r.param("kw"), Some("x y"));
+        assert_eq!(percent_decode_path("a%2Bb+c"), "a+b+c");
     }
 }

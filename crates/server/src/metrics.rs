@@ -130,9 +130,15 @@ pub struct ServerMetrics {
     pub query_latency: Histogram,
 }
 
-/// The `by_algorithm` slot for an *executed* algorithm (never `Auto` —
-/// the engine resolves Auto before running).
+/// The `by_algorithm` slot for an *executed* algorithm. Callers must pass
+/// the engine-resolved algorithm (`QueryOutcome::algorithm`), never
+/// `Auto`: silently bucketing Auto would misattribute those queries to
+/// whichever slot absorbed them.
 pub fn algo_slot(a: Algorithm) -> usize {
+    debug_assert!(
+        a != Algorithm::Auto,
+        "algo_slot takes the executed algorithm; resolve Auto first"
+    );
     match a {
         Algorithm::IndexedLookupEager => 0,
         Algorithm::ScanEager | Algorithm::Auto => 1,

@@ -1,0 +1,137 @@
+//! Property tests for the HTTP request-line parsing: percent-encoding
+//! round-trips for query pairs and paths, plus a fixed corpus of
+//! malformed inputs that must parse leniently (never panic, never drop
+//! well-formed parts of the request).
+
+use proptest::prelude::*;
+use xk_server::http::{parse_query, parse_request_line, percent_decode, percent_decode_path};
+
+/// Form-encodes arbitrary text so that every byte survives the trip:
+/// everything outside `[A-Za-z0-9]` becomes `%XX`.
+fn encode(s: &str) -> String {
+    let mut out = String::new();
+    for &b in s.as_bytes() {
+        if b.is_ascii_alphanumeric() {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02X}"));
+        }
+    }
+    out
+}
+
+/// Form-encoding with the `+`-as-space shorthand for query pairs.
+fn encode_form(s: &str) -> String {
+    let mut out = String::new();
+    for &b in s.as_bytes() {
+        if b == b' ' {
+            out.push('+');
+        } else if b.is_ascii_alphanumeric() {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02X}"));
+        }
+    }
+    out
+}
+
+/// `[a-z]` words (the vendored proptest has no char-class regexes).
+fn word(max_len: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(b'a'..=b'z', 1..max_len)
+        .prop_map(|v| String::from_utf8(v).expect("ascii"))
+}
+
+/// Path segments over `[a-z+]`: the `+` must survive path decoding.
+fn plus_segment() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..5, 1..8)
+        .prop_map(|v| v.iter().map(|&i| [b'a', b'z', b'+', b'q', b'+'][i as usize] as char).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn query_pairs_round_trip(pairs in proptest::collection::vec((".{0,10}", ".{0,10}"), 0..6)) {
+        let raw: Vec<String> = pairs
+            .iter()
+            .map(|(k, v)| format!("{}={}", encode_form(k), encode_form(v)))
+            .collect();
+        let parsed = parse_query(&raw.join("&"));
+        prop_assert_eq!(parsed, pairs);
+    }
+
+    #[test]
+    fn percent_decode_round_trips(s in ".{0,24}") {
+        prop_assert_eq!(percent_decode(&encode(&s)), s.clone());
+        prop_assert_eq!(percent_decode(&encode_form(&s)), s.clone());
+        // Path decoding differs only in `+` handling, which `encode`
+        // never emits bare.
+        prop_assert_eq!(percent_decode_path(&encode(&s)), s);
+    }
+
+    #[test]
+    fn request_line_round_trips(
+        segs in proptest::collection::vec(plus_segment(), 1..4),
+        pairs in proptest::collection::vec((word(6), ".{0,10}"), 0..4),
+    ) {
+        // `+` in path segments must survive verbatim; query values decode.
+        let path = format!("/{}", segs.join("/"));
+        let query: Vec<String> = pairs
+            .iter()
+            .map(|(k, v)| format!("{k}={}", encode_form(v)))
+            .collect();
+        let line = format!("GET {path}?{} HTTP/1.1", query.join("&"));
+        let r = parse_request_line(&line).expect("well-formed line");
+        prop_assert_eq!(r.path, path);
+        prop_assert_eq!(r.query, pairs);
+    }
+
+    #[test]
+    fn arbitrary_targets_never_panic(
+        bytes in proptest::collection::vec(b'!'..b'~', 1..40),
+    ) {
+        // Any printable-ASCII target must parse or be rejected, quietly.
+        let target = String::from_utf8(bytes).expect("printable ascii");
+        let _ = parse_request_line(&format!("GET {target} HTTP/1.1"));
+        let _ = percent_decode(target.as_str());
+        let _ = percent_decode_path(target.as_str());
+        let _ = parse_query(target.as_str());
+    }
+}
+
+#[test]
+fn malformed_request_corpus() {
+    // Dangling escapes decode to themselves, wherever they sit.
+    for (target, path) in [
+        ("/a%", "/a%"),
+        ("/a%0", "/a%0"),
+        ("/a%zz", "/a%zz"),
+        ("/%F", "/%F"),
+    ] {
+        let r = parse_request_line(&format!("GET {target} HTTP/1.1")).unwrap();
+        assert_eq!(r.path, path, "target {target:?}");
+        assert!(r.query.is_empty());
+    }
+
+    // A bare `?`: empty query string, nothing invented.
+    let r = parse_request_line("GET /query? HTTP/1.1").unwrap();
+    assert_eq!(r.path, "/query");
+    assert!(r.query.is_empty());
+
+    // Empty keys, empty values, empty segments, dangling escapes in values.
+    let r = parse_request_line("GET /q?=v&&k=&=&lone&x=%zz HTTP/1.1").unwrap();
+    assert_eq!(
+        r.query,
+        vec![
+            ("".into(), "v".into()),
+            ("k".into(), "".into()),
+            ("".into(), "".into()),
+            ("lone".into(), "".into()),
+            ("x".into(), "%zz".into()),
+        ]
+    );
+
+    // `?` with only separators: all segments empty, all dropped.
+    let r = parse_request_line("GET /q?&&& HTTP/1.1").unwrap();
+    assert!(r.query.is_empty());
+}

@@ -145,6 +145,30 @@ fn eight_concurrent_clients_get_byte_identical_answers() {
     server.join();
 }
 
+/// `algo=auto` queries must be counted under the algorithm the engine
+/// actually ran, on the miss path and the cache-hit path alike — never
+/// silently absorbed into a fixed slot.
+#[test]
+fn auto_queries_count_under_the_resolved_algorithm() {
+    let engine = school_engine();
+    // john=4 vs ben=3: similar frequencies, so Auto resolves to Scan Eager.
+    let resolved = engine.query(&["John", "Ben"], Algorithm::Auto).unwrap().algorithm;
+    assert_eq!(resolved, Algorithm::ScanEager);
+    let server = start(Arc::clone(&engine), ServerConfig::default());
+    let addr = server.local_addr();
+
+    // A cold execution and a cache hit, both under algo=auto.
+    assert_eq!(http_get(addr, "/query?kw=John+Ben&algo=auto").0, 200);
+    assert_eq!(http_get(addr, "/query?kw=John+Ben&algo=auto").0, 200);
+
+    let metrics = server.metrics_json();
+    assert!(metrics.contains(r#""scan-eager":2"#), "{metrics}");
+    assert!(metrics.contains(r#""indexed-lookup-eager":0"#), "{metrics}");
+    assert!(metrics.contains(r#""stack":0"#), "{metrics}");
+    server.shutdown();
+    server.join();
+}
+
 /// A repeated query must be served from the result cache with a zero
 /// buffer-pool read delta — the `IoStats` counters do not move at all.
 #[test]

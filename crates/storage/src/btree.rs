@@ -105,7 +105,7 @@ mod raw {
         lo
     }
 
-    fn internal_sep(page: &[u8], i: usize) -> &[u8] {
+    pub fn internal_sep(page: &[u8], i: usize) -> &[u8] {
         let off = offset(page, INT_HDR, i);
         let klen = u16::from_le_bytes(page[off..off + 2].try_into().unwrap()) as usize;
         &page[off + 2..off + 2 + klen]
@@ -121,8 +121,10 @@ mod raw {
         PageId(u32::from_le_bytes(page[cpos..cpos + 4].try_into().unwrap()))
     }
 
-    /// The child to descend into for `probe` (boundary keys go right).
-    pub fn internal_route(page: &[u8], probe: &[u8]) -> PageId {
+    /// The child *index* to descend into for `probe` (boundary keys go
+    /// right): the first `i` with `sep[i] > probe`, i.e. child `i` holds
+    /// keys `k` with `sep[i-1] <= k < sep[i]`.
+    pub fn internal_route_idx(page: &[u8], probe: &[u8]) -> usize {
         let n = count(page);
         let (mut lo, mut hi) = (0usize, n);
         while lo < hi {
@@ -133,7 +135,12 @@ mod raw {
                 hi = mid;
             }
         }
-        internal_child_at(page, lo)
+        lo
+    }
+
+    /// The child to descend into for `probe` (boundary keys go right).
+    pub fn internal_route(page: &[u8], probe: &[u8]) -> PageId {
+        internal_child_at(page, internal_route_idx(page, probe))
     }
 }
 
@@ -558,6 +565,155 @@ impl BTree {
         Ok(self.get(env, key)?.is_some())
     }
 
+    /// [`BTree::seek_ge`] through an anchored cursor: reuses the pinned
+    /// root-to-leaf path in `anchor` when the probe still falls inside the
+    /// pinned leaf's key range, gallops up only as many levels as the key
+    /// escapes before re-descending, and falls back to a full descent when
+    /// the anchor is unpinned or the env's data version moved.
+    pub fn seek_ge_anchored(
+        &self,
+        env: &StorageEnv,
+        anchor: &mut BTreeCursor,
+        key: &[u8],
+    ) -> Result<Cursor> {
+        self.seek_anchored(env, anchor, key, true)
+    }
+
+    /// [`BTree::seek_le`] through an anchored cursor; see
+    /// [`BTree::seek_ge_anchored`].
+    pub fn seek_le_anchored(
+        &self,
+        env: &StorageEnv,
+        anchor: &mut BTreeCursor,
+        key: &[u8],
+    ) -> Result<Cursor> {
+        self.seek_anchored(env, anchor, key, false)
+    }
+
+    fn seek_anchored(
+        &self,
+        env: &StorageEnv,
+        anchor: &mut BTreeCursor,
+        key: &[u8],
+        ge: bool,
+    ) -> Result<Cursor> {
+        let version = env.data_version();
+        if anchor.version != version || anchor.path.is_empty() {
+            // Unpinned or possibly stale: pin a fresh path from the root.
+            anchor.path.clear();
+            anchor.version = version;
+            let root = self.root(env)?;
+            return self.descend_record(env, anchor, root, None, None, key, ge);
+        }
+        // Gallop up: pop pinned levels until one's separator bounds contain
+        // the probe. The containment test (`lower <= key < upper`) matches
+        // `raw::internal_route_idx` exactly (boundary keys go right), so an
+        // anchored re-descent lands on the same leaf a fresh descent would.
+        while let Some(level) = anchor.path.last() {
+            let above = level.lower.as_deref().is_none_or(|lo| lo <= key);
+            let below = level.upper.as_deref().is_none_or(|hi| key < hi);
+            if above && below {
+                break;
+            }
+            anchor.path.pop();
+        }
+        match anchor.path.pop() {
+            Some(top) => {
+                // Re-descend from the deepest still-valid level (re-pushing
+                // it); a probe inside the pinned leaf costs one page read.
+                self.descend_record(env, anchor, top.page, top.lower, top.upper, key, ge)
+            }
+            None => {
+                // The root level has unbounded separators, so this only
+                // happens if the path was emptied by a racing invalidation;
+                // recover with a fresh descent.
+                let root = self.root(env)?;
+                self.descend_record(env, anchor, root, None, None, key, ge)
+            }
+        }
+    }
+
+    /// Descends from `page` (whose subtree covers `[lower, upper)`) to the
+    /// leaf for `key`, pushing every visited level onto `anchor`, and
+    /// positions a [`Cursor`] exactly like the stateless seeks.
+    #[allow(clippy::too_many_arguments)]
+    fn descend_record(
+        &self,
+        env: &StorageEnv,
+        anchor: &mut BTreeCursor,
+        mut page: PageId,
+        mut lower: Option<Vec<u8>>,
+        mut upper: Option<Vec<u8>>,
+        key: &[u8],
+        ge: bool,
+    ) -> Result<Cursor> {
+        enum Anchored {
+            Descend(PageId, Option<Vec<u8>>, Option<Vec<u8>>),
+            At(usize),
+            Chain(Option<PageId>),
+        }
+        loop {
+            let step = env.with_page(page, |p| {
+                if raw::is_internal(p) {
+                    let i = raw::internal_route_idx(p, key);
+                    let n = raw::count(p);
+                    let child = raw::internal_child_at(p, i);
+                    let lo = if i == 0 {
+                        lower.clone()
+                    } else {
+                        Some(raw::internal_sep(p, i - 1).to_vec())
+                    };
+                    let hi = if i == n {
+                        upper.clone()
+                    } else {
+                        Some(raw::internal_sep(p, i).to_vec())
+                    };
+                    Ok(Anchored::Descend(child, lo, hi))
+                } else if raw::is_leaf(p) {
+                    if ge {
+                        let idx = raw::leaf_lower_bound(p, key);
+                        if idx < raw::count(p) {
+                            Ok(Anchored::At(idx))
+                        } else {
+                            Ok(Anchored::Chain(raw::leaf_next(p)))
+                        }
+                    } else {
+                        let idx = raw::leaf_upper_bound(p, key);
+                        if idx > 0 {
+                            Ok(Anchored::At(idx - 1))
+                        } else {
+                            Ok(Anchored::Chain(raw::leaf_prev(p)))
+                        }
+                    }
+                } else {
+                    Err(StorageError::Corrupt("unknown B+tree node type".into()))
+                }
+            })??;
+            match step {
+                Anchored::Descend(child, lo, hi) => {
+                    anchor.path.push(PathLevel { page, lower, upper });
+                    page = child;
+                    lower = lo;
+                    upper = hi;
+                }
+                Anchored::At(idx) => {
+                    anchor.path.push(PathLevel { page, lower, upper });
+                    return Ok(Cursor { page: Some(page), idx });
+                }
+                Anchored::Chain(link) => {
+                    // The answer sits on a neighboring leaf, but the probe
+                    // key still belongs to *this* leaf's range — pin it.
+                    anchor.path.push(PathLevel { page, lower, upper });
+                    return if ge {
+                        chain_forward(env, link)
+                    } else {
+                        chain_backward(env, link)
+                    };
+                }
+            }
+        }
+    }
+
     /// The paper's **right match** `rm(key, S)`: the smallest entry with
     /// key `>=` the probe. Returns a positioned cursor (or an exhausted one
     /// if every key is smaller).
@@ -959,6 +1115,59 @@ impl BTree {
                 Ok(())
             }
         }
+    }
+}
+
+/// One pinned level of an anchored root-to-leaf path: the page and the
+/// key range `[lower, upper)` its subtree covers, derived from the parent
+/// separators during descent (`None` bounds are −∞ / +∞).
+#[derive(Debug, Clone)]
+struct PathLevel {
+    page: PageId,
+    lower: Option<Vec<u8>>,
+    upper: Option<Vec<u8>>,
+}
+
+/// An anchored cursor over a [`BTree`]: remembers the last root-to-leaf
+/// descent (page ids plus separator bounds per level) so that a following
+/// [`BTree::seek_ge_anchored`] / [`BTree::seek_le_anchored`] whose probe
+/// still falls inside the pinned leaf costs a single page read, and a
+/// probe that escapes gallops up only as many levels as it escaped.
+///
+/// The cursor snapshots the env's [`StorageEnv::data_version`] when it
+/// pins a path and silently falls back to a full fresh descent (re-pinning)
+/// whenever the version has moved — any mutation anywhere in the env
+/// invalidates every anchored cursor, which is conservative but safe.
+/// Probe results are therefore always identical to the stateless seeks.
+#[derive(Debug, Clone, Default)]
+pub struct BTreeCursor {
+    /// Pinned path, root first, leaf last. Empty = unpinned.
+    path: Vec<PathLevel>,
+    /// [`StorageEnv::data_version`] at pin time.
+    version: u64,
+}
+
+impl BTreeCursor {
+    /// A fresh, unpinned cursor; the first anchored seek through it does a
+    /// full descent and pins the path it took.
+    pub fn new() -> BTreeCursor {
+        BTreeCursor::default()
+    }
+
+    /// True iff the cursor currently pins a path (it may still be
+    /// discarded on the next seek if the env's data version moved).
+    pub fn is_pinned(&self) -> bool {
+        !self.path.is_empty()
+    }
+
+    /// Number of pinned levels (tree height of the last descent).
+    pub fn pinned_depth(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Drops the pinned path; the next anchored seek descends afresh.
+    pub fn invalidate(&mut self) {
+        self.path.clear();
     }
 }
 
@@ -1398,6 +1607,129 @@ mod tests {
         // Claim far more entries than the page holds: offsets run off the end.
         env.with_page_mut(root, |p| p[1..3].copy_from_slice(&5000u16.to_le_bytes())).unwrap();
         assert!(matches!(read_node(&env, root), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn anchored_seeks_match_fresh_seeks() {
+        let env = mem_env();
+        let t = BTree::create(&env, 0).unwrap();
+        for i in 0..3000u32 {
+            t.insert(&env, &key((i * 7919) % 3000), &key(i)).unwrap();
+        }
+        let mut anchor = BTreeCursor::new();
+        // Mixed probe order: monotone runs, backsteps, jumps, misses.
+        let probes: Vec<u32> = (0..200u32)
+            .map(|i| (i * 37) % 3100)
+            .chain((0..100).map(|i| i * 31))
+            .chain((0..100).rev().map(|i| i * 29 + 1))
+            .collect();
+        for p in probes {
+            let fresh = t.seek_ge(&env, &key(p)).unwrap().read(&env).unwrap();
+            let anch = t.seek_ge_anchored(&env, &mut anchor, &key(p)).unwrap().read(&env).unwrap();
+            assert_eq!(fresh, anch, "seek_ge({p})");
+            let fresh = t.seek_le(&env, &key(p)).unwrap().read(&env).unwrap();
+            let anch = t.seek_le_anchored(&env, &mut anchor, &key(p)).unwrap().read(&env).unwrap();
+            assert_eq!(fresh, anch, "seek_le({p})");
+        }
+    }
+
+    #[test]
+    fn anchored_probe_in_pinned_leaf_reads_one_page() {
+        let env = StorageEnv::in_memory(EnvOptions { page_size: 256, pool_pages: 512 });
+        let t = BTree::create(&env, 0).unwrap();
+        for i in 0..5000u32 {
+            t.insert(&env, &key(i), b"").unwrap();
+        }
+        let mut anchor = BTreeCursor::new();
+        // First probe pins the path (full descent).
+        t.seek_ge_anchored(&env, &mut anchor, &key(2500)).unwrap();
+        assert!(anchor.is_pinned());
+        assert!(anchor.pinned_depth() >= 2, "tree of 5000 keys has internal levels");
+        // A re-probe of a neighboring key stays inside the pinned leaf:
+        // exactly one page access, no meta-page root lookup, no descent.
+        env.reset_stats();
+        let c = t.seek_ge_anchored(&env, &mut anchor, &key(2501)).unwrap();
+        assert_eq!(c.read(&env).unwrap().unwrap().0, key(2501));
+        assert_eq!(env.stats().logical_reads, 2, "leaf probe + cursor read only");
+    }
+
+    #[test]
+    fn anchored_gallop_crosses_leaves_without_full_descent() {
+        let env = StorageEnv::in_memory(EnvOptions { page_size: 256, pool_pages: 512 });
+        let t = BTree::create(&env, 0).unwrap();
+        for i in 0..5000u32 {
+            t.insert(&env, &key(i), b"").unwrap();
+        }
+        let mut anchor = BTreeCursor::new();
+        let mut fresh_reads = 0u64;
+        let mut anchored_reads = 0u64;
+        // Ascending sweep: anchored should hop leaves, fresh re-descends.
+        for i in 0..1000u32 {
+            env.reset_stats();
+            t.seek_ge(&env, &key(i * 5)).unwrap();
+            fresh_reads += env.stats().logical_reads;
+            env.reset_stats();
+            t.seek_ge_anchored(&env, &mut anchor, &key(i * 5)).unwrap();
+            anchored_reads += env.stats().logical_reads;
+        }
+        assert!(
+            anchored_reads * 2 <= fresh_reads,
+            "anchored sweep ({anchored_reads} reads) should at least halve \
+             fresh-descent cost ({fresh_reads} reads)"
+        );
+    }
+
+    #[test]
+    fn anchored_cursor_invalidates_on_mutation() {
+        let env = mem_env();
+        let t = BTree::create(&env, 0).unwrap();
+        for i in (0..500u32).map(|i| i * 2) {
+            t.insert(&env, &key(i), b"old").unwrap();
+        }
+        let mut anchor = BTreeCursor::new();
+        let c = t.seek_ge_anchored(&env, &mut anchor, &key(100)).unwrap();
+        assert_eq!(c.read(&env).unwrap().unwrap().0, key(100));
+        // Mutate: insert the odd key right where the anchor is pinned.
+        t.insert(&env, &key(101), b"new").unwrap();
+        let c = t.seek_ge_anchored(&env, &mut anchor, &key(101)).unwrap();
+        let (k, v) = c.read(&env).unwrap().unwrap();
+        assert_eq!((k, v), (key(101), b"new".to_vec()), "post-insert probe sees the insert");
+        // Deletes too.
+        t.remove(&env, &key(102)).unwrap();
+        let c = t.seek_ge_anchored(&env, &mut anchor, &key(102)).unwrap();
+        assert_eq!(c.read(&env).unwrap().unwrap().0, key(104));
+        // Manual invalidation also forces a re-pin.
+        anchor.invalidate();
+        assert!(!anchor.is_pinned());
+        let c = t.seek_le_anchored(&env, &mut anchor, &key(104)).unwrap();
+        assert_eq!(c.read(&env).unwrap().unwrap().0, key(104));
+        assert!(anchor.is_pinned());
+    }
+
+    #[test]
+    fn anchored_seeks_handle_chain_hops_and_ends() {
+        let env = mem_env();
+        let t = BTree::create(&env, 0).unwrap();
+        for i in 1..=300u32 {
+            t.insert(&env, &key(i * 10), b"").unwrap();
+        }
+        let mut anchor = BTreeCursor::new();
+        // Below every key: seek_le chains off the left end.
+        let c = t.seek_le_anchored(&env, &mut anchor, &key(5)).unwrap();
+        assert!(c.read(&env).unwrap().is_none());
+        // Above every key: seek_ge chains off the right end.
+        let c = t.seek_ge_anchored(&env, &mut anchor, &key(5000)).unwrap();
+        assert!(c.read(&env).unwrap().is_none());
+        // Between keys after the chain-off probes, both directions.
+        let c = t.seek_ge_anchored(&env, &mut anchor, &key(1999)).unwrap();
+        assert_eq!(c.read(&env).unwrap().unwrap().0, key(2000));
+        let c = t.seek_le_anchored(&env, &mut anchor, &key(1999)).unwrap();
+        assert_eq!(c.read(&env).unwrap().unwrap().0, key(1990));
+        // Empty tree: anchored seeks are exhausted, not erroneous.
+        let empty = BTree::create(&env, 1).unwrap();
+        let mut a2 = BTreeCursor::new();
+        assert!(empty.seek_ge_anchored(&env, &mut a2, &key(1)).unwrap().read(&env).unwrap().is_none());
+        assert!(empty.seek_le_anchored(&env, &mut a2, &key(1)).unwrap().read(&env).unwrap().is_none());
     }
 
     #[test]

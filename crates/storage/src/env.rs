@@ -60,7 +60,7 @@ use crate::pager::{FilePager, MemPager, PageId, Pager};
 use crate::stats::{AtomicIoStats, IoStats};
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 const MAGIC: &[u8; 8] = b"XKSTORE2";
@@ -193,6 +193,11 @@ pub struct StorageEnv {
     verify_checksums: AtomicBool,
     /// Serializes every mutating operation; see the module docs.
     write_state: Mutex<WriteState>,
+    /// Monotone counter bumped by every mutating operation. Anchored
+    /// B+tree cursors snapshot it when they pin a root-to-leaf path and
+    /// treat any later bump as an invalidation signal (conservative: any
+    /// write anywhere in the env discards pinned paths).
+    data_version: AtomicU64,
 }
 
 impl StorageEnv {
@@ -249,6 +254,7 @@ impl StorageEnv {
             stats: AtomicIoStats::default(),
             verify_checksums: AtomicBool::new(true),
             write_state: Mutex::new(WriteState { clean_on_disk: false }),
+            data_version: AtomicU64::new(0),
         }
     }
 
@@ -385,6 +391,20 @@ impl StorageEnv {
     /// Number of buffer-pool shards (derived from the pool size).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The current data version: a counter bumped by every mutating
+    /// operation (`with_page_mut`, `allocate_page`, `free_page`, root-slot
+    /// and blob writes). Anchored cursors compare this against the value
+    /// they pinned to detect that their cached root-to-leaf path may be
+    /// stale. Relaxed ordering suffices: mutations and the probes that
+    /// observe them are already ordered by the env's locks.
+    pub fn data_version(&self) -> u64 {
+        self.data_version.load(Ordering::Relaxed)
+    }
+
+    fn bump_data_version(&self) {
+        self.data_version.fetch_add(1, Ordering::Relaxed);
     }
 
     // ---- checksum trailer ----
@@ -535,6 +555,7 @@ impl StorageEnv {
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
         let mut ws = self.write_lock();
         self.ensure_dirty_marked(&mut ws)?;
+        self.bump_data_version();
         self.page_mut_locked(id, f)
     }
 
@@ -650,6 +671,7 @@ impl StorageEnv {
     pub fn allocate_page(&self) -> Result<PageId> {
         let mut ws = self.write_lock();
         self.ensure_dirty_marked(&mut ws)?;
+        self.bump_data_version();
         let head = self.freelist_head()?;
         if let Some(free) = head {
             let next = self.with_page(free, |p| {
@@ -683,6 +705,7 @@ impl StorageEnv {
         assert_ne!(id, PageId::META, "cannot free the meta page");
         let mut ws = self.write_lock();
         self.ensure_dirty_marked(&mut ws)?;
+        self.bump_data_version();
         let head = self.freelist_head()?;
         self.page_mut_locked(id, |p| {
             p[..4].copy_from_slice(&PageId::encode_opt(head).to_le_bytes());
@@ -727,6 +750,7 @@ impl StorageEnv {
         assert!(slot < ROOT_SLOTS);
         let mut ws = self.write_lock();
         self.ensure_dirty_marked(&mut ws)?;
+        self.bump_data_version();
         self.page_mut_locked(PageId::META, |p| {
             let off = META_ROOTS + slot * 4;
             p[off..off + 4].copy_from_slice(&PageId::encode_opt(page).to_le_bytes());
@@ -749,6 +773,7 @@ impl StorageEnv {
         }
         let mut ws = self.write_lock();
         self.ensure_dirty_marked(&mut ws)?;
+        self.bump_data_version();
         self.page_mut_locked(PageId::META, |p| {
             p[META_BLOB_LEN..META_BLOB_LEN + 4]
                 .copy_from_slice(&(blob.len() as u32).to_le_bytes());
@@ -864,6 +889,32 @@ mod tests {
         env.reset_stats();
         env.with_page(p, |d| d[0]).unwrap();
         assert_eq!(env.stats().disk_reads, 0, "hot cache: second access hits pool");
+    }
+
+    #[test]
+    fn data_version_bumps_on_every_mutation() {
+        let env = mem(16);
+        let v0 = env.data_version();
+        let p = env.allocate_page().unwrap();
+        assert!(env.data_version() > v0, "allocate_page bumps");
+        let v1 = env.data_version();
+        env.with_page_mut(p, |d| d[0] = 1).unwrap();
+        assert!(env.data_version() > v1, "with_page_mut bumps");
+        let v2 = env.data_version();
+        env.set_root_slot(0, Some(p)).unwrap();
+        assert!(env.data_version() > v2, "set_root_slot bumps");
+        let v3 = env.data_version();
+        env.set_user_blob(b"x").unwrap();
+        assert!(env.data_version() > v3, "set_user_blob bumps");
+        let v4 = env.data_version();
+        env.free_page(p).unwrap();
+        assert!(env.data_version() > v4, "free_page bumps");
+        // Reads do not bump.
+        let v5 = env.data_version();
+        env.with_page(PageId::META, |_| ()).unwrap();
+        env.root_slot(0).unwrap();
+        env.user_blob().unwrap();
+        assert_eq!(env.data_version(), v5, "reads leave the version alone");
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod liststore;
 pub mod pager;
 pub mod stats;
 
-pub use btree::{BTree, Cursor};
+pub use btree::{BTree, BTreeCursor, Cursor};
 pub use checksum::crc32;
 pub use env::{EnvOptions, StorageEnv, FORMAT_VERSION, PAGE_TRAILER, ROOT_SLOTS};
 pub use error::{Result, StorageError};

@@ -272,12 +272,16 @@ impl Engine {
                     .index
                     .stream_list(qenv.clone(), &ordered[0])
                     .expect("keyword verified present");
+                // Each non-smallest list holds one anchored B+tree cursor
+                // for the whole candidate loop: the probes are near-sorted,
+                // so most lm/rm pairs resolve inside the pinned leaf.
                 let mut others: Vec<_> = ordered[1..]
                     .iter()
                     .map(|k| {
                         self.index
                             .ranked_list(qenv.clone(), k)
                             .expect("keyword verified present")
+                            .anchored()
                     })
                     .collect();
                 let mut refs: Vec<&mut dyn RankedList> =
@@ -289,12 +293,18 @@ impl Engine {
                     .index
                     .stream_list(qenv.clone(), &ordered[0])
                     .expect("keyword verified present");
+                // Scan Eager's forward cursors are the same anchored
+                // B+tree cursors IL uses: the witness stream is sorted, so
+                // the anchored lm/rm probes degenerate into leaf-chain
+                // hops — the paper's sequential scans — without a separate
+                // scanning code path.
                 let others: Vec<_> = ordered[1..]
                     .iter()
                     .map(|k| {
                         self.index
-                            .stream_list(qenv.clone(), k)
+                            .ranked_list(qenv.clone(), k)
                             .expect("keyword verified present")
+                            .anchored()
                     })
                     .collect();
                 scan_eager(&mut s1, others, |d| slcas.push(d))
@@ -355,6 +365,7 @@ impl Engine {
                 self.index
                     .ranked_list(qenv.clone(), k)
                     .expect("keyword verified present")
+                    .anchored()
             })
             .collect();
         let mut refs: Vec<&mut dyn RankedList> =

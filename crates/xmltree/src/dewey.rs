@@ -81,11 +81,14 @@ impl Dewey {
     /// not exist in the document). Every descendant of the parent that
     /// follows this node's subtree in preorder has an id `>=` the uncle's.
     ///
-    /// Returns `None` for the root (it has no siblings).
+    /// Returns `None` for the root (it has no siblings) and for a node
+    /// whose ordinal is `u32::MAX` — there is no representable position to
+    /// its right, so no following descendant of the parent can exist
+    /// either (ordinals are assigned densely from 0).
     pub fn uncle(&self) -> Option<Dewey> {
         let mut c = self.0.clone();
         let last = c.pop()?;
-        c.push(last + 1);
+        c.push(last.checked_add(1)?);
         Some(Dewey(c))
     }
 
@@ -301,6 +304,22 @@ mod tests {
         assert_eq!(d("0.1").child_towards(&d("0.1.2.3")), Some(d("0.1.2")));
         assert_eq!(d("0.1").child_towards(&d("0.2")), None);
         assert_eq!(d("0.1").child_towards(&d("0.1")), None);
+    }
+
+    #[test]
+    fn uncle_at_ordinal_limit_is_none() {
+        // The rightmost representable sibling has no uncle position:
+        // `last + 1` must not wrap (or panic in debug) at u32::MAX.
+        let edge = Dewey::root().child(u32::MAX);
+        assert_eq!(edge.ordinal(), Some(u32::MAX));
+        assert_eq!(edge.uncle(), None);
+        let deep = d("0.1").child(u32::MAX);
+        assert_eq!(deep.uncle(), None);
+        // One below the limit still has one.
+        assert_eq!(
+            Dewey::root().child(u32::MAX - 1).uncle(),
+            Some(Dewey::root().child(u32::MAX))
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ test:
     cargo test -q --workspace
 
 lint:
-    cargo clippy --all-targets -- -D warnings
+    cargo clippy --workspace --all-targets -- -D warnings
 
 # The differential & concurrency suite in isolation: parallel-vs-serial
 # equivalence, the sharded-pool property test, fault poisoning, and the
@@ -43,6 +43,11 @@ figures:
 # Measure what per-page checksum verification costs on cold reads.
 checksum-overhead:
     cargo run --release -p xk-bench --bin checksum_overhead
+
+# Anchored-vs-fresh B+tree probe page reads into
+# results/lookup_locality.csv (pass smoke="--smoke" for the CI corpus).
+bench-locality smoke="":
+    cargo run --release -p xk-bench --bin lookup_locality -- {{smoke}}
 
 bench:
     cargo bench --workspace
