@@ -1,0 +1,144 @@
+//! Baseline load/store and diffing.
+//!
+//! The committed `analysis/baseline.toml` pins the accepted finding set;
+//! the gate fails only on findings *not* in the baseline (regressions).
+//! Keys are line-number-free — `pass|file|qname|kind|detail#occurrence` —
+//! so unrelated edits that shift lines do not churn the baseline; the
+//! occurrence counter (per-key, in line order) keeps duplicate sites
+//! within one function distinct.
+//!
+//! The format is a deliberately tiny TOML subset (`[[finding]]` tables
+//! with `key = "..."` entries) written and read by this module alone.
+
+use crate::passes::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Stable keys for a finding list (same order as the input).
+/// Occurrence counters are assigned in (file, line) order so keys stay
+/// stable under reordering of the finding list itself.
+pub fn keys(findings: &[Finding]) -> Vec<String> {
+    let mut order: Vec<usize> = (0..findings.len()).collect();
+    order.sort_by(|&a, &b| {
+        (&findings[a].file, findings[a].line).cmp(&(&findings[b].file, findings[b].line))
+    });
+    let mut seen: BTreeMap<String, u32> = BTreeMap::new();
+    let mut out = vec![String::new(); findings.len()];
+    for i in order {
+        let f = &findings[i];
+        let base = format!("{}|{}|{}|{}|{}", f.pass, f.file, f.qname, f.kind, f.detail);
+        let occ = seen.entry(base.clone()).or_insert(0);
+        out[i] = format!("{base}#{occ}");
+        *occ += 1;
+    }
+    out
+}
+
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub keys: BTreeSet<String>,
+}
+
+#[derive(Debug)]
+pub struct Diff {
+    /// Findings not in the baseline (indices into the finding list).
+    pub regressions: Vec<usize>,
+    /// Baseline keys no longer produced (fixed findings — prune them).
+    pub stale: Vec<String>,
+}
+
+impl Baseline {
+    pub fn load(path: &Path) -> std::io::Result<Baseline> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(Baseline::parse(&text))
+    }
+
+    pub fn parse(text: &str) -> Baseline {
+        let mut keys = BTreeSet::new();
+        for line in text.lines() {
+            let line = line.trim();
+            let Some(rest) = line.strip_prefix("key") else { continue };
+            let rest = rest.trim_start();
+            let Some(rest) = rest.strip_prefix('=') else { continue };
+            let rest = rest.trim();
+            if rest.len() >= 2 && rest.starts_with('"') && rest.ends_with('"') {
+                keys.insert(rest[1..rest.len() - 1].to_string());
+            }
+        }
+        Baseline { keys }
+    }
+
+    pub fn diff(&self, finding_keys: &[String]) -> Diff {
+        let produced: BTreeSet<&str> = finding_keys.iter().map(String::as_str).collect();
+        Diff {
+            regressions: finding_keys
+                .iter()
+                .enumerate()
+                .filter(|(_, k)| !self.keys.contains(*k))
+                .map(|(i, _)| i)
+                .collect(),
+            stale: self
+                .keys
+                .iter()
+                .filter(|k| !produced.contains(k.as_str()))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+/// Serializes the given keys as a fresh baseline file.
+pub fn render(mut keys: Vec<String>) -> String {
+    keys.sort();
+    keys.dedup();
+    let mut out = String::from(
+        "# xk-analyze baseline — accepted findings. The CI gate fails only on\n\
+         # findings NOT listed here. Regenerate with `just analyze-baseline`\n\
+         # (or `cargo run -p xk-analyze -- --write-baseline`); review the diff\n\
+         # like code. Keys are pass|file|qname|kind|detail#occurrence.\n",
+    );
+    for key in keys {
+        out.push_str("\n[[finding]]\nkey = \"");
+        out.push_str(&key);
+        out.push_str("\"\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, kind: &str) -> Finding {
+        Finding {
+            pass: "panic_path",
+            file: file.into(),
+            line,
+            qname: "F::f".into(),
+            kind: kind.into(),
+            detail: "x".into(),
+        }
+    }
+
+    #[test]
+    fn duplicate_sites_get_distinct_occurrences() {
+        let f = vec![finding("a.rs", 10, "unwrap"), finding("a.rs", 20, "unwrap")];
+        let k = keys(&f);
+        assert_eq!(k[0], "panic_path|a.rs|F::f|unwrap|x#0");
+        assert_eq!(k[1], "panic_path|a.rs|F::f|unwrap|x#1");
+    }
+
+    #[test]
+    fn roundtrip_and_diff() {
+        let f = vec![finding("a.rs", 10, "unwrap"), finding("a.rs", 12, "index")];
+        let k = keys(&f);
+        let baseline = Baseline::parse(&render(vec![k[0].clone()]));
+        let diff = baseline.diff(&k);
+        assert_eq!(diff.regressions, vec![1]);
+        assert!(diff.stale.is_empty());
+        let full = Baseline::parse(&render(k.clone()));
+        let diff = full.diff(&k[..1]);
+        assert!(diff.regressions.is_empty());
+        assert_eq!(diff.stale.len(), 1);
+    }
+}

@@ -1,0 +1,427 @@
+//! A minimal Rust lexer: just enough token structure for the analysis
+//! passes. It distinguishes identifiers, punctuation, literals, and
+//! lifetimes, tracks line numbers, and strips comments — except
+//! `// xk-analyze:` annotation comments, which are parsed into
+//! [`Annotation`]s (the audited-allow / entry-point grammar, see
+//! DESIGN.md §7).
+//!
+//! This is deliberately not a full parser. The repository builds offline
+//! against vendored stand-ins only, so a `syn`-class dependency is not
+//! available; the passes are written against token shapes instead and
+//! accept the (small, documented) imprecision that buys.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Identifier text; for punctuation the single character; literals
+    /// keep only a marker (their content never matters to the passes).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Punct,
+    /// String, byte-string, or raw-string literal.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// A lifetime (`'a`) — kept distinct so `'a` is never a char literal.
+    Lifetime,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// The annotation grammar (one comment per line):
+///
+/// ```text
+/// // xk-analyze: allow(<pass>, reason = "<why this site is safe>")
+/// // xk-analyze: root(<pass>)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    pub line: u32,
+    pub kind: AnnotationKind,
+    pub pass: String,
+    pub reason: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnnotationKind {
+    /// Suppresses findings of `pass` at the annotated site (or item).
+    Allow,
+    /// Marks the next function as an entry point for `pass`
+    /// (reachability-based passes start their walk here).
+    Root,
+}
+
+/// A malformed `// xk-analyze:` comment — reported as a finding so typos
+/// cannot silently disable a gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadAnnotation {
+    pub line: u32,
+    pub message: String,
+}
+
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    pub tokens: Vec<Token>,
+    pub annotations: Vec<Annotation>,
+    pub bad_annotations: Vec<BadAnnotation>,
+}
+
+const ANNOTATION_PREFIX: &str = "xk-analyze:";
+
+/// Tokenizes `source`, collecting annotation comments along the way.
+pub fn lex(source: &str) -> LexOutput {
+    let mut out = LexOutput::default();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                scan_annotation(&source[start..end], line, &mut out);
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nesting allowed.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_string(bytes, i, &mut line);
+                out.tokens.push(Token { kind: TokKind::Str, text: String::new(), line });
+            }
+            b'b' | b'r' if starts_string_prefix(bytes, i) => {
+                let tok_line = line;
+                i = skip_prefixed_string(bytes, i, &mut line);
+                out.tokens.push(Token { kind: TokKind::Str, text: String::new(), line: tok_line });
+            }
+            b'\'' => {
+                // Lifetime or char literal. A lifetime is `'` + ident not
+                // followed by a closing quote.
+                if is_ident_start(bytes.get(i + 1).copied().unwrap_or(0))
+                    && !char_lit_closes(bytes, i)
+                {
+                    let mut end = i + 1;
+                    while end < bytes.len() && is_ident_continue(bytes[end]) {
+                        end += 1;
+                    }
+                    out.tokens.push(Token { kind: TokKind::Lifetime, text: String::new(), line });
+                    i = end;
+                } else {
+                    i = skip_char_lit(bytes, i);
+                    out.tokens.push(Token { kind: TokKind::Char, text: String::new(), line });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut end = i + 1;
+                while end < bytes.len()
+                    && (is_ident_continue(bytes[end])
+                        || bytes[end] == b'.' && bytes.get(end + 1).is_some_and(u8::is_ascii_digit))
+                {
+                    end += 1;
+                }
+                out.tokens.push(Token { kind: TokKind::Num, text: String::new(), line });
+                i = end;
+            }
+            c if is_ident_start(c) => {
+                let mut end = i + 1;
+                while end < bytes.len() && is_ident_continue(bytes[end]) {
+                    end += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: source[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            c if c.is_ascii() => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8 outside literals: skip the code point.
+                let mut end = i + 1;
+                while end < bytes.len() && bytes[end] & 0xC0 == 0x80 {
+                    end += 1;
+                }
+                i = end;
+            }
+        }
+    }
+    out
+}
+
+fn starts_string_prefix(bytes: &[u8], i: usize) -> bool {
+    // b"..", br"..", r".. ", r#".."#, br#".."#
+    let rest = &bytes[i..];
+    let after_b = if rest[0] == b'b' { &rest[1..] } else { rest };
+    match after_b.first() {
+        Some(b'"') => rest[0] == b'b', // b"..."
+        Some(b'r') => matches!(after_b.get(1), Some(b'"') | Some(b'#')),
+        _ => false,
+    }
+}
+
+fn skip_prefixed_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if bytes[i] == b'r' {
+        i += 1;
+        let mut hashes = 0;
+        while bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        // Opening quote.
+        i += 1;
+        loop {
+            match bytes.get(i) {
+                None => return i,
+                Some(b'\n') => *line += 1,
+                Some(b'"') => {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if bytes.get(i + 1 + k) != Some(&b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        return i + 1 + hashes;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    } else {
+        skip_string(bytes, i, line)
+    }
+}
+
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_char_lit(bytes: &[u8], mut i: usize) -> usize {
+    i += 1;
+    if bytes.get(i) == Some(&b'\\') {
+        i += 2;
+    } else {
+        // One (possibly multi-byte) character.
+        i += 1;
+        while i < bytes.len() && bytes[i] & 0xC0 == 0x80 {
+            i += 1;
+        }
+    }
+    if bytes.get(i) == Some(&b'\'') {
+        i += 1;
+    }
+    i
+}
+
+/// True when `'x...'` closes like a char literal (distinguishes `'a'`
+/// from the lifetime `'a`).
+fn char_lit_closes(bytes: &[u8], i: usize) -> bool {
+    let mut end = i + 1;
+    while end < bytes.len() && is_ident_continue(bytes[end]) {
+        end += 1;
+    }
+    bytes.get(end) == Some(&b'\'')
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Parses `xk-analyze:` comments; other comments are discarded.
+fn scan_annotation(comment: &str, line: u32, out: &mut LexOutput) {
+    let text = comment.trim_start_matches(['/', '!']).trim();
+    let Some(rest) = text.strip_prefix(ANNOTATION_PREFIX) else { return };
+    let rest = rest.trim();
+    let bad = |message: String| BadAnnotation { line, message };
+    let (kind, args) = if let Some(a) = rest.strip_prefix("allow(") {
+        (AnnotationKind::Allow, a)
+    } else if let Some(a) = rest.strip_prefix("root(") {
+        (AnnotationKind::Root, a)
+    } else {
+        out.bad_annotations.push(bad(format!(
+            "unknown annotation {rest:?}: expected allow(...) or root(...)"
+        )));
+        return;
+    };
+    let Some(args) = args.strip_suffix(')') else {
+        out.bad_annotations.push(bad("annotation is missing its closing parenthesis".into()));
+        return;
+    };
+    let mut parts = args.splitn(2, ',');
+    let pass = parts.next().unwrap_or("").trim().to_string();
+    if !crate::passes::PASS_NAMES.contains(&pass.as_str()) {
+        out.bad_annotations.push(bad(format!(
+            "unknown pass {pass:?}: expected one of {:?}",
+            crate::passes::PASS_NAMES
+        )));
+        return;
+    }
+    let reason = match parts.next() {
+        None => None,
+        Some(r) => {
+            let r = r.trim();
+            let Some(r) = r.strip_prefix("reason") else {
+                out.bad_annotations.push(bad(format!("expected `reason = \"...\"`, got {r:?}")));
+                return;
+            };
+            let r = r.trim_start().trim_start_matches('=').trim();
+            if r.len() < 2 || !r.starts_with('"') || !r.ends_with('"') {
+                out.bad_annotations.push(bad("reason must be a quoted string".into()));
+                return;
+            }
+            let inner = &r[1..r.len() - 1];
+            if inner.trim().is_empty() {
+                out.bad_annotations.push(bad("reason must not be empty".into()));
+                return;
+            }
+            Some(inner.to_string())
+        }
+    };
+    if kind == AnnotationKind::Allow && reason.is_none() {
+        out.bad_annotations.push(bad(format!(
+            "allow({pass}) requires a reason: allow({pass}, reason = \"...\")"
+        )));
+        return;
+    }
+    out.annotations.push(Annotation { line, kind, pass, reason });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_survive_comments_and_strings() {
+        let src = r#"
+            // a comment mentioning lock()
+            /* block /* nested */ unwrap() */
+            fn real() { let s = "fake.unwrap()"; other(s); }
+        "#;
+        assert_eq!(idents(src), ["fn", "real", "let", "s", "other", "s"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn raw_strings_do_not_leak_tokens() {
+        let src = r##"fn f() { let x = r#"unwrap() "quoted" lock()"#; use_it(x); }"##;
+        assert_eq!(idents(src), ["fn", "f", "let", "x", "use_it", "x"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc").tokens;
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn parses_allow_annotation() {
+        let out = lex("// xk-analyze: allow(panic_path, reason = \"checked above\")\nfn f() {}");
+        assert_eq!(out.annotations.len(), 1);
+        let a = &out.annotations[0];
+        assert_eq!(a.kind, AnnotationKind::Allow);
+        assert_eq!(a.pass, "panic_path");
+        assert_eq!(a.reason.as_deref(), Some("checked above"));
+        assert!(out.bad_annotations.is_empty());
+    }
+
+    #[test]
+    fn parses_root_annotation() {
+        let out = lex("// xk-analyze: root(panic_path)\nfn serve() {}");
+        assert_eq!(out.annotations.len(), 1);
+        assert_eq!(out.annotations[0].kind, AnnotationKind::Root);
+    }
+
+    #[test]
+    fn rejects_allow_without_reason_and_unknown_pass() {
+        let out = lex("// xk-analyze: allow(panic_path)\n// xk-analyze: allow(bogus, reason = \"x\")");
+        assert!(out.annotations.is_empty());
+        assert_eq!(out.bad_annotations.len(), 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! xk-analyze — a workspace static analyzer for the xksearch repro.
+//!
+//! Four passes over every workspace crate's production sources (see
+//! DESIGN.md §7 for pass semantics and the annotation grammar):
+//!
+//! * `lock_order` — lock-acquisition cycles, double-locks, and
+//!   shard-before-global inversions.
+//! * `io_under_lock` — pager I/O reachable while a shard/cache guard is
+//!   live.
+//! * `panic_path` — unwrap/expect/panic-macro/dynamic-index/dynamic-div
+//!   sites reachable from `// xk-analyze: root(panic_path)` functions.
+//! * `swallowed_result` — `let _ = <fallible>`, `.ok()` statements,
+//!   `Err(_) => {}` arms.
+//!
+//! Findings diff against `analysis/baseline.toml`; only regressions fail
+//! the gate. The library API (`analyze`) exists so the integration tests
+//! can assert exact finding sets against fixture crates.
+
+pub mod baseline;
+pub mod lexer;
+pub mod model;
+pub mod passes;
+pub mod workspace;
+
+pub use passes::Finding;
+
+use std::path::Path;
+
+#[derive(Debug)]
+pub enum AnalyzeError {
+    Discover(workspace::DiscoverError),
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::Discover(e) => write!(f, "workspace discovery failed: {e}"),
+            AnalyzeError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+impl From<workspace::DiscoverError> for AnalyzeError {
+    fn from(e: workspace::DiscoverError) -> Self {
+        AnalyzeError::Discover(e)
+    }
+}
+
+impl From<std::io::Error> for AnalyzeError {
+    fn from(e: std::io::Error) -> Self {
+        AnalyzeError::Io(e)
+    }
+}
+
+/// Runs all passes over the workspace (or single crate) rooted at `root`;
+/// findings come back sorted.
+pub fn analyze(root: &Path) -> Result<Vec<Finding>, AnalyzeError> {
+    let layout = workspace::discover(root)?;
+    let model = model::build(&layout)?;
+    let closures: Vec<Vec<usize>> =
+        (0..layout.crates.len()).map(|i| layout.dep_closure(i)).collect();
+    Ok(passes::run(&model, closures))
+}

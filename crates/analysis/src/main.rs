@@ -1,0 +1,146 @@
+//! CLI for xk-analyze.
+//!
+//! ```text
+//! xk-analyze [--root DIR] [--baseline FILE] [--write-baseline] [--no-baseline]
+//! ```
+//!
+//! Exit codes: 0 = clean (no findings outside the baseline), 1 = findings
+//! (regressions, or any finding when run without a baseline), 2 = usage
+//! or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut root = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut no_baseline = false;
+    let mut write_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(
+                    args.next().ok_or_else(|| "--root needs a directory".to_string())?,
+                );
+            }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(
+                    args.next().ok_or_else(|| "--baseline needs a file".to_string())?,
+                ));
+            }
+            "--no-baseline" => no_baseline = true,
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => {
+                return Err(String::new()); // triggers usage, exit 2
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let baseline = if no_baseline {
+        None
+    } else {
+        Some(baseline.unwrap_or_else(|| root.join("analysis/baseline.toml")))
+    };
+    Ok(Options { root, baseline, write_baseline })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("xk-analyze: {msg}");
+            }
+            eprintln!(
+                "usage: xk-analyze [--root DIR] [--baseline FILE] \
+                 [--write-baseline] [--no-baseline]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match xk_analyze::analyze(&opts.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xk-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let keys = xk_analyze::baseline::keys(&findings);
+    if opts.write_baseline {
+        let Some(path) = &opts.baseline else {
+            eprintln!("xk-analyze: --write-baseline conflicts with --no-baseline");
+            return ExitCode::from(2);
+        };
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("xk-analyze: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(path, xk_analyze::baseline::render(keys)) {
+            eprintln!("xk-analyze: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "xk-analyze: wrote baseline with {} finding(s) to {}",
+            findings.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let base = match &opts.baseline {
+        Some(path) if path.is_file() => match xk_analyze::baseline::Baseline::load(path) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("xk-analyze: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        _ => None,
+    };
+    match base {
+        Some(base) => {
+            let diff = base.diff(&keys);
+            for &i in &diff.regressions {
+                println!("REGRESSION {}", findings[i].render());
+            }
+            for key in &diff.stale {
+                eprintln!("xk-analyze: stale baseline entry (fixed? prune it): {key}");
+            }
+            if diff.regressions.is_empty() {
+                println!(
+                    "xk-analyze: clean — {} finding(s), all baselined ({} stale entries)",
+                    findings.len(),
+                    diff.stale.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "xk-analyze: {} regression(s) vs baseline ({} total findings)",
+                    diff.regressions.len(),
+                    findings.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        None => {
+            for f in &findings {
+                println!("{}", f.render());
+            }
+            if findings.is_empty() {
+                println!("xk-analyze: clean — no findings");
+                ExitCode::SUCCESS
+            } else {
+                println!("xk-analyze: {} finding(s), no baseline", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,1167 @@
+//! The workspace model: functions, lock classes, and per-function event
+//! streams extracted from the token stream.
+//!
+//! Extraction walks item structure (impl blocks, modules, structs, fns)
+//! with brace matching, then linearizes each function body into an
+//! ordered [`Event`] list: lock acquisitions, calls (with receiver chain
+//! and argument count), potential panic sites, swallowed-result shapes,
+//! and the block/statement boundaries the passes need to scope guard
+//! lifetimes. `#[cfg(test)]` modules are skipped — the analyzer covers
+//! production code.
+
+use crate::lexer::{self, Annotation, AnnotationKind, BadAnnotation, TokKind, Token};
+use crate::workspace::WorkspaceLayout;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// How a lock participates in the workspace's documented discipline;
+/// classified from the field name (DESIGN.md §7 lists the table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// A buffer-pool shard lock (one of many, keyed by page).
+    Shard,
+    /// The env's single global write lock.
+    Global,
+    /// A server-side result-cache lock.
+    Cache,
+    /// A server-side queue lock (admission/shed queues).
+    Queue,
+    /// Anything else holding a `Mutex`/`RwLock`.
+    Other,
+}
+
+pub fn classify_lock_field(field: &str) -> LockKind {
+    match field {
+        f if f.contains("shard") => LockKind::Shard,
+        "write_state" | "write_lock" | "global" | "global_write" => LockKind::Global,
+        f if f.contains("cache") || f == "lru" => LockKind::Cache,
+        f if f.contains("queue") => LockKind::Queue,
+        _ => LockKind::Other,
+    }
+}
+
+#[derive(Debug)]
+pub struct LockClass {
+    /// Index of the defining crate in the layout.
+    pub krate: usize,
+    /// Owning struct (or `"static"`).
+    pub owner: String,
+    /// Field name — the receiver-resolution key.
+    pub field: String,
+    pub kind: LockKind,
+    pub is_rwlock: bool,
+}
+
+impl LockClass {
+    pub fn label(&self) -> String {
+        format!("{}.{}", self.owner, self.field)
+    }
+}
+
+/// Kinds of potential panic site on the query path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `.unwrap()` / `.unwrap_err()`.
+    Unwrap,
+    /// `.expect(..)` / `.expect_err(..)`.
+    Expect,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    Macro,
+    /// Slice/array indexing with a dynamic (non-literal) index.
+    Index,
+    /// `/` or `%` with a dynamic divisor (division by zero panics in
+    /// release builds, unlike overflow which wraps).
+    DivMod,
+}
+
+impl PanicKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            PanicKind::Unwrap => "unwrap",
+            PanicKind::Expect => "expect",
+            PanicKind::Macro => "panic-macro",
+            PanicKind::Index => "index",
+            PanicKind::DivMod => "div",
+        }
+    }
+}
+
+/// One linearized body event. `depth` is the brace depth within the
+/// function body (0 = directly inside the outermost braces).
+#[derive(Debug)]
+pub enum Event {
+    /// Direct `.lock()` / `.read()` / `.write()` whose receiver resolved
+    /// to a lock class.
+    Acquire { class: usize, depth: u32, line: u32 },
+    /// A call that is not a recognized acquisition: `name(args)` with the
+    /// receiver/path chain (`self.pager.read_page` → `["self","pager"]`).
+    Call { name: String, chain: Vec<String>, args: u8, depth: u32, line: u32 },
+    /// `drop(binding)`.
+    DropBinding { name: String },
+    /// `let <names> = ...` — marks the current statement as binding.
+    LetBind { names: Vec<String>, line: u32 },
+    /// End of a statement (`;`) at `depth`.
+    StmtEnd { depth: u32 },
+    /// A `{` opened (depth is the new inner depth).
+    BlockOpen { depth: u32 },
+    /// A `}` closed (depth is the outer depth after closing).
+    BlockClose { depth: u32 },
+    /// A potential panic site.
+    Panic { kind: PanicKind, detail: String, line: u32 },
+    /// `.ok();` in statement position.
+    OkDiscard { line: u32 },
+    /// `Err(_) => {}` / `Err(_) => ()` — an arm that drops the error.
+    ErrArmDrop { line: u32 },
+}
+
+#[derive(Debug)]
+pub struct Function {
+    pub krate: usize,
+    pub file: usize,
+    /// `Type::name` inside impl blocks, bare `name` otherwise.
+    pub qname: String,
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    pub end_line: u32,
+    /// Return type text (idents and punctuation squashed together).
+    pub ret: String,
+    /// Number of non-self parameters.
+    pub arity: u8,
+    pub events: Vec<Event>,
+}
+
+/// A suppression or root region resolved to concrete lines.
+#[derive(Debug)]
+pub struct Region {
+    pub kind: AnnotationKind,
+    pub pass: String,
+    pub start: u32,
+    pub end: u32,
+}
+
+#[derive(Debug)]
+pub struct FileInfo {
+    /// Workspace-root-relative path, `/`-separated.
+    pub path: String,
+    pub krate: usize,
+    pub regions: Vec<Region>,
+    pub bad_annotations: Vec<BadAnnotation>,
+}
+
+impl FileInfo {
+    pub fn allowed(&self, pass: &str, line: u32) -> bool {
+        self.regions.iter().any(|r| {
+            r.kind == AnnotationKind::Allow && r.pass == pass && (r.start..=r.end).contains(&line)
+        })
+    }
+}
+
+#[derive(Debug)]
+pub struct Model {
+    pub files: Vec<FileInfo>,
+    pub functions: Vec<Function>,
+    pub lock_classes: Vec<LockClass>,
+    /// Function-name index: bare name → function ids.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl Model {
+    pub fn function_at(&self, file: usize, line: u32) -> Option<&Function> {
+        self.functions.iter().find(|f| f.file == file && (f.line..=f.end_line).contains(&line))
+    }
+
+    /// True when `fn_id` is marked `root(pass)`.
+    pub fn is_root(&self, fn_id: usize, pass: &str) -> bool {
+        let f = &self.functions[fn_id];
+        self.files[f.file].regions.iter().any(|r| {
+            r.kind == AnnotationKind::Root && r.pass == pass && r.start == f.line
+        })
+    }
+}
+
+/// Builds the model: lexes and extracts every file of every crate.
+pub fn build(layout: &WorkspaceLayout) -> std::io::Result<Model> {
+    let mut model = Model {
+        files: Vec::new(),
+        functions: Vec::new(),
+        lock_classes: Vec::new(),
+        by_name: BTreeMap::new(),
+    };
+    let mut lexed: Vec<(usize, usize, lexer::LexOutput)> = Vec::new();
+    for (ci, krate) in layout.crates.iter().enumerate() {
+        for rel in &krate.files {
+            let source = std::fs::read_to_string(layout.root.join(rel))?;
+            let out = lexer::lex(&source);
+            let fi = model.files.len();
+            model.files.push(FileInfo {
+                path: path_string(rel),
+                krate: ci,
+                regions: Vec::new(),
+                bad_annotations: out.bad_annotations.clone(),
+            });
+            lexed.push((ci, fi, out));
+        }
+    }
+    // Pass 1: lock-class discovery (struct fields and statics) so that
+    // pass 2's receiver resolution can see classes from any crate.
+    for (ci, _fi, out) in &lexed {
+        discover_lock_classes(*ci, &out.tokens, &mut model.lock_classes);
+    }
+    // Pass 2: function extraction.
+    for (ci, fi, out) in &lexed {
+        let mut ex = Extractor {
+            krate: *ci,
+            file: *fi,
+            dep_closure: layout.dep_closure(*ci),
+            classes: &model.lock_classes,
+            functions: &mut model.functions,
+            mod_ranges: Vec::new(),
+        };
+        ex.scan_items(&out.tokens, 0, out.tokens.len(), None);
+        let mod_ranges = ex.mod_ranges;
+        resolve_regions(&mut model.files[*fi], &out.annotations, &out.tokens, &model.functions, *fi, &mod_ranges);
+    }
+    for (id, f) in model.functions.iter().enumerate() {
+        model.by_name.entry(f.name.clone()).or_default().push(id);
+    }
+    Ok(model)
+}
+
+fn path_string(p: &Path) -> String {
+    p.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Attaches annotations to lines: a standalone annotation binds to the
+/// next code line; if an extracted item (fn or inline mod) starts there,
+/// the region covers the whole item.
+fn resolve_regions(
+    file: &mut FileInfo,
+    annotations: &[Annotation],
+    tokens: &[Token],
+    functions: &[Function],
+    fi: usize,
+    mod_ranges: &[(u32, u32)],
+) {
+    for ann in annotations {
+        let next_code_line = tokens
+            .iter()
+            .map(|t| t.line)
+            .find(|&l| l > ann.line)
+            .unwrap_or(ann.line);
+        let (start, end) = if let Some(f) =
+            functions.iter().find(|f| f.file == fi && f.line == next_code_line)
+        {
+            (f.line, f.end_line)
+        } else if let Some(&(s, e)) = mod_ranges.iter().find(|&&(s, _)| s == next_code_line) {
+            (s, e)
+        } else {
+            // Same-line (trailing comment) or next-line statement scope.
+            (ann.line, next_code_line)
+        };
+        file.regions.push(Region { kind: ann.kind, pass: ann.pass.clone(), start, end });
+    }
+}
+
+/// Finds `Mutex<`/`RwLock<` struct fields and statics.
+fn discover_lock_classes(krate: usize, tokens: &[Token], out: &mut Vec<LockClass>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("struct") {
+            let Some(name_tok) = tokens.get(i + 1) else { break };
+            let owner = name_tok.text.clone();
+            // Skip generics to the body opener.
+            let mut j = i + 2;
+            let mut angle = 0i32;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('<') {
+                    angle += 1;
+                } else if t.is_punct('>') {
+                    angle -= 1;
+                } else if angle == 0 && (t.is_punct('{') || t.is_punct('(') || t.is_punct(';')) {
+                    break;
+                }
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct('{') {
+                let end = match_brace(tokens, j);
+                scan_struct_fields(krate, &owner, &tokens[j + 1..end], out);
+                i = end;
+            }
+        } else if tokens[i].is_ident("static") {
+            // `static NAME: Type = ...;`
+            let Some(name_tok) = tokens.get(i + 1) else { break };
+            let mut j = i + 2;
+            let mut ty = Vec::new();
+            while j < tokens.len() && !tokens[j].is_punct('=') && !tokens[j].is_punct(';') {
+                ty.push(&tokens[j]);
+                j += 1;
+            }
+            register_if_lock(krate, "static", &name_tok.text, &ty, out);
+            i = j;
+        }
+        i += 1;
+    }
+}
+
+fn scan_struct_fields(krate: usize, owner: &str, body: &[Token], out: &mut Vec<LockClass>) {
+    // Fields: `name : <type tokens>` separated by top-level commas.
+    let mut i = 0;
+    while i < body.len() {
+        // Skip attributes and visibility.
+        if body[i].is_punct('#') && body.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            i = match_bracket(body, i + 1) + 1;
+            continue;
+        }
+        if body[i].kind == TokKind::Ident
+            && body.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && !body.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            let field = body[i].text.clone();
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            let mut ty = Vec::new();
+            while j < body.len() {
+                let t = &body[j];
+                if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct('>') || t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if depth <= 0 && t.is_punct(',') {
+                    break;
+                }
+                ty.push(t);
+                j += 1;
+            }
+            register_if_lock(krate, owner, &field, &ty, out);
+            i = j;
+        }
+        i += 1;
+    }
+}
+
+fn register_if_lock(
+    krate: usize,
+    owner: &str,
+    field: &str,
+    ty: &[&Token],
+    out: &mut Vec<LockClass>,
+) {
+    let is_mutex = ty.iter().any(|t| t.is_ident("Mutex"));
+    let is_rwlock = ty.iter().any(|t| t.is_ident("RwLock"));
+    if is_mutex || is_rwlock {
+        out.push(LockClass {
+            krate,
+            owner: owner.to_string(),
+            field: field.to_string(),
+            kind: classify_lock_field(field),
+            is_rwlock,
+        });
+    }
+}
+
+pub(crate) fn match_brace(tokens: &[Token], open: usize) -> usize {
+    match_delim(tokens, open, '{', '}')
+}
+
+fn match_bracket(tokens: &[Token], open: usize) -> usize {
+    match_delim(tokens, open, '[', ']')
+}
+
+pub(crate) fn match_paren(tokens: &[Token], open: usize) -> usize {
+    match_delim(tokens, open, '(', ')')
+}
+
+/// Index of the delimiter closing `tokens[open]` (which must open one).
+fn match_delim(tokens: &[Token], open: usize, o: char, c: char) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct(o) {
+            depth += 1;
+        } else if tokens[i].is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+struct Extractor<'m> {
+    krate: usize,
+    file: usize,
+    dep_closure: Vec<usize>,
+    classes: &'m [LockClass],
+    functions: &'m mut Vec<Function>,
+    /// Inline `mod` ranges (start line of `mod`, end line), for
+    /// item-scoped annotations.
+    mod_ranges: Vec<(u32, u32)>,
+}
+
+impl Extractor<'_> {
+    /// Walks items in `tokens[i..end]`; `impl_type` names the enclosing
+    /// impl block's self type.
+    fn scan_items(&mut self, tokens: &[Token], mut i: usize, end: usize, impl_type: Option<&str>) {
+        let mut cfg_test_pending = false;
+        while i < end {
+            let t = &tokens[i];
+            if t.is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+                let close = match_bracket(tokens, i + 1);
+                if tokens[i + 2..close].iter().any(|t| t.is_ident("cfg"))
+                    && tokens[i + 2..close].iter().any(|t| t.is_ident("test"))
+                {
+                    cfg_test_pending = true;
+                }
+                i = close + 1;
+                continue;
+            }
+            if t.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            match t.text.as_str() {
+                "mod" => {
+                    let start_line = t.line;
+                    let mut j = i + 1;
+                    while j < end && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                        j += 1;
+                    }
+                    if j < end && tokens[j].is_punct('{') {
+                        let close = match_brace(tokens, j);
+                        self.mod_ranges.push((start_line, tokens[close].line));
+                        if !cfg_test_pending {
+                            self.scan_items(tokens, j + 1, close, impl_type);
+                        }
+                        i = close + 1;
+                    } else {
+                        i = j + 1;
+                    }
+                    cfg_test_pending = false;
+                }
+                "impl" | "trait" => {
+                    // Self type: after `for` if present, else first path
+                    // after the keyword (last segment wins).
+                    let mut j = i + 1;
+                    let mut angle = 0i32;
+                    let mut after_for = false;
+                    let mut ty: Option<String> = None;
+                    while j < end && !(angle == 0 && tokens[j].is_punct('{')) {
+                        let tk = &tokens[j];
+                        if tk.is_punct('<') {
+                            angle += 1;
+                        } else if tk.is_punct('>') {
+                            angle -= 1;
+                        } else if angle == 0 && tk.is_ident("for") {
+                            after_for = true;
+                            ty = None;
+                        } else if angle == 0 && tk.kind == TokKind::Ident && tk.text != "where" {
+                            if ty.is_none() || after_for
+                                || tokens.get(j.wrapping_sub(1)).is_some_and(|p| p.is_punct(':'))
+                            {
+                                ty = Some(tk.text.clone());
+                                after_for = false;
+                            }
+                        } else if angle == 0 && tk.is_punct(';') {
+                            break; // `impl Trait for Type;` — not real Rust, bail
+                        }
+                        j += 1;
+                    }
+                    if j < end && tokens[j].is_punct('{') {
+                        let close = match_brace(tokens, j);
+                        if !cfg_test_pending {
+                            self.scan_items(tokens, j + 1, close, ty.as_deref());
+                        }
+                        i = close + 1;
+                    } else {
+                        i = j + 1;
+                    }
+                    cfg_test_pending = false;
+                }
+                "fn" => {
+                    i = self.scan_fn(tokens, i, end, impl_type, cfg_test_pending);
+                    cfg_test_pending = false;
+                }
+                "struct" | "enum" | "union" => {
+                    // Types were handled in the discovery pass; skip the body.
+                    let mut j = i + 1;
+                    while j < end
+                        && !tokens[j].is_punct('{')
+                        && !tokens[j].is_punct(';')
+                        && !tokens[j].is_punct('(')
+                    {
+                        j += 1;
+                    }
+                    if j < end && tokens[j].is_punct('{') {
+                        i = match_brace(tokens, j) + 1;
+                    } else if j < end && tokens[j].is_punct('(') {
+                        i = match_paren(tokens, j) + 1;
+                    } else {
+                        i = j + 1;
+                    }
+                    cfg_test_pending = false;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// Parses one `fn` item starting at `tokens[at]` (the `fn` keyword);
+    /// returns the index to continue scanning from.
+    fn scan_fn(
+        &mut self,
+        tokens: &[Token],
+        at: usize,
+        end: usize,
+        impl_type: Option<&str>,
+        skip: bool,
+    ) -> usize {
+        let line = tokens[at].line;
+        let Some(name_tok) = tokens.get(at + 1) else { return end };
+        let name = name_tok.text.clone();
+        // To the parameter list, skipping generics.
+        let mut j = at + 2;
+        let mut angle = 0i32;
+        while j < end {
+            if tokens[j].is_punct('<') {
+                angle += 1;
+            } else if tokens[j].is_punct('>') {
+                angle -= 1;
+            } else if angle == 0 && tokens[j].is_punct('(') {
+                break;
+            }
+            j += 1;
+        }
+        if j >= end {
+            return end;
+        }
+        let params_close = match_paren(tokens, j);
+        let arity = count_params(&tokens[j + 1..params_close]);
+        // Return type: tokens between `->` and the body / `where` / `;`.
+        let mut k = params_close + 1;
+        let mut ret = String::new();
+        if k + 1 < end && tokens[k].is_punct('-') && tokens[k + 1].is_punct('>') {
+            k += 2;
+            let mut depth = 0i32;
+            while k < end {
+                let t = &tokens[k];
+                if depth == 0 && (t.is_punct('{') || t.is_punct(';') || t.is_ident("where")) {
+                    break;
+                }
+                if t.is_punct('<') || t.is_punct('(') {
+                    depth += 1;
+                } else if t.is_punct('>') || t.is_punct(')') {
+                    depth -= 1;
+                }
+                if t.kind == TokKind::Ident || t.kind == TokKind::Punct {
+                    ret.push_str(&t.text);
+                }
+                k += 1;
+            }
+        }
+        while k < end && !tokens[k].is_punct('{') && !tokens[k].is_punct(';') {
+            k += 1;
+        }
+        if k >= end || tokens[k].is_punct(';') {
+            return k.saturating_add(1); // trait method declaration
+        }
+        let close = match_brace(tokens, k);
+        if !skip {
+            let qname = match impl_type {
+                Some(t) => format!("{t}::{name}"),
+                None => name.clone(),
+            };
+            let events = self.extract_events(&tokens[k + 1..close]);
+            self.functions.push(Function {
+                krate: self.krate,
+                file: self.file,
+                qname,
+                name,
+                line,
+                end_line: tokens[close].line,
+                ret,
+                arity,
+                events,
+            });
+        }
+        close + 1
+    }
+
+    /// Linearizes a function body into events.
+    fn extract_events(&self, body: &[Token]) -> Vec<Event> {
+        let mut ev = Vec::new();
+        // Local aliases: binding name → lock class (from `for x in
+        // <lock-field expr>` and `let x = <lock-field expr>` without an
+        // acquisition, plus iterator-closure params).
+        let mut aliases: BTreeMap<String, usize> = BTreeMap::new();
+        let mut depth: u32 = 0;
+        let mut stmt_has_let = false;
+        let mut i = 0;
+        while i < body.len() {
+            let t = &body[i];
+            match t.kind {
+                TokKind::Punct => match t.text.as_bytes()[0] {
+                    b'{' => {
+                        depth += 1;
+                        ev.push(Event::BlockOpen { depth });
+                        i += 1;
+                    }
+                    b'}' => {
+                        depth = depth.saturating_sub(1);
+                        ev.push(Event::BlockClose { depth });
+                        stmt_has_let = false;
+                        i += 1;
+                    }
+                    b';' => {
+                        ev.push(Event::StmtEnd { depth });
+                        stmt_has_let = false;
+                        i += 1;
+                    }
+                    b'[' => {
+                        // Dynamic indexing: `expr[...]` where the bracket
+                        // group names a lowercase ident (consts are
+                        // SCREAMING_CASE and treated as literals).
+                        let close = match_bracket(body, i);
+                        let indexes_value = i > 0
+                            && (body[i - 1].kind == TokKind::Ident
+                                || body[i - 1].is_punct(']')
+                                || body[i - 1].is_punct(')'));
+                        if indexes_value && has_dynamic_ident(&body[i + 1..close]) {
+                            let target = if body[i - 1].kind == TokKind::Ident {
+                                body[i - 1].text.clone()
+                            } else {
+                                "expr".into()
+                            };
+                            ev.push(Event::Panic {
+                                kind: PanicKind::Index,
+                                detail: target,
+                                line: t.line,
+                            });
+                        }
+                        i += 1; // descend into the group normally
+                    }
+                    b'/' | b'%' => {
+                        let next = body.get(i + 1);
+                        let divisor_dynamic = next.is_some_and(|n| {
+                            n.kind == TokKind::Ident && is_dynamic_ident(&n.text)
+                        });
+                        let value_ctx = i > 0
+                            && (body[i - 1].kind == TokKind::Ident
+                                || body[i - 1].kind == TokKind::Num
+                                || body[i - 1].is_punct(')')
+                                || body[i - 1].is_punct(']'));
+                        if divisor_dynamic && value_ctx {
+                            ev.push(Event::Panic {
+                                kind: PanicKind::DivMod,
+                                detail: next.map(|n| n.text.clone()).unwrap_or_default(),
+                                line: t.line,
+                            });
+                        }
+                        i += 1;
+                    }
+                    _ => i += 1,
+                },
+                TokKind::Ident => {
+                    let name = t.text.as_str();
+                    match name {
+                        "let" => {
+                            stmt_has_let = true;
+                            let (names, next) = parse_let_pattern(body, i + 1);
+                            // Alias detection happens lazily: scan the RHS
+                            // up to the statement end for a lock-field
+                            // ident without an acquisition call.
+                            if let Some(class) =
+                                self.rhs_alias_class(body, next, names.first().map(String::as_str))
+                            {
+                                for n in &names {
+                                    aliases.insert(n.clone(), class);
+                                }
+                            }
+                            ev.push(Event::LetBind { names, line: t.line });
+                            i = next;
+                        }
+                        "for" => {
+                            // `for PAT in EXPR {` — alias PAT when EXPR
+                            // names a lock field.
+                            let mut j = i + 1;
+                            let mut pat = Vec::new();
+                            while j < body.len() && !body[j].is_ident("in") {
+                                if body[j].kind == TokKind::Ident && body[j].text != "mut" {
+                                    pat.push(body[j].text.clone());
+                                }
+                                j += 1;
+                            }
+                            let mut k = j + 1;
+                            let mut expr = Vec::new();
+                            let mut d = 0i32;
+                            while k < body.len() {
+                                let tk = &body[k];
+                                if d == 0 && tk.is_punct('{') {
+                                    break;
+                                }
+                                if tk.is_punct('(') || tk.is_punct('[') || tk.is_punct('<') {
+                                    d += 1;
+                                } else if tk.is_punct(')') || tk.is_punct(']') || tk.is_punct('>') {
+                                    d -= 1;
+                                }
+                                if tk.kind == TokKind::Ident {
+                                    expr.push(tk.text.clone());
+                                }
+                                k += 1;
+                            }
+                            if let Some(class) = self.class_for_idents(&expr) {
+                                for n in &pat {
+                                    aliases.insert(n.clone(), class);
+                                }
+                            }
+                            i = j + 1;
+                        }
+                        "drop" if body.get(i + 1).is_some_and(|n| n.is_punct('(')) => {
+                            let close = match_paren(body, i + 1);
+                            if close == i + 3 && body[i + 2].kind == TokKind::Ident {
+                                ev.push(Event::DropBinding { name: body[i + 2].text.clone() });
+                            }
+                            i += 2;
+                        }
+                        "panic" | "unreachable" | "todo" | "unimplemented"
+                            if body.get(i + 1).is_some_and(|n| n.is_punct('!')) =>
+                        {
+                            ev.push(Event::Panic {
+                                kind: PanicKind::Macro,
+                                detail: name.to_string(),
+                                line: t.line,
+                            });
+                            i += 2;
+                        }
+                        "Err" if is_discarding_err_arm(body, i) => {
+                            ev.push(Event::ErrArmDrop { line: t.line });
+                            i += 1;
+                        }
+                        _ => {
+                            if body.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+                                // Macro invocation: skip the bang, walk the
+                                // arguments as ordinary tokens.
+                                i += 2;
+                                continue;
+                            }
+                            if body.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                                i = self.handle_call(body, i, depth, stmt_has_let, &mut aliases, &mut ev);
+                                continue;
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+        ev
+    }
+
+    /// Processes `name(` at `at`: classifies it as an acquisition, a
+    /// panic-prone accessor, an `.ok()` discard, or a plain call.
+    /// Returns the index after the call name.
+    fn handle_call(
+        &self,
+        body: &[Token],
+        at: usize,
+        depth: u32,
+        stmt_has_let: bool,
+        aliases: &mut BTreeMap<String, usize>,
+        ev: &mut Vec<Event>,
+    ) -> usize {
+        let name = body[at].text.as_str();
+        let line = body[at].line;
+        let open = at + 1;
+        let close = match_paren(body, open);
+        let args = count_args(&body[open + 1..close]);
+        let is_method = at > 0 && body[at - 1].is_punct('.');
+        let chain = if is_method { receiver_chain(body, at - 1) } else { path_chain(body, at) };
+        match name {
+            "unwrap" | "unwrap_err" if is_method && args == 0 => {
+                ev.push(Event::Panic {
+                    kind: PanicKind::Unwrap,
+                    detail: chain.last().cloned().unwrap_or_default(),
+                    line,
+                });
+                return at + 1;
+            }
+            "expect" | "expect_err" if is_method => {
+                ev.push(Event::Panic {
+                    kind: PanicKind::Expect,
+                    detail: chain.last().cloned().unwrap_or_default(),
+                    line,
+                });
+                return at + 1;
+            }
+            "ok" if is_method && args == 0 => {
+                // `.ok();` in statement position discards the error.
+                if !stmt_has_let && body.get(close + 1).is_some_and(|n| n.is_punct(';')) {
+                    ev.push(Event::OkDiscard { line });
+                }
+                return at + 1;
+            }
+            "lock" | "read" | "write" if is_method && args == 0 => {
+                if let Some(class) = self.resolve_receiver(&chain, aliases) {
+                    let rw_ok = name == "lock" && !self.classes[class].is_rwlock
+                        || (name == "read" || name == "write") && self.classes[class].is_rwlock;
+                    if rw_ok {
+                        ev.push(Event::Acquire { class, depth, line });
+                        return at + 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+        // Iterator-closure aliasing: `<lock-field chain>.adapter(|x| ...)`
+        // binds `x` to the class (covers `self.shards.iter().map(|s| ...)`).
+        if let Some(class) = self.class_for_idents(&chain) {
+            if body.get(open + 1).is_some_and(|n| n.is_punct('|'))
+                && body.get(open + 2).is_some_and(|n| n.kind == TokKind::Ident)
+                && body.get(open + 3).is_some_and(|n| n.is_punct('|'))
+            {
+                aliases.insert(body[open + 2].text.clone(), class);
+            }
+        }
+        ev.push(Event::Call { name: name.to_string(), chain, args, depth, line });
+        at + 1
+    }
+
+    /// Lock class for a receiver chain: a chain ident matching a lock
+    /// field in the dependency closure, else an alias for the first ident.
+    fn resolve_receiver(&self, chain: &[String], aliases: &BTreeMap<String, usize>) -> Option<usize> {
+        if let Some(c) = self.class_for_idents(chain) {
+            return Some(c);
+        }
+        chain.first().and_then(|head| aliases.get(head)).copied()
+    }
+
+    fn class_for_idents(&self, idents: &[String]) -> Option<usize> {
+        for ident in idents.iter().rev() {
+            if let Some((id, _)) = self
+                .classes
+                .iter()
+                .enumerate()
+                .find(|(_, c)| c.field == *ident && self.dep_closure.contains(&c.krate))
+            {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Class aliased by a `let` RHS: the RHS names a lock field but does
+    /// not itself acquire (no `.lock()`/`.read()`/`.write()` call).
+    fn rhs_alias_class(&self, body: &[Token], from: usize, _first: Option<&str>) -> Option<usize> {
+        let mut idents = Vec::new();
+        let mut d = 0i32;
+        let mut j = from;
+        while j < body.len() {
+            let t = &body[j];
+            if d == 0 && t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                d += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                d -= 1;
+            }
+            if t.kind == TokKind::Ident {
+                if matches!(t.text.as_str(), "lock" | "read" | "write")
+                    && j > 0
+                    && body[j - 1].is_punct('.')
+                    && body.get(j + 1).is_some_and(|n| n.is_punct('('))
+                {
+                    return None; // the binding is a guard, not an alias
+                }
+                idents.push(t.text.clone());
+            }
+            j += 1;
+        }
+        self.class_for_idents(&idents)
+    }
+}
+
+/// Collects binder names from a `let` pattern; returns (names, index of
+/// the token after the pattern — at `=` or `;`).
+fn parse_let_pattern(body: &[Token], mut i: usize) -> (Vec<String>, usize) {
+    let mut names = Vec::new();
+    let mut depth = 0i32;
+    while i < body.len() {
+        let t = &body[i];
+        if depth == 0 && (t.is_punct('=') || t.is_punct(';')) {
+            // `==`/`=>` cannot appear at a pattern boundary.
+            break;
+        }
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            depth -= 1;
+        } else if t.kind == TokKind::Ident
+            && !matches!(t.text.as_str(), "mut" | "ref" | "box")
+            && t.text.chars().next().is_some_and(|c| c.is_lowercase() || c == '_')
+        {
+            // Skip type ascription: idents after `:` belong to the type.
+            let after_colon = i > 0 && body[i - 1].is_punct(':');
+            if !after_colon {
+                names.push(t.text.clone());
+            }
+        }
+        i += 1;
+    }
+    (names, i)
+}
+
+/// Number of top-level comma-separated groups (0 for empty).
+fn count_args(tokens: &[Token]) -> u8 {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut n: u8 = 1;
+    let mut trailing_comma = false;
+    for t in tokens {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') || t.is_punct('<') {
+            depth += 1;
+            trailing_comma = false;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') || t.is_punct('>') {
+            depth -= 1;
+            trailing_comma = false;
+        } else if depth == 0 && t.is_punct(',') {
+            n = n.saturating_add(1);
+            trailing_comma = true;
+        } else {
+            trailing_comma = false;
+        }
+    }
+    // `f(a, b,)` — a trailing comma (idiomatic in multi-line calls) does
+    // not introduce an argument.
+    if trailing_comma {
+        n = n.saturating_sub(1);
+    }
+    n
+}
+
+/// Non-self parameter count of a definition's parameter list.
+fn count_params(tokens: &[Token]) -> u8 {
+    let mut n = count_args(tokens);
+    let has_self = tokens
+        .iter()
+        .take_while(|t| !t.is_punct(','))
+        .any(|t| t.is_ident("self"));
+    if has_self {
+        n = n.saturating_sub(1);
+    }
+    n
+}
+
+/// Walks a method receiver backwards from the `.` at `dot`: collects the
+/// ident chain, skipping index/call groups (`a.b[i].c()` → `[a, b, c]`).
+fn receiver_chain(body: &[Token], dot: usize) -> Vec<String> {
+    let mut chain = Vec::new();
+    let mut i = dot as isize - 1;
+    loop {
+        if i < 0 {
+            break;
+        }
+        let t = &body[i as usize];
+        if t.kind == TokKind::Ident {
+            chain.push(t.text.clone());
+            i -= 1;
+        } else if t.is_punct(']') || t.is_punct(')') {
+            // Skip back over the bracketed group.
+            let (open, close) = if t.is_punct(']') { ('[', ']') } else { ('(', ')') };
+            let mut depth = 0i32;
+            while i >= 0 {
+                let u = &body[i as usize];
+                if u.is_punct(close) {
+                    depth += 1;
+                } else if u.is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                i -= 1;
+            }
+            i -= 1;
+        } else if t.is_punct('.') {
+            i -= 1;
+        } else if t.is_punct('?') {
+            i -= 1; // `foo()?.bar()`
+        } else {
+            break;
+        }
+        // After a group skip the next expected token is an ident or `.`.
+    }
+    chain.reverse();
+    chain
+}
+
+/// Path segments preceding a free call: `http::read_request(` → `[http]`.
+fn path_chain(body: &[Token], name_at: usize) -> Vec<String> {
+    let mut chain = Vec::new();
+    let mut i = name_at as isize - 1;
+    while i >= 1
+        && body[i as usize].is_punct(':')
+        && body[i as usize - 1].is_punct(':')
+    {
+        i -= 2;
+        if i >= 0 && body[i as usize].kind == TokKind::Ident {
+            chain.push(body[i as usize].text.clone());
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    chain.reverse();
+    chain
+}
+
+fn is_dynamic_ident(s: &str) -> bool {
+    // SCREAMING_CASE consts and `self` count as static; anything else
+    // (locals, fields) can hold an arbitrary runtime value.
+    s != "self" && s.chars().any(|c| c.is_ascii_lowercase())
+}
+
+fn has_dynamic_ident(tokens: &[Token]) -> bool {
+    tokens.iter().any(|t| t.kind == TokKind::Ident && is_dynamic_ident(&t.text))
+}
+
+/// `Err ( _pat ) => {}` or `=> ()` — the arm drops the error value.
+fn is_discarding_err_arm(body: &[Token], at: usize) -> bool {
+    if !body.get(at + 1).is_some_and(|t| t.is_punct('(')) {
+        return false;
+    }
+    let close = match_paren(body, at + 1);
+    let pat = &body[at + 2..close];
+    let discards_value = pat.len() == 1
+        && pat[0].kind == TokKind::Ident
+        && pat[0].text.starts_with('_');
+    if !discards_value {
+        return false;
+    }
+    let (a, b) = (body.get(close + 1), body.get(close + 2));
+    if !(a.is_some_and(|t| t.is_punct('=')) && b.is_some_and(|t| t.is_punct('>'))) {
+        return false;
+    }
+    match (body.get(close + 3), body.get(close + 4)) {
+        (Some(x), Some(y)) if x.is_punct('{') && y.is_punct('}') => true,
+        (Some(x), Some(y)) if x.is_punct('(') && y.is_punct(')') => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::CrateInfo;
+
+    fn model_from(src: &str) -> Model {
+        let dir = std::env::temp_dir().join(format!(
+            "xk-analyze-model-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("src")).unwrap();
+        std::fs::write(dir.join("src/lib.rs"), src).unwrap();
+        let layout = WorkspaceLayout {
+            root: dir.clone(),
+            crates: vec![CrateInfo {
+                name: "fixture".into(),
+                dir: dir.clone(),
+                deps: vec![],
+                files: vec!["src/lib.rs".into()],
+            }],
+        };
+        let m = build(&layout).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        m
+    }
+
+    #[test]
+    fn extracts_functions_and_impl_names() {
+        let m = model_from(
+            "struct S; impl S { pub fn a(&self, x: u32) -> Result<u32, ()> { other(x) } }\n\
+             fn other(x: u32) -> Result<u32, ()> { Ok(x) }",
+        );
+        let names: Vec<&str> = m.functions.iter().map(|f| f.qname.as_str()).collect();
+        assert_eq!(names, ["S::a", "other"]);
+        assert_eq!(m.functions[0].arity, 1);
+        assert!(m.functions[0].ret.contains("Result"));
+    }
+
+    #[test]
+    fn discovers_lock_classes_and_acquisitions() {
+        let m = model_from(
+            "use std::sync::Mutex;\n\
+             struct Pool { shards: Vec<Mutex<u32>>, write_state: Mutex<bool> }\n\
+             impl Pool { fn f(&self) { let g = self.write_state.lock().unwrap(); drop(g); } }",
+        );
+        assert_eq!(m.lock_classes.len(), 2);
+        assert_eq!(m.lock_classes[0].kind, LockKind::Shard);
+        assert_eq!(m.lock_classes[1].kind, LockKind::Global);
+        let acqs = m.functions[0]
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Acquire { .. }))
+            .count();
+        assert_eq!(acqs, 1);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let m = model_from(
+            "fn real() {}\n#[cfg(test)]\nmod tests { fn fake() { x.unwrap(); } }",
+        );
+        assert_eq!(m.functions.len(), 1);
+        assert_eq!(m.functions[0].name, "real");
+    }
+
+    #[test]
+    fn index_heuristic_skips_const_and_literal() {
+        let m = model_from(
+            "const N: usize = 4;\n\
+             fn f(p: &[u8], off: usize) { let _a = p[N]; let _b = p[2]; let _c = p[off]; }",
+        );
+        let panics: Vec<String> = m.functions[0]
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Panic { kind: PanicKind::Index, detail, .. } => Some(detail.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(panics, ["p"], "only the dynamic index is flagged");
+    }
+
+    #[test]
+    fn for_loop_aliases_bind_lock_class() {
+        let m = model_from(
+            "use std::sync::Mutex;\n\
+             struct P { shards: Vec<Mutex<u32>> }\n\
+             impl P { fn f(&self) { for s in &self.shards { let g = s.lock().unwrap(); drop(g); } } }",
+        );
+        let acqs = m.functions[0]
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Acquire { .. }))
+            .count();
+        assert_eq!(acqs, 1);
+    }
+
+    #[test]
+    fn err_arm_discard_detected() {
+        let m = model_from(
+            "fn f(r: Result<u32, u32>) { match r { Ok(v) => { let _x = v; } Err(_) => {} } }",
+        );
+        assert!(m.functions[0].events.iter().any(|e| matches!(e, Event::ErrArmDrop { .. })));
+    }
+}

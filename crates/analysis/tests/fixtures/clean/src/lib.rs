@@ -1,0 +1,5 @@
+//! A fixture with nothing to report.
+
+pub fn add(a: u32, b: u32) -> u32 {
+    a.wrapping_add(b)
+}

@@ -1,0 +1,42 @@
+//! Seeded pager-IO-under-guard violations for xk-analyze's io_under_lock pass.
+use std::sync::Mutex;
+
+pub struct Pager;
+impl Pager {
+    pub fn read_page(&self, _id: u32, _buf: &mut [u8]) {}
+    pub fn write_page(&self, _id: u32, _buf: &[u8]) {}
+    pub fn sync(&self) {}
+}
+
+pub struct Env {
+    pub pager: Pager,
+    pub shard_locks: Mutex<u32>,
+    pub cache_map: Mutex<u32>,
+}
+
+impl Env {
+    /// Direct IO while holding a shard guard.
+    pub fn read_under_shard(&self, id: u32, buf: &mut [u8]) {
+        let g = self.shard_locks.lock().unwrap();
+        self.pager.read_page(id, buf);
+        drop(g);
+    }
+
+    /// IO reached through a call while a cache guard is live.
+    pub fn sync_under_cache(&self) {
+        let g = self.cache_map.lock().unwrap();
+        self.do_sync();
+        drop(g);
+    }
+
+    fn do_sync(&self) {
+        self.pager.sync();
+    }
+
+    /// Clean: the guard is dropped before the write.
+    pub fn write_after_release(&self, id: u32, buf: &[u8]) {
+        let g = self.shard_locks.lock().unwrap();
+        drop(g);
+        self.pager.write_page(id, buf);
+    }
+}

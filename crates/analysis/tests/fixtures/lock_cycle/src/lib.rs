@@ -1,0 +1,47 @@
+//! Seeded lock-discipline violations for xk-analyze's lock_order pass.
+use std::sync::Mutex;
+
+pub struct Pool {
+    pub shard_locks: Mutex<u32>,
+    pub global_write: Mutex<u32>,
+    pub side_table: Mutex<u32>,
+}
+
+impl Pool {
+    /// Double-lock: acquires the same class twice on one path.
+    pub fn double(&self) {
+        let a = self.shard_locks.lock().unwrap();
+        let b = self.shard_locks.lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+
+    /// Inversion: shard first, then the global write lock.
+    pub fn inverted(&self) {
+        let s = self.shard_locks.lock().unwrap();
+        let g = self.global_write.lock().unwrap();
+        drop(g);
+        drop(s);
+    }
+
+    /// Half of a cycle: global, then the side table.
+    pub fn forward(&self) {
+        let g = self.global_write.lock().unwrap();
+        let t = self.side_table.lock().unwrap();
+        drop(t);
+        drop(g);
+    }
+
+    /// Other half, via a call so propagation is exercised: side table,
+    /// then `forward_inner` which takes the global lock.
+    pub fn backward(&self) {
+        let t = self.side_table.lock().unwrap();
+        self.forward_inner();
+        drop(t);
+    }
+
+    fn forward_inner(&self) {
+        let g = self.global_write.lock().unwrap();
+        drop(g);
+    }
+}

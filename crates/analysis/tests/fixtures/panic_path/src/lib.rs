@@ -1,0 +1,37 @@
+//! Seeded panic-reachability violations for xk-analyze's panic_path pass.
+
+// xk-analyze: root(panic_path)
+pub fn serve(input: &[u32], idx: usize) -> u32 {
+    let first = lookup(input, idx);
+    first + scale(input)
+}
+
+fn lookup(xs: &[u32], idx: usize) -> u32 {
+    xs[idx]
+}
+
+fn scale(xs: &[u32]) -> u32 {
+    let n = xs.first().copied().unwrap();
+    let d = xs.len() as u32;
+    n / d
+}
+
+// xk-analyze: allow(panic_path, reason = "covered by the fixture's invariant")
+fn tolerated(xs: &[u32]) -> u32 {
+    xs.first().copied().expect("non-empty by contract")
+}
+
+// xk-analyze: root(panic_path)
+pub fn serve_tolerated(xs: &[u32]) -> u32 {
+    tolerated(xs)
+}
+
+// xk-analyze: allow(panic_path)
+pub fn missing_reason(xs: &[u32]) -> u32 {
+    xs.len() as u32
+}
+
+/// Not reachable from a root: no finding even though it unwraps.
+pub fn offline(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap()
+}

@@ -1,0 +1,32 @@
+//! Seeded swallowed-error violations for xk-analyze's swallowed_result pass.
+
+pub fn fallible() -> Result<u32, String> {
+    Ok(1)
+}
+
+pub fn drops_via_let() {
+    let _ = fallible();
+}
+
+pub fn drops_via_ok() {
+    fallible().ok();
+}
+
+pub fn drops_err_arm() -> u32 {
+    match fallible() {
+        Ok(v) => v,
+        Err(_) => 0,
+    }
+}
+
+pub fn drops_empty_err_arm() {
+    match fallible() {
+        Ok(_) => {}
+        Err(_) => {}
+    }
+}
+
+pub fn handled() -> Result<u32, String> {
+    let v = fallible()?;
+    Ok(v)
+}

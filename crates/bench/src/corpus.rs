@@ -106,6 +106,7 @@ pub fn corpus(scale: Scale, cache_dir: &std::path::Path) -> Corpus {
                 return Corpus { engine, classes, scale, db_path: db };
             }
         }
+        // xk-analyze: allow(swallowed_result, reason = "stale cache removal is best-effort; the rebuild truncates on create")
         std::fs::remove_file(&db).ok();
     }
 

@@ -39,6 +39,7 @@ pub enum LcaKind {
 /// emitted as they are discovered: SLCAs in document order, each followed
 /// by the confirmed ancestors it is responsible for (bottom-up), so the
 /// overall order is not document order; the collect wrapper sorts.
+// xk-analyze: allow(panic_path, reason = "k >= 2 is established by the early returns above; slca indices are in bounds by construction")
 pub fn all_lcas(
     s1: &mut dyn StreamList,
     all: &mut [&mut dyn RankedList],

@@ -210,6 +210,7 @@ struct StackEntry {
 ///
 /// Supports up to 64 keywords (the bitset width); the paper's queries use
 /// 2–5.
+// xk-analyze: allow(panic_path, reason = "heads/streams indices range over 0..k fixed at entry; the stack is non-empty whenever popped by the loop structure")
 pub fn stack_merge<L: StreamList>(lists: Vec<L>, mut emit: impl FnMut(Dewey)) -> AlgoStats {
     let mut stats = AlgoStats::default();
     let k = lists.len();

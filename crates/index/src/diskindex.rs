@@ -152,9 +152,17 @@ pub(crate) fn decode_blob(blob: &[u8]) -> Result<(LevelTable, Option<ListHandle>
         .ok_or_else(|| IndexError::Corrupt("bad level table".into()))?;
     let doc = match blob[lt_end] {
         0 => None,
-        1 => Some(ListHandle::decode(
-            &blob[lt_end + 1..lt_end + 1 + xk_storage::liststore::LIST_HANDLE_BYTES],
-        )?),
+        1 => {
+            // The handle bytes come from disk: a blob that passes the
+            // earlier length checks can still end mid-handle, and slicing
+            // past the end would panic on the open path.
+            let handle = blob
+                .get(lt_end + 1..lt_end + 1 + xk_storage::liststore::LIST_HANDLE_BYTES)
+                .ok_or_else(|| {
+                    IndexError::Corrupt("meta blob truncated inside document handle".into())
+                })?;
+            Some(ListHandle::decode(handle)?)
+        }
         b => return Err(IndexError::Corrupt(format!("bad document flag {b}"))),
     };
     Ok((table, doc))

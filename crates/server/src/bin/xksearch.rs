@@ -245,6 +245,7 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     // The exact line the loadgen and the CLI tests parse for the port.
     println!("listening on http://{}", server.local_addr());
     use std::io::Write;
+    // xk-analyze: allow(swallowed_result, reason = "if stdout is gone there is no reader waiting for the port line")
     std::io::stdout().flush().ok();
     eprintln!(
         "serving {db} with {} workers, {} cache entries, queue bound {} \

@@ -72,6 +72,7 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
         self.capacity
     }
 
+    // xk-analyze: allow(panic_path, reason = "slab indices are intrusive-list links maintained by this type")
     fn unlink(&mut self, i: usize) {
         let (prev, next) = (self.slab[i].prev, self.slab[i].next);
         if prev == NIL {
@@ -86,6 +87,7 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
         }
     }
 
+    // xk-analyze: allow(panic_path, reason = "slab indices are intrusive-list links maintained by this type")
     fn push_front(&mut self, i: usize) {
         self.slab[i].prev = NIL;
         self.slab[i].next = self.head;
@@ -99,6 +101,7 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
     }
 
     /// Looks `key` up and marks it most recently used.
+    // xk-analyze: allow(panic_path, reason = "slab indices are intrusive-list links maintained by this type")
     pub fn get(&mut self, key: &K) -> Option<&V> {
         let &i = self.map.get(key)?;
         if self.head != i {
@@ -110,6 +113,7 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
 
     /// Inserts (or replaces) `key`, evicting the least recently used
     /// entry if at capacity. Returns the evicted key, if any.
+    // xk-analyze: allow(panic_path, reason = "slab indices are intrusive-list links maintained by this type")
     pub fn insert(&mut self, key: K, value: V) -> Option<K> {
         if self.capacity == 0 {
             return None;
@@ -241,6 +245,7 @@ impl CacheStats {
         if total == 0 {
             1.0
         } else {
+            // xk-analyze: allow(panic_path, reason = "f64 division cannot panic; total is also checked non-zero above")
             self.hits as f64 / total as f64
         }
     }

@@ -84,6 +84,7 @@ impl Shared {
         self.shed_available.notify_all();
         // Unblock the accept loop with a throwaway self-connection; if
         // connecting fails the listener is already gone, which is fine.
+        // xk-analyze: allow(swallowed_result, reason = "a failed wake-up connect means the listener is already gone; shutdown proceeds either way")
         let _ = TcpStream::connect(self.local_addr);
     }
 }
@@ -159,10 +160,14 @@ impl Server {
     /// document (the same JSON `/metrics` serves).
     pub fn join(mut self) -> String {
         if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+            if t.join().is_err() {
+                eprintln!("xkserve: accept thread panicked during drain");
+            }
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        for (i, w) in self.workers.drain(..).enumerate() {
+            if w.join().is_err() {
+                eprintln!("xkserve: worker thread {i} panicked during drain");
+            }
         }
         metrics_json(&self.shared)
     }
@@ -173,6 +178,7 @@ impl Server {
     }
 }
 
+// xk-analyze: root(panic_path)
 fn accept_loop(listener: TcpListener, shared: &Shared) {
     for stream in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -213,6 +219,8 @@ fn shed(stream: TcpStream, shared: &Shared) {
 /// Answers every refused connection with `503 Service Unavailable`. The
 /// request head is read (briefly) before responding so well-behaved
 /// clients get the response instead of a connection reset.
+// xk-analyze: root(panic_path)
+// xk-analyze: allow(swallowed_result, reason = "the shed path is best-effort by design: the client may already have hung up")
 fn shedder_loop(shared: &Shared) {
     loop {
         let stream = {
@@ -232,6 +240,7 @@ fn shedder_loop(shared: &Shared) {
         let _ = stream.set_read_timeout(Some(grace));
         let _ = stream.set_write_timeout(Some(grace));
         let _ = http::read_request(&mut stream);
+        // xk-analyze: allow(swallowed_result, reason = "error reply on an already-failing connection is best-effort")
         let _ = http::write_json(
             &mut stream,
             503,
@@ -241,6 +250,8 @@ fn shedder_loop(shared: &Shared) {
     }
 }
 
+// xk-analyze: root(panic_path)
+// xk-analyze: allow(swallowed_result, reason = "socket timeouts are advisory; a dead socket surfaces at the subsequent read")
 fn worker_loop(shared: &Shared) {
     loop {
         let stream = {
@@ -265,6 +276,8 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+// xk-analyze: root(panic_path)
+// xk-analyze: allow(swallowed_result, reason = "response writes to a possibly-dead client are best-effort; the failure is not actionable")
 fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
     let request = match http::read_request(stream) {
         Ok(r) => r,
@@ -328,6 +341,7 @@ fn keywords_of(request: &Request) -> Vec<String> {
         .collect()
 }
 
+// xk-analyze: allow(swallowed_result, reason = "response writes to a possibly-dead client are best-effort; the failure is not actionable")
 fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
     let started = Instant::now();
     let bad = |stream: &mut TcpStream, shared: &Shared, msg: &str| {

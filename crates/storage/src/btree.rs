@@ -34,113 +34,141 @@ const INT_HDR: usize = 7; // type(1) count(2) child0(4)
 /// ```
 mod raw {
     use super::{INT_HDR, LEAF_HDR, TYPE_INTERNAL, TYPE_LEAF};
+    use crate::error::{Result, StorageError};
     use crate::pager::PageId;
 
+    /// Offsets and lengths in the slotted directory come from disk; a
+    /// page can pass its checksum and still carry garbage (a partially
+    /// applied build, a bug elsewhere, a deliberate fault-injection
+    /// mangle), so every derived range is bounds-checked and surfaces as
+    /// [`StorageError::Corrupt`] instead of a panic on the query path.
+    fn corrupt(what: &str) -> StorageError {
+        StorageError::Corrupt(format!("btree page: {what}"))
+    }
+
+    fn read_u16(page: &[u8], pos: usize, what: &str) -> Result<usize> {
+        let bytes = page.get(pos..pos + 2).ok_or_else(|| corrupt(what))?;
+        // xk-analyze: allow(panic_path, reason = "slice is exactly 2 bytes by construction")
+        Ok(u16::from_le_bytes(bytes.try_into().expect("2-byte slice")) as usize)
+    }
+
+    fn read_u32(page: &[u8], pos: usize, what: &str) -> Result<u32> {
+        let bytes = page.get(pos..pos + 4).ok_or_else(|| corrupt(what))?;
+        // xk-analyze: allow(panic_path, reason = "slice is exactly 4 bytes by construction")
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+    }
+
     pub fn is_leaf(page: &[u8]) -> bool {
-        page[0] == TYPE_LEAF
+        page.first() == Some(&TYPE_LEAF)
     }
 
     pub fn is_internal(page: &[u8]) -> bool {
-        page[0] == TYPE_INTERNAL
+        page.first() == Some(&TYPE_INTERNAL)
     }
 
-    pub fn count(page: &[u8]) -> usize {
-        u16::from_le_bytes(page[1..3].try_into().unwrap()) as usize
+    pub fn count(page: &[u8]) -> Result<usize> {
+        read_u16(page, 1, "count header")
     }
 
-    pub fn leaf_prev(page: &[u8]) -> Option<PageId> {
-        PageId::decode_opt(u32::from_le_bytes(page[3..7].try_into().unwrap()))
+    pub fn leaf_prev(page: &[u8]) -> Result<Option<PageId>> {
+        Ok(PageId::decode_opt(read_u32(page, 3, "leaf prev link")?))
     }
 
-    pub fn leaf_next(page: &[u8]) -> Option<PageId> {
-        PageId::decode_opt(u32::from_le_bytes(page[7..11].try_into().unwrap()))
+    pub fn leaf_next(page: &[u8]) -> Result<Option<PageId>> {
+        Ok(PageId::decode_opt(read_u32(page, 7, "leaf next link")?))
     }
 
-    fn offset(page: &[u8], hdr: usize, i: usize) -> usize {
-        let pos = hdr + 2 * i;
-        u16::from_le_bytes(page[pos..pos + 2].try_into().unwrap()) as usize
+    fn offset(page: &[u8], hdr: usize, i: usize) -> Result<usize> {
+        read_u16(page, hdr + 2 * i, "offset directory entry")
     }
 
     /// Key + value of leaf entry `i`.
-    pub fn leaf_entry(page: &[u8], i: usize) -> (&[u8], &[u8]) {
-        let off = offset(page, LEAF_HDR, i);
-        let klen = u16::from_le_bytes(page[off..off + 2].try_into().unwrap()) as usize;
-        let vlen = u16::from_le_bytes(page[off + 2..off + 4].try_into().unwrap()) as usize;
+    pub fn leaf_entry(page: &[u8], i: usize) -> Result<(&[u8], &[u8])> {
+        let off = offset(page, LEAF_HDR, i)?;
+        let klen = read_u16(page, off, "leaf entry key length")?;
+        let vlen = read_u16(page, off + 2, "leaf entry value length")?;
         let kstart = off + 4;
-        (&page[kstart..kstart + klen], &page[kstart + klen..kstart + klen + vlen])
+        let key = page
+            .get(kstart..kstart + klen)
+            .ok_or_else(|| corrupt("leaf key out of bounds"))?;
+        let val = page
+            .get(kstart + klen..kstart + klen + vlen)
+            .ok_or_else(|| corrupt("leaf value out of bounds"))?;
+        Ok((key, val))
     }
 
     /// Key of leaf entry `i`.
-    pub fn leaf_key(page: &[u8], i: usize) -> &[u8] {
-        leaf_entry(page, i).0
+    pub fn leaf_key(page: &[u8], i: usize) -> Result<&[u8]> {
+        Ok(leaf_entry(page, i)?.0)
     }
 
     /// First leaf index with key `>= probe` (== count when none).
-    pub fn leaf_lower_bound(page: &[u8], probe: &[u8]) -> usize {
-        let n = count(page);
+    pub fn leaf_lower_bound(page: &[u8], probe: &[u8]) -> Result<usize> {
+        let n = count(page)?;
         let (mut lo, mut hi) = (0usize, n);
         while lo < hi {
             let mid = (lo + hi) / 2;
-            if leaf_key(page, mid) < probe {
+            if leaf_key(page, mid)? < probe {
                 lo = mid + 1;
             } else {
                 hi = mid;
             }
         }
-        lo
+        Ok(lo)
     }
 
     /// First leaf index with key `> probe` (== count when none).
-    pub fn leaf_upper_bound(page: &[u8], probe: &[u8]) -> usize {
-        let n = count(page);
+    pub fn leaf_upper_bound(page: &[u8], probe: &[u8]) -> Result<usize> {
+        let n = count(page)?;
         let (mut lo, mut hi) = (0usize, n);
         while lo < hi {
             let mid = (lo + hi) / 2;
-            if leaf_key(page, mid) <= probe {
+            if leaf_key(page, mid)? <= probe {
                 lo = mid + 1;
             } else {
                 hi = mid;
             }
         }
-        lo
+        Ok(lo)
     }
 
-    pub fn internal_sep(page: &[u8], i: usize) -> &[u8] {
-        let off = offset(page, INT_HDR, i);
-        let klen = u16::from_le_bytes(page[off..off + 2].try_into().unwrap()) as usize;
-        &page[off + 2..off + 2 + klen]
+    pub fn internal_sep(page: &[u8], i: usize) -> Result<&[u8]> {
+        let off = offset(page, INT_HDR, i)?;
+        let klen = read_u16(page, off, "separator key length")?;
+        page.get(off + 2..off + 2 + klen)
+            .ok_or_else(|| corrupt("separator key out of bounds"))
     }
 
-    pub fn internal_child_at(page: &[u8], i: usize) -> PageId {
+    pub fn internal_child_at(page: &[u8], i: usize) -> Result<PageId> {
         if i == 0 {
-            return PageId(u32::from_le_bytes(page[3..7].try_into().unwrap()));
+            return Ok(PageId(read_u32(page, 3, "child 0 pointer")?));
         }
-        let off = offset(page, INT_HDR, i - 1);
-        let klen = u16::from_le_bytes(page[off..off + 2].try_into().unwrap()) as usize;
+        let off = offset(page, INT_HDR, i - 1)?;
+        let klen = read_u16(page, off, "separator key length")?;
         let cpos = off + 2 + klen;
-        PageId(u32::from_le_bytes(page[cpos..cpos + 4].try_into().unwrap()))
+        Ok(PageId(read_u32(page, cpos, "child pointer")?))
     }
 
     /// The child *index* to descend into for `probe` (boundary keys go
     /// right): the first `i` with `sep[i] > probe`, i.e. child `i` holds
     /// keys `k` with `sep[i-1] <= k < sep[i]`.
-    pub fn internal_route_idx(page: &[u8], probe: &[u8]) -> usize {
-        let n = count(page);
+    pub fn internal_route_idx(page: &[u8], probe: &[u8]) -> Result<usize> {
+        let n = count(page)?;
         let (mut lo, mut hi) = (0usize, n);
         while lo < hi {
             let mid = (lo + hi) / 2;
-            if internal_sep(page, mid) <= probe {
+            if internal_sep(page, mid)? <= probe {
                 lo = mid + 1;
             } else {
                 hi = mid;
             }
         }
-        lo
+        Ok(lo)
     }
 
     /// The child to descend into for `probe` (boundary keys go right).
-    pub fn internal_route(page: &[u8], probe: &[u8]) -> PageId {
-        internal_child_at(page, internal_route_idx(page, probe))
+    pub fn internal_route(page: &[u8], probe: &[u8]) -> Result<PageId> {
+        internal_child_at(page, internal_route_idx(page, probe)?)
     }
 }
 
@@ -173,6 +201,7 @@ impl Node {
         }
     }
 
+    // xk-analyze: allow(panic_path, reason = "serialized_size is checked against the page before write")
     fn write(&self, page: &mut [u8]) {
         match self {
             Node::Leaf { prev, next, entries } => {
@@ -218,6 +247,7 @@ impl Node {
     /// [`StorageError::Corrupt`] instead of a panic. The unchecked `raw`
     /// accessors stay on the hot read path, where checksum verification
     /// has already vouched for the page.
+    // xk-analyze: allow(panic_path, reason = "slice() bounds-checks every range before the fixed-width decodes")
     fn read(page: &[u8]) -> Result<Node> {
         fn slice<'p>(page: &'p [u8], start: usize, len: usize, what: &str) -> Result<&'p [u8]> {
             page.get(start..start + len).ok_or_else(|| {
@@ -540,11 +570,11 @@ impl BTree {
         loop {
             let step = env.with_page(page, |p| {
                 if raw::is_internal(p) {
-                    Ok(Step::Descend(raw::internal_route(p, key)))
+                    Ok(Step::Descend(raw::internal_route(p, key)?))
                 } else if raw::is_leaf(p) {
-                    let idx = raw::leaf_lower_bound(p, key);
-                    if idx < raw::count(p) && raw::leaf_key(p, idx) == key {
-                        Ok(Step::Value(Some(raw::leaf_entry(p, idx).1.to_vec())))
+                    let idx = raw::leaf_lower_bound(p, key)?;
+                    if idx < raw::count(p)? && raw::leaf_key(p, idx)? == key {
+                        Ok(Step::Value(Some(raw::leaf_entry(p, idx)?.1.to_vec())))
                     } else {
                         Ok(Step::Value(None))
                     }
@@ -655,34 +685,34 @@ impl BTree {
         loop {
             let step = env.with_page(page, |p| {
                 if raw::is_internal(p) {
-                    let i = raw::internal_route_idx(p, key);
-                    let n = raw::count(p);
-                    let child = raw::internal_child_at(p, i);
+                    let i = raw::internal_route_idx(p, key)?;
+                    let n = raw::count(p)?;
+                    let child = raw::internal_child_at(p, i)?;
                     let lo = if i == 0 {
                         lower.clone()
                     } else {
-                        Some(raw::internal_sep(p, i - 1).to_vec())
+                        Some(raw::internal_sep(p, i - 1)?.to_vec())
                     };
                     let hi = if i == n {
                         upper.clone()
                     } else {
-                        Some(raw::internal_sep(p, i).to_vec())
+                        Some(raw::internal_sep(p, i)?.to_vec())
                     };
                     Ok(Anchored::Descend(child, lo, hi))
                 } else if raw::is_leaf(p) {
                     if ge {
-                        let idx = raw::leaf_lower_bound(p, key);
-                        if idx < raw::count(p) {
+                        let idx = raw::leaf_lower_bound(p, key)?;
+                        if idx < raw::count(p)? {
                             Ok(Anchored::At(idx))
                         } else {
-                            Ok(Anchored::Chain(raw::leaf_next(p)))
+                            Ok(Anchored::Chain(raw::leaf_next(p)?))
                         }
                     } else {
-                        let idx = raw::leaf_upper_bound(p, key);
+                        let idx = raw::leaf_upper_bound(p, key)?;
                         if idx > 0 {
                             Ok(Anchored::At(idx - 1))
                         } else {
-                            Ok(Anchored::Chain(raw::leaf_prev(p)))
+                            Ok(Anchored::Chain(raw::leaf_prev(p)?))
                         }
                     }
                 } else {
@@ -722,15 +752,15 @@ impl BTree {
         loop {
             let step = env.with_page(page, |p| {
                 if raw::is_internal(p) {
-                    Ok(Step::Descend(raw::internal_route(p, key)))
+                    Ok(Step::Descend(raw::internal_route(p, key)?))
                 } else if raw::is_leaf(p) {
-                    let idx = raw::leaf_lower_bound(p, key);
-                    if idx < raw::count(p) {
+                    let idx = raw::leaf_lower_bound(p, key)?;
+                    if idx < raw::count(p)? {
                         Ok(Step::At(idx))
                     } else {
                         // Everything here is smaller; the answer (if any)
                         // is the first entry of the next non-empty leaf.
-                        Ok(Step::Chain(raw::leaf_next(p)))
+                        Ok(Step::Chain(raw::leaf_next(p)?))
                     }
                 } else {
                     Err(StorageError::Corrupt("unknown B+tree node type".into()))
@@ -752,13 +782,13 @@ impl BTree {
         loop {
             let step = env.with_page(page, |p| {
                 if raw::is_internal(p) {
-                    Ok(Step::Descend(raw::internal_route(p, key)))
+                    Ok(Step::Descend(raw::internal_route(p, key)?))
                 } else if raw::is_leaf(p) {
-                    let idx = raw::leaf_upper_bound(p, key);
+                    let idx = raw::leaf_upper_bound(p, key)?;
                     if idx > 0 {
                         Ok(Step::At(idx - 1))
                     } else {
-                        Ok(Step::Chain(raw::leaf_prev(p)))
+                        Ok(Step::Chain(raw::leaf_prev(p)?))
                     }
                 } else {
                     Err(StorageError::Corrupt("unknown B+tree node type".into()))
@@ -1003,7 +1033,7 @@ impl BTree {
         loop {
             let child = env.with_page(page, |p| {
                 if raw::is_internal(p) {
-                    Ok(Some(raw::internal_child_at(p, 0)))
+                    Ok(Some(raw::internal_child_at(p, 0)?))
                 } else if raw::is_leaf(p) {
                     Ok(None)
                 } else {
@@ -1032,7 +1062,7 @@ impl BTree {
         loop {
             let (prev, next) = env.with_page(page, |p| {
                 if raw::is_leaf(p) {
-                    Ok((raw::leaf_prev(p), raw::leaf_next(p)))
+                    Ok((raw::leaf_prev(p)?, raw::leaf_next(p)?))
                 } else {
                     Err(StorageError::Corrupt(format!(
                         "page {} in the leaf chain is not a leaf",
@@ -1192,8 +1222,8 @@ impl Cursor {
             if !raw::is_leaf(p) {
                 return Err(StorageError::Corrupt("cursor points at an internal node".into()));
             }
-            if self.idx < raw::count(p) {
-                let (k, v) = raw::leaf_entry(p, self.idx);
+            if self.idx < raw::count(p)? {
+                let (k, v) = raw::leaf_entry(p, self.idx)?;
                 Ok(Some((k.to_vec(), v.to_vec())))
             } else {
                 Ok(None)
@@ -1222,7 +1252,7 @@ impl Cursor {
         }
         let prev = env.with_page(page, |p| {
             if raw::is_leaf(p) {
-                Ok(raw::leaf_prev(p))
+                Ok(raw::leaf_prev(p)?)
             } else {
                 Err(StorageError::Corrupt("cursor points at an internal node".into()))
             }
@@ -1244,7 +1274,7 @@ enum Step {
 fn leaf_shape(env: &StorageEnv, page: PageId) -> Result<(usize, Option<PageId>)> {
     env.with_page(page, |p| {
         if raw::is_leaf(p) {
-            Ok((raw::count(p), raw::leaf_next(p)))
+            Ok((raw::count(p)?, raw::leaf_next(p)?))
         } else {
             Err(StorageError::Corrupt("expected a leaf page".into()))
         }
@@ -1268,7 +1298,7 @@ fn chain_backward(env: &StorageEnv, mut cur: Option<PageId>) -> Result<Cursor> {
     while let Some(p) = cur {
         let (count, prev) = env.with_page(p, |pp| {
             if raw::is_leaf(pp) {
-                Ok((raw::count(pp), raw::leaf_prev(pp)))
+                Ok((raw::count(pp)?, raw::leaf_prev(pp)?))
             } else {
                 Err(StorageError::Corrupt("expected a leaf page".into()))
             }

@@ -194,6 +194,7 @@ impl Pager for FaultPager {
         self.inner.page_count()
     }
 
+    // xk-analyze: allow(panic_path, reason = "buf is page-sized per the Pager contract")
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
         let op = self.probe.state.reads.fetch_add(1, Ordering::Relaxed);
         if self.config.fail_read_at.is_some_and(|at| op >= at) {
@@ -210,6 +211,7 @@ impl Pager for FaultPager {
         Ok(())
     }
 
+    // xk-analyze: allow(panic_path, reason = "torn/flip offsets are reduced modulo the page-sized buf")
     fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
         let op = self.probe.state.writes.fetch_add(1, Ordering::Relaxed);
         if self.probe.crashed() {
@@ -224,6 +226,7 @@ impl Pager for FaultPager {
             let keep = 1 + (self.next_rand() as usize) % (buf.len() - 1);
             let mut torn = vec![0u8; buf.len()];
             // Old contents first (a fresh page reads as zeros either way).
+            // xk-analyze: allow(swallowed_result, reason = "best-effort read of the old contents; a fresh page legitimately reads as zeros")
             let _ = self.inner.read_page(id, &mut torn);
             torn[..keep].copy_from_slice(&buf[..keep]);
             self.inner.write_page(id, &torn)?;

@@ -208,6 +208,7 @@ pub struct ListReader {
     page_len: usize,
     offset: usize,
     remaining_entries: u64,
+    total_entries: u64,
 }
 
 impl ListReader {
@@ -219,6 +220,7 @@ impl ListReader {
             page_len: 0,
             offset: 0,
             remaining_entries: handle.entry_count,
+            total_entries: handle.entry_count,
         }
     }
 
@@ -258,7 +260,14 @@ impl ListReader {
                 return Ok(Some(rec));
             }
             let Some(page) = self.next_page else {
-                return Ok(None);
+                // remaining_entries > 0 here (the fast path returned
+                // otherwise): a chain that ends early is a truncated list,
+                // and silently reporting end-of-list would drop matches
+                // from query answers.
+                return Err(StorageError::Corrupt(format!(
+                    "list chain ended with {} of {} entries unread",
+                    self.remaining_entries, self.total_entries
+                )));
             };
             let (next, len, data) = env.with_page(page, |p| {
                 let next = PageId::decode_opt(u32::from_le_bytes(

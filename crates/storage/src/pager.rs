@@ -210,6 +210,7 @@ impl MemPager {
     pub fn new(page_size: usize) -> MemPager {
         assert!(page_size >= 128 && page_size.is_power_of_two(), "unreasonable page size");
         let p = MemPager { pages: RwLock::new(Vec::new()), page_size };
+        // xk-analyze: allow(panic_path, reason = "MemPager::grow only extends a Vec and cannot fail")
         p.grow().expect("in-memory grow cannot fail");
         p
     }

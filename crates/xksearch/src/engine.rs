@@ -113,6 +113,7 @@ impl Engine {
         tmp.push(".building");
         let tmp = std::path::PathBuf::from(tmp);
         // A stale temp file from a killed build is dead weight: replace it.
+        // xk-analyze: allow(swallowed_result, reason = "best-effort cleanup of the temp build file; a leftover is harmless")
         let _ = std::fs::remove_file(&tmp);
         let built = (|| -> Result<()> {
             let env = StorageEnv::create(&tmp, options.clone())?;
@@ -126,6 +127,7 @@ impl Engine {
             Ok(())
         })();
         if let Err(e) = built {
+            // xk-analyze: allow(swallowed_result, reason = "best-effort cleanup of the temp build file; a leftover is harmless")
             let _ = std::fs::remove_file(&tmp);
             return Err(e);
         }
@@ -230,6 +232,7 @@ impl Engine {
             Algorithm::Auto => {
                 let min = *frequencies.first().unwrap_or(&1);
                 let max = *frequencies.last().unwrap_or(&1);
+                // xk-analyze: allow(panic_path, reason = "divisor is clamped by .max(1)")
                 if frequencies.len() >= 2 && max / min.max(1) >= AUTO_RATIO_THRESHOLD {
                     Algorithm::IndexedLookupEager
                 } else {
@@ -248,6 +251,7 @@ impl Engine {
     /// reported [`QueryOutcome::io`] delta is exact when the engine is
     /// quiescent otherwise; concurrent queries share the global counters,
     /// so each delta then *bounds* the query's own I/O.
+    // xk-analyze: root(panic_path)
     pub fn query(&self, keywords: &[&str], algorithm: Algorithm) -> Result<QueryOutcome> {
         let qenv = self.env.fork();
         let start = Instant::now();
@@ -271,6 +275,7 @@ impl Engine {
                 let mut s1 = self
                     .index
                     .stream_list(qenv.clone(), &ordered[0])
+                    // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
                     .expect("keyword verified present");
                 // Each non-smallest list holds one anchored B+tree cursor
                 // for the whole candidate loop: the probes are near-sorted,
@@ -280,6 +285,7 @@ impl Engine {
                     .map(|k| {
                         self.index
                             .ranked_list(qenv.clone(), k)
+                            // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
                             .expect("keyword verified present")
                             .anchored()
                     })
@@ -292,6 +298,7 @@ impl Engine {
                 let mut s1 = self
                     .index
                     .stream_list(qenv.clone(), &ordered[0])
+                    // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
                     .expect("keyword verified present");
                 // Scan Eager's forward cursors are the same anchored
                 // B+tree cursors IL uses: the witness stream is sorted, so
@@ -303,6 +310,7 @@ impl Engine {
                     .map(|k| {
                         self.index
                             .ranked_list(qenv.clone(), k)
+                            // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
                             .expect("keyword verified present")
                             .anchored()
                     })
@@ -315,11 +323,13 @@ impl Engine {
                     .map(|k| {
                         self.index
                             .stream_list(qenv.clone(), k)
+                            // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
                             .expect("keyword verified present")
                     })
                     .collect();
                 stack_merge(lists, |d| slcas.push(d))
             }
+            // xk-analyze: allow(panic_path, reason = "resolve() never returns Auto")
             Algorithm::Auto => unreachable!("resolved above"),
         };
         // The list traits are infallible, so disk adapters report storage
@@ -342,6 +352,7 @@ impl Engine {
     }
 
     /// Answers an all-LCA query (Section 5, Algorithm 3).
+    // xk-analyze: root(panic_path)
     pub fn query_all_lcas(&self, keywords: &[&str]) -> Result<LcaOutcome> {
         let qenv = self.env.fork();
         let start = Instant::now();
@@ -358,12 +369,14 @@ impl Engine {
         let mut s1 = self
             .index
             .stream_list(qenv.clone(), &ordered[0])
+            // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
             .expect("keyword verified present");
         let mut owned: Vec<_> = ordered
             .iter()
             .map(|k| {
                 self.index
                     .ranked_list(qenv.clone(), k)
+                    // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
                     .expect("keyword verified present")
                     .anchored()
             })
@@ -388,6 +401,7 @@ impl Engine {
     /// poison slots, see [`SharedEnv::fork`]) while the rest of the batch
     /// completes normally. Workers claim queries from a shared atomic
     /// counter, so an expensive query does not stall the queue behind it.
+    // xk-analyze: root(panic_path)
     pub fn query_batch(
         &self,
         queries: &[Vec<String>],
@@ -417,6 +431,7 @@ impl Engine {
                     let Some(q) = queries.get(i) else { break };
                     let refs: Vec<&str> = q.iter().map(|s| s.as_str()).collect();
                     let outcome = self.query(&refs, algorithm);
+                    // xk-analyze: allow(panic_path, reason = "i was bounds-checked against queries, and slots has the same length")
                     *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
                 });
             }
@@ -426,6 +441,7 @@ impl Engine {
             .map(|m| {
                 m.into_inner()
                     .unwrap_or_else(|e| e.into_inner())
+                    // xk-analyze: allow(panic_path, reason = "the worker loop claims indices until get() fails, covering every slot")
                     .expect("every query index was claimed by a worker")
             })
             .collect()
@@ -552,6 +568,7 @@ fn sync_parent_dir(path: &Path) {
             _ => Path::new("."),
         };
         if let Ok(dir) = std::fs::File::open(parent) {
+            // xk-analyze: allow(swallowed_result, reason = "directory fsync is best-effort hardening; data pages are already synced")
             let _ = dir.sync_all();
         }
     }

@@ -91,6 +91,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
+    // xk-analyze: allow(panic_path, reason = "pos never exceeds bytes.len(); range-from at len is the empty slice")
     fn starts_with(&self, s: &str) -> bool {
         self.bytes[self.pos..].starts_with(s.as_bytes())
     }

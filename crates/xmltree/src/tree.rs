@@ -174,6 +174,7 @@ impl XmlTree {
     }
 
     /// The node's children in document order.
+    // xk-analyze: allow(panic_path, reason = "NodeIds are only minted by this tree and index its own slab")
     pub fn children(&self, id: NodeId) -> &[NodeId] {
         &self.nodes[id.index()].children
     }

@@ -1,7 +1,7 @@
 # Development targets; CI (.github/workflows/ci.yml) runs `just check`.
 
-# Build, test, and lint — the merge gate.
-check: build test lint
+# Build, test, lint, and static analysis — the merge gate.
+check: build test lint analyze
 
 build:
     cargo build --release --workspace
@@ -11,6 +11,31 @@ test:
 
 lint:
     cargo clippy --workspace --all-targets -- -D warnings
+
+# Static analysis: lock discipline, pager IO under pool guards, panics
+# reachable from the query/server paths, swallowed Results. Fails on any
+# finding not in analysis/baseline.toml (see DESIGN.md §7).
+analyze:
+    cargo run --release -q -p xk-analyze -- --baseline analysis/baseline.toml
+
+# Regenerate the analyzer baseline after fixing or annotating findings.
+# Review the diff before committing: every surviving entry is debt.
+analyze-baseline:
+    cargo run --release -q -p xk-analyze -- --baseline analysis/baseline.toml --write-baseline
+
+# Loom-style model checks of the buffer pool's lock discipline (the
+# vendored xk-loom stand-in; see vendor/loom/src/lib.rs).
+test-loom:
+    RUSTFLAGS="--cfg loom" cargo test -q -p xk-storage --test loom_pool
+
+# Dependency hygiene. cargo-deny is not baked into the dev image, so the
+# local target degrades to a notice; CI installs it and enforces.
+deny:
+    @if command -v cargo-deny >/dev/null 2>&1; then \
+        cargo deny check; \
+    else \
+        echo "cargo-deny not installed; CI runs this check (see deny.toml)"; \
+    fi
 
 # The differential & concurrency suite in isolation: parallel-vs-serial
 # equivalence, the sharded-pool property test, fault poisoning, and the
