@@ -166,6 +166,7 @@ impl BitWriter {
         BitWriter { bytes: Vec::with_capacity(bits.div_ceil(8)), bit_len: 0 }
     }
 
+    // xk-analyze: allow(panic_path, reason = "a fresh byte is pushed whenever bit_len crosses a byte boundary, so bit_len / 8 is always in bounds")
     fn push_bit(&mut self, bit: bool) {
         if self.bit_len.is_multiple_of(8) {
             self.bytes.push(0);

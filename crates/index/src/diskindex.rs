@@ -262,6 +262,12 @@ pub fn build_disk_index_with(
 }
 
 /// A read handle over a built disk index.
+///
+/// `Clone` is cheap (the B+tree handle is `Copy`, the level table is
+/// shared behind an `Arc`; only the frequency table is deep-copied) —
+/// the engine's append path mutates a clone and swaps it in after the
+/// commit, so readers never see a half-updated vocabulary.
+#[derive(Clone)]
 pub struct DiskIndex {
     il: BTree,
     level_table: Arc<LevelTable>,
@@ -376,11 +382,15 @@ impl DiskIndex {
     ///
     /// Fails with a codec error if an ordinal or depth exceeds the level
     /// table; build with headroom ([`BuildOptions`]) to ingest appends.
+    ///
+    /// Returns the distinct keywords whose lists changed, in first-touch
+    /// order — the commit path uses this for scoped cache invalidation
+    /// (only cached results that mention a touched keyword are stale).
     pub fn append_nodes(
         &mut self,
         env: &StorageEnv,
         added: &[(Dewey, Vec<String>)],
-    ) -> Result<()> {
+    ) -> Result<Vec<String>> {
         // Encode everything first: a codec failure must not leave the
         // index half-updated.
         let mut packed_nodes = Vec::with_capacity(added.len());
@@ -415,11 +425,12 @@ impl DiskIndex {
             }
         }
         // Persist the updated vocabulary entries once per keyword.
-        for token in dirty {
-            let meta = self.freq[&token];
+        for token in &dirty {
+            // xk-analyze: allow(panic_path, reason = "every token in dirty was inserted into freq by the loop above")
+            let meta = self.freq[token];
             vocab.insert(env, token.as_bytes(), &meta.encode())?;
         }
-        Ok(())
+        Ok(dirty)
     }
 
     /// Replaces the embedded document (incremental ingestion re-serializes
@@ -481,6 +492,14 @@ impl SharedEnv {
     /// Direct access to the environment.
     pub fn env(&self) -> &StorageEnv {
         &self.env
+    }
+
+    /// Pins the current committed epoch for this thread: all page reads
+    /// until the guard drops observe the store as of this moment, even
+    /// while an append commits concurrently (see
+    /// [`xk_storage::StorageEnv::pin_snapshot`]).
+    pub fn pin_snapshot(&self) -> xk_storage::ReadPin<'_> {
+        self.env.pin_snapshot()
     }
 
     /// Runs `f` with access to the environment. (Retained from the

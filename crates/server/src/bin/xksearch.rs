@@ -26,6 +26,7 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
+        Some("recover") => cmd_recover(&args[1..]),
         Some("append") => cmd_append(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench-concurrent") => cmd_bench_concurrent(&args[1..]),
@@ -52,10 +53,11 @@ USAGE:
   xksearch query <index.db> <keyword>... [--algo auto|il|scan|stack] [--lca] [--show N] [--cold]
                  [--json]
   xksearch stats <index.db>
-  xksearch verify <index.db> [--page-size N] [--pool-pages N]
-  xksearch append <index.db> <parent-dewey|/> <fragment.xml>
+  xksearch verify <index.db> [--wal PATH] [--page-size N] [--pool-pages N]
+  xksearch recover <index.db> [--wal PATH]
+  xksearch append <index.db> <parent-dewey|/> <fragment.xml> [--wal PATH]
   xksearch serve <index.db> [--addr HOST:PORT] [--workers N] [--cache-entries C]
-                 [--queue-cap Q] [--page-size N] [--pool-pages N]
+                 [--queue-cap Q] [--page-size N] [--pool-pages N] [--wal PATH]
   xksearch bench-concurrent <index.db> <keyword>... [--threads N] [--repeat R]
                  [--algo auto|il|scan|stack] [--cold]
   xksearch demo  [<keyword>...]     (defaults to: John Ben)
@@ -84,6 +86,19 @@ fn parse_env_options(args: &[String]) -> Result<EnvOptions, AnyError> {
 fn next_value<'a>(args: &'a [String], i: &mut usize) -> Result<&'a str, AnyError> {
     *i += 1;
     args.get(*i).map(|s| s.as_str()).ok_or_else(|| "missing flag value".into())
+}
+
+/// The `--wal PATH` override shared by `verify`, `recover`, `append` and
+/// `serve`; `None` means "next to the database" ([`xksearch::default_wal_path`]).
+fn wal_flag(args: &[String]) -> Result<Option<std::path::PathBuf>, AnyError> {
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--wal" {
+            return Ok(Some(next_value(args, &mut i)?.into()));
+        }
+        i += 1;
+    }
+    Ok(None)
 }
 
 fn cmd_build(args: &[String]) -> Result<(), AnyError> {
@@ -158,11 +173,12 @@ fn cmd_stats(args: &[String]) -> Result<(), AnyError> {
 
 fn cmd_verify(args: &[String]) -> Result<(), AnyError> {
     let options = parse_env_options(args)?;
+    let wal_override = wal_flag(args)?;
     let mut positional: Vec<&String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--page-size" | "--pool-pages" => i += 1,
+            "--page-size" | "--pool-pages" | "--wal" => i += 1,
             a if a.starts_with("--") => return Err(format!("unknown flag {a:?}").into()),
             _ => positional.push(&args[i]),
         }
@@ -171,9 +187,63 @@ fn cmd_verify(args: &[String]) -> Result<(), AnyError> {
     let [db] = positional.as_slice() else {
         return Err("verify needs <index.db>".into());
     };
+    let wal_path = wal_override
+        .unwrap_or_else(|| xksearch::default_wal_path(std::path::Path::new(db.as_str())));
+
+    // WAL audit first: it works even when the database itself still
+    // needs recovery, and its outcome decides what a dirty db means.
+    let wal_summary = audit_wal(&wal_path)?;
+    println!("wal file       : {}", wal_path.display());
+    match &wal_summary {
+        None => println!("wal state      : absent or empty (no log to replay)"),
+        Some(s) => {
+            println!(
+                "wal state      : generation {}, {} committed txn(s), last epoch {}{}",
+                s.generation,
+                s.committed,
+                s.last_epoch,
+                if s.truncated { ", TORN TAIL (will be truncated on recovery)" } else { "" }
+            );
+        }
+    }
+
     // Open the raw storage env, not an Engine: DiskIndex::open would give
     // up at the first decoding failure, while verify reports all of them.
-    let env = xk_storage::StorageEnv::open(db, options)?;
+    let env = match xk_storage::StorageEnv::open(db, options) {
+        Ok(env) => env,
+        Err(xk_storage::StorageError::DirtyShutdown) => {
+            return if wal_summary.is_some() {
+                Err(format!(
+                    "{db} was not shut down cleanly; run `xksearch recover {db}` \
+                     to replay its write-ahead log, then verify again"
+                )
+                .into())
+            } else {
+                Err(format!(
+                    "{db} was not shut down cleanly and no write-ahead log was found \
+                     at {}; the index must be rebuilt",
+                    wal_path.display()
+                )
+                .into())
+            };
+        }
+        Err(e) => return Err(e.into()),
+    };
+    if let Some(s) = &wal_summary {
+        // A clean database plus a non-empty WAL is legal (crash between
+        // the checkpoint sync and the WAL reset — replay is idempotent),
+        // but a page-size mismatch means the WAL belongs to another file.
+        if s.db_page_size as usize != env.physical_page_size() {
+            return Err(format!(
+                "WAL page images are {} bytes but the database page size is {} — \
+                 the log at {} does not belong to this database",
+                s.db_page_size,
+                env.physical_page_size(),
+                wal_path.display()
+            )
+            .into());
+        }
+    }
     let report = xk_index::verify_index(&env);
     println!("index file     : {db}");
     println!("pages checked  : {}", report.pages_checked);
@@ -191,13 +261,88 @@ fn cmd_verify(args: &[String]) -> Result<(), AnyError> {
     }
 }
 
-fn cmd_append(args: &[String]) -> Result<(), AnyError> {
-    let options = parse_env_options(args)?;
+struct WalSummary {
+    generation: u64,
+    db_page_size: u32,
+    committed: usize,
+    last_epoch: u64,
+    truncated: bool,
+}
+
+/// Scans the WAL file read-only (tolerating a torn, non-page-aligned
+/// tail) and summarizes what recovery would replay. `Ok(None)` means no
+/// log: missing file or an unrecognizable header.
+fn audit_wal(wal_path: &std::path::Path) -> Result<Option<WalSummary>, AnyError> {
+    use xk_storage::{MemPager, PageId, Pager, Wal, WAL_PAGE_SIZE};
+    let bytes = match std::fs::read(wal_path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let pages = bytes.len() / WAL_PAGE_SIZE;
+    if pages == 0 {
+        return Ok(None);
+    }
+    // Copy the aligned prefix into a scratch pager so the scan never
+    // mutates the file under audit.
+    let mem = MemPager::new(WAL_PAGE_SIZE);
+    for p in 0..pages {
+        mem.grow()?;
+        mem.write_page(PageId(p as u32), &bytes[p * WAL_PAGE_SIZE..(p + 1) * WAL_PAGE_SIZE])?;
+    }
+    let Some(outcome) = Wal::scan(&mem)? else { return Ok(None) };
+    let last_epoch = outcome.committed.last().map(|t| t.epoch).unwrap_or(0);
+    Ok(Some(WalSummary {
+        generation: outcome.generation,
+        db_page_size: outcome.db_page_size,
+        committed: outcome.committed.len(),
+        last_epoch,
+        truncated: outcome.truncated || bytes.len() % WAL_PAGE_SIZE != 0,
+    }))
+}
+
+/// `recover`: replay the write-ahead log into the database file and
+/// clear its dirty flag — what `serve` and `append` do automatically at
+/// open, exposed for offline repair.
+fn cmd_recover(args: &[String]) -> Result<(), AnyError> {
+    let wal_override = wal_flag(args)?;
     let mut positional: Vec<&String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--page-size" | "--pool-pages" => i += 1,
+            "--wal" => i += 1,
+            a if a.starts_with("--") => return Err(format!("unknown flag {a:?}").into()),
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [db] = positional.as_slice() else {
+        return Err("recover needs <index.db>".into());
+    };
+    let db_path = std::path::Path::new(db.as_str());
+    let wal_path = wal_override.unwrap_or_else(|| xksearch::default_wal_path(db_path));
+    let report = xk_storage::recover_files(db_path, &wal_path)?;
+    println!("database       : {db}");
+    println!("wal file       : {}", wal_path.display());
+    println!("was dirty      : {}", report.db_was_dirty);
+    println!("replayed txns  : {}", report.replayed_txns);
+    println!("replayed pages : {}", report.replayed_pages);
+    println!("torn tail      : {}", report.wal_truncated);
+    if report.replayed_txns > 0 {
+        println!("last epoch     : {}", report.last_epoch);
+    }
+    println!("OK: database is consistent; committed appends are intact");
+    Ok(())
+}
+
+fn cmd_append(args: &[String]) -> Result<(), AnyError> {
+    let options = parse_env_options(args)?;
+    let wal_override = wal_flag(args)?;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--page-size" | "--pool-pages" | "--wal" => i += 1,
             a if a.starts_with("--") => return Err(format!("unknown flag {a:?}").into()),
             _ => positional.push(&args[i]),
         }
@@ -208,10 +353,30 @@ fn cmd_append(args: &[String]) -> Result<(), AnyError> {
     };
     let parent: xk_xmltree::Dewey = parent.parse()?;
     let fragment = std::fs::read_to_string(fragment_path)?;
-    let mut engine = Engine::open(db, options)?;
+    // Durable open: recovers any interrupted earlier run, then WAL-logs
+    // this append so a crash at any point after the fsync keeps it. The
+    // one-shot CLI syncs every commit — there is no batch to share.
+    let durability = xksearch::DurabilityOptions {
+        mode: xksearch::CommitMode::SyncEachCommit,
+        wal_path: wal_override,
+        ..Default::default()
+    };
+    let (engine, report) = Engine::open_durable(db, options, durability)?;
+    if report.replayed_txns > 0 {
+        eprintln!(
+            "recovery: replayed {} transaction(s) ({} pages) from the WAL",
+            report.replayed_txns, report.replayed_pages
+        );
+    }
     let added = engine.append_subtree(&parent, &fragment)?;
+    // Checkpoint: apply the WAL to the data file and reset the log.
     engine.with_env(|env| env.flush())?;
-    println!("appended fragment at Dewey {added}");
+    println!(
+        "appended fragment at Dewey {} (epoch {}, {} keyword list(s) touched)",
+        added.root,
+        added.epoch,
+        added.touched.len()
+    );
     Ok(())
 }
 
@@ -228,7 +393,7 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
             "--workers" => config.workers = next_value(args, &mut i)?.parse()?,
             "--cache-entries" => config.cache_entries = next_value(args, &mut i)?.parse()?,
             "--queue-cap" => config.queue_cap = next_value(args, &mut i)?.parse()?,
-            "--page-size" | "--pool-pages" => i += 1,
+            "--page-size" | "--pool-pages" | "--wal" => i += 1,
             a if a.starts_with("--") => return Err(format!("unknown flag {a:?}").into()),
             _ => positional.push(&args[i]),
         }
@@ -240,16 +405,31 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     if config.workers == 0 {
         return Err("--workers must be positive".into());
     }
-    let engine = std::sync::Arc::new(Engine::open(db, options)?);
-    let server = xk_server::Server::start(engine, config.clone())?;
+    // Claim the port first: while the (possibly long) WAL replay runs,
+    // clients get 503 + Retry-After instead of connection refused.
+    let server = xk_server::Server::start_loading(config.clone())?;
     // The exact line the loadgen and the CLI tests parse for the port.
     println!("listening on http://{}", server.local_addr());
     use std::io::Write;
     // xk-analyze: allow(swallowed_result, reason = "if stdout is gone there is no reader waiting for the port line")
     std::io::stdout().flush().ok();
+    // Durable open: replay any crashed run's WAL, then group-commit all
+    // appends that arrive over POST /append.
+    let durability =
+        xksearch::DurabilityOptions { wal_path: wal_flag(args)?, ..Default::default() };
+    let (engine, report) = Engine::open_durable(db, options, durability)?;
+    if report.db_was_dirty || report.replayed_txns > 0 {
+        eprintln!(
+            "recovery: replayed {} transaction(s) ({} pages) from the WAL{}",
+            report.replayed_txns,
+            report.replayed_pages,
+            if report.wal_truncated { ", torn tail truncated" } else { "" }
+        );
+    }
+    server.install_engine(std::sync::Arc::new(engine));
     eprintln!(
         "serving {db} with {} workers, {} cache entries, queue bound {} \
-         (endpoints: /query /metrics /healthz /shutdown)",
+         (endpoints: /query /append /metrics /healthz /shutdown)",
         config.workers, config.cache_entries, config.queue_cap
     );
     let final_metrics = server.join();
@@ -377,17 +557,17 @@ fn cmd_query(args: &[String]) -> Result<(), AnyError> {
     if keywords.is_empty() {
         return Err("query needs at least one keyword".into());
     }
-    let mut engine = Engine::open(db, options)?;
+    let engine = Engine::open(db, options)?;
     if flags.cold {
         engine.clear_cache()?;
     }
     let kw: Vec<&str> = keywords.iter().map(|s| s.as_str()).collect();
-    run_query(&mut engine, &kw, &flags)
+    run_query(&engine, &kw, &flags)
 }
 
 fn cmd_demo(args: &[String]) -> Result<(), AnyError> {
     let (positional, flags) = parse_query_flags(args)?;
-    let mut engine =
+    let engine =
         Engine::build_in_memory(&xk_xmltree::school_example(), EnvOptions::default())?;
     let kw: Vec<&str> = if positional.is_empty() {
         vec!["John", "Ben"]
@@ -395,10 +575,10 @@ fn cmd_demo(args: &[String]) -> Result<(), AnyError> {
         positional.iter().map(|s| s.as_str()).collect()
     };
     println!("School.xml (Figure 1) — query: {kw:?}");
-    run_query(&mut engine, &kw, &flags)
+    run_query(&engine, &kw, &flags)
 }
 
-fn run_query(engine: &mut Engine, keywords: &[&str], flags: &QueryFlags) -> Result<(), AnyError> {
+fn run_query(engine: &Engine, keywords: &[&str], flags: &QueryFlags) -> Result<(), AnyError> {
     if flags.json {
         if flags.lca {
             return Err("--json does not support --lca yet".into());

@@ -11,13 +11,23 @@
 //! deterministically from the (cached) frequencies, so caching it under
 //! its own key is safe too.
 //!
-//! Every entry records the [`Engine::data_version`] it was computed at.
-//! Appends bump the version, so a lookup after an append misses (and
-//! drops the stale entry) instead of serving a pre-append answer — the
-//! staleness test in `tests/cache.rs` locks this in.
+//! ## Scoped invalidation
+//!
+//! Every entry records the committed **epoch** its answer was computed
+//! at ([`QueryOutcome::epoch`]). An append reports exactly which
+//! keyword lists it touched ([`AppendOutcome::touched`]), and the
+//! server then (a) sweeps only the entries whose keyword set intersects
+//! that report ([`QueryCache::invalidate_keywords`]) and (b) raises
+//! those keywords' staleness floor. A lookup passes the floor of its
+//! key — the latest epoch at which any of its keywords changed — and an
+//! entry is served iff `entry.epoch >= floor`, so answers for untouched
+//! keyword sets survive appends untouched while a racing insert of a
+//! pre-append answer can never be served after the append. The
+//! staleness tests in `tests/cache.rs` lock this in.
 //!
 //! [`Engine::query`]: xksearch::Engine::query
-//! [`Engine::data_version`]: xksearch::Engine::data_version
+//! [`QueryOutcome::epoch`]: xksearch::QueryOutcome
+//! [`AppendOutcome::touched`]: xksearch::AppendOutcome
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -168,6 +178,7 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
     }
 
     /// Keys from most to least recently used (tests, diagnostics).
+    // xk-analyze: allow(panic_path, reason = "slab indices are intrusive-list links maintained by this type")
     pub fn keys_mru(&self) -> Vec<K> {
         let mut out = Vec::with_capacity(self.map.len());
         let mut i = self.head;
@@ -219,8 +230,9 @@ pub struct CachedAnswer {
     pub cost_io: IoStats,
     /// Wall-clock of the original execution, microseconds.
     pub cost_elapsed_us: u64,
-    /// [`xksearch::Engine::data_version`] at fill time.
-    pub version: u64,
+    /// The committed epoch the answer was computed at
+    /// ([`xksearch::QueryOutcome::epoch`]).
+    pub epoch: u64,
 }
 
 /// Cache counters, all monotonically increasing.
@@ -230,7 +242,8 @@ pub struct CacheStats {
     pub misses: u64,
     pub inserts: u64,
     pub evictions: u64,
-    /// Entries dropped because the engine's data version moved on.
+    /// Entries dropped because a commit touched one of their keywords
+    /// (scoped sweeps and stale-floor lookups combined).
     pub invalidations: u64,
     /// Disk reads the original executions of all hits would have re-paid.
     pub saved_disk_reads: u64,
@@ -282,13 +295,14 @@ impl QueryCache {
         self.lru.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Looks up `key`, accepting only entries filled at `version`. A
-    /// version mismatch drops the stale entry and counts as both an
-    /// invalidation and a miss.
-    pub fn lookup(&self, key: &CacheKey, version: u64) -> Option<CachedAnswer> {
+    /// Looks up `key`, accepting only entries at least as new as
+    /// `floor` — the latest epoch at which any of the key's keywords
+    /// changed (0 when none ever did). An older entry is stale: it is
+    /// dropped and counts as both an invalidation and a miss.
+    pub fn lookup(&self, key: &CacheKey, floor: u64) -> Option<CachedAnswer> {
         let mut lru = self.lock();
         match lru.get(key) {
-            Some(entry) if entry.version == version => {
+            Some(entry) if entry.epoch >= floor => {
                 let hit = entry.clone();
                 drop(lru);
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -322,6 +336,30 @@ impl QueryCache {
         if evicted.is_some() {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Removes every entry whose keyword set intersects `touched`,
+    /// returning how many were dropped — the scoped sweep the append
+    /// path runs: only answers that mention a touched keyword can be
+    /// stale, everything else keeps serving hits.
+    pub fn invalidate_keywords(&self, touched: &[String]) -> usize {
+        if touched.is_empty() {
+            return 0;
+        }
+        let set: std::collections::HashSet<&str> =
+            touched.iter().map(|s| s.as_str()).collect();
+        let mut lru = self.lock();
+        let stale: Vec<CacheKey> = lru
+            .keys_mru()
+            .into_iter()
+            .filter(|k| k.keywords.iter().any(|kw| set.contains(kw.as_str())))
+            .collect();
+        for k in &stale {
+            lru.remove(k);
+        }
+        drop(lru);
+        self.invalidations.fetch_add(stale.len() as u64, Ordering::Relaxed);
+        stale.len()
     }
 
     /// Drops every entry (admin/testing hook).
@@ -405,13 +443,13 @@ mod tests {
         assert!(CacheKey::new(&[], Algorithm::Auto).is_none());
     }
 
-    fn answer(version: u64) -> CachedAnswer {
+    fn answer(epoch: u64) -> CachedAnswer {
         CachedAnswer {
             result_json: Arc::from("{}"),
             algorithm: Algorithm::ScanEager,
             cost_io: IoStats { disk_reads: 7, ..Default::default() },
             cost_elapsed_us: 5,
-            version,
+            epoch,
         }
     }
 
@@ -430,15 +468,40 @@ mod tests {
     }
 
     #[test]
-    fn version_mismatch_invalidates() {
+    fn stale_epoch_invalidates() {
         let cache = QueryCache::new(8);
         let key = CacheKey::new(&["john"], Algorithm::Auto).unwrap();
         cache.insert(key.clone(), answer(1));
-        assert!(cache.lookup(&key, 2).is_none(), "stale version must miss");
+        // Entries newer than the floor keep serving.
+        assert!(cache.lookup(&key, 1).is_some());
+        cache.insert(key.clone(), answer(3));
+        assert!(cache.lookup(&key, 2).is_some(), "epoch 3 satisfies floor 2");
+        // An entry below the floor is stale: dropped, counted, missed.
+        cache.insert(key.clone(), answer(1));
+        assert!(cache.lookup(&key, 2).is_none(), "stale epoch must miss");
         let s = cache.stats();
         assert_eq!(s.invalidations, 1);
         assert_eq!(s.entries, 0, "the stale entry is gone");
-        // And it stays gone even at the old version.
+        // And it stays gone even at the old floor.
         assert!(cache.lookup(&key, 1).is_none());
+    }
+
+    #[test]
+    fn invalidate_keywords_is_scoped() {
+        let cache = QueryCache::new(8);
+        let john = CacheKey::new(&["john"], Algorithm::Auto).unwrap();
+        let john_ben = CacheKey::new(&["john", "ben"], Algorithm::Stack).unwrap();
+        let math = CacheKey::new(&["math"], Algorithm::Auto).unwrap();
+        cache.insert(john.clone(), answer(1));
+        cache.insert(john_ben.clone(), answer(1));
+        cache.insert(math.clone(), answer(1));
+        // Sweep "john": both entries mentioning it go, "math" survives.
+        assert_eq!(cache.invalidate_keywords(&["john".to_string()]), 2);
+        assert!(cache.lookup(&john, 0).is_none());
+        assert!(cache.lookup(&john_ben, 0).is_none());
+        assert!(cache.lookup(&math, 0).is_some(), "untouched entry survives");
+        let s = cache.stats();
+        assert_eq!(s.invalidations, 2);
+        assert_eq!(cache.invalidate_keywords(&[]), 0, "empty sweep is a no-op");
     }
 }

@@ -118,6 +118,11 @@ pub struct ServerMetrics {
     pub shed: AtomicU64,
     /// `/query` requests answered 200 (hit or miss).
     pub queries_ok: AtomicU64,
+    /// `/append` requests answered 200 (fragment committed).
+    pub appends_ok: AtomicU64,
+    /// Requests answered 503 because the engine was still loading or
+    /// recovering (distinct from `shed`, which is queue pressure).
+    pub unavailable: AtomicU64,
     /// Requests answered 400 (bad path parameters, bad request line).
     pub bad_requests: AtomicU64,
     /// Requests for unknown paths (404).
@@ -164,6 +169,8 @@ impl ServerMetrics {
             accepted: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             queries_ok: AtomicU64::new(0),
+            appends_ok: AtomicU64::new(0),
+            unavailable: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
             not_found: AtomicU64::new(0),
             internal_errors: AtomicU64::new(0),

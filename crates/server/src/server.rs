@@ -5,9 +5,16 @@
 //! immediately refused with `503` (load shedding; the accept thread
 //! never blocks on a slow client beyond one small buffered write). A
 //! fixed pool of worker threads pops connections, reads one HTTP/1.1
-//! request each, and answers `GET /query`, `/metrics`, `/healthz`, or
-//! `/shutdown`. Queries run against a shared [`Engine`] (`&self`, safe
-//! for any number of workers since PR 2) through the LRU result cache.
+//! request each, and answers `GET /query`, `POST /append`, `/metrics`,
+//! `/healthz`, or `/shutdown`. Queries run against a shared [`Engine`]
+//! (`&self`, snapshot-isolated — appends never block or tear reads)
+//! through the LRU result cache; appends report which keyword lists
+//! they touched, and only the intersecting cache entries are evicted.
+//!
+//! The engine lives in a slot that may start empty
+//! ([`Server::start_loading`]): while crash recovery or index loading
+//! runs, `/query`, `/append`, and `/healthz` answer `503` with
+//! `Retry-After: 1` instead of hanging or refusing connections.
 //!
 //! **Graceful shutdown**: `/shutdown` (or [`Server::shutdown`]) flips an
 //! atomic flag and self-connects to unblock `accept`. The accept thread
@@ -20,14 +27,15 @@ use crate::http::{self, ReadError, Request};
 use crate::json::JsonBuf;
 use crate::metrics::{ServerMetrics, ALGO_NAMES};
 use crate::payload;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use xk_storage::IoStats;
+use xk_xmltree::Dewey;
 use xksearch::{Algorithm, Engine, EngineError};
 
 /// Server tuning knobs.
@@ -64,7 +72,16 @@ impl Default for ServerConfig {
 const SHED_BACKLOG: usize = 128;
 
 struct Shared {
-    engine: Arc<Engine>,
+    /// The engine slot. `None` while the index is still loading or
+    /// recovering — requests needing it answer `503` + `Retry-After`
+    /// until [`Server::install_engine`] fills the slot.
+    engine: RwLock<Option<Arc<Engine>>>,
+    /// Per-keyword staleness floor: the latest committed epoch at which
+    /// an append touched each keyword's inverted list. A cache lookup
+    /// for a key must present an entry at least as new as the max floor
+    /// over its keywords; untouched keywords stay at 0 forever, so
+    /// their cached answers survive every append.
+    touched: Mutex<HashMap<String, u64>>,
     cache: QueryCache,
     metrics: ServerMetrics,
     queue: Mutex<VecDeque<TcpStream>>,
@@ -78,6 +95,28 @@ struct Shared {
 }
 
 impl Shared {
+    fn engine(&self) -> Option<Arc<Engine>> {
+        self.engine.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// The staleness floor for a cache key: the newest epoch at which
+    /// any of its keywords changed, or 0 when none ever did.
+    fn floor_for(&self, key: &CacheKey) -> u64 {
+        let map = self.touched.lock().unwrap_or_else(|e| e.into_inner());
+        key.keywords.iter().filter_map(|kw| map.get(kw).copied()).max().unwrap_or(0)
+    }
+
+    /// Raises the floors of every keyword a commit touched.
+    fn note_touched(&self, touched: &[String], epoch: u64) {
+        let mut map = self.touched.lock().unwrap_or_else(|e| e.into_inner());
+        for kw in touched {
+            let floor = map.entry(kw.clone()).or_insert(0);
+            if *floor < epoch {
+                *floor = epoch;
+            }
+        }
+    }
+
     fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.available.notify_all();
@@ -98,14 +137,27 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds and starts accepting. Returns once the listener is live —
-    /// the bound address (with the real port) is [`Server::local_addr`].
+    /// Binds and starts accepting with a ready engine. Returns once the
+    /// listener is live — the bound address (with the real port) is
+    /// [`Server::local_addr`].
     pub fn start(engine: Arc<Engine>, config: ServerConfig) -> io::Result<Server> {
+        let server = Server::start_loading(config)?;
+        server.install_engine(engine);
+        Ok(server)
+    }
+
+    /// Binds and starts accepting **before** the engine exists, so the
+    /// port is claimed while recovery/index loading runs. Until
+    /// [`Server::install_engine`] fills the slot, `/query` and `/append`
+    /// answer `503` with `Retry-After: 1` and `/healthz` reports
+    /// `"recovering"`.
+    pub fn start_loading(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let workers_n = config.workers.max(1);
         let shared = Arc::new(Shared {
-            engine,
+            engine: RwLock::new(None),
+            touched: Mutex::new(HashMap::new()),
             cache: QueryCache::new(config.cache_entries),
             metrics: ServerMetrics::new(),
             queue: Mutex::new(VecDeque::new()),
@@ -138,6 +190,18 @@ impl Server {
             .name("xkserve-accept".to_string())
             .spawn(move || accept_loop(listener, &s))?;
         Ok(Server { shared, accept_thread: Some(accept_thread), workers })
+    }
+
+    /// Makes the engine available to requests. Idempotent in effect: a
+    /// second install simply replaces the serving engine.
+    pub fn install_engine(&self, engine: Arc<Engine>) {
+        let mut slot = self.shared.engine.write().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(engine);
+    }
+
+    /// True once an engine is installed and requests can be served.
+    pub fn is_ready(&self) -> bool {
+        self.shared.engine.read().unwrap_or_else(|e| e.into_inner()).is_some()
     }
 
     /// The address the server is listening on.
@@ -298,11 +362,21 @@ fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
     };
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/query") => handle_query(stream, &request, shared),
+        ("POST", "/append") => handle_append(stream, &request, shared),
         ("GET", "/metrics") => {
             let _ = http::write_json(stream, 200, &metrics_json(shared), &[]);
         }
         ("GET", "/healthz") => {
-            let _ = http::write_json(stream, 200, r#"{"status":"ok"}"#, &[]);
+            if shared.engine().is_some() {
+                let _ = http::write_json(stream, 200, r#"{"status":"ok"}"#, &[]);
+            } else {
+                let _ = http::write_json(
+                    stream,
+                    503,
+                    r#"{"status":"recovering"}"#,
+                    &["Retry-After: 1"],
+                );
+            }
         }
         ("GET", "/shutdown") | ("POST", "/shutdown") => {
             let _ = http::write_json(stream, 200, r#"{"status":"draining"}"#, &[]);
@@ -360,9 +434,12 @@ fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
     let Some(key) = CacheKey::new(&kw_refs, algorithm) else {
         return bad(stream, shared, "keywords normalize to nothing");
     };
-    let version = shared.engine.data_version();
+    let Some(engine) = shared.engine() else {
+        return unavailable(stream, shared);
+    };
+    let floor = shared.floor_for(&key);
 
-    if let Some(hit) = shared.cache.lookup(&key, version) {
+    if let Some(hit) = shared.cache.lookup(&key, floor) {
         let elapsed_us = started.elapsed().as_micros() as u64;
         let body =
             payload::query_response_json(&hit.result_json, &IoStats::default(), elapsed_us, true);
@@ -371,7 +448,7 @@ fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
         return;
     }
 
-    match shared.engine.query(&kw_refs, algorithm) {
+    match engine.query(&kw_refs, algorithm) {
         Ok(out) => {
             let result_json = payload::query_result_json(&out);
             let elapsed_us = started.elapsed().as_micros() as u64;
@@ -382,7 +459,7 @@ fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
                     algorithm: out.algorithm,
                     cost_io: out.io,
                     cost_elapsed_us: out.elapsed.as_micros() as u64,
-                    version,
+                    epoch: out.epoch,
                 },
             );
             let body = payload::query_response_json(&result_json, &out.io, elapsed_us, false);
@@ -402,6 +479,76 @@ fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
     }
 }
 
+/// Answers `503 Service Unavailable` with `Retry-After` while the
+/// engine slot is empty (index loading or crash recovery in progress).
+// xk-analyze: allow(swallowed_result, reason = "response writes to a possibly-dead client are best-effort; the failure is not actionable")
+fn unavailable(stream: &mut TcpStream, shared: &Shared) {
+    shared.metrics.unavailable.fetch_add(1, Ordering::Relaxed);
+    let _ = http::write_json(
+        stream,
+        503,
+        &payload::error_json("index recovering; retry shortly"),
+        &["Retry-After: 1"],
+    );
+}
+
+/// `POST /append?parent=<dewey>&xml=<fragment>`: grafts a fragment as
+/// the new last child of `parent` (the document root when omitted).
+/// On success the response reports the new subtree's Dewey id, the
+/// committed epoch, and how many cached answers the touched keywords
+/// invalidated — everything else in the cache keeps serving.
+// xk-analyze: allow(swallowed_result, reason = "response writes to a possibly-dead client are best-effort; the failure is not actionable")
+fn handle_append(stream: &mut TcpStream, request: &Request, shared: &Shared) {
+    let started = Instant::now();
+    let bad = |stream: &mut TcpStream, shared: &Shared, msg: &str| {
+        shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+        let _ = http::write_json(stream, 400, &payload::error_json(msg), &[]);
+    };
+    let Some(xml) = request.param("xml") else {
+        return bad(stream, shared, "missing xml parameter");
+    };
+    let parent = match request.param("parent") {
+        None | Some("") => Dewey::root(),
+        Some(raw) => match raw.parse::<Dewey>() {
+            Ok(d) => d,
+            Err(_) => return bad(stream, shared, "unparseable parent Dewey id"),
+        },
+    };
+    let Some(engine) = shared.engine() else {
+        return unavailable(stream, shared);
+    };
+    match engine.append_subtree(&parent, xml) {
+        Ok(outcome) => {
+            // Floors first, sweep second: once a keyword's floor is
+            // raised, a racing lookup can no longer serve a pre-append
+            // entry even if the sweep hasn't removed it yet.
+            shared.note_touched(&outcome.touched, outcome.epoch);
+            let invalidated = shared.cache.invalidate_keywords(&outcome.touched);
+            shared.metrics.appends_ok.fetch_add(1, Ordering::Relaxed);
+            let mut j = JsonBuf::new();
+            j.begin_object();
+            j.field_str("root", &outcome.root.to_string());
+            j.field_u64("epoch", outcome.epoch);
+            j.field_u64("touched_keywords", outcome.touched.len() as u64);
+            j.field_u64("cache_invalidated", invalidated as u64);
+            j.field_u64("elapsed_us", started.elapsed().as_micros() as u64);
+            j.end_object();
+            let _ = http::write_json(stream, 200, &j.into_string(), &[]);
+        }
+        Err(EngineError::BadQuery(msg)) => bad(stream, shared, &format!("bad append: {msg}")),
+        Err(EngineError::Parse(e)) => bad(stream, shared, &format!("bad fragment: {e}")),
+        Err(e) => {
+            shared.metrics.internal_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_json(
+                stream,
+                500,
+                &payload::error_json(&format!("append failed: {e}")),
+                &[],
+            );
+        }
+    }
+}
+
 /// Renders the `/metrics` document: request counters, per-algorithm
 /// query counts, cache accounting, the latency histogram, and the
 /// storage layer's global atomic [`IoStats`].
@@ -409,11 +556,13 @@ fn metrics_json(shared: &Shared) -> String {
     let m = &shared.metrics;
     let cache = shared.cache.stats();
     let lat = m.query_latency.snapshot();
-    let io = shared.engine.with_env(|e| e.stats());
+    let engine = shared.engine();
+    let io = engine.as_ref().map(|e| e.with_env(|env| env.stats())).unwrap_or_default();
 
     let mut j = JsonBuf::new();
     j.begin_object();
     j.field_u64("uptime_ms", m.started.elapsed().as_millis() as u64);
+    j.field_bool("ready", engine.is_some());
     j.field_bool("draining", shared.shutdown.load(Ordering::SeqCst));
     j.field_u64("workers", shared.config.workers.max(1) as u64);
     j.field_u64("queue_cap", shared.config.queue_cap as u64);
@@ -422,6 +571,8 @@ fn metrics_json(shared: &Shared) -> String {
     j.field_u64("accepted", m.accepted.load(Ordering::Relaxed));
     j.field_u64("shed", m.shed.load(Ordering::Relaxed));
     j.field_u64("queries_ok", m.queries_ok.load(Ordering::Relaxed));
+    j.field_u64("appends_ok", m.appends_ok.load(Ordering::Relaxed));
+    j.field_u64("unavailable", m.unavailable.load(Ordering::Relaxed));
     j.field_u64("bad_requests", m.bad_requests.load(Ordering::Relaxed));
     j.field_u64("not_found", m.not_found.load(Ordering::Relaxed));
     j.field_u64("internal_errors", m.internal_errors.load(Ordering::Relaxed));

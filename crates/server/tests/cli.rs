@@ -263,12 +263,21 @@ fn serve_lifecycle_over_loopback() {
         .to_string();
 
     let get = |path: &str| -> String {
-        let mut s = std::net::TcpStream::connect(&addr).unwrap();
-        s.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
-        write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
-        let mut raw = String::new();
-        s.read_to_string(&mut raw).unwrap();
-        raw
+        // The port is claimed before the index finishes loading, so the
+        // server may briefly answer 503 + Retry-After — honor it.
+        for _ in 0..200 {
+            let mut s = std::net::TcpStream::connect(&addr).unwrap();
+            s.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+            write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let mut raw = String::new();
+            s.read_to_string(&mut raw).unwrap();
+            if raw.starts_with("HTTP/1.1 503") && raw.contains("Retry-After") {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+            return raw;
+        }
+        panic!("server still recovering after 200 retries");
     };
 
     let raw = get("/query?kw=serving+ada&algo=auto");

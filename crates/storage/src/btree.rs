@@ -362,6 +362,7 @@ impl BTree {
         Ok(outcome.old_value)
     }
 
+    // xk-analyze: allow(panic_path, reason = "binary-search/upper_bound indices and split midpoints are in bounds for a just-overflowed node; the unreachable arms destructure variants constructed lines above")
     fn insert_rec(
         &self,
         env: &StorageEnv,

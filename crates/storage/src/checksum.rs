@@ -37,6 +37,41 @@ const fn build_tables() -> [[u32; 256]; 8] {
 
 static CRC_TABLES: [[u32; 256]; 8] = build_tables();
 
+/// Bytes of the per-page trailer: a little-endian CRC-32 of the payload
+/// followed by four reserved zero bytes. Shared by the `XKSTORE2` data
+/// format and the write-ahead log.
+pub const TRAILER: usize = 8;
+
+/// Recomputes and stores the CRC trailer of a physical page buffer
+/// (`page.len()` must exceed [`TRAILER`]).
+// xk-analyze: allow(panic_path, reason = "trailer offsets are derived from the fixed page size")
+pub fn stamp_trailer(page: &mut [u8]) {
+    let payload_end = page.len() - TRAILER;
+    let crc = crc32(&page[..payload_end]);
+    page[payload_end..payload_end + 4].copy_from_slice(&crc.to_le_bytes());
+    page[payload_end + 4..].fill(0);
+}
+
+/// Checks the CRC trailer of a physical page buffer. `Ok(())` on a match
+/// or on an all-zero page (the state of a grown-but-never-written page —
+/// a real CRC-32 of a zero payload is nonzero, so the exemption cannot
+/// mask a corrupted written page); otherwise `Err((stored, computed))`.
+// xk-analyze: allow(panic_path, reason = "trailer offsets are derived from the fixed page size")
+pub fn verify_trailer(page: &[u8]) -> std::result::Result<(), (u32, u32)> {
+    let payload_end = page.len() - TRAILER;
+    let stored = u32::from_le_bytes(
+        page[payload_end..payload_end + 4].try_into().expect("4-byte slice of the page trailer"),
+    );
+    let computed = crc32(&page[..payload_end]);
+    if stored == computed {
+        return Ok(());
+    }
+    if stored == 0 && page.iter().all(|&b| b == 0) {
+        return Ok(());
+    }
+    Err((stored, computed))
+}
+
 /// CRC-32 of `data` (IEEE polynomial, reflected, init/xorout `!0`).
 // xk-analyze: allow(panic_path, reason = "table indices are masked to 8 bits")
 pub fn crc32(data: &[u8]) -> u32 {

@@ -54,14 +54,16 @@
 //! is still set with [`StorageError::DirtyShutdown`], which is how a
 //! crashed writer is detected on the next open.
 
-use crate::checksum::crc32;
+use crate::checksum::{stamp_trailer, verify_trailer};
 use crate::error::{Result, StorageError};
 use crate::pager::{FilePager, MemPager, PageId, Pager};
 use crate::stats::{AtomicIoStats, IoStats};
-use std::collections::HashMap;
+use crate::wal::Wal;
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 const MAGIC: &[u8; 8] = b"XKSTORE2";
 const MAGIC_V1: &[u8; 8] = b"XKSTORE1";
@@ -108,6 +110,16 @@ impl Default for EnvOptions {
 struct Frame {
     data: Box<[u8]>,
     dirty: bool,
+    /// False while the frame holds data whose WAL record is not yet
+    /// durable: such a frame must not reach the database file (eviction
+    /// skips it, `flush` phase 1 skips it, `clear_cache` retains it).
+    /// Always true on a WAL-less env.
+    logged: bool,
+    /// Which un-logging event last cleared `logged` (a per-transaction
+    /// stamp). The post-sync drain only re-logs a frame whose stamp still
+    /// matches, so a commit's durability cannot accidentally bless bytes
+    /// a *later* transaction wrote into the same frame.
+    log_stamp: u64,
     /// Intrusive LRU links: indices into `Shard::frames`.
     prev: usize,
     next: usize,
@@ -115,6 +127,12 @@ struct Frame {
 }
 
 const NIL: usize = usize::MAX;
+
+/// Locks a mutex, ignoring poisoning (the env's invariants are restored
+/// by the error paths, not by panics mid-critical-section).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// One buffer-pool shard: an independent LRU over its slice of pages.
 struct Shard {
@@ -180,6 +198,104 @@ struct WriteState {
     /// the file claims to be clean. Any mutation must first push a dirty
     /// meta page to disk (see `ensure_dirty_marked`).
     clean_on_disk: bool,
+    /// The in-flight transaction, if any (see [`StorageEnv::begin_txn`]).
+    txn: Option<TxnState>,
+}
+
+/// Per-page rollback record captured at a transaction's first touch.
+struct UndoEntry {
+    /// Full physical pre-image — shared with the snapshot version table.
+    image: Arc<[u8]>,
+    /// The frame's `logged`/`log_stamp` before this transaction touched
+    /// it, restored on abort (the prior state may itself be a
+    /// committed-but-unsynced transaction's).
+    prior_logged: bool,
+    prior_stamp: u64,
+}
+
+/// An open transaction: undo images keyed by page, first-touch order,
+/// and the pages grown from the file tail (freed on rollback only by
+/// abandonment — see `abort_txn`).
+struct TxnState {
+    /// The committed epoch when the transaction began. Pre-images are
+    /// filed in the snapshot table under this tag ("content as of the
+    /// end of epoch `tag`").
+    tag: u64,
+    /// Unique stamp marking the frames this transaction un-logged.
+    stamp: u64,
+    undo: HashMap<PageId, UndoEntry>,
+    order: Vec<PageId>,
+    grown: Vec<PageId>,
+}
+
+/// Snapshot-read state: per-page pre-image versions and reader pins.
+///
+/// `versions[p]` holds `(tag, image)` pairs in ascending tag order, where
+/// `image` is the content of `p` as of the end of epoch `tag`. A reader
+/// pinned at epoch `P` is served the image with the *smallest tag ≥ P*
+/// (content only changes at epoch boundaries, so that image equals the
+/// page's content at every epoch from its previous change through `tag`);
+/// absent such a version, the live frame is current enough. Versions are
+/// pruned at commit: once no pin is ≤ a tag, no reader can ever need it.
+/// `(tag, image)` pairs in ascending tag order (see [`SnapTable`]).
+type PageVersions = Vec<(u64, Arc<[u8]>)>;
+
+struct SnapTable {
+    versions: HashMap<PageId, PageVersions>,
+    /// Pinned epoch → number of pins. The smallest key bounds pruning.
+    pins: BTreeMap<u64, usize>,
+    /// Tag under which the in-flight transaction files pre-images (0 =
+    /// no transaction); never pruned.
+    active_tag: u64,
+}
+
+/// A committed transaction whose WAL records are not yet fsynced; the
+/// post-sync drain flips its frames back to `logged`.
+struct UnsyncedTxn {
+    lsn: u64,
+    pages: Vec<(PageId, u64)>,
+}
+
+/// The result of a successful [`StorageEnv::commit_txn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnCommit {
+    /// The epoch this commit established; readers pinned at it (or later)
+    /// observe the transaction's writes.
+    pub epoch: u64,
+    /// LSN of the commit record, for [`StorageEnv::wait_wal_durable`].
+    /// Zero on a WAL-less env (nothing to wait for).
+    pub lsn: u64,
+}
+
+thread_local! {
+    /// The epoch pinned by a [`ReadPin`] on this thread (0 = unpinned).
+    /// Thread-local so the read path needs no per-call handle threading:
+    /// every `with_page` under the pin transparently resolves snapshot
+    /// versions.
+    static PINNED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// An RAII snapshot pin: while alive, every page read *on this thread*
+/// observes the database as of the pinned epoch, no matter what commits
+/// concurrently. Obtained from [`StorageEnv::pin_snapshot`].
+pub struct ReadPin<'a> {
+    env: &'a StorageEnv,
+    tag: u64,
+    prev: u64,
+}
+
+impl ReadPin<'_> {
+    /// The epoch this pin holds stable.
+    pub fn epoch(&self) -> u64 {
+        self.tag
+    }
+}
+
+impl Drop for ReadPin<'_> {
+    fn drop(&mut self) {
+        PINNED.with(|c| c.set(self.prev));
+        self.env.unpin(self.tag);
+    }
 }
 
 /// A pager fronted by a sharded LRU buffer pool with I/O accounting.
@@ -200,6 +316,20 @@ pub struct StorageEnv {
     /// treat any later bump as an invalidation signal (conservative: any
     /// write anywhere in the env discards pinned paths).
     data_version: AtomicU64,
+    /// Last committed epoch (starts at 1). Bumped by `commit_txn` inside
+    /// the snapshot-table critical section, so pin registration and
+    /// version pruning are atomic with respect to it.
+    committed_epoch: AtomicU64,
+    /// Snapshot versions and reader pins. Lock order: `write_state` →
+    /// shard → `snap`; both the read and write paths take a shard lock
+    /// before this one, and nothing is acquired while holding it.
+    snap: Mutex<SnapTable>,
+    /// Committed transactions whose WAL records await an fsync.
+    unsynced: Mutex<Vec<UnsyncedTxn>>,
+    /// Source of per-transaction `log_stamp`s.
+    txn_stamps: AtomicU64,
+    /// The write-ahead log, if this env is durable (see `attach_wal`).
+    wal: Option<Wal>,
 }
 
 impl StorageEnv {
@@ -255,14 +385,24 @@ impl StorageEnv {
             shard_capacity: capacity.div_ceil(nshards),
             stats: AtomicIoStats::default(),
             verify_checksums: AtomicBool::new(true),
-            write_state: Mutex::new(WriteState { clean_on_disk: false }),
+            write_state: Mutex::new(WriteState { clean_on_disk: false, txn: None }),
             data_version: AtomicU64::new(0),
+            committed_epoch: AtomicU64::new(1),
+            snap: Mutex::new(SnapTable {
+                versions: HashMap::new(),
+                pins: BTreeMap::new(),
+                active_tag: 0,
+            }),
+            unsynced: Mutex::new(Vec::new()),
+            txn_stamps: AtomicU64::new(0),
+            wal: None,
         }
     }
 
     /// Reads the page size out of the meta header so `open` does not have
     /// to trust `EnvOptions::page_size`. `configured` is only quoted in
     /// error messages.
+    // xk-analyze: allow(panic_path, reason = "fixed-width header slices; ps is validated non-zero before the modulo")
     fn detect_page_size(path: &Path, configured: usize) -> Result<usize> {
         use std::io::Read;
         let mut file = std::fs::File::open(path)?;
@@ -318,6 +458,7 @@ impl StorageEnv {
         })
     }
 
+    // xk-analyze: allow(panic_path, reason = "fixed-width slices of the meta payload cannot fail try_into")
     fn check_meta(&self) -> Result<()> {
         let expected = self.pager.page_size() as u32;
         self.with_page(PageId::META, |page| {
@@ -411,34 +552,19 @@ impl StorageEnv {
 
     // ---- checksum trailer ----
 
-    /// Recomputes and stores the CRC trailer of a physical page buffer.
-    // xk-analyze: allow(panic_path, reason = "trailer offsets are derived from the fixed page size")
+    /// Recomputes and stores the CRC trailer of a physical page buffer
+    /// (shared machinery with the WAL: [`crate::checksum::stamp_trailer`]).
     fn stamp_page(data: &mut [u8]) {
-        let payload_end = data.len() - PAGE_TRAILER;
-        let crc = crc32(&data[..payload_end]);
-        data[payload_end..payload_end + 4].copy_from_slice(&crc.to_le_bytes());
-        data[payload_end + 4..].fill(0);
+        stamp_trailer(data);
     }
 
     /// Checks the CRC trailer of a freshly read physical page buffer.
-    // xk-analyze: allow(panic_path, reason = "trailer offsets are derived from the fixed page size")
     fn verify_page(data: &[u8], id: PageId) -> Result<()> {
-        let payload_end = data.len() - PAGE_TRAILER;
-        let stored = u32::from_le_bytes(
-            data[payload_end..payload_end + 4]
-                .try_into()
-                .expect("4-byte slice of the page trailer"),
-        );
-        let computed = crc32(&data[..payload_end]);
-        if stored == computed {
-            return Ok(());
-        }
-        if stored == 0 && data.iter().all(|&b| b == 0) {
-            // A grown-but-never-written page; crc32 of a zero payload is
-            // nonzero, so this cannot shadow a real checksum.
-            return Ok(());
-        }
-        Err(StorageError::ChecksumMismatch { page: id.0, stored, computed })
+        verify_trailer(data).map_err(|(stored, computed)| StorageError::ChecksumMismatch {
+            page: id.0,
+            stored,
+            computed,
+        })
     }
 
     // ---- buffer pool ----
@@ -481,13 +607,33 @@ impl StorageEnv {
             }
         }
         shard.frames[idx].dirty = false;
+        shard.frames[idx].logged = true;
+        shard.frames[idx].log_stamp = 0;
         shard.frames[idx].page = id;
         shard.map.insert(id, idx);
         shard.lru_push_front(idx);
         Ok(idx)
     }
 
+    fn push_fresh_frame(&self, shard: &mut Shard) -> usize {
+        let ps = self.pager.page_size();
+        shard.frames.push(Frame {
+            data: vec![0u8; ps].into_boxed_slice(),
+            dirty: false,
+            logged: true,
+            log_stamp: 0,
+            prev: NIL,
+            next: NIL,
+            page: PageId(u32::MAX),
+        });
+        shard.frames.len() - 1
+    }
+
     /// Finds a free frame in the shard, evicting its LRU page if full.
+    /// Frames holding un-logged data are never victims: writing them to
+    /// the database file before their WAL record is durable would break
+    /// the commit-record atomicity point. When every frame is pinned that
+    /// way, the shard temporarily overshoots its capacity instead.
     // xk-analyze: allow(panic_path, reason = "frame indices are intrusive-LRU links maintained under this shard guard")
     // xk-analyze: allow(io_under_lock, reason = "eviction write-back of the victim frame happens under its shard guard by design")
     fn acquire_frame(&self, shard: &mut Shard) -> Result<usize> {
@@ -495,19 +641,16 @@ impl StorageEnv {
             return Ok(idx);
         }
         if shard.frames.len() < self.shard_capacity {
-            let ps = self.pager.page_size();
-            shard.frames.push(Frame {
-                data: vec![0u8; ps].into_boxed_slice(),
-                dirty: false,
-                prev: NIL,
-                next: NIL,
-                page: PageId(u32::MAX),
-            });
-            return Ok(shard.frames.len() - 1);
+            return Ok(self.push_fresh_frame(shard));
         }
-        // Evict the shard's least recently used page.
-        let victim = shard.lru_tail;
-        debug_assert_ne!(victim, NIL, "shard capacity is at least 1");
+        // Evict the shard's least recently used evictable page.
+        let mut victim = shard.lru_tail;
+        while victim != NIL && shard.frames[victim].dirty && !shard.frames[victim].logged {
+            victim = shard.frames[victim].prev;
+        }
+        if victim == NIL {
+            return Ok(self.push_fresh_frame(shard));
+        }
         shard.lru_unlink(victim);
         let page = shard.frames[victim].page;
         if shard.frames[victim].dirty {
@@ -554,11 +697,31 @@ impl StorageEnv {
 
     /// Runs `f` with read access to the payload of page `id`. The shard
     /// lock is held while `f` runs: `f` must not call back into the env.
+    ///
+    /// Under a [`ReadPin`] (this thread pinned an epoch), the snapshot
+    /// version table is consulted first — still under the page's shard
+    /// lock, so the transition from "no version" to "version captured"
+    /// cannot tear: the writer captures a page's pre-image under the same
+    /// shard lock it mutates the frame under.
     // xk-analyze: allow(panic_path, reason = "frame indices are intrusive-LRU links maintained under this shard guard")
     // xk-analyze: allow(io_under_lock, reason = "the read fixes the frame this guard pins; see module docs on the pool design")
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
         let usable = self.page_size();
+        let pin = PINNED.with(|c| c.get());
         let shard = &mut *self.shard(id);
+        if pin != 0 {
+            let version = {
+                let snap = self.snap.lock().unwrap_or_else(|e| e.into_inner());
+                snap.versions.get(&id).and_then(|vers| {
+                    // Ascending tags: `find` yields the smallest tag ≥ pin.
+                    vers.iter().find(|(t, _)| *t >= pin).map(|(_, img)| Arc::clone(img))
+                })
+            };
+            if let Some(img) = version {
+                self.stats.record_logical_read();
+                return Ok(f(&img[..usable]));
+            }
+        }
         let idx = self.fetch(shard, id)?;
         Ok(f(&shard.frames[idx].data[..usable]))
     }
@@ -569,17 +732,43 @@ impl StorageEnv {
         let mut ws = self.write_lock();
         self.ensure_dirty_marked(&mut ws)?;
         self.bump_data_version();
-        self.page_mut_locked(id, f)
+        self.page_mut_locked(&mut ws, id, f)
     }
 
     /// `with_page_mut` body, for callers already holding the write lock
-    /// with the dirty mark ensured.
+    /// with the dirty mark ensured. Inside a transaction, the first touch
+    /// of each page captures its pre-image — once for rollback (undo) and
+    /// once for snapshot readers (filed under the transaction's tag) —
+    /// and un-logs the frame so it cannot reach the database file before
+    /// the transaction's WAL record does.
     // xk-analyze: allow(panic_path, reason = "frame indices are intrusive-LRU links maintained under this shard guard")
     // xk-analyze: allow(io_under_lock, reason = "the write path pins the frame under its shard guard by design")
-    fn page_mut_locked<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+    fn page_mut_locked<R>(
+        &self,
+        ws: &mut WriteState,
+        id: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R> {
         let usable = self.page_size();
         let shard = &mut *self.shard(id);
         let idx = self.fetch(shard, id)?;
+        if let Some(txn) = ws.txn.as_mut() {
+            if let std::collections::hash_map::Entry::Vacant(slot) = txn.undo.entry(id) {
+                let image: Arc<[u8]> = Arc::from(&*shard.frames[idx].data);
+                slot.insert(UndoEntry {
+                    image: Arc::clone(&image),
+                    prior_logged: shard.frames[idx].logged,
+                    prior_stamp: shard.frames[idx].log_stamp,
+                });
+                txn.order.push(id);
+                let mut snap = self.snap.lock().unwrap_or_else(|e| e.into_inner());
+                snap.versions.entry(id).or_default().push((txn.tag, image));
+            }
+            if self.wal.is_some() {
+                shard.frames[idx].logged = false;
+                shard.frames[idx].log_stamp = txn.stamp;
+            }
+        }
         shard.frames[idx].dirty = true;
         Ok(f(&mut shard.frames[idx].data[..usable]))
     }
@@ -607,6 +796,12 @@ impl StorageEnv {
     // xk-analyze: allow(panic_path, reason = "frame indices are intrusive-LRU links maintained under this shard guard")
     // xk-analyze: allow(io_under_lock, reason = "flush writes each dirty frame back under its shard guard; the documented pool design")
     fn flush_locked(&self, ws: &mut WriteState) -> Result<()> {
+        // On a durable env, checkpoint the log first: syncing the WAL
+        // re-logs every committed frame, so the write-back below covers
+        // everything that is allowed to reach the database file.
+        if self.wal.is_some() {
+            self.sync_wal()?;
+        }
         let any_dirty = self.shards.iter().any(|s| {
             let shard = s.lock().unwrap_or_else(|e| e.into_inner());
             shard.frames.iter().any(|f| f.dirty && f.page.0 != u32::MAX)
@@ -614,23 +809,40 @@ impl StorageEnv {
         if !any_dirty && ws.clean_on_disk {
             return Ok(()); // read-only session: nothing to write
         }
-        // Phase 1: all dirty pages except the meta page.
+        // Phase 1: all dirty *logged* pages except the meta page. A frame
+        // whose WAL record is not durable (an open transaction's writes)
+        // stays in the pool.
+        let mut skipped_unlogged = 0usize;
         for s in &self.shards {
             let shard = &mut *s.lock().unwrap_or_else(|e| e.into_inner());
             for idx in 0..shard.frames.len() {
                 let page = shard.frames[idx].page;
-                if shard.frames[idx].dirty && page.0 != u32::MAX && page != PageId::META {
-                    self.stats.record_disk_write();
-                    let mut data = std::mem::take(&mut shard.frames[idx].data);
-                    Self::stamp_page(&mut data);
-                    let res = self.pager.write_page(page, &data);
-                    shard.frames[idx].data = data;
-                    res?;
-                    shard.frames[idx].dirty = false;
+                if !shard.frames[idx].dirty || page.0 == u32::MAX {
+                    continue;
                 }
+                if !shard.frames[idx].logged {
+                    skipped_unlogged += 1;
+                    continue;
+                }
+                if page == PageId::META {
+                    continue;
+                }
+                self.stats.record_disk_write();
+                let mut data = std::mem::take(&mut shard.frames[idx].data);
+                Self::stamp_page(&mut data);
+                let res = self.pager.write_page(page, &data);
+                shard.frames[idx].data = data;
+                res?;
+                shard.frames[idx].dirty = false;
             }
         }
         self.pager.sync()?;
+        if skipped_unlogged > 0 || ws.txn.is_some() {
+            // Mid-transaction checkpoint: the file must stay dirty (it is
+            // not self-consistent without the WAL), so skip phase 2 and
+            // keep the log.
+            return Ok(());
+        }
         // Phase 2: the meta page, with the dirty flag cleared.
         {
             let shard = &mut *self.shard(PageId::META);
@@ -646,21 +858,41 @@ impl StorageEnv {
         }
         self.pager.sync()?;
         ws.clean_on_disk = true;
+        // The checkpoint is durable: every logged transaction is now in
+        // the database file, so the log can be retired. A crash between
+        // the phase-2 sync and the reset replays already-applied
+        // transactions — idempotent, hence harmless.
+        if let Some(wal) = &self.wal {
+            wal.reset()?;
+        }
         Ok(())
     }
 
     /// Flushes and then drops every cached page — the *cold cache* state of
     /// the paper's experiments: the next access to any page is a disk read.
+    /// Frames holding un-logged transaction writes survive (dropping them
+    /// would lose the only copy of data the WAL has not yet made durable).
     pub fn clear_cache(&self) -> Result<()> {
         let mut ws = self.write_lock();
         self.flush_locked(&mut ws)?;
         for s in &self.shards {
             let shard = &mut *s.lock().unwrap_or_else(|e| e.into_inner());
+            let kept: Vec<Frame> = shard
+                .frames
+                .drain(..)
+                .filter(|f| f.dirty && !f.logged && f.page.0 != u32::MAX)
+                .collect();
             shard.map.clear();
-            shard.frames.clear();
             shard.free_frames.clear();
             shard.lru_head = NIL;
             shard.lru_tail = NIL;
+            shard.frames = kept;
+            for idx in 0..shard.frames.len() {
+                shard.frames[idx].prev = NIL;
+                shard.frames[idx].next = NIL;
+                shard.map.insert(shard.frames[idx].page, idx);
+                shard.lru_push_front(idx);
+            }
         }
         Ok(())
     }
@@ -696,12 +928,21 @@ impl StorageEnv {
             let next = self.with_page(free, |p| {
                 u32::from_le_bytes(p[..4].try_into().expect("4-byte freelist link"))
             })?;
-            self.set_freelist_head(PageId::decode_opt(next))?;
+            self.set_freelist_head(&mut ws, PageId::decode_opt(next))?;
             // Zero the page for the new user.
-            self.page_mut_locked(free, |p| p.fill(0))?;
+            self.page_mut_locked(&mut ws, free, |p| p.fill(0))?;
             return Ok(free);
         }
         let id = self.pager.grow()?;
+        // Inside a transaction the fresh page has no pre-image to undo:
+        // rollback abandons it instead (see `abort_txn`), and its frame
+        // is un-logged like any other transactional write.
+        let in_txn = if let Some(txn) = ws.txn.as_mut() {
+            txn.grown.push(id);
+            Some(txn.stamp)
+        } else {
+            None
+        };
         // Materialize a zeroed frame for the new page so the first access
         // does not count as a disk read (the page has never been written).
         let shard = &mut *self.shard(id);
@@ -713,6 +954,16 @@ impl StorageEnv {
             shard.frames[idx].data.fill(0);
         }
         shard.frames[idx].dirty = true;
+        match in_txn {
+            Some(stamp) if self.wal.is_some() => {
+                shard.frames[idx].logged = false;
+                shard.frames[idx].log_stamp = stamp;
+            }
+            _ => {
+                shard.frames[idx].logged = true;
+                shard.frames[idx].log_stamp = 0;
+            }
+        }
         shard.frames[idx].page = id;
         shard.map.insert(id, idx);
         shard.lru_push_front(idx);
@@ -726,10 +977,10 @@ impl StorageEnv {
         self.ensure_dirty_marked(&mut ws)?;
         self.bump_data_version();
         let head = self.freelist_head()?;
-        self.page_mut_locked(id, |p| {
+        self.page_mut_locked(&mut ws, id, |p| {
             p[..4].copy_from_slice(&PageId::encode_opt(head).to_le_bytes());
         })?;
-        self.set_freelist_head(Some(id))
+        self.set_freelist_head(&mut ws, Some(id))
     }
 
     /// Caller holds the write lock with the dirty mark ensured.
@@ -745,8 +996,8 @@ impl StorageEnv {
     }
 
     /// Caller holds the write lock with the dirty mark ensured.
-    fn set_freelist_head(&self, head: Option<PageId>) -> Result<()> {
-        self.page_mut_locked(PageId::META, |p| {
+    fn set_freelist_head(&self, ws: &mut WriteState, head: Option<PageId>) -> Result<()> {
+        self.page_mut_locked(ws, PageId::META, |p| {
             p[META_FREELIST..META_FREELIST + 4]
                 .copy_from_slice(&PageId::encode_opt(head).to_le_bytes());
         })
@@ -773,7 +1024,7 @@ impl StorageEnv {
         let mut ws = self.write_lock();
         self.ensure_dirty_marked(&mut ws)?;
         self.bump_data_version();
-        self.page_mut_locked(PageId::META, |p| {
+        self.page_mut_locked(&mut ws, PageId::META, |p| {
             let off = META_ROOTS + slot * 4;
             p[off..off + 4].copy_from_slice(&PageId::encode_opt(page).to_le_bytes());
         })
@@ -786,6 +1037,7 @@ impl StorageEnv {
 
     /// Stores an application metadata blob in the meta page (e.g. the
     /// serialized level table). Must fit in [`Self::user_blob_capacity`].
+    // xk-analyze: allow(panic_path, reason = "blob.len() is checked against user_blob_capacity before the copy")
     pub fn set_user_blob(&self, blob: &[u8]) -> Result<()> {
         if blob.len() > self.user_blob_capacity() {
             return Err(StorageError::EntryTooLarge {
@@ -796,11 +1048,311 @@ impl StorageEnv {
         let mut ws = self.write_lock();
         self.ensure_dirty_marked(&mut ws)?;
         self.bump_data_version();
-        self.page_mut_locked(PageId::META, |p| {
+        self.page_mut_locked(&mut ws, PageId::META, |p| {
             p[META_BLOB_LEN..META_BLOB_LEN + 4]
                 .copy_from_slice(&(blob.len() as u32).to_le_bytes());
             p[META_BLOB..META_BLOB + blob.len()].copy_from_slice(blob);
         })
+    }
+
+    // ---- durability: WAL, transactions, snapshot reads ----
+
+    /// Attaches a write-ahead log. Must happen before the env is shared
+    /// (hence `&mut self`); typically right after [`crate::recover`] has
+    /// replayed the previous incarnation's log. With a WAL attached,
+    /// transactional writes are logged at commit and a frame never
+    /// reaches the database file before its WAL record is durable.
+    pub fn attach_wal(&mut self, wal: Wal) -> Result<()> {
+        if wal.db_page_size() as usize != self.pager.page_size() {
+            return Err(StorageError::Corrupt(format!(
+                "WAL page size {} does not match database page size {}",
+                wal.db_page_size(),
+                self.pager.page_size()
+            )));
+        }
+        self.wal = Some(wal);
+        Ok(())
+    }
+
+    /// True when a write-ahead log is attached.
+    pub fn has_wal(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Transactions committed to the WAL since attach (for batch-size
+    /// accounting: commits ÷ syncs = mean group-commit batch).
+    pub fn wal_commit_count(&self) -> u64 {
+        self.wal.as_ref().map_or(0, |w| w.commit_count())
+    }
+
+    /// Fsyncs issued by the WAL since attach.
+    pub fn wal_sync_count(&self) -> u64 {
+        self.wal.as_ref().map_or(0, |w| w.sync_count())
+    }
+
+    /// The last committed epoch. Starts at 1 on a fresh env; bumped by
+    /// every `commit_txn`. Relaxed is enough: callers that need an epoch
+    /// consistent with the version table use [`Self::pin_snapshot`],
+    /// which reads it under the snapshot lock.
+    pub fn current_epoch(&self) -> u64 {
+        self.committed_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Pins the current epoch for this thread: until the returned guard
+    /// drops, every `with_page` on this thread sees the database as of
+    /// this moment, regardless of concurrent commits. Pins nest (the
+    /// guard restores the outer pin on drop).
+    ///
+    /// Reading the epoch *inside* the snapshot critical section makes
+    /// registration race-free: `commit_txn` publishes the new epoch and
+    /// prunes old versions under the same lock, so a pin can never
+    /// register an epoch whose versions were already pruned.
+    pub fn pin_snapshot(&self) -> ReadPin<'_> {
+        let tag = {
+            let mut snap = lock(&self.snap);
+            let tag = self.committed_epoch.load(Ordering::Relaxed);
+            *snap.pins.entry(tag).or_insert(0) += 1;
+            tag
+        };
+        let prev = PINNED.with(|c| c.replace(tag));
+        ReadPin { env: self, tag, prev }
+    }
+
+    /// Drops one pin on `tag`, pruning versions that no reader can need
+    /// any more. Called from [`ReadPin`]'s destructor.
+    fn unpin(&self, tag: u64) {
+        let mut snap = lock(&self.snap);
+        if let Some(n) = snap.pins.get_mut(&tag) {
+            *n -= 1;
+            if *n == 0 {
+                snap.pins.remove(&tag);
+                Self::prune_versions_locked(&mut snap);
+            }
+        }
+    }
+
+    /// Drops versions no pinned reader can ever select. A reader pinned
+    /// at `P` selects the smallest tag ≥ `P`, so a version older than
+    /// every pin is unreachable. The in-flight transaction's tag is
+    /// always kept: a pin registered *now* would resolve to it.
+    fn prune_versions_locked(snap: &mut SnapTable) {
+        let min_pin = snap.pins.keys().next().copied();
+        let active = snap.active_tag;
+        snap.versions.retain(|_, vers| {
+            vers.retain(|(t, _)| {
+                (active != 0 && *t == active) || min_pin.is_some_and(|m| *t >= m)
+            });
+            !vers.is_empty()
+        });
+    }
+
+    /// Opens a transaction. All writes until `commit_txn` / `abort_txn`
+    /// are atomic: rollback restores every touched page, and (with a WAL
+    /// attached) none of them reaches the database file before the
+    /// commit record is durable. One transaction at a time; nesting is
+    /// [`StorageError::TxnMisuse`].
+    pub fn begin_txn(&self) -> Result<()> {
+        let mut ws = self.write_lock();
+        if ws.txn.is_some() {
+            return Err(StorageError::TxnMisuse("begin_txn inside an open transaction"));
+        }
+        self.ensure_dirty_marked(&mut ws)?;
+        let tag = self.committed_epoch.load(Ordering::Relaxed);
+        let stamp = self.txn_stamps.fetch_add(1, Ordering::Relaxed) + 1;
+        lock(&self.snap).active_tag = tag;
+        ws.txn = Some(TxnState {
+            tag,
+            stamp,
+            undo: HashMap::new(),
+            order: Vec::new(),
+            grown: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Commits the open transaction: logs every touched page to the WAL
+    /// (Begin, images, Commit — the commit record is the atomicity
+    /// point), publishes the new epoch to readers, and prunes snapshot
+    /// versions nobody can need. Durability is *not* waited for here —
+    /// call [`Self::sync_wal`] / [`Self::wait_wal_durable`] (the group
+    /// commit machinery batches that fsync across transactions).
+    ///
+    /// On a WAL append failure the transaction is left open so the
+    /// caller can [`Self::abort_txn`] it.
+    pub fn commit_txn(&self) -> Result<TxnCommit> {
+        let mut ws = self.write_lock();
+        let txn = ws
+            .txn
+            .take()
+            .ok_or(StorageError::TxnMisuse("commit_txn without an open transaction"))?;
+        let epoch = txn.tag + 1;
+        let mut lsn = 0u64;
+        if let Some(wal) = &self.wal {
+            let mut seen = HashSet::new();
+            let mut pages: Vec<PageId> = Vec::new();
+            for &id in txn.order.iter().chain(txn.grown.iter()) {
+                if seen.insert(id) {
+                    pages.push(id);
+                }
+            }
+            let appended: Result<u64> = (|| {
+                // xk-analyze: allow(lock_order, reason = "false positive from bare-name aliasing of Wal::append: write_state is held exactly once for the whole commit; the closure only takes Wal.buf and shard guards")
+                wal.append_begin()?;
+                for &id in &pages {
+                    let image = self.stamped_frame_copy(id)?;
+                    wal.append_image(id.0, &image)?;
+                }
+                wal.append_commit(epoch)
+            })();
+            match appended {
+                Ok(l) => lsn = l,
+                Err(e) => {
+                    ws.txn = Some(txn);
+                    return Err(e);
+                }
+            }
+            let pages: Vec<(PageId, u64)> = pages.into_iter().map(|id| (id, txn.stamp)).collect();
+            lock(&self.unsynced).push(UnsyncedTxn { lsn, pages });
+        }
+        {
+            // Epoch publication, active-tag clearing, and pruning are one
+            // critical section so pin registration can never observe a
+            // half-applied commit.
+            let mut snap = lock(&self.snap);
+            self.committed_epoch.store(epoch, Ordering::Relaxed);
+            snap.active_tag = 0;
+            Self::prune_versions_locked(&mut snap);
+        }
+        self.bump_data_version();
+        Ok(TxnCommit { epoch, lsn })
+    }
+
+    /// Rolls back the open transaction: every touched page is restored
+    /// to its pre-image (with its prior WAL-pinning state — the prior
+    /// bytes may belong to a committed-but-unsynced transaction), pages
+    /// grown by the transaction are abandoned, and the transaction's
+    /// snapshot versions are withdrawn.
+    ///
+    /// Grown pages are deliberately *not* linked into the free list:
+    /// free-list surgery outside a transaction could be half-persisted
+    /// by eviction write-backs and survive crash recovery in a mixed
+    /// state. They remain as zero pages in the file — a bounded space
+    /// leak, never a correctness hazard.
+    // xk-analyze: allow(panic_path, reason = "frame indices are intrusive-LRU links maintained under this shard guard")
+    // xk-analyze: allow(io_under_lock, reason = "undo images are restored into frames pinned under their shard guard; the documented pool design")
+    pub fn abort_txn(&self) -> Result<()> {
+        let mut ws = self.write_lock();
+        let txn = ws
+            .txn
+            .take()
+            .ok_or(StorageError::TxnMisuse("abort_txn without an open transaction"))?;
+        let mut first_err: Option<StorageError> = None;
+        for id in txn.order.iter().rev() {
+            let entry = &txn.undo[id];
+            let shard = &mut *self.shard(*id);
+            match self.fetch(shard, *id) {
+                Ok(idx) => {
+                    shard.frames[idx].data.copy_from_slice(&entry.image);
+                    shard.frames[idx].dirty = true;
+                    shard.frames[idx].logged = entry.prior_logged || self.wal.is_none();
+                    shard.frames[idx].log_stamp = entry.prior_stamp;
+                }
+                Err(e) => {
+                    // Keep restoring the rest; the unrestored frame stays
+                    // un-logged, so it can never reach the file and the
+                    // WAL replay path remains the source of truth.
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        for &id in &txn.grown {
+            let shard = &mut *self.shard(id);
+            if let Some(idx) = shard.map.remove(&id) {
+                shard.lru_unlink(idx);
+                shard.frames[idx].dirty = false;
+                shard.frames[idx].logged = true;
+                shard.frames[idx].log_stamp = 0;
+                shard.frames[idx].page = PageId(u32::MAX);
+                shard.free_frames.push(idx);
+            }
+        }
+        {
+            let mut snap = lock(&self.snap);
+            let tag = txn.tag;
+            snap.versions.retain(|_, vers| {
+                vers.retain(|(t, _)| *t != tag);
+                !vers.is_empty()
+            });
+            snap.active_tag = 0;
+        }
+        self.bump_data_version();
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Fsyncs the WAL (one fsync covers every commit appended since the
+    /// last one — that is the group in *group commit*) and re-marks the
+    /// frames of now-durable transactions as safe to write back. A frame
+    /// is only re-marked if its `log_stamp` still matches: a later
+    /// transaction's bytes in the same frame are *its* problem, not this
+    /// sync's. Returns the highest durable LSN. No-op without a WAL.
+    // xk-analyze: allow(panic_path, reason = "frame indices are intrusive-LRU links maintained under this shard guard")
+    pub fn sync_wal(&self) -> Result<u64> {
+        let Some(wal) = &self.wal else {
+            return Ok(0);
+        };
+        let durable = wal.sync()?;
+        let drained: Vec<UnsyncedTxn> = {
+            let mut unsynced = lock(&self.unsynced);
+            let mut keep = Vec::new();
+            let mut done = Vec::new();
+            for t in unsynced.drain(..) {
+                if t.lsn <= durable {
+                    done.push(t);
+                } else {
+                    keep.push(t);
+                }
+            }
+            *unsynced = keep;
+            done
+        };
+        for t in &drained {
+            for &(id, stamp) in &t.pages {
+                let shard = &mut *self.shard(id);
+                if let Some(&idx) = shard.map.get(&id) {
+                    if !shard.frames[idx].logged && shard.frames[idx].log_stamp == stamp {
+                        shard.frames[idx].logged = true;
+                    }
+                }
+            }
+        }
+        Ok(durable)
+    }
+
+    /// Blocks until the WAL record at `lsn` is durable (some thread —
+    /// the group-commit thread, a flush, or a concurrent committer —
+    /// must be issuing [`Self::sync_wal`] calls). Immediate without a
+    /// WAL.
+    pub fn wait_wal_durable(&self, lsn: u64) -> Result<()> {
+        match &self.wal {
+            Some(wal) => wal.wait_durable(lsn),
+            None => Ok(()),
+        }
+    }
+
+    /// Copies page `id` out of the pool as a full physical page with a
+    /// freshly stamped CRC trailer — the exact bytes recovery will write
+    /// into the database file when it replays this image.
+    // xk-analyze: allow(panic_path, reason = "frame indices are intrusive-LRU links maintained under this shard guard")
+    // xk-analyze: allow(io_under_lock, reason = "the image copy fixes the frame under its shard guard; the documented pool design")
+    fn stamped_frame_copy(&self, id: PageId) -> Result<Vec<u8>> {
+        let shard = &mut *self.shard(id);
+        let idx = self.fetch(shard, id)?;
+        let mut data = shard.frames[idx].data.to_vec();
+        Self::stamp_page(&mut data);
+        Ok(data)
     }
 
     /// Reads the application metadata blob.
@@ -1115,6 +1667,158 @@ mod tests {
         let before = env.stats().disk_reads;
         env.with_page(hot, |_| ()).unwrap();
         assert_eq!(env.stats().disk_reads, before, "hot page stays cached");
+    }
+
+    /// An env over shared in-memory pagers with a WAL attached, plus the
+    /// raw pagers for inspecting what actually reached "disk".
+    fn durable_mem(pool_pages: usize) -> (Arc<MemPager>, Arc<MemPager>, StorageEnv) {
+        let db = Arc::new(MemPager::new(256));
+        let walp = Arc::new(MemPager::new(256));
+        let mut env =
+            StorageEnv::create_with_pager(Box::new(Arc::clone(&db)), pool_pages).unwrap();
+        let wal = Wal::create(Arc::clone(&walp) as Arc<dyn Pager>, 256).unwrap();
+        env.attach_wal(wal).unwrap();
+        (db, walp, env)
+    }
+
+    #[test]
+    fn txn_commit_publishes_and_abort_restores() {
+        let (_db, _walp, env) = durable_mem(16);
+        let p = env.allocate_page().unwrap();
+        env.with_page_mut(p, |d| d[0] = 1).unwrap();
+
+        env.begin_txn().unwrap();
+        assert!(env.begin_txn().is_err(), "no nesting");
+        env.with_page_mut(p, |d| d[0] = 2).unwrap();
+        let grown = env.allocate_page().unwrap();
+        env.with_page_mut(grown, |d| d[0] = 9).unwrap();
+        env.abort_txn().unwrap();
+        assert_eq!(env.with_page(p, |d| d[0]).unwrap(), 1, "abort restores the pre-image");
+        assert_eq!(env.with_page(grown, |d| d[0]).unwrap(), 0, "grown page abandoned as zeros");
+        assert!(env.abort_txn().is_err(), "nothing left to abort");
+
+        env.begin_txn().unwrap();
+        env.with_page_mut(p, |d| d[0] = 3).unwrap();
+        let commit = env.commit_txn().unwrap();
+        assert_eq!(commit.epoch, 2, "fresh env starts at epoch 1");
+        assert!(commit.lsn > 0);
+        assert_eq!(env.current_epoch(), 2);
+        assert_eq!(env.with_page(p, |d| d[0]).unwrap(), 3);
+        env.sync_wal().unwrap();
+        env.wait_wal_durable(commit.lsn).unwrap();
+        assert_eq!(env.wal_commit_count(), 1);
+        assert_eq!(env.wal_sync_count(), 1);
+    }
+
+    #[test]
+    fn pinned_reader_ignores_concurrent_commit() {
+        let (_db, _walp, env) = durable_mem(16);
+        let p = env.allocate_page().unwrap();
+        env.with_page_mut(p, |d| d[0] = 10).unwrap();
+
+        let pin = env.pin_snapshot();
+        env.begin_txn().unwrap();
+        env.with_page_mut(p, |d| d[0] = 20).unwrap();
+        assert_eq!(env.with_page(p, |d| d[0]).unwrap(), 10, "mid-txn: pre-image");
+        env.commit_txn().unwrap();
+        assert_eq!(env.with_page(p, |d| d[0]).unwrap(), 10, "post-commit: pin holds");
+        let epoch = pin.epoch();
+        drop(pin);
+        assert_eq!(env.with_page(p, |d| d[0]).unwrap(), 20, "unpinned: live state");
+        assert!(env.current_epoch() > epoch);
+    }
+
+    #[test]
+    fn new_pin_during_open_txn_sees_pre_images() {
+        let (_db, _walp, env) = durable_mem(16);
+        let p = env.allocate_page().unwrap();
+        env.with_page_mut(p, |d| d[0] = 10).unwrap();
+        env.begin_txn().unwrap();
+        env.with_page_mut(p, |d| d[0] = 20).unwrap();
+        // Pin taken *while* the transaction is open: must resolve to the
+        // transaction's pre-image (its tag equals the pinned epoch).
+        let pin = env.pin_snapshot();
+        assert_eq!(env.with_page(p, |d| d[0]).unwrap(), 10);
+        env.commit_txn().unwrap();
+        assert_eq!(env.with_page(p, |d| d[0]).unwrap(), 10);
+        drop(pin);
+        assert_eq!(env.with_page(p, |d| d[0]).unwrap(), 20);
+    }
+
+    #[test]
+    fn unlogged_frames_never_reach_the_file() {
+        let (db, walp, env) = durable_mem(16);
+        let pages: Vec<PageId> = (0..12).map(|_| env.allocate_page().unwrap()).collect();
+        env.flush().unwrap();
+        env.begin_txn().unwrap();
+        for &p in &pages {
+            env.with_page_mut(p, |d| d.fill(0xAB)).unwrap();
+        }
+        // Churn the pool to trigger eviction pressure; un-logged frames
+        // must be passed over, never written back.
+        for &p in &pages {
+            env.with_page(p, |_| ()).unwrap();
+        }
+        let mut buf = vec![0u8; 256];
+        for &p in &pages {
+            db.read_page(p, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b != 0xAB), "uncommitted bytes leaked to {p:?}");
+        }
+        env.commit_txn().unwrap();
+        env.sync_wal().unwrap();
+        env.flush().unwrap();
+        for &p in &pages {
+            db.read_page(p, &mut buf).unwrap();
+            assert_eq!(buf[0], 0xAB, "committed bytes reached the file after checkpoint");
+        }
+        let out = Wal::scan(&*walp).unwrap().unwrap();
+        assert!(out.committed.is_empty(), "checkpoint retires the log");
+    }
+
+    #[test]
+    fn clear_cache_keeps_open_transaction_writes() {
+        let (_db, _walp, env) = durable_mem(16);
+        let p = env.allocate_page().unwrap();
+        env.with_page_mut(p, |d| d[0] = 5).unwrap();
+        env.flush().unwrap();
+        env.begin_txn().unwrap();
+        env.with_page_mut(p, |d| d[0] = 6).unwrap();
+        env.clear_cache().unwrap();
+        assert_eq!(env.with_page(p, |d| d[0]).unwrap(), 6, "txn write survives the purge");
+        env.commit_txn().unwrap();
+        env.sync_wal().unwrap();
+        env.flush().unwrap();
+        env.clear_cache().unwrap();
+        assert_eq!(env.with_page(p, |d| d[0]).unwrap(), 6);
+    }
+
+    #[test]
+    fn crash_after_commit_recovers_from_wal() {
+        let db = Arc::new(MemPager::new(256));
+        let walp = Arc::new(MemPager::new(256));
+        let p;
+        {
+            let mut env =
+                StorageEnv::create_with_pager(Box::new(Arc::clone(&db)), 16).unwrap();
+            let wal = Wal::create(Arc::clone(&walp) as Arc<dyn Pager>, 256).unwrap();
+            env.attach_wal(wal).unwrap();
+            p = env.allocate_page().unwrap();
+            env.flush().unwrap();
+            env.begin_txn().unwrap();
+            env.with_page_mut(p, |d| d[0] = 77).unwrap();
+            env.commit_txn().unwrap();
+            env.sync_wal().unwrap();
+            std::mem::forget(env); // crash: committed + durable, never checkpointed
+        }
+        match StorageEnv::open_with_pager(Box::new(Arc::clone(&db)), 16).err() {
+            Some(StorageError::DirtyShutdown) => {}
+            other => panic!("expected DirtyShutdown before recovery, got {other:?}"),
+        }
+        let report = crate::recovery::recover(&*db, &*walp).unwrap();
+        assert!(report.recovered);
+        assert_eq!(report.replayed_txns, 1);
+        let env = StorageEnv::open_with_pager(Box::new(Arc::clone(&db)), 16).unwrap();
+        assert_eq!(env.with_page(p, |d| d[0]).unwrap(), 77, "recovery replayed the commit");
     }
 
     #[test]

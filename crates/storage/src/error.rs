@@ -21,6 +21,10 @@ pub enum StorageError {
     /// shut down cleanly, so on-disk structures may be half-written.
     /// Recover by rebuilding the index from the source document.
     DirtyShutdown,
+    /// The transaction protocol was violated (nested begin, commit or
+    /// abort without an open transaction). A caller bug, not a data
+    /// problem: the store itself is unharmed.
+    TxnMisuse(&'static str),
 }
 
 impl fmt::Display for StorageError {
@@ -41,6 +45,7 @@ impl fmt::Display for StorageError {
                 f,
                 "storage file was not shut down cleanly (dirty flag set); rebuild the index"
             ),
+            StorageError::TxnMisuse(m) => write!(f, "transaction misuse: {m}"),
         }
     }
 }

@@ -17,7 +17,12 @@
 //! * [`checksum`] — the CRC-32 stamped into every page's trailer and
 //!   verified on buffer-pool misses (format v2, `XKSTORE2`);
 //! * [`fault`] — [`FaultPager`]: deterministic, seeded fault injection
-//!   (failed I/O, torn writes, bit flips) for crash-simulation tests.
+//!   (failed I/O, torn writes, bit flips) for crash-simulation tests;
+//! * [`wal`] — [`Wal`]: a checksummed, length-prefixed write-ahead log
+//!   with generation-numbered resets and group-commit fsync batching;
+//! * [`recovery`] — [`recover`]/[`recover_files`]: idempotent replay of
+//!   committed WAL transactions into the database file, with torn-tail
+//!   truncation.
 //!
 //! ```
 //! use xk_storage::{StorageEnv, EnvOptions, BTree};
@@ -34,12 +39,17 @@ pub mod error;
 pub mod fault;
 pub mod liststore;
 pub mod pager;
+pub mod recovery;
 pub mod stats;
+pub mod wal;
 
 pub use btree::{BTree, BTreeCursor, Cursor};
 pub use checksum::crc32;
-pub use env::{EnvOptions, StorageEnv, FORMAT_VERSION, PAGE_TRAILER, ROOT_SLOTS};
+pub use env::{
+    EnvOptions, ReadPin, StorageEnv, TxnCommit, FORMAT_VERSION, PAGE_TRAILER, ROOT_SLOTS,
+};
 pub use error::{Result, StorageError};
+pub use recovery::{recover, recover_files, RecoveryReport};
 pub use fault::{FaultConfig, FaultPager, FaultProbe};
 pub use liststore::{
     free_list, inspect_chain, ChainInfo, ListAppender, ListHandle, ListReader, ListWriter,
@@ -47,3 +57,4 @@ pub use liststore::{
 };
 pub use pager::{FilePager, MemPager, PageId, Pager};
 pub use stats::IoStats;
+pub use wal::{CommittedTxn, ScanOutcome, Wal, WAL_PAGE_SIZE};

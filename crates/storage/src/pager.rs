@@ -19,7 +19,7 @@ use crate::error::{Result, StorageError};
 use std::fs::{File, OpenOptions};
 use std::path::Path;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 #[cfg(unix)]
 use std::os::unix::fs::FileExt;
@@ -74,6 +74,36 @@ pub trait Pager: Send + Sync {
     fn sync(&self) -> Result<()>;
 }
 
+/// Shared handles delegate: an `Arc<P>` is a pager whenever `P` is, so a
+/// backing store can be shared between a [`crate::env::StorageEnv`] and a
+/// crash-recovery pass (or a [`crate::FaultPager`] and the probe that
+/// re-opens its bytes after a simulated crash).
+impl<P: Pager + ?Sized> Pager for Arc<P> {
+    fn page_size(&self) -> usize {
+        (**self).page_size()
+    }
+
+    fn page_count(&self) -> u32 {
+        (**self).page_count()
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        (**self).read_page(id, buf)
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        (**self).write_page(id, buf)
+    }
+
+    fn grow(&self) -> Result<PageId> {
+        (**self).grow()
+    }
+
+    fn sync(&self) -> Result<()> {
+        (**self).sync()
+    }
+}
+
 /// A pager over an ordinary file. Every `read_page` is a positioned read
 /// against the file — the buffer pool above decides what stays in memory.
 /// On Unix, positioned reads/writes (`pread`/`pwrite`) need no locking at
@@ -110,6 +140,7 @@ impl FilePager {
 
     /// Opens an existing storage file. The caller is responsible for
     /// validating the meta page (see [`crate::env::StorageEnv::open`]).
+    // xk-analyze: allow(panic_path, reason = "every caller passes a validated (detect_page_size) or constant non-zero page size")
     pub fn open(path: &Path, page_size: usize) -> Result<FilePager> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         let len = file.metadata()?.len();

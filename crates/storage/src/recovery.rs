@@ -1,0 +1,345 @@
+//! Crash recovery: replaying the WAL into the database file.
+//!
+//! Recovery is a pure pager-to-pager operation — it runs *before* a
+//! [`crate::StorageEnv`] opens the database, because a crashed writer
+//! leaves the dirty flag set and `StorageEnv::open` (correctly) refuses
+//! such files. The protocol:
+//!
+//! 1. scan the WAL ([`crate::wal::Wal::scan`]), which truncates any torn
+//!    tail and yields only transactions whose commit record is intact;
+//! 2. write every logged page image back verbatim (the images are full
+//!    stamped physical pages), growing the file as needed, and sync;
+//! 3. clear the database's dirty flag, restamp the meta page, and sync
+//!    again — the last act, so a crash anywhere earlier leaves the file
+//!    dirty and recovery simply runs again.
+//!
+//! **Replay is idempotent**: it writes the same bytes in the same order
+//! no matter how many times it runs, and never reads the pages it
+//! overwrites. **The commit record is the atomicity point**: a
+//! transaction missing its commit record contributes nothing. An *empty*
+//! valid WAL plus a dirty database is also recoverable — the env pins
+//! un-logged dirty pages in its pool, so nothing of the interrupted
+//! transaction can have reached the database file; clearing the flag is
+//! sufficient. A dirty database with *no* WAL at all is not recoverable
+//! (nothing says what the in-flight writer was doing) and is reported as
+//! corruption rather than guessed at.
+
+use crate::checksum::{stamp_trailer, verify_trailer};
+use crate::error::{Result, StorageError};
+use crate::pager::{FilePager, MemPager, PageId, Pager};
+use crate::wal::{Wal, WAL_PAGE_SIZE};
+use std::path::Path;
+
+// Mirrors of the private meta-page layout in `env.rs` that recovery must
+// touch (see the format documentation there).
+const DB_MAGIC: &[u8; 8] = b"XKSTORE2";
+const META_PAGE_SIZE: usize = 8;
+const META_FLAGS: usize = 14;
+const FLAG_DIRTY: u8 = 1;
+
+/// What a recovery pass did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// True if recovery changed the database (replayed pages and/or
+    /// cleared the dirty flag).
+    pub recovered: bool,
+    /// Committed transactions replayed from the WAL.
+    pub replayed_txns: usize,
+    /// Page images written during replay.
+    pub replayed_pages: usize,
+    /// True if the WAL scan stopped at a torn tail.
+    pub wal_truncated: bool,
+    /// True if the database file was marked dirty (a crashed writer).
+    pub db_was_dirty: bool,
+    /// Epoch of the last replayed transaction (0 if none).
+    pub last_epoch: u64,
+}
+
+enum MetaState {
+    Clean,
+    Dirty,
+    /// Unreadable or mis-stamped meta page — recoverable only if the WAL
+    /// holds a committed image of it.
+    Bad,
+}
+
+fn inspect_meta(db: &dyn Pager) -> Result<MetaState> {
+    if db.page_count() == 0 {
+        return Err(StorageError::Corrupt("database has no meta page".into()));
+    }
+    let mut page = vec![0u8; db.page_size()];
+    if db.read_page(PageId(0), &mut page).is_err() || verify_trailer(&page).is_err() {
+        return Ok(MetaState::Bad);
+    }
+    if &page[..8] != DB_MAGIC {
+        return Ok(MetaState::Bad);
+    }
+    if page[META_FLAGS] & FLAG_DIRTY != 0 {
+        Ok(MetaState::Dirty)
+    } else {
+        Ok(MetaState::Clean)
+    }
+}
+
+/// Replays the WAL on `wal` into the database on `db`. Both are raw
+/// pagers — call this before opening a [`crate::StorageEnv`] over `db`.
+/// Safe to run any number of times; see the module docs for the
+/// invariants.
+pub fn recover(db: &dyn Pager, wal: &dyn Pager) -> Result<RecoveryReport> {
+    let meta = inspect_meta(db)?;
+    let db_was_dirty = !matches!(meta, MetaState::Clean);
+    let mut report = RecoveryReport { db_was_dirty, ..RecoveryReport::default() };
+
+    let Some(outcome) = Wal::scan(wal)? else {
+        return match meta {
+            MetaState::Clean => Ok(report),
+            MetaState::Dirty => Err(StorageError::Corrupt(
+                "database is marked dirty but there is no write-ahead log to replay".into(),
+            )),
+            MetaState::Bad => Err(StorageError::Corrupt(
+                "database meta page is unreadable and there is no write-ahead log".into(),
+            )),
+        };
+    };
+    report.wal_truncated = outcome.truncated;
+    if outcome.db_page_size as usize != db.page_size() {
+        return Err(StorageError::Corrupt(format!(
+            "WAL page images are {} bytes but the database page size is {}",
+            outcome.db_page_size,
+            db.page_size()
+        )));
+    }
+
+    // Replay. Also runs over a *clean* database: a crash between the
+    // checkpoint's final sync and the WAL reset leaves already-applied
+    // transactions in the log, and rewriting identical bytes is a no-op.
+    for txn in &outcome.committed {
+        for (page_id, image) in &txn.pages {
+            while db.page_count() <= *page_id {
+                db.grow()?;
+            }
+            db.write_page(PageId(*page_id), image)?;
+            report.replayed_pages += 1;
+        }
+        report.last_epoch = txn.epoch;
+    }
+    report.replayed_txns = outcome.committed.len();
+    if report.replayed_txns > 0 {
+        db.sync()?;
+    }
+
+    // Clear the dirty flag last. The replayed meta image (if any) was
+    // captured mid-transaction and carries the flag; a crash before this
+    // write leaves the file dirty, so the next recovery runs again.
+    if report.replayed_txns > 0 || db_was_dirty {
+        let mut page = vec![0u8; db.page_size()];
+        db.read_page(PageId(0), &mut page)?;
+        if verify_trailer(&page).is_err() || &page[..8] != DB_MAGIC {
+            return Err(StorageError::Corrupt(
+                "meta page is still unreadable after WAL replay".into(),
+            ));
+        }
+        page[META_FLAGS] &= !FLAG_DIRTY;
+        stamp_trailer(&mut page);
+        db.write_page(PageId(0), &page)?;
+        db.sync()?;
+        report.recovered = true;
+    }
+    Ok(report)
+}
+
+/// Reads the page size out of a database file's meta header.
+fn db_file_page_size(path: &Path) -> Result<usize> {
+    use std::io::Read;
+    let mut file = std::fs::File::open(path)?;
+    let mut header = [0u8; 16];
+    file.read_exact(&mut header)
+        .map_err(|_| StorageError::Corrupt("file too short to hold a meta-page header".into()))?;
+    if &header[..8] != DB_MAGIC {
+        return Err(StorageError::Corrupt("bad magic".into()));
+    }
+    let ps = u32::from_le_bytes(
+        header[META_PAGE_SIZE..META_PAGE_SIZE + 4].try_into().expect("4-byte page size"),
+    ) as usize;
+    if !(128..=1 << 24).contains(&ps) || !ps.is_power_of_two() {
+        return Err(StorageError::Corrupt(format!("implausible page size {ps} in meta header")));
+    }
+    Ok(ps)
+}
+
+/// File-level recovery: opens `db_path` and `wal_path` and runs
+/// [`recover`]. A WAL file with a torn final page (its length not a
+/// multiple of [`WAL_PAGE_SIZE`]) is truncated down first — the torn
+/// bytes are by definition past the last complete page, which the
+/// record-level truncation would discard anyway. A missing or empty WAL
+/// file is treated as "no log".
+pub fn recover_files(db_path: &Path, wal_path: &Path) -> Result<RecoveryReport> {
+    let ps = db_file_page_size(db_path)?;
+    let db = FilePager::open(db_path, ps)?;
+    let wal_len = match std::fs::metadata(wal_path) {
+        Ok(meta) => meta.len(),
+        Err(_) => 0,
+    };
+    let rounded = wal_len - wal_len % WAL_PAGE_SIZE as u64;
+    if rounded == 0 {
+        // Missing or headerless WAL: scan of a blank pager yields None.
+        return recover(&db, &MemPager::new(WAL_PAGE_SIZE));
+    }
+    if rounded != wal_len {
+        let f = std::fs::OpenOptions::new().write(true).open(wal_path)?;
+        f.set_len(rounded)?;
+    }
+    let wal = FilePager::open(wal_path, WAL_PAGE_SIZE)?;
+    recover(&db, &wal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{EnvOptions, StorageEnv};
+    use std::sync::Arc;
+
+    fn db_with_meta(dirty: bool) -> Arc<MemPager> {
+        let pager = Arc::new(MemPager::new(256));
+        let env = StorageEnv::create_with_pager(Box::new(Arc::clone(&pager)), 16).unwrap();
+        env.flush().unwrap();
+        drop(env);
+        if dirty {
+            let mut page = vec![0u8; 256];
+            pager.read_page(PageId(0), &mut page).unwrap();
+            page[META_FLAGS] |= FLAG_DIRTY;
+            stamp_trailer(&mut page);
+            pager.write_page(PageId(0), &page).unwrap();
+        }
+        pager
+    }
+
+    fn stamped(fill: u8) -> Vec<u8> {
+        let mut img = vec![fill; 256];
+        img[..8].copy_from_slice(DB_MAGIC); // keep page 0 images meta-shaped
+        stamp_trailer(&mut img);
+        img
+    }
+
+    #[test]
+    fn clean_db_and_no_wal_is_a_noop() {
+        let db = db_with_meta(false);
+        let report = recover(&*db, &MemPager::new(256)).unwrap();
+        assert!(!report.recovered);
+        assert!(!report.db_was_dirty);
+        assert_eq!(report.replayed_txns, 0);
+    }
+
+    #[test]
+    fn dirty_db_without_wal_is_an_error() {
+        let db = db_with_meta(true);
+        assert!(recover(&*db, &MemPager::new(256)).is_err());
+    }
+
+    #[test]
+    fn dirty_db_with_valid_empty_wal_just_clears_the_flag() {
+        let db = db_with_meta(true);
+        let wal_pager = Arc::new(MemPager::new(256));
+        Wal::create(Arc::clone(&wal_pager) as Arc<dyn Pager>, 256).unwrap();
+        let report = recover(&*db, &*wal_pager).unwrap();
+        assert!(report.recovered);
+        assert!(report.db_was_dirty);
+        assert_eq!(report.replayed_txns, 0);
+        assert!(matches!(inspect_meta(&*db).unwrap(), MetaState::Clean));
+    }
+
+    #[test]
+    fn replay_applies_committed_images_and_is_idempotent() {
+        let db = db_with_meta(true);
+        let wal_pager = Arc::new(MemPager::new(256));
+        let wal = Wal::create(Arc::clone(&wal_pager) as Arc<dyn Pager>, 256).unwrap();
+        // One committed transaction growing the db to 3 pages, plus an
+        // uncommitted tail that must not be applied.
+        wal.append_begin().unwrap();
+        wal.append_image(1, &stamped(0x11)).unwrap();
+        wal.append_image(2, &stamped(0x22)).unwrap();
+        wal.append_commit(7).unwrap();
+        wal.append_begin().unwrap();
+        wal.append_image(1, &stamped(0xEE)).unwrap();
+        wal.sync().unwrap();
+
+        let report = recover(&*db, &*wal_pager).unwrap();
+        assert!(report.recovered);
+        assert_eq!(report.replayed_txns, 1);
+        assert_eq!(report.replayed_pages, 2);
+        assert_eq!(report.last_epoch, 7);
+        let mut buf = vec![0u8; 256];
+        db.read_page(PageId(1), &mut buf).unwrap();
+        assert_eq!(buf, stamped(0x11), "committed image applied, not the dangling one");
+        db.read_page(PageId(2), &mut buf).unwrap();
+        assert_eq!(buf, stamped(0x22));
+
+        // Second pass: same writes, same outcome, flag still clear.
+        let snapshot: Vec<Vec<u8>> = (0..db.page_count())
+            .map(|i| {
+                let mut b = vec![0u8; 256];
+                db.read_page(PageId(i), &mut b).unwrap();
+                b
+            })
+            .collect();
+        let again = recover(&*db, &*wal_pager).unwrap();
+        assert_eq!(again.replayed_txns, 1);
+        for (i, before) in snapshot.iter().enumerate() {
+            let mut b = vec![0u8; 256];
+            db.read_page(PageId(i as u32), &mut b).unwrap();
+            assert_eq!(&b, before, "replay twice must be byte-identical (page {i})");
+        }
+    }
+
+    #[test]
+    fn page_size_mismatch_is_rejected() {
+        let db = db_with_meta(true);
+        let wal_pager = Arc::new(MemPager::new(256));
+        let wal = Wal::create(Arc::clone(&wal_pager) as Arc<dyn Pager>, 512).unwrap();
+        wal.append_begin().unwrap();
+        wal.append_commit(2).unwrap();
+        wal.sync().unwrap();
+        assert!(recover(&*db, &*wal_pager).is_err());
+    }
+
+    #[test]
+    fn recover_files_rounds_torn_wal_tail_down() {
+        let dir = std::env::temp_dir().join(format!("xk-recov-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let db_path = dir.join("idx.db");
+        let wal_path = dir.join("idx.db.wal");
+        {
+            let env = StorageEnv::create(&db_path, EnvOptions { page_size: 256, pool_pages: 16 })
+                .unwrap();
+            env.flush().unwrap();
+        }
+        {
+            let pager =
+                Arc::new(FilePager::create(&wal_path, WAL_PAGE_SIZE).unwrap());
+            let wal = Wal::create(Arc::clone(&pager) as Arc<dyn Pager>, 256).unwrap();
+            wal.append_begin().unwrap();
+            wal.append_image(1, &stamped(0x55)).unwrap();
+            wal.append_commit(3).unwrap();
+            wal.sync().unwrap();
+        }
+        // Simulate a torn final append: the file ends mid-page.
+        let bytes = std::fs::read(&wal_path).unwrap();
+        let mut torn = bytes.clone();
+        torn.extend_from_slice(&[0xAB; 100]);
+        std::fs::write(&wal_path, &torn).unwrap();
+
+        let report = recover_files(&db_path, &wal_path).unwrap();
+        assert_eq!(report.replayed_txns, 1);
+        assert_eq!(report.last_epoch, 3);
+        assert_eq!(
+            std::fs::metadata(&wal_path).unwrap().len() % WAL_PAGE_SIZE as u64,
+            0,
+            "torn tail truncated to a page boundary"
+        );
+        // Missing WAL with a clean database: a no-op.
+        std::fs::remove_file(&wal_path).unwrap();
+        let report = recover_files(&db_path, &wal_path).unwrap();
+        assert!(!report.recovered);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

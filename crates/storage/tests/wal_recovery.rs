@@ -1,0 +1,313 @@
+//! Crash-injection sweep over the durable write path.
+//!
+//! One deterministic transactional workload runs against fault-wrapped
+//! in-memory pagers. The sweep then re-runs it, killing the process
+//! model at *every* database sync point, every WAL sync point, and with
+//! a torn write at every WAL write index after setup. After each crash,
+//! [`xk_storage::recover`] replays the log and the resulting database
+//! must equal the state after some *prefix* of the workload's
+//! transactions — never a mix — and that prefix must cover every
+//! transaction whose durability was confirmed before the crash.
+//! Recovery is also run twice each time: the second pass must be a
+//! byte-identical no-op (replay is idempotent).
+//!
+//! Crashes *during setup* (before the database file and WAL exist) are
+//! out of scope: that contract is "recreate from scratch", handled at
+//! the engine layer, not "recover".
+
+use std::sync::Arc;
+use xk_storage::fault::{FaultConfig, FaultPager};
+use xk_storage::recovery::recover;
+use xk_storage::wal::Wal;
+use xk_storage::{EnvOptions, MemPager, PageId, Pager, StorageEnv, StorageError};
+
+const PAGE: usize = 256;
+const NPAGES: usize = 6;
+const NTXNS: u8 = 8;
+
+/// Everything the sweep needs to know about one (possibly crashed) run.
+struct RunOutcome {
+    db: Arc<MemPager>,
+    wal: Arc<MemPager>,
+    /// Transactions whose `sync_wal` returned Ok before the crash.
+    durable: usize,
+    crashed: bool,
+    db_setup_syncs: u64,
+    wal_setup_syncs: u64,
+    wal_setup_writes: u64,
+    db_syncs: u64,
+    wal_syncs: u64,
+    wal_writes: u64,
+}
+
+/// Expected page fills after each transaction prefix (index = number of
+/// transactions applied; pages are `PageId(1..=NPAGES)`).
+fn model_states() -> Vec<[u8; NPAGES]> {
+    let mut states = vec![[0u8; NPAGES]];
+    let mut cur = [1u8; NPAGES]; // txn 1 fills every page with 1
+    states.push(cur);
+    for t in 2..=NTXNS {
+        for off in 0..3 {
+            cur[(t as usize + off) % NPAGES] = t;
+        }
+        states.push(cur);
+    }
+    states
+}
+
+/// The scripted workload: one allocating transaction, then seven
+/// three-page overwrite transactions, with a full checkpoint (flush +
+/// WAL reset) in the middle and at the end. Every step uses `?` so the
+/// first injected failure stops the run exactly where a crash would.
+fn steps(env: &StorageEnv, durable: &mut usize) -> xk_storage::Result<()> {
+    env.begin_txn()?;
+    let pages: Vec<PageId> = (0..NPAGES)
+        .map(|_| env.allocate_page())
+        .collect::<xk_storage::Result<_>>()?;
+    for &p in &pages {
+        env.with_page_mut(p, |d| d.fill(1))?;
+    }
+    env.commit_txn()?;
+    env.sync_wal()?;
+    *durable = 1;
+    for t in 2..=NTXNS {
+        env.begin_txn()?;
+        for off in 0..3 {
+            let p = pages[(t as usize + off) % NPAGES];
+            env.with_page_mut(p, |d| d.fill(t))?;
+        }
+        env.commit_txn()?;
+        env.sync_wal()?;
+        *durable = t as usize;
+        if t == 5 {
+            env.flush()?; // mid-run checkpoint: retires the log
+        }
+    }
+    env.flush()?;
+    Ok(())
+}
+
+fn run_workload(db_cfg: FaultConfig, wal_cfg: FaultConfig) -> RunOutcome {
+    let db = Arc::new(MemPager::new(PAGE));
+    let wal_mem = Arc::new(MemPager::new(PAGE));
+    let db_fault = FaultPager::new(Box::new(Arc::clone(&db)), db_cfg);
+    let wal_fault = FaultPager::new(Box::new(Arc::clone(&wal_mem)), wal_cfg);
+    let db_probe = db_fault.probe();
+    let wal_probe = wal_fault.probe();
+
+    let mut out = RunOutcome {
+        db,
+        wal: wal_mem,
+        durable: 0,
+        crashed: true,
+        db_setup_syncs: 0,
+        wal_setup_syncs: 0,
+        wal_setup_writes: 0,
+        db_syncs: 0,
+        wal_syncs: 0,
+        wal_writes: 0,
+    };
+    let finish = |out: &mut RunOutcome| {
+        out.db_syncs = db_probe.syncs();
+        out.wal_syncs = wal_probe.syncs();
+        out.wal_writes = wal_probe.writes();
+    };
+
+    // Setup: database file, initial checkpoint, WAL. Sweeps start after
+    // this point (see module docs).
+    let mut env = match StorageEnv::create_with_pager(Box::new(db_fault), 16) {
+        Ok(env) => env,
+        Err(_) => {
+            finish(&mut out);
+            return out;
+        }
+    };
+    let setup = (|| -> xk_storage::Result<()> {
+        env.flush()?;
+        let wal = Wal::create(Arc::new(wal_fault) as Arc<dyn Pager>, PAGE as u32)?;
+        env.attach_wal(wal)?;
+        Ok(())
+    })();
+    if setup.is_err() {
+        finish(&mut out);
+        std::mem::forget(env);
+        return out;
+    }
+    out.db_setup_syncs = db_probe.syncs();
+    out.wal_setup_syncs = wal_probe.syncs();
+    out.wal_setup_writes = wal_probe.writes();
+
+    out.crashed = steps(&env, &mut out.durable).is_err();
+    finish(&mut out);
+    // Crashed or not, the env must not run its Drop flush: a real crash
+    // gets no destructors, and the success path flushed explicitly.
+    std::mem::forget(env);
+    out
+}
+
+fn dump(pager: &MemPager) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let mut buf = vec![0u8; pager.page_size()];
+    for i in 0..pager.page_count() {
+        pager.read_page(PageId(i), &mut buf).unwrap();
+        bytes.extend_from_slice(&buf);
+    }
+    bytes
+}
+
+/// Recovers the crashed pagers (twice — the second pass must change
+/// nothing) and checks the database equals a transaction prefix that
+/// covers everything confirmed durable.
+fn verify_recovery(out: &RunOutcome, label: &str) {
+    recover(&*out.db, &*out.wal).unwrap_or_else(|e| panic!("{label}: recovery failed: {e}"));
+    let first = dump(&out.db);
+    let report = recover(&*out.db, &*out.wal)
+        .unwrap_or_else(|e| panic!("{label}: second recovery failed: {e}"));
+    assert_eq!(first, dump(&out.db), "{label}: replay must be idempotent");
+    let _ = report;
+
+    let env = StorageEnv::open_with_pager(Box::new(Arc::clone(&out.db)), 16)
+        .unwrap_or_else(|e| panic!("{label}: post-recovery open failed: {e}"));
+    let states = model_states();
+    if (env.page_count() as usize) < 1 + NPAGES {
+        // The allocating transaction never became durable.
+        assert_eq!(out.durable, 0, "{label}: durable txn lost with no data pages");
+        return;
+    }
+    let mut observed = [0u8; NPAGES];
+    for (i, slot) in observed.iter_mut().enumerate() {
+        *slot = env
+            .with_page(PageId(i as u32 + 1), |d| {
+                let fill = d[0];
+                assert!(d.iter().all(|&b| b == fill), "{label}: torn page {}", i + 1);
+                fill
+            })
+            .unwrap_or_else(|e| panic!("{label}: read of page {} failed: {e}", i + 1));
+    }
+    let prefix = states
+        .iter()
+        .position(|s| *s == observed)
+        .unwrap_or_else(|| panic!("{label}: state {observed:?} matches no transaction prefix"));
+    assert!(
+        prefix >= out.durable,
+        "{label}: confirmed-durable prefix {} lost, recovered only {prefix}",
+        out.durable
+    );
+}
+
+#[test]
+fn baseline_workload_is_clean() {
+    let out = run_workload(FaultConfig::none(), FaultConfig::none());
+    assert!(!out.crashed, "no faults, no crash");
+    assert_eq!(out.durable, NTXNS as usize);
+    // A clean shutdown needs no recovery and reopens directly.
+    let env = StorageEnv::open_with_pager(Box::new(Arc::clone(&out.db)), 16).unwrap();
+    let last = *model_states().last().unwrap();
+    for (i, &fill) in last.iter().enumerate() {
+        assert_eq!(env.with_page(PageId(i as u32 + 1), |d| d[0]).unwrap(), fill);
+    }
+    // The final checkpoint retired the log.
+    let scan = Wal::scan(&*out.wal).unwrap().expect("valid log");
+    assert!(scan.committed.is_empty());
+}
+
+#[test]
+fn crash_at_every_wal_sync_point_recovers_a_durable_prefix() {
+    let baseline = run_workload(FaultConfig::none(), FaultConfig::none());
+    assert!(!baseline.crashed);
+    assert!(
+        baseline.wal_syncs - baseline.wal_setup_syncs >= NTXNS as u64,
+        "sweep degenerated: {} WAL sync points after setup",
+        baseline.wal_syncs - baseline.wal_setup_syncs
+    );
+    for k in baseline.wal_setup_syncs..baseline.wal_syncs {
+        let out = run_workload(
+            FaultConfig::none(),
+            FaultConfig { fail_sync_at: Some(k), ..FaultConfig::none() },
+        );
+        assert!(out.crashed, "wal sync {k} of {} must crash the run", baseline.wal_syncs);
+        verify_recovery(&out, &format!("wal sync crash at {k}"));
+    }
+}
+
+#[test]
+fn crash_at_every_db_sync_point_recovers_a_durable_prefix() {
+    let baseline = run_workload(FaultConfig::none(), FaultConfig::none());
+    assert!(!baseline.crashed);
+    assert!(
+        baseline.db_syncs - baseline.db_setup_syncs >= 4,
+        "sweep degenerated: {} db sync points after setup",
+        baseline.db_syncs - baseline.db_setup_syncs
+    );
+    for k in baseline.db_setup_syncs..baseline.db_syncs {
+        let out = run_workload(
+            FaultConfig { fail_sync_at: Some(k), ..FaultConfig::none() },
+            FaultConfig::none(),
+        );
+        assert!(out.crashed, "db sync {k} of {} must crash the run", baseline.db_syncs);
+        verify_recovery(&out, &format!("db sync crash at {k}"));
+    }
+}
+
+#[test]
+fn torn_wal_write_at_every_index_truncates_to_a_durable_prefix() {
+    let baseline = run_workload(FaultConfig::none(), FaultConfig::none());
+    assert!(!baseline.crashed);
+    assert!(
+        baseline.wal_writes - baseline.wal_setup_writes >= NTXNS as u64,
+        "sweep degenerated: {} WAL write points after setup",
+        baseline.wal_writes - baseline.wal_setup_writes
+    );
+    for k in baseline.wal_setup_writes..baseline.wal_writes {
+        let out = run_workload(
+            FaultConfig::none(),
+            FaultConfig { torn_write_at: Some(k), seed: 0xC0FFEE ^ k, ..FaultConfig::none() },
+        );
+        assert!(out.crashed, "torn wal write {k} of {} must crash the run", baseline.wal_writes);
+        verify_recovery(&out, &format!("torn wal write at {k}"));
+    }
+}
+
+#[test]
+fn dirty_db_with_missing_wal_is_refused() {
+    // A dirty database whose WAL vanished cannot be silently accepted.
+    let out = run_workload(
+        FaultConfig::none(),
+        FaultConfig { fail_sync_at: Some(4), ..FaultConfig::none() },
+    );
+    assert!(out.crashed);
+    let empty = MemPager::new(PAGE);
+    match recover(&*out.db, &empty) {
+        Err(StorageError::Corrupt(msg)) => {
+            assert!(msg.contains("no write-ahead log"), "unexpected message: {msg}")
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn recovered_env_accepts_new_durable_transactions() {
+    // Crash mid-run, recover, then continue with a fresh WAL generation:
+    // the normal restart path the engine will take.
+    let out = run_workload(
+        FaultConfig::none(),
+        FaultConfig { fail_sync_at: Some(6), ..FaultConfig::none() },
+    );
+    assert!(out.crashed);
+    recover(&*out.db, &*out.wal).unwrap();
+    let mut env = StorageEnv::open_with_pager(
+        Box::new(Arc::clone(&out.db)),
+        EnvOptions::default().pool_pages,
+    )
+    .unwrap();
+    let wal = Wal::open_or_reinit(Arc::clone(&out.wal) as Arc<dyn Pager>, PAGE as u32).unwrap();
+    env.attach_wal(wal).unwrap();
+    env.begin_txn().unwrap();
+    let p = env.allocate_page().unwrap();
+    env.with_page_mut(p, |d| d.fill(0xEE)).unwrap();
+    let commit = env.commit_txn().unwrap();
+    env.sync_wal().unwrap();
+    env.wait_wal_durable(commit.lsn).unwrap();
+    env.flush().unwrap();
+    assert_eq!(env.with_page(p, |d| d[0]).unwrap(), 0xEE);
+}

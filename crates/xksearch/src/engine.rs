@@ -7,15 +7,40 @@
 //! recommends), and reports the SLCAs together with operation counts,
 //! buffer-pool I/O deltas, and wall-clock time — the measurements the
 //! experiments in Section 6 chart.
+//!
+//! ## The durable write path
+//!
+//! Mutations ([`Engine::append_subtree`]) run as storage transactions:
+//! every touched page is captured in an undo log and, when the engine
+//! was opened with [`Engine::open_durable`], written to a write-ahead
+//! log before the commit record that makes the transaction real. The
+//! commit record is the atomicity point — a crash before it loses the
+//! append entirely, a crash after it replays the append from the WAL
+//! ([`xk_storage::recover`]).
+//!
+//! Reads are **snapshot isolated**: every query pins the committed
+//! epoch at entry and page reads serve pre-images for anything a
+//! concurrent transaction touches afterwards, so queries never observe
+//! a half-applied append and `append_subtree` only needs `&self`.
+//!
+//! Durability has two modes: [`CommitMode::SyncEachCommit`] fsyncs the
+//! WAL inside every append, while [`CommitMode::GroupCommit`] (the
+//! default) lets a background committer thread batch the fsyncs of all
+//! appends that land within one flush interval into a single sync.
 
 use crate::error::{EngineError, Result};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use std::time::{Duration, Instant};
-use xk_index::{build_disk_index_with, DiskIndex, SharedEnv};
+use xk_index::{build_disk_index_with, DiskIndex, DiskRankedList, DiskStreamList, SharedEnv};
 use xk_slca::{
     all_lcas, indexed_lookup_eager, scan_eager, stack_merge, AlgoStats, LcaKind, RankedList,
 };
-use xk_storage::{EnvOptions, IoStats, StorageEnv};
+use xk_storage::{
+    EnvOptions, FilePager, IoStats, Pager, ReadPin, RecoveryReport, StorageEnv, Wal,
+    WAL_PAGE_SIZE,
+};
 use xk_xmltree::{normalize_keyword, Dewey, XmlTree};
 
 /// Which SLCA algorithm to run.
@@ -51,6 +76,50 @@ impl std::fmt::Display for Algorithm {
     }
 }
 
+/// When an append is acknowledged as durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitMode {
+    /// A background committer thread fsyncs the WAL every
+    /// [`DurabilityOptions::flush_interval`]; concurrent appends that
+    /// commit within one interval share a single fsync (the classic
+    /// group commit). Appends block until their commit record is synced.
+    GroupCommit,
+    /// Every append fsyncs the WAL before returning — lowest latency to
+    /// durability, one fsync per append.
+    SyncEachCommit,
+}
+
+/// Configuration for the durable write path
+/// ([`Engine::open_durable`]).
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    pub mode: CommitMode,
+    /// How often the group-commit thread fsyncs the WAL (ignored under
+    /// [`CommitMode::SyncEachCommit`]).
+    pub flush_interval: Duration,
+    /// Where the write-ahead log lives; defaults to `<db_path>.wal`
+    /// (see [`default_wal_path`]).
+    pub wal_path: Option<PathBuf>,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        DurabilityOptions {
+            mode: CommitMode::GroupCommit,
+            flush_interval: Duration::from_millis(2),
+            wal_path: None,
+        }
+    }
+}
+
+/// The WAL path used when [`DurabilityOptions::wal_path`] is `None`:
+/// the database path with `.wal` appended (`school.db` → `school.db.wal`).
+pub fn default_wal_path(db_path: &Path) -> PathBuf {
+    let mut os = db_path.as_os_str().to_os_string();
+    os.push(".wal");
+    PathBuf::from(os)
+}
+
 /// The result of one keyword query.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
@@ -70,6 +139,10 @@ pub struct QueryOutcome {
     pub io: IoStats,
     /// Wall-clock query time.
     pub elapsed: Duration,
+    /// The committed epoch this query observed (its snapshot). A cached
+    /// answer for a keyword set is stale exactly when some later commit
+    /// touched one of its keywords.
+    pub epoch: u64,
 }
 
 /// The result of an all-LCA query (Section 5).
@@ -81,17 +154,60 @@ pub struct LcaOutcome {
     pub stats: AlgoStats,
     pub io: IoStats,
     pub elapsed: Duration,
+    /// The committed epoch this query observed (see
+    /// [`QueryOutcome::epoch`]).
+    pub epoch: u64,
+}
+
+/// What one successful [`Engine::append_subtree`] did.
+#[derive(Debug, Clone)]
+pub struct AppendOutcome {
+    /// The Dewey id of the appended fragment's root.
+    pub root: Dewey,
+    /// The epoch the commit published; queries from this epoch on see
+    /// the new nodes.
+    pub epoch: u64,
+    /// The distinct normalized keywords whose lists changed, in
+    /// first-touch order — result caches use this to evict exactly the
+    /// entries the append could have invalidated.
+    pub touched: Vec<String>,
+}
+
+/// The group-commit machinery of a durable engine.
+struct DurabilityCtl {
+    mode: CommitMode,
+    stop: Arc<AtomicBool>,
+    committer: Option<std::thread::JoinHandle<()>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// A disk-backed XKSearch engine.
+///
+/// All operations — including [`Engine::append_subtree`] — take
+/// `&self`; queries run against a pinned snapshot while appends commit
+/// transactionally, so readers and the writer never block each other on
+/// data access.
 pub struct Engine {
     env: SharedEnv,
-    index: DiskIndex,
-    document: Option<XmlTree>,
+    /// The in-memory face of the index (frequency table, list handles,
+    /// B+tree root). Swapped wholesale after each commit; queries read
+    /// it briefly to build their list adapters.
+    index: RwLock<DiskIndex>,
+    /// The committed epoch `index` describes. Paired with the snapshot
+    /// pin in [`Engine::read_view`] so a query's in-memory metadata and
+    /// its page reads always belong to the same epoch.
+    index_epoch: AtomicU64,
+    document: Mutex<Option<XmlTree>>,
+    /// Serializes appenders (single-writer); queries never take it.
+    append_lock: Mutex<()>,
     /// Bumped on every successful mutation ([`Engine::append_subtree`]);
-    /// result caches key their entries on this so served answers can
+    /// coarse caches key their entries on this so served answers can
     /// never go stale (see `xk_server::QueryCache`).
-    version: std::sync::atomic::AtomicU64,
+    version: AtomicU64,
+    durability: Option<DurabilityCtl>,
 }
 
 impl Engine {
@@ -144,37 +260,132 @@ impl Engine {
         Self::from_env(env)
     }
 
-    /// Opens an existing index file.
+    /// Opens an existing index file **without** a write-ahead log.
+    /// Appends are still transactional (atomic in memory and on a clean
+    /// flush) but a crash between commit and flush loses them; use
+    /// [`Engine::open_durable`] for crash durability.
     pub fn open(db_path: impl AsRef<Path>, options: EnvOptions) -> Result<Engine> {
         let env = StorageEnv::open(db_path, options)?;
         Self::from_env(env)
     }
 
+    /// Opens an existing index file with the durable write path: runs
+    /// crash recovery ([`xk_storage::recover_files`]) over the database
+    /// and its WAL, then attaches a fresh-generation WAL so every
+    /// subsequent append is redo-logged before its commit record.
+    ///
+    /// Returns the engine together with the [`RecoveryReport`] saying
+    /// what (if anything) recovery replayed.
+    pub fn open_durable(
+        db_path: impl AsRef<Path>,
+        options: EnvOptions,
+        durability: DurabilityOptions,
+    ) -> Result<(Engine, RecoveryReport)> {
+        let db_path = db_path.as_ref();
+        let wal_path =
+            durability.wal_path.clone().unwrap_or_else(|| default_wal_path(db_path));
+        let report = xk_storage::recover_files(db_path, &wal_path)?;
+        let mut env = StorageEnv::open(db_path, options)?;
+        // recover_files already truncated a torn WAL tail to a page
+        // multiple, so reopening it is safe; a missing WAL starts empty.
+        let wal_pager: Arc<dyn Pager> = if wal_path.exists() {
+            Arc::new(FilePager::open(&wal_path, WAL_PAGE_SIZE)?)
+        } else {
+            Arc::new(FilePager::create(&wal_path, WAL_PAGE_SIZE)?)
+        };
+        let wal = Wal::open_or_reinit(wal_pager, env.physical_page_size() as u32)?;
+        env.attach_wal(wal)?;
+        let engine = Self::from_parts(env, Some(durability))?;
+        Ok((engine, report))
+    }
+
+    /// [`Engine::open_durable`] over caller-supplied pagers (crash and
+    /// fault-injection tests drive this with [`xk_storage::FaultPager`]
+    /// or shared [`xk_storage::MemPager`]s).
+    pub fn open_durable_with_pagers(
+        db: Arc<dyn Pager>,
+        wal: Arc<dyn Pager>,
+        pool_pages: usize,
+        durability: DurabilityOptions,
+    ) -> Result<(Engine, RecoveryReport)> {
+        let report = xk_storage::recover(&*db, &*wal)?;
+        let mut env = StorageEnv::open_with_pager(Box::new(db), pool_pages)?;
+        let attached = Wal::open_or_reinit(wal, env.physical_page_size() as u32)?;
+        env.attach_wal(attached)?;
+        let engine = Self::from_parts(env, Some(durability))?;
+        Ok((engine, report))
+    }
+
     /// Wraps an already-constructed storage environment (tests and tools
     /// that build their index over a custom [`Pager`], e.g. a fault
     /// injector). The environment must already hold a built index.
-    ///
-    /// [`Pager`]: xk_storage::Pager
     pub fn from_env(env: StorageEnv) -> Result<Engine> {
+        Self::from_parts(env, None)
+    }
+
+    fn from_parts(env: StorageEnv, durability: Option<DurabilityOptions>) -> Result<Engine> {
         let index = DiskIndex::open(&env)?;
+        let index_epoch = AtomicU64::new(env.current_epoch());
+        let env = SharedEnv::new(env);
+        let durability = match durability {
+            None => None,
+            Some(opts) => {
+                let stop = Arc::new(AtomicBool::new(false));
+                let committer = match opts.mode {
+                    CommitMode::SyncEachCommit => None,
+                    CommitMode::GroupCommit => {
+                        Some(spawn_committer(env.clone(), Arc::clone(&stop), opts.flush_interval)?)
+                    }
+                };
+                Some(DurabilityCtl { mode: opts.mode, stop, committer })
+            }
+        };
         Ok(Engine {
-            env: SharedEnv::new(env),
-            index,
-            document: None,
-            version: std::sync::atomic::AtomicU64::new(0),
+            env,
+            index: RwLock::new(index),
+            index_epoch,
+            document: Mutex::new(None),
+            append_lock: Mutex::new(()),
+            version: AtomicU64::new(0),
+            durability,
         })
     }
 
     /// A counter that changes whenever the indexed data changes (every
     /// successful [`Engine::append_subtree`]). Cache entries tagged with
-    /// an older version must be discarded.
+    /// an older version must be discarded. For scoped invalidation use
+    /// the epochs in [`QueryOutcome::epoch`] / [`AppendOutcome`] instead.
     pub fn data_version(&self) -> u64 {
-        self.version.load(std::sync::atomic::Ordering::Acquire)
+        self.version.load(Ordering::Acquire)
     }
 
-    /// The underlying index (frequency table, vocabulary).
-    pub fn index(&self) -> &DiskIndex {
-        &self.index
+    /// The committed epoch — advances on every commit.
+    pub fn current_epoch(&self) -> u64 {
+        self.env.with(|e| e.current_epoch())
+    }
+
+    /// The underlying index (frequency table, vocabulary). The guard
+    /// holds appends out of their commit step; drop it promptly.
+    pub fn index(&self) -> RwLockReadGuard<'_, DiskIndex> {
+        self.index.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// An index read guard paired with a snapshot pin at the **same**
+    /// epoch, so in-memory metadata (list handles, counts, B+tree root
+    /// slot) and page reads describe one consistent committed state. The
+    /// retry closes the microseconds-wide window in `append_subtree`
+    /// between publishing a commit's epoch and swapping the index.
+    fn read_view(&self) -> (RwLockReadGuard<'_, DiskIndex>, ReadPin<'_>) {
+        loop {
+            let index = self.index.read().unwrap_or_else(|e| e.into_inner());
+            let pin = self.env.pin_snapshot();
+            if pin.epoch() == self.index_epoch.load(Ordering::Acquire) {
+                return (index, pin);
+            }
+            drop(pin);
+            drop(index);
+            std::thread::yield_now();
+        }
     }
 
     /// Runs `f` against the storage environment (for cache control and
@@ -190,145 +401,115 @@ impl Engine {
     }
 
     /// Sequential access to a keyword's list (tools, benches). `None` if
-    /// the keyword does not occur.
-    pub fn stream_list(&self, keyword: &str) -> Option<xk_index::DiskStreamList> {
-        self.index.stream_list(self.env.clone(), keyword)
+    /// the keyword does not occur. Unpinned: concurrent appends may be
+    /// observed mid-flight — use [`Engine::query`] for consistent reads.
+    pub fn stream_list(&self, keyword: &str) -> Option<DiskStreamList> {
+        self.index().stream_list(self.env.clone(), keyword)
     }
 
     /// Indexed (`lm`/`rm`) access to a keyword's list (tools, benches).
-    /// `None` if the keyword does not occur.
-    pub fn ranked_list(&self, keyword: &str) -> Option<xk_index::DiskRankedList> {
-        self.index.ranked_list(self.env.clone(), keyword)
-    }
-
-    /// Normalizes, validates, and frequency-orders the query keywords.
-    /// Returns `None` if any keyword does not occur (empty result).
-    fn prepare(&self, keywords: &[&str]) -> Result<Option<(Vec<String>, Vec<u64>)>> {
-        let mut normalized = Vec::with_capacity(keywords.len());
-        for raw in keywords {
-            let k = normalize_keyword(raw)
-                .ok_or_else(|| EngineError::BadQuery(format!("empty keyword {raw:?}")))?;
-            if !normalized.contains(&k) {
-                normalized.push(k);
-            }
-        }
-        if normalized.is_empty() {
-            return Err(EngineError::BadQuery("no keywords given".into()));
-        }
-        let mut with_freq = Vec::with_capacity(normalized.len());
-        for k in normalized {
-            match self.index.lookup(&k) {
-                Some(meta) => with_freq.push((k, meta.count)),
-                None => return Ok(None), // a keyword with no occurrences
-            }
-        }
-        // Smallest list first — the paper's S_1 choice.
-        with_freq.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
-        Ok(Some(with_freq.into_iter().unzip()))
-    }
-
-    fn resolve(&self, algorithm: Algorithm, frequencies: &[u64]) -> Algorithm {
-        match algorithm {
-            Algorithm::Auto => {
-                let min = *frequencies.first().unwrap_or(&1);
-                let max = *frequencies.last().unwrap_or(&1);
-                // xk-analyze: allow(panic_path, reason = "divisor is clamped by .max(1)")
-                if frequencies.len() >= 2 && max / min.max(1) >= AUTO_RATIO_THRESHOLD {
-                    Algorithm::IndexedLookupEager
-                } else {
-                    Algorithm::ScanEager
-                }
-            }
-            other => other,
-        }
+    /// `None` if the keyword does not occur. Unpinned, like
+    /// [`Engine::stream_list`].
+    pub fn ranked_list(&self, keyword: &str) -> Option<DiskRankedList> {
+        self.index().ranked_list(self.env.clone(), keyword)
     }
 
     /// Answers a keyword query with the chosen algorithm.
     ///
-    /// Safe to call from several threads at once (`&self`): each query
-    /// runs on a [`SharedEnv::fork`] with its own poison slot, so a
-    /// storage failure in one query errors out exactly that query. The
-    /// reported [`QueryOutcome::io`] delta is exact when the engine is
-    /// quiescent otherwise; concurrent queries share the global counters,
-    /// so each delta then *bounds* the query's own I/O.
+    /// Safe to call from several threads at once (`&self`), including
+    /// concurrently with [`Engine::append_subtree`]: the query pins the
+    /// committed epoch at entry and every page read serves that
+    /// snapshot, so an in-flight append is invisible until its commit.
+    /// Each query also runs on a [`SharedEnv::fork`] with its own poison
+    /// slot, so a storage failure in one query errors out exactly that
+    /// query. The reported [`QueryOutcome::io`] delta is exact when the
+    /// engine is quiescent otherwise; concurrent queries share the
+    /// global counters, so each delta then *bounds* the query's own I/O.
     // xk-analyze: root(panic_path)
     pub fn query(&self, keywords: &[&str], algorithm: Algorithm) -> Result<QueryOutcome> {
         let qenv = self.env.fork();
         let start = Instant::now();
         let io_before = qenv.with(|e| e.stats());
-        let Some((ordered, frequencies)) = self.prepare(keywords)? else {
+        let (index, pin) = self.read_view();
+        let epoch = pin.epoch();
+        let Some((ordered, frequencies)) = prepare(&index, keywords)? else {
             return Ok(QueryOutcome {
                 slcas: Vec::new(),
-                algorithm: self.resolve(algorithm, &[]),
+                algorithm: resolve(algorithm, &[]),
                 keywords: keywords.iter().map(|s| s.to_string()).collect(),
                 frequencies: Vec::new(),
                 stats: AlgoStats::default(),
                 io: IoStats::default(),
                 elapsed: start.elapsed(),
+                epoch,
             });
         };
-        let algorithm = self.resolve(algorithm, &frequencies);
+        let algorithm = resolve(algorithm, &frequencies);
 
-        let mut slcas = Vec::new();
-        let stats = match algorithm {
-            Algorithm::IndexedLookupEager => {
-                let mut s1 = self
-                    .index
-                    .stream_list(qenv.clone(), &ordered[0])
-                    // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
-                    .expect("keyword verified present");
+        // Build every list adapter under the index read guard, then
+        // release the guard before running the algorithms: the adapters
+        // are self-contained, and a committing append must not wait on a
+        // long-running query to swap the index. Reads stay consistent
+        // because the snapshot pin (held to the end) serves pre-images.
+        let mut s1_stream: Option<DiskStreamList> = None;
+        let mut ranked: Vec<DiskRankedList> = Vec::new();
+        let mut streams: Vec<DiskStreamList> = Vec::new();
+        match algorithm {
+            Algorithm::IndexedLookupEager | Algorithm::ScanEager => {
+                s1_stream = Some(
+                    index
+                        .stream_list(qenv.clone(), &ordered[0])
+                        // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
+                        .expect("keyword verified present"),
+                );
                 // Each non-smallest list holds one anchored B+tree cursor
                 // for the whole candidate loop: the probes are near-sorted,
-                // so most lm/rm pairs resolve inside the pinned leaf.
-                let mut others: Vec<_> = ordered[1..]
+                // so most lm/rm pairs resolve inside the pinned leaf. Scan
+                // Eager's sorted witness stream degenerates those probes
+                // into leaf-chain hops — the paper's sequential scans —
+                // without a separate scanning code path.
+                ranked = ordered[1..]
                     .iter()
                     .map(|k| {
-                        self.index
+                        index
                             .ranked_list(qenv.clone(), k)
                             // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
                             .expect("keyword verified present")
                             .anchored()
                     })
                     .collect();
-                let mut refs: Vec<&mut dyn RankedList> =
-                    others.iter_mut().map(|l| l as &mut dyn RankedList).collect();
-                indexed_lookup_eager(&mut s1, &mut refs, |d| slcas.push(d))
-            }
-            Algorithm::ScanEager => {
-                let mut s1 = self
-                    .index
-                    .stream_list(qenv.clone(), &ordered[0])
-                    // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
-                    .expect("keyword verified present");
-                // Scan Eager's forward cursors are the same anchored
-                // B+tree cursors IL uses: the witness stream is sorted, so
-                // the anchored lm/rm probes degenerate into leaf-chain
-                // hops — the paper's sequential scans — without a separate
-                // scanning code path.
-                let others: Vec<_> = ordered[1..]
-                    .iter()
-                    .map(|k| {
-                        self.index
-                            .ranked_list(qenv.clone(), k)
-                            // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
-                            .expect("keyword verified present")
-                            .anchored()
-                    })
-                    .collect();
-                scan_eager(&mut s1, others, |d| slcas.push(d))
             }
             Algorithm::Stack => {
-                let lists: Vec<_> = ordered
+                streams = ordered
                     .iter()
                     .map(|k| {
-                        self.index
+                        index
                             .stream_list(qenv.clone(), k)
                             // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
                             .expect("keyword verified present")
                     })
                     .collect();
-                stack_merge(lists, |d| slcas.push(d))
             }
+            // xk-analyze: allow(panic_path, reason = "resolve() never returns Auto")
+            Algorithm::Auto => unreachable!("resolved above"),
+        }
+        drop(index);
+
+        let mut slcas = Vec::new();
+        let stats = match algorithm {
+            Algorithm::IndexedLookupEager => {
+                // xk-analyze: allow(panic_path, reason = "s1_stream was filled in the matching arm above")
+                let mut s1 = s1_stream.expect("built above");
+                let mut refs: Vec<&mut dyn RankedList> =
+                    ranked.iter_mut().map(|l| l as &mut dyn RankedList).collect();
+                indexed_lookup_eager(&mut s1, &mut refs, |d| slcas.push(d))
+            }
+            Algorithm::ScanEager => {
+                // xk-analyze: allow(panic_path, reason = "s1_stream was filled in the matching arm above")
+                let mut s1 = s1_stream.expect("built above");
+                scan_eager(&mut s1, ranked, |d| slcas.push(d))
+            }
+            Algorithm::Stack => stack_merge(streams, |d| slcas.push(d)),
             // xk-analyze: allow(panic_path, reason = "resolve() never returns Auto")
             Algorithm::Auto => unreachable!("resolved above"),
         };
@@ -338,6 +519,7 @@ impl Engine {
         if let Some(e) = qenv.take_error() {
             return Err(e.into());
         }
+        drop(pin);
 
         let io = qenv.with(|e| e.stats()).delta_since(&io_before);
         Ok(QueryOutcome {
@@ -348,39 +530,44 @@ impl Engine {
             stats,
             io,
             elapsed: start.elapsed(),
+            epoch,
         })
     }
 
-    /// Answers an all-LCA query (Section 5, Algorithm 3).
+    /// Answers an all-LCA query (Section 5, Algorithm 3). Snapshot
+    /// isolated like [`Engine::query`].
     // xk-analyze: root(panic_path)
     pub fn query_all_lcas(&self, keywords: &[&str]) -> Result<LcaOutcome> {
         let qenv = self.env.fork();
         let start = Instant::now();
         let io_before = qenv.with(|e| e.stats());
-        let Some((ordered, _)) = self.prepare(keywords)? else {
+        let (index, pin) = self.read_view();
+        let epoch = pin.epoch();
+        let Some((ordered, _)) = prepare(&index, keywords)? else {
             return Ok(LcaOutcome {
                 lcas: Vec::new(),
                 keywords: keywords.iter().map(|s| s.to_string()).collect(),
                 stats: AlgoStats::default(),
                 io: IoStats::default(),
                 elapsed: start.elapsed(),
+                epoch,
             });
         };
-        let mut s1 = self
-            .index
+        let mut s1 = index
             .stream_list(qenv.clone(), &ordered[0])
             // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
             .expect("keyword verified present");
         let mut owned: Vec<_> = ordered
             .iter()
             .map(|k| {
-                self.index
+                index
                     .ranked_list(qenv.clone(), k)
                     // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
                     .expect("keyword verified present")
                     .anchored()
             })
             .collect();
+        drop(index);
         let mut refs: Vec<&mut dyn RankedList> =
             owned.iter_mut().map(|l| l as &mut dyn RankedList).collect();
         let mut lcas = Vec::new();
@@ -388,9 +575,10 @@ impl Engine {
         if let Some(e) = qenv.take_error() {
             return Err(e.into());
         }
+        drop(pin);
         lcas.sort_by(|a, b| a.0.cmp(&b.0));
         let io = qenv.with(|e| e.stats()).delta_since(&io_before);
-        Ok(LcaOutcome { lcas, keywords: ordered, stats, io, elapsed: start.elapsed() })
+        Ok(LcaOutcome { lcas, keywords: ordered, stats, io, elapsed: start.elapsed(), epoch })
     }
 
     /// Answers a batch of keyword queries, fanning them out across
@@ -408,8 +596,7 @@ impl Engine {
         algorithm: Algorithm,
         threads: usize,
     ) -> Vec<Result<QueryOutcome>> {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        use std::sync::Mutex;
+        use std::sync::atomic::AtomicUsize;
 
         let workers = threads.clamp(1, queries.len().max(1));
         if workers == 1 {
@@ -447,22 +634,32 @@ impl Engine {
             .collect()
     }
 
-    /// The indexed document, loaded lazily from the index file. Errors if
-    /// the index was built with `store_document = false`.
-    pub fn document(&mut self) -> Result<&XmlTree> {
-        if self.document.is_none() {
+    /// Loads the embedded document into `slot` if it is not there yet.
+    /// Runs under a consistent read view so a concurrent append can
+    /// never produce a torn document load.
+    fn ensure_document(&self, slot: &mut Option<XmlTree>) -> Result<()> {
+        if slot.is_none() {
+            let (index, _pin) = self.read_view();
             let doc = self
                 .env
-                .with(|e| self.index.load_document(e))?
+                .with(|e| index.load_document(e))?
                 .ok_or(EngineError::NoDocument)?;
-            self.document = Some(doc);
+            *slot = Some(doc);
         }
-        Ok(self.document.as_ref().expect("just loaded"))
+        Ok(())
     }
 
     /// Appends an XML fragment as the new last child of `parent` and
     /// indexes it incrementally — the log-structured growth model of a
     /// bibliography (new papers arrive at the end).
+    ///
+    /// The append is **atomic**: it runs as a storage transaction whose
+    /// touched pages are undo-logged (and, on a durable engine,
+    /// WAL-logged before the commit record). Any failure — codec error,
+    /// I/O fault mid-way — aborts the transaction and restores every
+    /// page, so concurrent and subsequent queries behave as if the
+    /// append never started. Queries running concurrently read their
+    /// pinned snapshot and are never blocked or torn by the append.
     ///
     /// Constraints:
     ///
@@ -475,28 +672,21 @@ impl Engine {
     ///   ([`xk_index::BuildOptions`]) wide enough for the new ordinals —
     ///   otherwise a codec error is returned and nothing changes.
     ///
-    /// Returns the Dewey id of the appended fragment's root.
-    pub fn append_subtree(&mut self, parent: &Dewey, fragment_xml: &str) -> Result<Dewey> {
-        // Take the document out so index and document can be updated
-        // without overlapping borrows; it is restored on every path.
-        self.document()?;
-        let mut doc = self.document.take().expect("document loaded above");
-        let result = self.append_into(&mut doc, parent, fragment_xml);
-        self.document = Some(doc);
-        if result.is_ok() {
-            self.version.fetch_add(1, std::sync::atomic::Ordering::Release);
-        }
-        result
-    }
-
-    fn append_into(
-        &mut self,
-        doc: &mut XmlTree,
-        parent: &Dewey,
-        fragment_xml: &str,
-    ) -> Result<Dewey> {
+    /// On a durable engine the call returns once the commit record is
+    /// fsynced (inline under [`CommitMode::SyncEachCommit`], at the next
+    /// group-commit flush otherwise). The durability wait happens
+    /// *outside* the append lock, which is what lets several appenders'
+    /// commit records share one fsync.
+    pub fn append_subtree(&self, parent: &Dewey, fragment_xml: &str) -> Result<AppendOutcome> {
         use xk_xmltree::NodeId;
 
+        let append_guard = lock(&self.append_lock);
+        let mut doc_slot = lock(&self.document);
+        self.ensure_document(&mut doc_slot)?;
+        // xk-analyze: allow(panic_path, reason = "ensure_document fills the slot or errors out above")
+        let doc = doc_slot.as_mut().expect("document loaded above");
+
+        // Validate everything before touching the tree or the disk.
         let parent_id = doc
             .node_at(parent)
             .ok_or_else(|| EngineError::BadQuery(format!("no node at {parent}")))?;
@@ -523,38 +713,170 @@ impl Engine {
                  incremental ingestion only supports appends at the tail"
             )));
         }
-
         let fragment = xk_xmltree::parse(fragment_xml)?;
-        let new_root = graft(doc, parent_id, &fragment, NodeId::ROOT);
 
-        // Index the new nodes; on codec failure, undo nothing on disk
-        // (append_nodes validates first) but drop the in-memory graft by
-        // reloading the stored document.
+        // Open the transaction *before* grafting: begin_txn itself can
+        // fail (marking the dirty flag touches the header page), and at
+        // that point the in-memory document must not yet be mutated.
+        // Then graft in memory and mutate the disk under the transaction
+        // against a scratch copy of the index. Nothing the scratch copy
+        // does is visible to queries until the swap after commit.
+        self.env.with(|e| e.begin_txn())?;
+        let new_root = graft(doc, parent_id, &fragment, NodeId::ROOT);
         let added: Vec<(Dewey, Vec<String>)> = doc
             .preorder_from(new_root)
             .map(|n| (doc.dewey(n), xk_index::node_tokens(doc, n)))
             .collect();
-        let index = &mut self.index;
-        let appended = self.env.with(|env| index.append_nodes(env, &added));
-        if let Err(e) = appended {
-            if let Some(fresh) = self.env.with(|env| index.load_document(env))? {
-                *doc = fresh;
+        let mut scratch = self.index().clone();
+        let applied = (|| -> Result<Vec<String>> {
+            let touched = self.env.with(|e| scratch.append_nodes(e, &added))?;
+            // Keep the embedded document in sync for rendering and
+            // reopening.
+            self.env.with(|e| scratch.store_document(e, doc))?;
+            Ok(touched)
+        })();
+        let touched = match applied {
+            Ok(touched) => touched,
+            Err(e) => {
+                // Roll back: the undo log restores every touched page,
+                // dropping the scratch index discards the in-memory
+                // half-update, and the grafted document is thrown away
+                // and lazily reloaded from the intact stored copy.
+                *doc_slot = None;
+                self.env.with(|env| env.abort_txn())?;
+                return Err(e);
             }
-            return Err(e.into());
+        };
+        let commit = match self.env.with(|e| e.commit_txn()) {
+            Ok(commit) => commit,
+            Err(e) => {
+                // A WAL append failure leaves the transaction open by
+                // contract so it can still be rolled back. Same abort
+                // protocol as a failed apply: restore every page, drop
+                // the grafted document, keep the old index.
+                *doc_slot = None;
+                self.env.with(|env| env.abort_txn())?;
+                return Err(e.into());
+            }
+        };
+        let root = doc.dewey(new_root);
+        {
+            // xk-analyze: allow(lock_order, reason = "false positive: index() clones under a read guard dropped at the end of its own statement; only the write lock is held here")
+            let mut w = self.index.write().unwrap_or_else(|e| e.into_inner());
+            *w = scratch;
+            self.index_epoch.store(commit.epoch, Ordering::Release);
         }
-        // Keep the embedded document in sync for rendering and reopening.
-        self.env.with(|env| index.store_document(env, doc))?;
-        Ok(doc.dewey(new_root))
+        self.version.fetch_add(1, Ordering::Release);
+        drop(doc_slot);
+        drop(append_guard);
+
+        // Durability wait, outside the append lock: appends that commit
+        // while we wait share the next fsync (group commit).
+        match self.durability.as_ref().map(|d| d.mode) {
+            Some(CommitMode::SyncEachCommit) => {
+                self.env.with(|e| e.sync_wal())?;
+            }
+            Some(CommitMode::GroupCommit) => {
+                self.env.with(|e| e.wait_wal_durable(commit.lsn))?;
+            }
+            None => {}
+        }
+        Ok(AppendOutcome { root, epoch: commit.epoch, touched })
     }
 
     /// Renders the answer subtree rooted at an SLCA as pretty-printed XML
     /// — what the paper's demo shows the user.
-    pub fn render_subtree(&mut self, slca: &Dewey) -> Result<String> {
-        let doc = self.document()?;
+    pub fn render_subtree(&self, slca: &Dewey) -> Result<String> {
+        let mut doc_slot = lock(&self.document);
+        self.ensure_document(&mut doc_slot)?;
+        // xk-analyze: allow(panic_path, reason = "ensure_document fills the slot or errors out above")
+        let doc = doc_slot.as_ref().expect("document loaded above");
         let node = doc
             .node_at(slca)
             .ok_or_else(|| EngineError::BadQuery(format!("no node at {slca}")))?;
         Ok(xk_xmltree::to_pretty_xml_string(doc, node))
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        if let Some(ctl) = self.durability.as_mut() {
+            ctl.stop.store(true, Ordering::Release);
+            if let Some(handle) = ctl.committer.take() {
+                handle.thread().unpark();
+                // xk-analyze: allow(swallowed_result, reason = "a panicked committer cannot be reported from Drop; the WAL poison state already carries any failure")
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Spawns the group-commit thread: it fsyncs the WAL every
+/// `flush_interval`, turning all commit records that accumulated since
+/// the previous flush into one durable batch.
+// xk-analyze: root(panic_path)
+fn spawn_committer(
+    env: SharedEnv,
+    stop: Arc<AtomicBool>,
+    flush_interval: Duration,
+) -> Result<std::thread::JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name("xk-group-commit".into())
+        .spawn(move || loop {
+            std::thread::park_timeout(flush_interval);
+            let stopping = stop.load(Ordering::Acquire);
+            if env.with(|e| e.sync_wal()).is_err() {
+                // The WAL poisoned itself and woke every durability
+                // waiter with the failure; nothing is left to flush.
+                break;
+            }
+            if stopping {
+                break;
+            }
+        })
+        .map_err(|e| EngineError::Storage(xk_storage::StorageError::from(e)))
+}
+
+/// Normalizes, validates, and frequency-orders the query keywords
+/// against `index`. Returns `None` if any keyword does not occur
+/// (empty result).
+fn prepare(index: &DiskIndex, keywords: &[&str]) -> Result<Option<(Vec<String>, Vec<u64>)>> {
+    let mut normalized = Vec::with_capacity(keywords.len());
+    for raw in keywords {
+        let k = normalize_keyword(raw)
+            .ok_or_else(|| EngineError::BadQuery(format!("empty keyword {raw:?}")))?;
+        if !normalized.contains(&k) {
+            normalized.push(k);
+        }
+    }
+    if normalized.is_empty() {
+        return Err(EngineError::BadQuery("no keywords given".into()));
+    }
+    let mut with_freq = Vec::with_capacity(normalized.len());
+    for k in normalized {
+        match index.lookup(&k) {
+            Some(meta) => with_freq.push((k, meta.count)),
+            None => return Ok(None), // a keyword with no occurrences
+        }
+    }
+    // Smallest list first — the paper's S_1 choice.
+    with_freq.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    Ok(Some(with_freq.into_iter().unzip()))
+}
+
+fn resolve(algorithm: Algorithm, frequencies: &[u64]) -> Algorithm {
+    match algorithm {
+        Algorithm::Auto => {
+            let min = *frequencies.first().unwrap_or(&1);
+            let max = *frequencies.last().unwrap_or(&1);
+            // xk-analyze: allow(panic_path, reason = "divisor is clamped by .max(1)")
+            if frequencies.len() >= 2 && max / min.max(1) >= AUTO_RATIO_THRESHOLD {
+                Algorithm::IndexedLookupEager
+            } else {
+                Algorithm::ScanEager
+            }
+        }
+        other => other,
     }
 }
 
@@ -707,7 +1029,7 @@ mod tests {
 
     #[test]
     fn render_subtrees() {
-        let mut e = engine();
+        let e = engine();
         let out = e.query(&["John", "Ben"], Algorithm::Auto).unwrap();
         let xml = e.render_subtree(&out.slcas[0]).unwrap();
         assert!(xml.contains("John") && xml.contains("Ben"), "{xml}");
@@ -757,16 +1079,21 @@ mod tests {
 
     #[test]
     fn append_subtree_is_searchable_with_every_algorithm() {
-        let mut e = engine();
+        let e = engine();
         // A new class at the document tail where John and Ben meet again.
-        let new_root = e
+        let outcome = e
             .append_subtree(
                 &Dewey::root(),
                 "<class><title>CS4A</title><lecturer><name>Ben</name></lecturer>\
                  <TA><name>John</name></TA></class>",
             )
             .unwrap();
-        assert_eq!(new_root, d("4"));
+        assert_eq!(outcome.root, d("4"));
+        // The touched-keyword report names exactly the new content (for
+        // scoped cache invalidation).
+        assert!(outcome.touched.iter().any(|k| k == "john"), "{:?}", outcome.touched);
+        assert!(outcome.touched.iter().any(|k| k == "cs4a"), "{:?}", outcome.touched);
+        assert!(!outcome.touched.iter().any(|k| k == "project"), "{:?}", outcome.touched);
         for algo in [Algorithm::IndexedLookupEager, Algorithm::ScanEager, Algorithm::Stack] {
             let out = e.query(&["John", "Ben"], algo).unwrap();
             assert_eq!(
@@ -774,6 +1101,8 @@ mod tests {
                 vec![d("0"), d("1"), d("2"), d("4")],
                 "algorithm {algo}"
             );
+            // Queries after the append observe its epoch.
+            assert!(out.epoch >= outcome.epoch, "epoch moved with the commit");
         }
         // Rendering sees the refreshed document.
         let xml = e.render_subtree(&d("4")).unwrap();
@@ -785,20 +1114,20 @@ mod tests {
 
     #[test]
     fn append_deeper_on_rightmost_path() {
-        let mut e = engine();
+        let e = engine();
         // The rightmost path runs through the last class (Dewey 3); its
         // lecturer element is NOT on it, but class 3 itself is.
         let added = e
             .append_subtree(&d("3"), "<students><student><name>Ben</name></student></students>")
             .unwrap();
-        assert_eq!(added, d("3.2"));
+        assert_eq!(added.root, d("3.2"));
         let out = e.query(&["John", "Ben"], Algorithm::Stack).unwrap();
         assert!(out.slcas.contains(&d("3")), "{:?}", out.slcas);
     }
 
     #[test]
     fn append_rejects_non_tail_positions() {
-        let mut e = engine();
+        let e = engine();
         // Class 0 is not on the rightmost path.
         let err = e.append_subtree(&d("0"), "<x>y</x>").unwrap_err();
         assert!(err.to_string().contains("rightmost"), "{err}");
@@ -816,7 +1145,7 @@ mod tests {
 
     #[test]
     fn repeated_appends_accumulate_until_headroom_runs_out() {
-        let mut e = engine();
+        let e = engine();
         // The school root has 4 children (2 bits); the default 2 bits of
         // headroom allow ordinals up to 15, i.e. 12 appended children.
         for i in 0..12 {
@@ -833,7 +1162,8 @@ mod tests {
         sorted.sort();
         assert_eq!(out.slcas, sorted);
 
-        // The 13th append exceeds the level width and fails cleanly.
+        // The 13th append exceeds the level width, fails cleanly, and the
+        // transaction abort leaves the index exactly as committed.
         let err = e.append_subtree(&Dewey::root(), "<overflow/>").unwrap_err();
         assert!(err.to_string().contains("does not fit"), "{err}");
         let again = e.query(&["John", "Ben"], Algorithm::Stack).unwrap();
@@ -842,7 +1172,7 @@ mod tests {
 
     #[test]
     fn data_version_tracks_appends() {
-        let mut e = engine();
+        let e = engine();
         assert_eq!(e.data_version(), 0);
         e.append_subtree(&Dewey::root(), "<memo>hello</memo>").unwrap();
         assert_eq!(e.data_version(), 1);
@@ -852,18 +1182,61 @@ mod tests {
     }
 
     #[test]
+    fn epochs_advance_with_commits() {
+        let e = engine();
+        let before = e.query(&["john"], Algorithm::Auto).unwrap().epoch;
+        let out = e.append_subtree(&Dewey::root(), "<memo>john</memo>").unwrap();
+        assert!(out.epoch > before, "commit publishes a later epoch");
+        let after = e.query(&["john"], Algorithm::Auto).unwrap().epoch;
+        assert_eq!(after, out.epoch, "queries pin the latest committed epoch");
+    }
+
+    #[test]
+    fn queries_run_concurrently_with_appends() {
+        let e = engine();
+        std::thread::scope(|s| {
+            let eng = &e;
+            s.spawn(move || {
+                for i in 0..8 {
+                    eng.append_subtree(
+                        &Dewey::root(),
+                        &format!("<p>John Ben w{i}</p>"),
+                    )
+                    .unwrap();
+                }
+            });
+            for _ in 0..50 {
+                let out = eng.query(&["John", "Ben"], Algorithm::Stack).unwrap();
+                // Every observed state is a committed prefix: the base 3
+                // answers plus one per fully applied append — a torn read
+                // would surface as a partial count or unsorted output.
+                assert!(
+                    (3..=3 + 8).contains(&out.slcas.len()),
+                    "torn read: {:?}",
+                    out.slcas
+                );
+                let mut sorted = out.slcas.clone();
+                sorted.sort();
+                assert_eq!(out.slcas, sorted);
+            }
+        });
+        let final_out = e.query(&["John", "Ben"], Algorithm::Auto).unwrap();
+        assert_eq!(final_out.slcas.len(), 3 + 8);
+    }
+
+    #[test]
     fn appends_persist_across_reopen() {
         let dir = std::env::temp_dir().join(format!("xk-engine-app-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("grow.db");
         let opts = EnvOptions { page_size: 512, pool_pages: 64 };
         {
-            let mut e = Engine::build(&school_example(), &path, opts.clone(), true).unwrap();
+            let e = Engine::build(&school_example(), &path, opts.clone(), true).unwrap();
             e.append_subtree(&Dewey::root(), "<memo>John Ben reunion</memo>").unwrap();
             e.with_env(|env| env.flush()).unwrap();
         }
         {
-            let mut e = Engine::open(&path, opts).unwrap();
+            let e = Engine::open(&path, opts).unwrap();
             let out = e.query(&["reunion"], Algorithm::Auto).unwrap();
             assert_eq!(out.slcas.len(), 1);
             assert!(e.render_subtree(&out.slcas[0]).unwrap().contains("reunion"));
@@ -884,11 +1257,101 @@ mod tests {
             e.with_env(|env| env.flush()).unwrap();
         }
         {
-            let mut e = Engine::open(&path, opts).unwrap();
+            let e = Engine::open(&path, opts).unwrap();
             let out = e.query(&["john", "ben"], Algorithm::Stack).unwrap();
             assert_eq!(out.slcas.len(), 3);
             assert!(e.render_subtree(&out.slcas[2]).unwrap().contains("project"));
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_append_survives_a_crash() {
+        use xk_storage::MemPager;
+        let db: Arc<MemPager> = Arc::new(MemPager::new(512));
+        {
+            let env =
+                StorageEnv::create_with_pager(Box::new(Arc::clone(&db)), 128).unwrap();
+            build_disk_index_with(&env, &school_example(), &xk_index::BuildOptions::default())
+                .unwrap();
+            env.flush().unwrap();
+        }
+        let wal: Arc<MemPager> = Arc::new(MemPager::new(512));
+        let durability = DurabilityOptions {
+            mode: CommitMode::SyncEachCommit,
+            ..DurabilityOptions::default()
+        };
+        let (engine, report) = Engine::open_durable_with_pagers(
+            Arc::clone(&db) as Arc<dyn Pager>,
+            Arc::clone(&wal) as Arc<dyn Pager>,
+            128,
+            durability.clone(),
+        )
+        .unwrap();
+        assert!(!report.db_was_dirty);
+        assert_eq!(report.replayed_txns, 0);
+        let out = engine
+            .append_subtree(&Dewey::root(), "<memo>phoenix rises</memo>")
+            .unwrap();
+        assert_eq!(out.root, d("4"));
+        assert!(out.touched.iter().any(|k| k == "phoenix"));
+        // Crash: the engine never checkpoints, so the db file still holds
+        // the pre-append state and only the WAL carries the commit.
+        std::mem::forget(engine);
+        let (engine, report) =
+            Engine::open_durable_with_pagers(db, wal, 128, durability).unwrap();
+        assert!(report.db_was_dirty, "crash left the write-ahead dirty flag set");
+        assert_eq!(report.replayed_txns, 1, "recovery replays the committed append");
+        let hit = engine.query(&["phoenix"], Algorithm::Auto).unwrap();
+        assert_eq!(hit.slcas, vec![d("4.0")], "the appended memo's text node");
+    }
+
+    #[test]
+    fn group_commit_batches_are_durable() {
+        use xk_storage::MemPager;
+        let db: Arc<MemPager> = Arc::new(MemPager::new(512));
+        {
+            let env =
+                StorageEnv::create_with_pager(Box::new(Arc::clone(&db)), 128).unwrap();
+            build_disk_index_with(&env, &school_example(), &xk_index::BuildOptions::default())
+                .unwrap();
+            env.flush().unwrap();
+        }
+        let wal: Arc<MemPager> = Arc::new(MemPager::new(512));
+        let durability = DurabilityOptions {
+            mode: CommitMode::GroupCommit,
+            flush_interval: Duration::from_millis(1),
+            ..DurabilityOptions::default()
+        };
+        let (engine, _) = Engine::open_durable_with_pagers(
+            Arc::clone(&db) as Arc<dyn Pager>,
+            Arc::clone(&wal) as Arc<dyn Pager>,
+            128,
+            durability.clone(),
+        )
+        .unwrap();
+        for i in 0..4 {
+            engine
+                .append_subtree(&Dewey::root(), &format!("<memo>batch b{i}</memo>"))
+                .unwrap();
+        }
+        let commits = engine.with_env(|e| e.wal_commit_count());
+        assert_eq!(commits, 4, "every append wrote a commit record");
+        // Stop the committer thread by hand, then forget the engine so
+        // its checkpoint-on-drop never runs — a crash with a synced WAL.
+        let mut engine = engine;
+        if let Some(ctl) = engine.durability.as_mut() {
+            ctl.stop.store(true, Ordering::Release);
+            if let Some(h) = ctl.committer.take() {
+                h.thread().unpark();
+                h.join().unwrap();
+            }
+        }
+        std::mem::forget(engine);
+        let (engine, report) =
+            Engine::open_durable_with_pagers(db, wal, 128, durability).unwrap();
+        assert_eq!(report.replayed_txns, 4, "all acknowledged appends recover");
+        let hit = engine.query(&["batch"], Algorithm::Auto).unwrap();
+        assert_eq!(hit.slcas.len(), 4);
     }
 }

@@ -11,15 +11,23 @@
 //! use xk_storage::EnvOptions;
 //! use xk_xmltree::school_example;
 //!
-//! let mut engine =
+//! let engine =
 //!     Engine::build_in_memory(&school_example(), EnvOptions::default()).unwrap();
 //! let out = engine.query(&["John", "Ben"], Algorithm::Auto).unwrap();
 //! assert_eq!(out.slcas.len(), 3); // the two classes and the project
 //! println!("{}", engine.render_subtree(&out.slcas[0]).unwrap());
 //! ```
+//!
+//! For crash durability open with [`Engine::open_durable`]: appends are
+//! then write-ahead logged and group-committed, and a crash at any point
+//! recovers every acknowledged append on the next open.
 
 pub mod engine;
 pub mod error;
 
-pub use engine::{Algorithm, Engine, LcaOutcome, QueryOutcome, AUTO_RATIO_THRESHOLD};
+pub use engine::{
+    default_wal_path, Algorithm, AppendOutcome, CommitMode, DurabilityOptions, Engine,
+    LcaOutcome, QueryOutcome, AUTO_RATIO_THRESHOLD,
+};
 pub use error::{EngineError, Result};
+pub use xk_storage::RecoveryReport;

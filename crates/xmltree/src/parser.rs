@@ -120,6 +120,7 @@ impl<'a> Parser<'a> {
 
     /// Consumes characters until the delimiter string, returning the slice
     /// before it. The delimiter itself is consumed too.
+    // xk-analyze: allow(panic_path, reason = "start..pos stays within bytes: the scan loop is guarded by pos < bytes.len()")
     fn take_until(&mut self, delim: &str) -> Result<&'a [u8], ParseError> {
         let start = self.pos;
         while self.pos < self.bytes.len() {
@@ -202,6 +203,7 @@ impl<'a> Parser<'a> {
     }
 
     /// Parses element content until the matching end tag of `open_tag`.
+    // xk-analyze: allow(panic_path, reason = "bump() follows a successful peek(); the UTF-8 re-decode range is clamped with min(bytes.len())")
     fn parse_content(
         &mut self,
         tree: &mut XmlTree,
@@ -294,6 +296,7 @@ impl<'a> Parser<'a> {
 
     /// Parses a start tag after the `<`. Returns (name, attributes,
     /// self_closing) with the closing `>` or `/>` consumed.
+    // xk-analyze: allow(panic_path, reason = "the UTF-8 re-decode range is clamped with min(bytes.len()); pos only advances past peeked bytes")
     fn parse_start_tag(&mut self) -> Result<(String, Vec<Attribute>, bool), ParseError> {
         let name = self.parse_name()?;
         let mut attributes = Vec::new();
@@ -362,6 +365,7 @@ impl<'a> Parser<'a> {
     }
 
     /// Parses an XML name (tag or attribute name).
+    // xk-analyze: allow(panic_path, reason = "start..pos stays within bytes: the scan loop only advances past peeked bytes")
     fn parse_name(&mut self) -> Result<String, ParseError> {
         let start = self.pos;
         while let Some(b) = self.peek() {
@@ -383,6 +387,7 @@ impl<'a> Parser<'a> {
     }
 
     /// Parses an entity reference after the `&`.
+    // xk-analyze: allow(panic_path, reason = "start..pos stays within bytes: the scan loop only advances past peeked bytes")
     fn parse_entity(&mut self) -> Result<char, ParseError> {
         let start = self.pos;
         while let Some(b) = self.peek() {

@@ -137,6 +137,7 @@ impl XmlTree {
         self.append(parent, NodeContent::Text(text.into()))
     }
 
+    // xk-analyze: allow(panic_path, reason = "NodeIds are only minted by this tree and index its own slab; the assert rejects text parents before any mutation")
     fn append(&mut self, parent: NodeId, content: NodeContent) -> NodeId {
         assert!(
             self.nodes[parent.index()].content.is_element(),
@@ -159,6 +160,7 @@ impl XmlTree {
     }
 
     /// The node's payload.
+    // xk-analyze: allow(panic_path, reason = "NodeIds are only minted by this tree and index its own slab")
     pub fn content(&self, id: NodeId) -> &NodeContent {
         &self.nodes[id.index()].content
     }
@@ -180,6 +182,7 @@ impl XmlTree {
     }
 
     /// The node's depth (root = 0).
+    // xk-analyze: allow(panic_path, reason = "NodeIds are only minted by this tree and index its own slab")
     pub fn depth(&self, id: NodeId) -> usize {
         self.nodes[id.index()].depth as usize
     }
@@ -190,6 +193,7 @@ impl XmlTree {
     }
 
     /// Materializes the node's Dewey number by walking to the root. `O(d)`.
+    // xk-analyze: allow(panic_path, reason = "NodeIds are only minted by this tree and index its own slab; parent links stay within it")
     pub fn dewey(&self, id: NodeId) -> Dewey {
         let mut components = Vec::with_capacity(self.depth(id));
         let mut cur = id;
@@ -203,6 +207,7 @@ impl XmlTree {
 
     /// Resolves a Dewey number to a node by walking down from the root.
     /// Returns `None` if any component is out of range.
+    // xk-analyze: allow(panic_path, reason = "cur starts at ROOT and only follows children links, which hold minted NodeIds")
     pub fn node_at(&self, dewey: &Dewey) -> Option<NodeId> {
         let mut cur = NodeId::ROOT;
         for &ordinal in dewey.components() {

@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = std::env::temp_dir().join("xksearch-dblp-example.db");
     let _ = std::fs::remove_file(&db);
     let t0 = std::time::Instant::now();
-    let mut engine = Engine::build(&tree, &db, EnvOptions::default(), true)?;
+    let engine = Engine::build(&tree, &db, EnvOptions::default(), true)?;
     println!(
         "indexed {} distinct keywords in {:.2?} -> {}",
         engine.index().keyword_count(),

@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tree = xk_xmltree::parse(seed)?;
     let db = std::env::temp_dir().join("xksearch-ingest-example.db");
     let _ = std::fs::remove_file(&db);
-    let mut engine = Engine::build(&tree, &db, EnvOptions::default(), true)?;
+    let engine = Engine::build(&tree, &db, EnvOptions::default(), true)?;
     println!(
         "day 0: indexed {} keywords, 'keyword'+'search' has {} answers",
         engine.index().keyword_count(),
@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
           <author>Kimelfeld</author>
         </inproceedings>
       </proceedings>"#;
-    let at = engine.append_subtree(&Dewey::root(), volume)?;
+    let at = engine.append_subtree(&Dewey::root(), volume)?.root;
     println!("day 1: appended a volume at Dewey {at}");
 
     // Day 2: one more paper inside the newest volume (still the tail).
@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         <title>Incremental Keyword Search Indexes</title>
         <author>Sun</author>
       </inproceedings>"#;
-    let at = engine.append_subtree(&at, paper)?;
+    let at = engine.append_subtree(&at, paper)?.root;
     println!("day 2: appended a paper at Dewey {at}");
 
     // Every algorithm sees the grown corpus.

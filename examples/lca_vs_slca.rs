@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
       </department>"#;
 
     let tree = xk_xmltree::parse(xml)?;
-    let mut engine = Engine::build_in_memory(&tree, EnvOptions::default())?;
+    let engine = Engine::build_in_memory(&tree, EnvOptions::default())?;
 
     // --- SLCA: the minimal contexts ---
     let slca = engine.query(&["Alice", "Bob"], Algorithm::IndexedLookupEager)?;

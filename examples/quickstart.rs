@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Build the full XKSearch index (vocabulary B+tree, composite-key
     //    B+tree, sequential list chains) — in memory here; use
     //    `Engine::build` with a path for a persistent index file.
-    let mut engine = Engine::build_in_memory(&tree, EnvOptions::default())?;
+    let engine = Engine::build_in_memory(&tree, EnvOptions::default())?;
 
     // 3. Query. `Auto` picks Indexed Lookup Eager or Scan Eager from the
     //    keyword frequencies, like the paper's system.

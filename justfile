@@ -74,5 +74,18 @@ checksum-overhead:
 bench-locality smoke="":
     cargo run --release -p xk-bench --bin lookup_locality -- {{smoke}}
 
+# The full crash-recovery sweep: kill the engine at *every* WAL write
+# and sync site, recover, differential-check against the brute-force
+# oracle (CI samples the sites with XK_SOAK_SMOKE=1).
+soak:
+    cargo test -q --test crash_recovery_soak
+    cargo test -q --test append_fault_injection
+
+# Durable write path: append throughput (SyncEachCommit vs GroupCommit),
+# commits-per-fsync, recovery time, and read latency under a concurrent
+# writer, into results/BENCH_writepath.json (pass smoke="--smoke").
+bench-writepath smoke="":
+    cargo run --release -p xk-bench --bin writepath -- {{smoke}}
+
 bench:
     cargo bench --workspace

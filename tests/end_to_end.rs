@@ -195,7 +195,7 @@ fn round_trip_through_xml_file_and_cli_style_build() {
     assert_eq!(reparsed.len(), tree.len());
 
     let db = dir.join("doc.db");
-    let mut engine = Engine::build(&reparsed, &db, opts(), true).unwrap();
+    let engine = Engine::build(&reparsed, &db, opts(), true).unwrap();
     let out = engine.query(&["w0000", "author"], Algorithm::Auto).unwrap();
     assert_eq!(out.slcas, oracle(&tree, &["w0000", "author"]));
     if let Some(first) = out.slcas.first() {

@@ -32,7 +32,7 @@ fn grow() -> (Engine, XmlTree) {
                 <inproceedings><title>alpha beta</title><author>ann</author></inproceedings>\
                 </proceedings></dblp>";
     let mut reference = xk_xmltree::parse(seed).unwrap();
-    let mut engine = Engine::build_in_memory(&reference, opts()).unwrap();
+    let engine = Engine::build_in_memory(&reference, opts()).unwrap();
 
     let fragments = [
         "<proceedings><title>volume two</title>\
@@ -112,12 +112,12 @@ fn grown_index_survives_reopen_and_keeps_growing() {
     {
         let seed = "<log><entry>one alpha</entry></log>";
         let tree = xk_xmltree::parse(seed).unwrap();
-        let mut engine = Engine::build(&tree, &db, opts(), true).unwrap();
+        let engine = Engine::build(&tree, &db, opts(), true).unwrap();
         engine.append_subtree(&Dewey::root(), "<entry>two alpha</entry>").unwrap();
         engine.with_env(|e| e.flush()).unwrap();
     }
     {
-        let mut engine = Engine::open(&db, opts()).unwrap();
+        let engine = Engine::open(&db, opts()).unwrap();
         assert_eq!(engine.index().frequency("alpha"), 2);
         // Keep appending after reopen.
         engine.append_subtree(&Dewey::root(), "<entry>three alpha</entry>").unwrap();
