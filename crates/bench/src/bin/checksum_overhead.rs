@@ -7,10 +7,15 @@
 //! checksum computation itself. Deterministic: no RNG, no sampling.
 //!
 //! ```text
-//! checksum_overhead [entries] [rounds]    # defaults: 4000 entries, 7 rounds
+//! checksum_overhead [--smoke] [entries] [rounds]   # defaults: 4000 entries, 7 rounds
 //! ```
+//!
+//! Emits `results/BENCH_checksum_overhead.json` through the shared
+//! `xk_bench::trial` envelope (`--smoke` shrinks to 800 entries /
+//! 3 rounds and stamps the envelope scale accordingly).
 
 use std::time::{Duration, Instant};
+use xk_bench::trial::Suite;
 use xk_storage::{EnvOptions, PageId, StorageEnv};
 use xk_xmltree::{NodeId, XmlTree};
 
@@ -42,9 +47,14 @@ fn best_of(env: &StorageEnv, pages: u32, rounds: usize) -> Duration {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let entries: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4000);
-    let rounds: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    args.retain(|a| a != "--smoke");
+    let default_entries = if smoke { 800 } else { 4000 };
+    let default_rounds = if smoke { 3 } else { 7 };
+    let mut args = args.into_iter();
+    let entries: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(default_entries);
+    let rounds: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(default_rounds);
 
     let dir = std::env::temp_dir().join(format!("xk-ckbench-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -90,6 +100,25 @@ fn main() {
          for the relative overhead; against a real disk seek (~10^5 ns) the\n\
          absolute ns/page figure is the honest cost."
     );
+
+    let mut suite =
+        Suite::new("checksum_overhead", if smoke { "smoke" } else { "full" }, 0);
+    suite
+        .config("entries", entries as f64)
+        .config("rounds", rounds as f64)
+        .config("pages", pages as f64)
+        .config("page_size", 4096.0);
+    for (tag, d) in [("on", on), ("off", off)] {
+        suite
+            .case(format!("verify={tag}"))
+            .metric("ns_per_page", per_page(d))
+            .metric("mib_per_sec", throughput(d));
+    }
+    suite
+        .case("verify=delta")
+        .metric("overhead_ns_per_page", delta)
+        .metric("overhead_pct", delta / per_page(off) * 100.0);
+    suite.write().expect("write BENCH_checksum_overhead.json");
 
     std::fs::remove_dir_all(&dir).unwrap();
 }

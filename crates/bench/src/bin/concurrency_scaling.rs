@@ -1,20 +1,18 @@
 //! Concurrency scaling: batch query throughput at 1, 2, 4, and 8 worker
 //! threads, hot and cold cache, over the DBLP corpus.
 //!
-//! Writes `results/concurrency_scaling.csv` with one row per
-//! (cache, threads) point:
-//!
-//! ```text
-//! cache,threads,queries,total_ms,queries_per_sec,speedup_vs_1
-//! ```
+//! Emits `results/BENCH_concurrency_scaling.json` through the shared
+//! `xk_bench::trial` envelope — one case per (cache, threads) point
+//! carrying queries_per_sec and speedup_vs_1.
 //!
 //! Every batch is also checked for correctness: each query's SLCA set at
 //! N threads must equal its single-threaded answer, so the numbers are
 //! only reported for runs the differential check passed.
 //!
-//! Usage: `concurrency_scaling [--quick] [--queries N]`
+//! Usage: `concurrency_scaling [--smoke] [--quick] [--queries N]`
 
 use std::time::Instant;
+use xk_bench::trial::Suite;
 use xk_bench::{corpus, Scale};
 use xk_workload::QuerySampler;
 use xksearch::Algorithm;
@@ -23,7 +21,13 @@ const THREAD_POINTS: [usize; 4] = [1, 2, 4, 8];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--quick") { Scale::Quick } else { Scale::Full };
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
     let queries_n = args
         .iter()
         .position(|a| a == "--queries")
@@ -48,8 +52,8 @@ fn main() {
         .map(|r| r.expect("reference query").slcas)
         .collect();
 
-    std::fs::create_dir_all("results").expect("create results/");
-    let mut csv = String::from("cache,threads,queries,total_ms,queries_per_sec,speedup_vs_1\n");
+    let mut suite = Suite::new("concurrency_scaling", scale.tag(), 0xC0C0);
+    suite.config("queries", queries.len() as f64);
     for cache in ["hot", "cold"] {
         let mut base_qps = 0.0f64;
         for &threads in &THREAD_POINTS {
@@ -80,16 +84,13 @@ fn main() {
                 "[{cache}] {threads} thread(s): {:>8.1} q/s ({:.2}x vs 1 thread)",
                 qps, speedup
             );
-            csv.push_str(&format!(
-                "{cache},{threads},{},{:.3},{:.1},{:.3}\n",
-                queries.len(),
-                elapsed.as_secs_f64() * 1e3,
-                qps,
-                speedup
-            ));
+            suite
+                .case(format!("cache={cache}/threads={threads}"))
+                .metric("queries", queries.len() as f64)
+                .metric("total_ms", elapsed.as_secs_f64() * 1e3)
+                .metric("queries_per_sec", qps)
+                .metric("speedup_vs_1", speedup);
         }
     }
-    std::fs::write("results/concurrency_scaling.csv", &csv)
-        .expect("write results/concurrency_scaling.csv");
-    eprintln!("wrote results/concurrency_scaling.csv");
+    suite.write().expect("write BENCH_concurrency_scaling.json");
 }

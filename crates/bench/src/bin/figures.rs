@@ -1,38 +1,44 @@
 //! Regenerates the paper's evaluation artifacts.
 //!
 //! ```text
-//! figures [--quick] [--results DIR] [table1|fig8|...|fig13|ablation|all]...
+//! figures [--smoke] [--quick] [--results DIR] [table1|fig8|...|fig13|ablation|all]...
 //! ```
 //!
 //! * `fig8`–`fig10` are the hot-cache experiments, `fig11`–`fig13` their
 //!   cold-cache twins (buffer pool dropped before every query).
 //! * `--quick` runs a one-tenth-scale corpus (largest list 10 000, ten
-//!   queries per point) for smoke testing; the default is the full
-//!   paper-scale ladder up to 100 000.
+//!   queries per point); `--smoke` a CI-sized one (largest list 1 000,
+//!   five queries per point). The default is the full paper-scale ladder
+//!   up to 100 000.
 //!
-//! CSV series land in the results directory (default `results/`); the
-//! corpus index is cached in `results/cache/` across runs.
+//! Every figure series lands in one `results/BENCH_figures.json`
+//! artifact through the shared `xk_bench::trial` envelope (one case per
+//! figure/x/algorithm point; the plottable CSV is derived from it).
+//! `table1` and the β-ablation stay as aligned text files — they are
+//! narrative tables, not regression-tracked series.
 
 use std::path::PathBuf;
+use xk_bench::trial::Suite;
 use xk_bench::{corpus, figures, Cache, Scale, Table};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
-    let mut results_dir = PathBuf::from("results");
+    let mut results_dir: Option<PathBuf> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--smoke" => scale = Scale::Smoke,
             "--quick" => scale = Scale::Quick,
             "--full" => scale = Scale::Full,
             "--results" => {
                 i += 1;
-                results_dir = PathBuf::from(args.get(i).expect("--results needs a value"));
+                results_dir = Some(PathBuf::from(args.get(i).expect("--results needs a value")));
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figures [--quick] [--results DIR] \
+                    "usage: figures [--smoke] [--quick] [--results DIR] \
                      [table1|fig8|...|fig13|ablation|all]..."
                 );
                 return;
@@ -41,6 +47,11 @@ fn main() {
         }
         i += 1;
     }
+    // `--results` keeps working as an alias for the trial output dir.
+    if let Some(dir) = &results_dir {
+        std::env::set_var("XK_BENCH_OUT", dir);
+    }
+    let results_dir = results_dir.unwrap_or_else(xk_bench::trial::results_dir);
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
         selected = ["table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "ablation"]
             .map(String::from)
@@ -51,13 +62,24 @@ fn main() {
     let corpus = corpus(scale, &cache_dir);
     let started = std::time::Instant::now();
 
+    let mut suite = Suite::new("figures", scale.tag(), 0x51CA);
+    suite
+        .config("queries_per_point", scale.queries_per_point() as f64)
+        .config("largest_frequency", scale.large() as f64)
+        .config("page_size", 4096.0)
+        .config("pool_pages", 16_384.0);
     for experiment in &selected {
         let tables: Vec<Table> = match experiment.as_str() {
             "table1" => {
                 let text = figures::table1(&corpus);
                 print!("{text}");
-                std::fs::create_dir_all(&results_dir).expect("results dir");
-                std::fs::write(results_dir.join("table1.txt"), &text).expect("write table1");
+                // The text artifacts are full-scale paper outputs;
+                // smoke/quick runs (CI, bench-all) must not clobber
+                // the committed full-scale versions in results/.
+                if matches!(scale, Scale::Full) {
+                    std::fs::create_dir_all(&results_dir).expect("results dir");
+                    std::fs::write(results_dir.join("table1.txt"), &text).expect("write table1");
+                }
                 continue;
             }
             "fig8" => figures::fig8(&corpus, Cache::Hot),
@@ -69,9 +91,11 @@ fn main() {
             "ablation" => {
                 let text = figures::ablation_beta(&corpus);
                 print!("{text}");
-                std::fs::create_dir_all(&results_dir).expect("results dir");
-                std::fs::write(results_dir.join("ablation_beta.txt"), &text)
-                    .expect("write ablation_beta");
+                if matches!(scale, Scale::Full) {
+                    std::fs::create_dir_all(&results_dir).expect("results dir");
+                    std::fs::write(results_dir.join("ablation_beta.txt"), &text)
+                        .expect("write ablation_beta");
+                }
                 vec![figures::ablation_pool(&corpus)]
             }
             other => {
@@ -81,8 +105,11 @@ fn main() {
         };
         for t in &tables {
             print!("{}", t.to_text());
-            t.write_csv(&results_dir).expect("write csv");
+            t.record(&mut suite);
         }
+    }
+    if !suite.cases.is_empty() {
+        suite.write().expect("write BENCH_figures.json");
     }
     eprintln!("\n[figures] done in {:.1?}", started.elapsed());
 }

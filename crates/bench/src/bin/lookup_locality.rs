@@ -10,15 +10,16 @@
 //! measured I/O window contains *only* the probes.
 //!
 //! ```text
-//! lookup_locality [--smoke] [--out results/lookup_locality.csv]
+//! lookup_locality [--smoke]
 //! ```
 //!
-//! `--smoke` shrinks the corpus for CI (and writes no CSV unless `--out`
-//! is given explicitly); the full run appends one CSV row per
-//! `(|S_1|, mode)` plus a stdout summary with the anchored/fresh ratios.
+//! `--smoke` shrinks the corpus for CI. Both tiers emit
+//! `results/BENCH_lookup_locality.json` through the shared
+//! `xk_bench::trial` envelope — one case per `(|S_1|, mode)` — plus a
+//! stdout summary with the anchored/fresh ratios.
 
-use std::io::Write as _;
 use std::time::{Duration, Instant};
+use xk_bench::trial::Suite;
 use xk_index::{build_disk_index, DiskIndex, SharedEnv};
 use xk_slca::{deepest_dominator_ranked, AlgoStats, StreamList};
 use xk_storage::{EnvOptions, IoStats, StorageEnv};
@@ -86,12 +87,9 @@ fn collect_witnesses(env: &SharedEnv, index: &DiskIndex, keyword: &str) -> Vec<D
 
 fn main() {
     let mut smoke = false;
-    let mut out_path: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    for a in std::env::args().skip(1) {
         match a.as_str() {
             "--smoke" => smoke = true,
-            "--out" => out_path = Some(args.next().expect("--out needs a path")),
             other => panic!("unknown argument {other:?}"),
         }
     }
@@ -100,9 +98,6 @@ fn main() {
     } else {
         RunConfig { papers: 100_000, s1_sizes: vec![10, 100, 1_000, 10_000], s2_size: 100_000 }
     };
-    if !smoke && out_path.is_none() {
-        out_path = Some("results/lookup_locality.csv".into());
-    }
 
     let mut planted: Vec<Planted> = cfg
         .s1_sizes
@@ -129,10 +124,13 @@ fn main() {
     let env = SharedEnv::new(StorageEnv::open(&db, options).unwrap());
     let index = DiskIndex::open(env.env()).unwrap();
 
-    let mut csv = String::from(
-        "s1_size,s2_size,mode,probes,match_lookups,logical_reads,disk_reads,\
-         reads_per_lookup,elapsed_us\n",
-    );
+    let mut suite =
+        Suite::new("lookup_locality", if smoke { "smoke" } else { "full" }, 0x10CA);
+    suite
+        .config("papers", cfg.papers as f64)
+        .config("s2_size", cfg.s2_size as f64)
+        .config("page_size", 4096.0)
+        .config("pool_pages", 16_384.0);
     println!(
         "{:>8} {:>9} {:>10} {:>14} {:>14} {:>9} {:>9}",
         "|S1|", "|S2|", "mode", "logical_reads", "disk_reads", "rd/lkup", "ratio"
@@ -145,18 +143,14 @@ fn main() {
         for (mode, anchored) in [("fresh", false), ("anchored", true)] {
             let m = probe_run(&env, &index, &witnesses, "s2", anchored);
             let per_lookup = m.io.logical_reads as f64 / m.match_lookups.max(1) as f64;
-            csv.push_str(&format!(
-                "{},{},{},{},{},{},{},{:.2},{}\n",
-                s1,
-                cfg.s2_size,
-                mode,
-                m.probes,
-                m.match_lookups,
-                m.io.logical_reads,
-                m.io.disk_reads,
-                per_lookup,
-                m.elapsed.as_micros()
-            ));
+            suite
+                .case(format!("s1={s1}/{mode}"))
+                .metric("probes", m.probes as f64)
+                .metric("match_lookups", m.match_lookups as f64)
+                .metric("logical_reads", m.io.logical_reads as f64)
+                .metric("disk_reads", m.io.disk_reads as f64)
+                .metric("reads_per_lookup", per_lookup)
+                .metric("elapsed_us", m.elapsed.as_micros() as f64);
             let ratio = if anchored && m.io.logical_reads > 0 {
                 format!("{:.2}x", fresh_reads as f64 / m.io.logical_reads as f64)
             } else {
@@ -178,15 +172,6 @@ fn main() {
         }
     }
 
-    if let Some(path) = out_path {
-        if let Some(parent) = std::path::Path::new(&path).parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent).unwrap();
-            }
-        }
-        let mut f = std::fs::File::create(&path).unwrap();
-        f.write_all(csv.as_bytes()).unwrap();
-        eprintln!("wrote {path}");
-    }
+    suite.write().expect("write BENCH_lookup_locality.json");
     std::fs::remove_dir_all(&dir).unwrap();
 }

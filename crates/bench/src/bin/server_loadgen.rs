@@ -8,19 +8,17 @@
 //! rank from [`Zipf`], so a few queries are hot and most are rare —
 //! exactly the regime where a result cache pays.
 //!
-//! Writes `results/server_throughput.csv` with one row per
-//! (cache, clients) point:
-//!
-//! ```text
-//! cache,clients,requests,ok,shed,errors,total_ms,requests_per_sec,cache_hits,cache_misses,hit_rate
-//! ```
+//! Emits `results/BENCH_server_loadgen.json` through the shared
+//! `xk_bench::trial` envelope: one case per (cache, clients) point with
+//! throughput, client-observed p50/p99 latency, and cache hit rates.
 //!
 //! Usage: `server_loadgen [--smoke] [--full] [--requests N] [--pool N]`
 //!
 //! `--smoke` runs a CI-sized check against a tiny in-memory corpus: every
 //! request must be answered, one answer is differentially checked against
 //! a direct `Engine::query`, and the server must drain cleanly through
-//! the `/shutdown` endpoint. No CSV is written in smoke mode.
+//! the `/shutdown` endpoint — then emits the same envelope from the
+//! single measured point.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -30,6 +28,7 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use xk_bench::trial::{Latency, Suite};
 use xk_bench::{corpus, Scale};
 use xk_server::{Server, ServerConfig};
 use xk_storage::EnvOptions;
@@ -48,7 +47,7 @@ fn main() {
     let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
     let requests = flag_value(&args, "--requests").unwrap_or(match scale {
         Scale::Full => 2_000,
-        Scale::Quick => 600,
+        Scale::Quick | Scale::Smoke => 600,
     });
     let pool_size = flag_value(&args, "--pool").unwrap_or(32);
     bench(scale, requests, pool_size);
@@ -78,18 +77,6 @@ fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
     Ok((status, body))
 }
 
-/// Extracts `"key":<u64>` from a flat stretch of a JSON document.
-fn metric_u64(json: &str, key: &str) -> u64 {
-    let pat = format!("\"{key}\":");
-    let at = json.find(&pat).unwrap_or_else(|| panic!("no {key} in {json}"));
-    json[at + pat.len()..]
-        .chars()
-        .take_while(|c| c.is_ascii_digit())
-        .collect::<String>()
-        .parse()
-        .unwrap_or_else(|_| panic!("non-numeric {key} in {json}"))
-}
-
 /// The query pool: `pool_size` distinct two-keyword queries, each one
 /// low-frequency and one mid-frequency keyword, pre-rendered as
 /// `/query?kw=a+b` paths.
@@ -112,6 +99,8 @@ struct Point {
     shed: u64,
     errors: u64,
     elapsed: Duration,
+    /// Client-observed per-request latency (connect to full response).
+    latency: Latency,
 }
 
 /// Fires `requests` Zipf-distributed requests at `addr` from `clients`
@@ -121,18 +110,22 @@ fn run_point(addr: SocketAddr, pool: &[String], clients: usize, requests: usize)
     let ok = AtomicU64::new(0);
     let shed = AtomicU64::new(0);
     let errors = AtomicU64::new(0);
+    let latency = Latency::new();
     let started = Instant::now();
     std::thread::scope(|s| {
         for client in 0..clients {
             let zipf = &zipf;
-            let (ok, shed, errors) = (&ok, &shed, &errors);
+            let (ok, shed, errors, latency) = (&ok, &shed, &errors, &latency);
             // Split the request budget evenly, remainder to the low ids.
             let share = requests / clients + usize::from(client < requests % clients);
             s.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(0xBEEF ^ (client as u64) << 17);
                 for _ in 0..share {
                     let path = &pool[zipf.sample(&mut rng)];
-                    match http_get(addr, path) {
+                    let sent = Instant::now();
+                    let outcome = http_get(addr, path);
+                    latency.record(sent.elapsed());
+                    match outcome {
                         Ok((200, _)) => ok.fetch_add(1, Ordering::Relaxed),
                         Ok((503, _)) => shed.fetch_add(1, Ordering::Relaxed),
                         _ => errors.fetch_add(1, Ordering::Relaxed),
@@ -147,7 +140,31 @@ fn run_point(addr: SocketAddr, pool: &[String], clients: usize, requests: usize)
         shed: shed.load(Ordering::Relaxed),
         errors: errors.load(Ordering::Relaxed),
         elapsed: started.elapsed(),
+        latency,
     }
+}
+
+/// Records one measured point as a trial case, using the server's typed
+/// metric accessors (not JSON string-matching) for the cache counters.
+fn record_case(
+    suite: &mut Suite,
+    id: String,
+    point: &Point,
+    hits: u64,
+    misses: u64,
+) {
+    let hit_rate = hits as f64 / ((hits + misses) as f64).max(1.0);
+    suite
+        .case(id)
+        .metric("requests", point.requests as f64)
+        .metric("ok", point.ok as f64)
+        .metric("shed", point.shed as f64)
+        .metric("total_ms", point.elapsed.as_secs_f64() * 1e3)
+        .metric("requests_per_sec", point.ok as f64 / point.elapsed.as_secs_f64())
+        .metric("cache_hits", hits as f64)
+        .metric("cache_misses", misses as f64)
+        .metric("hit_rate", hit_rate)
+        .latency(&point.latency);
 }
 
 fn bench(scale: Scale, requests: usize, pool_size: usize) {
@@ -155,10 +172,11 @@ fn bench(scale: Scale, requests: usize, pool_size: usize) {
     let pool = query_pool(&[(1, c.class(10)), (1, c.class(1_000))], pool_size, 0x5E87);
     let engine = Arc::new(c.engine);
 
-    std::fs::create_dir_all("results").expect("create results/");
-    let mut csv = String::from(
-        "cache,clients,requests,ok,shed,errors,total_ms,requests_per_sec,cache_hits,cache_misses,hit_rate\n",
-    );
+    let mut suite = Suite::new("server_loadgen", scale.tag(), 0x5E87);
+    suite
+        .config("requests", requests as f64)
+        .config("pool_size", pool_size as f64)
+        .config("zipf_skew", ZIPF_SKEW);
     for (cache_tag, cache_entries) in [("on", 1024usize), ("off", 0usize)] {
         for &clients in &CLIENT_POINTS {
             // A fresh server per point: empty result cache, zeroed metrics.
@@ -181,16 +199,13 @@ fn bench(scale: Scale, requests: usize, pool_size: usize) {
             for path in &pool {
                 http_get(addr, path).expect("warmup request");
             }
-            let warm_metrics = server.metrics_json();
-            let warm_hits = metric_u64(&warm_metrics, "hits");
-            let warm_misses = metric_u64(&warm_metrics, "misses");
+            let warm = server.cache_stats();
 
             let point = run_point(addr, &pool, clients, requests);
 
-            let metrics = server.metrics_json();
-            let hits = metric_u64(&metrics, "hits") - warm_hits;
-            let misses = metric_u64(&metrics, "misses") - warm_misses;
-            let hit_rate = hits as f64 / ((hits + misses) as f64).max(1.0);
+            let stats = server.cache_stats();
+            let hits = stats.hits - warm.hits;
+            let misses = stats.misses - warm.misses;
             server.shutdown();
             server.join();
 
@@ -199,22 +214,19 @@ fn bench(scale: Scale, requests: usize, pool_size: usize) {
             eprintln!(
                 "[cache {cache_tag}] {clients} client(s): {rps:>8.1} req/s \
                  (hit rate {:.2}, shed {})",
-                hit_rate, point.shed
+                hits as f64 / ((hits + misses) as f64).max(1.0),
+                point.shed
             );
-            csv.push_str(&format!(
-                "{cache_tag},{clients},{},{},{},{},{:.3},{:.1},{hits},{misses},{hit_rate:.4}\n",
-                point.requests,
-                point.ok,
-                point.shed,
-                point.errors,
-                point.elapsed.as_secs_f64() * 1e3,
-                rps,
-            ));
+            record_case(
+                &mut suite,
+                format!("cache={cache_tag}/clients={clients}"),
+                &point,
+                hits,
+                misses,
+            );
         }
     }
-    std::fs::write("results/server_throughput.csv", &csv)
-        .expect("write results/server_throughput.csv");
-    eprintln!("wrote results/server_throughput.csv");
+    suite.write().expect("write BENCH_server_loadgen.json");
 }
 
 /// CI smoke: a tiny in-memory corpus, a short burst of traffic, a
@@ -263,14 +275,23 @@ fn smoke() {
     assert_eq!(point.errors, 0, "smoke: every request must get a response");
     assert_eq!(point.ok + point.shed, 120, "smoke: all requests accounted for");
 
+    let stats = server.cache_stats();
+    let answered = server.queries_ok();
+
     // Clean drain through the endpoint.
     let (status, body) = http_get(addr, "/shutdown").expect("shutdown");
     assert_eq!(status, 200, "{body}");
     let final_metrics = server.join();
     assert!(final_metrics.contains(r#""draining":true"#), "{final_metrics}");
-    let answered = metric_u64(&final_metrics, "queries_ok");
     eprintln!(
         "smoke ok: {answered} queries answered ({} shed), differential check passed, clean drain",
         point.shed
     );
+
+    // The smoke tier emits the same envelope, so CI validates the
+    // artifact shape on every run.
+    let mut suite = Suite::new("server_loadgen", "smoke", 0x5110);
+    suite.config("requests", 120.0).config("pool_size", 8.0).config("zipf_skew", ZIPF_SKEW);
+    record_case(&mut suite, "cache=on/clients=4".to_string(), &point, stats.hits, stats.misses);
+    suite.write().expect("write BENCH_server_loadgen.json");
 }

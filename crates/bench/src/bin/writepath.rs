@@ -3,8 +3,8 @@
 //! (commits per fsync), crash-recovery time over a full WAL, and read
 //! latency with and without a concurrent writer.
 //!
-//! Writes `results/BENCH_writepath.json` (machine-readable; one object
-//! per measured point) and prints a human summary to stderr.
+//! Emits `results/BENCH_writepath.json` through the shared
+//! `xk_bench::trial` envelope and prints a human summary to stderr.
 //!
 //! Usage: `writepath [--smoke] [--appends N] [--queries N]`
 
@@ -12,6 +12,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use xk_bench::trial::{Latency, Suite};
 use xk_storage::EnvOptions;
 use xk_workload::{generate, planted_for_classes, DblpSpec, FrequencyClass};
 use xk_xmltree::Dewey;
@@ -163,13 +164,14 @@ fn bench_recovery(seed: &Path, cfg: &Config) -> (usize, Duration) {
 }
 
 struct LatencyPoint {
-    p50_us: f64,
-    p99_us: f64,
+    latency: Latency,
     writer_appends: u64,
 }
 
 /// Per-query latency over the planted two-keyword workload, optionally
-/// with a writer thread streaming appends the whole time.
+/// with a writer thread streaming appends the whole time. Samples go
+/// through the shared trial histogram, so the reported p50/p99 use the
+/// same extraction as the server's `/metrics`.
 fn bench_read_latency(
     seed: &Path,
     cfg: &Config,
@@ -188,7 +190,7 @@ fn bench_read_latency(
 
     let stop = Arc::new(AtomicBool::new(false));
     let appended = Arc::new(AtomicU64::new(0));
-    let mut samples_us = Vec::with_capacity(cfg.queries);
+    let latency = Latency::new();
     std::thread::scope(|s| {
         if with_writer {
             let engine = Arc::clone(&engine);
@@ -210,22 +212,17 @@ fn bench_read_latency(
             let pair = [keywords[i % keywords.len()], keywords[(i + 1) % keywords.len()]];
             let started = Instant::now();
             engine.query(&pair, Algorithm::Auto).expect("read query");
-            samples_us.push(started.elapsed().as_secs_f64() * 1e6);
+            latency.record(started.elapsed());
         }
         stop.store(true, Ordering::Relaxed);
     });
-    samples_us.sort_by(|a, b| a.total_cmp(b));
-    let pct = |p: f64| samples_us[((samples_us.len() - 1) as f64 * p) as usize];
-    let point = LatencyPoint {
-        p50_us: pct(0.50),
-        p99_us: pct(0.99),
-        writer_appends: appended.load(Ordering::Relaxed),
-    };
+    let point = LatencyPoint { latency, writer_appends: appended.load(Ordering::Relaxed) };
+    let snap = point.latency.snapshot();
     eprintln!(
-        "[writepath] reads ({}): p50 {:.0}us p99 {:.0}us{}",
+        "[writepath] reads ({}): p50 {}us p99 {}us{}",
         if with_writer { "concurrent writer" } else { "idle" },
-        point.p50_us,
-        point.p99_us,
+        snap.quantile_us(0.50),
+        snap.quantile_us(0.99),
         if with_writer {
             format!(" ({} appends committed meanwhile)", point.writer_appends)
         } else {
@@ -269,41 +266,31 @@ fn main() {
     let idle = bench_read_latency(&seed, &cfg, &classes, false);
     let busy = bench_read_latency(&seed, &cfg, &classes, true);
 
-    // Hand-rolled JSON: the workspace is std-only by design.
-    let mut json = String::from("{\n");
-    json.push_str(&format!("  \"bench\": \"writepath\",\n  \"scale\": \"{}\",\n", cfg.scale));
-    json.push_str(&format!(
-        "  \"config\": {{\"papers\": {}, \"page_size\": {PAGE_SIZE}, \"pool_pages\": {POOL_PAGES}, \"appends\": {}, \"queries\": {}}},\n",
-        cfg.papers, cfg.appends, cfg.queries
-    ));
-    json.push_str("  \"append_throughput\": [\n");
-    for (i, p) in points.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"writers\": {}, \"appends\": {}, \"elapsed_ms\": {:.3}, \"appends_per_sec\": {:.1}, \"wal_commits\": {}, \"wal_syncs\": {}, \"commits_per_fsync\": {:.2}}}{}\n",
-            p.mode,
-            p.writers,
-            p.appends,
-            p.elapsed.as_secs_f64() * 1e3,
-            p.appends as f64 / p.elapsed.as_secs_f64(),
-            p.wal_commits,
-            p.wal_syncs,
-            p.wal_commits as f64 / p.wal_syncs.max(1) as f64,
-            if i + 1 < points.len() { "," } else { "" }
-        ));
+    let mut suite = Suite::new("writepath", cfg.scale, 0xD07A);
+    suite
+        .config("papers", cfg.papers as f64)
+        .config("page_size", PAGE_SIZE as f64)
+        .config("pool_pages", POOL_PAGES as f64)
+        .config("appends", cfg.appends as f64)
+        .config("queries", cfg.queries as f64);
+    for p in &points {
+        suite
+            .case(format!("append/{}/writers={}", p.mode, p.writers))
+            .metric("appends", p.appends as f64)
+            .metric("elapsed_ms", p.elapsed.as_secs_f64() * 1e3)
+            .metric("appends_per_sec", p.appends as f64 / p.elapsed.as_secs_f64())
+            .metric("wal_commits", p.wal_commits as f64)
+            .metric("wal_syncs", p.wal_syncs as f64)
+            .metric("commits_per_fsync", p.wal_commits as f64 / p.wal_syncs.max(1) as f64);
     }
-    json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"recovery\": {{\"replayed_txns\": {replayed}, \"elapsed_ms\": {:.3}}},\n",
-        recovery_elapsed.as_secs_f64() * 1e3
-    ));
-    json.push_str(&format!(
-        "  \"read_latency_us\": {{\n    \"idle\": {{\"p50\": {:.1}, \"p99\": {:.1}}},\n    \"with_writer\": {{\"p50\": {:.1}, \"p99\": {:.1}, \"writer_appends\": {}}}\n  }}\n",
-        idle.p50_us, idle.p99_us, busy.p50_us, busy.p99_us, busy.writer_appends
-    ));
-    json.push_str("}\n");
-
-    std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/BENCH_writepath.json", &json)
-        .expect("write results/BENCH_writepath.json");
-    eprintln!("wrote results/BENCH_writepath.json");
+    suite
+        .case("recovery/replay")
+        .metric("replayed_txns", replayed as f64)
+        .metric("elapsed_ms", recovery_elapsed.as_secs_f64() * 1e3);
+    suite.case("read_latency/idle").latency(&idle.latency);
+    suite
+        .case("read_latency/with_writer")
+        .latency(&busy.latency)
+        .metric("writer_appends", busy.writer_appends as f64);
+    suite.write().expect("write BENCH_writepath.json");
 }

@@ -12,9 +12,14 @@ use xksearch::Engine;
 pub enum Scale {
     /// Paper-scale frequencies: classes 10 … 100 000 over 120 000 papers.
     Full,
-    /// One-tenth scale for smoke runs: classes 10 … 10 000 over 12 000
-    /// papers; the sweeps stop one decade earlier.
+    /// One-tenth scale for local iteration: classes 10 … 10 000 over
+    /// 12 000 papers; the sweeps stop one decade earlier.
     Quick,
+    /// CI-sized: classes 10 … 1 000 over 1 200 papers, 5 queries per
+    /// point. Seconds end to end; the committed `results/BENCH_*.json`
+    /// baselines are produced at this scale so `just bench-diff` can
+    /// rerun them anywhere.
+    Smoke,
 }
 
 impl Scale {
@@ -23,6 +28,7 @@ impl Scale {
         match self {
             Scale::Full => vec![10, 100, 1_000, 10_000, 100_000],
             Scale::Quick => vec![10, 100, 1_000, 10_000],
+            Scale::Smoke => vec![10, 100, 1_000],
         }
     }
 
@@ -36,6 +42,7 @@ impl Scale {
         match self {
             Scale::Full => 40,
             Scale::Quick => 10,
+            Scale::Smoke => 5,
         }
     }
 
@@ -43,13 +50,16 @@ impl Scale {
         match self {
             Scale::Full => 120_000,
             Scale::Quick => 12_000,
+            Scale::Smoke => 1_200,
         }
     }
 
-    fn tag(self) -> &'static str {
+    /// The scale name — also the `scale` field of the trial envelope.
+    pub fn tag(self) -> &'static str {
         match self {
             Scale::Full => "full",
             Scale::Quick => "quick",
+            Scale::Smoke => "smoke",
         }
     }
 }

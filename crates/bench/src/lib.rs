@@ -4,12 +4,21 @@
 //! `figures` binary reproduces Table 1 and Figures 8–13 (hot and cold
 //! cache), and the Criterion benches under `benches/` microbenchmark the
 //! algorithms, match operations, storage, and parser.
+//!
+//! Every suite binary (`figures`, `lookup_locality`,
+//! `concurrency_scaling`, `server_loadgen`, `writepath`,
+//! `checksum_overhead`) emits one machine-readable
+//! `results/BENCH_<suite>.json` through the shared [`trial`] envelope;
+//! the `bench_diff` binary validates those artifacts and compares fresh
+//! runs against the checked-in baselines (`just bench-diff`).
 
 pub mod corpus;
 pub mod figures;
 pub mod measure;
 pub mod report;
+pub mod trial;
 
 pub use corpus::{corpus, Corpus, Scale};
 pub use measure::{algorithms, run_point, Cache, Measurement};
 pub use report::{Row, Table};
+pub use trial::{Latency, Suite, Thresholds};

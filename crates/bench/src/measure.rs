@@ -83,10 +83,7 @@ pub fn run_point(
         total += out.elapsed;
         stats.accumulate(&out.stats);
         results += out.slcas.len() as u64;
-        io.logical_reads += out.io.logical_reads;
-        io.disk_reads += out.io.disk_reads;
-        io.disk_writes += out.io.disk_writes;
-        io.evictions += out.io.evictions;
+        io.accumulate(&out.io);
     }
     Measurement {
         queries: queries.len(),

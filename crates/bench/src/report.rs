@@ -1,10 +1,11 @@
-//! Result reporting: aligned text tables on stdout plus CSV files under
-//! `results/`, one per subfigure, so the series can be re-plotted.
+//! Result reporting: aligned text tables on stdout, plus conversion of
+//! each subfigure into `xk_bench::trial` cases so every series lands in
+//! the one `results/BENCH_figures.json` artifact (the plottable CSV is
+//! derived from that JSON by the trial writer).
 
 use crate::measure::Measurement;
+use crate::trial::Suite;
 use std::fmt::Write as _;
-use std::io::Write as _;
-use std::path::Path;
 
 /// One row of a figure: an x-axis label and one measurement per series.
 pub struct Row {
@@ -51,33 +52,22 @@ impl Table {
         out
     }
 
-    /// Writes `results/<id>.csv` with one line per (x, series).
-    pub fn write_csv(&self, results_dir: &Path) -> std::io::Result<()> {
-        std::fs::create_dir_all(results_dir)?;
-        let path = results_dir.join(format!("{}.csv", self.id));
-        let mut f = std::fs::File::create(&path)?;
-        writeln!(
-            f,
-            "x,series,mean_ms,mean_disk_reads,queries,results,match_lookups,nodes_scanned,lca_computations"
-        )?;
+    /// Records every (x, series) point of this table as a trial case
+    /// (`<id>/x=<x>/<series>`) in the shared figures suite.
+    pub fn record(&self, suite: &mut Suite) {
         for row in &self.rows {
             for (name, m) in &row.series {
-                writeln!(
-                    f,
-                    "{},{},{:.6},{:.3},{},{},{},{},{}",
-                    row.x,
-                    name,
-                    m.mean_ms(),
-                    m.mean_disk_reads(),
-                    m.queries,
-                    m.results,
-                    m.stats.match_lookups,
-                    m.stats.nodes_scanned,
-                    m.stats.lca_computations,
-                )?;
+                let series = name.to_ascii_lowercase();
+                suite
+                    .case(format!("{}/x={}/{}", self.id, row.x, series))
+                    .metric("mean_ms", m.mean_ms())
+                    .metric("mean_disk_reads", m.mean_disk_reads())
+                    .metric("queries", m.queries as f64)
+                    .metric("results", m.results as f64)
+                    .metric("match_lookups", m.stats.match_lookups as f64)
+                    .metric("nodes_scanned", m.stats.nodes_scanned as f64)
+                    .metric("lca_computations", m.stats.lca_computations as f64);
             }
         }
-        eprintln!("[report] wrote {}", path.display());
-        Ok(())
     }
 }

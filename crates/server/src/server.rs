@@ -240,6 +240,28 @@ impl Server {
     pub fn metrics_json(&self) -> String {
         metrics_json(&self.shared)
     }
+
+    /// Typed result-cache counters — what `/metrics` renders under
+    /// `"cache"`, for harnesses that would otherwise grep the JSON.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// `/query` requests answered 200 so far.
+    pub fn queries_ok(&self) -> u64 {
+        self.shared.metrics.queries_ok.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused with 503 because the queue was full.
+    pub fn shed_count(&self) -> u64 {
+        self.shared.metrics.shed.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the end-to-end `/query` latency histogram — the
+    /// same one `/metrics` serves quantiles from.
+    pub fn query_latency(&self) -> crate::metrics::HistogramSnapshot {
+        self.shared.metrics.query_latency.snapshot()
+    }
 }
 
 // xk-analyze: root(panic_path)

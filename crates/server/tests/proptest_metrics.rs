@@ -1,0 +1,86 @@
+//! Property tests for the log2 latency histogram (ISSUE 7): the
+//! bucketed p50/p90/p99 extraction must agree with the exact
+//! rank-based quantile over the raw samples to within one bucket.
+//!
+//! A power-of-two bucket `i` spans `(2^(i-1), 2^i]`, so the histogram's
+//! conservative upper-bound estimate can overshoot the exact quantile
+//! by at most the bucket width: `exact <= est <= 2 * max(exact, 1)`.
+//! The bench harness (`xk_bench::trial::Latency`) and the server's
+//! `/metrics` endpoint both report quantiles through this code path, so
+//! this property is what makes every `BENCH_*.json` p99 trustworthy.
+
+use proptest::prelude::*;
+use xk_server::metrics::Histogram;
+
+/// Log-uniform latency samples: an exponent picks the bucket scale, the
+/// raw draw picks the position inside it. This exercises all 26 buckets
+/// instead of piling every sample into the bottom few.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec((0u32..26, 0u64..u64::MAX), 1..250).prop_map(|draws| {
+        draws
+            .into_iter()
+            .map(|(exp, raw)| if exp == 0 { raw % 2 } else { raw & ((1u64 << exp) - 1) })
+            .collect()
+    })
+}
+
+/// The exact `q`-quantile under the same rank convention the histogram
+/// uses: the sample at rank `ceil(q * n)` (1-based, clamped to >= 1).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quantiles_agree_with_exact_within_one_bucket(samples in samples()) {
+        let hist = Histogram::new();
+        for &us in &samples {
+            hist.record_us(us);
+        }
+        let snap = hist.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.min_us, sorted[0]);
+        prop_assert_eq!(snap.max_us, *sorted.last().unwrap());
+        let sum: u64 = samples.iter().sum();
+        prop_assert!((snap.mean_us() - sum as f64 / samples.len() as f64).abs() < 1e-6);
+
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = snap.quantile_us(q);
+            prop_assert!(
+                est >= exact,
+                "p{} underestimates: est {est} < exact {exact} over {} samples",
+                (q * 100.0) as u32, samples.len()
+            );
+            prop_assert!(
+                est <= 2 * exact.max(1),
+                "p{} overshoots its bucket: est {est} > 2*{} over {} samples",
+                (q * 100.0) as u32, exact.max(1), samples.len()
+            );
+            // The cap: a reported quantile never exceeds the observed max.
+            prop_assert!(est <= snap.max_us.max(1));
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(samples in samples()) {
+        let hist = Histogram::new();
+        for &us in &samples {
+            hist.record_us(us);
+        }
+        let snap = hist.snapshot();
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        for pair in qs.windows(2) {
+            prop_assert!(
+                snap.quantile_us(pair[0]) <= snap.quantile_us(pair[1]),
+                "quantile must be monotone: q{} > q{}", pair[0], pair[1]
+            );
+        }
+    }
+}

@@ -57,6 +57,18 @@ impl FaultConfig {
     pub fn none() -> Self {
         Self::default()
     }
+
+    /// A config whose only fault is a torn write at write-op `op` —
+    /// the soak harnesses' standard mid-commit power cut.
+    pub fn torn_write(op: u64, seed: u64) -> Self {
+        FaultConfig { seed, torn_write_at: Some(op), ..FaultConfig::none() }
+    }
+
+    /// A config whose syncs fail from sync-op `op` on — the durability
+    /// barrier itself breaking, with writes still landing.
+    pub fn failed_sync(op: u64, seed: u64) -> Self {
+        FaultConfig { seed, fail_sync_at: Some(op), ..FaultConfig::none() }
+    }
 }
 
 /// splitmix64 — tiny, seedable, and good enough to scatter fault

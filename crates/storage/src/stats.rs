@@ -31,6 +31,15 @@ impl IoStats {
         }
     }
 
+    /// Component-wise sum, for aggregating per-query windows into a
+    /// batch total (the bench harness's accumulation loop).
+    pub fn accumulate(&mut self, other: &IoStats) {
+        self.logical_reads += other.logical_reads;
+        self.disk_reads += other.disk_reads;
+        self.disk_writes += other.disk_writes;
+        self.evictions += other.evictions;
+    }
+
     /// Component-wise difference, for before/after measurement windows.
     pub fn delta_since(&self, earlier: &IoStats) -> IoStats {
         IoStats {
@@ -129,6 +138,13 @@ mod tests {
         assert_eq!(snap.disk_reads, 4000);
         stats.reset();
         assert_eq!(stats.snapshot(), IoStats::default());
+    }
+
+    #[test]
+    fn accumulate_sums_componentwise() {
+        let mut a = IoStats { logical_reads: 10, disk_reads: 4, disk_writes: 2, evictions: 1 };
+        a.accumulate(&IoStats { logical_reads: 5, disk_reads: 1, disk_writes: 0, evictions: 2 });
+        assert_eq!(a, IoStats { logical_reads: 15, disk_reads: 5, disk_writes: 2, evictions: 3 });
     }
 
     #[test]

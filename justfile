@@ -48,7 +48,8 @@ test-concurrent:
     cargo test -q -p xksearch query_batch
 
 # Throughput at 1/2/4/8 query threads, hot and cold cache, into
-# results/concurrency_scaling.csv (quick corpus; drop --quick for full).
+# results/BENCH_concurrency_scaling.json (quick corpus; drop --quick
+# for full).
 bench-concurrent:
     cargo run --release -p xk-bench --bin concurrency_scaling -- --quick
 
@@ -57,7 +58,7 @@ serve db addr="127.0.0.1:8080":
     cargo run --release -p xk-server --bin xksearch -- serve {{db}} --addr {{addr}}
 
 # End-to-end server throughput over loopback, Zipf query mix, result
-# cache on/off × 1/2/4/8 clients, into results/server_throughput.csv.
+# cache on/off × 1/2/4/8 clients, into results/BENCH_server_loadgen.json.
 bench-server:
     cargo run --release -p xk-bench --bin server_loadgen -- --requests 2000
 
@@ -65,21 +66,59 @@ bench-server:
 figures:
     cargo run --release -p xk-bench --bin figures -- all
 
-# Measure what per-page checksum verification costs on cold reads.
+# Measure what per-page checksum verification costs on cold reads, into
+# results/BENCH_checksum_overhead.json.
 checksum-overhead:
     cargo run --release -p xk-bench --bin checksum_overhead
 
 # Anchored-vs-fresh B+tree probe page reads into
-# results/lookup_locality.csv (pass smoke="--smoke" for the CI corpus).
+# results/BENCH_lookup_locality.json (pass smoke="--smoke" for the CI
+# corpus).
 bench-locality smoke="":
     cargo run --release -p xk-bench --bin lookup_locality -- {{smoke}}
 
+# Every bench suite at the committed-baseline scale (--smoke), each into
+# {{out}}/BENCH_<suite>.json in the shared xk-trial envelope (schema in
+# EXPERIMENTS.md), then a schema validation pass over the lot.
+bench-all out="results":
+    XK_BENCH_OUT={{out}} cargo run --release -p xk-bench --bin figures -- --smoke
+    XK_BENCH_OUT={{out}} cargo run --release -p xk-bench --bin lookup_locality -- --smoke
+    XK_BENCH_OUT={{out}} cargo run --release -p xk-bench --bin concurrency_scaling -- --smoke
+    XK_BENCH_OUT={{out}} cargo run --release -p xk-bench --bin server_loadgen -- --smoke
+    XK_BENCH_OUT={{out}} cargo run --release -p xk-bench --bin writepath -- --smoke
+    XK_BENCH_OUT={{out}} cargo run --release -p xk-bench --bin checksum_overhead -- --smoke
+    cargo run --release -p xk-bench --bin bench_diff -- validate {{out}}
+
+# Rerun every suite fresh and diff it against the checked-in results/
+# baselines. Exits nonzero on any regression past the thresholds. The
+# comparator self-test runs first: it must catch a planted 2x latency
+# regression (at its own default 1.5x gate) before it is trusted on
+# real data. For the real comparison the wall-clock gate is widened to
+# 4x — smoke-scale timings jitter by whole multiples across hosts —
+# while deterministic operation counts (page reads, match lookups)
+# stay on the tight 1.25x gate, which is where algorithmic regressions
+# actually show.
+bench-diff:
+    rm -rf target/bench_fresh
+    just bench-all target/bench_fresh
+    cargo run --release -p xk-bench --bin bench_diff -- diff results target/bench_fresh --max-worse 4.0 --min-keep 0.25
+
 # The full crash-recovery sweep: kill the engine at *every* WAL write
 # and sync site, recover, differential-check against the brute-force
-# oracle (CI samples the sites with XK_SOAK_SMOKE=1).
+# oracle (CI samples the sites with XK_SOAK_SMOKE=1). On failure the
+# harness prints its seed; XK_SOAK_SEED=<seed> replays the exact run.
 soak:
     cargo test -q --test crash_recovery_soak
     cargo test -q --test append_fault_injection
+
+# Mixed read/write soak: concurrent queries across all four algorithms
+# racing append_subtree transactions under WAL fault injection, every
+# result checked against the brute-force oracle for its commit epoch,
+# plus the epoch-isolation differential (full tier; CI runs the sampled
+# tier with XK_SOAK_SMOKE=1).
+soak-mixed:
+    cargo test -q --test mixed_soak
+    cargo test -q --test epoch_isolation
 
 # Durable write path: append throughput (SyncEachCommit vs GroupCommit),
 # commits-per-fsync, recovery time, and read latency under a concurrent

@@ -15,6 +15,8 @@
 //! See README.md for a guided tour, DESIGN.md for the system inventory,
 //! and EXPERIMENTS.md for the paper-versus-measured evaluation.
 
+pub mod soak;
+
 pub use xk_index as index;
 pub use xk_slca as slca;
 pub use xk_storage as storage;

@@ -15,9 +15,12 @@
 //! byte.
 //!
 //! The full sweep visits every write/sync op; CI sets `XK_SOAK_SMOKE=1`
-//! to sample the crash sites instead (see `justfile` / ci.yml).
+//! to sample the crash sites instead (see `justfile` / ci.yml). On
+//! failure the harness prints its seed and the crash-site schedule;
+//! `XK_SOAK_SEED=<seed>` replays the exact run.
 
 use std::sync::Arc;
+use xksearch_repro::soak::{smoke, soak_seed, SoakReporter};
 use xk_index::MemIndex;
 use xk_slca::{brute_force_all_lcas, brute_force_slca};
 use xk_storage::{
@@ -202,7 +205,7 @@ fn verify_recovered(db: Arc<MemPager>, wal: Arc<MemPager>, acked: usize, ctx: &s
 /// `XK_SOAK_SMOKE=1` samples the crash sites for CI; the full sweep
 /// visits every single one.
 fn stride(total: u64) -> u64 {
-    if std::env::var("XK_SOAK_SMOKE").is_ok() {
+    if smoke() {
         (total / 6).max(1)
     } else {
         1
@@ -220,6 +223,9 @@ fn fault_free_baseline_recovers_everything() {
 #[test]
 fn crash_at_every_wal_write_recovers_a_consistent_prefix() {
     // Measure the workload's WAL write-op count, then tear each one.
+    // Replayable: `XK_SOAK_SEED` overrides the per-site seed base.
+    let base = soak_seed(0x50AC);
+    let reporter = SoakReporter::new("crash_at_every_wal_write", base);
     let (_, _, _, probe) = run_workload(FaultConfig::none());
     let total = probe.writes();
     let mut sites = 0;
@@ -227,11 +233,9 @@ fn crash_at_every_wal_write_recovers_a_consistent_prefix() {
     let mut k = 0;
     while k < total {
         let ctx = format!("torn WAL write at op {k}");
-        let (db, wal, acked, _) = run_workload(FaultConfig {
-            torn_write_at: Some(k),
-            seed: 0x50AC ^ k, // per-site torn-prefix lengths
-            ..FaultConfig::none()
-        });
+        let (db, wal, acked, _) =
+            run_workload(FaultConfig::torn_write(k, base ^ k)); // per-site torn-prefix lengths
+        reporter.log(format!("{ctx}: {acked}/{APPENDS} appends acked before the crash"));
         assert!(acked < APPENDS, "{ctx}: the torn write must kill the workload");
         verify_recovered(db, wal, acked, &ctx);
         sites += 1;
@@ -242,24 +246,25 @@ fn crash_at_every_wal_write_recovers_a_consistent_prefix() {
     }
     assert!(sites > 0);
     assert!(partial > 0, "the sweep must include mid-workload crash sites");
+    reporter.finish();
 }
 
 #[test]
 fn crash_at_every_wal_sync_recovers_every_acknowledged_append() {
+    let base = soak_seed(0);
+    let reporter = SoakReporter::new("crash_at_every_wal_sync", base);
     let (_, _, _, probe) = run_workload(FaultConfig::none());
     let total = probe.syncs();
     let mut k = 0;
     while k < total {
         let ctx = format!("failed WAL sync at op {k}");
-        let (db, wal, acked, _) = run_workload(FaultConfig {
-            fail_sync_at: Some(k),
-            seed: k,
-            ..FaultConfig::none()
-        });
+        let (db, wal, acked, _) = run_workload(FaultConfig::failed_sync(k, base ^ k));
+        reporter.log(format!("{ctx}: {acked}/{APPENDS} appends acked before the crash"));
         // A failed sync means the append was *not* acknowledged — but
         // its commit record may still be replayable. Both outcomes are
         // legal; verify_recovered holds `recovered >= acked` either way.
         verify_recovered(db, wal, acked, &ctx);
         k += stride(total);
     }
+    reporter.finish();
 }
