@@ -1,0 +1,198 @@
+//! Measures what the packed segment layout buys over the posting
+//! B+trees: bytes per posting on disk, and cold page reads for the
+//! skewed two-keyword query that drives Indexed Lookup Eager's `lm`/`rm`
+//! probe loop.
+//!
+//! The same generated DBLP corpus is built twice with identical
+//! `EnvOptions` and no embedded document:
+//!
+//! - **btree**: the classic layout — postings in per-keyword B+trees
+//!   inside the database file.
+//! - **segment**: the structural index only, postings sealed into one
+//!   immutable XKSEG1 blob (prefix-delta + varint Dewey encoding).
+//!
+//! Because the segmented database file *is* the structural-only index,
+//! `btree_db_bytes - segment_db_bytes` isolates the bytes the posting
+//! B+trees occupy; the blob directory's total size is the segment
+//! counterpart. Both are divided by the same posting count.
+//!
+//! ```text
+//! segment_layout [--smoke]
+//! ```
+//!
+//! Emits `results/BENCH_segment_layout.json` through the shared
+//! `xk_bench::trial` envelope. The run asserts the headline acceptance
+//! bound inline: segments must pack postings into **at most half** the
+//! bytes the B+trees use.
+
+use std::path::Path;
+use xk_bench::trial::Suite;
+use xk_storage::EnvOptions;
+use xk_workload::{generate, DblpSpec, Planted};
+use xksearch::{default_segments_dir, Algorithm, Engine};
+
+struct RunConfig {
+    papers: usize,
+    s1_size: usize,
+    s2_size: usize,
+}
+
+fn dir_bytes(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.metadata().ok())
+        .filter(|m| m.is_file())
+        .map(|m| m.len())
+        .sum()
+}
+
+struct Probe {
+    slcas: usize,
+    match_lookups: u64,
+    logical_reads: u64,
+    disk_reads: u64,
+    block_reads: u64,
+    elapsed_us: u64,
+}
+
+/// One cold run of the skewed pair through Indexed Lookup Eager: every
+/// `S_1` witness probes the big `S_2` list, so the read counters capture
+/// exactly the layout's probe locality.
+fn probe(engine: &Engine, keywords: &[&str]) -> Probe {
+    engine.clear_cache().expect("cache clear");
+    let blocks_before = engine.segment_block_reads();
+    let out = engine.query(keywords, Algorithm::IndexedLookupEager).expect("query");
+    Probe {
+        slcas: out.slcas.len(),
+        match_lookups: out.stats.match_lookups,
+        logical_reads: out.io.logical_reads,
+        disk_reads: out.io.disk_reads,
+        block_reads: engine.segment_block_reads() - blocks_before,
+        elapsed_us: out.elapsed.as_micros() as u64,
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let cfg = if smoke {
+        RunConfig { papers: 2_500, s1_size: 50, s2_size: 2_000 }
+    } else {
+        RunConfig { papers: 100_000, s1_size: 1_000, s2_size: 100_000 }
+    };
+
+    let spec = DblpSpec {
+        papers: cfg.papers,
+        planted: vec![
+            Planted { keyword: "s1a".into(), frequency: cfg.s1_size },
+            Planted { keyword: "s2".into(), frequency: cfg.s2_size },
+        ],
+        ..DblpSpec::default()
+    };
+    eprintln!("generating {} papers ...", cfg.papers);
+    let tree = generate(&spec);
+
+    let dir = std::env::temp_dir().join(format!("xk-seglayout-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let options = EnvOptions { page_size: 4096, pool_pages: 16_384 };
+
+    // Neither build embeds the document: the files then contain index
+    // structure + postings and nothing else.
+    eprintln!("building B+tree layout ...");
+    let btree_db = dir.join("btree.db");
+    let btree = Engine::build(&tree, &btree_db, options.clone(), false).unwrap();
+    btree.with_env(|e| e.flush()).unwrap();
+    eprintln!("building segment layout ...");
+    let seg_db = dir.join("segment.db");
+    let seg = Engine::build_segmented(&tree, &seg_db, options.clone(), false).unwrap();
+    seg.with_env(|e| e.flush()).unwrap();
+
+    let metas = seg.segment_metas();
+    let postings: u64 = metas.iter().map(|m| m.postings).sum();
+    assert!(postings > 0, "generated corpus produced no postings");
+    let btree_bytes = std::fs::metadata(&btree_db).unwrap().len();
+    let seg_db_bytes = std::fs::metadata(&seg_db).unwrap().len();
+    let blob_bytes = dir_bytes(&default_segments_dir(&seg_db));
+    assert!(blob_bytes > 0, "segment build left no blobs");
+    // The segmented db file is the structural index alone, so the file
+    // size difference is exactly the posting B+trees' footprint.
+    let btree_posting_bytes = btree_bytes.saturating_sub(seg_db_bytes);
+    let btree_bpp = btree_posting_bytes as f64 / postings as f64;
+    let seg_bpp = blob_bytes as f64 / postings as f64;
+
+    let mut suite = Suite::new("segment_layout", if smoke { "smoke" } else { "full" }, 0x5E6);
+    suite
+        .config("papers", cfg.papers as f64)
+        .config("s1_size", cfg.s1_size as f64)
+        .config("s2_size", cfg.s2_size as f64)
+        .config("page_size", 4096.0)
+        .config("pool_pages", 16_384.0)
+        .config("postings", postings as f64);
+
+    suite
+        .case("layout/btree")
+        .metric("bytes_per_posting", btree_bpp)
+        .metric("posting_bytes", btree_posting_bytes as f64)
+        .metric("file_bytes", btree_bytes as f64);
+    suite
+        .case("layout/segment")
+        .metric("bytes_per_posting", seg_bpp)
+        .metric("posting_bytes", blob_bytes as f64)
+        .metric("file_bytes", seg_db_bytes as f64)
+        .metric("blobs", metas.len() as f64);
+    println!(
+        "{postings} postings: btree {btree_bpp:.2} B/posting ({btree_posting_bytes} B), \
+         segment {seg_bpp:.2} B/posting ({blob_bytes} B), {:.2}x smaller",
+        btree_bpp / seg_bpp
+    );
+
+    // Cold probe loop: same skewed pair, both layouts, Indexed Lookup
+    // Eager so |S1| probes hit the big S2 list.
+    let keywords = ["s1a", "s2"];
+    let pb = probe(&btree, &keywords);
+    let ps = probe(&seg, &keywords);
+    assert_eq!(pb.slcas, ps.slcas, "layouts disagreed on the SLCA set");
+    assert_eq!(pb.match_lookups, ps.match_lookups, "layouts disagreed on probe count");
+    // Segment blob reads bypass the buffer pool, so the comparable
+    // "pages touched cold" figure is env reads plus blob block reads.
+    let btree_total = pb.logical_reads;
+    let seg_total = ps.logical_reads + ps.block_reads;
+    suite
+        .case("probe/btree")
+        .metric("match_lookups", pb.match_lookups as f64)
+        .metric("logical_reads", pb.logical_reads as f64)
+        .metric("disk_reads", pb.disk_reads as f64)
+        .metric("total_reads", btree_total as f64)
+        .metric("reads_per_lookup", btree_total as f64 / pb.match_lookups.max(1) as f64)
+        .metric("elapsed_us", pb.elapsed_us as f64);
+    suite
+        .case("probe/segment")
+        .metric("match_lookups", ps.match_lookups as f64)
+        .metric("logical_reads", ps.logical_reads as f64)
+        .metric("disk_reads", ps.disk_reads as f64)
+        .metric("block_reads", ps.block_reads as f64)
+        .metric("total_reads", seg_total as f64)
+        .metric("reads_per_lookup", seg_total as f64 / ps.match_lookups.max(1) as f64)
+        .metric("elapsed_us", ps.elapsed_us as f64);
+    println!(
+        "cold probes ({} lookups): btree {} reads, segment {} reads \
+         ({} env + {} blob blocks)",
+        pb.match_lookups, btree_total, seg_total, ps.logical_reads, ps.block_reads
+    );
+
+    // The headline acceptance bound, checked on every run.
+    assert!(
+        seg_bpp * 2.0 <= btree_bpp,
+        "segments must use at most half the bytes per posting \
+         (segment {seg_bpp:.2} vs btree {btree_bpp:.2})"
+    );
+
+    suite.write().expect("write BENCH_segment_layout.json");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -62,7 +62,12 @@ fn build_seed(dir: &Path, cfg: &Config, classes: &[FrequencyClass]) -> PathBuf {
     xk_index::build_disk_index_with(
         &env,
         &tree,
-        &xk_index::BuildOptions { store_document: true, level_headroom_bits: 12, extra_levels: 2 },
+        &xk_index::BuildOptions {
+            store_document: true,
+            level_headroom_bits: 12,
+            extra_levels: 2,
+            ..Default::default()
+        },
     )
     .expect("seed index build");
     env.flush().expect("flush seed");

@@ -44,7 +44,7 @@ pub mod stats;
 
 pub use brute::{brute_force_all_lcas, brute_force_slca, remove_ancestors};
 pub use lca::{all_lcas, all_lcas_collect, LcaKind};
-pub use lists::{MemList, RankedList, StreamList};
+pub use lists::{ChainedRankedList, ChainedStreamList, MemList, RankedList, StreamList};
 pub use matching::{deeper, deepest_dominator_ranked, EagerFilter};
 pub use slca::{
     indexed_lookup_eager, indexed_lookup_eager_buffered, indexed_lookup_eager_collect,

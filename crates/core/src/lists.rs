@@ -77,6 +77,34 @@ impl<L: StreamList + ?Sized> StreamList for &mut L {
     }
 }
 
+impl<L: RankedList + ?Sized> RankedList for Box<L> {
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+
+    fn rm(&mut self, v: &Dewey) -> Option<Dewey> {
+        (**self).rm(v)
+    }
+
+    fn lm(&mut self, v: &Dewey) -> Option<Dewey> {
+        (**self).lm(v)
+    }
+}
+
+impl<L: StreamList + ?Sized> StreamList for Box<L> {
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+
+    fn rewind(&mut self) {
+        (**self).rewind()
+    }
+
+    fn next_node(&mut self) -> Option<Dewey> {
+        (**self).next_node()
+    }
+}
+
 /// An in-memory keyword list: a sorted, duplicate-free `Vec<Dewey>`.
 #[derive(Debug, Clone, Default)]
 pub struct MemList {
@@ -138,6 +166,102 @@ impl StreamList for MemList {
     }
 }
 
+/// A [`RankedList`] over several disjoint, time-ordered parts of one
+/// keyword's postings — the shape a segment store produces, where every
+/// id in part `i` is smaller than every id in part `i + 1` (the engine's
+/// tail-append invariant). Each part carries its minimum id, so a probe
+/// binary-searches the minima and consults **at most one** part:
+///
+/// * `rm(v)` — the candidate part is the last one whose min is `<= v`;
+///   if it has no id `>= v`, the answer is the *next* part's min,
+///   available without touching that part at all.
+/// * `lm(v)` — the candidate part is guaranteed to contain the answer
+///   (its min qualifies).
+pub struct ChainedRankedList {
+    parts: Vec<(Dewey, Box<dyn RankedList>)>,
+    total: u64,
+}
+
+impl ChainedRankedList {
+    /// Chains `parts`, each tagged with its minimum id. Parts must be
+    /// non-empty, with strictly ascending minima and disjoint ranges.
+    pub fn new(parts: Vec<(Dewey, Box<dyn RankedList>)>) -> ChainedRankedList {
+        debug_assert!(
+            parts.windows(2).all(|w| w[0].0 < w[1].0),
+            "chained parts must have ascending minima"
+        );
+        let total = parts.iter().map(|(_, p)| p.len()).sum();
+        ChainedRankedList { parts, total }
+    }
+}
+
+impl RankedList for ChainedRankedList {
+    fn len(&self) -> u64 {
+        self.total
+    }
+
+    fn rm(&mut self, v: &Dewey) -> Option<Dewey> {
+        let idx = self.parts.partition_point(|(min, _)| min <= v);
+        if idx == 0 {
+            // v precedes every part: the global minimum answers.
+            return self.parts.first().map(|(min, _)| min.clone());
+        }
+        // xk-analyze: allow(panic_path, reason = "partition_point returned idx > 0, so idx - 1 indexes within parts")
+        if let Some(n) = self.parts[idx - 1].1.rm(v) {
+            return Some(n);
+        }
+        self.parts.get(idx).map(|(min, _)| min.clone())
+    }
+
+    fn lm(&mut self, v: &Dewey) -> Option<Dewey> {
+        let idx = self.parts.partition_point(|(min, _)| min <= v);
+        if idx == 0 {
+            return None;
+        }
+        // xk-analyze: allow(panic_path, reason = "partition_point returned idx > 0, so idx - 1 indexes within parts")
+        self.parts[idx - 1].1.lm(v)
+    }
+}
+
+/// A [`StreamList`] concatenating several parts front to back (same
+/// disjoint time-ordered shape as [`ChainedRankedList`]).
+pub struct ChainedStreamList {
+    parts: Vec<Box<dyn StreamList>>,
+    cur: usize,
+    total: u64,
+}
+
+impl ChainedStreamList {
+    /// Chains `parts` in id order.
+    pub fn new(parts: Vec<Box<dyn StreamList>>) -> ChainedStreamList {
+        let total = parts.iter().map(|p| p.len()).sum();
+        ChainedStreamList { parts, cur: 0, total }
+    }
+}
+
+impl StreamList for ChainedStreamList {
+    fn len(&self) -> u64 {
+        self.total
+    }
+
+    fn rewind(&mut self) {
+        for p in &mut self.parts {
+            p.rewind();
+        }
+        self.cur = 0;
+    }
+
+    fn next_node(&mut self) -> Option<Dewey> {
+        while let Some(p) = self.parts.get_mut(self.cur) {
+            if let Some(n) = p.next_node() {
+                return Some(n);
+            }
+            self.cur += 1;
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,5 +319,64 @@ mod tests {
         assert_eq!(l.rm(&d("0")), None);
         assert_eq!(l.lm(&d("0")), None);
         assert_eq!(l.next_node(), None);
+    }
+
+    /// Splits `all` into disjoint consecutive runs and chains them.
+    fn chained_from(all: &[Dewey], cuts: &[usize]) -> ChainedRankedList {
+        let mut parts: Vec<(Dewey, Box<dyn RankedList>)> = Vec::new();
+        let mut start = 0;
+        for &cut in cuts.iter().chain(std::iter::once(&all.len())) {
+            if cut > start {
+                let run = all[start..cut].to_vec();
+                parts.push((run[0].clone(), Box::new(MemList::from_sorted(run))));
+                start = cut;
+            }
+        }
+        ChainedRankedList::new(parts)
+    }
+
+    #[test]
+    fn chained_ranked_matches_flat_oracle() {
+        let all: Vec<Dewey> =
+            ["0.0", "0.1", "0.1.0.2", "0.2", "0.4.1", "0.4.2", "0.7", "1.0"]
+                .iter()
+                .map(|s| d(s))
+                .collect();
+        let mut oracle = MemList::from_sorted(all.clone());
+        for cuts in [vec![], vec![3], vec![1, 4, 6], vec![2, 3, 4, 5]] {
+            let mut chain = chained_from(&all, &cuts);
+            assert_eq!(RankedList::len(&chain), all.len() as u64);
+            let mut probes = all.clone();
+            probes.extend(["0", "0.0.0", "0.3", "0.4.1.9", "0.9", "2"].iter().map(|s| d(s)));
+            for p in &probes {
+                assert_eq!(chain.rm(p), oracle.rm(p), "rm({p}) cuts {cuts:?}");
+                assert_eq!(chain.lm(p), oracle.lm(p), "lm({p}) cuts {cuts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chained_ranked_empty_and_single() {
+        let mut empty = ChainedRankedList::new(vec![]);
+        assert!(RankedList::is_empty(&empty));
+        assert_eq!(empty.rm(&d("0")), None);
+        assert_eq!(empty.lm(&d("0")), None);
+    }
+
+    #[test]
+    fn chained_stream_concatenates_and_rewinds() {
+        let a = MemList::from_sorted(vec![d("0.1"), d("0.2")]);
+        let b = MemList::from_sorted(vec![d("0.5")]);
+        let mut s = ChainedStreamList::new(vec![Box::new(a), Box::new(b)]);
+        assert_eq!(StreamList::len(&s), 3);
+        let mut got = Vec::new();
+        while let Some(n) = s.next_node() {
+            got.push(n);
+        }
+        assert_eq!(got, vec![d("0.1"), d("0.2"), d("0.5")]);
+        s.rewind();
+        assert_eq!(s.next_node(), Some(d("0.1")));
+        let mut none = ChainedStreamList::new(vec![]);
+        assert_eq!(none.next_node(), None);
     }
 }

@@ -90,6 +90,7 @@ impl KeywordMeta {
         out
     }
 
+    // xk-analyze: allow(panic_path, reason = "fixed-width slices of a length-checked META_BYTES buffer cannot fail try_into")
     pub(crate) fn decode(bytes: &[u8]) -> Result<KeywordMeta> {
         if bytes.len() != META_BYTES {
             return Err(IndexError::Corrupt(format!(
@@ -115,6 +116,7 @@ fn il_key(kwid: u32, packed: &[u8]) -> Vec<u8> {
 }
 
 /// Splits an IL key back into keyword id and packed Dewey.
+// xk-analyze: allow(panic_path, reason = "the 4-byte slice is guarded by the key.len() < 4 check above it")
 pub(crate) fn split_il_key(key: &[u8]) -> Result<(u32, &[u8])> {
     if key.len() < 4 {
         return Err(IndexError::Corrupt("IL key shorter than a keyword id".into()));
@@ -122,11 +124,11 @@ pub(crate) fn split_il_key(key: &[u8]) -> Result<(u32, &[u8])> {
     Ok((u32::from_be_bytes(key[..4].try_into().unwrap()), &key[4..]))
 }
 
-// ---- meta blob: level table + optional document handle ----
+// ---- meta blob: level table + optional document handle + extension ----
 
-fn encode_blob(table: &LevelTable, doc: Option<ListHandle>) -> Vec<u8> {
+fn encode_blob(table: &LevelTable, doc: Option<ListHandle>, extension: &[u8]) -> Vec<u8> {
     let lt = table.encode();
-    let mut out = Vec::with_capacity(2 + lt.len() + 21);
+    let mut out = Vec::with_capacity(2 + lt.len() + 21 + extension.len());
     out.extend_from_slice(&(lt.len() as u16).to_le_bytes());
     out.extend_from_slice(&lt);
     match doc {
@@ -136,10 +138,16 @@ fn encode_blob(table: &LevelTable, doc: Option<ListHandle>) -> Vec<u8> {
         }
         None => out.push(0),
     }
+    out.extend_from_slice(extension);
     out
 }
 
-pub(crate) fn decode_blob(blob: &[u8]) -> Result<(LevelTable, Option<ListHandle>)> {
+/// Decodes the meta blob into level table, document handle, and the
+/// opaque extension region. Everything past the document section belongs
+/// to higher layers (today: the segment store's journal/manifest
+/// handles); this crate round-trips it untouched.
+// xk-analyze: allow(panic_path, reason = "every slice/index is range-checked against blob.len() before use; ext_start is bounded by the document-handle get() that precedes it")
+pub(crate) fn decode_blob(blob: &[u8]) -> Result<(LevelTable, Option<ListHandle>, Vec<u8>)> {
     if blob.len() < 3 {
         return Err(IndexError::Corrupt("meta blob too short".into()));
     }
@@ -150,8 +158,8 @@ pub(crate) fn decode_blob(blob: &[u8]) -> Result<(LevelTable, Option<ListHandle>
     }
     let table = LevelTable::decode(&blob[2..lt_end])
         .ok_or_else(|| IndexError::Corrupt("bad level table".into()))?;
-    let doc = match blob[lt_end] {
-        0 => None,
+    let (doc, ext_start) = match blob[lt_end] {
+        0 => (None, lt_end + 1),
         1 => {
             // The handle bytes come from disk: a blob that passes the
             // earlier length checks can still end mid-handle, and slicing
@@ -161,11 +169,14 @@ pub(crate) fn decode_blob(blob: &[u8]) -> Result<(LevelTable, Option<ListHandle>
                 .ok_or_else(|| {
                     IndexError::Corrupt("meta blob truncated inside document handle".into())
                 })?;
-            Some(ListHandle::decode(handle)?)
+            (
+                Some(ListHandle::decode(handle)?),
+                lt_end + 1 + xk_storage::liststore::LIST_HANDLE_BYTES,
+            )
         }
         b => return Err(IndexError::Corrupt(format!("bad document flag {b}"))),
     };
-    Ok((table, doc))
+    Ok((table, doc, blob[ext_start..].to_vec()))
 }
 
 /// Options for [`build_disk_index_with`].
@@ -183,11 +194,21 @@ pub struct BuildOptions {
     /// Additional 8-bit levels beyond the initial document's depth, so
     /// appended fragments may be deeper than anything seen at build time.
     pub extra_levels: usize,
+    /// Write posting lists into the B+tree layouts (sequential chains +
+    /// composite IL keys). `false` leaves both trees empty — the segment
+    /// store becomes the sole posting layout and the index keeps only
+    /// the level table, vocabulary-free frequency map, and document.
+    pub index_postings: bool,
 }
 
 impl Default for BuildOptions {
     fn default() -> Self {
-        BuildOptions { store_document: true, level_headroom_bits: 2, extra_levels: 2 }
+        BuildOptions {
+            store_document: true,
+            level_headroom_bits: 2,
+            extra_levels: 2,
+            index_postings: true,
+        }
     }
 }
 
@@ -204,7 +225,12 @@ pub fn build_disk_index(
     build_disk_index_with(
         env,
         tree,
-        &BuildOptions { store_document, level_headroom_bits: 0, extra_levels: 0 },
+        &BuildOptions {
+            store_document,
+            level_headroom_bits: 0,
+            extra_levels: 0,
+            index_postings: true,
+        },
     )
 }
 
@@ -220,15 +246,21 @@ pub fn build_disk_index_with(
     let lists = MemIndex::build(tree).into_sorted_lists();
 
     // Phase 1: sequential list chains, collecting the vocabulary entries.
-    let mut vocab_entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(lists.len());
-    for (kwid, (keyword, nodes)) in lists.iter().enumerate() {
-        let mut writer = ListWriter::new(env);
-        for node in nodes {
-            writer.append(env, &encode_dewey(node, &table)?)?;
+    // With `index_postings` off both layouts stay empty (the trees are
+    // still created so open finds valid roots); the segment store owns
+    // the postings instead.
+    let mut vocab_entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    if options.index_postings {
+        vocab_entries.reserve(lists.len());
+        for (kwid, (keyword, nodes)) in lists.iter().enumerate() {
+            let mut writer = ListWriter::new(env);
+            for node in nodes {
+                writer.append(env, &encode_dewey(node, &table)?)?;
+            }
+            let handle = writer.finish(env)?;
+            let meta = KeywordMeta { kwid: kwid as u32, count: nodes.len() as u64, handle };
+            vocab_entries.push((keyword.as_bytes().to_vec(), meta.encode().to_vec()));
         }
-        let handle = writer.finish(env)?;
-        let meta = KeywordMeta { kwid: kwid as u32, count: nodes.len() as u64, handle };
-        vocab_entries.push((keyword.as_bytes().to_vec(), meta.encode().to_vec()));
     }
 
     // Phase 2: bulk-load both B+trees. Keywords are sorted, and within a
@@ -236,19 +268,24 @@ pub fn build_disk_index_with(
     // IL keys arrive in strictly ascending order.
     BTree::bulk_load(env, SLOT_VOCAB, vocab_entries)?;
     let mut il_keys: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
-    for (kwid, (_, nodes)) in lists.iter().enumerate() {
-        for node in nodes {
-            il_keys.push((il_key(kwid as u32, &encode_dewey(node, &table)?), Vec::new()));
+    if options.index_postings {
+        for (kwid, (_, nodes)) in lists.iter().enumerate() {
+            for node in nodes {
+                il_keys.push((il_key(kwid as u32, &encode_dewey(node, &table)?), Vec::new()));
+            }
         }
     }
     BTree::bulk_load(env, SLOT_IL, il_keys)?;
 
     let doc_handle = if store_document {
-        let xml = xk_xmltree::to_xml_string(tree, xk_xmltree::NodeId::ROOT);
+        // Structural encoding, not XML text: XML merges adjacent text
+        // siblings on re-parse, which would shift the Dewey ordinals
+        // appends are allocated from (see `xk_xmltree::encode_tree`).
+        let encoded = xk_xmltree::encode_tree(tree);
         let mut writer = ListWriter::new(env);
         // Chunk the document into page-sized records.
         let chunk = env.page_size() / 2;
-        for part in xml.as_bytes().chunks(chunk) {
+        for part in encoded.chunks(chunk) {
             writer.append(env, part)?;
         }
         Some(writer.finish(env)?)
@@ -256,7 +293,7 @@ pub fn build_disk_index_with(
         None
     };
 
-    env.set_user_blob(&encode_blob(&table, doc_handle))?;
+    env.set_user_blob(&encode_blob(&table, doc_handle, &[]))?;
     env.flush()?;
     Ok(lists.len())
 }
@@ -274,6 +311,10 @@ pub struct DiskIndex {
     /// The paper's in-memory frequency hash table, loaded at open time.
     freq: HashMap<String, KeywordMeta>,
     doc_handle: Option<ListHandle>,
+    /// Opaque extension region after the document section of the meta
+    /// blob — owned by higher layers (the segment store), preserved
+    /// verbatim across document rewrites.
+    extension: Vec<u8>,
     max_kwid: u32,
 }
 
@@ -281,7 +322,7 @@ impl DiskIndex {
     /// Opens the index stored in `env`, loading the frequency table.
     pub fn open(env: &StorageEnv) -> Result<DiskIndex> {
         let blob = env.user_blob()?;
-        let (level_table, doc_handle) = decode_blob(&blob)?;
+        let (level_table, doc_handle, extension) = decode_blob(&blob)?;
         let vocab = BTree::open(env, SLOT_VOCAB)?;
         let il = BTree::open(env, SLOT_IL)?;
         let mut freq = HashMap::new();
@@ -295,7 +336,7 @@ impl DiskIndex {
             freq.insert(word, meta);
             c.advance(env)?;
         }
-        Ok(DiskIndex { il, level_table: Arc::new(level_table), freq, doc_handle, max_kwid })
+        Ok(DiskIndex { il, level_table: Arc::new(level_table), freq, doc_handle, extension, max_kwid })
     }
 
     /// Frequency-table lookup (already-normalized keyword).
@@ -327,11 +368,19 @@ impl DiskIndex {
     pub fn load_document(&self, env: &StorageEnv) -> Result<Option<XmlTree>> {
         let Some(handle) = self.doc_handle else { return Ok(None) };
         let mut reader = ListReader::new(&handle);
-        let mut xml = Vec::new();
+        let mut bytes = Vec::new();
         while let Some(chunk) = reader.next_record(env)? {
-            xml.extend_from_slice(&chunk);
+            bytes.extend_from_slice(&chunk);
         }
-        let text = String::from_utf8(xml)
+        // Structural encoding (lossless — XML text merges adjacent text
+        // siblings, which would shift Dewey ordinals under appends); the
+        // XML fallback reads documents stored by earlier versions.
+        if bytes.starts_with(&xk_xmltree::TREE_MAGIC[..]) {
+            return xk_xmltree::decode_tree(&bytes)
+                .map(Some)
+                .map_err(|e| IndexError::Corrupt(format!("stored document: {e}")));
+        }
+        let text = String::from_utf8(bytes)
             .map_err(|_| IndexError::Corrupt("stored document is not UTF-8".into()))?;
         xk_xmltree::parse(&text)
             .map(Some)
@@ -439,15 +488,29 @@ impl DiskIndex {
         if let Some(old) = self.doc_handle.take() {
             xk_storage::free_list(env, &old)?;
         }
-        let xml = xk_xmltree::to_xml_string(tree, xk_xmltree::NodeId::ROOT);
+        let encoded = xk_xmltree::encode_tree(tree);
         let mut writer = ListWriter::new(env);
         let chunk = env.page_size() / 2;
-        for part in xml.as_bytes().chunks(chunk) {
+        for part in encoded.chunks(chunk) {
             writer.append(env, part)?;
         }
         let handle = writer.finish(env)?;
         self.doc_handle = Some(handle);
-        env.set_user_blob(&encode_blob(&self.level_table, self.doc_handle))?;
+        env.set_user_blob(&encode_blob(&self.level_table, self.doc_handle, &self.extension))?;
+        Ok(())
+    }
+
+    /// The opaque extension region of the meta blob (empty when unused).
+    pub fn extension(&self) -> &[u8] {
+        &self.extension
+    }
+
+    /// Replaces the extension region and rewrites the meta blob. The
+    /// write lands on the same page `store_document` touches, so a
+    /// transaction covering both stays single-page cheap.
+    pub fn set_extension(&mut self, env: &StorageEnv, bytes: Vec<u8>) -> Result<()> {
+        self.extension = bytes;
+        env.set_user_blob(&encode_blob(&self.level_table, self.doc_handle, &self.extension))?;
         Ok(())
     }
 }

@@ -16,8 +16,8 @@
 //!    to two chains;
 //! 5. **IL B+tree** — invariants, leaf links, every composite key splits
 //!    and decodes, and per-keyword entry counts match the vocabulary;
-//! 6. **stored document** — the chain walks, concatenates to UTF-8, and
-//!    parses back into a tree.
+//! 6. **stored document** — the chain walks and the payload decodes back
+//!    into a tree (structural `XKDOC1` records, or legacy UTF-8 XML text).
 
 use crate::codec::decode_dewey;
 use crate::diskindex::{decode_blob, split_il_key, KeywordMeta, SLOT_IL, SLOT_VOCAB};
@@ -82,7 +82,7 @@ pub fn verify_index(env: &StorageEnv) -> VerifyReport {
             return report;
         }
     };
-    let (table, doc_handle) = match decode_blob(&blob) {
+    let (table, doc_handle, _extension) = match decode_blob(&blob) {
         Ok(parts) => parts,
         Err(e) => {
             report.issue(format!("meta blob: {e}"));
@@ -344,6 +344,13 @@ fn verify_document(
             }
         }
     }
+    if xml.starts_with(&xk_xmltree::TREE_MAGIC[..]) {
+        if let Err(e) = xk_xmltree::decode_tree(&xml) {
+            report.issue(format!("stored document does not decode: {e}"));
+        }
+        return;
+    }
+    // Legacy databases stored the document as XML text.
     match String::from_utf8(xml) {
         Ok(text) => {
             if let Err(e) = xk_xmltree::parse(&text) {

@@ -1,0 +1,212 @@
+//! Varint and prefix-delta encoding of Dewey postings.
+//!
+//! Inside a segment, posting lists are sorted by Dewey id (document
+//! order), and consecutive ids share long root-side prefixes — DBLP-like
+//! documents are wide and shallow, so two neighbouring postings usually
+//! differ only in their last one or two components. Each entry is
+//! therefore stored as a delta against its predecessor:
+//!
+//! ```text
+//! entry := varint(shared)      components reused from the previous entry
+//!          varint(suffix_len)  number of fresh components
+//!          suffix_len × varint(component)
+//! ```
+//!
+//! A *restart* entry is simply one encoded with `shared = 0`, making it
+//! self-contained; the writer forces a restart at every block boundary
+//! and at the start of every keyword run, so a reader can begin decoding
+//! at any skip-table chunk without upstream context. The decoder needs
+//! no special casing — `shared = 0` reconstructs from nothing.
+
+use crate::error::{Result, SegmentError};
+use xk_xmltree::Dewey;
+
+/// Appends `v` as a LEB128 varint (7 bits per byte, MSB = continuation).
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes a LEB128 varint from `buf[*pos..]`, advancing `pos`.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| SegmentError::Corrupt("varint truncated".into()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(SegmentError::Corrupt("varint overflows u64".into()));
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Number of leading components `a` and `b` share.
+fn shared_prefix(a: &[u32], b: &[u32]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+/// Encodes `d` as a delta against `prev` into `out`. With `prev = None`
+/// the entry is a restart (fully self-contained).
+// xk-analyze: allow(panic_path, reason = "shared_prefix never exceeds comps.len(), so comps[shared..] is in range")
+pub fn encode_entry(out: &mut Vec<u8>, prev: Option<&Dewey>, d: &Dewey) {
+    let comps = d.components();
+    let shared = match prev {
+        Some(p) => shared_prefix(p.components(), comps),
+        None => 0,
+    };
+    put_varint(out, shared as u64);
+    put_varint(out, (comps.len() - shared) as u64);
+    for &c in &comps[shared..] {
+        put_varint(out, c as u64);
+    }
+}
+
+/// Decodes one entry from `buf[*pos..]` given the previous decoded Dewey
+/// (`None` only before a restart entry).
+// xk-analyze: allow(panic_path, reason = "components()[..shared] is guarded by the shared > p.depth() corruption check above it")
+pub fn decode_entry(buf: &[u8], pos: &mut usize, prev: Option<&Dewey>) -> Result<Dewey> {
+    let shared = get_varint(buf, pos)? as usize;
+    let suffix_len = get_varint(buf, pos)? as usize;
+    let mut comps: Vec<u32> = match prev {
+        Some(p) => {
+            if shared > p.depth() {
+                return Err(SegmentError::Corrupt(format!(
+                    "delta shares {shared} components but predecessor has {}",
+                    p.depth()
+                )));
+            }
+            p.components()[..shared].to_vec()
+        }
+        None => {
+            if shared != 0 {
+                return Err(SegmentError::Corrupt(
+                    "restart entry claims shared components".into(),
+                ));
+            }
+            Vec::new()
+        }
+    };
+    if suffix_len > u16::MAX as usize {
+        return Err(SegmentError::Corrupt(format!("absurd suffix length {suffix_len}")));
+    }
+    comps.reserve(suffix_len);
+    for _ in 0..suffix_len {
+        let c = get_varint(buf, pos)?;
+        let c = u32::try_from(c)
+            .map_err(|_| SegmentError::Corrupt(format!("component {c} overflows u32")))?;
+        comps.push(c);
+    }
+    Ok(Dewey::from_components(comps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Dewey {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut out = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            put_varint(&mut out, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_varint(&out, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, out.len());
+    }
+
+    #[test]
+    fn varint_truncation_is_typed() {
+        let mut out = Vec::new();
+        put_varint(&mut out, 1 << 40);
+        out.truncate(out.len() - 1);
+        let mut pos = 0;
+        assert!(matches!(get_varint(&out, &mut pos), Err(SegmentError::Corrupt(_))));
+    }
+
+    #[test]
+    fn entry_roundtrip_chain() {
+        let nodes = [d("0"), d("0.1"), d("0.1.0"), d("0.1.5"), d("0.2.3.4"), d("7")];
+        let mut out = Vec::new();
+        let mut prev: Option<&Dewey> = None;
+        for n in &nodes {
+            encode_entry(&mut out, prev, n);
+            prev = Some(n);
+        }
+        let mut pos = 0;
+        let mut decoded_prev: Option<Dewey> = None;
+        for n in &nodes {
+            let got = decode_entry(&out, &mut pos, decoded_prev.as_ref()).unwrap();
+            assert_eq!(&got, n);
+            decoded_prev = Some(got);
+        }
+        assert_eq!(pos, out.len());
+    }
+
+    #[test]
+    fn restart_entry_is_self_contained() {
+        let mut out = Vec::new();
+        encode_entry(&mut out, None, &d("3.4.5"));
+        let mut pos = 0;
+        assert_eq!(decode_entry(&out, &mut pos, None).unwrap(), d("3.4.5"));
+    }
+
+    #[test]
+    fn root_dewey_encodes() {
+        let mut out = Vec::new();
+        encode_entry(&mut out, None, &Dewey::root());
+        let mut pos = 0;
+        assert_eq!(decode_entry(&out, &mut pos, None).unwrap(), Dewey::root());
+    }
+
+    #[test]
+    fn bogus_shared_count_is_typed() {
+        // shared=5 against a depth-1 predecessor.
+        let mut out = Vec::new();
+        put_varint(&mut out, 5);
+        put_varint(&mut out, 0);
+        let mut pos = 0;
+        let prev = d("0");
+        assert!(matches!(
+            decode_entry(&out, &mut pos, Some(&prev)),
+            Err(SegmentError::Corrupt(_))
+        ));
+        // And a restart claiming shared components.
+        let mut pos = 0;
+        assert!(matches!(decode_entry(&out, &mut pos, None), Err(SegmentError::Corrupt(_))));
+    }
+
+    #[test]
+    fn prefix_sharing_shrinks_neighbours() {
+        // Two deep siblings: the delta should be a handful of bytes, far
+        // below the ~9 bytes of the absolute form.
+        let a = Dewey::from_components(vec![0, 3, 1, 4, 1, 5, 9, 2]);
+        let b = Dewey::from_components(vec![0, 3, 1, 4, 1, 5, 9, 3]);
+        let mut absolute = Vec::new();
+        encode_entry(&mut absolute, None, &b);
+        let mut delta = Vec::new();
+        encode_entry(&mut delta, Some(&a), &b);
+        assert!(delta.len() < absolute.len(), "{} !< {}", delta.len(), absolute.len());
+        assert_eq!(delta.len(), 3); // shared=7, suffix_len=1, component 3
+    }
+}

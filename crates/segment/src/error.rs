@@ -1,0 +1,100 @@
+//! Segment error type and the per-query poison slot.
+//!
+//! The `xk-slca` list traits are infallible by design, so the segment
+//! list adapters report I/O and corruption failures the same way the
+//! disk-index adapters do: they record the first error in a shared
+//! [`ErrorSlot`], return `None` (which terminates any of the four
+//! algorithms), and the engine checks the slot once the algorithm
+//! finishes. Corruption is always a typed error — a segment blob with a
+//! bad CRC, a non-monotone skip entry, or a truncated dictionary never
+//! panics.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use xk_storage::StorageError;
+
+/// Errors from writing, opening, or reading a packed segment.
+#[derive(Debug)]
+pub enum SegmentError {
+    /// Underlying pager / file I/O failure.
+    Storage(StorageError),
+    /// The blob violates the XKSEG1 format (bad magic, CRC mismatch,
+    /// truncated dictionary, non-monotone postings, ...).
+    Corrupt(String),
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::Storage(e) => write!(f, "segment storage error: {e}"),
+            SegmentError::Corrupt(m) => write!(f, "corrupt segment: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+impl From<StorageError> for SegmentError {
+    fn from(e: StorageError) -> Self {
+        SegmentError::Storage(e)
+    }
+}
+
+impl From<std::io::Error> for SegmentError {
+    fn from(e: std::io::Error) -> Self {
+        SegmentError::Storage(StorageError::from(e))
+    }
+}
+
+/// Convenience alias for segment results.
+pub type Result<T> = std::result::Result<T, SegmentError>;
+
+/// A shared first-error-wins slot, one per query, threaded through every
+/// segment list adapter the query builds (the segment-side analogue of
+/// `xk_index::SharedEnv`'s poison slot).
+#[derive(Clone, Default)]
+pub struct ErrorSlot {
+    slot: Arc<Mutex<Option<SegmentError>>>,
+}
+
+impl ErrorSlot {
+    /// A fresh, empty slot.
+    pub fn new() -> ErrorSlot {
+        ErrorSlot::default()
+    }
+
+    /// Records an error; the first one wins (it is the root cause).
+    pub fn poison(&self, err: SegmentError) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+    }
+
+    /// Takes the recorded error, clearing the slot. `Some` means every
+    /// list result since the last take is untrustworthy.
+    pub fn take(&self) -> Option<SegmentError> {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+
+    /// True if an adapter has recorded an error since the last take.
+    pub fn is_poisoned(&self) -> bool {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner()).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_error_wins() {
+        let slot = ErrorSlot::new();
+        assert!(!slot.is_poisoned());
+        slot.poison(SegmentError::Corrupt("first".into()));
+        slot.poison(SegmentError::Corrupt("second".into()));
+        let err = slot.take().unwrap();
+        assert!(err.to_string().contains("first"), "{err}");
+        assert!(slot.take().is_none(), "slot cleared after take");
+    }
+}

@@ -1,0 +1,134 @@
+//! Tiered compaction of sealed segments.
+//!
+//! Segments accumulate in seal (time) order, and the engine's
+//! tail-append invariant makes every segment's postings strictly greater
+//! than those of all earlier segments. Compaction therefore only ever
+//! merges **adjacent-in-time runs** — concatenating per-keyword lists in
+//! seal order preserves global sort order with no interleaving — and the
+//! merged blob simply replaces the run at its position in the manifest.
+//!
+//! The policy is size-tiered: each segment falls in a size class
+//! (log base 4 of its posting count), and a run of at least
+//! [`MERGE_FANOUT`] adjacent segments in the same class is merged into
+//! one segment of (usually) the next class. Small fresh seals thus fold
+//! together quickly while big settled segments are rarely rewritten.
+
+use crate::error::{Result, SegmentError};
+use crate::reader::SegmentReader;
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::Arc;
+use xk_xmltree::Dewey;
+
+/// Minimum run length that triggers a merge.
+pub const MERGE_FANOUT: usize = 4;
+/// Upper bound on segments folded in one merge (bounds merge cost).
+pub const MERGE_MAX_RUN: usize = 8;
+
+/// Size class of a segment: log base 4 of its posting count.
+pub fn size_class(postings: u64) -> u32 {
+    postings.max(1).ilog2() / 2
+}
+
+/// Picks the next run to compact from the manifest's per-segment posting
+/// counts (in seal order): the earliest run of `MERGE_FANOUT` or more
+/// adjacent segments sharing the *smallest* eligible size class.
+pub fn plan_merge(counts: &[u64]) -> Option<Range<usize>> {
+    let mut best: Option<(u32, Range<usize>)> = None;
+    let mut start = 0usize;
+    while start < counts.len() {
+        let class = size_class(counts[start]);
+        let mut end = start + 1;
+        while end < counts.len() && size_class(counts[end]) == class {
+            end += 1;
+        }
+        if end - start >= MERGE_FANOUT {
+            let run = start..(start + (end - start).min(MERGE_MAX_RUN));
+            match &best {
+                Some((c, _)) if *c <= class => {}
+                _ => best = Some((class, run)),
+            }
+        }
+        start = end;
+    }
+    best.map(|(_, run)| run)
+}
+
+/// Concatenates the posting lists of `readers` (in seal order) into one
+/// sorted map, enforcing the disjoint-and-ordered invariant that makes
+/// concatenation a valid merge.
+pub fn merged_lists(readers: &[Arc<SegmentReader>]) -> Result<BTreeMap<String, Vec<Dewey>>> {
+    let mut out: BTreeMap<String, Vec<Dewey>> = BTreeMap::new();
+    for r in readers {
+        let keywords: Vec<String> = r.keywords().map(|(k, _)| k.to_string()).collect();
+        for kw in keywords {
+            let postings = r.postings(&kw)?;
+            let list = out.entry(kw.clone()).or_default();
+            if let (Some(last), Some(first)) = (list.last(), postings.first()) {
+                if last >= first {
+                    return Err(SegmentError::Corrupt(format!(
+                        "segments out of time order for {kw:?}: segment {} starts at {first} \
+                         but an earlier segment already holds {last}",
+                        r.seq()
+                    )));
+                }
+            }
+            list.extend(postings);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{seal, SealSpec};
+    use xk_storage::MemPager;
+
+    #[test]
+    fn size_classes_are_log4() {
+        assert_eq!(size_class(0), 0);
+        assert_eq!(size_class(1), 0);
+        assert_eq!(size_class(3), 0);
+        assert_eq!(size_class(4), 1);
+        assert_eq!(size_class(15), 1);
+        assert_eq!(size_class(16), 2);
+        assert_eq!(size_class(1 << 20), 10);
+    }
+
+    #[test]
+    fn plan_prefers_smallest_class_run() {
+        // Four big segments then four small ones: merge the small run.
+        let counts = [1000, 1000, 1000, 1000, 2, 3, 2, 2];
+        assert_eq!(plan_merge(&counts), Some(4..8));
+        // No run long enough: nothing to do.
+        assert_eq!(plan_merge(&[1000, 2, 1000, 2, 1000]), None);
+        assert_eq!(plan_merge(&[]), None);
+        // A long run is capped at MERGE_MAX_RUN.
+        let many = [1u64; 20];
+        assert_eq!(plan_merge(&many), Some(0..MERGE_MAX_RUN));
+    }
+
+    #[test]
+    fn merged_lists_concatenates_in_time_order() {
+        let mk = |seq: u64, lists: &BTreeMap<String, Vec<Dewey>>| {
+            let pager = Arc::new(MemPager::new(256));
+            seal(pager.as_ref(), &SealSpec { seq, seal_epoch: 0 }, lists).unwrap();
+            SegmentReader::open(pager, None).unwrap()
+        };
+        let d = |s: &str| s.parse::<Dewey>().unwrap();
+        let mut a = BTreeMap::new();
+        a.insert("x".to_string(), vec![d("0.1"), d("0.2")]);
+        a.insert("y".to_string(), vec![d("0.2")]);
+        let mut b = BTreeMap::new();
+        b.insert("x".to_string(), vec![d("0.5")]);
+        b.insert("z".to_string(), vec![d("0.6")]);
+        let merged = merged_lists(&[mk(1, &a), mk(2, &b)]).unwrap();
+        assert_eq!(merged["x"], vec![d("0.1"), d("0.2"), d("0.5")]);
+        assert_eq!(merged["y"], vec![d("0.2")]);
+        assert_eq!(merged["z"], vec![d("0.6")]);
+        // Wrong order violates the invariant and is a typed error.
+        let err = merged_lists(&[mk(2, &b), mk(1, &a)]).unwrap_err();
+        assert!(err.to_string().contains("time order"), "{err}");
+    }
+}

@@ -1,0 +1,570 @@
+//! Opening and querying a sealed XKSEG1 blob.
+//!
+//! `SegmentReader::open` validates the header, trailer, and dictionary
+//! CRCs and parses the full skip table into memory (the dictionary is a
+//! few bytes per chunk; posting blocks stay on disk). Query adapters
+//! then binary-search the chunk table and decode exactly one block per
+//! `lm`/`rm` probe, caching the last decoded chunk so a run of probes
+//! over the same region touches the pager once.
+
+use crate::codec::{decode_entry, get_varint};
+use crate::error::{ErrorSlot, Result, SegmentError};
+use crate::format::{check_trailer, read_block, unframe_block, Header};
+use crate::manifest::Fence;
+use crate::writer::Chunk;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xk_slca::{RankedList, StreamList};
+use xk_storage::Pager;
+use xk_xmltree::Dewey;
+
+/// One keyword's dictionary entry: total count plus its skip table.
+#[derive(Debug, Clone)]
+pub struct KwEntry {
+    /// Total postings for the keyword in this segment.
+    pub count: u64,
+    /// Skip entries in ascending `min` order.
+    pub chunks: Vec<Chunk>,
+}
+
+/// An open, validated, immutable segment.
+pub struct SegmentReader {
+    pager: Arc<dyn Pager>,
+    header: Header,
+    names: Vec<String>,
+    entries: Vec<KwEntry>,
+    by_name: HashMap<String, usize>,
+    block_reads: AtomicU64,
+}
+
+impl std::fmt::Debug for SegmentReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentReader")
+            .field("seq", &self.header.seq)
+            .field("keywords", &self.names.len())
+            .field("postings", &self.header.posting_count)
+            .finish()
+    }
+}
+
+/// Parses the concatenated dictionary payload into sorted keyword
+/// entries. Shared with [`crate::verify`].
+pub(crate) fn parse_dict(dict: &[u8], keyword_count: u32) -> Result<(Vec<String>, Vec<KwEntry>)> {
+    let mut names = Vec::with_capacity(keyword_count as usize);
+    let mut entries = Vec::with_capacity(keyword_count as usize);
+    let mut pos = 0usize;
+    for _ in 0..keyword_count {
+        let kwlen = get_varint(dict, &mut pos)? as usize;
+        let bytes = dict
+            .get(pos..pos + kwlen)
+            .ok_or_else(|| SegmentError::Corrupt("dictionary keyword truncated".into()))?;
+        pos += kwlen;
+        let name = std::str::from_utf8(bytes)
+            .map_err(|_| SegmentError::Corrupt("dictionary keyword is not UTF-8".into()))?
+            .to_string();
+        if let Some(last) = names.last() {
+            if *last >= name {
+                return Err(SegmentError::Corrupt(format!(
+                    "dictionary keywords out of order ({last:?} then {name:?})"
+                )));
+            }
+        }
+        let count = get_varint(dict, &mut pos)?;
+        let chunk_count = get_varint(dict, &mut pos)? as usize;
+        let mut chunks = Vec::with_capacity(chunk_count);
+        for _ in 0..chunk_count {
+            let block = u32::try_from(get_varint(dict, &mut pos)?)
+                .map_err(|_| SegmentError::Corrupt("chunk block id overflows u32".into()))?;
+            let offset = u32::try_from(get_varint(dict, &mut pos)?)
+                .map_err(|_| SegmentError::Corrupt("chunk offset overflows u32".into()))?;
+            let entry_n = u32::try_from(get_varint(dict, &mut pos)?)
+                .map_err(|_| SegmentError::Corrupt("chunk entry count overflows u32".into()))?;
+            let depth = get_varint(dict, &mut pos)? as usize;
+            if depth > u16::MAX as usize {
+                return Err(SegmentError::Corrupt(format!("absurd chunk min depth {depth}")));
+            }
+            let mut comps = Vec::with_capacity(depth);
+            for _ in 0..depth {
+                let c = get_varint(dict, &mut pos)?;
+                comps.push(u32::try_from(c).map_err(|_| {
+                    SegmentError::Corrupt(format!("chunk min component {c} overflows u32"))
+                })?);
+            }
+            let min = Dewey::from_components(comps);
+            if let Some(prev) = chunks.last() {
+                let prev: &Chunk = prev;
+                if prev.min >= min {
+                    return Err(SegmentError::Corrupt(format!(
+                        "skip entries for {name:?} not ascending ({} then {min})",
+                        prev.min
+                    )));
+                }
+            }
+            chunks.push(Chunk { block, offset, entries: entry_n, min });
+        }
+        let chunk_total: u64 = chunks.iter().map(|c| c.entries as u64).sum();
+        if chunk_total != count {
+            return Err(SegmentError::Corrupt(format!(
+                "dictionary count {count} for {name:?} disagrees with chunk sum {chunk_total}"
+            )));
+        }
+        names.push(name);
+        entries.push(KwEntry { count, chunks });
+    }
+    if pos != dict.len() {
+        return Err(SegmentError::Corrupt(format!(
+            "{} trailing dictionary bytes",
+            dict.len() - pos
+        )));
+    }
+    Ok((names, entries))
+}
+
+impl SegmentReader {
+    /// Opens a sealed segment, validating header, trailer, and dictionary
+    /// integrity. `fence`, when given, cross-checks the blob against the
+    /// manifest entry that claims it — a stale or substituted blob from
+    /// an earlier generation is rejected as corrupt.
+    pub fn open(pager: Arc<dyn Pager>, fence: Option<&Fence>) -> Result<Arc<SegmentReader>> {
+        let block_size = pager.page_size();
+        let mut buf = vec![0u8; block_size];
+        read_block(pager.as_ref(), 0, &mut buf)?;
+        let header = Header::decode(&buf)?;
+        if header.block_size as usize != block_size {
+            return Err(SegmentError::Corrupt(format!(
+                "header block size {} disagrees with pager page size {block_size}",
+                header.block_size
+            )));
+        }
+        if header.total_blocks() > pager.page_count() {
+            return Err(SegmentError::Corrupt(format!(
+                "blob truncated: header wants {} blocks, file has {}",
+                header.total_blocks(),
+                pager.page_count()
+            )));
+        }
+        if let Some(f) = fence {
+            if f.seq != header.seq || f.postings != header.posting_count || f.meta_crc != header.meta_crc
+            {
+                return Err(SegmentError::Corrupt(format!(
+                    "generation fence mismatch: manifest claims seq {} ({} postings, crc {:#010x}), \
+                     blob is seq {} ({} postings, crc {:#010x})",
+                    f.seq, f.postings, f.meta_crc, header.seq, header.posting_count, header.meta_crc
+                )));
+            }
+        }
+        read_block(pager.as_ref(), header.trailer_block(), &mut buf)?;
+        check_trailer(&header, &buf)?;
+        let mut dict = Vec::new();
+        for i in 0..header.dict_blocks {
+            let block_no = 1 + header.data_blocks + i;
+            read_block(pager.as_ref(), block_no, &mut buf)?;
+            dict.extend_from_slice(unframe_block(&buf, block_no)?);
+        }
+        let actual = xk_storage::crc32(&dict);
+        if actual != header.meta_crc {
+            return Err(SegmentError::Corrupt(format!(
+                "dictionary CRC mismatch: stored {:#010x}, computed {actual:#010x}",
+                header.meta_crc
+            )));
+        }
+        let (names, entries) = parse_dict(&dict, header.keyword_count)?;
+        let by_name = names.iter().cloned().zip(0..).collect();
+        Ok(Arc::new(SegmentReader {
+            pager,
+            header,
+            names,
+            entries,
+            by_name,
+            block_reads: AtomicU64::new(0),
+        }))
+    }
+
+    /// The validated blob header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// This segment's sequence number.
+    pub fn seq(&self) -> u64 {
+        self.header.seq
+    }
+
+    /// Occurrence count of `keyword` in this segment (0 when absent).
+    // xk-analyze: allow(panic_path, reason = "by_name values are indices into entries, built together at open")
+    pub fn frequency(&self, keyword: &str) -> u64 {
+        self.by_name.get(keyword).map_or(0, |&i| self.entries[i].count)
+    }
+
+    /// Iterates keywords with their counts, in sorted order.
+    pub fn keywords(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.names.iter().map(|n| n.as_str()).zip(self.entries.iter().map(|e| e.count))
+    }
+
+    /// The smallest Dewey id posted for `keyword` in this segment.
+    // xk-analyze: allow(panic_path, reason = "by_name values are indices into entries, built together at open")
+    pub fn min_dewey(&self, keyword: &str) -> Option<&Dewey> {
+        let &i = self.by_name.get(keyword)?;
+        self.entries[i].chunks.first().map(|c| &c.min)
+    }
+
+    /// Posting blocks read from the pager since open (cache misses only;
+    /// the bench suite uses this as its cold-read proxy).
+    pub fn block_reads(&self) -> u64 {
+        self.block_reads.load(Ordering::Relaxed)
+    }
+
+    /// Reads and unframes one data/dict block, counting the read.
+    fn read_payload(&self, block_no: u32) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; self.header.block_size as usize];
+        read_block(self.pager.as_ref(), block_no, &mut buf)?;
+        self.block_reads.fetch_add(1, Ordering::Relaxed);
+        let payload = unframe_block(&buf, block_no)?;
+        Ok(payload.to_vec())
+    }
+
+    /// Decodes every entry of one skip chunk, validating monotonicity and
+    /// the advertised minimum.
+    pub fn decode_chunk(&self, chunk: &Chunk) -> Result<Vec<Dewey>> {
+        let payload = self.read_payload(chunk.block)?;
+        let mut pos = chunk.offset as usize;
+        if pos > payload.len() {
+            return Err(SegmentError::Corrupt(format!(
+                "chunk offset {pos} overflows block {} payload ({} bytes)",
+                chunk.block,
+                payload.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(chunk.entries as usize);
+        let mut prev: Option<Dewey> = None;
+        for _ in 0..chunk.entries {
+            let d = decode_entry(&payload, &mut pos, prev.as_ref())?;
+            if let Some(p) = &prev {
+                if *p >= d {
+                    return Err(SegmentError::Corrupt(format!(
+                        "decoded postings not ascending in block {} ({p} then {d})",
+                        chunk.block
+                    )));
+                }
+            }
+            out.push(d.clone());
+            prev = Some(d);
+        }
+        if out.first() != Some(&chunk.min) {
+            return Err(SegmentError::Corrupt(format!(
+                "chunk min {} disagrees with first decoded entry in block {}",
+                chunk.min, chunk.block
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Fully decodes `keyword`'s posting list (used by merge, verify, and
+    /// tests; queries go through the probe adapters instead).
+    pub fn postings(&self, keyword: &str) -> Result<Vec<Dewey>> {
+        let Some(&i) = self.by_name.get(keyword) else {
+            return Ok(Vec::new());
+        };
+        let entry = &self.entries[i];
+        let mut out = Vec::with_capacity(entry.count as usize);
+        for chunk in &entry.chunks {
+            out.extend(self.decode_chunk(chunk)?);
+        }
+        Ok(out)
+    }
+
+    /// A probing [`RankedList`] over `keyword`, or `None` when the
+    /// keyword is absent from this segment.
+    pub fn ranked_list(self: &Arc<Self>, keyword: &str, slot: ErrorSlot) -> Option<SegRankedList> {
+        let &kw = self.by_name.get(keyword)?;
+        Some(SegRankedList { reader: Arc::clone(self), kw, slot, cache: None })
+    }
+
+    /// A streaming [`StreamList`] over `keyword`, or `None` when absent.
+    pub fn stream_list(self: &Arc<Self>, keyword: &str, slot: ErrorSlot) -> Option<SegStreamList> {
+        let &kw = self.by_name.get(keyword)?;
+        Some(SegStreamList {
+            reader: Arc::clone(self),
+            kw,
+            slot,
+            chunk_idx: 0,
+            buf: Vec::new(),
+            pos: 0,
+        })
+    }
+
+    // xk-analyze: allow(panic_path, reason = "kw slots are handed out by ranked_list/stream_list from by_name, so they index within entries")
+    pub(crate) fn entry(&self, kw: usize) -> &KwEntry {
+        &self.entries[kw]
+    }
+}
+
+/// `lm`/`rm` probes over one keyword of one segment: binary-search the
+/// skip table, decode (at most) one block, cache it for the next probe.
+pub struct SegRankedList {
+    reader: Arc<SegmentReader>,
+    kw: usize,
+    slot: ErrorSlot,
+    cache: Option<(usize, Vec<Dewey>)>,
+}
+
+impl SegRankedList {
+    /// Chunk `idx` decoded, via the one-chunk cache.
+    fn chunk(&mut self, idx: usize) -> Option<&Vec<Dewey>> {
+        if self.cache.as_ref().map(|(i, _)| *i) != Some(idx) {
+            // xk-analyze: allow(panic_path, reason = "callers derive idx from partition_point over this keyword's chunks, so it is in range")
+            let chunk = &self.reader.entry(self.kw).chunks[idx];
+            match self.reader.decode_chunk(chunk) {
+                Ok(nodes) => self.cache = Some((idx, nodes)),
+                Err(e) => {
+                    self.slot.poison(e);
+                    return None;
+                }
+            }
+        }
+        self.cache.as_ref().map(|(_, nodes)| nodes)
+    }
+
+    /// Index of the first chunk whose min is **greater than** `v`
+    /// (i.e. `v`, if present, lives in chunk `idx - 1`).
+    fn upper_chunk(&self, v: &Dewey) -> usize {
+        self.reader.entry(self.kw).chunks.partition_point(|c| c.min <= *v)
+    }
+}
+
+impl RankedList for SegRankedList {
+    fn len(&self) -> u64 {
+        self.reader.entry(self.kw).count
+    }
+
+    fn rm(&mut self, v: &Dewey) -> Option<Dewey> {
+        let chunks = &self.reader.entry(self.kw).chunks;
+        if chunks.is_empty() {
+            return None;
+        }
+        let idx = self.upper_chunk(v);
+        if idx == 0 {
+            // v precedes everything: the answer is the global minimum,
+            // available straight from the skip table — no block read.
+            return Some(chunks[0].min.clone());
+        }
+        let nodes = self.chunk(idx - 1)?;
+        let at = nodes.partition_point(|n| n < v);
+        if let Some(n) = nodes.get(at) {
+            return Some(n.clone());
+        }
+        // Ran off the chunk: the successor opens the next one.
+        self.reader.entry(self.kw).chunks.get(idx).map(|c| c.min.clone())
+    }
+
+    fn lm(&mut self, v: &Dewey) -> Option<Dewey> {
+        let idx = self.upper_chunk(v);
+        if idx == 0 {
+            return None; // v precedes the whole list
+        }
+        let nodes = self.chunk(idx - 1)?;
+        // chunk.min <= v, so at least one entry qualifies.
+        let at = nodes.partition_point(|n| n <= v);
+        at.checked_sub(1).and_then(|i| nodes.get(i)).cloned()
+    }
+}
+
+/// Sequential scan over one keyword of one segment, decoding blocks as
+/// the cursor crosses chunk boundaries.
+pub struct SegStreamList {
+    reader: Arc<SegmentReader>,
+    kw: usize,
+    slot: ErrorSlot,
+    chunk_idx: usize,
+    buf: Vec<Dewey>,
+    pos: usize,
+}
+
+impl StreamList for SegStreamList {
+    fn len(&self) -> u64 {
+        self.reader.entry(self.kw).count
+    }
+
+    fn rewind(&mut self) {
+        self.chunk_idx = 0;
+        self.buf.clear();
+        self.pos = 0;
+    }
+
+    fn next_node(&mut self) -> Option<Dewey> {
+        loop {
+            if self.pos < self.buf.len() {
+                let n = self.buf[self.pos].clone();
+                self.pos += 1;
+                return Some(n);
+            }
+            let chunk = self.reader.entry(self.kw).chunks.get(self.chunk_idx)?;
+            match self.reader.decode_chunk(chunk) {
+                Ok(nodes) => {
+                    self.buf = nodes;
+                    self.pos = 0;
+                    self.chunk_idx += 1;
+                }
+                Err(e) => {
+                    self.slot.poison(e);
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{seal, SealSpec};
+    use std::collections::BTreeMap;
+    use xk_slca::MemList;
+    use xk_storage::MemPager;
+
+    fn d(s: &str) -> Dewey {
+        s.parse().unwrap()
+    }
+
+    fn sealed(lists: &BTreeMap<String, Vec<Dewey>>, block: usize) -> Arc<SegmentReader> {
+        let pager = Arc::new(MemPager::new(block));
+        seal(pager.as_ref(), &SealSpec { seq: 1, seal_epoch: 0 }, lists).unwrap();
+        SegmentReader::open(pager, None).unwrap()
+    }
+
+    fn corpus() -> BTreeMap<String, Vec<Dewey>> {
+        let mut lists = BTreeMap::new();
+        lists.insert(
+            "alpha".to_string(),
+            (0..500).map(|i| Dewey::from_components(vec![0, i / 7, i % 7])).collect(),
+        );
+        lists.insert("beta".to_string(), vec![d("0.1"), d("0.40.2"), d("0.66")]);
+        lists.insert("gamma".to_string(), vec![d("0.0.0")]);
+        lists.insert("empty-adjacent".to_string(), vec![d("0.9")]);
+        lists
+    }
+
+    #[test]
+    fn open_exposes_dictionary() {
+        let r = sealed(&corpus(), 256);
+        assert_eq!(r.frequency("alpha"), 500);
+        assert_eq!(r.frequency("beta"), 3);
+        assert_eq!(r.frequency("missing"), 0);
+        assert_eq!(r.keywords().count(), 4);
+        assert_eq!(r.min_dewey("beta"), Some(&d("0.1")));
+        assert_eq!(r.postings("beta").unwrap(), vec![d("0.1"), d("0.40.2"), d("0.66")]);
+    }
+
+    #[test]
+    fn probes_match_memlist_oracle() {
+        let lists = corpus();
+        let r = sealed(&lists, 256);
+        let slot = ErrorSlot::new();
+        for (kw, nodes) in &lists {
+            let mut seg = r.ranked_list(kw, slot.clone()).unwrap();
+            let mut mem = MemList::from_sorted(nodes.clone());
+            let mut probes: Vec<Dewey> = nodes.to_vec();
+            probes.push(Dewey::root());
+            probes.push(d("0.0.0.0"));
+            probes.push(d("9999"));
+            probes.push(d("0.35"));
+            for p in &probes {
+                assert_eq!(seg.rm(p), mem.rm(p), "rm({p}) for {kw}");
+                assert_eq!(seg.lm(p), mem.lm(p), "lm({p}) for {kw}");
+            }
+            assert_eq!(RankedList::len(&seg), nodes.len() as u64);
+        }
+        assert!(!slot.is_poisoned());
+    }
+
+    #[test]
+    fn stream_matches_input() {
+        let lists = corpus();
+        let r = sealed(&lists, 256);
+        let slot = ErrorSlot::new();
+        for (kw, nodes) in &lists {
+            let mut s = r.stream_list(kw, slot.clone()).unwrap();
+            let mut got = Vec::new();
+            while let Some(n) = s.next_node() {
+                got.push(n);
+            }
+            assert_eq!(&got, nodes, "stream for {kw}");
+            s.rewind();
+            assert_eq!(s.next_node().as_ref(), nodes.first(), "rewound stream for {kw}");
+        }
+        assert!(!slot.is_poisoned());
+    }
+
+    #[test]
+    fn probe_reads_one_block_and_caches() {
+        let lists = corpus();
+        let r = sealed(&lists, 256);
+        let slot = ErrorSlot::new();
+        let mut seg = r.ranked_list("alpha", slot.clone()).unwrap();
+        let before = r.block_reads();
+        seg.rm(&d("0.35"));
+        let after_first = r.block_reads();
+        assert_eq!(after_first - before, 1, "one probe = one block read");
+        seg.rm(&d("0.35.1"));
+        seg.lm(&d("0.35.2"));
+        assert_eq!(r.block_reads(), after_first, "cached chunk re-used");
+    }
+
+    #[test]
+    fn corrupt_block_poisons_not_panics() {
+        let lists = corpus();
+        let pager = Arc::new(MemPager::new(256));
+        seal(pager.as_ref(), &SealSpec { seq: 1, seal_epoch: 0 }, &lists).unwrap();
+        // Flip a byte in the first posting block (block 1).
+        let mut buf = vec![0u8; 256];
+        pager.read_page(xk_storage::PageId(1), &mut buf).unwrap();
+        buf[40] ^= 0xFF;
+        pager.write_page(xk_storage::PageId(1), &buf).unwrap();
+        let r = SegmentReader::open(pager, None).unwrap(); // dict blocks intact
+        let slot = ErrorSlot::new();
+        let mut seg = r.ranked_list("alpha", slot.clone()).unwrap();
+        // Probe inside the first chunk so the corrupt block is decoded
+        // (a probe before the whole list is answered from the skip table).
+        assert_eq!(seg.rm(&d("0.0.1")), None);
+        assert!(slot.is_poisoned());
+        assert!(matches!(slot.take(), Some(SegmentError::Corrupt(_))));
+    }
+
+    #[test]
+    fn fence_mismatch_rejected() {
+        let pager = Arc::new(MemPager::new(256));
+        seal(pager.as_ref(), &SealSpec { seq: 5, seal_epoch: 0 }, &corpus()).unwrap();
+        let good = Fence { seq: 5, postings: 505, meta_crc: 0 };
+        // Correct fence values come from the actual header.
+        let r = SegmentReader::open(Arc::clone(&pager) as Arc<dyn Pager>, None).unwrap();
+        let fence = Fence {
+            seq: r.header().seq,
+            postings: r.header().posting_count,
+            meta_crc: r.header().meta_crc,
+        };
+        SegmentReader::open(Arc::clone(&pager) as Arc<dyn Pager>, Some(&fence)).unwrap();
+        let err =
+            SegmentReader::open(Arc::clone(&pager) as Arc<dyn Pager>, Some(&good)).unwrap_err();
+        assert!(err.to_string().contains("generation fence"), "{err}");
+    }
+
+    #[test]
+    fn truncated_blob_rejected() {
+        let full = Arc::new(MemPager::new(256));
+        seal(full.as_ref(), &SealSpec { seq: 1, seal_epoch: 0 }, &corpus()).unwrap();
+        // Copy all but the trailer block into a shorter pager.
+        let short = Arc::new(MemPager::new(256));
+        let mut buf = vec![0u8; 256];
+        let last = full.page_count() - 1;
+        for i in 0..last {
+            while short.page_count() <= i {
+                short.grow().unwrap();
+            }
+            full.read_page(xk_storage::PageId(i), &mut buf).unwrap();
+            short.write_page(xk_storage::PageId(i), &buf).unwrap();
+        }
+        let err = SegmentReader::open(short, None).unwrap_err();
+        assert!(matches!(err, SegmentError::Corrupt(_)), "{err}");
+    }
+}

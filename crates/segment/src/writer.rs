@@ -1,0 +1,194 @@
+//! Sealing sorted posting lists into an immutable XKSEG1 blob.
+//!
+//! The writer packs keyword runs back to back into fixed-size posting
+//! blocks, delta-encoding each entry against its predecessor and forcing
+//! a *restart* (self-contained entry) at every keyword start and every
+//! block boundary. Each restart opens a dictionary **chunk** — the skip
+//! entry `(block, offset, entries, min id)` that lets `lm`/`rm` probes
+//! binary-search the chunk table and decode exactly one block.
+
+use crate::codec::{encode_entry, put_varint};
+use crate::error::{Result, SegmentError};
+use crate::format::{encode_trailer, frame_block, Header, BLOCK_FRAME, MIN_BLOCK};
+use std::collections::BTreeMap;
+use xk_storage::{PageId, Pager};
+use xk_xmltree::Dewey;
+
+/// Identity of the segment being sealed.
+#[derive(Debug, Clone, Copy)]
+pub struct SealSpec {
+    /// Unique segment id within the store.
+    pub seq: u64,
+    /// Committed epoch at seal time (informational).
+    pub seal_epoch: u64,
+}
+
+/// One skip entry: where a restart run begins and what it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Posting block id (1-based; block 0 is the header).
+    pub block: u32,
+    /// Byte offset of the restart entry within the block payload.
+    pub offset: u32,
+    /// Number of entries in the chunk.
+    pub entries: u32,
+    /// Smallest (first) Dewey id in the chunk.
+    pub min: Dewey,
+}
+
+/// Seals `lists` (sorted keyword → strictly ascending postings) into
+/// `pager`, returning the blob's header. The pager must be freshly
+/// created (one zeroed meta page); its page size is the block size.
+pub fn seal(pager: &dyn Pager, spec: &SealSpec, lists: &BTreeMap<String, Vec<Dewey>>) -> Result<Header> {
+    let block_size = pager.page_size();
+    if block_size < MIN_BLOCK {
+        return Err(SegmentError::Corrupt(format!(
+            "block size {block_size} below the {MIN_BLOCK}-byte minimum"
+        )));
+    }
+    let cap = block_size - BLOCK_FRAME;
+
+    // Phase 1: pack posting blocks and collect per-keyword chunk tables.
+    let mut payloads: Vec<Vec<u8>> = Vec::new();
+    let mut cur: Vec<u8> = Vec::with_capacity(cap);
+    let mut dict: Vec<u8> = Vec::new();
+    let mut posting_count: u64 = 0;
+
+    for (keyword, list) in lists {
+        let mut chunks: Vec<Chunk> = Vec::new();
+        let mut prev: Option<&Dewey> = None; // restart at keyword start
+        for d in list {
+            if let Some(p) = prev {
+                if p >= d {
+                    return Err(SegmentError::Corrupt(format!(
+                        "postings for {keyword:?} are not strictly ascending ({p} then {d})"
+                    )));
+                }
+            }
+            let mut enc = Vec::new();
+            encode_entry(&mut enc, prev, d);
+            if cur.len() + enc.len() > cap {
+                // Roll to a fresh block; the entry becomes a restart.
+                payloads.push(std::mem::take(&mut cur));
+                enc.clear();
+                encode_entry(&mut enc, None, d);
+                if enc.len() > cap {
+                    return Err(SegmentError::Corrupt(format!(
+                        "entry for {keyword:?} needs {} bytes, exceeding the {cap}-byte block payload",
+                        enc.len()
+                    )));
+                }
+                prev = None;
+            }
+            if prev.is_none() {
+                chunks.push(Chunk {
+                    block: payloads.len() as u32 + 1,
+                    offset: cur.len() as u32,
+                    entries: 0,
+                    min: d.clone(),
+                });
+            }
+            cur.extend_from_slice(&enc);
+            // xk-analyze: allow(panic_path, reason = "a chunk was pushed just above whenever prev was None")
+            chunks.last_mut().expect("chunk opened above").entries += 1;
+            posting_count += 1;
+            prev = Some(d);
+        }
+        // Dictionary entry: keyword, count, chunk table.
+        put_varint(&mut dict, keyword.len() as u64);
+        dict.extend_from_slice(keyword.as_bytes());
+        put_varint(&mut dict, list.len() as u64);
+        put_varint(&mut dict, chunks.len() as u64);
+        for c in &chunks {
+            put_varint(&mut dict, c.block as u64);
+            put_varint(&mut dict, c.offset as u64);
+            put_varint(&mut dict, c.entries as u64);
+            put_varint(&mut dict, c.min.depth() as u64);
+            for &comp in c.min.components() {
+                put_varint(&mut dict, comp as u64);
+            }
+        }
+    }
+    if !cur.is_empty() {
+        payloads.push(cur);
+    }
+
+    // Phase 2: lay the blob out block by block.
+    let meta_crc = xk_storage::crc32(&dict);
+    let dict_payloads: Vec<&[u8]> = dict.chunks(cap).collect();
+    let header = Header {
+        block_size: block_size as u32,
+        seq: spec.seq,
+        seal_epoch: spec.seal_epoch,
+        keyword_count: lists.len() as u32,
+        posting_count,
+        data_blocks: payloads.len() as u32,
+        dict_blocks: dict_payloads.len() as u32,
+        meta_crc,
+    };
+    while pager.page_count() < header.total_blocks() {
+        pager.grow()?;
+    }
+    pager.write_page(PageId(0), &header.encode(block_size))?;
+    let mut block_no = 1u32;
+    for p in &payloads {
+        pager.write_page(PageId(block_no), &frame_block(p, block_size))?;
+        block_no += 1;
+    }
+    for p in &dict_payloads {
+        pager.write_page(PageId(block_no), &frame_block(p, block_size))?;
+        block_no += 1;
+    }
+    pager.write_page(PageId(block_no), &encode_trailer(&header, block_size))?;
+    Ok(header)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xk_storage::MemPager;
+
+    fn d(s: &str) -> Dewey {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn seal_empty_store() {
+        let pager = MemPager::new(256);
+        let h = seal(&pager, &SealSpec { seq: 1, seal_epoch: 0 }, &BTreeMap::new()).unwrap();
+        assert_eq!(h.posting_count, 0);
+        assert_eq!(h.data_blocks, 0);
+        assert_eq!(h.total_blocks(), 2); // header + trailer
+    }
+
+    #[test]
+    fn seal_rejects_unsorted_input() {
+        let pager = MemPager::new(256);
+        let mut lists = BTreeMap::new();
+        lists.insert("k".to_string(), vec![d("0.2"), d("0.1")]);
+        let err = seal(&pager, &SealSpec { seq: 1, seal_epoch: 0 }, &lists).unwrap_err();
+        assert!(err.to_string().contains("ascending"), "{err}");
+    }
+
+    #[test]
+    fn seal_rejects_tiny_blocks() {
+        let pager = MemPager::new(128);
+        let err = seal(&pager, &SealSpec { seq: 1, seal_epoch: 0 }, &BTreeMap::new()).unwrap_err();
+        assert!(err.to_string().contains("block size"), "{err}");
+    }
+
+    #[test]
+    fn large_lists_roll_blocks_with_restarts() {
+        let pager = MemPager::new(256);
+        let mut lists = BTreeMap::new();
+        // ~1000 postings of depth 3: far more than one 250-byte payload.
+        let nodes: Vec<Dewey> =
+            (0..1000).map(|i| Dewey::from_components(vec![0, i / 10, i % 10])).collect();
+        lists.insert("w".to_string(), nodes);
+        let h = seal(&pager, &SealSpec { seq: 3, seal_epoch: 9 }, &lists).unwrap();
+        assert_eq!(h.posting_count, 1000);
+        assert!(h.data_blocks > 1, "must have rolled blocks: {h:?}");
+        assert_eq!(h.seq, 3);
+        assert_eq!(pager.page_count(), h.total_blocks());
+    }
+}

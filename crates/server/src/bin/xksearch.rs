@@ -2,7 +2,7 @@
 //! of the paper's DBLP web demo.
 //!
 //! ```text
-//! xksearch build <input.xml> <index.db> [--no-doc] [--page-size N] [--pool-pages N]
+//! xksearch build <input.xml> <index.db> [--segments] [--no-doc] [--page-size N] [--pool-pages N]
 //! xksearch query <index.db> <keyword>... [--algo auto|il|scan|stack] [--lca]
 //!                [--show N] [--cold] [--json]
 //! xksearch serve <index.db> [--addr A] [--workers N] [--cache-entries C]
@@ -49,7 +49,7 @@ const USAGE: &str = "\
 XKSearch: keyword search for smallest LCAs in XML documents
 
 USAGE:
-  xksearch build <input.xml> <index.db> [--no-doc] [--page-size N] [--pool-pages N]
+  xksearch build <input.xml> <index.db> [--segments] [--no-doc] [--page-size N] [--pool-pages N]
   xksearch query <index.db> <keyword>... [--algo auto|il|scan|stack] [--lca] [--show N] [--cold]
                  [--json]
   xksearch stats <index.db>
@@ -107,7 +107,7 @@ fn cmd_build(args: &[String]) -> Result<(), AnyError> {
     while i < args.len() {
         match args[i].as_str() {
             "--page-size" | "--pool-pages" => i += 1, // skip the value too
-            "--no-doc" => {}
+            "--no-doc" | "--segments" => {}
             a if a.starts_with("--") => return Err(format!("unknown flag {a:?}").into()),
             _ => positional.push(&args[i]),
         }
@@ -117,6 +117,7 @@ fn cmd_build(args: &[String]) -> Result<(), AnyError> {
         return Err("build needs <input.xml> and <index.db>".into());
     };
     let store_document = !args.iter().any(|a| a == "--no-doc");
+    let segmented = args.iter().any(|a| a == "--segments");
     let options = parse_env_options(args)?;
 
     let xml = std::fs::read_to_string(input)?;
@@ -130,7 +131,11 @@ fn cmd_build(args: &[String]) -> Result<(), AnyError> {
         started.elapsed()
     );
     let started = std::time::Instant::now();
-    let engine = Engine::build(&tree, output, options, store_document)?;
+    let engine = if segmented {
+        Engine::build_segmented(&tree, output, options, store_document)?
+    } else {
+        Engine::build(&tree, output, options, store_document)?
+    };
     engine.with_env(|env| env.flush())?;
     eprintln!(
         "indexed {} keywords into {} in {:.2?}",
@@ -138,6 +143,15 @@ fn cmd_build(args: &[String]) -> Result<(), AnyError> {
         output,
         started.elapsed()
     );
+    if segmented {
+        let metas = engine.segment_metas();
+        let postings: u64 = metas.iter().map(|m| m.postings).sum();
+        eprintln!(
+            "segment layout: {} sealed blob(s), {postings} postings in {}",
+            metas.len(),
+            xksearch::default_segments_dir(std::path::Path::new(output.as_str())).display()
+        );
+    }
     Ok(())
 }
 
@@ -167,6 +181,11 @@ fn cmd_stats(args: &[String]) -> Result<(), AnyError> {
     println!("most frequent   :");
     for (k, f) in freqs.iter().take(10) {
         println!("  {f:>10}  {k}");
+    }
+    if engine.segments_enabled() {
+        let metas = engine.segment_metas();
+        let postings: u64 = metas.iter().map(|m| m.postings).sum();
+        println!("segment blobs   : {} ({postings} sealed postings)", metas.len());
     }
     Ok(())
 }
@@ -253,12 +272,45 @@ fn cmd_verify(args: &[String]) -> Result<(), AnyError> {
     for issue in &report.issues {
         println!("ISSUE: {issue}");
     }
-    if report.is_ok() {
+    // Segment sweep: when the index references a segment store, fence and
+    // deep-check every sealed blob and replay the journal chain too.
+    let seg_issues = verify_segments(db, &env)?;
+    let total = report.issues.len() + seg_issues;
+    if total == 0 {
         println!("OK: no integrity issues found");
         Ok(())
     } else {
-        Err(format!("{} integrity issue(s) found", report.issues.len()).into())
+        Err(format!("{total} integrity issue(s) found").into())
     }
+}
+
+/// The segment half of `verify`: decodes the [`xk_segment::SegExt`]
+/// extension (if any) and sweeps the blob directory next to the
+/// database. Returns the number of issues printed.
+fn verify_segments(db: &str, env: &xk_storage::StorageEnv) -> Result<usize, AnyError> {
+    // The extension region rides on the index meta page; if the index is
+    // unreadable, verify_index has already said why — skip the sweep.
+    let Ok(index) = xk_index::DiskIndex::open(env) else { return Ok(0) };
+    let ext = match xk_segment::SegExt::decode(index.extension()) {
+        Ok(Some(ext)) => ext,
+        Ok(None) => return Ok(0), // B+tree layout: nothing to sweep
+        Err(e) => {
+            println!("ISSUE: segment extension: {e}");
+            return Ok(1);
+        }
+    };
+    let dir = xksearch::default_segments_dir(std::path::Path::new(db));
+    let io = xk_segment::DirSegmentIo::new(dir.clone(), env.physical_page_size());
+    let seg = xk_segment::verify_store(env, &ext, &io)?;
+    println!("segment dir    : {}", dir.display());
+    println!(
+        "segment blobs  : {} ({} blocks, {} sealed postings, {} journaled)",
+        seg.segments, seg.blocks_checked, seg.postings_checked, seg.journal_postings
+    );
+    for issue in &seg.issues {
+        println!("ISSUE: segment: {issue}");
+    }
+    Ok(seg.issues.len())
 }
 
 struct WalSummary {
@@ -426,13 +478,27 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
             if report.wal_truncated { ", torn tail truncated" } else { "" }
         );
     }
-    server.install_engine(std::sync::Arc::new(engine));
+    let engine = std::sync::Arc::new(engine);
+    // Segment stores get a background merger: it folds small sealed
+    // blobs into larger tiers between appends, without blocking queries.
+    let merger = if engine.segments_enabled() {
+        Some(xksearch::spawn_merger(
+            std::sync::Arc::clone(&engine),
+            std::time::Duration::from_secs(1),
+        )?)
+    } else {
+        None
+    };
+    server.install_engine(engine);
     eprintln!(
         "serving {db} with {} workers, {} cache entries, queue bound {} \
          (endpoints: /query /append /metrics /healthz /shutdown)",
         config.workers, config.cache_entries, config.queue_cap
     );
     let final_metrics = server.join();
+    if let Some(ctl) = merger {
+        ctl.stop();
+    }
     eprintln!("drained; final metrics:");
     println!("{final_metrics}");
     Ok(())

@@ -438,6 +438,7 @@ impl StorageEnv {
         Ok(ps)
     }
 
+    // xk-analyze: allow(panic_path, reason = "meta-page field offsets are compile-time constants well under MIN_PAGE_SIZE, which open/create enforce")
     fn init_meta(&self) -> Result<()> {
         let ps = self.pager.page_size();
         self.with_page_mut(PageId::META, |page| {
@@ -1356,6 +1357,7 @@ impl StorageEnv {
     }
 
     /// Reads the application metadata blob.
+    // xk-analyze: allow(panic_path, reason = "the 4-byte length slice sits at a constant offset under MIN_PAGE_SIZE; the variable-length read is guarded by the capacity check")
     pub fn user_blob(&self) -> Result<Vec<u8>> {
         let capacity = self.user_blob_capacity();
         self.with_page(PageId::META, |p| {

@@ -43,6 +43,7 @@ impl ListHandle {
     }
 
     /// Deserializes a handle written by [`ListHandle::encode`].
+    // xk-analyze: allow(panic_path, reason = "fixed-width slices are guarded by the LIST_HANDLE_BYTES length check at the top")
     pub fn decode(bytes: &[u8]) -> Result<ListHandle> {
         if bytes.len() != LIST_HANDLE_BYTES {
             return Err(StorageError::Corrupt(format!(

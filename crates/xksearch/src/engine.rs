@@ -29,17 +29,25 @@
 //! appends that land within one flush interval into a single sync.
 
 use crate::error::{EngineError, Result};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use std::time::{Duration, Instant};
 use xk_index::{build_disk_index_with, DiskIndex, DiskRankedList, DiskStreamList, SharedEnv};
+use xk_segment::{
+    encode_journal_record, merged_lists, plan_merge, read_manifest, replay_journal, seal,
+    verify_store, write_manifest, ArcList, DirSegmentIo, ErrorSlot, MemSegment, MemSegmentIo,
+    MemView, SealSpec, SealedMeta, SegExt, SegmentError, SegmentIo, SegmentReader,
+    SegmentVerifyReport,
+};
 use xk_slca::{
-    all_lcas, indexed_lookup_eager, scan_eager, stack_merge, AlgoStats, LcaKind, RankedList,
+    all_lcas, indexed_lookup_eager, scan_eager, stack_merge, AlgoStats, ChainedRankedList,
+    ChainedStreamList, LcaKind, RankedList, StreamList,
 };
 use xk_storage::{
-    EnvOptions, FilePager, IoStats, Pager, ReadPin, RecoveryReport, StorageEnv, Wal,
-    WAL_PAGE_SIZE,
+    free_list, EnvOptions, FilePager, IoStats, ListAppender, ListHandle, ListWriter, Pager,
+    ReadPin, RecoveryReport, StorageEnv, Wal, WAL_PAGE_SIZE,
 };
 use xk_xmltree::{normalize_keyword, Dewey, XmlTree};
 
@@ -184,6 +192,128 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Mem-segment postings that trigger a seal into a packed blob.
+pub const DEFAULT_SEAL_THRESHOLD: u64 = 4096;
+
+/// The blob directory of a segmented database: `<db_path>.segments`
+/// (`school.db` → `school.db.segments/seg-*.xkseg`).
+pub fn default_segments_dir(db_path: &Path) -> PathBuf {
+    let mut os = db_path.as_os_str().to_os_string();
+    os.push(".segments");
+    PathBuf::from(os)
+}
+
+/// An immutable picture of the segment store at one committed epoch:
+/// the sealed blobs (open readers + their manifest records, in seal
+/// order) and the copy-on-write view of the unsealed mem segment.
+/// Swapped wholesale under the index write lock, so the `read_view`
+/// epoch check covers it too.
+struct SegSnapshot {
+    metas: Vec<SealedMeta>,
+    sealed: Vec<Arc<SegmentReader>>,
+    mem: MemView,
+}
+
+/// The engine's segment store (present when the index's extension bytes
+/// carry a [`SegExt`] region).
+struct SegState {
+    io: Arc<dyn SegmentIo>,
+    /// Durable pointers (journal/manifest chains, next sequence number).
+    /// Mutated only by the single writer, under `append_lock`.
+    ext: Mutex<SegExt>,
+    /// The writer-side mutable mem segment; queries never touch it
+    /// (they read the published [`SegSnapshot`] instead).
+    mem: Mutex<MemSegment>,
+    snapshot: RwLock<Arc<SegSnapshot>>,
+    seal_threshold: AtomicU64,
+}
+
+impl SegState {
+    fn snapshot(&self) -> Arc<SegSnapshot> {
+        Arc::clone(&self.snapshot.read().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// What the writer computed for the segment store during one append,
+/// published only after the commit record makes the append real.
+struct SegUpdate {
+    mem: MemSegment,
+    snapshot: Arc<SegSnapshot>,
+    ext: SegExt,
+}
+
+/// What one [`Engine::compact_segments`] call did.
+#[derive(Debug, Clone)]
+pub struct CompactOutcome {
+    /// The manifest positions that were folded together.
+    pub merged: std::ops::Range<usize>,
+    /// The sequence number of the merged blob.
+    pub seq: u64,
+    /// Postings in the merged blob.
+    pub postings: u64,
+    /// The epoch the manifest swap committed at.
+    pub epoch: u64,
+}
+
+/// Handle to the background merge thread ([`spawn_merger`]).
+pub struct MergerCtl {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MergerCtl {
+    /// Signals the merger to stop and waits for it to finish its
+    /// current compaction (if any).
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            h.thread().unpark();
+            // xk-analyze: allow(swallowed_result, reason = "a panicked merger left the store consistent (compaction publishes transactionally); nothing to report at stop time")
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MergerCtl {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            h.thread().unpark();
+            // xk-analyze: allow(swallowed_result, reason = "same as MergerCtl::stop — the store is consistent regardless of how the thread ended")
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawns a background thread that folds small adjacent segments
+/// together ([`Engine::compact_segments`]) whenever the tiered policy
+/// finds an eligible run, checking every `interval`. A no-op thread for
+/// engines without a segment store. Merge failures stop the thread (the
+/// store stays fully queryable; compaction is an optimization).
+pub fn spawn_merger(engine: Arc<Engine>, interval: Duration) -> Result<MergerCtl> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("xk-seg-merge".into())
+        .spawn(move || {
+            while !thread_stop.load(Ordering::Acquire) {
+                match engine.compact_segments() {
+                    // A merge happened: immediately look for the next
+                    // eligible run (seals can cascade into classes).
+                    Ok(Some(_)) => continue,
+                    Ok(None) => {}
+                    Err(e) => {
+                        eprintln!("segment merger stopped: {e}");
+                        break;
+                    }
+                }
+                std::thread::park_timeout(interval);
+            }
+        })
+        .map_err(|e| EngineError::Storage(xk_storage::StorageError::from(e)))?;
+    Ok(MergerCtl { stop, handle: Some(handle) })
+}
+
 /// A disk-backed XKSearch engine.
 ///
 /// All operations — including [`Engine::append_subtree`] — take
@@ -208,6 +338,10 @@ pub struct Engine {
     /// never go stale (see `xk_server::QueryCache`).
     version: AtomicU64,
     durability: Option<DurabilityCtl>,
+    /// Present when the index's extension region carries a [`SegExt`]:
+    /// postings then live in packed segment blobs plus a journaled mem
+    /// segment instead of B+tree posting trees.
+    segments: Option<SegState>,
 }
 
 impl Engine {
@@ -260,13 +394,131 @@ impl Engine {
         Self::from_env(env)
     }
 
+    /// [`Engine::build`] with the **segment layout**: postings go into
+    /// one packed XKSEG1 blob under `<db_path>.segments/` instead of
+    /// B+tree posting trees; the structural index (frequency table,
+    /// level table, document) is built as usual. Same crash discipline
+    /// as `build`: both the database file and the blob directory are
+    /// staged under `.building` names and renamed into place only after
+    /// a full flush.
+    ///
+    /// Caveat: rebuilding *over* an existing segmented database replaces
+    /// the db file atomically but swaps the blob directory in two
+    /// renames; a crash exactly between them is repaired by the next
+    /// open only up to orphan deletion, so prefer building to a fresh
+    /// path.
+    pub fn build_segmented(
+        tree: &XmlTree,
+        db_path: impl AsRef<Path>,
+        options: EnvOptions,
+        store_document: bool,
+    ) -> Result<Engine> {
+        let db_path = db_path.as_ref();
+        let mut tmp = db_path.as_os_str().to_os_string();
+        tmp.push(".building");
+        let tmp = PathBuf::from(tmp);
+        let tmp_seg = default_segments_dir(&tmp);
+        // xk-analyze: allow(swallowed_result, reason = "best-effort cleanup of stale temp build artifacts; leftovers are harmless")
+        let _ = std::fs::remove_file(&tmp);
+        // xk-analyze: allow(swallowed_result, reason = "best-effort cleanup of stale temp build artifacts; leftovers are harmless")
+        let _ = std::fs::remove_dir_all(&tmp_seg);
+        let built = (|| -> Result<()> {
+            let env = StorageEnv::create(&tmp, options.clone())?;
+            let io = DirSegmentIo::new(&tmp_seg, env.physical_page_size());
+            Self::build_segment_store(&env, tree, &io, store_document)?;
+            env.flush()?;
+            Ok(())
+        })();
+        if let Err(e) = built {
+            // xk-analyze: allow(swallowed_result, reason = "best-effort cleanup of stale temp build artifacts; leftovers are harmless")
+            let _ = std::fs::remove_file(&tmp);
+            // xk-analyze: allow(swallowed_result, reason = "best-effort cleanup of stale temp build artifacts; leftovers are harmless")
+            let _ = std::fs::remove_dir_all(&tmp_seg);
+            return Err(e);
+        }
+        let seg_dir = default_segments_dir(db_path);
+        // xk-analyze: allow(swallowed_result, reason = "a previous segment directory may not exist; rename below surfaces real failures")
+        let _ = std::fs::remove_dir_all(&seg_dir);
+        if tmp_seg.exists() {
+            // Absent when the document has no postings (the directory is
+            // created lazily at the first seal).
+            std::fs::rename(&tmp_seg, &seg_dir)
+                .map_err(|e| EngineError::Storage(xk_storage::StorageError::from(e)))?;
+            sync_parent_dir(&seg_dir);
+        }
+        std::fs::rename(&tmp, db_path)
+            .map_err(|e| EngineError::Storage(xk_storage::StorageError::from(e)))?;
+        sync_parent_dir(db_path);
+        Self::open(db_path, options)
+    }
+
+    /// [`Engine::build_in_memory`] with the segment layout (blobs live in
+    /// a [`MemSegmentIo`]).
+    pub fn build_in_memory_segmented(tree: &XmlTree, options: EnvOptions) -> Result<Engine> {
+        let env = StorageEnv::in_memory(options);
+        let io = Arc::new(MemSegmentIo::new(env.physical_page_size()));
+        Self::build_segment_store(&env, tree, io.as_ref(), true)?;
+        Self::from_parts(env, None, Some(io))
+    }
+
+    /// Seeds a caller-supplied environment/blob store with the segmented
+    /// layout without constructing an engine: crash and fault-injection
+    /// tests own both halves and reopen them later through
+    /// [`Engine::open_durable_with_pagers_and_io`].
+    pub fn build_segment_store_with(
+        env: &StorageEnv,
+        tree: &XmlTree,
+        io: &dyn SegmentIo,
+        store_document: bool,
+    ) -> Result<()> {
+        Self::build_segment_store(env, tree, io, store_document)
+    }
+
+    /// Shared core of the segmented builds: structural index with
+    /// postings disabled, the full posting set sealed as segment 1, and
+    /// the [`SegExt`] recorded in the index's extension region.
+    fn build_segment_store(
+        env: &StorageEnv,
+        tree: &XmlTree,
+        io: &dyn SegmentIo,
+        store_document: bool,
+    ) -> Result<()> {
+        build_disk_index_with(
+            env,
+            tree,
+            &xk_index::BuildOptions { store_document, index_postings: false, ..Default::default() },
+        )?;
+        let lists: BTreeMap<String, Vec<Dewey>> =
+            xk_index::MemIndex::build(tree).into_sorted_lists().into_iter().collect();
+        let ext = if lists.is_empty() {
+            SegExt { journal: None, manifest: None, next_seq: 1 }
+        } else {
+            let header = seal_blob(io, 1, env.current_epoch(), &lists)?;
+            let manifest = write_manifest(env, &[SealedMeta::of(&header)])?;
+            SegExt { journal: None, manifest, next_seq: 2 }
+        };
+        let mut index = DiskIndex::open(env)?;
+        index.set_extension(env, ext.encode())?;
+        Ok(())
+    }
+
     /// Opens an existing index file **without** a write-ahead log.
     /// Appends are still transactional (atomic in memory and on a clean
     /// flush) but a crash between commit and flush loses them; use
     /// [`Engine::open_durable`] for crash durability.
     pub fn open(db_path: impl AsRef<Path>, options: EnvOptions) -> Result<Engine> {
+        let db_path = db_path.as_ref();
         let env = StorageEnv::open(db_path, options)?;
-        Self::from_env(env)
+        let io = Self::dir_io(db_path, env.physical_page_size());
+        Self::from_parts(env, None, Some(io))
+    }
+
+    /// The default blob store next to `db_path` (only consulted when the
+    /// index actually references a segment store). Blob blocks use the
+    /// database page size, so one buffer-pool-sized read budget covers
+    /// both layouts in the experiments.
+    fn dir_io(db_path: &Path, block_size: usize) -> Arc<dyn SegmentIo> {
+        Arc::new(DirSegmentIo::new(default_segments_dir(db_path), block_size))
     }
 
     /// Opens an existing index file with the durable write path: runs
@@ -295,7 +547,8 @@ impl Engine {
         };
         let wal = Wal::open_or_reinit(wal_pager, env.physical_page_size() as u32)?;
         env.attach_wal(wal)?;
-        let engine = Self::from_parts(env, Some(durability))?;
+        let io = Self::dir_io(db_path, env.physical_page_size());
+        let engine = Self::from_parts(env, Some(durability), Some(io))?;
         Ok((engine, report))
     }
 
@@ -312,7 +565,7 @@ impl Engine {
         let mut env = StorageEnv::open_with_pager(Box::new(db), pool_pages)?;
         let attached = Wal::open_or_reinit(wal, env.physical_page_size() as u32)?;
         env.attach_wal(attached)?;
-        let engine = Self::from_parts(env, Some(durability))?;
+        let engine = Self::from_parts(env, Some(durability), None)?;
         Ok((engine, report))
     }
 
@@ -320,11 +573,88 @@ impl Engine {
     /// that build their index over a custom [`Pager`], e.g. a fault
     /// injector). The environment must already hold a built index.
     pub fn from_env(env: StorageEnv) -> Result<Engine> {
-        Self::from_parts(env, None)
+        Self::from_parts(env, None, None)
     }
 
-    fn from_parts(env: StorageEnv, durability: Option<DurabilityOptions>) -> Result<Engine> {
+    /// [`Engine::from_env`] for a **segmented** environment: `io` is the
+    /// blob store the index's segment manifest refers to.
+    pub fn from_env_with_io(env: StorageEnv, io: Arc<dyn SegmentIo>) -> Result<Engine> {
+        Self::from_parts(env, None, Some(io))
+    }
+
+    /// [`Engine::open_durable_with_pagers`] for a segmented database:
+    /// `io` supplies the segment blobs (fault-injection tests drive this
+    /// with [`xk_segment::FaultSegmentIo`]).
+    pub fn open_durable_with_pagers_and_io(
+        db: Arc<dyn Pager>,
+        wal: Arc<dyn Pager>,
+        pool_pages: usize,
+        durability: DurabilityOptions,
+        io: Arc<dyn SegmentIo>,
+    ) -> Result<(Engine, RecoveryReport)> {
+        let report = xk_storage::recover(&*db, &*wal)?;
+        let mut env = StorageEnv::open_with_pager(Box::new(db), pool_pages)?;
+        let attached = Wal::open_or_reinit(wal, env.physical_page_size() as u32)?;
+        env.attach_wal(attached)?;
+        let engine = Self::from_parts(env, Some(durability), Some(io))?;
+        Ok((engine, report))
+    }
+
+    /// Opens the segment store described by the index's extension bytes:
+    /// reads the manifest, opens every sealed blob against its fence,
+    /// deletes orphan blobs (finalized but never committed — the crash
+    /// window between rename and commit record), and replays the posting
+    /// journal into the mem segment.
+    fn open_segments(
+        env: &StorageEnv,
+        index: &DiskIndex,
+        io: Option<Arc<dyn SegmentIo>>,
+    ) -> Result<Option<SegState>> {
+        let Some(ext) = SegExt::decode(index.extension())? else {
+            return Ok(None);
+        };
+        let io = io.ok_or_else(|| {
+            EngineError::Segment(SegmentError::Corrupt(
+                "the index references a segment store but no blob directory was supplied".into(),
+            ))
+        })?;
+        let metas = match &ext.manifest {
+            Some(h) => read_manifest(env, h)?,
+            None => Vec::new(),
+        };
+        let mut sealed = Vec::with_capacity(metas.len());
+        for m in &metas {
+            let pager = io.open(m.seq).map_err(EngineError::Segment)?;
+            sealed.push(SegmentReader::open(pager, Some(&m.fence())).map_err(EngineError::Segment)?);
+        }
+        let live: std::collections::BTreeSet<u64> = metas.iter().map(|m| m.seq).collect();
+        for seq in io.list().map_err(EngineError::Segment)? {
+            if !live.contains(&seq) {
+                // xk-analyze: allow(swallowed_result, reason = "orphan blob cleanup is best-effort; an undeletable orphan is re-attempted at the next open")
+                let _ = io.delete(seq);
+            }
+        }
+        let mem = match &ext.journal {
+            Some(h) => replay_journal(env, h)?,
+            None => MemSegment::new(),
+        };
+        let snapshot = Arc::new(SegSnapshot { metas, sealed, mem: MemView::of(&mem) });
+        Ok(Some(SegState {
+            io,
+            ext: Mutex::new(ext),
+            mem: Mutex::new(mem),
+            snapshot: RwLock::new(snapshot),
+            seal_threshold: AtomicU64::new(DEFAULT_SEAL_THRESHOLD),
+        }))
+    }
+
+    fn from_parts(
+        env: StorageEnv,
+        durability: Option<DurabilityOptions>,
+        io: Option<Arc<dyn SegmentIo>>,
+    ) -> Result<Engine> {
         let index = DiskIndex::open(&env)?;
+        let segments = Self::open_segments(&env, &index, io)?;
         let index_epoch = AtomicU64::new(env.current_epoch());
         let env = SharedEnv::new(env);
         let durability = match durability {
@@ -348,6 +678,7 @@ impl Engine {
             append_lock: Mutex::new(()),
             version: AtomicU64::new(0),
             durability,
+            segments,
         })
     }
 
@@ -414,6 +745,63 @@ impl Engine {
         self.index().ranked_list(self.env.clone(), keyword)
     }
 
+    /// Drains `keyword`'s full posting chain (B+tree part, sealed
+    /// segments, mem segment) through the exact [`StreamList`] adapter
+    /// the algorithms consume. `Ok(None)` when the keyword is absent.
+    /// The differential tests compare this across layouts element for
+    /// element.
+    pub fn posting_dump(&self, keyword: &str) -> Result<Option<Vec<Dewey>>> {
+        let Some(k) = normalize_keyword(keyword) else { return Ok(None) };
+        let qenv = self.env.fork();
+        let (index, pin) = self.read_view();
+        let seg = self.segments.as_ref().map(|s| s.snapshot());
+        let slot = ErrorSlot::new();
+        let Some(mut stream) = stream_chain(&index, &qenv, seg.as_deref(), &k, &slot) else {
+            return Ok(None);
+        };
+        drop(index);
+        let mut out = Vec::new();
+        while let Some(d) = stream.next_node() {
+            out.push(d);
+        }
+        drop(pin);
+        if let Some(e) = qenv.take_error() {
+            return Err(e.into());
+        }
+        if let Some(e) = slot.take() {
+            return Err(EngineError::Segment(e));
+        }
+        Ok(Some(out))
+    }
+
+    /// One `rm`/`lm` probe pair at `at` against `keyword`'s ranked
+    /// chain — the [`RankedList`] counterpart of
+    /// [`Engine::posting_dump`]. `Ok(None)` when the keyword is absent.
+    pub fn posting_probe(
+        &self,
+        keyword: &str,
+        at: &Dewey,
+    ) -> Result<Option<(Option<Dewey>, Option<Dewey>)>> {
+        let Some(k) = normalize_keyword(keyword) else { return Ok(None) };
+        let qenv = self.env.fork();
+        let (index, pin) = self.read_view();
+        let seg = self.segments.as_ref().map(|s| s.snapshot());
+        let slot = ErrorSlot::new();
+        let Some(mut ranked) = ranked_chain(&index, &qenv, seg.as_deref(), &k, &slot) else {
+            return Ok(None);
+        };
+        drop(index);
+        let pair = (ranked.rm(at), ranked.lm(at));
+        drop(pin);
+        if let Some(e) = qenv.take_error() {
+            return Err(e.into());
+        }
+        if let Some(e) = slot.take() {
+            return Err(EngineError::Segment(e));
+        }
+        Ok(Some(pair))
+    }
+
     /// Answers a keyword query with the chosen algorithm.
     ///
     /// Safe to call from several threads at once (`&self`), including
@@ -432,7 +820,11 @@ impl Engine {
         let io_before = qenv.with(|e| e.stats());
         let (index, pin) = self.read_view();
         let epoch = pin.epoch();
-        let Some((ordered, frequencies)) = prepare(&index, keywords)? else {
+        // Cloned under the index guard, so the segment snapshot and the
+        // index describe the same committed epoch (both are swapped
+        // inside one index write-lock section).
+        let seg = self.segments.as_ref().map(|s| s.snapshot());
+        let Some((ordered, frequencies)) = prepare(&index, seg.as_deref(), keywords)? else {
             return Ok(QueryOutcome {
                 slcas: Vec::new(),
                 algorithm: resolve(algorithm, &[]),
@@ -450,32 +842,37 @@ impl Engine {
         // release the guard before running the algorithms: the adapters
         // are self-contained, and a committing append must not wait on a
         // long-running query to swap the index. Reads stay consistent
-        // because the snapshot pin (held to the end) serves pre-images.
-        let mut s1_stream: Option<DiskStreamList> = None;
-        let mut ranked: Vec<DiskRankedList> = Vec::new();
-        let mut streams: Vec<DiskStreamList> = Vec::new();
+        // because the snapshot pin (held to the end) serves pre-images,
+        // and segment adapters hold `Arc`s into immutable blobs/views.
+        //
+        // Every adapter is a chain over the keyword's sources (B+tree
+        // part, sealed segments, mem segment); for a pure B+tree or a
+        // single sealed segment the chain degenerates to the sole part.
+        // On the B+tree side each non-smallest list holds one anchored
+        // cursor for the whole candidate loop: the probes are
+        // near-sorted, so most lm/rm pairs resolve inside the pinned
+        // leaf, and Scan Eager's sorted witness stream degenerates them
+        // into leaf-chain hops — the paper's sequential scans — without
+        // a separate scanning code path. Segment parts answer the same
+        // probes from the skip table plus at most one decoded block.
+        let slot = ErrorSlot::new();
+        let sg = seg.as_deref();
+        let mut s1_stream: Option<Box<dyn StreamList>> = None;
+        let mut ranked: Vec<Box<dyn RankedList>> = Vec::new();
+        let mut streams: Vec<Box<dyn StreamList>> = Vec::new();
         match algorithm {
             Algorithm::IndexedLookupEager | Algorithm::ScanEager => {
                 s1_stream = Some(
-                    index
-                        .stream_list(qenv.clone(), &ordered[0])
-                        // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
+                    stream_chain(&index, &qenv, sg, &ordered[0], &slot)
+                        // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has postings in some source")
                         .expect("keyword verified present"),
                 );
-                // Each non-smallest list holds one anchored B+tree cursor
-                // for the whole candidate loop: the probes are near-sorted,
-                // so most lm/rm pairs resolve inside the pinned leaf. Scan
-                // Eager's sorted witness stream degenerates those probes
-                // into leaf-chain hops — the paper's sequential scans —
-                // without a separate scanning code path.
                 ranked = ordered[1..]
                     .iter()
                     .map(|k| {
-                        index
-                            .ranked_list(qenv.clone(), k)
-                            // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
+                        ranked_chain(&index, &qenv, sg, k, &slot)
+                            // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has postings in some source")
                             .expect("keyword verified present")
-                            .anchored()
                     })
                     .collect();
             }
@@ -483,9 +880,8 @@ impl Engine {
                 streams = ordered
                     .iter()
                     .map(|k| {
-                        index
-                            .stream_list(qenv.clone(), k)
-                            // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
+                        stream_chain(&index, &qenv, sg, k, &slot)
+                            // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has postings in some source")
                             .expect("keyword verified present")
                     })
                     .collect();
@@ -502,22 +898,26 @@ impl Engine {
                 let mut s1 = s1_stream.expect("built above");
                 let mut refs: Vec<&mut dyn RankedList> =
                     ranked.iter_mut().map(|l| l as &mut dyn RankedList).collect();
-                indexed_lookup_eager(&mut s1, &mut refs, |d| slcas.push(d))
+                indexed_lookup_eager(s1.as_mut(), &mut refs, |d| slcas.push(d))
             }
             Algorithm::ScanEager => {
                 // xk-analyze: allow(panic_path, reason = "s1_stream was filled in the matching arm above")
                 let mut s1 = s1_stream.expect("built above");
-                scan_eager(&mut s1, ranked, |d| slcas.push(d))
+                scan_eager(s1.as_mut(), ranked, |d| slcas.push(d))
             }
             Algorithm::Stack => stack_merge(streams, |d| slcas.push(d)),
             // xk-analyze: allow(panic_path, reason = "resolve() never returns Auto")
             Algorithm::Auto => unreachable!("resolved above"),
         };
         // The list traits are infallible, so disk adapters report storage
-        // failures by poisoning the shared env; a poisoned run produced a
-        // truncated (wrong) answer and must error out instead.
+        // failures by poisoning the shared env (segment adapters their
+        // error slot); a poisoned run produced a truncated (wrong) answer
+        // and must error out instead.
         if let Some(e) = qenv.take_error() {
             return Err(e.into());
+        }
+        if let Some(e) = slot.take() {
+            return Err(EngineError::Segment(e));
         }
         drop(pin);
 
@@ -543,7 +943,9 @@ impl Engine {
         let io_before = qenv.with(|e| e.stats());
         let (index, pin) = self.read_view();
         let epoch = pin.epoch();
-        let Some((ordered, _)) = prepare(&index, keywords)? else {
+        let seg = self.segments.as_ref().map(|s| s.snapshot());
+        let sg = seg.as_deref();
+        let Some((ordered, _)) = prepare(&index, sg, keywords)? else {
             return Ok(LcaOutcome {
                 lcas: Vec::new(),
                 keywords: keywords.iter().map(|s| s.to_string()).collect(),
@@ -553,27 +955,28 @@ impl Engine {
                 epoch,
             });
         };
-        let mut s1 = index
-            .stream_list(qenv.clone(), &ordered[0])
-            // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
+        let slot = ErrorSlot::new();
+        let mut s1 = stream_chain(&index, &qenv, sg, &ordered[0], &slot)
+            // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has postings in some source")
             .expect("keyword verified present");
-        let mut owned: Vec<_> = ordered
+        let mut owned: Vec<Box<dyn RankedList>> = ordered
             .iter()
             .map(|k| {
-                index
-                    .ranked_list(qenv.clone(), k)
-                    // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has a list before dispatch")
+                ranked_chain(&index, &qenv, sg, k, &slot)
+                    // xk-analyze: allow(panic_path, reason = "prepare() verified every keyword has postings in some source")
                     .expect("keyword verified present")
-                    .anchored()
             })
             .collect();
         drop(index);
         let mut refs: Vec<&mut dyn RankedList> =
             owned.iter_mut().map(|l| l as &mut dyn RankedList).collect();
         let mut lcas = Vec::new();
-        let stats = all_lcas(&mut s1, &mut refs, |d, k| lcas.push((d, k)));
+        let stats = all_lcas(s1.as_mut(), &mut refs, |d, k| lcas.push((d, k)));
         if let Some(e) = qenv.take_error() {
             return Err(e.into());
+        }
+        if let Some(e) = slot.take() {
+            return Err(EngineError::Segment(e));
         }
         drop(pin);
         lcas.sort_by(|a, b| a.0.cmp(&b.0));
@@ -728,22 +1131,44 @@ impl Engine {
             .map(|n| (doc.dewey(n), xk_index::node_tokens(doc, n)))
             .collect();
         let mut scratch = self.index().clone();
-        let applied = (|| -> Result<Vec<String>> {
-            let touched = self.env.with(|e| scratch.append_nodes(e, &added))?;
+        // A blob finalized during this attempt; if the transaction ends
+        // up aborting, it is deleted below rather than lingering as an
+        // orphan until the next open.
+        let mut orphan: Option<u64> = None;
+        let applied = (|| -> Result<(Vec<String>, Option<SegUpdate>)> {
+            let (touched, seg_update) = match self.segments.as_ref() {
+                Some(seg) => {
+                    let (touched, update) =
+                        self.seg_apply(seg, &mut scratch, &added, &mut orphan)?;
+                    (touched, Some(update))
+                }
+                None => (self.env.with(|e| scratch.append_nodes(e, &added))?, None),
+            };
             // Keep the embedded document in sync for rendering and
             // reopening.
             self.env.with(|e| scratch.store_document(e, doc))?;
-            Ok(touched)
+            Ok((touched, seg_update))
         })();
-        let touched = match applied {
-            Ok(touched) => touched,
+        let abort = |doc_slot: &mut Option<XmlTree>| -> Result<()> {
+            // Roll back: the undo log restores every touched page,
+            // dropping the scratch index discards the in-memory
+            // half-update, and the grafted document is thrown away
+            // and lazily reloaded from the intact stored copy. A blob
+            // sealed during the attempt is unreferenced by any committed
+            // manifest, so deleting it is safe (best-effort — the next
+            // open retries orphan cleanup).
+            *doc_slot = None;
+            self.env.with(|env| env.abort_txn())?;
+            if let (Some(seg), Some(seq)) = (self.segments.as_ref(), orphan) {
+                // xk-analyze: allow(swallowed_result, reason = "orphan blob cleanup is best-effort; the next open retries it")
+                let _ = seg.io.delete(seq);
+            }
+            Ok(())
+        };
+        let (touched, seg_update) = match applied {
+            Ok(v) => v,
             Err(e) => {
-                // Roll back: the undo log restores every touched page,
-                // dropping the scratch index discards the in-memory
-                // half-update, and the grafted document is thrown away
-                // and lazily reloaded from the intact stored copy.
-                *doc_slot = None;
-                self.env.with(|env| env.abort_txn())?;
+                abort(&mut doc_slot)?;
                 return Err(e);
             }
         };
@@ -754,8 +1179,7 @@ impl Engine {
                 // contract so it can still be rolled back. Same abort
                 // protocol as a failed apply: restore every page, drop
                 // the grafted document, keep the old index.
-                *doc_slot = None;
-                self.env.with(|env| env.abort_txn())?;
+                abort(&mut doc_slot)?;
                 return Err(e.into());
             }
         };
@@ -765,6 +1189,15 @@ impl Engine {
             let mut w = self.index.write().unwrap_or_else(|e| e.into_inner());
             *w = scratch;
             self.index_epoch.store(commit.epoch, Ordering::Release);
+            if let (Some(seg), Some(update)) = (self.segments.as_ref(), seg_update) {
+                // Published inside the index write-lock section so a
+                // reader's (index guard, segment snapshot) pair is always
+                // epoch-consistent.
+                // xk-analyze: allow(lock_order, reason = "intentional nesting: index write lock then segment ext/mem/snapshot locks; readers nest index read then snapshot read — same order, no inversion")
+                *lock(&seg.ext) = update.ext;
+                *lock(&seg.mem) = update.mem;
+                *seg.snapshot.write().unwrap_or_else(|e| e.into_inner()) = update.snapshot;
+            }
         }
         self.version.fetch_add(1, Ordering::Release);
         drop(doc_slot);
@@ -782,6 +1215,254 @@ impl Engine {
             None => {}
         }
         Ok(AppendOutcome { root, epoch: commit.epoch, touched })
+    }
+
+    /// Applies one append batch to the segment store (instead of the
+    /// B+tree posting trees). The postings are absorbed into a copy of
+    /// the mem segment and journaled; past the seal threshold the grown
+    /// mem segment is instead sealed into the next packed blob and the
+    /// manifest rewritten. All storage writes run inside the caller's
+    /// open transaction; the blob itself is fully written, fsynced, and
+    /// renamed *before* the commit record (the crash discipline: a crash
+    /// pre-commit leaves an orphan blob, never a committed manifest
+    /// pointing at a missing blob). `orphan` reports a finalized blob so
+    /// the caller can delete it if the transaction aborts after all.
+    ///
+    /// Returns the touched keywords (first-touch order) and the segment
+    /// state to publish once the commit record makes the append real.
+    fn seg_apply(
+        &self,
+        seg: &SegState,
+        scratch: &mut DiskIndex,
+        added: &[(Dewey, Vec<String>)],
+        orphan: &mut Option<u64>,
+    ) -> Result<(Vec<String>, SegUpdate)> {
+        let ext0 = *lock(&seg.ext);
+        let snap0 = seg.snapshot();
+        let mut mem = lock(&seg.mem).clone();
+        let mut touched: Vec<String> = Vec::new();
+        let mut records: Vec<(String, Dewey)> = Vec::new();
+        for (dewey, tokens) in added {
+            for tok in tokens {
+                if !touched.iter().any(|t| t == tok) {
+                    touched.push(tok.clone());
+                }
+                mem.absorb(tok, dewey.clone());
+                records.push((tok.clone(), dewey.clone()));
+            }
+        }
+        let threshold = seg.seal_threshold.load(Ordering::Relaxed);
+        let (ext1, snapshot) = if mem.posting_count() > 0 && mem.posting_count() >= threshold {
+            // Seal: the whole mem segment becomes the next packed blob.
+            let seq = ext0.next_seq;
+            let epoch = self.env.with(|e| e.current_epoch());
+            let header = seal_blob(seg.io.as_ref(), seq, epoch, mem.lists())?;
+            *orphan = Some(seq);
+            let mut metas = snap0.metas.clone();
+            metas.push(SealedMeta::of(&header));
+            let manifest = self.env.with(|e| write_manifest(e, &metas))?;
+            // The superseded manifest and journal chains are freed inside
+            // the same transaction (undo-logged, so an abort restores
+            // them).
+            if let Some(h) = &ext0.manifest {
+                self.env.with(|e| free_list(e, h))?;
+            }
+            if let Some(h) = &ext0.journal {
+                self.env.with(|e| free_list(e, h))?;
+            }
+            let pager = seg.io.open(seq).map_err(EngineError::Segment)?;
+            let reader = SegmentReader::open(pager, Some(&SealedMeta::of(&header).fence()))
+                .map_err(EngineError::Segment)?;
+            let mut sealed = snap0.sealed.clone();
+            sealed.push(reader);
+            mem.clear();
+            (
+                SegExt { journal: None, manifest, next_seq: seq + 1 },
+                Arc::new(SegSnapshot { metas, sealed, mem: MemView::empty() }),
+            )
+        } else {
+            // Journal: extend (or start) the posting journal so a
+            // reopen can rebuild the mem segment.
+            let journal = self.env.with(|e| -> Result<ListHandle> {
+                match ext0.journal {
+                    Some(h) => {
+                        let mut a = ListAppender::open(e, h)?;
+                        for (kw, d) in &records {
+                            a.append(e, &encode_journal_record(kw, d))?;
+                        }
+                        Ok(a.finish())
+                    }
+                    None => {
+                        let mut w = ListWriter::new(e);
+                        for (kw, d) in &records {
+                            w.append(e, &encode_journal_record(kw, d))?;
+                        }
+                        Ok(w.finish(e)?)
+                    }
+                }
+            })?;
+            let view = snap0.mem.advanced(&mem, &touched);
+            (
+                SegExt { journal: Some(journal), ..ext0 },
+                Arc::new(SegSnapshot {
+                    metas: snap0.metas.clone(),
+                    sealed: snap0.sealed.clone(),
+                    mem: view,
+                }),
+            )
+        };
+        self.env.with(|e| scratch.set_extension(e, ext1.encode()))?;
+        Ok((touched, SegUpdate { mem, snapshot, ext: ext1 }))
+    }
+
+    /// Folds the earliest eligible run of small adjacent segments into
+    /// one (size-tiered policy, [`xk_segment::plan_merge`]). Returns
+    /// `Ok(None)` when no run qualifies or the engine has no segment
+    /// store. Serialized with appends via the append lock; queries are
+    /// never blocked (they keep reading the pre-merge snapshot until the
+    /// new one is published). Retired input blobs are deleted only after
+    /// the merged manifest commits — live readers keep them open through
+    /// their `Arc`s.
+    pub fn compact_segments(&self) -> Result<Option<CompactOutcome>> {
+        let Some(seg) = self.segments.as_ref() else {
+            return Ok(None);
+        };
+        let _append_guard = lock(&self.append_lock);
+        let ext0 = *lock(&seg.ext);
+        let snap0 = seg.snapshot();
+        let counts: Vec<u64> = snap0.metas.iter().map(|m| m.postings).collect();
+        let Some(run) = plan_merge(&counts) else {
+            return Ok(None);
+        };
+        // Read the inputs and write the merged blob entirely outside the
+        // transaction: reads are immutable, and the blob (like a sealed
+        // append) must be durable before the manifest swap commits.
+        let lists = merged_lists(&snap0.sealed[run.clone()]).map_err(EngineError::Segment)?;
+        let seq = ext0.next_seq;
+        let epoch = self.env.with(|e| e.current_epoch());
+        let header = seal_blob(seg.io.as_ref(), seq, epoch, &lists)?;
+        let meta = SealedMeta::of(&header);
+        // Open the merged reader *before* the transaction: if the open
+        // failed after commit, the published snapshot could never be
+        // built and `read_view` would spin on a stale index epoch.
+        let reader = match seg
+            .io
+            .open(seq)
+            .and_then(|p| SegmentReader::open(p, Some(&meta.fence())))
+        {
+            Ok(r) => r,
+            Err(e) => {
+                // xk-analyze: allow(swallowed_result, reason = "orphan blob cleanup is best-effort; the next open retries it")
+                let _ = seg.io.delete(seq);
+                return Err(EngineError::Segment(e));
+            }
+        };
+        let mut metas = snap0.metas.clone();
+        metas.splice(run.clone(), [meta]);
+
+        self.env.with(|e| e.begin_txn())?;
+        let mut scratch = self.index().clone();
+        let applied = (|| -> Result<SegExt> {
+            let manifest = self.env.with(|e| write_manifest(e, &metas))?;
+            if let Some(h) = &ext0.manifest {
+                self.env.with(|e| free_list(e, h))?;
+            }
+            let ext1 = SegExt { manifest, next_seq: seq + 1, ..ext0 };
+            self.env.with(|e| scratch.set_extension(e, ext1.encode()))?;
+            Ok(ext1)
+        })();
+        let commit = match applied.and_then(|ext1| {
+            self.env.with(|e| e.commit_txn()).map(|c| (ext1, c)).map_err(EngineError::from)
+        }) {
+            Ok((ext1, commit)) => {
+                let mut sealed = snap0.sealed.clone();
+                sealed.splice(run.clone(), [reader]);
+                let snapshot =
+                    Arc::new(SegSnapshot { metas, sealed, mem: snap0.mem.clone() });
+                {
+                    // xk-analyze: allow(lock_order, reason = "intentional nesting: index write lock then segment ext/snapshot locks, same order as the append publish")
+                    let mut w = self.index.write().unwrap_or_else(|e| e.into_inner());
+                    *w = scratch;
+                    self.index_epoch.store(commit.epoch, Ordering::Release);
+                    *lock(&seg.ext) = ext1;
+                    *seg.snapshot.write().unwrap_or_else(|e| e.into_inner()) = snapshot;
+                }
+                // No data_version bump: a merge changes no answers.
+                // Retired inputs are now unreferenced by the committed
+                // manifest; live readers keep them readable via their
+                // open handles.
+                for m in &snap0.metas[run.clone()] {
+                    // xk-analyze: allow(swallowed_result, reason = "retired blob deletion is best-effort; the next open removes leftovers as orphans")
+                    let _ = seg.io.delete(m.seq);
+                }
+                commit
+            }
+            Err(e) => {
+                self.env.with(|env| env.abort_txn())?;
+                // xk-analyze: allow(swallowed_result, reason = "orphan blob cleanup is best-effort; the next open retries it")
+                let _ = seg.io.delete(seq);
+                return Err(e);
+            }
+        };
+        match self.durability.as_ref().map(|d| d.mode) {
+            Some(CommitMode::SyncEachCommit) => {
+                self.env.with(|e| e.sync_wal())?;
+            }
+            Some(CommitMode::GroupCommit) => {
+                self.env.with(|e| e.wait_wal_durable(commit.lsn))?;
+            }
+            None => {}
+        }
+        Ok(Some(CompactOutcome {
+            merged: run,
+            seq,
+            postings: header.posting_count,
+            epoch: commit.epoch,
+        }))
+    }
+
+    /// True when this engine stores postings in packed segments.
+    pub fn segments_enabled(&self) -> bool {
+        self.segments.is_some()
+    }
+
+    /// Sets the mem-segment posting count that triggers a seal
+    /// (default [`DEFAULT_SEAL_THRESHOLD`]; tests and benches lower it
+    /// to exercise the seal path).
+    pub fn set_seal_threshold(&self, postings: u64) {
+        if let Some(seg) = self.segments.as_ref() {
+            seg.seal_threshold.store(postings, Ordering::Relaxed);
+        }
+    }
+
+    /// The manifest records of the currently published sealed segments
+    /// (empty when the engine has no segment store).
+    pub fn segment_metas(&self) -> Vec<SealedMeta> {
+        self.segments.as_ref().map_or_else(Vec::new, |s| s.snapshot().metas.clone())
+    }
+
+    /// Blob blocks read (pager cache misses) across all currently open
+    /// sealed segments — the bench suites' cold-read probe counter.
+    pub fn segment_block_reads(&self) -> u64 {
+        self.segments
+            .as_ref()
+            .map_or(0, |s| s.snapshot().sealed.iter().map(|r| r.block_reads()).sum())
+    }
+
+    /// Deep-checks the segment store — manifest against blobs, every
+    /// block CRC, skip-entry monotonicity, dictionary/postings
+    /// reconciliation, journal replayability. `Ok(None)` when the engine
+    /// has no segment store. Runs against the committed state under the
+    /// append lock, so a concurrent seal cannot tear the sweep.
+    pub fn verify_segments(&self) -> Result<Option<SegmentVerifyReport>> {
+        let Some(seg) = self.segments.as_ref() else {
+            return Ok(None);
+        };
+        let _append_guard = lock(&self.append_lock);
+        let ext = *lock(&seg.ext);
+        let report =
+            self.env.with(|e| verify_store(e, &ext, seg.io.as_ref())).map_err(EngineError::Segment)?;
+        Ok(Some(report))
     }
 
     /// Renders the answer subtree rooted at an SLCA as pretty-printed XML
@@ -837,10 +1518,35 @@ fn spawn_committer(
         .map_err(|e| EngineError::Storage(xk_storage::StorageError::from(e)))
 }
 
+/// Writes and publishes segment blob `seq` through `io`: create temp →
+/// seal → finalize (sync + atomic rename). Any failure discards the
+/// temp blob so nothing half-written is ever published.
+fn seal_blob(
+    io: &dyn SegmentIo,
+    seq: u64,
+    seal_epoch: u64,
+    lists: &BTreeMap<String, Vec<Dewey>>,
+) -> Result<xk_segment::Header> {
+    let sealed = (|| -> std::result::Result<xk_segment::Header, SegmentError> {
+        let pager = io.create(seq)?;
+        let header = seal(pager.as_ref(), &SealSpec { seq, seal_epoch }, lists)?;
+        io.finalize(seq, pager)?;
+        Ok(header)
+    })();
+    sealed.map_err(|e| {
+        io.discard_temp(seq);
+        EngineError::Segment(e)
+    })
+}
+
 /// Normalizes, validates, and frequency-orders the query keywords
-/// against `index`. Returns `None` if any keyword does not occur
-/// (empty result).
-fn prepare(index: &DiskIndex, keywords: &[&str]) -> Result<Option<(Vec<String>, Vec<u64>)>> {
+/// against `index` plus (in segment mode) the segment snapshot. Returns
+/// `None` if any keyword occurs in no source (empty result).
+fn prepare(
+    index: &DiskIndex,
+    seg: Option<&SegSnapshot>,
+    keywords: &[&str],
+) -> Result<Option<(Vec<String>, Vec<u64>)>> {
     let mut normalized = Vec::with_capacity(keywords.len());
     for raw in keywords {
         let k = normalize_keyword(raw)
@@ -854,14 +1560,104 @@ fn prepare(index: &DiskIndex, keywords: &[&str]) -> Result<Option<(Vec<String>, 
     }
     let mut with_freq = Vec::with_capacity(normalized.len());
     for k in normalized {
-        match index.lookup(&k) {
-            Some(meta) => with_freq.push((k, meta.count)),
-            None => return Ok(None), // a keyword with no occurrences
+        let mut freq = index.frequency(&k);
+        if let Some(s) = seg {
+            freq += s.sealed.iter().map(|r| r.frequency(&k)).sum::<u64>();
+            freq += s.mem.frequency(&k);
         }
+        if freq == 0 {
+            return Ok(None); // a keyword with no occurrences
+        }
+        with_freq.push((k, freq));
     }
     // Smallest list first — the paper's S_1 choice.
     with_freq.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
     Ok(Some(with_freq.into_iter().unzip()))
+}
+
+/// Chains every source of `keyword`'s postings — B+tree index, sealed
+/// segments in seal order, then the mem segment — into one
+/// [`RankedList`]. The sources are id-disjoint and time-ordered (the
+/// engine's tail-append invariant), so a probe touches at most one
+/// part; a single-source keyword skips the chain (and its min probe)
+/// entirely. `None` when no source holds the keyword.
+fn ranked_chain(
+    index: &DiskIndex,
+    qenv: &SharedEnv,
+    seg: Option<&SegSnapshot>,
+    keyword: &str,
+    slot: &ErrorSlot,
+) -> Option<Box<dyn RankedList>> {
+    let disk = index.ranked_list(qenv.clone(), keyword).map(|l| l.anchored());
+    let mut seg_parts: Vec<(Dewey, Box<dyn RankedList>)> = Vec::new();
+    if let Some(s) = seg {
+        for r in &s.sealed {
+            // The skip table carries each keyword's minimum, so sealed
+            // parts cost no I/O to tag.
+            if let (Some(min), Some(list)) =
+                (r.min_dewey(keyword), r.ranked_list(keyword, slot.clone()))
+            {
+                seg_parts.push((min.clone(), Box::new(list)));
+            }
+        }
+        if let Some(l) = s.mem.list(keyword) {
+            if let Some(min) = l.first() {
+                seg_parts.push((min.clone(), Box::new(ArcList::new(Arc::clone(l)))));
+            }
+        }
+    }
+    match (disk, seg_parts.is_empty()) {
+        (Some(d), true) => Some(Box::new(d)),
+        (None, true) => None,
+        (disk, false) => {
+            let mut parts: Vec<(Dewey, Box<dyn RankedList>)> = Vec::new();
+            if let Some(mut d) = disk {
+                // Hybrid only (a B+tree index that later grew segments):
+                // one probe fetches the disk part's minimum.
+                if let Some(min) = d.rm(&Dewey::root()) {
+                    parts.push((min, Box::new(d)));
+                }
+            }
+            parts.extend(seg_parts);
+            Some(Box::new(ChainedRankedList::new(parts)))
+        }
+    }
+}
+
+/// [`ranked_chain`]'s streaming twin: concatenates the same sources
+/// front to back as one [`StreamList`].
+fn stream_chain(
+    index: &DiskIndex,
+    qenv: &SharedEnv,
+    seg: Option<&SegSnapshot>,
+    keyword: &str,
+    slot: &ErrorSlot,
+) -> Option<Box<dyn StreamList>> {
+    let mut parts: Vec<Box<dyn StreamList>> = Vec::new();
+    if let Some(d) = index.stream_list(qenv.clone(), keyword) {
+        if !d.is_empty() {
+            parts.push(Box::new(d));
+        }
+    }
+    if let Some(s) = seg {
+        for r in &s.sealed {
+            if let Some(list) = r.stream_list(keyword, slot.clone()) {
+                if !list.is_empty() {
+                    parts.push(Box::new(list));
+                }
+            }
+        }
+        if let Some(l) = s.mem.list(keyword) {
+            if !l.is_empty() {
+                parts.push(Box::new(ArcList::new(Arc::clone(l))));
+            }
+        }
+    }
+    match parts.len() {
+        0 => None,
+        1 => parts.pop(),
+        _ => Some(Box::new(ChainedStreamList::new(parts))),
+    }
 }
 
 fn resolve(algorithm: Algorithm, frequencies: &[u64]) -> Algorithm {
@@ -1353,5 +2149,195 @@ mod tests {
         assert_eq!(report.replayed_txns, 4, "all acknowledged appends recover");
         let hit = engine.query(&["batch"], Algorithm::Auto).unwrap();
         assert_eq!(hit.slcas.len(), 4);
+    }
+
+    // ---- segment-store mode ----
+
+    fn seg_engine() -> Engine {
+        Engine::build_in_memory_segmented(
+            &school_example(),
+            EnvOptions { page_size: 512, pool_pages: 256 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn segmented_build_answers_like_btree() {
+        let b = engine();
+        let s = seg_engine();
+        assert!(s.segments_enabled() && !b.segments_enabled());
+        assert_eq!(s.segment_metas().len(), 1, "build seals one segment");
+        for algo in [
+            Algorithm::Auto,
+            Algorithm::IndexedLookupEager,
+            Algorithm::ScanEager,
+            Algorithm::Stack,
+        ] {
+            let want = b.query(&["John", "Ben"], algo).unwrap();
+            let got = s.query(&["John", "Ben"], algo).unwrap();
+            assert_eq!(got.slcas, want.slcas, "{algo}");
+            assert_eq!(got.keywords, want.keywords, "{algo}");
+            assert_eq!(got.frequencies, want.frequencies, "{algo}");
+        }
+        let want = b.query_all_lcas(&["John", "Ben"]).unwrap();
+        let got = s.query_all_lcas(&["John", "Ben"]).unwrap();
+        assert_eq!(got.lcas, want.lcas);
+    }
+
+    #[test]
+    fn segmented_appends_journal_then_seal() {
+        let e = seg_engine();
+        // High threshold: appends stay in the journaled mem segment.
+        for i in 0..3 {
+            let out = e
+                .append_subtree(&Dewey::root(), &format!("<p>John Ben extra{i}</p>"))
+                .unwrap();
+            assert!(out.touched.iter().any(|k| k == "john"), "{:?}", out.touched);
+        }
+        assert_eq!(e.segment_metas().len(), 1, "below threshold: no new seal");
+        let out = e.query(&["John", "Ben"], Algorithm::Auto).unwrap();
+        assert_eq!(out.slcas.len(), 3 + 3);
+        // Drop the threshold: the next append seals mem + journal.
+        e.set_seal_threshold(1);
+        e.append_subtree(&Dewey::root(), "<p>John Ben last</p>").unwrap();
+        assert_eq!(e.segment_metas().len(), 2, "threshold crossed: sealed");
+        for algo in [Algorithm::IndexedLookupEager, Algorithm::ScanEager, Algorithm::Stack] {
+            let out = e.query(&["John", "Ben"], algo).unwrap();
+            assert_eq!(out.slcas.len(), 3 + 4, "{algo}");
+            let mut sorted = out.slcas.clone();
+            sorted.sort();
+            assert_eq!(out.slcas, sorted, "{algo}");
+        }
+    }
+
+    #[test]
+    fn segmented_store_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("xk-seg-reopen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg.db");
+        let opts = EnvOptions { page_size: 512, pool_pages: 64 };
+        {
+            let e = Engine::build_segmented(&school_example(), &path, opts.clone(), true).unwrap();
+            // Default threshold: both appends stay in the journal.
+            e.append_subtree(&Dewey::root(), "<memo>John alpha</memo>").unwrap();
+            e.append_subtree(&Dewey::root(), "<memo>Ben beta</memo>").unwrap();
+            // Crossing the threshold seals mem + journal into segment 2...
+            e.set_seal_threshold(1);
+            e.append_subtree(&Dewey::root(), "<memo>delta sealed</memo>").unwrap();
+            // ...and with the threshold raised again the last append is
+            // journaled on top of the sealed pair.
+            e.set_seal_threshold(u64::MAX);
+            e.append_subtree(&Dewey::root(), "<memo>gamma journaled</memo>").unwrap();
+            assert_eq!(e.segment_metas().len(), 2);
+            e.with_env(|env| env.flush()).unwrap();
+        }
+        {
+            let e = Engine::open(&path, opts).unwrap();
+            assert!(e.segments_enabled());
+            assert_eq!(e.segment_metas().len(), 2, "build seal + threshold seal");
+            for (kw, n) in [("alpha", 1), ("beta", 1), ("delta", 1), ("gamma", 1), ("john", 5)] {
+                let out = e.query(&[kw], Algorithm::Auto).unwrap();
+                assert_eq!(out.slcas.len(), n, "{kw}");
+            }
+            let report = e.verify_segments().unwrap().unwrap();
+            assert!(report.clean(), "{:?}", report.issues);
+            assert!(report.journal_postings > 0, "journaled tail was replayed");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segmented_failed_seal_aborts_cleanly() {
+        use xk_segment::FaultSegmentIo;
+        let opts = EnvOptions { page_size: 512, pool_pages: 256 };
+        let env = StorageEnv::in_memory(opts);
+        let mem_io = Arc::new(MemSegmentIo::new(env.physical_page_size()));
+        Engine::build_segment_store(&env, &school_example(), mem_io.as_ref(), true).unwrap();
+        let fault = Arc::new(FaultSegmentIo::new(mem_io));
+        let e = Engine::from_parts(env, None, Some(Arc::clone(&fault) as Arc<dyn SegmentIo>))
+            .unwrap();
+        e.set_seal_threshold(1); // every append tries to seal
+        e.append_subtree(&Dewey::root(), "<p>John warm</p>").unwrap();
+        assert_eq!(e.segment_metas().len(), 2);
+
+        // Fail the very next blob op (the seal's create): the append must
+        // abort and leave the committed store untouched.
+        fault.reset();
+        fault.arm(0, false);
+        let err = e.append_subtree(&Dewey::root(), "<p>John torn</p>").unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        fault.reset();
+        assert_eq!(e.segment_metas().len(), 2, "aborted seal published nothing");
+        let out = e.query(&["John"], Algorithm::Auto).unwrap();
+        assert_eq!(out.slcas.len(), 4 + 1, "the failed append is invisible");
+        let report = e.verify_segments().unwrap().unwrap();
+        assert!(report.clean(), "{:?}", report.issues);
+
+        // With the fault disarmed the engine keeps working.
+        e.append_subtree(&Dewey::root(), "<p>John healed</p>").unwrap();
+        assert_eq!(e.segment_metas().len(), 3);
+        let out = e.query(&["John"], Algorithm::Auto).unwrap();
+        assert_eq!(out.slcas.len(), 4 + 2);
+    }
+
+    #[test]
+    fn compaction_folds_small_segments() {
+        let e = seg_engine();
+        e.set_seal_threshold(1);
+        for i in 0..8 {
+            e.append_subtree(&Dewey::root(), &format!("<p>John Ben c{i}</p>")).unwrap();
+        }
+        let before = e.segment_metas();
+        assert!(before.len() >= 5, "seals accumulated: {}", before.len());
+        let want = e.query(&["John", "Ben"], Algorithm::Auto).unwrap();
+        let mut merges = 0;
+        while let Some(outcome) = e.compact_segments().unwrap() {
+            merges += 1;
+            assert!(outcome.postings > 0);
+        }
+        assert!(merges > 0, "tiered policy found at least one run");
+        let after = e.segment_metas();
+        assert!(after.len() < before.len(), "{} -> {}", before.len(), after.len());
+        let postings_before: u64 = before.iter().map(|m| m.postings).sum();
+        let postings_after: u64 = after.iter().map(|m| m.postings).sum();
+        assert_eq!(postings_before, postings_after, "merge loses nothing");
+        for algo in [Algorithm::IndexedLookupEager, Algorithm::ScanEager, Algorithm::Stack] {
+            let got = e.query(&["John", "Ben"], algo).unwrap();
+            assert_eq!(got.slcas, want.slcas, "{algo}");
+        }
+        let report = e.verify_segments().unwrap().unwrap();
+        assert!(report.clean(), "{:?}", report.issues);
+    }
+
+    #[test]
+    fn merger_thread_compacts_in_background() {
+        let e = Arc::new(seg_engine());
+        e.set_seal_threshold(1);
+        for i in 0..8 {
+            e.append_subtree(&Dewey::root(), &format!("<p>John m{i}</p>")).unwrap();
+        }
+        let before = e.segment_metas().len();
+        let ctl = spawn_merger(Arc::clone(&e), Duration::from_millis(5)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while e.segment_metas().len() >= before && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        ctl.stop();
+        assert!(e.segment_metas().len() < before, "background merge ran");
+        let out = e.query(&["John"], Algorithm::Auto).unwrap();
+        assert_eq!(out.slcas.len(), 4 + 8);
+    }
+
+    #[test]
+    fn segmented_empty_document_works() {
+        let t = xk_xmltree::XmlTree::new("empty");
+        let e = Engine::build_in_memory_segmented(
+            &t,
+            EnvOptions { page_size: 512, pool_pages: 64 },
+        )
+        .unwrap();
+        assert!(e.segments_enabled());
+        let out = e.query(&["anything"], Algorithm::Auto).unwrap();
+        assert!(out.slcas.is_empty());
     }
 }

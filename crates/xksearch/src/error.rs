@@ -2,6 +2,7 @@
 
 use std::fmt;
 use xk_index::IndexError;
+use xk_segment::SegmentError;
 use xk_storage::StorageError;
 use xk_xmltree::ParseError;
 
@@ -11,6 +12,9 @@ pub enum EngineError {
     Storage(StorageError),
     Index(IndexError),
     Parse(ParseError),
+    /// Segment-store failures: blob I/O, XKSEG1 corruption, fence
+    /// mismatches ([`xk_segment::SegmentError`]).
+    Segment(SegmentError),
     /// Query-shape problems: no keywords, keyword with no token characters.
     BadQuery(String),
     /// The index was built without an embedded document, so answer
@@ -24,6 +28,7 @@ impl fmt::Display for EngineError {
             EngineError::Storage(e) => write!(f, "storage error: {e}"),
             EngineError::Index(e) => write!(f, "index error: {e}"),
             EngineError::Parse(e) => write!(f, "parse error: {e}"),
+            EngineError::Segment(e) => write!(f, "segment error: {e}"),
             EngineError::BadQuery(m) => write!(f, "bad query: {m}"),
             EngineError::NoDocument => {
                 write!(f, "the index was built without an embedded document")
@@ -38,6 +43,7 @@ impl std::error::Error for EngineError {
             EngineError::Storage(e) => Some(e),
             EngineError::Index(e) => Some(e),
             EngineError::Parse(e) => Some(e),
+            EngineError::Segment(e) => Some(e),
             _ => None,
         }
     }
@@ -58,6 +64,12 @@ impl From<IndexError> for EngineError {
 impl From<ParseError> for EngineError {
     fn from(e: ParseError) -> Self {
         EngineError::Parse(e)
+    }
+}
+
+impl From<SegmentError> for EngineError {
+    fn from(e: SegmentError) -> Self {
+        EngineError::Segment(e)
     }
 }
 

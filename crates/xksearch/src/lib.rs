@@ -26,8 +26,9 @@ pub mod engine;
 pub mod error;
 
 pub use engine::{
-    default_wal_path, Algorithm, AppendOutcome, CommitMode, DurabilityOptions, Engine,
-    LcaOutcome, QueryOutcome, AUTO_RATIO_THRESHOLD,
+    default_segments_dir, default_wal_path, spawn_merger, Algorithm, AppendOutcome, CommitMode,
+    CompactOutcome, DurabilityOptions, Engine, LcaOutcome, MergerCtl, QueryOutcome,
+    AUTO_RATIO_THRESHOLD, DEFAULT_SEAL_THRESHOLD,
 };
 pub use error::{EngineError, Result};
 pub use xk_storage::RecoveryReport;

@@ -89,6 +89,177 @@ fn write_node(
     }
 }
 
+/// Magic prefix of the structural encoding ([`encode_tree`]).
+pub const TREE_MAGIC: &[u8; 8] = b"XKDOC1\0\0";
+
+/// Encodes the whole tree in a **lossless** structural form: preorder
+/// records with explicit child counts.
+///
+/// XML text cannot represent adjacent text siblings — serializing two
+/// consecutive `append_text` children concatenates their character data,
+/// and re-parsing yields *one* merged node with different tokens and one
+/// fewer ordinal. Any consumer that persists a tree and later relies on
+/// its exact shape (the engine's stored document drives Dewey ordinal
+/// allocation for appends) must use this encoding, not
+/// [`to_xml_string`].
+pub fn encode_tree(tree: &XmlTree) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + tree.len() * 8);
+    out.extend_from_slice(TREE_MAGIC);
+    encode_node(tree, NodeId::ROOT, &mut out);
+    out
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn encode_node(tree: &XmlTree, id: NodeId, out: &mut Vec<u8>) {
+    match tree.content(id) {
+        NodeContent::Text(t) => {
+            out.push(1);
+            put_str(out, t);
+        }
+        NodeContent::Element { tag, attributes } => {
+            out.push(0);
+            put_str(out, tag);
+            put_varint(out, attributes.len() as u64);
+            for a in attributes {
+                put_str(out, &a.name);
+                put_str(out, &a.value);
+            }
+            let children = tree.children(id);
+            put_varint(out, children.len() as u64);
+            for &c in children {
+                encode_node(tree, c, out);
+            }
+        }
+    }
+}
+
+/// Decodes an [`encode_tree`] buffer back into the identical tree.
+/// Returns a description of the first malformation on corrupt input —
+/// never panics.
+pub fn decode_tree(bytes: &[u8]) -> Result<XmlTree, String> {
+    let body = bytes
+        .strip_prefix(&TREE_MAGIC[..])
+        .ok_or_else(|| "missing XKDOC1 magic".to_string())?;
+    let mut cur = Cursor { bytes: body, pos: 0 };
+    if cur.byte()? != 0 {
+        return Err("document root must be an element".into());
+    }
+    let tag = cur.str()?;
+    let attrs = cur.attrs()?;
+    let mut tree = XmlTree::new(tag);
+    tree.set_root(tag, attrs);
+    let children = cur.varint()?;
+    for _ in 0..children {
+        decode_node(&mut cur, &mut tree, NodeId::ROOT, 0)?;
+    }
+    if cur.pos != cur.bytes.len() {
+        return Err(format!("{} trailing byte(s)", cur.bytes.len() - cur.pos));
+    }
+    Ok(tree)
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn byte(&mut self) -> Result<u8, String> {
+        let b = *self.bytes.get(self.pos).ok_or("truncated document record")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64, String> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let b = self.byte()?;
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err("varint overruns 64 bits".into())
+    }
+
+    // xk-analyze: allow(panic_path, reason = "end is checked_add-bounded to bytes.len() before the slice")
+    fn str(&mut self) -> Result<&'a str, String> {
+        let len = self.varint()? as usize;
+        let end = self.pos.checked_add(len).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or("string overruns the document record")?;
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "string is not UTF-8".to_string())?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn attrs(&mut self) -> Result<Vec<crate::tree::Attribute>, String> {
+        let n = self.varint()? as usize;
+        if n > self.bytes.len() {
+            return Err("attribute count overruns the document record".into());
+        }
+        let mut attrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = self.str()?.to_string();
+            let value = self.str()?.to_string();
+            attrs.push(crate::tree::Attribute { name, value });
+        }
+        Ok(attrs)
+    }
+}
+
+/// Depth guard: a decoded chain deeper than this is corrupt, not a
+/// document (Dewey components cap out far earlier in practice).
+const MAX_DECODE_DEPTH: usize = 4096;
+
+fn decode_node(
+    cur: &mut Cursor<'_>,
+    tree: &mut XmlTree,
+    parent: NodeId,
+    depth: usize,
+) -> Result<(), String> {
+    if depth > MAX_DECODE_DEPTH {
+        return Err("document nesting exceeds the decode depth bound".into());
+    }
+    match cur.byte()? {
+        1 => {
+            let text = cur.str()?.to_string();
+            tree.append_text(parent, text);
+            Ok(())
+        }
+        0 => {
+            let tag = cur.str()?.to_string();
+            let attrs = cur.attrs()?;
+            let id = tree.append_element_with_attrs(parent, tag, attrs);
+            let children = cur.varint()?;
+            if children as usize > cur.bytes.len() - cur.pos {
+                return Err("child count overruns the document record".into());
+            }
+            for _ in 0..children {
+                decode_node(cur, tree, id, depth + 1)?;
+            }
+            Ok(())
+        }
+        k => Err(format!("unknown node kind {k}")),
+    }
+}
+
 fn escape_text(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
@@ -150,5 +321,54 @@ mod tests {
         let t = parse("<a><b><x>1</x></b><c>2</c></a>").unwrap();
         let b = t.children(NodeId::ROOT)[0];
         assert_eq!(to_xml_string(&t, b), "<b><x>1</x></b>");
+    }
+
+    fn assert_same_tree(a: &XmlTree, b: &XmlTree) {
+        assert_eq!(a.len(), b.len());
+        for (na, nb) in a.preorder().zip(b.preorder()) {
+            assert_eq!(a.content(na), b.content(nb));
+            assert_eq!(a.dewey(na), b.dewey(nb));
+        }
+    }
+
+    #[test]
+    fn structural_roundtrip_is_lossless() {
+        let t = parse("<a x=\"1\" y=\"two\"><b>hi</b><c/><d>x &amp; y</d></a>").unwrap();
+        let back = decode_tree(&encode_tree(&t)).unwrap();
+        assert_same_tree(&t, &back);
+    }
+
+    #[test]
+    fn structural_roundtrip_keeps_adjacent_text_nodes() {
+        // The case XML text cannot represent: two text siblings. An XML
+        // round-trip merges them into one node; the structural encoding
+        // must not.
+        let mut t = XmlTree::new("r");
+        t.append_text(NodeId::ROOT, "one");
+        t.append_text(NodeId::ROOT, "two");
+        t.append_element(NodeId::ROOT, "e");
+        let merged = parse(&to_xml_string(&t, NodeId::ROOT)).unwrap();
+        assert_eq!(merged.len(), 3, "XML text merges the adjacent texts");
+        let back = decode_tree(&encode_tree(&t)).unwrap();
+        assert_same_tree(&t, &back);
+        assert_eq!(back.children(NodeId::ROOT).len(), 3);
+    }
+
+    #[test]
+    fn structural_decode_rejects_corruption() {
+        let t = parse("<a><b>hi</b></a>").unwrap();
+        let good = encode_tree(&t);
+        assert!(decode_tree(&good[1..]).is_err(), "missing magic");
+        for cut in TREE_MAGIC.len()..good.len() {
+            assert!(decode_tree(&good[..cut]).is_err(), "truncation at {cut}");
+        }
+        let mut extra = good.clone();
+        extra.push(0);
+        assert!(decode_tree(&extra).is_err(), "trailing bytes");
+        // Hand-built record whose child carries an unknown kind tag:
+        // magic, element "r" with no attributes and one child, kind 7.
+        let mut bad_kind = TREE_MAGIC.to_vec();
+        bad_kind.extend_from_slice(&[0, 1, b'r', 0, 1, 7]);
+        assert!(decode_tree(&bad_kind).is_err(), "unknown node kind");
     }
 }

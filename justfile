@@ -87,6 +87,7 @@ bench-all out="results":
     XK_BENCH_OUT={{out}} cargo run --release -p xk-bench --bin server_loadgen -- --smoke
     XK_BENCH_OUT={{out}} cargo run --release -p xk-bench --bin writepath -- --smoke
     XK_BENCH_OUT={{out}} cargo run --release -p xk-bench --bin checksum_overhead -- --smoke
+    XK_BENCH_OUT={{out}} cargo run --release -p xk-bench --bin segment_layout -- --smoke
     cargo run --release -p xk-bench --bin bench_diff -- validate {{out}}
 
 # Rerun every suite fresh and diff it against the checked-in results/
@@ -119,6 +120,12 @@ soak:
 soak-mixed:
     cargo test -q --test mixed_soak
     cargo test -q --test epoch_isolation
+
+# Packed-segment layout vs posting B+trees: bytes per posting and cold
+# probe page reads, into results/BENCH_segment_layout.json (pass
+# smoke="--smoke").
+bench-segments smoke="":
+    cargo run --release -p xk-bench --bin segment_layout -- {{smoke}}
 
 # Durable write path: append throughput (SyncEachCommit vs GroupCommit),
 # commits-per-fsync, recovery time, and read latency under a concurrent
