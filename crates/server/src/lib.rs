@@ -1,22 +1,29 @@
 //! # xk-server — `xkserve`, the networked XKSearch query service
 //!
-//! The serving layer over the [`xksearch`] engine: a std-only threaded
-//! TCP server speaking minimal HTTP/1.1, with
+//! The serving layer over the [`xksearch`] engine: a std-only
+//! **event-driven** TCP server speaking HTTP/1.1 with keep-alive and
+//! pipelining, built from
 //!
+//! * an **epoll reactor** (one thread owning every socket through the
+//!   vendored raw-syscall binding `xk-sys`) with per-connection state
+//!   machines, incremental request parsing, and a timer wheel for
+//!   idle/read/write deadlines,
 //! * a **bounded worker pool** over one shared [`Engine`] (the `Send +
 //!   Sync` read path from PR 2 makes `&Engine` queries safe from any
-//!   number of threads),
+//!   number of threads) — CPU-bound queries never run on the reactor,
 //! * an **LRU result cache** keyed by (normalized keyword set, requested
 //!   algorithm) and invalidated by [`Engine::data_version`],
-//! * **admission control**: connections beyond the queue bound are shed
-//!   with `503` instead of piling up latency,
-//! * **graceful shutdown**: `/shutdown` drains the admitted queue before
-//!   the workers exit,
+//! * **admission control**: connections beyond `max_connections` and
+//!   requests beyond the job-queue bound are shed with `503` instead of
+//!   piling up latency,
+//! * **graceful shutdown**: `/shutdown` releases the port, flushes every
+//!   response already owed, then the reactor and workers exit,
 //! * a **`/metrics`** endpoint exporting cache rates, per-algorithm query
-//!   counts, latency histograms, and the storage layer's [`IoStats`].
+//!   counts, latency histograms, connection/keep-alive/pipeline counters,
+//!   and the storage layer's [`IoStats`].
 //!
-//! Endpoints: `GET /query?kw=a+b&algo=auto`, `GET /metrics`,
-//! `GET /healthz`, `GET /shutdown`.
+//! Endpoints: `GET /query?kw=a+b&algo=auto`, `POST /append`,
+//! `GET /metrics`, `GET /healthz`, `GET /shutdown`.
 //!
 //! The `xksearch` **binary** lives in this crate (the CLI's `serve`
 //! subcommand needs the server, and the server needs the engine — the
@@ -27,11 +34,14 @@
 //! [`IoStats`]: xk_storage::IoStats
 
 pub mod cache;
+pub mod conn;
 pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod payload;
+mod reactor;
 pub mod server;
+pub mod timer;
 
 pub use cache::{CacheKey, CacheStats, CachedAnswer, Lru, QueryCache};
 pub use metrics::{Histogram, HistogramSnapshot, ServerMetrics};

@@ -129,8 +129,24 @@ pub struct ServerMetrics {
     pub not_found: AtomicU64,
     /// Query executions that failed in the engine/storage layer (500).
     pub internal_errors: AtomicU64,
-    /// Connections dropped before a full request arrived (timeout/EOF).
+    /// Connections where the peer vanished mid-request (EOF or reset
+    /// before a full request arrived). Closed silently — writing to a
+    /// gone peer would be wrong, so these never get a response.
     pub read_failures: AtomicU64,
+    /// Requests that stalled past the read deadline and were answered
+    /// `408` (slowloris and genuinely slow clients, distinct from
+    /// `read_failures`).
+    pub read_timeouts: AtomicU64,
+    /// Gauge: connections currently open in the reactor.
+    pub open_connections: AtomicU64,
+    /// Requests served on a reused keep-alive connection (every request
+    /// after a connection's first).
+    pub keepalive_reuses: AtomicU64,
+    /// Requests that arrived while earlier requests on the same
+    /// connection were still unanswered.
+    pub pipelined_requests: AtomicU64,
+    /// Deepest pipeline observed on any single connection.
+    pub pipeline_depth_max: AtomicU64,
     /// Per-algorithm executed-query counts, indexed by [`algo_slot`].
     pub by_algorithm: [AtomicU64; 3],
     /// End-to-end `/query` handling latency (parse to last byte queued).
@@ -175,6 +191,11 @@ impl ServerMetrics {
             not_found: AtomicU64::new(0),
             internal_errors: AtomicU64::new(0),
             read_failures: AtomicU64::new(0),
+            read_timeouts: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            keepalive_reuses: AtomicU64::new(0),
+            pipelined_requests: AtomicU64::new(0),
+            pipeline_depth_max: AtomicU64::new(0),
             by_algorithm: Default::default(),
             query_latency: Histogram::new(),
         }

@@ -1,0 +1,374 @@
+//! The epoll reactor: one thread owning every socket.
+//!
+//! The reactor multiplexes the listener, a cross-thread waker, and every
+//! client connection over a single level-triggered [`xk_sys::Epoll`].
+//! It never computes a query: parsed [`RequestFrame`]s become jobs on
+//! the shared bounded queue and the existing worker pool executes them;
+//! workers push rendered responses onto a completion list and tap the
+//! [`xk_sys::EventFd`] waker, and the reactor flushes them back out in
+//! arrival order. Admission control happens in two places, both here:
+//!
+//! * **connection cap** — accepts beyond `max_connections` are admitted
+//!   in *shed mode*: their first request is answered `503 Retry-After`
+//!   without ever reaching the queue, then the connection closes;
+//! * **queue cap** — a frame arriving with `queue_cap` jobs already
+//!   pending is answered `503` immediately, keeping the connection open
+//!   (the client may retry on the same socket).
+//!
+//! Deadlines (keep-alive idle reap, slow-read 408, write-stall close)
+//! live in a hashed [`TimerWheel`]; entries are lazily cancelled, so the
+//! wheel is re-validated against the connection's *current* deadline
+//! before any timeout acts.
+
+use crate::conn::{Conn, DeadlineKind, ReadOutcome, RequestFrame};
+use crate::server::{Completion, Job, Shared};
+use crate::timer::{TimerEntry, TimerWheel};
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xk_sys::{Epoll, RawEvent};
+
+/// Token of the accept socket.
+const LISTENER: u64 = 0;
+/// Token of the worker→reactor eventfd.
+const WAKER: u64 = 1;
+/// First connection token; tokens are never reused within a server run.
+const FIRST_CONN: u64 = 2;
+
+/// Events drained per `epoll_wait`.
+const MAX_EVENTS: usize = 1024;
+const WHEEL_SLOTS: usize = 512;
+const WHEEL_GRANULARITY: Duration = Duration::from_millis(25);
+/// Upper bound on one epoll sleep, so the shutdown flag is observed
+/// promptly even if the waker write itself failed.
+const MAX_WAIT: Duration = Duration::from_millis(500);
+
+pub(crate) struct Reactor {
+    epoll: Epoll,
+    /// `None` once draining begins — the port is released at the *start*
+    /// of a drain, so a joined server is guaranteed unreachable.
+    listener: Option<TcpListener>,
+    conns: HashMap<u64, Conn<TcpStream>>,
+    wheel: TimerWheel,
+    next_token: u64,
+    shared: Arc<Shared>,
+    draining: bool,
+}
+
+/// Runs the reactor to completion (drain finished). Registration errors
+/// at startup are fatal to the thread but leave the server join-able.
+pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>) {
+    let epoll = match Epoll::new() {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("xkserve: epoll_create1 failed, server cannot start: {e}");
+            return;
+        }
+    };
+    if let Err(e) = epoll.add(listener.as_raw_fd(), LISTENER, true, false) {
+        eprintln!("xkserve: registering the listener failed: {e}");
+        return;
+    }
+    if let Err(e) = epoll.add(shared.waker.raw_fd(), WAKER, true, false) {
+        eprintln!("xkserve: registering the waker failed: {e}");
+        return;
+    }
+    let now = Instant::now();
+    Reactor {
+        epoll,
+        listener: Some(listener),
+        conns: HashMap::new(),
+        wheel: TimerWheel::new(WHEEL_SLOTS, WHEEL_GRANULARITY, now),
+        next_token: FIRST_CONN,
+        shared,
+        draining: false,
+    }
+    .run_loop();
+}
+
+impl Reactor {
+    // xk-analyze: root(panic_path)
+    fn run_loop(&mut self) {
+        let mut events = vec![RawEvent::default(); MAX_EVENTS];
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) && !self.draining {
+                self.begin_drain();
+            }
+            if self.draining && self.conns.is_empty() {
+                return;
+            }
+            let now = Instant::now();
+            let timeout = self.wheel.next_timeout(now).unwrap_or(MAX_WAIT).min(MAX_WAIT);
+            let n = match self.epoll.wait(&mut events, Some(timeout)) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("xkserve: epoll_wait failed: {e}");
+                    return;
+                }
+            };
+            let now = Instant::now();
+            for ev in events.iter().take(n) {
+                match ev.token() {
+                    LISTENER => self.accept_ready(now),
+                    WAKER => self.shared.waker.drain(),
+                    token => {
+                        let Some(conn) = self.conns.get_mut(&token) else { continue };
+                        let outcome = if ev.readable() { conn.on_readable(now) } else { ReadOutcome::default() };
+                        if ev.writable() {
+                            if let Some(conn) = self.conns.get_mut(&token) {
+                                conn.on_writable(now);
+                            }
+                        }
+                        self.handle_outcome(token, outcome, now);
+                        self.finalize(token, now);
+                    }
+                }
+            }
+            self.drain_completions(now);
+            self.expire_timers(now);
+        }
+    }
+
+    /// Accepts until the backlog is dry. Connections over the cap are
+    /// still accepted — in shed mode, so the client gets a real `503`
+    /// instead of a SYN queue timeout — and both kinds are registered
+    /// with the epoll and the timer wheel.
+    fn accept_ready(&mut self, now: Instant) {
+        loop {
+            let Some(listener) = &self.listener else { return };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Nonblocking is mandatory for the reactor; nodelay
+                    // keeps small pipelined responses off Nagle's timer.
+                    // Failures surface on first use of the socket.
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    // Over-cap connections are marked for shedding but the
+                    // `shed` counter only moves when a request is actually
+                    // turned away (the connection may never send one).
+                    let shed = self.conns.len() >= self.shared.config.max_connections;
+                    let m = &self.shared.metrics;
+                    if !shed {
+                        m.accepted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self.epoll.add(stream.as_raw_fd(), token, true, false).is_err() {
+                        continue; // drop the connection; nothing to undo
+                    }
+                    self.conns.insert(token, Conn::new(stream, token, shed, now));
+                    m.open_connections.store(self.conns.len() as u64, Ordering::Relaxed);
+                    self.arm(token, now);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return, // transient (EMFILE etc.): retry next tick
+            }
+        }
+    }
+
+    /// Books a read outcome: counters, then frame dispatch.
+    fn handle_outcome(&mut self, token: u64, outcome: ReadOutcome, now: Instant) {
+        let m = &self.shared.metrics;
+        if outcome.failed {
+            m.read_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        if outcome.bad_requests > 0 {
+            m.bad_requests.fetch_add(outcome.bad_requests, Ordering::Relaxed);
+        }
+        if outcome.shed > 0 {
+            m.shed.fetch_add(outcome.shed, Ordering::Relaxed);
+        }
+        for frame in outcome.frames {
+            self.dispatch(token, frame, now);
+        }
+    }
+
+    /// Hands one parsed request to the worker pool, or answers `503`
+    /// right here when the job queue is at capacity.
+    fn dispatch(&mut self, token: u64, frame: RequestFrame, now: Instant) {
+        let m = &self.shared.metrics;
+        if frame.reused {
+            m.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+        }
+        if frame.pipelined {
+            m.pipelined_requests.fetch_add(1, Ordering::Relaxed);
+        }
+        m.pipeline_depth_max.fetch_max(frame.depth, Ordering::Relaxed);
+
+        // Result-cache hits are answered inline — a lookup is not
+        // CPU-bound work, and skipping the worker round-trip halves the
+        // per-request context switches on the keep-alive hot path.
+        if !self.draining {
+            if let Some(response) =
+                crate::server::try_cached_query(&self.shared, &frame.request, now)
+            {
+                let keep = !frame.close_after;
+                let bytes = response.render(keep);
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.complete(frame.seq, bytes, !keep);
+                }
+                return;
+            }
+        }
+
+        let enqueued = {
+            let mut jobs = self.shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            if jobs.len() >= self.shared.config.queue_cap {
+                false
+            } else {
+                jobs.push_back(Job {
+                    token,
+                    seq: frame.seq,
+                    request: frame.request,
+                    close_after: frame.close_after,
+                    received: now,
+                });
+                true
+            }
+        };
+        if enqueued {
+            self.shared.available.notify_one();
+            return;
+        }
+        // Shed at the queue: immediate 503, connection stays usable.
+        m.shed.fetch_add(1, Ordering::Relaxed);
+        let body = crate::payload::error_json("overloaded: admission queue full");
+        let keep = !frame.close_after;
+        let bytes = crate::http::Response::json(503, body)
+            .with_headers(&["Retry-After: 1"])
+            .render(keep);
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.complete(frame.seq, bytes, !keep);
+        }
+    }
+
+    /// Routes finished worker responses back to their connections. A
+    /// completion may lift backpressure, so buffered requests are parsed
+    /// (`on_unpause`) and dispatched in the same pass.
+    fn drain_completions(&mut self, now: Instant) {
+        let done: Vec<Completion> = {
+            let mut c = self.shared.completions.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *c)
+        };
+        for completion in done {
+            let Some(conn) = self.conns.get_mut(&completion.token) else {
+                continue; // connection died while the worker computed
+            };
+            conn.complete(completion.seq, completion.bytes, completion.close_after);
+            let outcome = conn.on_unpause(now);
+            self.handle_outcome(completion.token, outcome, now);
+            self.finalize(completion.token, now);
+        }
+    }
+
+    /// Fires due timer entries, re-validating each against the
+    /// connection's current deadline (lazy cancellation).
+    fn expire_timers(&mut self, now: Instant) {
+        let mut due: Vec<TimerEntry> = Vec::new();
+        self.wheel.expire(now, |e| due.push(e));
+        let idle = self.shared.config.idle_timeout;
+        let io = self.shared.config.io_timeout;
+        for entry in due {
+            let Some(conn) = self.conns.get_mut(&entry.token) else { continue };
+            if entry.gen != conn.wheel_gen {
+                continue; // superseded by a later arm
+            }
+            conn.armed_at = None;
+            match conn.deadline_due(now, idle, io) {
+                Some(DeadlineKind::ReadTimeout) => {
+                    // A genuinely slow request: answer 408 (after any
+                    // earlier pipelined responses) and close.
+                    self.shared.metrics.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                    conn.expire_read(now);
+                    self.finalize(entry.token, now);
+                }
+                Some(DeadlineKind::Idle) | Some(DeadlineKind::WriteStall) => {
+                    self.close(entry.token);
+                }
+                // The deadline moved since arming (activity happened):
+                // nothing fires, just re-arm at the new instant.
+                None => self.arm(entry.token, now),
+            }
+        }
+    }
+
+    /// Post-event bookkeeping for one connection: eager flush, close if
+    /// dead/finished, sync epoll interest, re-arm the deadline.
+    fn finalize(&mut self, token: u64, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if conn.wants_write() {
+            conn.on_writable(now); // level-triggered: try now, subscribe if short
+        }
+        if conn.is_dead() || conn.finished() {
+            self.close(token);
+            return;
+        }
+        let want = (conn.wants_read(), conn.wants_write());
+        if want != conn.registered {
+            let fd = conn.stream().as_raw_fd();
+            if self.epoll.modify(fd, token, want.0, want.1).is_err() {
+                self.close(token);
+                return;
+            }
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.registered = want;
+            }
+        }
+        self.arm(token, now);
+    }
+
+    /// Arms (or keeps) the wheel entry for a connection's next deadline.
+    /// Only an *earlier* deadline forces a new entry; later ones ride
+    /// the armed entry and are re-validated when it fires.
+    fn arm(&mut self, token: u64, _now: Instant) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        let idle = self.shared.config.idle_timeout;
+        let io = self.shared.config.io_timeout;
+        if let Some((at, _kind)) = conn.deadline(idle, io) {
+            if conn.armed_at.is_none_or(|armed| at < armed) {
+                conn.wheel_gen += 1;
+                self.wheel.insert(at, TimerEntry { token, gen: conn.wheel_gen });
+                conn.armed_at = Some(at);
+            }
+        }
+    }
+
+    /// Removes a connection. Dropping the stream closes the fd, which
+    /// implicitly deregisters it from the epoll.
+    fn close(&mut self, token: u64) {
+        if self.conns.remove(&token).is_some() {
+            self.shared
+                .metrics
+                .open_connections
+                .store(self.conns.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Starts the drain: release the port immediately, then stop every
+    /// connection — responses already owed (in workers or buffered)
+    /// still go out, new requests are no longer parsed.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        if let Some(listener) = self.listener.take() {
+            // Deregister before the fd closes so no stale readiness for
+            // token 0 survives; failure is moot since drop closes it.
+            // xk-analyze: allow(swallowed_result, reason = "dropping the listener closes the fd, which deregisters it from epoll regardless")
+            let _ = self.epoll.delete(listener.as_raw_fd());
+        }
+        let now = Instant::now();
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.begin_close();
+            }
+            self.finalize(token, now);
+        }
+    }
+}

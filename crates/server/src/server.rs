@@ -1,15 +1,19 @@
-//! `xkserve`: the threaded TCP query service.
+//! `xkserve`: the event-driven TCP query service.
 //!
-//! Architecture (DESIGN.md §6): one accept thread performs **admission
-//! control** — a connection is either pushed onto a bounded queue or
-//! immediately refused with `503` (load shedding; the accept thread
-//! never blocks on a slow client beyond one small buffered write). A
-//! fixed pool of worker threads pops connections, reads one HTTP/1.1
-//! request each, and answers `GET /query`, `POST /append`, `/metrics`,
-//! `/healthz`, or `/shutdown`. Queries run against a shared [`Engine`]
-//! (`&self`, snapshot-isolated — appends never block or tear reads)
-//! through the LRU result cache; appends report which keyword lists
-//! they touched, and only the intersecting cache entries are evicted.
+//! Architecture (DESIGN.md §6): a single **reactor thread**
+//! ([`crate::reactor`]) owns every socket through a level-triggered
+//! epoll, parses HTTP/1.1 with keep-alive and pipelining via
+//! per-connection state machines ([`crate::conn`]), and enforces
+//! admission control — a connection cap (over it, the first request is
+//! answered `503` and the connection closes) and a bounded job queue
+//! (a request arriving with the queue full gets an immediate `503`,
+//! connection kept open). CPU-bound work never runs on the reactor: a
+//! fixed pool of worker threads pops jobs, answers `GET /query`,
+//! `POST /append`, `/metrics`, `/healthz`, or `/shutdown` against the
+//! shared [`Engine`] (`&self`, snapshot-isolated — appends never block
+//! or tear reads) through the LRU result cache, and pushes rendered
+//! bytes back over an eventfd waker. Responses flush in request arrival
+//! order per connection.
 //!
 //! The engine lives in a slot that may start empty
 //! ([`Server::start_loading`]): while crash recovery or index loading
@@ -17,19 +21,21 @@
 //! `Retry-After: 1` instead of hanging or refusing connections.
 //!
 //! **Graceful shutdown**: `/shutdown` (or [`Server::shutdown`]) flips an
-//! atomic flag and self-connects to unblock `accept`. The accept thread
-//! stops admitting, workers drain every connection already queued, then
-//! exit; [`Server::join`] returns once the last worker is gone, so a
-//! joined server has answered everything it ever admitted.
+//! atomic flag and taps the waker. The reactor releases the port
+//! immediately, stops parsing new requests, and flushes every response
+//! already owed; workers drain the job queue, then exit.
+//! [`Server::join`] returns once both are done, so a joined server has
+//! answered everything it ever admitted.
 
 use crate::cache::{CacheKey, CachedAnswer, QueryCache};
-use crate::http::{self, ReadError, Request};
+use crate::http::{Request, Response};
 use crate::json::JsonBuf;
 use crate::metrics::{ServerMetrics, ALGO_NAMES};
 use crate::payload;
 use std::collections::{HashMap, VecDeque};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -47,12 +53,19 @@ pub struct ServerConfig {
     pub workers: usize,
     /// LRU result-cache capacity in entries; 0 disables the cache.
     pub cache_entries: usize,
-    /// Admission bound: connections queued beyond the workers. A new
-    /// connection arriving with `queue_cap` connections already waiting
-    /// is shed with 503.
+    /// Bound on jobs waiting for a worker. A request parsed while
+    /// `queue_cap` jobs are already pending is answered `503` without
+    /// queueing (the connection stays open).
     pub queue_cap: usize,
-    /// Per-connection socket read/write timeout.
+    /// Read deadline for a request in progress (slow request heads and
+    /// bodies answer `408`) and write-progress deadline for responses.
     pub io_timeout: Duration,
+    /// Open connections the reactor serves at once. Accepts beyond the
+    /// cap are answered `503 Retry-After` and closed.
+    pub max_connections: usize,
+    /// How long an idle keep-alive connection (no request in progress,
+    /// nothing owed) is kept before being reaped.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -63,35 +76,55 @@ impl Default for ServerConfig {
             cache_entries: 1024,
             queue_cap: 64,
             io_timeout: Duration::from_secs(5),
+            max_connections: 4096,
+            idle_timeout: Duration::from_secs(5),
         }
     }
 }
 
-/// Refused connections waiting for their 503 beyond this are dropped
-/// outright — the shedder thread itself must not become the backlog.
-const SHED_BACKLOG: usize = 128;
+/// One parsed request in flight from the reactor to a worker.
+pub(crate) struct Job {
+    pub token: u64,
+    pub seq: u64,
+    pub request: Request,
+    /// The client asked this exchange to be the connection's last.
+    pub close_after: bool,
+    /// When the reactor dispatched the job — latency is measured from
+    /// here, so queue wait is part of the reported numbers.
+    pub received: Instant,
+}
 
-struct Shared {
+/// A rendered response on its way back from a worker to the reactor.
+pub(crate) struct Completion {
+    pub token: u64,
+    pub seq: u64,
+    pub bytes: Vec<u8>,
+    /// The connection must close once this response flushes.
+    pub close_after: bool,
+}
+
+pub(crate) struct Shared {
     /// The engine slot. `None` while the index is still loading or
     /// recovering — requests needing it answer `503` + `Retry-After`
     /// until [`Server::install_engine`] fills the slot.
-    engine: RwLock<Option<Arc<Engine>>>,
+    pub(crate) engine: RwLock<Option<Arc<Engine>>>,
     /// Per-keyword staleness floor: the latest committed epoch at which
     /// an append touched each keyword's inverted list. A cache lookup
     /// for a key must present an entry at least as new as the max floor
     /// over its keywords; untouched keywords stay at 0 forever, so
     /// their cached answers survive every append.
-    touched: Mutex<HashMap<String, u64>>,
-    cache: QueryCache,
-    metrics: ServerMetrics,
-    queue: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
-    /// Refused connections awaiting a 503 from the shedder thread.
-    shed_queue: Mutex<VecDeque<TcpStream>>,
-    shed_available: Condvar,
-    shutdown: AtomicBool,
-    local_addr: SocketAddr,
-    config: ServerConfig,
+    pub(crate) touched: Mutex<HashMap<String, u64>>,
+    pub(crate) cache: QueryCache,
+    pub(crate) metrics: ServerMetrics,
+    pub(crate) jobs: Mutex<VecDeque<Job>>,
+    pub(crate) available: Condvar,
+    pub(crate) completions: Mutex<Vec<Completion>>,
+    /// Worker → reactor doorbell: tapped after every completion push so
+    /// the reactor wakes from `epoll_wait` and flushes.
+    pub(crate) waker: xk_sys::EventFd,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) local_addr: SocketAddr,
+    pub(crate) config: ServerConfig,
 }
 
 impl Shared {
@@ -120,11 +153,10 @@ impl Shared {
     fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.available.notify_all();
-        self.shed_available.notify_all();
-        // Unblock the accept loop with a throwaway self-connection; if
-        // connecting fails the listener is already gone, which is fine.
-        // xk-analyze: allow(swallowed_result, reason = "a failed wake-up connect means the listener is already gone; shutdown proceeds either way")
-        let _ = TcpStream::connect(self.local_addr);
+        // A failed waker write leaves the reactor to notice the flag at
+        // its next wheel-bounded wakeup (≤500 ms) — slower, not stuck.
+        // xk-analyze: allow(swallowed_result, reason = "the reactor also polls the shutdown flag on a bounded timeout")
+        let _ = self.waker.wake();
     }
 }
 
@@ -132,7 +164,7 @@ impl Shared {
 /// call [`Server::shutdown`] and/or [`Server::join`].
 pub struct Server {
     shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -153,30 +185,32 @@ impl Server {
     /// `"recovering"`.
     pub fn start_loading(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        // std hard-codes a backlog of 128; a thousand simultaneous
+        // connects overflow that into SYN retransmits. Best-effort —
+        // an old kernel refusing the re-listen still serves, just with
+        // the smaller backlog.
+        // xk-analyze: allow(swallowed_result, reason = "backlog resize is an optimization; the default 128 still works")
+        let _ = xk_sys::listen_backlog(
+            listener.as_raw_fd(),
+            config.max_connections.max(128).min(u16::MAX as usize) as u32,
+        );
         let workers_n = config.workers.max(1);
         let shared = Arc::new(Shared {
             engine: RwLock::new(None),
             touched: Mutex::new(HashMap::new()),
             cache: QueryCache::new(config.cache_entries),
             metrics: ServerMetrics::new(),
-            queue: Mutex::new(VecDeque::new()),
+            jobs: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
-            shed_queue: Mutex::new(VecDeque::new()),
-            shed_available: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+            waker: xk_sys::EventFd::new()?,
             shutdown: AtomicBool::new(false),
             local_addr,
             config,
         });
-        let mut workers = Vec::with_capacity(workers_n + 1);
-        {
-            let s = Arc::clone(&shared);
-            workers.push(
-                std::thread::Builder::new()
-                    .name("xkserve-shed".to_string())
-                    .spawn(move || shedder_loop(&s))?,
-            );
-        }
+        let mut workers = Vec::with_capacity(workers_n);
         for i in 0..workers_n {
             let s = Arc::clone(&shared);
             workers.push(
@@ -186,10 +220,10 @@ impl Server {
             );
         }
         let s = Arc::clone(&shared);
-        let accept_thread = std::thread::Builder::new()
-            .name("xkserve-accept".to_string())
-            .spawn(move || accept_loop(listener, &s))?;
-        Ok(Server { shared, accept_thread: Some(accept_thread), workers })
+        let reactor_thread = std::thread::Builder::new()
+            .name("xkserve-reactor".to_string())
+            .spawn(move || crate::reactor::run(listener, s))?;
+        Ok(Server { shared, reactor_thread: Some(reactor_thread), workers })
     }
 
     /// Makes the engine available to requests. Idempotent in effect: a
@@ -219,13 +253,13 @@ impl Server {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Waits for the accept thread and every worker to finish — i.e. for
-    /// the drain after a shutdown request. Returns the final metrics
+    /// Waits for the reactor and every worker to finish — i.e. for the
+    /// drain after a shutdown request. Returns the final metrics
     /// document (the same JSON `/metrics` serves).
     pub fn join(mut self) -> String {
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.reactor_thread.take() {
             if t.join().is_err() {
-                eprintln!("xkserve: accept thread panicked during drain");
+                eprintln!("xkserve: reactor thread panicked during drain");
             }
         }
         for (i, w) in self.workers.drain(..).enumerate() {
@@ -252,9 +286,24 @@ impl Server {
         self.shared.metrics.queries_ok.load(Ordering::Relaxed)
     }
 
-    /// Connections refused with 503 because the queue was full.
+    /// Requests refused with 503 for load (connection cap or job queue).
     pub fn shed_count(&self) -> u64 {
         self.shared.metrics.shed.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently open in the reactor.
+    pub fn open_connections(&self) -> u64 {
+        self.shared.metrics.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// Requests served on a reused keep-alive connection so far.
+    pub fn keepalive_reuses(&self) -> u64 {
+        self.shared.metrics.keepalive_reuses.load(Ordering::Relaxed)
+    }
+
+    /// Requests that timed out mid-read and were answered `408`.
+    pub fn read_timeouts(&self) -> u64 {
+        self.shared.metrics.read_timeouts.load(Ordering::Relaxed)
     }
 
     /// A snapshot of the end-to-end `/query` latency histogram — the
@@ -264,153 +313,70 @@ impl Server {
     }
 }
 
+/// Pops jobs until shutdown + empty queue, computing each response and
+/// handing the rendered bytes back to the reactor.
 // xk-analyze: root(panic_path)
-fn accept_loop(listener: TcpListener, shared: &Shared) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-        if queue.len() >= shared.config.queue_cap {
-            drop(queue);
-            shed(stream, shared);
-            continue;
-        }
-        queue.push_back(stream);
-        drop(queue);
-        shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
-        shared.available.notify_one();
-    }
-    // Listener closes here; wake every worker so the drain can finish.
-    shared.available.notify_all();
-    shared.shed_available.notify_all();
-}
-
-/// Refuses a connection: hands it to the shedder thread for a prompt 503
-/// so the accept loop never blocks on a slow client. If even the shedder
-/// is saturated the connection is simply closed — still bounded, still
-/// never a hang or a wrong answer.
-fn shed(stream: TcpStream, shared: &Shared) {
-    shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
-    let mut q = shared.shed_queue.lock().unwrap_or_else(|e| e.into_inner());
-    if q.len() >= SHED_BACKLOG {
-        return; // drop the connection without a response
-    }
-    q.push_back(stream);
-    drop(q);
-    shared.shed_available.notify_one();
-}
-
-/// Answers every refused connection with `503 Service Unavailable`. The
-/// request head is read (briefly) before responding so well-behaved
-/// clients get the response instead of a connection reset.
-// xk-analyze: root(panic_path)
-// xk-analyze: allow(swallowed_result, reason = "the shed path is best-effort by design: the client may already have hung up")
-fn shedder_loop(shared: &Shared) {
-    loop {
-        let stream = {
-            let mut q = shared.shed_queue.lock().unwrap_or_else(|e| e.into_inner());
-            loop {
-                if let Some(s) = q.pop_front() {
-                    break Some(s);
-                }
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break None;
-                }
-                q = shared.shed_available.wait(q).unwrap_or_else(|e| e.into_inner());
-            }
-        };
-        let Some(mut stream) = stream else { return };
-        let grace = shared.config.io_timeout.min(Duration::from_millis(500));
-        let _ = stream.set_read_timeout(Some(grace));
-        let _ = stream.set_write_timeout(Some(grace));
-        let _ = http::read_request(&mut stream);
-        // xk-analyze: allow(swallowed_result, reason = "error reply on an already-failing connection is best-effort")
-        let _ = http::write_json(
-            &mut stream,
-            503,
-            &payload::error_json("overloaded: admission queue full"),
-            &["Retry-After: 1"],
-        );
-    }
-}
-
-// xk-analyze: root(panic_path)
-// xk-analyze: allow(swallowed_result, reason = "socket timeouts are advisory; a dead socket surfaces at the subsequent read")
 fn worker_loop(shared: &Shared) {
     loop {
-        let stream = {
-            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let job = {
+            let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
             loop {
-                if let Some(s) = queue.pop_front() {
-                    break Some(s);
+                if let Some(j) = jobs.pop_front() {
+                    break Some(j);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                queue = shared
-                    .available
-                    .wait(queue)
-                    .unwrap_or_else(|e| e.into_inner());
+                jobs = shared.available.wait(jobs).unwrap_or_else(|e| e.into_inner());
             }
         };
-        let Some(mut stream) = stream else { return };
-        let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
-        let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
-        handle_connection(&mut stream, shared);
+        let Some(job) = job else { return };
+        let (response, then_shutdown) = route(shared, &job.request, job.received);
+        // Draining connections close regardless of what the client
+        // asked for; the header must say so.
+        let draining = then_shutdown || shared.shutdown.load(Ordering::SeqCst);
+        let keep = !job.close_after && !draining;
+        let bytes = response.render(keep);
+        {
+            let mut done = shared.completions.lock().unwrap_or_else(|e| e.into_inner());
+            done.push(Completion { token: job.token, seq: job.seq, bytes, close_after: !keep });
+        }
+        // xk-analyze: allow(swallowed_result, reason = "the reactor also wakes on its bounded epoll timeout; a failed doorbell delays, never loses, the completion")
+        let _ = shared.waker.wake();
+        if then_shutdown {
+            shared.request_shutdown();
+        }
     }
 }
 
-// xk-analyze: root(panic_path)
-// xk-analyze: allow(swallowed_result, reason = "response writes to a possibly-dead client are best-effort; the failure is not actionable")
-fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
-    let request = match http::read_request(stream) {
-        Ok(r) => r,
-        Err(ReadError::Disconnected) => {
-            shared.metrics.read_failures.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        Err(ReadError::Io(_)) => {
-            shared.metrics.read_failures.fetch_add(1, Ordering::Relaxed);
-            let _ = http::write_json(stream, 408, &payload::error_json("request read timed out"), &[]);
-            return;
-        }
-        Err(ReadError::TooLarge) | Err(ReadError::Malformed) => {
-            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
-            let _ = http::write_json(stream, 400, &payload::error_json("malformed request"), &[]);
-            return;
-        }
-    };
+/// Routes one request to its handler. Returns the response plus whether
+/// the request asked the server to begin draining (`/shutdown`).
+fn route(shared: &Shared, request: &Request, received: Instant) -> (Response, bool) {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/query") => handle_query(stream, &request, shared),
-        ("POST", "/append") => handle_append(stream, &request, shared),
-        ("GET", "/metrics") => {
-            let _ = http::write_json(stream, 200, &metrics_json(shared), &[]);
-        }
+        ("GET", "/query") => (handle_query(shared, request, received), false),
+        ("POST", "/append") => (handle_append(shared, request, received), false),
+        ("GET", "/metrics") => (Response::json(200, metrics_json(shared)), false),
         ("GET", "/healthz") => {
             if shared.engine().is_some() {
-                let _ = http::write_json(stream, 200, r#"{"status":"ok"}"#, &[]);
+                (Response::json(200, r#"{"status":"ok"}"#.to_string()), false)
             } else {
-                let _ = http::write_json(
-                    stream,
-                    503,
-                    r#"{"status":"recovering"}"#,
-                    &["Retry-After: 1"],
-                );
+                (
+                    Response::json(503, r#"{"status":"recovering"}"#.to_string())
+                        .with_headers(&["Retry-After: 1"]),
+                    false,
+                )
             }
         }
         ("GET", "/shutdown") | ("POST", "/shutdown") => {
-            let _ = http::write_json(stream, 200, r#"{"status":"draining"}"#, &[]);
-            shared.request_shutdown();
+            (Response::json(200, r#"{"status":"draining"}"#.to_string()), true)
         }
         ("GET", _) => {
             shared.metrics.not_found.fetch_add(1, Ordering::Relaxed);
-            let _ = http::write_json(stream, 404, &payload::error_json("no such endpoint"), &[]);
+            (Response::json(404, payload::error_json("no such endpoint")), false)
         }
         _ => {
             shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
-            let _ = http::write_json(stream, 405, &payload::error_json("method not allowed"), &[]);
+            (Response::json(405, payload::error_json("method not allowed")), false)
         }
     }
 }
@@ -437,43 +403,80 @@ fn keywords_of(request: &Request) -> Vec<String> {
         .collect()
 }
 
-// xk-analyze: allow(swallowed_result, reason = "response writes to a possibly-dead client are best-effort; the failure is not actionable")
-fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
-    let started = Instant::now();
-    let bad = |stream: &mut TcpStream, shared: &Shared, msg: &str| {
-        shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
-        let _ = http::write_json(stream, 400, &payload::error_json(msg), &[]);
-    };
+fn bad(shared: &Shared, msg: &str) -> Response {
+    shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+    Response::json(400, payload::error_json(msg))
+}
+
+/// `503 Service Unavailable` with `Retry-After` while the engine slot is
+/// empty (index loading or crash recovery in progress).
+fn unavailable(shared: &Shared) -> Response {
+    shared.metrics.unavailable.fetch_add(1, Ordering::Relaxed);
+    Response::json(503, payload::error_json("index recovering; retry shortly"))
+        .with_headers(&["Retry-After: 1"])
+}
+
+/// The reactor's inline fast path: answers a `/query` whose result is
+/// already cached without a worker round-trip (two context switches and
+/// a queue trip saved per hit). Anything that is not a plain cache hit
+/// — a miss, a stale entry, a malformed query, an empty engine slot —
+/// returns `None` and takes the normal worker path, which owns all
+/// error accounting. A hit books its metrics here exactly as the worker
+/// path would.
+pub(crate) fn try_cached_query(
+    shared: &Shared,
+    request: &Request,
+    received: Instant,
+) -> Option<Response> {
+    if request.method != "GET" || request.path != "/query" {
+        return None;
+    }
     let keywords = keywords_of(request);
     if keywords.is_empty() {
-        return bad(stream, shared, "missing kw parameter");
+        return None;
+    }
+    let algorithm = parse_algorithm(request.param("algo").unwrap_or("auto"))?;
+    let kw_refs: Vec<&str> = keywords.iter().map(|s| s.as_str()).collect();
+    let key = CacheKey::new(&kw_refs, algorithm)?;
+    shared.engine()?; // an empty engine slot must answer 503, not a stale hit
+    let floor = shared.floor_for(&key);
+    let hit = shared.cache.peek_hit(&key, floor)?;
+    let elapsed_us = received.elapsed().as_micros() as u64;
+    let body = payload::query_response_json(&hit.result_json, &IoStats::default(), elapsed_us, true);
+    shared.metrics.record_query(hit.algorithm, elapsed_us);
+    Some(Response::json(200, body))
+}
+
+fn handle_query(shared: &Shared, request: &Request, received: Instant) -> Response {
+    let keywords = keywords_of(request);
+    if keywords.is_empty() {
+        return bad(shared, "missing kw parameter");
     }
     let algo_name = request.param("algo").unwrap_or("auto");
     let Some(algorithm) = parse_algorithm(algo_name) else {
-        return bad(stream, shared, "unknown algo (use auto|il|scan|stack)");
+        return bad(shared, "unknown algo (use auto|il|scan|stack)");
     };
     let kw_refs: Vec<&str> = keywords.iter().map(|s| s.as_str()).collect();
     let Some(key) = CacheKey::new(&kw_refs, algorithm) else {
-        return bad(stream, shared, "keywords normalize to nothing");
+        return bad(shared, "keywords normalize to nothing");
     };
     let Some(engine) = shared.engine() else {
-        return unavailable(stream, shared);
+        return unavailable(shared);
     };
     let floor = shared.floor_for(&key);
 
     if let Some(hit) = shared.cache.lookup(&key, floor) {
-        let elapsed_us = started.elapsed().as_micros() as u64;
+        let elapsed_us = received.elapsed().as_micros() as u64;
         let body =
             payload::query_response_json(&hit.result_json, &IoStats::default(), elapsed_us, true);
         shared.metrics.record_query(hit.algorithm, elapsed_us);
-        let _ = http::write_json(stream, 200, &body, &[]);
-        return;
+        return Response::json(200, body);
     }
 
     match engine.query(&kw_refs, algorithm) {
         Ok(out) => {
             let result_json = payload::query_result_json(&out);
-            let elapsed_us = started.elapsed().as_micros() as u64;
+            let elapsed_us = received.elapsed().as_micros() as u64;
             shared.cache.insert(
                 key,
                 CachedAnswer {
@@ -486,58 +489,42 @@ fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
             );
             let body = payload::query_response_json(&result_json, &out.io, elapsed_us, false);
             shared.metrics.record_query(out.algorithm, elapsed_us);
-            let _ = http::write_json(stream, 200, &body, &[]);
+            Response::json(200, body)
         }
-        Err(EngineError::BadQuery(msg)) => bad(stream, shared, &format!("bad query: {msg}")),
+        Err(EngineError::BadQuery(msg)) => bad(shared, &format!("bad query: {msg}")),
         Err(e) => {
             shared.metrics.internal_errors.fetch_add(1, Ordering::Relaxed);
-            let _ = http::write_json(
-                stream,
-                500,
-                &payload::error_json(&format!("query failed: {e}")),
-                &[],
-            );
+            Response::json(500, payload::error_json(&format!("query failed: {e}")))
         }
     }
 }
 
-/// Answers `503 Service Unavailable` with `Retry-After` while the
-/// engine slot is empty (index loading or crash recovery in progress).
-// xk-analyze: allow(swallowed_result, reason = "response writes to a possibly-dead client are best-effort; the failure is not actionable")
-fn unavailable(stream: &mut TcpStream, shared: &Shared) {
-    shared.metrics.unavailable.fetch_add(1, Ordering::Relaxed);
-    let _ = http::write_json(
-        stream,
-        503,
-        &payload::error_json("index recovering; retry shortly"),
-        &["Retry-After: 1"],
-    );
-}
-
-/// `POST /append?parent=<dewey>&xml=<fragment>`: grafts a fragment as
-/// the new last child of `parent` (the document root when omitted).
-/// On success the response reports the new subtree's Dewey id, the
-/// committed epoch, and how many cached answers the touched keywords
-/// invalidated — everything else in the cache keeps serving.
-// xk-analyze: allow(swallowed_result, reason = "response writes to a possibly-dead client are best-effort; the failure is not actionable")
-fn handle_append(stream: &mut TcpStream, request: &Request, shared: &Shared) {
-    let started = Instant::now();
-    let bad = |stream: &mut TcpStream, shared: &Shared, msg: &str| {
-        shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
-        let _ = http::write_json(stream, 400, &payload::error_json(msg), &[]);
-    };
-    let Some(xml) = request.param("xml") else {
-        return bad(stream, shared, "missing xml parameter");
+/// `POST /append?parent=<dewey>`: grafts a fragment as the new last
+/// child of `parent` (the document root when omitted). The fragment
+/// arrives either as the request body (`Content-Length`-framed — the
+/// only way past the 8 KB head limit) or, for small fragments, as the
+/// legacy `xml=` query parameter. On success the response reports the
+/// new subtree's Dewey id, the committed epoch, and how many cached
+/// answers the touched keywords invalidated — everything else in the
+/// cache keeps serving.
+fn handle_append(shared: &Shared, request: &Request, received: Instant) -> Response {
+    let xml: &str = if !request.body.is_empty() {
+        &request.body
+    } else {
+        match request.param("xml") {
+            Some(xml) => xml,
+            None => return bad(shared, "missing xml fragment (request body or xml= parameter)"),
+        }
     };
     let parent = match request.param("parent") {
         None | Some("") => Dewey::root(),
         Some(raw) => match raw.parse::<Dewey>() {
             Ok(d) => d,
-            Err(_) => return bad(stream, shared, "unparseable parent Dewey id"),
+            Err(_) => return bad(shared, "unparseable parent Dewey id"),
         },
     };
     let Some(engine) = shared.engine() else {
-        return unavailable(stream, shared);
+        return unavailable(shared);
     };
     match engine.append_subtree(&parent, xml) {
         Ok(outcome) => {
@@ -553,27 +540,22 @@ fn handle_append(stream: &mut TcpStream, request: &Request, shared: &Shared) {
             j.field_u64("epoch", outcome.epoch);
             j.field_u64("touched_keywords", outcome.touched.len() as u64);
             j.field_u64("cache_invalidated", invalidated as u64);
-            j.field_u64("elapsed_us", started.elapsed().as_micros() as u64);
+            j.field_u64("elapsed_us", received.elapsed().as_micros() as u64);
             j.end_object();
-            let _ = http::write_json(stream, 200, &j.into_string(), &[]);
+            Response::json(200, j.into_string())
         }
-        Err(EngineError::BadQuery(msg)) => bad(stream, shared, &format!("bad append: {msg}")),
-        Err(EngineError::Parse(e)) => bad(stream, shared, &format!("bad fragment: {e}")),
+        Err(EngineError::BadQuery(msg)) => bad(shared, &format!("bad append: {msg}")),
+        Err(EngineError::Parse(e)) => bad(shared, &format!("bad fragment: {e}")),
         Err(e) => {
             shared.metrics.internal_errors.fetch_add(1, Ordering::Relaxed);
-            let _ = http::write_json(
-                stream,
-                500,
-                &payload::error_json(&format!("append failed: {e}")),
-                &[],
-            );
+            Response::json(500, payload::error_json(&format!("append failed: {e}")))
         }
     }
 }
 
-/// Renders the `/metrics` document: request counters, per-algorithm
-/// query counts, cache accounting, the latency histogram, and the
-/// storage layer's global atomic [`IoStats`].
+/// Renders the `/metrics` document: request counters, connection-level
+/// keep-alive accounting, per-algorithm query counts, cache accounting,
+/// the latency histogram, and the storage layer's global [`IoStats`].
 fn metrics_json(shared: &Shared) -> String {
     let m = &shared.metrics;
     let cache = shared.cache.stats();
@@ -588,6 +570,7 @@ fn metrics_json(shared: &Shared) -> String {
     j.field_bool("draining", shared.shutdown.load(Ordering::SeqCst));
     j.field_u64("workers", shared.config.workers.max(1) as u64);
     j.field_u64("queue_cap", shared.config.queue_cap as u64);
+    j.field_u64("max_connections", shared.config.max_connections as u64);
 
     j.key("requests").begin_object();
     j.field_u64("accepted", m.accepted.load(Ordering::Relaxed));
@@ -599,6 +582,14 @@ fn metrics_json(shared: &Shared) -> String {
     j.field_u64("not_found", m.not_found.load(Ordering::Relaxed));
     j.field_u64("internal_errors", m.internal_errors.load(Ordering::Relaxed));
     j.field_u64("read_failures", m.read_failures.load(Ordering::Relaxed));
+    j.field_u64("read_timeouts", m.read_timeouts.load(Ordering::Relaxed));
+    j.end_object();
+
+    j.key("connections").begin_object();
+    j.field_u64("open", m.open_connections.load(Ordering::Relaxed));
+    j.field_u64("keepalive_reuses", m.keepalive_reuses.load(Ordering::Relaxed));
+    j.field_u64("pipelined_requests", m.pipelined_requests.load(Ordering::Relaxed));
+    j.field_u64("pipeline_depth_max", m.pipeline_depth_max.load(Ordering::Relaxed));
     j.end_object();
 
     j.key("queries_by_algorithm").begin_object();

@@ -1,0 +1,186 @@
+//! A hashed timer wheel for per-connection deadlines.
+//!
+//! The reactor arms one deadline per connection (idle reap, slow-read
+//! 408, write-stall close). Deadlines churn constantly — every request
+//! re-arms its connection — so the wheel never *removes* an entry:
+//! re-arming bumps the connection's generation counter and inserts a
+//! fresh `(token, gen)` entry, and stale generations are discarded when
+//! their slot comes due (lazy cancellation). Insert and expiry are O(1)
+//! per entry; memory is bounded by the number of armed (live + stale)
+//! entries, at most a few per connection.
+//!
+//! Precision is one slot (25 ms by default) — deadlines fire *at or
+//! after* their instant, never before, which is the only guarantee a
+//! timeout needs. Deadlines beyond the wheel's horizon are clamped to
+//! the last slot; the reactor re-validates the real deadline on expiry
+//! and simply re-arms, so a clamped entry costs one extra wheel trip,
+//! not a wrong timeout.
+
+use std::time::{Duration, Instant};
+
+/// One armed deadline: the connection token and the generation it was
+/// armed under. An entry whose generation no longer matches the
+/// connection's is stale and ignored at expiry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerEntry {
+    pub token: u64,
+    pub gen: u64,
+}
+
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<TimerEntry>>,
+    granularity: Duration,
+    origin: Instant,
+    /// The next tick to sweep: every entry in ticks `< cursor` has been
+    /// delivered. Monotone.
+    cursor: u64,
+    armed: usize,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets, each `granularity` wide. The default
+    /// reactor wheel (512 × 25 ms) spans a 12.8 s horizon — comfortably
+    /// past the 5 s default timeouts.
+    pub fn new(slots: usize, granularity: Duration, now: Instant) -> TimerWheel {
+        TimerWheel {
+            slots: (0..slots.max(2)).map(|_| Vec::new()).collect(),
+            granularity: granularity.max(Duration::from_millis(1)),
+            origin: now,
+            cursor: 0,
+            armed: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.origin);
+        (elapsed.as_nanos() / self.granularity.as_nanos().max(1)) as u64
+    }
+
+    /// Arms `entry` to fire at or after `deadline`. Deadlines in the past
+    /// land in the next sweep; deadlines past the horizon are clamped to
+    /// the farthest slot (the caller re-validates on expiry).
+    // xk-analyze: allow(panic_path, reason = "slot index is tick % slots.len(), always in bounds")
+    pub fn insert(&mut self, deadline: Instant, entry: TimerEntry) {
+        let n = self.slots.len() as u64;
+        let tick = self.tick_of(deadline).clamp(self.cursor, self.cursor + n - 1);
+        self.slots[(tick % n) as usize].push(entry);
+        self.armed += 1;
+    }
+
+    /// Delivers every entry due by `now` to `f`. The caller checks each
+    /// entry's generation against the connection's current one and
+    /// re-validates the real deadline (entries fire at slot granularity
+    /// and clamped entries fire early by design).
+    // xk-analyze: allow(panic_path, reason = "slot index is tick % slots.len(), always in bounds")
+    pub fn expire(&mut self, now: Instant, mut f: impl FnMut(TimerEntry)) {
+        // A slot is delivered only once `now` passes its *end* boundary
+        // (its entries' deadlines all lie within the slot), preserving
+        // the fire-at-or-after guarantee.
+        let due = self.tick_of(now);
+        while self.cursor < due {
+            let slot = (self.cursor % self.slots.len() as u64) as usize;
+            for entry in std::mem::take(&mut self.slots[slot]) {
+                self.armed -= 1;
+                f(entry);
+            }
+            self.cursor += 1;
+        }
+    }
+
+    /// How long the reactor may sleep before the nearest armed entry is
+    /// due. `None` when nothing is armed.
+    // xk-analyze: allow(panic_path, reason = "slot index is tick % slots.len(); n is non-zero because the wheel is built with a fixed slot count")
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        if self.armed == 0 {
+            return None;
+        }
+        let n = self.slots.len() as u64;
+        for tick in self.cursor..self.cursor + n {
+            if !self.slots[(tick % n) as usize].is_empty() {
+                // The entry is due at the *end* of its tick.
+                let due = self.origin + self.granularity * (tick + 1) as u32;
+                return Some(due.saturating_duration_since(now));
+            }
+        }
+        None
+    }
+
+    /// Entries currently armed (live + stale).
+    pub fn armed(&self) -> usize {
+        self.armed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G: Duration = Duration::from_millis(25);
+
+    #[test]
+    fn entries_fire_at_or_after_their_deadline() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(16, G, t0);
+        w.insert(t0 + Duration::from_millis(60), TimerEntry { token: 7, gen: 1 });
+
+        let mut fired = Vec::new();
+        w.expire(t0 + Duration::from_millis(59), |e| fired.push(e));
+        assert!(fired.is_empty(), "must not fire before the deadline");
+
+        // One slot of slack past the deadline guarantees delivery.
+        w.expire(t0 + Duration::from_millis(60) + G, |e| fired.push(e));
+        assert_eq!(fired, vec![TimerEntry { token: 7, gen: 1 }]);
+        assert_eq!(w.armed(), 0);
+    }
+
+    #[test]
+    fn expiry_is_delivered_once() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(8, G, t0);
+        w.insert(t0, TimerEntry { token: 1, gen: 0 });
+        let mut n = 0;
+        w.expire(t0 + G, |_| n += 1);
+        w.expire(t0 + 10 * G, |_| n += 1);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn beyond_horizon_clamps_instead_of_wrapping() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(4, G, t0);
+        // Horizon is 4 slots; a deadline 100 slots out must NOT alias
+        // into an early slot.
+        w.insert(t0 + G * 100, TimerEntry { token: 2, gen: 0 });
+        let mut early = Vec::new();
+        w.expire(t0 + G, |e| early.push(e));
+        assert!(early.is_empty(), "clamped entry fires at the horizon, not immediately");
+        let mut fired = Vec::new();
+        w.expire(t0 + G * 5, |e| fired.push(e));
+        assert_eq!(fired.len(), 1, "clamped entry fires once the horizon passes");
+    }
+
+    #[test]
+    fn next_timeout_tracks_the_nearest_entry() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(64, G, t0);
+        assert_eq!(w.next_timeout(t0), None);
+        w.insert(t0 + Duration::from_millis(500), TimerEntry { token: 1, gen: 0 });
+        w.insert(t0 + Duration::from_millis(100), TimerEntry { token: 2, gen: 0 });
+        let wait = w.next_timeout(t0).unwrap();
+        assert!(wait <= Duration::from_millis(125 + 25), "sleeps toward the nearest entry: {wait:?}");
+        assert!(wait >= Duration::from_millis(100), "never wakes before it is due: {wait:?}");
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_the_next_sweep() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(8, G, t0);
+        w.expire(t0 + G * 3, |_| {});
+        // Armed "in the past" relative to the cursor.
+        w.insert(t0, TimerEntry { token: 9, gen: 4 });
+        let mut fired = Vec::new();
+        w.expire(t0 + G * 4, |e| fired.push(e));
+        assert_eq!(fired, vec![TimerEntry { token: 9, gen: 4 }]);
+    }
+}

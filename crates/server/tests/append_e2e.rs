@@ -30,11 +30,22 @@ fn start(engine: Arc<Engine>) -> Server {
     .unwrap()
 }
 
-/// One full HTTP exchange; returns (status, raw head, body).
+/// One full HTTP exchange on a fresh `Connection: close` connection;
+/// returns (status, raw head, body).
 fn http(addr: SocketAddr, method: &str, path: &str) -> (u16, String, String) {
+    http_with_body(addr, method, path, "")
+}
+
+/// Like [`http`], but ships `body` framed by `Content-Length`.
+fn http_with_body(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
     let mut s = TcpStream::connect(addr).expect("connect");
     s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
-    write!(s, "{method} {path} HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+    write!(
+        s,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
     let mut raw = String::new();
     s.read_to_string(&mut raw).expect("read response");
     let status: u16 = raw
@@ -100,6 +111,46 @@ fn append_endpoint_commits_and_serves_new_answers() {
 
     let metrics = server.metrics_json();
     assert!(metrics.contains(r#""appends_ok":1"#), "{metrics}");
+    server.shutdown();
+    server.join();
+}
+
+/// Regression for the 8 KB append cap (ISSUE 9): fragments used to ride
+/// in the query string of a fixed-size head buffer, so anything over
+/// 8 KB was rejected as "head too large". Fragments now travel as a
+/// `Content-Length` request body with its own 4 MB budget; the
+/// query-param spelling still works for small fragments.
+#[test]
+fn append_accepts_fragments_larger_than_the_old_head_cap() {
+    let server = start(school_engine());
+    let addr = server.local_addr();
+
+    // A valid fragment comfortably past 8 KB: a narrow tree (the Dewey
+    // codec caps sibling fanout) whose bulk is one long text node, plus
+    // a fresh keyword pair we can query for afterwards.
+    let mut fragment = String::from("<bulk><name>Zelda</name><name>Quorra</name><note>");
+    while fragment.len() <= 12 * 1024 {
+        fragment.push_str("pad padding paddington ");
+    }
+    fragment.push_str("</note></bulk>");
+    assert!(fragment.len() > 8 * 1024, "must exceed the old head cap");
+
+    let (status, _, body) = http_with_body(addr, "POST", "/append?parent=%2F", &fragment);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains(r#""root":"4""#), "{body}");
+
+    let (status, answer) = get(addr, "/query?kw=Zelda+Quorra&algo=stack");
+    assert_eq!(status, 200);
+    assert_eq!(json_u64(&answer, "count"), 1, "{answer}");
+
+    // The body and query-param spellings coexist; body wins when both
+    // are present (the param is ignored).
+    let (status, _, body) =
+        http_with_body(addr, "POST", "/append?xml=%3Cbogus%3E", "<ok><name>Tron</name></ok>");
+    assert_eq!(status, 200, "body form takes precedence: {body}");
+
+    let metrics = server.metrics_json();
+    assert!(metrics.contains(r#""appends_ok":2"#), "{metrics}");
     server.shutdown();
     server.join();
 }

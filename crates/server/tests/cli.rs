@@ -268,7 +268,7 @@ fn serve_lifecycle_over_loopback() {
         for _ in 0..200 {
             let mut s = std::net::TcpStream::connect(&addr).unwrap();
             s.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
-            write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
             let mut raw = String::new();
             s.read_to_string(&mut raw).unwrap();
             if raw.starts_with("HTTP/1.1 503") && raw.contains("Retry-After") {

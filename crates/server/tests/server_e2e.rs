@@ -29,13 +29,19 @@ fn start(engine: Arc<Engine>, config: ServerConfig) -> Server {
     Server::start(engine, ServerConfig { addr: "127.0.0.1:0".to_string(), ..config }).unwrap()
 }
 
-/// One full HTTP exchange; returns (status, body).
+/// One full HTTP exchange on a fresh connection (`Connection: close`,
+/// since keep-alive would leave `read_to_string` waiting for the idle
+/// reaper); returns (status, body).
 fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
-    let mut s = TcpStream::connect(addr).expect("connect");
-    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
-    write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+    try_http_get(addr, path).expect("http exchange")
+}
+
+fn try_http_get(addr: SocketAddr, path: &str) -> Option<(u16, String)> {
+    let mut s = TcpStream::connect(addr).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(10))).ok()?;
+    write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").ok()?;
     let mut raw = String::new();
-    s.read_to_string(&mut raw).expect("read response");
+    s.read_to_string(&mut raw).ok()?;
     let status: u16 = raw
         .split_whitespace()
         .nth(1)
@@ -43,7 +49,7 @@ fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
         .parse()
         .expect("numeric status");
     let body = raw.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
-    (status, body)
+    Some((status, body))
 }
 
 #[test]
@@ -230,10 +236,12 @@ fn cache_disabled_reexecutes() {
     server.join();
 }
 
-/// Overload: one worker wedged on a stalled client, the queue at its
-/// bound — the next connection is refused with 503 immediately (the
+/// Overload: with the connection cap filled by idle keep-alive
+/// connections, the next connection is shed with `503` immediately (the
 /// paper-service contract: shed, don't hang, never answer wrongly), and
-/// the server recovers once the stalls time out.
+/// the server recovers as soon as the cap frees up. Slow clients no
+/// longer wedge anything — the reactor multiplexes them — so pressure
+/// shows up as connection count, not stalled workers.
 #[test]
 fn overload_sheds_with_503_and_recovers() {
     let engine = school_engine();
@@ -241,19 +249,23 @@ fn overload_sheds_with_503_and_recovers() {
         engine,
         ServerConfig {
             workers: 1,
-            queue_cap: 1,
+            max_connections: 2,
             io_timeout: Duration::from_millis(400),
             ..ServerConfig::default()
         },
     );
     let addr = server.local_addr();
 
-    // Wedge the only worker: a connection that never sends its request.
-    let stall_worker = TcpStream::connect(addr).unwrap();
-    std::thread::sleep(Duration::from_millis(150)); // worker picks it up
-    // Fill the queue bound with a second silent connection.
-    let stall_queue = TcpStream::connect(addr).unwrap();
-    std::thread::sleep(Duration::from_millis(100));
+    // Fill the connection cap with two idle keep-alive connections.
+    let hold_a = TcpStream::connect(addr).unwrap();
+    let hold_b = TcpStream::connect(addr).unwrap();
+    for _ in 0..100 {
+        if server.open_connections() >= 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.open_connections(), 2, "both holds registered");
 
     // The next request must be shed immediately — well before any timeout.
     let started = std::time::Instant::now();
@@ -265,23 +277,26 @@ fn overload_sheds_with_503_and_recovers() {
         "shedding must be immediate, took {:?}",
         started.elapsed()
     );
+    assert_eq!(server.shed_count(), 1);
 
-    // Release the stalls; the worker times them out and drains.
-    drop(stall_worker);
-    drop(stall_queue);
+    // Release the held connections; once the reactor reaps them the
+    // very next request is served.
+    drop(hold_a);
+    drop(hold_b);
+    for _ in 0..100 {
+        if server.open_connections() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.open_connections(), 0, "dropped holds are reaped promptly");
     let mut served = false;
     for _ in 0..40 {
-        std::thread::sleep(Duration::from_millis(100));
-        if let Ok(mut s) = TcpStream::connect(addr) {
-            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-            if write!(s, "GET /query?kw=John+Ben HTTP/1.1\r\n\r\n").is_ok() {
-                let mut raw = String::new();
-                if s.read_to_string(&mut raw).is_ok() && raw.starts_with("HTTP/1.1 200") {
-                    served = true;
-                    break;
-                }
-            }
+        if let Some((200, _)) = try_http_get(addr, "/query?kw=John+Ben") {
+            served = true;
+            break;
         }
+        std::thread::sleep(Duration::from_millis(100));
     }
     assert!(served, "server must recover after overload passes");
 

@@ -1,0 +1,403 @@
+//! Offline stand-in for the `libc`/`mio` syscall surface the server's
+//! reactor needs: **epoll**, **eventfd**, and **listen** — nothing more.
+//!
+//! The workspace is std-only and builds without a registry, so the three
+//! readiness primitives `std` does not expose are invoked as raw Linux
+//! syscalls through `core::arch::asm!`. Each wrapper owns its fd,
+//! translates negative return values into [`std::io::Error`] via the
+//! kernel's `-errno` convention, and exposes the narrowest safe API the
+//! reactor uses:
+//!
+//! * [`Epoll`] — `epoll_create1` / `epoll_ctl` / `epoll_wait` over
+//!   caller-supplied [`RawEvent`] buffers, with a `u64` token per fd.
+//! * [`EventFd`] — a nonblocking wakeup fd: any thread [`EventFd::wake`]s,
+//!   the reactor sees readiness and [`EventFd::drain`]s.
+//! * [`listen_backlog`] — re-`listen(2)` on an already-bound listener to
+//!   raise the accept backlog past std's fixed 128 (Linux permits
+//!   re-listening to resize the queue).
+//!
+//! Everything here is Linux-specific by design; the repository's CI and
+//! deployment targets are Linux on x86_64/aarch64, and an unsupported
+//! target fails loudly at compile time rather than silently degrading.
+
+#[cfg(not(target_os = "linux"))]
+compile_error!("xk-sys binds raw Linux syscalls; the reactor front end is Linux-only");
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+compile_error!("xk-sys has syscall tables for x86_64 and aarch64 only");
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Raw syscall entry (per-architecture numbers and calling convention).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod nr {
+    pub const READ: usize = 0;
+    pub const WRITE: usize = 1;
+    pub const CLOSE: usize = 3;
+    pub const LISTEN: usize = 50;
+    pub const EPOLL_WAIT: usize = 232;
+    pub const EPOLL_CTL: usize = 233;
+    pub const EVENTFD2: usize = 290;
+    pub const EPOLL_CREATE1: usize = 291;
+}
+
+#[cfg(target_arch = "aarch64")]
+mod nr {
+    pub const READ: usize = 63;
+    pub const WRITE: usize = 64;
+    pub const CLOSE: usize = 57;
+    pub const LISTEN: usize = 201;
+    /// aarch64 has no plain `epoll_wait`; `epoll_pwait` with a null
+    /// sigmask is the same call.
+    pub const EPOLL_PWAIT: usize = 22;
+    pub const EPOLL_CTL: usize = 21;
+    pub const EVENTFD2: usize = 19;
+    pub const EPOLL_CREATE1: usize = 20;
+}
+
+/// One raw syscall. Safety: the caller must pass argument values that are
+/// valid for the specific syscall (live fds, pointers to suitably-sized
+/// buffers); the kernel validates the rest and reports `-errno`.
+#[cfg(target_arch = "x86_64")]
+unsafe fn syscall6(n: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize, a6: usize) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") n as isize => ret,
+        in("rdi") a1,
+        in("rsi") a2,
+        in("rdx") a3,
+        in("r10") a4,
+        in("r8") a5,
+        in("r9") a6,
+        out("rcx") _,
+        out("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+#[cfg(target_arch = "aarch64")]
+unsafe fn syscall6(n: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize, a6: usize) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "svc 0",
+        in("x8") n,
+        inlateout("x0") a1 => ret,
+        in("x1") a2,
+        in("x2") a3,
+        in("x3") a4,
+        in("x4") a5,
+        in("x5") a6,
+        options(nostack),
+    );
+    ret
+}
+
+/// Maps the kernel's `-errno` convention into `io::Result`.
+fn check(ret: isize) -> io::Result<usize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+fn close_fd(fd: RawFd) {
+    // A failed close leaves nothing actionable for the caller; the fd is
+    // gone (or never was) either way.
+    unsafe {
+        syscall6(nr::CLOSE, fd as usize, 0, 0, 0, 0, 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// epoll
+// ---------------------------------------------------------------------------
+
+/// `epoll_event.events` bits (uapi/linux/eventpoll.h).
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: usize = 1;
+const EPOLL_CTL_DEL: usize = 2;
+const EPOLL_CTL_MOD: usize = 3;
+const EPOLL_CLOEXEC: usize = 0o2000000;
+
+/// The kernel's `struct epoll_event`. Packed on x86_64 only — exactly the
+/// uapi definition (`EPOLL_PACKED` expands to `__attribute__((packed))`
+/// on x86_64 and to nothing elsewhere).
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy, Default)]
+pub struct RawEvent {
+    events: u32,
+    data: u64,
+}
+
+impl RawEvent {
+    /// The token registered with the fd that became ready.
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+
+    pub fn readable(&self) -> bool {
+        let e = self.events;
+        e & (EPOLLIN | EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0
+    }
+
+    pub fn writable(&self) -> bool {
+        let e = self.events;
+        e & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// The peer hung up or the fd is in an error state — the next read
+    /// or write surfaces the specific condition.
+    pub fn hangup(&self) -> bool {
+        let e = self.events;
+        e & (EPOLLHUP | EPOLLERR | EPOLLRDHUP) != 0
+    }
+}
+
+/// A readiness notification fd (`epoll_create1`), level-triggered.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    pub fn new() -> io::Result<Epoll> {
+        let ret = unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) };
+        Ok(Epoll { fd: check(ret)? as RawFd })
+    }
+
+    fn ctl(&self, op: usize, fd: RawFd, interest: Option<(u64, bool, bool)>) -> io::Result<()> {
+        let mut ev = RawEvent::default();
+        let ev_ptr = match interest {
+            Some((token, read, write)) => {
+                let mut events = 0;
+                if read {
+                    events |= EPOLLIN | EPOLLRDHUP;
+                }
+                if write {
+                    events |= EPOLLOUT;
+                }
+                ev.events = events;
+                ev.data = token;
+                &mut ev as *mut RawEvent as usize
+            }
+            // EPOLL_CTL_DEL ignores the event pointer (and accepts NULL
+            // since Linux 2.6.9).
+            None => 0,
+        };
+        let ret = unsafe { syscall6(nr::EPOLL_CTL, self.fd as usize, op, fd as usize, ev_ptr, 0, 0) };
+        check(ret).map(|_| ())
+    }
+
+    /// Registers `fd` under `token` with the given interest set.
+    pub fn add(&self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, Some((token, read, write)))
+    }
+
+    /// Replaces the interest set of an already-registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, Some((token, read, write)))
+    }
+
+    /// Deregisters `fd`. Closing an fd deregisters it implicitly; this is
+    /// for fds that outlive their registration.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Waits for readiness, filling `events` from the front; returns how
+    /// many fired. `None` blocks indefinitely; `Some(d)` rounds **up** to
+    /// the next millisecond so a 100µs deadline cannot spin at timeout 0.
+    /// A signal interruption reports zero events rather than an error.
+    pub fn wait(&self, events: &mut [RawEvent], timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: isize = match timeout {
+            None => -1,
+            Some(d) => (d.as_micros().div_ceil(1000)).min(i32::MAX as u128) as isize,
+        };
+        let ret = unsafe {
+            #[cfg(target_arch = "x86_64")]
+            let n = syscall6(
+                nr::EPOLL_WAIT,
+                self.fd as usize,
+                events.as_mut_ptr() as usize,
+                events.len(),
+                timeout_ms as usize,
+                0,
+                0,
+            );
+            #[cfg(target_arch = "aarch64")]
+            let n = syscall6(
+                nr::EPOLL_PWAIT,
+                self.fd as usize,
+                events.as_mut_ptr() as usize,
+                events.len(),
+                timeout_ms as usize,
+                0, // NULL sigmask: plain epoll_wait semantics
+                8, // sigsetsize (ignored for a NULL mask)
+            );
+            n
+        };
+        match check(ret) {
+            Ok(n) => Ok(n),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        close_fd(self.fd);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// eventfd
+// ---------------------------------------------------------------------------
+
+const EFD_NONBLOCK: usize = 0o4000;
+const EFD_CLOEXEC: usize = 0o2000000;
+
+/// A nonblocking wakeup fd: writers add to a kernel counter, the reader
+/// sees EPOLLIN until the counter is drained. Cross-thread by design —
+/// [`EventFd::wake`] is called from worker threads, [`EventFd::drain`]
+/// from the reactor.
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    pub fn new() -> io::Result<EventFd> {
+        let ret = unsafe { syscall6(nr::EVENTFD2, 0, EFD_NONBLOCK | EFD_CLOEXEC, 0, 0, 0, 0) };
+        Ok(EventFd { fd: check(ret)? as RawFd })
+    }
+
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Signals the fd. A full counter (`EAGAIN`) already guarantees the
+    /// reader will wake, so it reports success.
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        let ret = unsafe {
+            syscall6(nr::WRITE, self.fd as usize, &one as *const u64 as usize, 8, 0, 0, 0)
+        };
+        match check(ret) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Consumes all pending wakeups (resets the counter to zero).
+    pub fn drain(&self) {
+        let mut count: u64 = 0;
+        // One read returns and clears the whole counter; EAGAIN means it
+        // was already zero. Either way the fd is quiescent afterwards.
+        unsafe {
+            syscall6(nr::READ, self.fd as usize, &mut count as *mut u64 as usize, 8, 0, 0, 0);
+        }
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        close_fd(self.fd);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// listen
+// ---------------------------------------------------------------------------
+
+/// Re-issues `listen(2)` on an already-listening socket to resize its
+/// accept backlog — std's `TcpListener::bind` hard-codes 128, which a
+/// thousand simultaneous connects overflow into SYN retransmits.
+pub fn listen_backlog(fd: RawFd, backlog: u32) -> io::Result<()> {
+    let ret = unsafe { syscall6(nr::LISTEN, fd as usize, backlog as usize, 0, 0, 0, 0) };
+    check(ret).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn eventfd_wakes_epoll_and_drains() {
+        let ep = Epoll::new().unwrap();
+        let wake = EventFd::new().unwrap();
+        ep.add(wake.raw_fd(), 7, true, false).unwrap();
+
+        // Nothing pending: a short wait times out empty.
+        let mut events = [RawEvent::default(); 8];
+        let n = ep.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+
+        // Multiple wakes coalesce into one readiness with the token.
+        wake.wake().unwrap();
+        wake.wake().unwrap();
+        let n = ep.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 7);
+        assert!(events[0].readable());
+        assert!(!events[0].hangup());
+
+        // Drained: readiness clears (level-triggered, so it would refire
+        // if the counter were still nonzero).
+        wake.drain();
+        let n = ep.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn epoll_reports_tcp_readability_and_interest_changes() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(listener.as_raw_fd(), 1, true, false).unwrap();
+
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        let mut events = [RawEvent::default(); 8];
+        let n = ep.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1, "pending connection makes the listener readable");
+        assert_eq!(events[0].token(), 1);
+
+        // Interest can be swapped off and the fd deregistered.
+        ep.modify(listener.as_raw_fd(), 1, false, false).unwrap();
+        let n = ep.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0, "empty interest set reports nothing");
+        ep.delete(listener.as_raw_fd()).unwrap();
+        drop(client);
+    }
+
+    #[test]
+    fn listen_backlog_resizes_a_bound_listener() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listen_backlog(listener.as_raw_fd(), 1024).unwrap();
+        // Still accepting after the re-listen.
+        let addr = listener.local_addr().unwrap();
+        let _client = std::net::TcpStream::connect(addr).unwrap();
+        let (_conn, _) = listener.accept().unwrap();
+    }
+
+    #[test]
+    fn bad_fd_reports_errno() {
+        let ep = Epoll::new().unwrap();
+        let err = ep.add(-1, 0, true, false).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(9), "EBADF: {err}");
+    }
+}
