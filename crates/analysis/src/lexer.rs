@@ -50,13 +50,20 @@ impl Token {
 /// ```text
 /// // xk-analyze: allow(<pass>, reason = "<why this site is safe>")
 /// // xk-analyze: root(<pass>)
+/// // xk-analyze: protocol(<pass>, <role>)
 /// ```
+///
+/// `protocol` declares a protocol role for the next item: for
+/// `durability_order` the roles are `ack`/`sync`/`publish` on functions;
+/// for `reactor_blocking` the role is `contended` on a lock field.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Annotation {
     pub line: u32,
     pub kind: AnnotationKind,
     pub pass: String,
     pub reason: Option<String>,
+    /// Role name for `protocol(...)` annotations.
+    pub role: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +73,9 @@ pub enum AnnotationKind {
     /// Marks the next function as an entry point for `pass`
     /// (reachability-based passes start their walk here).
     Root,
+    /// Declares a protocol role (`ack`/`sync`/`publish`/`contended`)
+    /// for the next item.
+    Protocol,
 }
 
 /// A malformed `// xk-analyze:` comment — reported as a finding so typos
@@ -81,6 +91,11 @@ pub struct LexOutput {
     pub tokens: Vec<Token>,
     pub annotations: Vec<Annotation>,
     pub bad_annotations: Vec<BadAnnotation>,
+    /// Final line of each `// SAFETY:` comment run (a run is the
+    /// `SAFETY:` line plus any directly following `//` continuation
+    /// lines). An `unsafe` site on the same or the next line is
+    /// considered justified by the run.
+    pub safety_ends: Vec<u32>,
 }
 
 const ANNOTATION_PREFIX: &str = "xk-analyze:";
@@ -106,6 +121,7 @@ pub fn lex(source: &str) -> LexOutput {
                     end += 1;
                 }
                 scan_annotation(&source[start..end], line, &mut out);
+                scan_safety(&source[start..end], line, &mut out.safety_ends);
                 i = end;
             }
             b'/' if bytes.get(i + 1) == Some(&b'*') => {
@@ -297,6 +313,21 @@ fn is_ident_continue(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
+/// Records the end line of `// SAFETY: ...` comment runs. A `SAFETY:`
+/// line (doc comments and `Safety:` casing accepted) opens a run; each
+/// directly following `//` comment line extends it.
+fn scan_safety(comment: &str, line: u32, safety_ends: &mut Vec<u32>) {
+    let text = comment.trim_start_matches(['/', '!']).trim_start();
+    let is_safety = text
+        .get(..7)
+        .is_some_and(|head| head.eq_ignore_ascii_case("safety:"));
+    match safety_ends.last_mut() {
+        Some(end) if *end + 1 == line && !is_safety => *end = line, // continuation
+        _ if is_safety => safety_ends.push(line),
+        _ => {}
+    }
+}
+
 /// Parses `xk-analyze:` comments; other comments are discarded.
 fn scan_annotation(comment: &str, line: u32, out: &mut LexOutput) {
     let text = comment.trim_start_matches(['/', '!']).trim();
@@ -307,9 +338,11 @@ fn scan_annotation(comment: &str, line: u32, out: &mut LexOutput) {
         (AnnotationKind::Allow, a)
     } else if let Some(a) = rest.strip_prefix("root(") {
         (AnnotationKind::Root, a)
+    } else if let Some(a) = rest.strip_prefix("protocol(") {
+        (AnnotationKind::Protocol, a)
     } else {
         out.bad_annotations.push(bad(format!(
-            "unknown annotation {rest:?}: expected allow(...) or root(...)"
+            "unknown annotation {rest:?}: expected allow(...), root(...), or protocol(...)"
         )));
         return;
     };
@@ -324,6 +357,24 @@ fn scan_annotation(comment: &str, line: u32, out: &mut LexOutput) {
             "unknown pass {pass:?}: expected one of {:?}",
             crate::passes::PASS_NAMES
         )));
+        return;
+    }
+    if kind == AnnotationKind::Protocol {
+        let roles = crate::passes::protocol_roles(&pass);
+        let role = parts.next().unwrap_or("").trim().to_string();
+        if roles.is_empty() {
+            out.bad_annotations.push(bad(format!(
+                "pass {pass:?} takes no protocol roles"
+            )));
+            return;
+        }
+        if !roles.contains(&role.as_str()) {
+            out.bad_annotations.push(bad(format!(
+                "unknown role {role:?} for pass {pass:?}: expected one of {roles:?}"
+            )));
+            return;
+        }
+        out.annotations.push(Annotation { line, kind, pass, reason: None, role: Some(role) });
         return;
     }
     let reason = match parts.next() {
@@ -353,7 +404,7 @@ fn scan_annotation(comment: &str, line: u32, out: &mut LexOutput) {
         )));
         return;
     }
-    out.annotations.push(Annotation { line, kind, pass, reason });
+    out.annotations.push(Annotation { line, kind, pass, reason, role: None });
 }
 
 #[cfg(test)]
@@ -416,6 +467,41 @@ mod tests {
         let out = lex("// xk-analyze: root(panic_path)\nfn serve() {}");
         assert_eq!(out.annotations.len(), 1);
         assert_eq!(out.annotations[0].kind, AnnotationKind::Root);
+    }
+
+    #[test]
+    fn parses_protocol_annotation() {
+        let out = lex("// xk-analyze: protocol(durability_order, sync)\nfn sync_all_of_it() {}");
+        assert_eq!(out.annotations.len(), 1);
+        let a = &out.annotations[0];
+        assert_eq!(a.kind, AnnotationKind::Protocol);
+        assert_eq!(a.pass, "durability_order");
+        assert_eq!(a.role.as_deref(), Some("sync"));
+        assert!(out.bad_annotations.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_protocol_roles() {
+        let out = lex(
+            "// xk-analyze: protocol(durability_order, fsync)\n\
+             // xk-analyze: protocol(panic_path, ack)\n",
+        );
+        assert!(out.annotations.is_empty());
+        assert_eq!(out.bad_annotations.len(), 2);
+    }
+
+    #[test]
+    fn safety_runs_record_their_final_line() {
+        let src = "\
+// SAFETY: fd is owned by this struct\n\
+unsafe { close(fd) };\n\
+fn f() {}\n\
+// Safety: the caller upholds the ABI,\n\
+// and the buffer outlives the call.\n\
+unsafe { go() };\n\
+// ordinary comment\n";
+        let out = lex(src);
+        assert_eq!(out.safety_ends, vec![1, 5]);
     }
 
     #[test]

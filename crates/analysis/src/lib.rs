@@ -1,7 +1,7 @@
 //! xk-analyze — a workspace static analyzer for the xksearch repro.
 //!
-//! Four passes over every workspace crate's production sources (see
-//! DESIGN.md §7 for pass semantics and the annotation grammar):
+//! Seven passes over every workspace crate's production sources (see
+//! DESIGN.md §7b for pass semantics and the annotation grammar):
 //!
 //! * `lock_order` — lock-acquisition cycles, double-locks, and
 //!   shard-before-global inversions.
@@ -11,15 +11,24 @@
 //!   sites reachable from `// xk-analyze: root(panic_path)` functions.
 //! * `swallowed_result` — `let _ = <fallible>`, `.ok()` statements,
 //!   `Err(_) => {}` arms.
+//! * `durability_order` — commit/ack/rename reachable from a
+//!   `root(durability_order)` function without a dominating fsync
+//!   (call-graph based, annotation-declared protocol roles).
+//! * `reactor_blocking` — blocking operations reachable from
+//!   `root(reactor_blocking)` reactor entry points.
+//! * `unsafe_audit` — `unsafe` sites (vendored crates included) without
+//!   an adjacent `// SAFETY:` justification.
 //!
 //! Findings diff against `analysis/baseline.toml`; only regressions fail
 //! the gate. The library API (`analyze`) exists so the integration tests
 //! can assert exact finding sets against fixture crates.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
 pub mod model;
 pub mod passes;
+pub mod protocol;
 pub mod workspace;
 
 pub use passes::Finding;

@@ -2,7 +2,11 @@
 //!
 //! ```text
 //! xk-analyze [--root DIR] [--baseline FILE] [--write-baseline] [--no-baseline]
+//!            [--json FILE]
 //! ```
+//!
+//! `--json FILE` additionally writes every finding (baselined or not)
+//! as a machine-readable report — CI uploads it as an artifact.
 //!
 //! Exit codes: 0 = clean (no findings outside the baseline), 1 = findings
 //! (regressions, or any finding when run without a baseline), 2 = usage
@@ -15,6 +19,7 @@ struct Options {
     root: PathBuf,
     baseline: Option<PathBuf>,
     write_baseline: bool,
+    json: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -22,6 +27,7 @@ fn parse_args() -> Result<Options, String> {
     let mut baseline: Option<PathBuf> = None;
     let mut no_baseline = false;
     let mut write_baseline = false;
+    let mut json: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -37,6 +43,11 @@ fn parse_args() -> Result<Options, String> {
             }
             "--no-baseline" => no_baseline = true,
             "--write-baseline" => write_baseline = true,
+            "--json" => {
+                json = Some(PathBuf::from(
+                    args.next().ok_or_else(|| "--json needs a file".to_string())?,
+                ));
+            }
             "--help" | "-h" => {
                 return Err(String::new()); // triggers usage, exit 2
             }
@@ -48,7 +59,48 @@ fn parse_args() -> Result<Options, String> {
     } else {
         Some(baseline.unwrap_or_else(|| root.join("analysis/baseline.toml")))
     };
-    Ok(Options { root, baseline, write_baseline })
+    Ok(Options { root, baseline, write_baseline, json })
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// The machine-readable report: every finding with its baseline key, in
+/// the analyzer's (sorted, deterministic) order.
+fn render_json(findings: &[xk_analyze::Finding], keys: &[String]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, (f, key)) in findings.iter().zip(keys).enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {");
+        for (name, value) in [
+            ("pass", f.pass),
+            ("file", f.file.as_str()),
+            ("qname", f.qname.as_str()),
+            ("kind", f.kind.as_str()),
+            ("detail", f.detail.as_str()),
+            ("key", key.as_str()),
+        ] {
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\": \"");
+            json_escape(value, &mut out);
+            out.push_str("\", ");
+        }
+        out.push_str(&format!("\"line\": {}}}", f.line));
+    }
+    out.push_str(&format!("\n  ],\n  \"count\": {}\n}}\n", findings.len()));
+    out
 }
 
 fn main() -> ExitCode {
@@ -60,7 +112,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: xk-analyze [--root DIR] [--baseline FILE] \
-                 [--write-baseline] [--no-baseline]"
+                 [--write-baseline] [--no-baseline] [--json FILE]"
             );
             return ExitCode::from(2);
         }
@@ -73,6 +125,12 @@ fn main() -> ExitCode {
         }
     };
     let keys = xk_analyze::baseline::keys(&findings);
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, render_json(&findings, &keys)) {
+            eprintln!("xk-analyze: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
     if opts.write_baseline {
         let Some(path) = &opts.baseline else {
             eprintln!("xk-analyze: --write-baseline conflicts with --no-baseline");

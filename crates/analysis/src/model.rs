@@ -11,7 +11,7 @@
 
 use crate::lexer::{self, Annotation, AnnotationKind, BadAnnotation, TokKind, Token};
 use crate::workspace::WorkspaceLayout;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
 /// How a lock participates in the workspace's documented discipline;
@@ -44,6 +44,11 @@ pub fn classify_lock_field(field: &str) -> LockKind {
 pub struct LockClass {
     /// Index of the defining crate in the layout.
     pub krate: usize,
+    /// Index of the defining file in the model.
+    pub file: usize,
+    /// Line of the field (or static) declaration — protocol annotations
+    /// (`protocol(reactor_blocking, contended)`) bind here.
+    pub line: u32,
     /// Owning struct (or `"static"`).
     pub owner: String,
     /// Field name — the receiver-resolution key.
@@ -131,13 +136,27 @@ pub struct Function {
     pub events: Vec<Event>,
 }
 
-/// A suppression or root region resolved to concrete lines.
+/// A suppression, root, or protocol region resolved to concrete lines.
 #[derive(Debug)]
 pub struct Region {
     pub kind: AnnotationKind,
     pub pass: String,
+    /// Role name for protocol regions.
+    pub role: Option<String>,
     pub start: u32,
     pub end: u32,
+}
+
+/// One `unsafe` occurrence (fn, block, impl, or trait).
+#[derive(Debug)]
+pub struct UnsafeSite {
+    pub line: u32,
+    /// What the keyword introduces: `fn name`, `block in name`,
+    /// `impl Name`, `trait Name`.
+    pub context: String,
+    /// True when a `// SAFETY:` comment run ends on this line or the
+    /// line above.
+    pub covered: bool,
 }
 
 #[derive(Debug)]
@@ -145,8 +164,11 @@ pub struct FileInfo {
     /// Workspace-root-relative path, `/`-separated.
     pub path: String,
     pub krate: usize,
+    /// From a `vendor/` stand-in crate: only `unsafe_audit` looks here.
+    pub vendored: bool,
     pub regions: Vec<Region>,
     pub bad_annotations: Vec<BadAnnotation>,
+    pub unsafe_sites: Vec<UnsafeSite>,
 }
 
 impl FileInfo {
@@ -164,6 +186,13 @@ pub struct Model {
     pub lock_classes: Vec<LockClass>,
     /// Function-name index: bare name → function ids.
     pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Struct field type approximation: (owner, field) → first
+    /// non-wrapper type ident (`Box<dyn SegmentIo>` → `SegmentIo`).
+    pub field_types: BTreeMap<(String, String), String>,
+    /// `impl Trait for Type` pairs, for trait-impl fan-out.
+    pub trait_impls: Vec<(String, String)>,
+    /// Every self-type seen on an impl (or trait) block.
+    pub impl_types: BTreeSet<String>,
 }
 
 impl Model {
@@ -178,15 +207,45 @@ impl Model {
             r.kind == AnnotationKind::Root && r.pass == pass && r.start == f.line
         })
     }
+
+    /// Role declared by a `protocol(pass, role)` annotation on `fn_id`.
+    pub fn protocol_role(&self, fn_id: usize, pass: &str) -> Option<&str> {
+        let f = &self.functions[fn_id];
+        self.files[f.file]
+            .regions
+            .iter()
+            .find(|r| {
+                r.kind == AnnotationKind::Protocol && r.pass == pass && r.start == f.line
+            })
+            .and_then(|r| r.role.as_deref())
+    }
+
+    /// True when the lock class carries `protocol(reactor_blocking,
+    /// contended)` on its declaration.
+    pub fn lock_is_contended(&self, class: usize) -> bool {
+        let c = &self.lock_classes[class];
+        self.files[c.file].regions.iter().any(|r| {
+            r.kind == AnnotationKind::Protocol
+                && r.pass == "reactor_blocking"
+                && r.role.as_deref() == Some("contended")
+                && (r.start..=r.end).contains(&c.line)
+        })
+    }
 }
 
 /// Builds the model: lexes and extracts every file of every crate.
+/// Vendored crates contribute only annotations and unsafe sites: their
+/// functions, lock classes, and types stay out of the model so name
+/// resolution never aliases workspace calls to stand-in stubs.
 pub fn build(layout: &WorkspaceLayout) -> std::io::Result<Model> {
     let mut model = Model {
         files: Vec::new(),
         functions: Vec::new(),
         lock_classes: Vec::new(),
         by_name: BTreeMap::new(),
+        field_types: BTreeMap::new(),
+        trait_impls: Vec::new(),
+        impl_types: BTreeSet::new(),
     };
     let mut lexed: Vec<(usize, usize, lexer::LexOutput)> = Vec::new();
     for (ci, krate) in layout.crates.iter().enumerate() {
@@ -197,35 +256,102 @@ pub fn build(layout: &WorkspaceLayout) -> std::io::Result<Model> {
             model.files.push(FileInfo {
                 path: path_string(rel),
                 krate: ci,
+                vendored: krate.vendored,
                 regions: Vec::new(),
                 bad_annotations: out.bad_annotations.clone(),
+                unsafe_sites: scan_unsafe_sites(&out.tokens, &out.safety_ends),
             });
             lexed.push((ci, fi, out));
         }
     }
-    // Pass 1: lock-class discovery (struct fields and statics) so that
-    // pass 2's receiver resolution can see classes from any crate.
-    for (ci, _fi, out) in &lexed {
-        discover_lock_classes(*ci, &out.tokens, &mut model.lock_classes);
+    // Pass 1: lock-class and field-type discovery (struct fields and
+    // statics) so that pass 2's receiver resolution can see classes and
+    // types from any crate.
+    for (ci, fi, out) in &lexed {
+        if layout.crates[*ci].vendored {
+            continue;
+        }
+        discover_struct_facts(
+            *ci,
+            *fi,
+            &out.tokens,
+            &mut model.lock_classes,
+            &mut model.field_types,
+        );
     }
     // Pass 2: function extraction.
     for (ci, fi, out) in &lexed {
-        let mut ex = Extractor {
-            krate: *ci,
-            file: *fi,
-            dep_closure: layout.dep_closure(*ci),
-            classes: &model.lock_classes,
-            functions: &mut model.functions,
-            mod_ranges: Vec::new(),
+        let mod_ranges = if layout.crates[*ci].vendored {
+            Vec::new()
+        } else {
+            let mut ex = Extractor {
+                krate: *ci,
+                file: *fi,
+                dep_closure: layout.dep_closure(*ci),
+                classes: &model.lock_classes,
+                functions: &mut model.functions,
+                mod_ranges: Vec::new(),
+                trait_impls: &mut model.trait_impls,
+            };
+            ex.scan_items(&out.tokens, 0, out.tokens.len(), None);
+            ex.mod_ranges
         };
-        ex.scan_items(&out.tokens, 0, out.tokens.len(), None);
-        let mod_ranges = ex.mod_ranges;
         resolve_regions(&mut model.files[*fi], &out.annotations, &out.tokens, &model.functions, *fi, &mod_ranges);
     }
     for (id, f) in model.functions.iter().enumerate() {
         model.by_name.entry(f.name.clone()).or_default().push(id);
+        if let Some((ty, _)) = f.qname.split_once("::") {
+            model.impl_types.insert(ty.to_string());
+        }
     }
     Ok(model)
+}
+
+/// Token-level scan for `unsafe` fns, blocks, impls, and traits, with
+/// `// SAFETY:` coverage from the lexer's comment runs. Runs on every
+/// file (vendored included) — `unsafe` is in scope wherever it compiles.
+fn scan_unsafe_sites(tokens: &[Token], safety_ends: &[u32]) -> Vec<UnsafeSite> {
+    let mut out = Vec::new();
+    let mut last_fn = String::from("<file>");
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_ident("fn") {
+            if let Some(n) = tokens.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                last_fn = n.text.clone();
+            }
+        } else if t.is_ident("unsafe") {
+            let next = tokens.get(i + 1);
+            let context = match next {
+                Some(n) if n.is_ident("fn") => {
+                    let name = tokens
+                        .get(i + 2)
+                        .filter(|k| k.kind == TokKind::Ident)
+                        .map(|k| k.text.as_str())
+                        .unwrap_or("<anon>");
+                    format!("fn {name}")
+                }
+                Some(n) if n.is_ident("impl") || n.is_ident("trait") => {
+                    let what = n.text.clone();
+                    let name = tokens[i + 2..]
+                        .iter()
+                        .find(|k| k.kind == TokKind::Ident)
+                        .map(|k| k.text.as_str())
+                        .unwrap_or("<anon>");
+                    format!("{what} {name}")
+                }
+                Some(n) if n.is_punct('{') => format!("block in {last_fn}"),
+                // `unsafe extern "C" fn` pointer types and other shapes.
+                _ => "unsafe".to_string(),
+            };
+            let covered = safety_ends
+                .iter()
+                .any(|&end| t.line == end || t.line == end + 1);
+            out.push(UnsafeSite { line: t.line, context, covered });
+        }
+        i += 1;
+    }
+    out
 }
 
 fn path_string(p: &Path) -> String {
@@ -262,12 +388,26 @@ fn resolve_regions(
             // Same-line (trailing comment) or next-line statement scope.
             (ann.line, next_code_line)
         };
-        file.regions.push(Region { kind: ann.kind, pass: ann.pass.clone(), start, end });
+        file.regions.push(Region {
+            kind: ann.kind,
+            pass: ann.pass.clone(),
+            role: ann.role.clone(),
+            start,
+            end,
+        });
     }
 }
 
-/// Finds `Mutex<`/`RwLock<` struct fields and statics.
-fn discover_lock_classes(krate: usize, tokens: &[Token], out: &mut Vec<LockClass>) {
+/// Finds `Mutex<`/`RwLock<` struct fields and statics, and records an
+/// approximate type ident for every struct field (for receiver-type
+/// call resolution, see `callgraph`).
+fn discover_struct_facts(
+    krate: usize,
+    file: usize,
+    tokens: &[Token],
+    out: &mut Vec<LockClass>,
+    field_types: &mut BTreeMap<(String, String), String>,
+) {
     let mut i = 0;
     while i < tokens.len() {
         if tokens[i].is_ident("struct") {
@@ -289,26 +429,42 @@ fn discover_lock_classes(krate: usize, tokens: &[Token], out: &mut Vec<LockClass
             }
             if j < tokens.len() && tokens[j].is_punct('{') {
                 let end = match_brace(tokens, j);
-                scan_struct_fields(krate, &owner, &tokens[j + 1..end], out);
+                scan_struct_fields(krate, file, &owner, &tokens[j + 1..end], out, field_types);
                 i = end;
             }
         } else if tokens[i].is_ident("static") {
             // `static NAME: Type = ...;`
             let Some(name_tok) = tokens.get(i + 1) else { break };
+            let line = name_tok.line;
             let mut j = i + 2;
             let mut ty = Vec::new();
             while j < tokens.len() && !tokens[j].is_punct('=') && !tokens[j].is_punct(';') {
                 ty.push(&tokens[j]);
                 j += 1;
             }
-            register_if_lock(krate, "static", &name_tok.text, &ty, out);
+            register_if_lock(krate, file, line, "static", &name_tok.text, &ty, out);
             i = j;
         }
         i += 1;
     }
 }
 
-fn scan_struct_fields(krate: usize, owner: &str, body: &[Token], out: &mut Vec<LockClass>) {
+/// Type wrappers skipped when picking a field's "significant" type
+/// ident: `Arc<Mutex<Wal<P>>>` → `Wal`.
+const TYPE_WRAPPERS: &[&str] = &[
+    "Arc", "Rc", "Box", "Vec", "VecDeque", "Option", "Mutex", "RwLock", "RefCell", "Cell",
+    "AtomicU64", "AtomicUsize", "AtomicBool", "BTreeMap", "HashMap", "BTreeSet", "HashSet",
+    "dyn", "std", "sync", "collections", "atomic", "cell", "boxed", "vec", "option", "mpsc",
+];
+
+fn scan_struct_fields(
+    krate: usize,
+    file: usize,
+    owner: &str,
+    body: &[Token],
+    out: &mut Vec<LockClass>,
+    field_types: &mut BTreeMap<(String, String), String>,
+) {
     // Fields: `name : <type tokens>` separated by top-level commas.
     let mut i = 0;
     while i < body.len() {
@@ -322,6 +478,7 @@ fn scan_struct_fields(krate: usize, owner: &str, body: &[Token], out: &mut Vec<L
             && !body.get(i + 2).is_some_and(|t| t.is_punct(':'))
         {
             let field = body[i].text.clone();
+            let line = body[i].line;
             let mut j = i + 2;
             let mut depth = 0i32;
             let mut ty = Vec::new();
@@ -337,7 +494,13 @@ fn scan_struct_fields(krate: usize, owner: &str, body: &[Token], out: &mut Vec<L
                 ty.push(t);
                 j += 1;
             }
-            register_if_lock(krate, owner, &field, &ty, out);
+            if let Some(sig) = ty.iter().find(|t| {
+                t.kind == TokKind::Ident && !TYPE_WRAPPERS.contains(&t.text.as_str())
+            }) {
+                field_types
+                    .insert((owner.to_string(), field.clone()), sig.text.clone());
+            }
+            register_if_lock(krate, file, line, owner, &field, &ty, out);
             i = j;
         }
         i += 1;
@@ -346,6 +509,8 @@ fn scan_struct_fields(krate: usize, owner: &str, body: &[Token], out: &mut Vec<L
 
 fn register_if_lock(
     krate: usize,
+    file: usize,
+    line: u32,
     owner: &str,
     field: &str,
     ty: &[&Token],
@@ -356,6 +521,8 @@ fn register_if_lock(
     if is_mutex || is_rwlock {
         out.push(LockClass {
             krate,
+            file,
+            line,
             owner: owner.to_string(),
             field: field.to_string(),
             kind: classify_lock_field(field),
@@ -403,6 +570,8 @@ struct Extractor<'m> {
     /// Inline `mod` ranges (start line of `mod`, end line), for
     /// item-scoped annotations.
     mod_ranges: Vec<(u32, u32)>,
+    /// `impl Trait for Type` pairs seen while scanning.
+    trait_impls: &'m mut Vec<(String, String)>,
 }
 
 impl Extractor<'_> {
@@ -451,6 +620,8 @@ impl Extractor<'_> {
                     let mut j = i + 1;
                     let mut angle = 0i32;
                     let mut after_for = false;
+                    let mut saw_for = false;
+                    let mut trait_name: Option<String> = None;
                     let mut ty: Option<String> = None;
                     while j < end && !(angle == 0 && tokens[j].is_punct('{')) {
                         let tk = &tokens[j];
@@ -460,7 +631,8 @@ impl Extractor<'_> {
                             angle -= 1;
                         } else if angle == 0 && tk.is_ident("for") {
                             after_for = true;
-                            ty = None;
+                            saw_for = true;
+                            trait_name = ty.take();
                         } else if angle == 0 && tk.kind == TokKind::Ident && tk.text != "where" {
                             if ty.is_none() || after_for
                                 || tokens.get(j.wrapping_sub(1)).is_some_and(|p| p.is_punct(':'))
@@ -472,6 +644,11 @@ impl Extractor<'_> {
                             break; // `impl Trait for Type;` — not real Rust, bail
                         }
                         j += 1;
+                    }
+                    if t.text == "impl" && saw_for {
+                        if let (Some(tr), Some(t)) = (&trait_name, &ty) {
+                            self.trait_impls.push((tr.clone(), t.clone()));
+                        }
                     }
                     if j < end && tokens[j].is_punct('{') {
                         let close = match_brace(tokens, j);
@@ -1079,6 +1256,7 @@ mod tests {
                 dir: dir.clone(),
                 deps: vec![],
                 files: vec!["src/lib.rs".into()],
+                vendored: false,
             }],
         };
         let m = build(&layout).unwrap();

@@ -22,8 +22,24 @@ use crate::model::{Event, LockKind, Model};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Pass names accepted by the annotation grammar.
-pub const PASS_NAMES: [&str; 4] =
-    ["lock_order", "io_under_lock", "panic_path", "swallowed_result"];
+pub const PASS_NAMES: [&str; 7] = [
+    "lock_order",
+    "io_under_lock",
+    "panic_path",
+    "swallowed_result",
+    "durability_order",
+    "reactor_blocking",
+    "unsafe_audit",
+];
+
+/// Roles accepted by `protocol(<pass>, <role>)` annotations.
+pub fn protocol_roles(pass: &str) -> &'static [&'static str] {
+    match pass {
+        "durability_order" => &["ack", "sync", "publish"],
+        "reactor_blocking" => &["contended"],
+        _ => &[],
+    }
+}
 
 /// Pseudo-pass for malformed `// xk-analyze:` comments.
 pub const ANNOTATION_PASS: &str = "annotation";
@@ -104,6 +120,12 @@ pub fn run(model: &Model, closures: Vec<Vec<usize>>) -> Vec<Finding> {
     analysis.lock_passes(&mut findings);
     analysis.panic_path(&mut findings);
     analysis.swallowed_result(&mut findings);
+    // The protocol passes run over the call graph's refined resolution.
+    let cg = crate::callgraph::CallGraph::build(model, &analysis.closures);
+    let guard_class: Vec<Option<usize>> =
+        analysis.summaries.iter().map(|s| s.guard_class).collect();
+    crate::protocol::ProtocolPasses { model, cg: &cg, guard_class: &guard_class }
+        .run(&mut findings);
     findings.sort();
     findings
 }
@@ -561,9 +583,19 @@ mod tests {
     }
 
     #[test]
-    fn pass_names_cover_the_four_passes() {
-        assert_eq!(PASS_NAMES.len(), 4);
+    fn pass_names_cover_the_seven_passes() {
+        assert_eq!(PASS_NAMES.len(), 7);
         assert!(PASS_NAMES.contains(&"lock_order"));
         assert!(PASS_NAMES.contains(&"swallowed_result"));
+        assert!(PASS_NAMES.contains(&"durability_order"));
+        assert!(PASS_NAMES.contains(&"reactor_blocking"));
+        assert!(PASS_NAMES.contains(&"unsafe_audit"));
+    }
+
+    #[test]
+    fn protocol_roles_cover_the_protocol_passes() {
+        assert_eq!(protocol_roles("durability_order"), ["ack", "sync", "publish"]);
+        assert_eq!(protocol_roles("reactor_blocking"), ["contended"]);
+        assert!(protocol_roles("panic_path").is_empty());
     }
 }

@@ -6,9 +6,12 @@
 //! same offline-first spirit as the vendored crates: no TOML dependency.
 //!
 //! Scope policy (documented in DESIGN.md §7): production sources only —
-//! each member's `src/**`, skipping `vendor/` stand-ins, `tests/`,
-//! `benches/`, `examples/`, and `#[cfg(test)]` modules (the latter is
-//! handled during extraction).
+//! each member's `src/**`, skipping `tests/`, `benches/`, `examples/`,
+//! and `#[cfg(test)]` modules (the latter is handled during
+//! extraction). `vendor/` stand-ins are included but marked
+//! [`CrateInfo::vendored`]: only the `unsafe_audit` pass looks at them —
+//! their function bodies stay out of the model so call resolution never
+//! aliases workspace names to stand-in stubs.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -23,6 +26,8 @@ pub struct CrateInfo {
     pub deps: Vec<String>,
     /// Source files, workspace-root-relative.
     pub files: Vec<PathBuf>,
+    /// True for `vendor/` stand-ins: scanned by `unsafe_audit` only.
+    pub vendored: bool,
 }
 
 #[derive(Debug)]
@@ -74,13 +79,11 @@ pub fn discover(root: &Path) -> Result<WorkspaceLayout, DiscoverError> {
     let manifest_path = root.join("Cargo.toml");
     let manifest = std::fs::read_to_string(&manifest_path)
         .map_err(|e| DiscoverError(format!("cannot read {}: {e}", manifest_path.display())))?;
-    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    let mut crate_dirs: Vec<(PathBuf, bool)> = Vec::new();
     if manifest.contains("[workspace]") {
         for member in manifest_members(&manifest) {
             if let Some(prefix) = member.strip_suffix("/*") {
-                if prefix == "vendor" {
-                    continue; // offline stand-ins are out of scope
-                }
+                let vendored = prefix == "vendor";
                 let dir = root.join(prefix);
                 let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
                     .map_err(|e| DiscoverError(format!("cannot list {}: {e}", dir.display())))?
@@ -89,15 +92,16 @@ pub fn discover(root: &Path) -> Result<WorkspaceLayout, DiscoverError> {
                     .filter(|p| p.join("Cargo.toml").is_file())
                     .collect();
                 entries.sort();
-                crate_dirs.extend(entries);
-            } else if member != "vendor" && !member.starts_with("vendor/") {
-                crate_dirs.push(root.join(member));
+                crate_dirs.extend(entries.into_iter().map(|e| (e, vendored)));
+            } else {
+                let vendored = member == "vendor" || member.starts_with("vendor/");
+                crate_dirs.push((root.join(member), vendored));
             }
         }
     }
     // A root `[package]` (workspace root package, or a bare fixture crate).
     if manifest.contains("[package]") {
-        crate_dirs.push(root.to_path_buf());
+        crate_dirs.push((root.to_path_buf(), false));
     }
     if crate_dirs.is_empty() {
         return Err(DiscoverError(format!(
@@ -106,8 +110,8 @@ pub fn discover(root: &Path) -> Result<WorkspaceLayout, DiscoverError> {
         )));
     }
     let mut crates = Vec::new();
-    for dir in crate_dirs {
-        crates.push(read_crate(root, &dir)?);
+    for (dir, vendored) in crate_dirs {
+        crates.push(read_crate(root, &dir, vendored)?);
     }
     Ok(WorkspaceLayout { root: root.to_path_buf(), crates })
 }
@@ -124,7 +128,7 @@ fn manifest_members(manifest: &str) -> Vec<String> {
         .collect()
 }
 
-fn read_crate(root: &Path, dir: &Path) -> Result<CrateInfo, DiscoverError> {
+fn read_crate(root: &Path, dir: &Path, vendored: bool) -> Result<CrateInfo, DiscoverError> {
     let manifest_path = dir.join("Cargo.toml");
     let manifest = std::fs::read_to_string(&manifest_path)
         .map_err(|e| DiscoverError(format!("cannot read {}: {e}", manifest_path.display())))?;
@@ -143,7 +147,7 @@ fn read_crate(root: &Path, dir: &Path) -> Result<CrateInfo, DiscoverError> {
         .into_iter()
         .map(|f| f.strip_prefix(root).map(Path::to_path_buf).unwrap_or(f))
         .collect();
-    Ok(CrateInfo { name, dir: dir.to_path_buf(), deps, files })
+    Ok(CrateInfo { name, dir: dir.to_path_buf(), deps, files, vendored })
 }
 
 fn package_name(manifest: &str) -> Option<String> {

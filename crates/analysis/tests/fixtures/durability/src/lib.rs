@@ -1,0 +1,56 @@
+//! Seeded durability_order violations: an ack and two publishes that
+//! run before the durability barrier, plus one correctly ordered path
+//! proving the barrier tracking silences the pass.
+
+pub struct Wal;
+
+impl Wal {
+    // xk-analyze: protocol(durability_order, sync)
+    pub fn sync(&self) {}
+}
+
+// xk-analyze: protocol(durability_order, publish)
+pub fn install_manifest() {}
+
+pub struct Store {
+    wal: Wal,
+}
+
+impl Store {
+    // xk-analyze: protocol(durability_order, ack)
+    pub fn send_ack(&self) {}
+
+    /// Violation: the client hears "committed" before the fsync.
+    // xk-analyze: root(durability_order)
+    pub fn commit_bad(&self) {
+        self.send_ack();
+        self.wal.sync();
+    }
+
+    /// Violation: the rename makes staged bytes authoritative while
+    /// they may still be sitting in the page cache.
+    // xk-analyze: root(durability_order)
+    pub fn publish_bad(&self) -> std::io::Result<()> {
+        std::fs::rename("staged", "live")?;
+        self.wal.sync();
+        Ok(())
+    }
+
+    /// Violation: the manifest commit (an annotated publish) precedes
+    /// the blob sync.
+    // xk-analyze: root(durability_order)
+    pub fn seal_bad(&self) {
+        install_manifest();
+        self.wal.sync();
+    }
+
+    /// Clean: barrier first, then the ack and the publish.
+    // xk-analyze: root(durability_order)
+    pub fn commit_good(&self) -> std::io::Result<()> {
+        self.wal.sync();
+        install_manifest();
+        std::fs::rename("staged", "live")?;
+        self.send_ack();
+        Ok(())
+    }
+}

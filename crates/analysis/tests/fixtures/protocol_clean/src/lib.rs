@@ -1,0 +1,58 @@
+//! The clean twin for the protocol-aware passes: the same shapes as
+//! the `durability`, `reactor`, and `unsafe_blocks` fixtures with the
+//! discipline done right — zero findings expected.
+
+use std::sync::Mutex;
+
+pub struct Wal;
+
+impl Wal {
+    // xk-analyze: protocol(durability_order, sync)
+    pub fn sync(&self) {}
+}
+
+pub struct Poller;
+
+impl Poller {
+    pub fn wait(&self) {}
+}
+
+pub struct Reactor {
+    wal: Wal,
+    /// The reactor's own scheduling point lives behind this field; its
+    /// name triggers the `epoll` wait exemption.
+    epoll: Poller,
+    /// An ordinary (un-annotated) lock: acquiring it on the reactor
+    /// thread is allowed.
+    quick: Mutex<u32>,
+}
+
+impl Reactor {
+    // xk-analyze: protocol(durability_order, ack)
+    pub fn send_ack(&self) {}
+
+    /// Barrier first, ack and publish after: silent.
+    // xk-analyze: root(durability_order)
+    pub fn commit(&self) -> std::io::Result<()> {
+        self.wal.sync();
+        std::fs::rename("staged", "live")?;
+        self.send_ack();
+        Ok(())
+    }
+
+    /// The epoll wait and an uncontended lock are both fine on the
+    /// reactor thread.
+    // xk-analyze: root(reactor_blocking)
+    pub fn run_loop(&self) {
+        self.epoll.wait();
+        let n = self.quick.lock().unwrap();
+        drop(n);
+    }
+}
+
+/// A justified unsafe site: covered, not reported.
+pub fn read_raw(x: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `x` points at a live, initialized
+    // byte for the duration of the call.
+    unsafe { *x }
+}

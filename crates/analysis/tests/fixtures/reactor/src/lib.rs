@@ -1,0 +1,33 @@
+//! Seeded reactor_blocking violations: a blocking fsync and a
+//! contended-lock acquisition both reachable from the reactor loop.
+
+use std::sync::Mutex;
+
+pub struct State;
+
+pub struct Reactor {
+    /// Writers hold this across I/O, so the reactor must never block
+    /// on it.
+    // xk-analyze: protocol(reactor_blocking, contended)
+    state: Mutex<State>,
+}
+
+impl Reactor {
+    // xk-analyze: root(reactor_blocking)
+    pub fn run_loop(&self) -> std::io::Result<()> {
+        self.tick();
+        self.flush_log()
+    }
+
+    /// Violation: a contended lock on the reactor thread.
+    fn tick(&self) {
+        let guard = self.state.lock().unwrap();
+        drop(guard);
+    }
+
+    /// Violation: blocking file I/O reachable from the loop.
+    fn flush_log(&self) -> std::io::Result<()> {
+        let f = std::fs::File::create("reactor.log")?;
+        f.sync_all()
+    }
+}

@@ -1,0 +1,15 @@
+//! One justified unsafe site and one bare one: unsafe_audit must flag
+//! exactly the bare block.
+
+/// Reads one byte through a raw pointer, with its invariant written
+/// down where the audit expects it.
+pub fn covered(x: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `x` points at a live, initialized
+    // byte for the duration of the call.
+    unsafe { *x }
+}
+
+/// Violation: same dereference, no adjacent SAFETY comment.
+pub fn uncovered(x: *const u8) -> u8 {
+    unsafe { *x }
+}

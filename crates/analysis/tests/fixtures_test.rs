@@ -82,8 +82,44 @@ fn swallowed_fixture_exact_findings() {
 }
 
 #[test]
+fn durability_fixture_exact_findings() {
+    let got = quads(&fixture("durability"));
+    let want = vec![
+        q("durability_order", 26, "ack_before_sync", "send_ack"),
+        q("durability_order", 34, "publish_before_sync", "rename"),
+        q("durability_order", 43, "publish_before_sync", "install_manifest"),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn reactor_fixture_exact_findings() {
+    let got = quads(&fixture("reactor"));
+    let want = vec![
+        q("reactor_blocking", 24, "contended_lock", "Reactor.state"),
+        q("reactor_blocking", 31, "blocking_call", "sync_all"),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn unsafe_blocks_fixture_exact_findings() {
+    let got = quads(&fixture("unsafe_blocks"));
+    let want = vec![q("unsafe_audit", 14, "missing_safety", "block in uncovered")];
+    assert_eq!(got, want);
+}
+
+#[test]
 fn clean_fixture_has_no_findings() {
     assert_eq!(quads(&fixture("clean")), Vec::new());
+}
+
+/// The clean twin of the protocol fixtures: correct fsync-before-ack
+/// ordering, the epoll wait, an uncontended lock, and a justified
+/// unsafe site all stay silent.
+#[test]
+fn protocol_clean_fixture_has_no_findings() {
+    assert_eq!(quads(&fixture("protocol_clean")), Vec::new());
 }
 
 /// The binary exits 1 on every seeded fixture and 0 on the clean one.
@@ -94,7 +130,11 @@ fn binary_exit_codes() {
         ("io_under_lock", 1),
         ("panic_path", 1),
         ("swallowed", 1),
+        ("durability", 1),
+        ("reactor", 1),
+        ("unsafe_blocks", 1),
         ("clean", 0),
+        ("protocol_clean", 0),
     ] {
         let status = Command::new(env!("CARGO_BIN_EXE_xk-analyze"))
             .args(["--root"])
@@ -104,6 +144,35 @@ fn binary_exit_codes() {
             .expect("binary runs");
         assert_eq!(status.code(), Some(expect), "fixture {name}");
     }
+}
+
+/// `--json FILE` writes the machine-readable report CI uploads: one
+/// entry per finding, keyed exactly like the baseline.
+#[test]
+fn json_report_lists_every_finding() {
+    let dir = std::env::temp_dir().join(format!("xk-analyze-json-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let report = dir.join("findings.json");
+    let status = Command::new(env!("CARGO_BIN_EXE_xk-analyze"))
+        .arg("--root")
+        .arg(fixture("durability"))
+        .arg("--no-baseline")
+        .arg("--json")
+        .arg(&report)
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(1), "findings still fail the gate");
+    let text = std::fs::read_to_string(&report).unwrap();
+    assert!(text.contains("\"count\": 3"), "{text}");
+    assert!(text.contains("\"pass\": \"durability_order\""), "{text}");
+    assert!(text.contains("\"kind\": \"ack_before_sync\""), "{text}");
+    assert!(
+        text.contains(
+            "durability_order|src/lib.rs|Store::commit_bad|ack_before_sync|send_ack#0"
+        ),
+        "{text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// A baseline written from a dirty tree gates only on regressions: the

@@ -83,6 +83,9 @@ impl SegmentIo for DirSegmentIo {
         Ok(Box::new(FilePager::create(&tmp, self.block_size)?))
     }
 
+    // Publishing a blob is itself a root: the rename must follow the
+    // blob fsync even when the seal is reached with no prior barrier.
+    // xk-analyze: root(durability_order)
     fn finalize(&self, seq: u64, pager: Box<dyn Pager>) -> Result<()> {
         pager.sync()?;
         drop(pager);

@@ -229,6 +229,11 @@ pub fn read_manifest(env: &StorageEnv, handle: &ListHandle) -> Result<Vec<Sealed
 
 /// Writes a fresh manifest chain holding `metas` (the caller frees the
 /// old chain and stores the returned handle in the extension bytes).
+///
+/// Committing a manifest makes the blobs it names authoritative, so the
+/// blobs must be durable (sealed + fsynced) *before* this runs — hence
+/// the publish role below.
+// xk-analyze: protocol(durability_order, publish)
 pub fn write_manifest(env: &StorageEnv, metas: &[SealedMeta]) -> Result<Option<ListHandle>> {
     if metas.is_empty() {
         return Ok(None);

@@ -61,6 +61,7 @@ pub(crate) struct Reactor {
 
 /// Runs the reactor to completion (drain finished). Registration errors
 /// at startup are fatal to the thread but leave the server join-able.
+// xk-analyze: root(reactor_blocking)
 pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>) {
     let epoll = match Epoll::new() {
         Ok(e) => e,
@@ -92,6 +93,7 @@ pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>) {
 
 impl Reactor {
     // xk-analyze: root(panic_path)
+    // xk-analyze: root(reactor_blocking)
     fn run_loop(&mut self) {
         let mut events = vec![RawEvent::default(); MAX_EVENTS];
         loop {

@@ -42,7 +42,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use xk_storage::IoStats;
 use xk_xmltree::Dewey;
-use xksearch::{Algorithm, Engine, EngineError};
+use xksearch::{Algorithm, AppendOutcome, Engine, EngineError};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -507,6 +507,7 @@ fn handle_query(shared: &Shared, request: &Request, received: Instant) -> Respon
 /// new subtree's Dewey id, the committed epoch, and how many cached
 /// answers the touched keywords invalidated — everything else in the
 /// cache keeps serving.
+// xk-analyze: root(durability_order)
 fn handle_append(shared: &Shared, request: &Request, received: Instant) -> Response {
     let xml: &str = if !request.body.is_empty() {
         &request.body
@@ -534,15 +535,7 @@ fn handle_append(shared: &Shared, request: &Request, received: Instant) -> Respo
             shared.note_touched(&outcome.touched, outcome.epoch);
             let invalidated = shared.cache.invalidate_keywords(&outcome.touched);
             shared.metrics.appends_ok.fetch_add(1, Ordering::Relaxed);
-            let mut j = JsonBuf::new();
-            j.begin_object();
-            j.field_str("root", &outcome.root.to_string());
-            j.field_u64("epoch", outcome.epoch);
-            j.field_u64("touched_keywords", outcome.touched.len() as u64);
-            j.field_u64("cache_invalidated", invalidated as u64);
-            j.field_u64("elapsed_us", received.elapsed().as_micros() as u64);
-            j.end_object();
-            Response::json(200, j.into_string())
+            append_ack(&outcome, invalidated, received)
         }
         Err(EngineError::BadQuery(msg)) => bad(shared, &format!("bad append: {msg}")),
         Err(EngineError::Parse(e)) => bad(shared, &format!("bad fragment: {e}")),
@@ -551,6 +544,24 @@ fn handle_append(shared: &Shared, request: &Request, received: Instant) -> Respo
             Response::json(500, payload::error_json(&format!("append failed: {e}")))
         }
     }
+}
+
+/// Renders the success acknowledgement for an append. This is the
+/// durability protocol's **ack point**: once these bytes leave the
+/// server, the client may assume the subtree survives a crash, so every
+/// path here must pass through the commit fsync first
+/// ([`Engine::append_subtree`] waits for it before returning).
+// xk-analyze: protocol(durability_order, ack)
+fn append_ack(outcome: &AppendOutcome, invalidated: usize, received: Instant) -> Response {
+    let mut j = JsonBuf::new();
+    j.begin_object();
+    j.field_str("root", &outcome.root.to_string());
+    j.field_u64("epoch", outcome.epoch);
+    j.field_u64("touched_keywords", outcome.touched.len() as u64);
+    j.field_u64("cache_invalidated", invalidated as u64);
+    j.field_u64("elapsed_us", received.elapsed().as_micros() as u64);
+    j.end_object();
+    Response::json(200, j.into_string())
 }
 
 /// Renders the `/metrics` document: request counters, connection-level

@@ -309,7 +309,10 @@ pub struct StorageEnv {
     /// Verify page checksums on buffer-pool misses (on by default; the
     /// bench harness turns it off to measure the overhead).
     verify_checksums: AtomicBool,
-    /// Serializes every mutating operation; see the module docs.
+    /// Serializes every mutating operation; see the module docs. A
+    /// writer can hold it across WAL appends and page I/O, so it is
+    /// declared contended: the reactor thread must never block on it.
+    // xk-analyze: protocol(reactor_blocking, contended)
     write_state: Mutex<WriteState>,
     /// Monotone counter bumped by every mutating operation. Anchored
     /// B+tree cursors snapshot it when they pin a root-to-leaf path and
@@ -789,6 +792,7 @@ impl StorageEnv {
     /// shrink while flush runs. A reader evicting a still-dirty page
     /// writes it back *before* this flush reaches that shard — and hence
     /// before the phase-1 sync — never after.
+    // xk-analyze: root(durability_order)
     pub fn flush(&self) -> Result<()> {
         let mut ws = self.write_lock();
         self.flush_locked(&mut ws)
@@ -1180,6 +1184,7 @@ impl StorageEnv {
     ///
     /// On a WAL append failure the transaction is left open so the
     /// caller can [`Self::abort_txn`] it.
+    // xk-analyze: root(durability_order)
     pub fn commit_txn(&self) -> Result<TxnCommit> {
         let mut ws = self.write_lock();
         let txn = ws

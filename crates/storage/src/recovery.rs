@@ -85,6 +85,7 @@ fn inspect_meta(db: &dyn Pager) -> Result<MetaState> {
 /// pagers — call this before opening a [`crate::StorageEnv`] over `db`.
 /// Safe to run any number of times; see the module docs for the
 /// invariants.
+// xk-analyze: root(durability_order)
 pub fn recover(db: &dyn Pager, wal: &dyn Pager) -> Result<RecoveryReport> {
     let meta = inspect_meta(db)?;
     let db_was_dirty = !matches!(meta, MetaState::Clean);
@@ -173,6 +174,7 @@ fn db_file_page_size(path: &Path) -> Result<usize> {
 /// bytes are by definition past the last complete page, which the
 /// record-level truncation would discard anyway. A missing or empty WAL
 /// file is treated as "no log".
+// xk-analyze: root(durability_order)
 pub fn recover_files(db_path: &Path, wal_path: &Path) -> Result<RecoveryReport> {
     let ps = db_file_page_size(db_path)?;
     let db = FilePager::open(db_path, ps)?;

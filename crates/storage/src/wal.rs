@@ -277,6 +277,7 @@ impl Wal {
     /// never blocks appenders, which is what turns concurrent commits into
     /// one fsync.
     // xk-analyze: allow(io_under_lock, reason = "the sync body is the WAL's serialization point by design; appenders only take the buf lock, which this path holds just long enough to steal the buffer")
+    // xk-analyze: protocol(durability_order, sync)
     pub fn sync(&self) -> Result<u64> {
         let cursor = &mut *lock(&self.cursor);
         self.check_poisoned()?;
@@ -322,6 +323,7 @@ impl Wal {
 
     /// Blocks until `lsn` is durable (a sync covered it) or the log has
     /// failed. `lsn` 0 is trivially durable.
+    // xk-analyze: protocol(durability_order, sync)
     pub fn wait_durable(&self, lsn: u64) -> Result<()> {
         let mut d = lock(&self.durable);
         loop {

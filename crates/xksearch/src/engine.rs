@@ -352,6 +352,7 @@ impl Engine {
     /// flush. A crash mid-build leaves either the old index intact or a
     /// temp file that [`StorageEnv::open`] rejects (dirty flag set) — the
     /// final path never holds a half-built index.
+    // xk-analyze: root(durability_order)
     pub fn build(
         tree: &XmlTree,
         db_path: impl AsRef<Path>,
@@ -374,6 +375,10 @@ impl Engine {
                 tree,
                 &xk_index::BuildOptions { store_document, ..Default::default() },
             )?;
+            // An explicit checked flush: dropping the env also flushes,
+            // but Drop swallows the error and the rename below would
+            // publish a file whose pages never reached the disk.
+            env.flush()?;
             Ok(())
         })();
         if let Err(e) = built {
@@ -407,6 +412,7 @@ impl Engine {
     /// renames; a crash exactly between them is repaired by the next
     /// open only up to orphan deletion, so prefer building to a fresh
     /// path.
+    // xk-analyze: root(durability_order)
     pub fn build_segmented(
         tree: &XmlTree,
         db_path: impl AsRef<Path>,
@@ -477,6 +483,7 @@ impl Engine {
     /// Shared core of the segmented builds: structural index with
     /// postings disabled, the full posting set sealed as segment 1, and
     /// the [`SegExt`] recorded in the index's extension region.
+    // xk-analyze: root(durability_order)
     fn build_segment_store(
         env: &StorageEnv,
         tree: &XmlTree,
@@ -1080,6 +1087,7 @@ impl Engine {
     /// group-commit flush otherwise). The durability wait happens
     /// *outside* the append lock, which is what lets several appenders'
     /// commit records share one fsync.
+    // xk-analyze: root(durability_order)
     pub fn append_subtree(&self, parent: &Dewey, fragment_xml: &str) -> Result<AppendOutcome> {
         use xk_xmltree::NodeId;
 

@@ -64,6 +64,11 @@ mod nr {
 /// valid for the specific syscall (live fds, pointers to suitably-sized
 /// buffers); the kernel validates the rest and reports `-errno`.
 #[cfg(target_arch = "x86_64")]
+// SAFETY: the asm touches only the registers it declares — the six
+// argument registers plus rcx/r11, which the `syscall` instruction
+// clobbers — and `options(nostack)` promises no stack use. Memory
+// safety rests on the caller's contract above: any pointer argument
+// must reference a live allocation sized for the specific syscall.
 unsafe fn syscall6(n: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize, a6: usize) -> isize {
     let ret: isize;
     core::arch::asm!(
@@ -83,6 +88,11 @@ unsafe fn syscall6(n: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usi
 }
 
 #[cfg(target_arch = "aarch64")]
+// SAFETY: `svc 0` preserves everything except x0 (the return value),
+// which the asm declares via `inlateout`; x1–x5 and x8 are inputs only
+// and `options(nostack)` promises no stack use. Memory safety rests on
+// the caller's contract above: any pointer argument must reference a
+// live allocation sized for the specific syscall.
 unsafe fn syscall6(n: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize, a6: usize) -> isize {
     let ret: isize;
     core::arch::asm!(
@@ -109,8 +119,10 @@ fn check(ret: isize) -> io::Result<usize> {
 }
 
 fn close_fd(fd: RawFd) {
-    // A failed close leaves nothing actionable for the caller; the fd is
-    // gone (or never was) either way.
+    // SAFETY: CLOSE takes a single integer and reads no memory. A stale
+    // fd yields EBADF, which is deliberately ignored — a failed close
+    // leaves nothing actionable for the caller; the fd is gone (or
+    // never was) either way.
     unsafe {
         syscall6(nr::CLOSE, fd as usize, 0, 0, 0, 0, 0);
     }
@@ -174,6 +186,8 @@ pub struct Epoll {
 
 impl Epoll {
     pub fn new() -> io::Result<Epoll> {
+        // SAFETY: EPOLL_CREATE1 takes only the flags word; no memory is
+        // read or written.
         let ret = unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) };
         Ok(Epoll { fd: check(ret)? as RawFd })
     }
@@ -197,6 +211,9 @@ impl Epoll {
             // since Linux 2.6.9).
             None => 0,
         };
+        // SAFETY: `ev_ptr` is null (DEL, where the kernel ignores it) or
+        // points at `ev`, which outlives the call; the kernel copies the
+        // struct out before returning, so no reference escapes.
         let ret = unsafe { syscall6(nr::EPOLL_CTL, self.fd as usize, op, fd as usize, ev_ptr, 0, 0) };
         check(ret).map(|_| ())
     }
@@ -226,6 +243,10 @@ impl Epoll {
             None => -1,
             Some(d) => (d.as_micros().div_ceil(1000)).min(i32::MAX as u128) as isize,
         };
+        // SAFETY: the event pointer/length describe the caller's live
+        // `&mut [RawEvent]`, which the kernel fills in place up to
+        // `events.len()` entries; `RawEvent` is exactly the uapi layout
+        // (repr(C), packed on x86_64 where the ABI requires it).
         let ret = unsafe {
             #[cfg(target_arch = "x86_64")]
             let n = syscall6(
@@ -280,6 +301,8 @@ pub struct EventFd {
 
 impl EventFd {
     pub fn new() -> io::Result<EventFd> {
+        // SAFETY: EVENTFD2 takes an initial count and the flags word; no
+        // memory is read or written.
         let ret = unsafe { syscall6(nr::EVENTFD2, 0, EFD_NONBLOCK | EFD_CLOEXEC, 0, 0, 0, 0) };
         Ok(EventFd { fd: check(ret)? as RawFd })
     }
@@ -292,6 +315,8 @@ impl EventFd {
     /// reader will wake, so it reports success.
     pub fn wake(&self) -> io::Result<()> {
         let one: u64 = 1;
+        // SAFETY: WRITE reads exactly 8 bytes from `one`, a live stack
+        // u64 that outlives the call; eventfd requires an 8-byte write.
         let ret = unsafe {
             syscall6(nr::WRITE, self.fd as usize, &one as *const u64 as usize, 8, 0, 0, 0)
         };
@@ -305,8 +330,10 @@ impl EventFd {
     /// Consumes all pending wakeups (resets the counter to zero).
     pub fn drain(&self) {
         let mut count: u64 = 0;
-        // One read returns and clears the whole counter; EAGAIN means it
-        // was already zero. Either way the fd is quiescent afterwards.
+        // SAFETY: READ writes exactly 8 bytes into `count`, a live stack
+        // u64 that outlives the call. One read returns and clears the
+        // whole counter; EAGAIN means it was already zero. Either way
+        // the fd is quiescent afterwards.
         unsafe {
             syscall6(nr::READ, self.fd as usize, &mut count as *mut u64 as usize, 8, 0, 0, 0);
         }
@@ -327,6 +354,8 @@ impl Drop for EventFd {
 /// accept backlog — std's `TcpListener::bind` hard-codes 128, which a
 /// thousand simultaneous connects overflow into SYN retransmits.
 pub fn listen_backlog(fd: RawFd, backlog: u32) -> io::Result<()> {
+    // SAFETY: LISTEN takes two integers and reads no memory; a bad or
+    // non-socket fd reports EBADF/ENOTSOCK through `check`.
     let ret = unsafe { syscall6(nr::LISTEN, fd as usize, backlog as usize, 0, 0, 0, 0) };
     check(ret).map(|_| ())
 }
